@@ -1,0 +1,60 @@
+"""Figure 2(a) — cost vs N at α = 0.9 (high frequency, small objects).
+
+Paper shape: every heuristic's cost grows with the operator count;
+Random is the most expensive by a wide margin; Subtree-Bottom-Up is at
+or near the bottom, with the greedy family close and the object-driven
+heuristics in between.
+
+Runs under the dense calibration (``ops_per_ghz = 25``) — the reading
+pinned by this figure's own cost magnitudes; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import fig2a, format_sweep_table, ranking_summary
+
+from conftest import N_INSTANCES, SEED, write_artefact
+
+N_VALUES = (20, 60, 100, 140)
+
+
+def regenerate():
+    return fig2a(n_values=N_VALUES, n_instances=N_INSTANCES,
+                 master_seed=SEED)
+
+
+def test_fig2a_cost_vs_n(benchmark, artefact_dir):
+    sweep = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    text = format_sweep_table(sweep) + "\n" + ranking_summary(sweep)
+    write_artefact(artefact_dir, "fig2a", text)
+
+    # costs grow with N for every heuristic that stays feasible
+    for h in sweep.heuristics:
+        series = sweep.series(h)
+        if len(series) >= 2:
+            assert series[-1][1] > series[0][1], h
+
+    # Random worst at every point where everyone succeeds
+    for n in N_VALUES:
+        rnd = sweep.cells[(float(n), "random")]
+        if not rnd.n_success:
+            continue
+        for h in sweep.heuristics:
+            cell = sweep.cells[(float(n), h)]
+            if h != "random" and cell.n_success:
+                assert cell.mean_cost <= rnd.mean_cost + 1e-9
+
+    # SBU at or near the bottom on the biggest mutual point
+    costs = {
+        h: sweep.cells[(20.0, h)].mean_cost
+        for h in sweep.heuristics
+        if sweep.cells[(20.0, h)].n_success
+    }
+    best = min(costs.values())
+    assert costs.get("subtree-bottom-up", math.inf) <= best * 1.35
+
+    benchmark.extra_info["series"] = {
+        h: sweep.series(h) for h in sweep.heuristics
+    }

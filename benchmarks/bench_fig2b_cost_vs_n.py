@@ -1,0 +1,50 @@
+"""Figure 2(b) — cost vs N at α = 1.7 (high frequency, small objects).
+
+Paper shape: "With a larger value of α the operator tree size becomes a
+more limiting factor.  For trees with more than 80 operators, almost no
+feasible mapping can be found", and "Comp-Greedy performs as well as
+and sometimes better than Subtree-bottom-up when the number of
+operators increases".
+
+Standard (cliff-faithful) calibration.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import fig2b, format_sweep_table, ranking_summary
+
+from conftest import N_INSTANCES, SEED, write_artefact
+
+N_VALUES = (20, 40, 60, 80, 100, 120)
+
+
+def regenerate():
+    return fig2b(n_values=N_VALUES, n_instances=N_INSTANCES,
+                 master_seed=SEED)
+
+
+def test_fig2b_cost_vs_n(benchmark, artefact_dir):
+    sweep = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    text = format_sweep_table(sweep) + "\n" + ranking_summary(sweep)
+    write_artefact(artefact_dir, "fig2b", text)
+
+    # cost grows with N in the feasible range (use comp-greedy, the
+    # most robust heuristic in this regime)
+    series = sweep.series("comp-greedy")
+    assert len(series) >= 3
+    assert series[-1][1] > series[0][1] * 2
+
+    # feasibility collapse past ~80-100 operators
+    for h in sweep.heuristics:
+        frontier = sweep.feasibility_frontier(h)
+        assert frontier is None or frontier <= 100.0, (h, frontier)
+
+    # everything still works at N=40
+    for h in sweep.heuristics:
+        assert sweep.cells[(40.0, h)].n_success >= 1, h
+
+    benchmark.extra_info["frontiers"] = {
+        h: sweep.feasibility_frontier(h) for h in sweep.heuristics
+    }

@@ -1,0 +1,83 @@
+"""Figure 3 — cost vs α at N = 60, plus the N = 20 threshold shift.
+
+Paper shape: "Up to a threshold, the α parameter has no influence on
+the heuristics' performance.  When α reaches the threshold, the
+solution cost of each heuristic increases until α exceeds a second
+threshold after which solutions can no longer be found."  Thresholds:
+≈1.6 / ≈1.8 for N = 60; ≈1.7 / ≈2.2 for N = 20.
+
+These threshold positions are what pinned the work-unit calibration
+(OPS_PER_GHZ = 6000, see repro.units), so this benchmark is the
+calibration's self-check.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import (
+    fig3,
+    fig3_n20,
+    format_sweep_table,
+    ranking_summary,
+)
+
+from conftest import N_INSTANCES, SEED, write_artefact
+
+ALPHAS = (0.9, 1.3, 1.5, 1.7, 1.9, 2.1, 2.3)
+
+
+def regenerate_n60():
+    return fig3(alpha_values=ALPHAS, n_operators=60,
+                n_instances=N_INSTANCES, master_seed=SEED)
+
+
+def regenerate_n20():
+    return fig3_n20(alpha_values=ALPHAS, n_instances=N_INSTANCES,
+                    master_seed=SEED)
+
+
+def test_fig3_n60(benchmark, artefact_dir):
+    sweep = benchmark.pedantic(regenerate_n60, rounds=1, iterations=1)
+    text = format_sweep_table(sweep) + "\n" + ranking_summary(sweep)
+    write_artefact(artefact_dir, "fig3_n60", text)
+
+    sbu = {a: sweep.cells[(a, "subtree-bottom-up")] for a in ALPHAS}
+    # flat region below the first threshold
+    assert sbu[0.9].mean_cost == sbu[1.3].mean_cost
+    # rising region between the thresholds
+    assert sbu[1.7].mean_cost > sbu[0.9].mean_cost
+    # second threshold: nothing feasible from ≈1.9 on (paper: 1.8)
+    assert all(
+        sweep.cells[(a, h)].n_success == 0
+        for a in (2.1, 2.3)
+        for h in sweep.heuristics
+    )
+    benchmark.extra_info["first_rise"] = next(
+        (a for a in ALPHAS
+         if sbu[a].n_success and sbu[a].mean_cost > sbu[0.9].mean_cost),
+        None,
+    )
+    benchmark.extra_info["frontier"] = sweep.feasibility_frontier(
+        "subtree-bottom-up"
+    )
+
+
+def test_fig3_n20_threshold_shift(benchmark, artefact_dir):
+    sweep = benchmark.pedantic(regenerate_n20, rounds=1, iterations=1)
+    text = format_sweep_table(sweep) + "\n" + ranking_summary(sweep)
+    write_artefact(artefact_dir, "fig3_n20", text)
+
+    # N=20 still feasible at α=1.9 (where N=60 already collapsed) —
+    # the paper's threshold shift with tree size
+    ok_19 = sum(
+        sweep.cells[(1.9, h)].n_success for h in sweep.heuristics
+    )
+    assert ok_19 > 0
+    # and infeasible by 2.3 (paper's N=20 cliff is ≈2.2)
+    assert all(
+        sweep.cells[(2.3, h)].n_success == 0 for h in sweep.heuristics
+    )
+    benchmark.extra_info["frontier_n20"] = sweep.feasibility_frontier(
+        "comp-greedy"
+    )

@@ -1,0 +1,35 @@
+"""§3/§5 ILP-size anecdote — "the ILP is so enormous that, even when
+using only 5 possible groups of processors and using trees with 30
+operators, the ILP description file could not be opened in Cplex."
+
+We regenerate the model statistics across tree sizes and check the
+super-quadratic growth of the constraint system (the Eq.-5 pairwise
+family is Θ(|E|·U²)).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ilp_size
+
+from conftest import SEED, write_artefact
+
+SIZES = (5, 10, 20, 30)
+
+
+def regenerate():
+    return ilp_size(n_values=SIZES, master_seed=SEED)
+
+
+def test_ilp_size(benchmark, artefact_dir):
+    sweep = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    write_artefact(artefact_dir, "ilp_size", sweep.render())
+
+    by_n = {s.n_operators: s for s in sweep.stats}
+    # super-quadratic growth of constraints and LP bytes
+    assert by_n[30].n_constraints / by_n[5].n_constraints > 36
+    assert by_n[30].lp_text_bytes / by_n[5].lp_text_bytes > 36
+    # N=30 is in the megabytes — CPLEX-breaking territory per the paper
+    assert by_n[30].lp_text_bytes > 1_000_000
+    benchmark.extra_info["lp_bytes"] = {
+        n: s.lp_text_bytes for n, s in by_n.items()
+    }

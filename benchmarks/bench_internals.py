@@ -1,0 +1,96 @@
+"""Hot-path micro-benchmarks (not a paper artefact).
+
+The placement heuristics' inner loop is `LoadTracker.assign/unassign`
+(O(degree) by design) and `Catalog.cheapest_satisfying` (memoised
+scan); the simulator's inner loop is `max_min_rates`.  These
+micro-benchmarks keep their costs visible so algorithmic regressions
+(e.g. someone recomputing whole-platform loads per probe) show up as
+order-of-magnitude jumps in `pytest benchmarks/ --benchmark-only`.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import repro
+from repro.core.loads import LoadTracker
+from repro.platform.catalog import dell_catalog
+from repro.simulator.flows import CapacityConstraint, FlowSpec, max_min_rates
+
+from conftest import SEED
+
+
+def test_load_tracker_assign_unassign(benchmark):
+    """Full assign/unassign sweep over a 120-operator tree."""
+    inst = repro.quick_instance(120, alpha=1.2, seed=SEED)
+    tracker = LoadTracker(inst)
+    ops = list(inst.tree.operator_indices)
+
+    def sweep():
+        for pos, i in enumerate(ops):
+            tracker.assign(i, pos % 8)
+        for i in ops:
+            tracker.unassign(i)
+        return tracker
+
+    result = benchmark(sweep)
+    assert not result.assignment
+
+
+def test_would_fit_probe(benchmark):
+    """The heuristics' per-candidate feasibility probe."""
+    inst = repro.quick_instance(80, alpha=1.4, seed=SEED)
+    tracker = LoadTracker(inst)
+    spec = inst.catalog.most_expensive
+    for pos, i in enumerate(inst.tree.operator_indices):
+        if pos % 3:
+            tracker.assign(i, pos % 5)
+    free = [i for i in inst.tree.operator_indices
+            if i not in tracker.assignment]
+
+    def probes():
+        hits = 0
+        for i in free:
+            for u in range(5):
+                if tracker.would_fit(i, u, spec.speed_ops, spec.nic_mbps):
+                    hits += 1
+        return hits
+
+    hits = benchmark(probes)
+    assert hits >= 0
+
+
+def test_cheapest_satisfying_memoised(benchmark):
+    catalog = dell_catalog()
+    loads = [
+        (w * 997.0 % 300_000, b * 13.0 % 2600)
+        for w, b in itertools.product(range(40), range(25))
+    ]
+
+    def queries():
+        found = 0
+        for w, b in loads:
+            if catalog.cheapest_satisfying(w, b) is not None:
+                found += 1
+        return found
+
+    found = benchmark(queries)
+    assert found > 0
+
+
+def test_max_min_rates_scaling(benchmark):
+    """60 flows over 25 shared constraints — bigger than any state the
+    DES reaches on paper-sized instances."""
+    constraints = [
+        CapacityConstraint(("c", j), 100.0 + 7 * j) for j in range(25)
+    ]
+    flows = []
+    for i in range(60):
+        member = tuple(
+            ("c", j) for j in range(25) if (i * 31 + j * 17) % 5 == 0
+        ) or (("c", i % 25),)
+        cap = 3.0 + (i % 7) if i % 3 == 0 else None
+        flows.append(FlowSpec(("f", i), member, cap))
+
+    rates = benchmark(max_min_rates, flows, constraints)
+    assert len(rates) == 60

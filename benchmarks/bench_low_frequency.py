@@ -1,0 +1,46 @@
+"""§5 low-frequency experiment — fk = 1/50 s vs 1/2 s.
+
+Paper shape: "The behaviors of the heuristics with low download
+frequencies are almost the same as for high frequency.  In general the
+heuristics lead to the same operator mapping, but in some cases the
+purchased processors have less powerful network cards."
+"""
+
+from __future__ import annotations
+
+from repro.experiments import low_frequency
+
+from conftest import SEED, write_artefact
+
+HEURISTICS = ("comp-greedy", "comm-greedy", "subtree-bottom-up",
+              "object-grouping")
+
+
+def regenerate():
+    return low_frequency(
+        n_operators=40, alpha=1.5, n_instances=4, master_seed=SEED,
+        heuristics=HEURISTICS,
+    )
+
+
+def test_low_frequency(benchmark, artefact_dir):
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    write_artefact(
+        artefact_dir, "low_frequency",
+        "\n".join(r.render() for r in rows),
+    )
+
+    total = sum(r.n_instances for r in rows)
+    same = sum(r.n_same_assignment for r in rows)
+    assert total > 0
+    # mappings mostly unchanged
+    assert same >= total * 0.5
+    # cost never increases at low frequency, and decreases somewhere
+    assert all(
+        r.mean_cost_low <= r.mean_cost_high + 1e-6
+        for r in rows if r.n_instances
+    )
+    benchmark.extra_info["same_mapping"] = f"{same}/{total}"
+    benchmark.extra_info["cheaper_cases"] = sum(
+        r.n_cheaper_low for r in rows
+    )

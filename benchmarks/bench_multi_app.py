@@ -1,0 +1,117 @@
+"""§6 future-work ablation — multiple applications + CSE reuse.
+
+"a clear opportunity for higher performance with a reduced cost is the
+reuse of common sub-expressions between trees [14, 13]".
+
+Three provisioning strategies over the same two-application workload:
+
+  A. dedicated platform per application (the baseline composition);
+  B. one shared platform (virtual-root forest combination);
+  C. shared platform + common-subexpression elimination (duplicate
+     subtrees computed once, re-consumed as derived objects from a
+     materialisation server).
+
+Expected shape: cost(A) ≥ cost(B) ≥ cost(C) when real sharing exists.
+"""
+
+from __future__ import annotations
+
+import math
+
+import repro
+from repro.apptree import (
+    combine_forest,
+    merge_common_subexpressions,
+    random_tree,
+)
+from repro.apptree.objects import ObjectCatalog
+from repro.core import ProblemInstance, allocate
+from repro.platform import (
+    NetworkModel,
+    Server,
+    ServerFarm,
+    dell_catalog,
+)
+
+from conftest import SEED, write_artefact
+
+ALPHA = 1.6
+N_INSTANCES = 4
+
+
+def shared_workload(seed):
+    """Two applications over the same catalog that share a subtree: the
+    second tree embeds a copy of the first tree's deepest 2-level
+    subexpression by construction (we just reuse the same generator
+    seed for one subtree half)."""
+    catalog = ObjectCatalog.random(15, seed=seed)
+    base = random_tree(14, catalog, alpha=ALPHA, seed=seed, name="app0")
+    # app1 = fresh top over the SAME subtree structure: easiest faithful
+    # construction is combining base with itself shifted — instead we
+    # regenerate with the same seed (identical tree) and then graft a
+    # different root half by combining with a small fresh tree.
+    other = random_tree(7, catalog, alpha=ALPHA, seed=seed + 999,
+                        name="app1-extra")
+    twin = random_tree(14, catalog, alpha=ALPHA, seed=seed, name="app1")
+    app1 = combine_forest([twin, other], name="app1")
+    return catalog, base, app1
+
+
+def cost_of(tree, farm, heuristic="subtree-bottom-up"):
+    inst = ProblemInstance(
+        tree=tree, farm=farm, catalog=dell_catalog(),
+        network=NetworkModel(), rho=1.0,
+    )
+    try:
+        return allocate(inst, heuristic, rng=0).cost
+    except repro.ReproError:
+        return math.inf
+
+
+def regenerate():
+    rows = []
+    for i in range(N_INSTANCES):
+        catalog, app0, app1 = shared_workload(SEED + 31 * i)
+        farm = ServerFarm.random(15, seed=SEED + 31 * i)
+
+        dedicated = cost_of(app0, farm) + cost_of(app1, farm)
+        shared = cost_of(combine_forest([app0, app1]), farm)
+
+        merged = merge_common_subexpressions([app0, app1], alpha=ALPHA)
+        servers = list(farm) + [
+            Server(uid=len(farm),
+                   objects=frozenset(merged.derived_objects),
+                   name="materialised"),
+        ]
+        cse_farm = ServerFarm(servers)
+        cse = cost_of(combine_forest(list(merged.trees)), cse_farm)
+        rows.append(
+            {
+                "instance": i,
+                "dedicated": dedicated,
+                "shared": shared,
+                "cse": cse,
+                "work_saved": merged.work_saved,
+            }
+        )
+    return rows
+
+
+def test_multi_app(benchmark, artefact_dir):
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    lines = [f"{'inst':>4} {'dedicated':>12} {'shared':>12} {'cse':>12}"
+             f" {'work saved':>12}"]
+    for r in rows:
+        lines.append(
+            f"{r['instance']:>4} {r['dedicated']:>12,.0f}"
+            f" {r['shared']:>12,.0f} {r['cse']:>12,.0f}"
+            f" {r['work_saved']:>12,.0f}"
+        )
+    write_artefact(artefact_dir, "multi_app", "\n".join(lines))
+
+    for r in rows:
+        assert r["shared"] <= r["dedicated"] + 1e-6
+        assert r["work_saved"] > 0  # real sharing exists by construction
+    # consolidation must pay off on at least one instance
+    assert any(r["shared"] < r["dedicated"] - 1e-6 for r in rows)
+    benchmark.extra_info["rows"] = rows

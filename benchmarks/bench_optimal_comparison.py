@@ -1,0 +1,52 @@
+"""§5 optimal-comparison experiment — heuristics vs the exact optimum.
+
+Paper shape (homogeneous platform, small trees, CPLEX → here an exact
+branch-and-bound): "Subtree-bottom-up finds the optimal solution in
+most of the cases.  The same ranking of the heuristics holds in the
+homogeneous setting: Subtree-bottom up, the Greedy family, followed by
+Object-Grouping, Object-Availability and finally Random.  Focusing on
+the Greedy family, we observe that in most cases Comm-Greedy achieves
+the best cost."
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import optimal_comparison
+
+from conftest import SEED, write_artefact
+
+
+def regenerate():
+    return optimal_comparison(
+        n_operators=11, n_instances=5, alpha=1.85, master_seed=SEED,
+    )
+
+
+def test_optimal_comparison(benchmark, artefact_dir):
+    cmp_ = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    write_artefact(artefact_dir, "optimal_comparison", cmp_.render())
+    assert cmp_.n_instances >= 3
+
+    ratio = cmp_.mean_ratio
+    # SBU near-optimal and optimal on most instances
+    assert ratio("subtree-bottom-up") <= 1.2
+    assert (
+        cmp_.optimal_hits("subtree-bottom-up")
+        >= cmp_.n_instances * 0.5
+    )
+    # ranking: SBU ≤ greedy family ≤ Random; object heuristics above SBU
+    assert ratio("subtree-bottom-up") <= ratio("comp-greedy") + 1e-9
+    assert ratio("subtree-bottom-up") <= ratio("comm-greedy") + 1e-9
+    assert ratio("subtree-bottom-up") <= ratio("object-grouping") + 1e-9
+    for h in ("comp-greedy", "comm-greedy", "object-grouping",
+              "object-availability"):
+        r = ratio(h)
+        if math.isfinite(r) and math.isfinite(ratio("random")):
+            assert r <= ratio("random") + 1e-9
+
+    benchmark.extra_info["mean_ratios"] = {
+        h: ratio(h) for h in cmp_.heuristic_ratios
+    }
+    benchmark.extra_info["lb_gaps"] = list(cmp_.lower_bound_gaps)

@@ -1,0 +1,48 @@
+"""§5 download-rate experiment — frequency sweep 1/2 s … 1/50 s.
+
+Paper shape: "A first result is that frequencies smaller than 1/10 s
+have no further influence on the solution.  All heuristics find the
+same solutions for a fixed operator tree.  For frequencies between
+1/2 s and 1/10 s, the solution cost changes.  In general the cost
+decreases."
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import format_sweep_table, rate_sweep
+
+from conftest import N_INSTANCES, SEED, write_artefact
+
+FREQS = (1 / 2, 1 / 5, 1 / 10, 1 / 20, 1 / 50)
+
+
+def regenerate():
+    return rate_sweep(
+        frequencies_hz=FREQS, n_operators=40, alpha=1.5,
+        n_instances=N_INSTANCES, master_seed=SEED,
+    )
+
+
+def test_rate_sweep(benchmark, artefact_dir):
+    sweep = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    write_artefact(artefact_dir, "rate_sweep", format_sweep_table(sweep))
+
+    for h in ("comp-greedy", "subtree-bottom-up"):
+        costs = {
+            f: sweep.cells[(float(f), h)].mean_cost for f in FREQS
+        }
+        # cost is non-increasing as the period grows
+        ordered = [costs[f] for f in sorted(FREQS, reverse=True)]
+        finite = [c for c in ordered if not math.isnan(c)]
+        assert all(
+            a >= b - 1e-9 for a, b in zip(finite, finite[1:])
+        ), (h, ordered)
+        # below 1/10 s nothing changes any more
+        assert costs[1 / 10] == costs[1 / 20] == costs[1 / 50], h
+
+    benchmark.extra_info["sbu_costs_by_freq"] = {
+        f"{f:g}": sweep.cells[(float(f), "subtree-bottom-up")].mean_cost
+        for f in FREQS
+    }

@@ -1,0 +1,68 @@
+"""Extension ablation — local-search refinement of the §4.1 heuristics.
+
+How much of each heuristic's optimality gap does simple hill-climbing
+(relocate + merge, post-downgrade cost model) recover?  Shape
+expectations: refinement never hurts; it rescues Random dramatically
+(merging its one-machine-per-operator platforms) and leaves
+Subtree-Bottom-Up nearly untouched (it is already merge-saturated).
+"""
+
+from __future__ import annotations
+
+import math
+
+import repro
+from repro.core import allocate
+from repro.core.heuristics import HEURISTIC_ORDER
+
+from conftest import SEED, write_artefact
+
+N_OPERATORS = 30
+ALPHA = 1.7
+N_INSTANCES = 4
+
+
+def regenerate():
+    rows = {}
+    for h in HEURISTIC_ORDER:
+        plain_costs, refined_costs = [], []
+        for i in range(N_INSTANCES):
+            inst = repro.quick_instance(
+                N_OPERATORS, alpha=ALPHA, seed=SEED + i
+            )
+            try:
+                plain = allocate(inst, h, rng=i)
+                refined = allocate(inst, h, rng=i, refine=True)
+            except repro.ReproError:
+                continue
+            plain_costs.append(plain.cost)
+            refined_costs.append(refined.cost)
+        if plain_costs:
+            rows[h] = (
+                sum(plain_costs) / len(plain_costs),
+                sum(refined_costs) / len(refined_costs),
+            )
+    return rows
+
+
+def test_refinement_ablation(benchmark, artefact_dir):
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    lines = [f"{'heuristic':22} {'plain':>12} {'refined':>12} {'saved':>8}"]
+    for h, (plain, refined) in rows.items():
+        lines.append(
+            f"{h:22} {plain:>12,.0f} {refined:>12,.0f}"
+            f" {1 - refined / plain:>7.1%}"
+        )
+    write_artefact(artefact_dir, "refinement", "\n".join(lines))
+
+    for h, (plain, refined) in rows.items():
+        assert refined <= plain + 1e-6, h
+    # Random gains the most; SBU is already merge-saturated
+    rnd_gain = 1 - rows["random"][1] / rows["random"][0]
+    sbu_gain = 1 - (rows["subtree-bottom-up"][1]
+                    / rows["subtree-bottom-up"][0])
+    assert rnd_gain > 0.5
+    assert rnd_gain >= sbu_gain
+    benchmark.extra_info["gains"] = {
+        h: 1 - refined / plain for h, (plain, refined) in rows.items()
+    }

@@ -1,0 +1,52 @@
+"""§5 replication experiment — object mirroring across servers.
+
+Paper shape: "the level of replication of basic objects on servers may
+matter for application trees with specific structures and download
+frequencies, but in general we can consider that this parameter has
+little or no effect on the heuristics' performance."
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import format_sweep_table, replication_sweep
+
+from conftest import N_INSTANCES, SEED, write_artefact
+
+PROBS = (0.0, 0.2, 0.5)
+
+
+def regenerate():
+    return replication_sweep(
+        probabilities=PROBS, n_operators=40, alpha=1.5,
+        n_instances=N_INSTANCES, master_seed=SEED,
+    )
+
+
+def test_replication_sweep(benchmark, artefact_dir):
+    sweep = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    write_artefact(artefact_dir, "replication_sweep",
+                   format_sweep_table(sweep))
+
+    # "little or no effect": for the compute/communication-driven
+    # heuristics the mean cost moves by well under 2x across the whole
+    # replication range (instances differ per point, so exact equality
+    # is not expected).
+    for h in ("comp-greedy", "subtree-bottom-up", "comm-greedy"):
+        costs = [
+            sweep.cells[(float(p), h)].mean_cost for p in PROBS
+        ]
+        finite = [c for c in costs if not math.isnan(c)]
+        assert len(finite) == len(PROBS), h
+        assert max(finite) <= 2.0 * min(finite), (h, costs)
+
+    # and everything stays feasible at every replication level
+    for p in PROBS:
+        for h in sweep.heuristics:
+            assert sweep.cells[(float(p), h)].n_success >= 1, (p, h)
+
+    benchmark.extra_info["costs"] = {
+        h: [sweep.cells[(float(p), h)].mean_cost for p in PROBS]
+        for h in sweep.heuristics
+    }

@@ -1,0 +1,61 @@
+"""Model-validation benchmark — the §2 steady-state model, executed.
+
+Not a paper figure but the reproduction's own closing of the loop: for
+allocations produced by the pipeline, the analytic maximum throughput
+(Eq. 1–5 inverted) must match what the discrete-event simulator
+actually measures; and the engine itself must be fast enough to be a
+practical validator (thousands of events per second).
+"""
+
+from __future__ import annotations
+
+import math
+
+import repro
+from repro.core import allocate
+from repro.simulator import (
+    SteadyStateSimulator,
+    measured_max_throughput,
+    simulate_allocation,
+)
+
+from conftest import SEED, write_artefact
+
+
+def make_alloc():
+    inst = repro.quick_instance(25, alpha=1.6, seed=SEED)
+    return allocate(inst, "subtree-bottom-up", rng=1).allocation
+
+
+def test_simulator_throughput_agreement(benchmark, artefact_dir):
+    alloc = make_alloc()
+
+    def probe():
+        return measured_max_throughput(alloc, n_results=40,
+                                       tolerance=0.02)
+
+    result = benchmark.pedantic(probe, rounds=1, iterations=1)
+    write_artefact(
+        artefact_dir, "simulator_agreement",
+        f"analytic rho* = {result.analytic:.4f}\n"
+        f"measured rho* = {result.measured:.4f}\n"
+        f"relative gap  = {result.relative_gap:.3%}\n"
+        f"bisection runs = {result.n_runs}",
+    )
+    if math.isfinite(result.analytic):
+        assert result.relative_gap <= 0.08
+    benchmark.extra_info["analytic"] = result.analytic
+    benchmark.extra_info["measured"] = result.measured
+
+
+def test_simulator_event_rate(benchmark):
+    """Raw engine speed: events processed per second of wall clock."""
+    alloc = make_alloc()
+
+    def run():
+        sim = SteadyStateSimulator(alloc, n_results=80)
+        return sim.run()
+
+    result = benchmark(run)
+    assert result.n_root_results == 80
+    assert result.download_misses == 0

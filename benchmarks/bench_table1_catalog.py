@@ -1,0 +1,37 @@
+"""Table 1 — the purchase catalog (processor and network-card options).
+
+Regenerates the paper's cost table with the GHz/$ and Gbps/$ ratio
+columns and checks its monotonicity claims (bigger options have better
+ratios — the economy-of-scale that makes the "buy big, downgrade later"
+strategy sensible).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.platform.catalog import dell_catalog
+
+from conftest import write_artefact
+
+
+def regenerate_table1() -> str:
+    return dell_catalog().table()
+
+
+def test_table1_catalog(benchmark, artefact_dir):
+    text = benchmark.pedantic(regenerate_table1, rounds=3, iterations=1)
+    write_artefact(artefact_dir, "table1", text)
+
+    catalog = dell_catalog()
+    # paper's ratio trend: both columns improve with size
+    cpu_ratios = [c.ratio for c in catalog.cpu_options]
+    nic_ratios = [n.ratio for n in catalog.nic_options]
+    assert cpu_ratios == sorted(cpu_ratios)
+    assert nic_ratios == sorted(nic_ratios)
+    # anchor values from the paper
+    assert math.isclose(catalog.cheapest.cost, 7548.0)
+    assert math.isclose(catalog.most_expensive.cost, 18846.0)
+    benchmark.extra_info["n_configurations"] = len(catalog)
+    benchmark.extra_info["cheapest"] = catalog.cheapest.cost
+    benchmark.extra_info["most_expensive"] = catalog.most_expensive.cost

@@ -1,0 +1,41 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table/figure of the paper's evaluation
+(§5) — see DESIGN.md §3 for the experiment index.  Campaign sizes are
+reduced relative to the paper's (3 instances per point instead of ~30)
+so the whole harness completes in minutes; the *shapes* are stable at
+this size and the rendered artefacts are written to
+``benchmarks/output/<name>.txt`` for EXPERIMENTS.md.
+
+Conventions:
+
+* each bench times ONE full regeneration of its artefact
+  (``benchmark.pedantic(..., rounds=1)``) — the interesting output is
+  the artefact, not the nanoseconds;
+* shape assertions (who wins, where cliffs fall) run on the produced
+  data, so ``pytest benchmarks/ --benchmark-only`` doubles as the
+  reproduction check.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+#: Instances per sweep point (the paper uses more; shapes are stable).
+N_INSTANCES = 3
+#: Master seed for all benchmark campaigns.
+SEED = 2009
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def artefact_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def write_artefact(path: pathlib.Path, name: str, text: str) -> None:
+    (path / f"{name}.txt").write_text(text, encoding="utf8")

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Capacity planning with the steady-state simulator.
+
+The paper's allocations are justified analytically (Eq. 1–5).  This
+example closes the loop operationally, the way a capacity planner
+would before signing the purchase order:
+
+1. allocate a platform for a target rate ρ = 1/s;
+2. compute the analytic maximum throughput ρ★ and its bottleneck;
+3. *execute* the platform in the discrete-event simulator at
+   increasing offered loads and watch it saturate exactly where the
+   analysis says it will;
+4. quantify the headroom budget: what does 25% / 50% more throughput
+   cost? (re-allocate at higher ρ and compare platform prices).
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.core import allocate, max_throughput
+from repro.simulator import measured_max_throughput, simulate_allocation
+from repro.units import format_cost
+
+
+def main() -> None:
+    instance = repro.quick_instance(n_operators=35, alpha=1.6, seed=17)
+    result = allocate(instance, "subtree-bottom-up", rng=5)
+    alloc = result.allocation
+    analysis = max_throughput(alloc)
+    print(
+        f"platform for ρ=1/s: {format_cost(result.cost)},"
+        f" {result.n_processors} machines"
+    )
+    print(
+        f"analytic max throughput ρ★ = {analysis.rho_max:.4f}/s,"
+        f" bottleneck = {analysis.bottleneck}"
+    )
+
+    # --- step 3: load curve ------------------------------------------
+    print("\noffered vs achieved (DES, 40 results):")
+    print(f"{'offered':>8} {'achieved':>9} {'efficiency':>11} {'misses':>7}")
+    for factor in (0.5, 0.8, 1.0, 1.2):
+        offered = analysis.rho_max * factor
+        sim = simulate_allocation(alloc, offered_rate=offered,
+                                  n_results=40)
+        print(
+            f"{offered:>8.3f} {sim.achieved_rate:>9.3f}"
+            f" {sim.efficiency:>10.1%} {sim.download_misses:>7}"
+        )
+
+    probe = measured_max_throughput(alloc, n_results=40)
+    print(
+        f"\nbisection-measured ρ★ = {probe.measured:.4f}/s"
+        f" (analytic {probe.analytic:.4f}, gap {probe.relative_gap:.1%})"
+    )
+
+    # --- step 4: headroom pricing --------------------------------------
+    print("\nheadroom pricing (re-allocating at higher targets):")
+    base_cost = result.cost
+    for scale in (1.25, 1.5, 2.0):
+        scaled = instance.with_rho(scale)
+        try:
+            r = allocate(scaled, "subtree-bottom-up", rng=5)
+        except repro.ReproError:
+            print(f"  ρ={scale:>4}: infeasible with this catalog")
+            continue
+        print(
+            f"  ρ={scale:>4}: {format_cost(r.cost)}"
+            f" ({r.cost / base_cost:>5.2f}× the ρ=1 platform,"
+            f" {r.n_processors} machines)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Continuous queries over distributed relations — mutable trees and
+common-subexpression reuse (the paper's §6 future-work directions,
+implemented here).
+
+Scenario: a retail analytics site keeps three *continuous queries* in
+the relational sense (trees of join operators over replicated relation
+fragments, cf. the paper's left-deep trees of Figure 1(b)):
+
+  Q1  sales ⋈ inventory ⋈ pricing ⋈ promotions        (left-deep)
+  Q2  sales ⋈ inventory ⋈ logistics                    (left-deep)
+  Q3  sales ⋈ inventory ⋈ pricing ⋈ returns            (left-deep)
+
+This example shows three cost levers, in order:
+
+1. **Mutability** (operator associativity/commutativity): rewriting
+   each left-deep join chain with the Huffman merge order cuts total
+   work and platform cost.
+2. **Forest combination**: running all queries on one shared platform
+   instead of three dedicated ones.
+3. **Common-subexpression elimination**: Q1/Q2/Q3 share the
+   ``sales ⋈ inventory`` prefix; computing it once and publishing the
+   derived stream saves further work.
+
+Run:  python examples/continuous_queries.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.apptree import (
+    BasicObject,
+    ObjectCatalog,
+    Operator,
+    OperatorTree,
+    combine_forest,
+    find_common_subexpressions,
+    huffman_equivalent,
+    merge_common_subexpressions,
+)
+from repro.apptree.generators import annotate_tree
+from repro.core import ProblemInstance, allocate
+from repro.platform import NetworkModel, Server, ServerFarm, dell_catalog
+from repro.units import format_cost
+
+ALPHA = 1.35  # joins are superlinear in input volume
+
+RELATIONS = {
+    # name: (object index, fragment size MB, refresh Hz)
+    "sales": (0, 26.0, 0.5),
+    "inventory": (1, 18.0, 0.5),
+    "pricing": (2, 9.0, 0.1),
+    "promotions": (3, 6.0, 0.1),
+    "logistics": (4, 14.0, 0.2),
+    "returns": (5, 7.0, 0.1),
+}
+
+
+def build_catalog() -> ObjectCatalog:
+    objs = [None] * len(RELATIONS)
+    for name, (k, size, hz) in RELATIONS.items():
+        objs[k] = BasicObject(index=k, size_mb=size, frequency_hz=hz,
+                              name=name)
+    return ObjectCatalog(objs)  # type: ignore[arg-type]
+
+
+def left_deep_query(catalog: ObjectCatalog, relations: list[str],
+                    name: str) -> OperatorTree:
+    """A left-deep join chain over the named relations.
+
+    The deepest join reads the first two relations; each join above
+    adds the next relation — the classic left-deep query plan shape
+    (paper Figure 1(b)).
+    """
+    ks = [RELATIONS[r][0] for r in relations]
+    n_ops = len(ks) - 1
+    ops = []
+    for i in range(n_ops):
+        if i + 1 < n_ops:
+            ops.append(
+                Operator(index=i, children=(i + 1,),
+                         leaves=(ks[len(ks) - 1 - i],), work=0,
+                         output_mb=0, name=f"{name}-join{i}")
+            )
+        else:
+            ops.append(
+                Operator(index=i, children=(), leaves=(ks[0], ks[1]),
+                         work=0, output_mb=0, name=f"{name}-join{i}")
+            )
+    return annotate_tree(OperatorTree(ops, catalog, name=name),
+                         alpha=ALPHA)
+
+
+def make_instance(tree: OperatorTree, farm: ServerFarm,
+                  catalog_override=None) -> ProblemInstance:
+    return ProblemInstance(
+        tree=tree, farm=farm, catalog=dell_catalog(),
+        network=NetworkModel(), rho=1.0,
+    )
+
+
+def best_cost(instance: ProblemInstance) -> float:
+    costs = []
+    for h in ("subtree-bottom-up", "comp-greedy", "comm-greedy"):
+        try:
+            costs.append(allocate(instance, h, rng=3).cost)
+        except repro.ReproError:
+            pass
+    return min(costs)
+
+
+def main() -> None:
+    catalog = build_catalog()
+    farm = ServerFarm(
+        [
+            Server(uid=0, objects=frozenset({0, 1}), name="oltp"),
+            Server(uid=1, objects=frozenset({1, 2, 3}), name="catalog"),
+            Server(uid=2, objects=frozenset({4, 5}), name="ops"),
+        ]
+    )
+    queries = [
+        left_deep_query(catalog, ["sales", "inventory", "pricing",
+                                  "promotions"], "Q1"),
+        left_deep_query(catalog, ["sales", "inventory", "logistics"],
+                        "Q2"),
+        left_deep_query(catalog, ["sales", "inventory", "pricing",
+                                  "returns"], "Q3"),
+    ]
+
+    # --- lever 0: three dedicated platforms, plans as written --------
+    dedicated = sum(best_cost(make_instance(q, farm)) for q in queries)
+    print(f"dedicated platforms, left-deep plans : {format_cost(dedicated)}")
+
+    # --- lever 1: mutable trees (Huffman merge order) -----------------
+    rebalanced = [huffman_equivalent(q, alpha=ALPHA) for q in queries]
+    ded_rebal = sum(best_cost(make_instance(q, farm)) for q in rebalanced)
+    print(f"dedicated platforms, Huffman plans   : {format_cost(ded_rebal)}"
+          f"  (work {sum(q.total_work for q in queries):,.0f} ->"
+          f" {sum(q.total_work for q in rebalanced):,.0f} ops)")
+
+    # --- lever 2: one shared platform ---------------------------------
+    forest = combine_forest(queries, name="Q1+Q2+Q3")
+    shared = best_cost(make_instance(forest, farm))
+    print(f"shared platform, all queries          : {format_cost(shared)}")
+
+    # --- lever 3: common-subexpression elimination --------------------
+    subs = find_common_subexpressions(queries)
+    print(f"\ncommon subexpressions found: {len(subs)}")
+    for s in subs:
+        print(f"  {s.n_operators} operators × {len(s.occurrences)}"
+              f" occurrences, saves {s.work_saved:,.0f} ops/result")
+    merged = merge_common_subexpressions(queries, alpha=ALPHA)
+    # host derived streams on a new materialisation server
+    servers = list(farm) + [
+        Server(uid=len(farm),
+               objects=frozenset(merged.derived_objects),
+               name="materialised"),
+    ]
+    cse_farm = ServerFarm(servers)
+    cse_forest = combine_forest(list(merged.trees), name="Q-merged")
+    cse_inst = ProblemInstance(
+        tree=cse_forest, farm=cse_farm, catalog=dell_catalog(),
+        network=NetworkModel(), rho=1.0,
+    )
+    cse = best_cost(cse_inst)
+    print(f"shared platform + CSE                 : {format_cost(cse)}"
+          f"  (+{merged.publication_rate:.0f} MB/s publication traffic)")
+
+    assert ded_rebal <= dedicated + 1e-9
+    assert shared <= dedicated + 1e-9
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so
+that editable installs work in offline environments whose setuptools
+predates the built-in ``bdist_wheel`` command (legacy
+``pip install -e . --no-use-pep517`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,108 @@
+"""repro — reproduction of *Resource Allocation Strategies for
+Constructive In-Network Stream Processing* (Benoit, Casanova,
+Rehn-Sonigo, Robert; IPDPS/APDCM 2009).
+
+The library builds, from scratch, everything the paper describes:
+
+* :mod:`repro.apptree` — binary operator trees over continuously
+  updated basic objects (§2.1), with the paper's random-tree
+  methodology (§5);
+* :mod:`repro.platform` — the constructive platform: Dell catalog
+  (Table 1), data servers, bounded multi-port network (§2.2);
+* :mod:`repro.core` — the operator-placement problem (§2.3), its five
+  steady-state constraints, six placement heuristics, two server-
+  selection strategies, the downgrade phase (§4), the ILP formulation
+  (§3) and an exact solver for small instances;
+* :mod:`repro.simulator` — a discrete-event steady-state simulator
+  validating that purchased platforms actually sustain the target
+  throughput;
+* :mod:`repro.experiments` — the full §5 simulation campaign behind
+  every figure/table, re-runnable via ``python -m repro``.
+
+Quickstart
+----------
+>>> from repro import quick_instance, allocate
+>>> inst = quick_instance(n_operators=20, seed=7)
+>>> result = allocate(inst, "subtree-bottom-up")
+>>> result.cost > 0
+True
+"""
+
+from __future__ import annotations
+
+from . import apptree, core, platform
+from .apptree import ObjectCatalog, OperatorTree, random_tree
+from .core import (
+    Allocation,
+    AllocationResult,
+    ProblemInstance,
+    allocate,
+    all_heuristics,
+    make_heuristic,
+    max_throughput,
+    verify,
+)
+from .errors import (
+    AllocationError,
+    InfeasibleError,
+    ModelError,
+    PlacementError,
+    ReproError,
+    ServerSelectionError,
+)
+from .platform import Catalog, NetworkModel, ServerFarm, dell_catalog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocation",
+    "AllocationError",
+    "AllocationResult",
+    "Catalog",
+    "InfeasibleError",
+    "ModelError",
+    "NetworkModel",
+    "ObjectCatalog",
+    "OperatorTree",
+    "PlacementError",
+    "ProblemInstance",
+    "ReproError",
+    "ServerFarm",
+    "ServerSelectionError",
+    "all_heuristics",
+    "allocate",
+    "dell_catalog",
+    "make_heuristic",
+    "max_throughput",
+    "quick_instance",
+    "random_tree",
+    "verify",
+    "__version__",
+]
+
+
+def quick_instance(
+    n_operators: int = 20,
+    *,
+    alpha: float = 0.9,
+    seed: int = 0,
+    n_object_types: int = 15,
+) -> ProblemInstance:
+    """Build a paper-methodology instance in one call (§5 defaults:
+    15 object types, small sizes, high frequency, 6 servers, ρ=1)."""
+    from .rng import spawn
+
+    catalog = ObjectCatalog.random(
+        n_object_types, seed=spawn(seed, "objects")
+    )
+    tree = random_tree(
+        n_operators, catalog, alpha=alpha, seed=spawn(seed, "tree")
+    )
+    farm = ServerFarm.random(
+        n_object_types, seed=spawn(seed, "servers")
+    )
+    return ProblemInstance(
+        tree=tree, farm=farm, catalog=dell_catalog(),
+        network=NetworkModel(), rho=1.0,
+        name=f"quick(n={n_operators}, alpha={alpha}, seed={seed})",
+    )

@@ -1,0 +1,74 @@
+"""Application model: binary operator trees over basic objects (§2.1)."""
+
+from .nodes import LeafRef, Operator
+from .objects import (
+    BasicObject,
+    ObjectCatalog,
+    SMALL_SIZE_RANGE_MB,
+    LARGE_SIZE_RANGE_MB,
+    HIGH_FREQUENCY_HZ,
+    LOW_FREQUENCY_HZ,
+)
+from .tree import OperatorTree, TreeEdge
+from .generators import (
+    TreeShape,
+    annotate_tree,
+    assemble_tree,
+    balanced_shape,
+    balanced_tree,
+    left_deep_shape,
+    left_deep_tree,
+    random_tree,
+    random_tree_shape,
+)
+from .metrics import TreeMetrics, compute_metrics
+from .mutation import (
+    balanced_equivalent,
+    huffman_equivalent,
+    leaf_multiset,
+    left_deep_equivalent,
+)
+from .multi import (
+    CommonSubexpression,
+    MergeResult,
+    VIRTUAL_NAME,
+    combine_forest,
+    find_common_subexpressions,
+    merge_common_subexpressions,
+    subtree_signature,
+)
+
+__all__ = [
+    "CommonSubexpression",
+    "MergeResult",
+    "VIRTUAL_NAME",
+    "balanced_equivalent",
+    "combine_forest",
+    "find_common_subexpressions",
+    "huffman_equivalent",
+    "leaf_multiset",
+    "left_deep_equivalent",
+    "merge_common_subexpressions",
+    "subtree_signature",
+    "BasicObject",
+    "ObjectCatalog",
+    "LeafRef",
+    "Operator",
+    "OperatorTree",
+    "TreeEdge",
+    "TreeShape",
+    "TreeMetrics",
+    "annotate_tree",
+    "assemble_tree",
+    "balanced_shape",
+    "balanced_tree",
+    "compute_metrics",
+    "left_deep_shape",
+    "left_deep_tree",
+    "random_tree",
+    "random_tree_shape",
+    "SMALL_SIZE_RANGE_MB",
+    "LARGE_SIZE_RANGE_MB",
+    "HIGH_FREQUENCY_HZ",
+    "LOW_FREQUENCY_HZ",
+]

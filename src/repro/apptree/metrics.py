@@ -1,0 +1,109 @@
+"""Analytics over application trees.
+
+These are the quantities the heuristics, bounds and experiment reports
+reason about: work/communication profiles, al-operator statistics,
+object popularity distributions, and the tree-level aggregates used to
+explain feasibility thresholds (e.g. the root's work ``mass**α`` that
+drives the paper's α cliffs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from .tree import OperatorTree
+
+__all__ = ["TreeMetrics", "compute_metrics", "communication_profile",
+           "download_demand", "work_histogram"]
+
+
+@dataclass(frozen=True, slots=True)
+class TreeMetrics:
+    """Aggregate statistics of one application tree."""
+
+    n_operators: int
+    n_leaf_occurrences: int
+    n_distinct_objects: int
+    n_al_operators: int
+    height: int
+    is_left_deep: bool
+    total_work: float
+    max_work: float
+    root_output_mb: float
+    total_edge_volume_mb: float
+    max_edge_volume_mb: float
+    total_download_rate_mbps: float
+    max_popularity: int
+    mean_popularity: float
+
+    def as_dict(self) -> dict[str, float | int | bool]:
+        return {
+            "n_operators": self.n_operators,
+            "n_leaf_occurrences": self.n_leaf_occurrences,
+            "n_distinct_objects": self.n_distinct_objects,
+            "n_al_operators": self.n_al_operators,
+            "height": self.height,
+            "is_left_deep": self.is_left_deep,
+            "total_work": self.total_work,
+            "max_work": self.max_work,
+            "root_output_mb": self.root_output_mb,
+            "total_edge_volume_mb": self.total_edge_volume_mb,
+            "max_edge_volume_mb": self.max_edge_volume_mb,
+            "total_download_rate_mbps": self.total_download_rate_mbps,
+            "max_popularity": self.max_popularity,
+            "mean_popularity": self.mean_popularity,
+        }
+
+
+def compute_metrics(tree: OperatorTree) -> TreeMetrics:
+    """Compute :class:`TreeMetrics` in one pass over the tree."""
+    edge_volumes = [e.volume_mb for e in tree.edges]
+    pops = [tree.popularity(k) for k in tree.used_objects]
+    # Per-processor download accounting dedupes objects, but the tree-level
+    # total here counts each (operator, object) need once — an upper bound
+    # on platform-wide download traffic used by reports.
+    dl_rate = sum(
+        tree.catalog[k].rate_mbps
+        for i in tree.operator_indices
+        for k in set(tree.leaf(i))
+    )
+    return TreeMetrics(
+        n_operators=len(tree),
+        n_leaf_occurrences=len(tree.leaf_occurrences),
+        n_distinct_objects=len(tree.used_objects),
+        n_al_operators=len(tree.al_operators),
+        height=tree.height,
+        is_left_deep=tree.is_left_deep,
+        total_work=tree.total_work,
+        max_work=tree.max_work,
+        root_output_mb=tree[tree.root].output_mb,
+        total_edge_volume_mb=float(sum(edge_volumes)),
+        max_edge_volume_mb=float(max(edge_volumes)) if edge_volumes else 0.0,
+        total_download_rate_mbps=float(dl_rate),
+        max_popularity=max(pops) if pops else 0,
+        mean_popularity=float(np.mean(pops)) if pops else 0.0,
+    )
+
+
+def communication_profile(tree: OperatorTree) -> np.ndarray:
+    """Edge volumes ``δ_child`` sorted descending — the greedy
+    communication heuristic's worklist, exposed for analysis."""
+    return np.sort(np.array([e.volume_mb for e in tree.edges]))[::-1]
+
+
+def download_demand(tree: OperatorTree) -> dict[int, float]:
+    """Map object index → total download rate if every user operator
+    sat on its own processor (the worst-case server load)."""
+    return {
+        k: tree.catalog[k].rate_mbps * tree.popularity(k)
+        for k in tree.used_objects
+    }
+
+
+def work_histogram(tree: OperatorTree, n_bins: int = 10) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of operator work values (for reports)."""
+    works = tree.work_vector()
+    return np.histogram(works, bins=n_bins)

@@ -1,0 +1,317 @@
+"""Multiple concurrent applications + common-subexpression reuse
+(§6 future work).
+
+"An interesting direction [...] is the study of the case when multiple
+applications must be executed simultaneously so that a given throughput
+must be achieved for each application.  In this case a clear
+opportunity for higher performance with a reduced cost is the reuse of
+common sub-expressions between trees [14, 13]."
+
+Two mechanisms, both staying inside the paper's formal model:
+
+**Forest combination** (:func:`combine_forest`) — to run ``T`` trees on
+one shared platform, glue them under a chain of *virtual* root
+operators with ``w = 0`` and ``δ = 0``.  Zero work and zero output mean
+the glue nodes add nothing to any constraint (Eq. 1–5 are sums of
+``ρ·w`` and ``ρ·δ`` terms), so an allocation of the combined tree is
+exactly a joint allocation of the forest — and any placement heuristic,
+the exact solver, and the verifier work unchanged.  Because the trees
+share processors, the combined platform is never more expensive than
+the sum of per-tree platforms (the benchmark quantifies the saving).
+
+**Common-subexpression elimination** (:func:`merge_common_subexpressions`)
+— identical subtrees (same operator structure and the same object
+multiset, up to child order: the operations are assumed commutative)
+are computed once.  The surviving instance keeps the subtree; every
+other instance replaces it with a *derived object*: a new basic-object
+type of size ``δ_S`` refreshed at the application throughput and hosted
+on a dedicated "materialisation" server.  This models the standard
+publish/subscribe realisation of shared streams (the producing
+processor publishes the sub-result; other consumers subscribe) while
+staying expressible with Eq. 1–5.  The extra publication upload is the
+one term this encoding does not charge automatically, so
+:func:`merge_common_subexpressions` reports it explicitly for
+benchmarks to account.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import TreeStructureError
+from .generators import annotate_tree
+from .nodes import Operator
+from .objects import BasicObject, ObjectCatalog
+from .tree import OperatorTree
+
+__all__ = [
+    "VIRTUAL_NAME",
+    "combine_forest",
+    "subtree_signature",
+    "find_common_subexpressions",
+    "CommonSubexpression",
+    "MergeResult",
+    "merge_common_subexpressions",
+]
+
+#: Name marking glue operators inserted by :func:`combine_forest`.
+VIRTUAL_NAME = "__virtual__"
+
+
+def combine_forest(
+    trees: Sequence[OperatorTree], *, name: str = "forest"
+) -> OperatorTree:
+    """Glue several trees (sharing one object catalog) into a single
+    tree via zero-cost virtual roots.
+
+    The virtual chain has ``T − 1`` glue operators; glue operator ``g``
+    combines the previous glue (or first tree's root) with the next
+    tree's root.  All glue nodes have ``w = 0`` and ``δ = 0``.
+    """
+    if not trees:
+        raise TreeStructureError("combine_forest needs at least one tree")
+    catalog = trees[0].catalog
+    for t in trees[1:]:
+        if t.catalog != catalog:
+            raise TreeStructureError(
+                "all trees in a forest must share one object catalog"
+            )
+    if len(trees) == 1:
+        return trees[0]
+
+    n_glue = len(trees) - 1
+    operators: list[Operator] = []
+    offsets: list[int] = []
+    base = n_glue
+    for t in trees:
+        offsets.append(base)
+        base += len(t)
+
+    # glue chain: glue 0 is the overall root
+    for g in range(n_glue):
+        left = g + 1 if g + 1 < n_glue else offsets[0] + trees[0].root
+        right = offsets[g + 1] + trees[g + 1].root
+        operators.append(
+            Operator(
+                index=g,
+                children=(left, right),
+                leaves=(),
+                work=0.0,
+                output_mb=0.0,
+                name=VIRTUAL_NAME,
+            )
+        )
+    for t_idx, t in enumerate(trees):
+        off = offsets[t_idx]
+        for op in t:
+            operators.append(
+                Operator(
+                    index=off + op.index,
+                    children=tuple(off + c for c in op.children),
+                    leaves=op.leaves,
+                    work=op.work,
+                    output_mb=op.output_mb,
+                    name=op.name,
+                )
+            )
+    return OperatorTree(operators, catalog, name=name)
+
+
+def subtree_signature(tree: OperatorTree, i: int) -> tuple:
+    """Canonical, order-insensitive signature of the subtree rooted at
+    ``i``: equal signatures ⇔ same operator structure over the same
+    object multiset (commutativity folds child order)."""
+    op = tree[i]
+    child_sigs = sorted(
+        subtree_signature(tree, c) for c in op.children
+    )
+    return ("op", tuple(sorted(op.leaves)), tuple(child_sigs))
+
+
+@dataclass(frozen=True)
+class CommonSubexpression:
+    """One subexpression appearing in several places across a forest."""
+
+    signature: tuple
+    #: (tree index, operator index) of every occurrence.
+    occurrences: tuple[tuple[int, int], ...]
+    n_operators: int
+    output_mb: float
+    work: float
+
+    @property
+    def n_duplicates(self) -> int:
+        return len(self.occurrences) - 1
+
+    @property
+    def work_saved(self) -> float:
+        """Work no longer computed when duplicates are eliminated."""
+        return self.work * self.n_duplicates
+
+
+def find_common_subexpressions(
+    trees: Sequence[OperatorTree], *, min_operators: int = 2
+) -> list[CommonSubexpression]:
+    """Identify subtrees duplicated across (or within) trees.
+
+    Only maximal duplicates are reported: a duplicated subtree's own
+    sub-subtrees are also duplicated but are subsumed by their parent.
+    Results are ordered by descending saved work.
+    """
+    by_sig: dict[tuple, list[tuple[int, int]]] = {}
+    info: dict[tuple, tuple[int, float, float]] = {}
+    for t_idx, tree in enumerate(trees):
+        for i in tree.operator_indices:
+            sig = subtree_signature(tree, i)
+            by_sig.setdefault(sig, []).append((t_idx, i))
+            sub = tree.subtree(i)
+            info[sig] = (
+                len(sub),
+                tree[i].output_mb,
+                sum(tree[j].work for j in sub),
+            )
+    dups = {
+        sig: occ for sig, occ in by_sig.items()
+        if len(occ) > 1 and info[sig][0] >= min_operators
+    }
+    # maximality: drop signatures strictly inside another duplicate at
+    # every occurrence.  Approximate check: drop sig if some duplicate
+    # signature's subtree contains it with the same multiplicity.
+    keep: list[CommonSubexpression] = []
+    covered: set[tuple[int, int]] = set()
+    order = sorted(
+        dups, key=lambda s: -info[s][0]
+    )
+    for sig in order:
+        occ = [o for o in dups[sig] if o not in covered]
+        if len(occ) < 2:
+            continue
+        for t_idx, i in occ:
+            for j in trees[t_idx].subtree(i):
+                covered.add((t_idx, j))
+        n_ops, out, work = info[sig]
+        keep.append(
+            CommonSubexpression(
+                signature=sig,
+                occurrences=tuple(occ),
+                n_operators=n_ops,
+                output_mb=out,
+                work=work,
+            )
+        )
+    keep.sort(key=lambda c: -c.work_saved)
+    return keep
+
+
+@dataclass(frozen=True)
+class MergeResult:
+    """Outcome of common-subexpression elimination on a forest."""
+
+    trees: tuple[OperatorTree, ...]
+    catalog: ObjectCatalog
+    #: object index of each derived object, by subexpression order.
+    derived_objects: tuple[int, ...]
+    eliminated: tuple[CommonSubexpression, ...]
+    #: Σ work removed from the forest per result.
+    work_saved: float
+    #: publication bandwidth (MB/s at ρ=1) the encoding adds out of the
+    #: producing processors — account for it when comparing costs.
+    publication_rate: float
+
+
+def merge_common_subexpressions(
+    trees: Sequence[OperatorTree],
+    *,
+    alpha: float,
+    rho: float = 1.0,
+    min_operators: int = 2,
+) -> MergeResult:
+    """Eliminate duplicated subtrees across a forest.
+
+    The first occurrence of each duplicated subexpression stays in
+    place; every other occurrence is replaced by a *derived object*
+    (size ``δ_S``, frequency ``rho``) appended to a new catalog.  The
+    caller is responsible for hosting the derived objects (e.g. adding
+    a materialisation server to the farm; the multi-application
+    benchmark shows exactly that).
+    """
+    subs = find_common_subexpressions(trees, min_operators=min_operators)
+    catalog_objects = list(trees[0].catalog)
+    derived_indices: list[int] = []
+    replacement: dict[tuple[int, int], int] = {}
+    for s_idx, sub in enumerate(subs):
+        new_index = len(catalog_objects)
+        catalog_objects.append(
+            BasicObject(
+                index=new_index,
+                size_mb=max(sub.output_mb, 1e-9),
+                frequency_hz=rho,
+                name=f"derived{s_idx}",
+            )
+        )
+        derived_indices.append(new_index)
+        for occ in sub.occurrences[1:]:
+            replacement[occ] = new_index
+    new_catalog = ObjectCatalog(catalog_objects)
+
+    new_trees: list[OperatorTree] = []
+    for t_idx, tree in enumerate(trees):
+        # operators to delete: strict subtrees of replaced occurrences
+        delete: set[int] = set()
+        replace_at: dict[int, int] = {}
+        for (tt, i), obj in replacement.items():
+            if tt != t_idx:
+                continue
+            replace_at[i] = obj
+            for j in tree.subtree(i):
+                if j != i:
+                    delete.add(j)
+        kept = [
+            i for i in tree.operator_indices
+            if i not in delete and i not in replace_at
+        ]
+        # replaced roots disappear too: their parent gains a leaf
+        new_index = {old: new for new, old in enumerate(kept)}
+        ops: list[Operator] = []
+        for old in kept:
+            op = tree[old]
+            children = []
+            leaves = list(op.leaves)
+            for c in op.children:
+                if c in replace_at:
+                    leaves.append(replace_at[c])
+                else:
+                    children.append(new_index[c])
+            ops.append(
+                Operator(
+                    index=new_index[old],
+                    children=tuple(children),
+                    leaves=tuple(leaves),
+                    work=0.0,
+                    output_mb=0.0,
+                    name=op.name,
+                )
+            )
+        if tree.root in replace_at:
+            raise TreeStructureError(
+                "a whole application duplicates another; drop it instead"
+                " of merging"
+            )
+        rebuilt = OperatorTree(
+            ops, new_catalog, name=tree.name or f"app{t_idx}"
+        )
+        new_trees.append(annotate_tree(rebuilt, alpha=alpha))
+
+    work_saved = sum(s.work_saved for s in subs)
+    publication = rho * sum(
+        s.output_mb for s in subs
+    )
+    return MergeResult(
+        trees=tuple(new_trees),
+        catalog=new_catalog,
+        derived_objects=tuple(derived_indices),
+        eliminated=tuple(subs),
+        work_saved=work_saved,
+        publication_rate=publication,
+    )

@@ -1,0 +1,165 @@
+"""Structural primitives of the operator tree.
+
+The paper's application (§2.1) is a *binary* tree whose internal nodes
+are operators and whose leaves are occurrences of basic objects.  A node
+``n_i`` is described by three index sets:
+
+* ``Leaf(i)`` — basic objects it downloads (its leaf children),
+* ``Ch(i)``   — its operator children,
+* ``Par(i)``  — its parent operator (if any),
+
+subject to ``|Leaf(i)| + |Ch(i)| ≤ 2``.  An operator with at least one
+leaf child is an **al-operator** ("almost leaf") — these are the
+operators that pull data off the servers and get special treatment in
+several heuristics.
+
+This module keeps the raw node records; :mod:`repro.apptree.tree`
+assembles them into a validated tree with derived quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import TreeStructureError
+
+__all__ = ["Operator", "LeafRef", "MAX_CHILDREN"]
+
+#: Binary tree: at most two children (leaf or operator) per node.
+MAX_CHILDREN: int = 2
+
+
+@dataclass(frozen=True, slots=True)
+class LeafRef:
+    """One *occurrence* of a basic object as a leaf of the tree.
+
+    Distinct leaves may reference the same object index (Figure 1 shows
+    ``o1`` and ``o2`` each appearing twice); sharing is resolved at
+    mapping time, where one processor downloads a given object once.
+    """
+
+    object_index: int
+
+    def __post_init__(self) -> None:
+        if self.object_index < 0:
+            raise TreeStructureError(
+                f"leaf object index must be >= 0, got {self.object_index}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class Operator:
+    """One internal node ``n_i`` of the application tree.
+
+    Attributes
+    ----------
+    index:
+        Position ``i`` in the tree's operator list.
+    children:
+        Indices of operator children (``Ch(i)``), in left-to-right
+        order.  Between 0 and 2 entries.
+    leaves:
+        Object indices of leaf children (``Leaf(i)``), in left-to-right
+        order.  Between 0 and 2 entries.
+    work:
+        ``w_i`` — operations needed to evaluate the operator once.
+    output_mb:
+        ``δ_i`` — size of the result passed to the parent, in MB.
+    name:
+        Optional label used by examples and reports.
+    """
+
+    index: int
+    children: tuple[int, ...]
+    leaves: tuple[int, ...]
+    work: float
+    output_mb: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise TreeStructureError(f"operator index must be >= 0: {self.index}")
+        n_kids = len(self.children) + len(self.leaves)
+        if n_kids == 0:
+            raise TreeStructureError(
+                f"operator n{self.index} has no children: internal nodes of the"
+                " application tree combine at least one input"
+            )
+        if n_kids > MAX_CHILDREN:
+            raise TreeStructureError(
+                f"operator n{self.index} has {n_kids} children; the application"
+                f" tree is binary (|Leaf(i)| + |Ch(i)| <= {MAX_CHILDREN})"
+            )
+        if len(set(self.children)) != len(self.children):
+            raise TreeStructureError(
+                f"operator n{self.index} lists a duplicate operator child"
+            )
+        if self.work < 0:
+            raise TreeStructureError(
+                f"operator n{self.index} has negative work {self.work}"
+            )
+        if self.output_mb < 0:
+            raise TreeStructureError(
+                f"operator n{self.index} has negative output size {self.output_mb}"
+            )
+        for leaf in self.leaves:
+            if leaf < 0:
+                raise TreeStructureError(
+                    f"operator n{self.index} references negative object {leaf}"
+                )
+
+    # -- derived properties --------------------------------------------
+    @property
+    def is_al_operator(self) -> bool:
+        """True when ``|Leaf(i)| >= 1`` — an "almost leaf" operator that
+        must download at least one basic object (§2.1)."""
+        return len(self.leaves) > 0
+
+    @property
+    def arity(self) -> int:
+        return len(self.children) + len(self.leaves)
+
+    @property
+    def label(self) -> str:
+        return self.name or f"n{self.index}"
+
+    def with_annotation(self, *, work: float, output_mb: float) -> "Operator":
+        """Return a copy with ``w_i``/``δ_i`` replaced (used by the
+        generator's bottom-up annotation pass)."""
+        return Operator(
+            index=self.index,
+            children=self.children,
+            leaves=self.leaves,
+            work=work,
+            output_mb=output_mb,
+            name=self.name,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kids = [f"n{c}" for c in self.children] + [f"o{k}" for k in self.leaves]
+        return (
+            f"{self.label}({', '.join(kids)}; w={self.work:g},"
+            f" δ={self.output_mb:g} MB)"
+        )
+
+
+def check_child_lists(
+    children: Sequence[Sequence[int]], leaves: Sequence[Sequence[int]]
+) -> None:
+    """Validate raw child/leaf lists before tree assembly.
+
+    Ensures each operator child index is referenced at most once across
+    the whole forest (a node has one parent) and that arities respect
+    the binary bound.  Raises :class:`TreeStructureError` on violation.
+    """
+    seen: set[int] = set()
+    for i, kids in enumerate(children):
+        if len(kids) + len(leaves[i]) > MAX_CHILDREN:
+            raise TreeStructureError(f"node {i} exceeds binary arity")
+        for c in kids:
+            if c in seen:
+                raise TreeStructureError(
+                    f"operator n{c} is listed as a child of two parents"
+                )
+            seen.add(c)

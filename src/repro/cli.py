@@ -1,0 +1,295 @@
+"""Command-line interface: ``repro-streams`` / ``python -m repro``.
+
+Subcommands
+-----------
+``table1``
+    Print the purchase catalog (paper Table 1) with cost ratios.
+``solve``
+    Allocate one random methodology instance with chosen heuristics and
+    print the resulting platforms.
+``figure <id>``
+    Re-run a §5 figure campaign (fig2a, fig2b, fig3, fig3_n20,
+    large_objects, rate_sweep) and print the table + ranking summary;
+    ``--csv PATH`` exports machine-readable data.
+``optimal``
+    The heuristics-vs-exact-optimum comparison (homogeneous, small N).
+``lowfreq``
+    High- vs low-frequency mapping comparison.
+``ilpsize``
+    ILP model growth statistics.
+``simulate``
+    Allocate then validate in the discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-streams",
+        description=(
+            "Reproduction of 'Resource Allocation Strategies for"
+            " Constructive In-Network Stream Processing' (IPDPS 2009)"
+        ),
+    )
+    p.add_argument("--version", action="version", version=__version__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the purchase catalog (Table 1)")
+
+    ps = sub.add_parser("solve", help="allocate one random instance")
+    ps.add_argument("-n", "--operators", type=int, default=30)
+    ps.add_argument("-a", "--alpha", type=float, default=1.5)
+    ps.add_argument("-s", "--seed", type=int, default=2009)
+    ps.add_argument(
+        "-H", "--heuristic", action="append", default=None,
+        help="heuristic name (repeatable; default: all six)",
+    )
+    ps.add_argument("--describe", action="store_true",
+                    help="print the full allocation, not just the cost")
+
+    pf = sub.add_parser("figure", help="re-run a §5 figure campaign")
+    pf.add_argument("figure_id", choices=sorted(
+        ("fig2a", "fig2b", "fig3", "fig3_n20", "large_objects",
+         "rate_sweep", "replication_sweep")
+    ))
+    pf.add_argument("-i", "--instances", type=int, default=5)
+    pf.add_argument("-s", "--seed", type=int, default=2009)
+    pf.add_argument("--csv", type=str, default=None,
+                    help="also write CSV to this path")
+
+    po = sub.add_parser("optimal", help="heuristics vs exact optimum")
+    po.add_argument("-n", "--operators", type=int, default=12)
+    po.add_argument("-i", "--instances", type=int, default=5)
+    po.add_argument("-a", "--alpha", type=float, default=1.8)
+    po.add_argument("-s", "--seed", type=int, default=2009)
+
+    pl = sub.add_parser("lowfreq", help="high- vs low-frequency mappings")
+    pl.add_argument("-n", "--operators", type=int, default=60)
+    pl.add_argument("-i", "--instances", type=int, default=5)
+    pl.add_argument("-s", "--seed", type=int, default=2009)
+
+    pi = sub.add_parser("ilpsize", help="ILP model growth statistics")
+    pi.add_argument("-n", "--sizes", type=int, nargs="+",
+                    default=[5, 10, 20, 30])
+
+    pm = sub.add_parser("simulate",
+                        help="allocate, then validate in the simulator")
+    pm.add_argument("-n", "--operators", type=int, default=30)
+    pm.add_argument("-a", "--alpha", type=float, default=1.6)
+    pm.add_argument("-s", "--seed", type=int, default=2009)
+    pm.add_argument("-H", "--heuristic", default="subtree-bottom-up")
+    pm.add_argument("-r", "--results", type=int, default=50)
+
+    pe = sub.add_parser(
+        "exact", help="solve one instance to proven optimality (small N)"
+    )
+    pe.add_argument("-n", "--operators", type=int, default=10)
+    pe.add_argument("-a", "--alpha", type=float, default=1.7)
+    pe.add_argument("-s", "--seed", type=int, default=2009)
+    pe.add_argument("--homogeneous", action="store_true")
+    pe.add_argument("--node-budget", type=int, default=2_000_000)
+
+    pb = sub.add_parser(
+        "bounds", help="print the polynomial cost lower bound"
+    )
+    pb.add_argument("-n", "--operators", type=int, default=30)
+    pb.add_argument("-a", "--alpha", type=float, default=1.6)
+    pb.add_argument("-s", "--seed", type=int, default=2009)
+    return p
+
+
+def _cmd_table1() -> int:
+    from .platform.catalog import dell_catalog
+
+    print(dell_catalog().table())
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from . import quick_instance
+    from .core import HEURISTIC_ORDER, allocate
+    from .errors import ReproError
+
+    inst = quick_instance(
+        args.operators, alpha=args.alpha, seed=args.seed
+    )
+    print(f"instance: {inst.name} ({len(inst.tree)} operators,"
+          f" {len(inst.tree.used_objects)} objects in use)")
+    names = args.heuristic or list(HEURISTIC_ORDER)
+    for name in names:
+        try:
+            result = allocate(inst, name, rng=args.seed)
+        except ReproError as err:
+            print(f"{name:22s} FAILED ({type(err).__name__}): {err}")
+            continue
+        print(
+            f"{name:22s} ${result.cost:>10,.0f}"
+            f"  {result.n_processors:>3} processors"
+            f"  rho*={result.throughput.rho_max:.3g}"
+            f" [{result.throughput.bottleneck}]"
+        )
+        if args.describe:
+            print(result.allocation.describe())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from .experiments import (
+        FIGURE_REGISTRY,
+        format_sweep_table,
+        ranking_summary,
+        sweep_to_csv,
+    )
+
+    fn = FIGURE_REGISTRY[args.figure_id]
+    sweep = fn(n_instances=args.instances, master_seed=args.seed)
+    print(format_sweep_table(sweep))
+    print(ranking_summary(sweep))
+    if args.csv:
+        with open(args.csv, "w", encoding="utf8") as fh:
+            fh.write(sweep_to_csv(sweep))
+        print(f"\nCSV written to {args.csv}")
+    return 0
+
+
+def _cmd_optimal(args: argparse.Namespace) -> int:
+    from .experiments import optimal_comparison
+
+    cmp_ = optimal_comparison(
+        n_operators=args.operators,
+        n_instances=args.instances,
+        alpha=args.alpha,
+        master_seed=args.seed,
+    )
+    print(cmp_.render())
+    return 0
+
+
+def _cmd_lowfreq(args: argparse.Namespace) -> int:
+    from .experiments import low_frequency
+
+    for row in low_frequency(
+        n_operators=args.operators,
+        n_instances=args.instances,
+        master_seed=args.seed,
+    ):
+        print(row.render())
+    return 0
+
+
+def _cmd_ilpsize(args: argparse.Namespace) -> int:
+    from .experiments import ilp_size
+
+    print(ilp_size(n_values=args.sizes).render())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from . import quick_instance
+    from .core import allocate
+    from .errors import ReproError
+    from .simulator import simulate_allocation
+
+    inst = quick_instance(args.operators, alpha=args.alpha, seed=args.seed)
+    try:
+        result = allocate(inst, args.heuristic, rng=args.seed)
+    except ReproError as err:
+        print(f"allocation failed: {err}")
+        return 1
+    print(
+        f"allocated with {args.heuristic}: ${result.cost:,.0f},"
+        f" {result.n_processors} processors,"
+        f" analytic rho* = {result.throughput.rho_max:.4g}"
+    )
+    sim = simulate_allocation(result.allocation, n_results=args.results)
+    print(
+        f"simulated {sim.n_root_results} results:"
+        f" achieved rate {sim.achieved_rate:.4f}/s at offered"
+        f" {sim.offered_rate:.4f}/s, {sim.download_misses} download"
+        f" deadline misses, {sim.n_events} events"
+    )
+    return 0 if not sim.saturated and sim.download_misses == 0 else 1
+
+
+def _cmd_exact(args: argparse.Namespace) -> int:
+    from . import quick_instance
+    from .core import solve_exact
+    from .errors import SolverError
+    from .units import format_cost
+
+    inst = quick_instance(args.operators, alpha=args.alpha, seed=args.seed)
+    if args.homogeneous:
+        inst = inst.with_catalog(inst.catalog.homogeneous())
+    try:
+        sol = solve_exact(inst, node_budget=args.node_budget)
+    except SolverError as err:
+        print(f"exact solver gave up: {err}")
+        return 1
+    if not sol.feasible:
+        print(
+            f"instance proven infeasible"
+            f" ({sol.nodes_explored:,} nodes explored)"
+        )
+        return 1
+    print(
+        f"optimal cost {format_cost(sol.cost)} with {sol.n_processors}"
+        f" processors ({sol.nodes_explored:,} B&B nodes)"
+    )
+    for b, (block, spec) in enumerate(zip(sol.blocks, sol.specs)):
+        ops = ", ".join(f"n{i}" for i in sorted(block))
+        print(f"  machine {b} [{spec.describe()}]: {ops}")
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    from . import quick_instance
+    from .core import cost_lower_bound
+    from .units import format_cost
+
+    inst = quick_instance(args.operators, alpha=args.alpha, seed=args.seed)
+    lb = cost_lower_bound(inst)
+    print(f"instance: {inst.name}")
+    print(f"  trivial              {format_cost(lb.trivial)}")
+    print(f"  compute-count        {format_cost(lb.compute_count)}")
+    print(f"  compute-fractional   {format_cost(lb.compute_fractional)}")
+    per_op = ("infeasible" if lb.per_operator == float("inf")
+              else format_cost(lb.per_operator))
+    print(f"  per-operator         {per_op}")
+    print(f"  download-fractional  {format_cost(lb.download_fractional)}")
+    print(f"  => lower bound       {format_cost(lb.value)} ({lb.binding})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        return _cmd_table1()
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "optimal":
+        return _cmd_optimal(args)
+    if args.command == "lowfreq":
+        return _cmd_lowfreq(args)
+    if args.command == "ilpsize":
+        return _cmd_ilpsize(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "exact":
+        return _cmd_exact(args)
+    if args.command == "bounds":
+        return _cmd_bounds(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,184 @@
+"""The five steady-state feasibility constraints (paper Eq. 1–5).
+
+This verifier is deliberately written as a *literal transcription* of
+the paper's set expressions, independent from the incremental
+:class:`~repro.core.loads.LoadTracker` used inside heuristics — the two
+implementations cross-check each other in the test suite.
+
+:func:`verify` returns a :class:`ConstraintReport` listing every
+violated constraint with its load and capacity; :func:`assert_feasible`
+raises on the first violation (used by the pipeline and integration
+tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .mapping import Allocation
+
+__all__ = [
+    "Violation",
+    "ConstraintReport",
+    "verify",
+    "assert_feasible",
+    "RELATIVE_TOLERANCE",
+]
+
+#: Relative slack absorbing floating-point accumulation error: a load
+#: within (1 + tol) × capacity counts as feasible.
+RELATIVE_TOLERANCE: float = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One violated constraint instance."""
+
+    constraint: str  # "compute" | "processor-nic" | "server-nic" | "server-link" | "processor-link"
+    equation: int  # paper equation number, 1..5
+    resource: str  # human-readable resource name
+    load: float
+    capacity: float
+
+    @property
+    def excess_ratio(self) -> float:
+        return self.load / self.capacity if self.capacity > 0 else float("inf")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Eq.{self.equation} ({self.constraint}) violated at"
+            f" {self.resource}: load {self.load:.6g} > capacity"
+            f" {self.capacity:.6g}"
+        )
+
+
+@dataclass(frozen=True)
+class ConstraintReport:
+    """Outcome of verifying one allocation."""
+
+    violations: tuple[Violation, ...]
+    #: Eq.-1 loads per processor uid, as (load, capacity) — kept for
+    #: reports and the downgrade audit.
+    compute_loads: dict[int, tuple[float, float]]
+    nic_loads: dict[int, tuple[float, float]]
+    server_loads: dict[int, tuple[float, float]]
+
+    @property
+    def feasible(self) -> bool:
+        return not self.violations
+
+    def by_equation(self, equation: int) -> tuple[Violation, ...]:
+        return tuple(v for v in self.violations if v.equation == equation)
+
+    def __iter__(self) -> Iterator[Violation]:
+        return iter(self.violations)
+
+    def summary(self) -> str:
+        if self.feasible:
+            return "feasible (all five constraints hold)"
+        return "; ".join(str(v) for v in self.violations)
+
+
+def verify(alloc: Allocation, *, rho: float | None = None) -> ConstraintReport:
+    """Check Eq. 1–5 for ``alloc`` at throughput ``rho`` (defaults to
+    the instance's target)."""
+    inst = alloc.instance
+    tree = inst.tree
+    rho = inst.rho if rho is None else rho
+    tol = 1 + RELATIVE_TOLERANCE
+    violations: list[Violation] = []
+    procs = alloc.processor_map
+
+    compute_loads: dict[int, tuple[float, float]] = {}
+    nic_loads: dict[int, tuple[float, float]] = {}
+
+    # -- Eq. 1: compute, and Eq. 2: processor NIC ------------------------
+    for u, proc in procs.items():
+        ops = alloc.a_bar(u)
+        load1 = rho * sum(tree[i].work for i in ops)
+        compute_loads[u] = (load1, proc.speed_ops)
+        if load1 > proc.speed_ops * tol:
+            violations.append(
+                Violation("compute", 1, proc.label, load1, proc.speed_ops)
+            )
+
+        group = set(ops)
+        downloads = sum(inst.rate(k) for (k, _l) in alloc.dl(u))
+        # children of u's operators mapped elsewhere send δ_j to u
+        incoming = sum(
+            rho * tree[j].output_mb
+            for j in tree.children_set(group)
+            if j not in group
+        )
+        # operators on u whose parent is mapped elsewhere send δ_i out
+        outgoing = sum(
+            rho * tree[i].output_mb
+            for j in tree.parent_set(group)
+            if j not in group
+            for i in tree.children(j)
+            if i in group
+        )
+        load2 = downloads + incoming + outgoing
+        nic_loads[u] = (load2, proc.nic_mbps)
+        if load2 > proc.nic_mbps * tol:
+            violations.append(
+                Violation("processor-nic", 2, proc.label, load2, proc.nic_mbps)
+            )
+
+    # -- Eq. 3: server NIC, and Eq. 4: server→processor links ------------
+    server_loads: dict[int, tuple[float, float]] = {}
+    per_server: dict[int, float] = {l: 0.0 for l in inst.farm.uids}
+    per_link: dict[tuple[int, int], float] = {}
+    for (u, k), l in alloc.downloads.items():
+        r = inst.rate(k)
+        per_server[l] += r
+        per_link[(l, u)] = per_link.get((l, u), 0.0) + r
+    for l, load3 in per_server.items():
+        cap = inst.farm[l].nic_mbps
+        server_loads[l] = (load3, cap)
+        if load3 > cap * tol:
+            violations.append(
+                Violation("server-nic", 3, inst.farm[l].label, load3, cap)
+            )
+    for (l, u), load4 in per_link.items():
+        cap = inst.network.server_link(l, u)
+        if load4 > cap * tol:
+            violations.append(
+                Violation(
+                    "server-link", 4,
+                    f"{inst.farm[l].label}->P{u}", load4, cap,
+                )
+            )
+
+    # -- Eq. 5: processor↔processor links --------------------------------
+    pair_load: dict[tuple[int, int], float] = {}
+    for edge in tree.edges:
+        u = alloc.a(edge.child)
+        v = alloc.a(edge.parent)
+        if u != v:
+            key = (u, v) if u < v else (v, u)
+            pair_load[key] = pair_load.get(key, 0.0) + rho * edge.volume_mb
+    for (u, v), load5 in pair_load.items():
+        cap = inst.network.processor_link(u, v)
+        if load5 > cap * tol:
+            violations.append(
+                Violation("processor-link", 5, f"P{u}<->P{v}", load5, cap)
+            )
+
+    return ConstraintReport(
+        violations=tuple(violations),
+        compute_loads=compute_loads,
+        nic_loads=nic_loads,
+        server_loads=server_loads,
+    )
+
+
+def assert_feasible(alloc: Allocation, *, rho: float | None = None) -> None:
+    """Raise ``AssertionError`` with a readable message if infeasible."""
+    report = verify(alloc, rho=rho)
+    if not report.feasible:
+        raise AssertionError(
+            "allocation violates steady-state constraints: "
+            + report.summary()
+        )

@@ -1,0 +1,79 @@
+"""The downgrade phase (§4, third step).
+
+"Note that in most of these heuristics, only the most powerful
+processors and network cards are acquired.  However, these are later
+replaced by the cheapest ones that still fulfill throughput
+requirements.  This is done just after the server selection step, as a
+third 'downgrade' step, in a view to minimizing cost."
+
+Given the final assignment and download plan, each processor's actual
+compute rate (Eq. 1) and NIC usage (Eq. 2) are known exactly, so each
+machine is independently swapped for the cheapest catalog configuration
+covering its load.  Inter-resource link loads (Eq. 4–5) do not depend
+on which configuration a processor has, so downgrading can never break
+them — :class:`~repro.errors.DowngradeError` therefore signals an
+internal inconsistency, not an expected failure mode.
+
+In the homogeneous (CONSTR-HOM) setting there is a single
+configuration and the phase is the identity, matching the paper's "we
+can skip the downgrading step" remark in the optimal-comparison
+experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import DowngradeError
+from ..platform.builder import PlatformBuilder
+from .loads import LoadTracker
+from .problem import ProblemInstance
+
+__all__ = ["downgrade_processors"]
+
+
+def downgrade_processors(
+    instance: ProblemInstance,
+    builder: PlatformBuilder,
+    tracker: LoadTracker,
+    downloads: Mapping[tuple[int, int], int] | None = None,
+) -> dict[int, tuple[float, float]]:
+    """Replace every purchased processor with the cheapest sufficient
+    configuration, in place.
+
+    Parameters
+    ----------
+    instance, builder, tracker:
+        The placement state after phases 1–2; ``tracker`` must hold the
+        complete assignment.
+    downloads:
+        The download plan (unused for load computation — download rates
+        depend only on *which* objects a processor needs, which the
+        tracker already knows — accepted for signature symmetry and
+        future per-source accounting).
+
+    Returns
+    -------
+    dict
+        uid → (work_ops, nic_mbps) residual loads, for audit.
+    """
+    if not tracker.is_complete():
+        raise DowngradeError(
+            "downgrade runs after placement: assignment is incomplete"
+        )
+    loads: dict[int, tuple[float, float]] = {}
+    for uid in builder.uids:
+        work = tracker.compute_load(uid)
+        bandwidth = tracker.nic_load(uid)
+        loads[uid] = (work, bandwidth)
+        best = builder.catalog.cheapest_satisfying(work, bandwidth)
+        if best is None:
+            raise DowngradeError(
+                f"no catalog configuration supports P{uid}'s residual load"
+                f" ({work:.4g} ops/s, {bandwidth:.4g} MB/s) — the"
+                " pre-downgrade configuration should have been admissible",
+                detail=(uid, work, bandwidth),
+            )
+        if best.cost < builder.get(uid).spec.cost:
+            builder.replace(uid, best)
+    return loads

@@ -1,0 +1,268 @@
+"""Shared infrastructure for the six operator-placement heuristics (§4.1).
+
+Every heuristic manipulates the same state triple — a purchase ledger
+(:class:`~repro.platform.builder.PlatformBuilder`), an incremental load
+tracker (:class:`~repro.core.loads.LoadTracker`), and the immutable
+problem instance — wrapped here in :class:`PlacementContext` together
+with the operations the paper's descriptions share:
+
+* buy the cheapest configuration able to host an operator (group);
+* buy the most expensive configuration ("only the most powerful
+  processors and network cards are acquired", later downgraded);
+* the *grouping technique*: when an operator alone cannot be hosted,
+  pair it with the child/parent with which it has "the most demanding
+  communication requirements", displacing (and possibly selling) the
+  partner's old processor;
+* feasibility probes that account compute, NIC *and* processor-link
+  budgets under the conservative unmapped-neighbour-is-remote rule.
+
+A heuristic returns a :class:`PlacementOutcome`; :meth:`PlacementContext.finish`
+guarantees the outcome is complete and Eq. 1/2/5-feasible, so phase 2
+(server selection) only ever deals with Eq. 3/4.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ...errors import PlacementError
+from ...platform.builder import PlatformBuilder
+from ...platform.catalog import ProcessorSpec
+from ...rng import make_rng
+from ..loads import LoadTracker, standalone_requirement
+from ..problem import ProblemInstance
+
+__all__ = ["PlacementContext", "PlacementOutcome", "PlacementHeuristic"]
+
+
+@dataclass(frozen=True)
+class PlacementOutcome:
+    """Result of phase 1: a complete operator→processor assignment."""
+
+    builder: PlatformBuilder
+    tracker: LoadTracker
+
+    @property
+    def assignment(self) -> dict[int, int]:
+        return dict(self.tracker.assignment)
+
+    @property
+    def cost(self) -> float:
+        return self.builder.total_cost
+
+
+class PlacementContext:
+    """Mutable working state shared by all placement heuristics."""
+
+    def __init__(
+        self,
+        instance: ProblemInstance,
+        *,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.instance = instance
+        self.tree = instance.tree
+        self.builder = PlatformBuilder(instance.catalog)
+        self.tracker = LoadTracker(instance)
+        self.rng = make_rng(rng)
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def unassigned(self) -> list[int]:
+        """Operators not yet mapped, ascending index."""
+        mapped = self.tracker.assignment
+        return [i for i in self.tree.operator_indices if i not in mapped]
+
+    def spec_of(self, uid: int) -> ProcessorSpec:
+        return self.builder.get(uid).spec
+
+    def proc_fits(self, uid: int) -> bool:
+        spec = self.spec_of(uid)
+        return self.tracker.fits(uid, spec.speed_ops, spec.nic_mbps)
+
+    def operators_on(self, uid: int) -> tuple[int, ...]:
+        return self.tracker.operators_on(uid)
+
+    # ------------------------------------------------------------------
+    # assignment primitives
+    # ------------------------------------------------------------------
+    def try_assign(self, i: int, uid: int) -> bool:
+        """Assign ``i`` to ``uid`` if the processor still fits afterwards
+        (compute + NIC + all links touching it); rolls back otherwise."""
+        self.tracker.assign(i, uid)
+        if self.proc_fits(uid):
+            return True
+        self.tracker.unassign(i)
+        return False
+
+    def try_assign_group(self, ops: Sequence[int], uid: int) -> bool:
+        """Atomically assign several operators to ``uid`` (all or none)."""
+        done: list[int] = []
+        for i in ops:
+            self.tracker.assign(i, uid)
+            done.append(i)
+        if self.proc_fits(uid):
+            return True
+        for i in reversed(done):
+            self.tracker.unassign(i)
+        return False
+
+    def displace(self, i: int) -> int:
+        """Unassign operator ``i``; sell its processor if now empty
+        ("this last processor is sold back", §4.1).  Returns the old
+        uid (possibly already sold)."""
+        uid = self.tracker.unassign(i)
+        if not self.tracker.operators_on(uid):
+            self.builder.sell(uid)
+        return uid
+
+    # ------------------------------------------------------------------
+    # purchasing
+    # ------------------------------------------------------------------
+    def cheapest_spec_for(self, ops: Iterable[int]) -> ProcessorSpec | None:
+        """Cheapest configuration hosting the group alone (conservative
+        all-neighbours-remote accounting)."""
+        work, bw = standalone_requirement(self.instance, ops)
+        return self.instance.catalog.cheapest_satisfying(work, bw)
+
+    def buy_and_assign(
+        self, ops: Sequence[int], spec: ProcessorSpec
+    ) -> int | None:
+        """Buy ``spec``, assign the group; on any violation (including
+        processor-link budgets, which spec selection cannot see) sell
+        the machine back and return ``None``."""
+        proc = self.builder.acquire(spec)
+        if self.try_assign_group(ops, proc.uid):
+            return proc.uid
+        self.builder.sell(proc.uid)
+        return None
+
+    def buy_cheapest_for(self, ops: Sequence[int]) -> int | None:
+        """"Acquire the cheapest possible processor able to handle" the
+        group; ``None`` when no configuration (or no link budget) can."""
+        spec = self.cheapest_spec_for(ops)
+        if spec is None:
+            return None
+        uid = self.buy_and_assign(ops, spec)
+        if uid is not None:
+            return uid
+        # The cheapest NIC/CPU-sufficient spec failed on link budgets;
+        # no bigger machine can fix a link violation (links are
+        # spec-independent), so give up.
+        return None
+
+    def buy_most_expensive(self) -> int:
+        """Buy the top-of-catalog machine (downgraded later)."""
+        return self.builder.acquire_most_expensive().uid
+
+    # ------------------------------------------------------------------
+    # the shared grouping technique
+    # ------------------------------------------------------------------
+    def best_comm_partner(self, i: int, *, unassigned_only: bool = False) -> int | None:
+        """The child or parent of ``i`` with the largest communication
+        volume ("most demanding communication requirements with op").
+        Deterministic tie-break toward the smaller index."""
+        candidates = [
+            j
+            for j in self.tree.neighbors(i)
+            if not unassigned_only or j not in self.tracker.assignment
+        ]
+        if not candidates:
+            return None
+        return max(
+            candidates, key=lambda j: (self.tree.comm_volume(i, j), -j)
+        )
+
+    def group_and_place(self, op: int, *, on_uid: int | None = None) -> int:
+        """Place ``op`` together with its best communication partner.
+
+        ``on_uid`` — an already-purchased (typically most-expensive)
+        machine to use; otherwise the cheapest sufficient configuration
+        is bought.  The partner is displaced from its current processor
+        if it has one.  Returns the hosting uid or raises
+        :class:`PlacementError` ("if no processor can be acquired that
+        can handle both operators together, then the heuristic fails").
+        """
+        partner = self.best_comm_partner(op)
+        if partner is None:
+            raise PlacementError(
+                f"operator n{op} cannot be hosted alone and has no"
+                " neighbour to group with"
+            )
+        displaced_from: int | None = None
+        if partner in self.tracker.assignment:
+            displaced_from = self.displace(partner)
+
+        group = (op, partner)
+        uid: int | None
+        if on_uid is not None:
+            uid = on_uid if self.try_assign_group(group, on_uid) else None
+        else:
+            uid = self.buy_cheapest_for(group)
+        if uid is None:
+            raise PlacementError(
+                f"no purchasable processor can host the group (n{op},"
+                f" n{partner}) at throughput ρ={self.instance.rho:g}",
+                detail=group,
+            )
+        # Displacement made the partner's old neighbours' edges remote;
+        # their processor may have lost feasibility.  The paper's
+        # heuristics do not re-balance, so we verify and fail loudly
+        # rather than return an infeasible placement.
+        if displaced_from is not None and displaced_from in self.builder:
+            if not self.proc_fits(displaced_from):
+                raise PlacementError(
+                    f"regrouping n{partner} away from P{displaced_from}"
+                    " left that processor infeasible",
+                    detail=(op, partner, displaced_from),
+                )
+        return uid
+
+    # ------------------------------------------------------------------
+    # wrap-up
+    # ------------------------------------------------------------------
+    def finish(self) -> PlacementOutcome:
+        """Validate and return the phase-1 outcome.
+
+        Sells any machine that ended up empty (Comm-Greedy merges can
+        leave one), then asserts completeness and Eq. 1/2/5 feasibility
+        of every remaining processor.
+        """
+        for uid in list(self.builder.uids):
+            if not self.tracker.operators_on(uid):
+                self.builder.sell(uid)
+        if not self.tracker.is_complete():
+            missing = self.unassigned()
+            raise PlacementError(
+                f"placement incomplete: operators {missing} unassigned"
+            )
+        for uid in self.builder.uids:
+            if not self.proc_fits(uid):
+                raise PlacementError(
+                    f"processor P{uid} overloaded at end of placement"
+                )
+        return PlacementOutcome(builder=self.builder, tracker=self.tracker)
+
+
+class PlacementHeuristic(ABC):
+    """Interface of phase-1 heuristics."""
+
+    #: Registry / report name, e.g. ``"subtree-bottom-up"``.
+    name: str = "abstract"
+
+    @abstractmethod
+    def place(
+        self,
+        instance: ProblemInstance,
+        *,
+        rng: np.random.Generator | int | None = None,
+    ) -> PlacementOutcome:
+        """Produce a complete placement or raise :class:`PlacementError`."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

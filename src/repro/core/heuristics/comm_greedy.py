@@ -1,0 +1,111 @@
+"""The Comm-Greedy placement heuristic (§4.1).
+
+"Comm-Greedy attempts to group operators to reduce communication costs.
+It picks the two operators that have the largest communication
+requirements.  These two operators are grouped and assigned to the same
+processor, thus saving costly communication.  There are three cases:
+(i) both operators were unassigned — acquire the cheapest processor
+that can handle both; if none, acquire the most expensive processor for
+each; (ii) one operator was already assigned — try to accommodate the
+other on the same processor; otherwise acquire the most expensive
+processor for it; (iii) both were assigned on different processors —
+try to accommodate both on one processor and sell the other; if
+impossible, leave the assignment unchanged."
+
+Edges are processed in non-increasing order of their volume δ_child.
+Merging in case (iii) must move *every* operator of the donor machine
+(a processor can only be sold when empty), which is also the natural
+reading of "sell the other processor".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import PlacementError
+from ..problem import ProblemInstance
+from .base import PlacementContext, PlacementHeuristic, PlacementOutcome
+
+__all__ = ["CommGreedyPlacement"]
+
+
+class CommGreedyPlacement(PlacementHeuristic):
+    name = "comm-greedy"
+
+    def place(
+        self,
+        instance: ProblemInstance,
+        *,
+        rng: np.random.Generator | int | None = None,
+    ) -> PlacementOutcome:
+        ctx = PlacementContext(instance, rng=rng)
+        tree = instance.tree
+        edges = sorted(
+            tree.edges, key=lambda e: (-e.volume_mb, e.child, e.parent)
+        )
+        for edge in edges:
+            i, j = edge.child, edge.parent
+            ui = ctx.tracker.processor_of(i)
+            uj = ctx.tracker.processor_of(j)
+            if ui is None and uj is None:
+                self._case_both_unassigned(ctx, i, j)
+            elif ui is not None and uj is not None:
+                if ui != uj:
+                    self._case_both_assigned(ctx, ui, uj)
+            elif ui is not None:
+                self._case_one_assigned(ctx, ui, j)
+            else:
+                assert uj is not None
+                self._case_one_assigned(ctx, uj, i)
+
+        # A single-operator tree has no edges; cover stragglers.
+        for op in ctx.unassigned():
+            self._assign_solo(ctx, op)
+        return ctx.finish()
+
+    # -- case (i) -------------------------------------------------------
+    def _case_both_unassigned(self, ctx: PlacementContext, i: int, j: int) -> None:
+        if ctx.buy_cheapest_for((i, j)) is not None:
+            return
+        # "the heuristic acquires the most expensive processor for each"
+        self._assign_solo(ctx, i)
+        self._assign_solo(ctx, j)
+
+    # -- case (ii) ------------------------------------------------------
+    def _case_one_assigned(self, ctx: PlacementContext, uid: int, other: int) -> None:
+        if ctx.try_assign(other, uid):
+            return
+        self._assign_solo(ctx, other)
+
+    # -- case (iii) -----------------------------------------------------
+    def _case_both_assigned(self, ctx: PlacementContext, u: int, v: int) -> None:
+        if self._merge(ctx, donor=v, target=u):
+            return
+        if self._merge(ctx, donor=u, target=v):
+            return
+        # "the current operator assignment is not changed"
+
+    @staticmethod
+    def _merge(ctx: PlacementContext, *, donor: int, target: int) -> bool:
+        """Move all of ``donor``'s operators onto ``target`` and sell the
+        donor; all-or-nothing."""
+        ops = ctx.tracker.operators_on(donor)
+        for op in ops:
+            ctx.tracker.unassign(op)
+        if ctx.try_assign_group(ops, target):
+            ctx.builder.sell(donor)
+            return True
+        for op in ops:  # roll back
+            ctx.tracker.assign(op, donor)
+        return False
+
+    # -- shared fallback ---------------------------------------------------
+    @staticmethod
+    def _assign_solo(ctx: PlacementContext, op: int) -> None:
+        uid = ctx.buy_most_expensive()
+        if not ctx.try_assign(op, uid):
+            ctx.builder.sell(uid)
+            raise PlacementError(
+                f"operator n{op} does not fit the most expensive processor",
+                detail=op,
+            )

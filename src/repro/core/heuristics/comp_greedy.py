@@ -1,0 +1,58 @@
+"""The Comp-Greedy placement heuristic (§4.1).
+
+"Comp-Greedy first sorts operators in non-increasing order of w_i.
+While there are unassigned operators, the heuristic acquires the most
+expensive processor available and assigns the most computationally
+demanding unassigned operator to it.  If this operator cannot be
+processed on this processor [...] the heuristic uses a grouping
+technique similar to that used by the Random heuristic.  If after this
+step some capacity is left on the processor, then the heuristic tries
+to assign other operators to it[, ...] picked in non-increasing order
+of w_i."
+
+The most-expensive purchases are rectified by the downgrade phase; the
+point of the strategy is to pack heavy operators first so they land on
+machines with maximal headroom.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..problem import ProblemInstance
+from .base import PlacementContext, PlacementHeuristic, PlacementOutcome
+
+__all__ = ["CompGreedyPlacement", "work_descending"]
+
+
+def work_descending(instance: ProblemInstance, ops) -> list[int]:
+    """Operators sorted by non-increasing ``w_i`` (index tie-break)."""
+    tree = instance.tree
+    return sorted(ops, key=lambda i: (-tree[i].work, i))
+
+
+class CompGreedyPlacement(PlacementHeuristic):
+    name = "comp-greedy"
+
+    def place(
+        self,
+        instance: ProblemInstance,
+        *,
+        rng: np.random.Generator | int | None = None,
+    ) -> PlacementOutcome:
+        ctx = PlacementContext(instance, rng=rng)
+        while True:
+            todo = work_descending(instance, ctx.unassigned())
+            if not todo:
+                break
+            op = todo[0]
+            uid = ctx.buy_most_expensive()
+            if not ctx.try_assign(op, uid):
+                # grouping technique: pair op with its most-communicating
+                # neighbour on this same machine; PlacementError if even
+                # the pair does not fit the top configuration.
+                ctx.group_and_place(op, on_uid=uid)
+            # fill remaining capacity, heaviest-first
+            for i in work_descending(instance, ctx.unassigned()):
+                ctx.try_assign(i, uid)
+        return ctx.finish()

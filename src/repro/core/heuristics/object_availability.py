@@ -1,0 +1,87 @@
+"""The Object-Availability placement heuristic (§4.1).
+
+"This heuristic takes into account the distribution of basic objects on
+the servers.  For each object k the number av_k of servers handling
+object o_k is calculated.  Al-operators in turn are treated in
+increasing order of av_k of the basic objects they need to download.
+The heuristic tries to assign as many al-operators downloading object k
+as possible on a most expensive processor.  The remaining internal
+operators are assigned similarly to Comp-Greedy, i.e., in decreasing
+order of w_i of the operators."
+
+Rationale: objects replicated on few servers are the scarce resource —
+grouping their consumers onto one processor turns many downloads into
+one, relieving the bottleneck servers.  The paper observes this pays
+off only for specific tree structures/frequencies (its cost *decreases*
+with operator count in the rate-sweep experiment) but loses overall.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import PlacementError
+from ..problem import ProblemInstance
+from .base import PlacementContext, PlacementHeuristic, PlacementOutcome
+from .comp_greedy import work_descending
+
+__all__ = ["ObjectAvailabilityPlacement"]
+
+
+class ObjectAvailabilityPlacement(PlacementHeuristic):
+    name = "object-availability"
+
+    def place(
+        self,
+        instance: ProblemInstance,
+        *,
+        rng: np.random.Generator | int | None = None,
+    ) -> PlacementOutcome:
+        ctx = PlacementContext(instance, rng=rng)
+        tree = instance.tree
+        farm = instance.farm
+
+        # objects ordered by availability (scarcest first), then index
+        object_order = sorted(
+            tree.used_objects, key=lambda k: (farm.availability(k), k)
+        )
+
+        while True:
+            # scarcest object that still has unassigned downloaders
+            target_k = None
+            downloaders: list[int] = []
+            for k in object_order:
+                downloaders = [
+                    i for i in tree.object_users(k)
+                    if i not in ctx.tracker.assignment
+                ]
+                if downloaders:
+                    target_k = k
+                    break
+            if target_k is None:
+                break
+            uid = ctx.buy_most_expensive()
+            placed_any = False
+            for i in work_descending(instance, downloaders):
+                if ctx.try_assign(i, uid):
+                    placed_any = True
+            if not placed_any:
+                ctx.builder.sell(uid)
+                raise PlacementError(
+                    f"no al-operator downloading o{target_k} fits the most"
+                    " expensive processor", detail=target_k,
+                )
+
+        # remaining internal operators: Comp-Greedy style
+        while True:
+            rest = work_descending(instance, ctx.unassigned())
+            if not rest:
+                break
+            op = rest[0]
+            uid = ctx.buy_most_expensive()
+            if not ctx.try_assign(op, uid):
+                ctx.group_and_place(op, on_uid=uid)
+            for i in work_descending(instance, ctx.unassigned()):
+                ctx.try_assign(i, uid)
+
+        return ctx.finish()

@@ -1,0 +1,49 @@
+"""The Random placement heuristic (§4.1).
+
+"While there are some unassigned operators, the Random heuristic picks
+one of these unassigned operators randomly, say op.  It then acquires
+the cheapest possible processor that is able to handle op while
+achieving the required application throughput.  If there is no such
+processor, then the heuristic considers op along with one of its
+children operators or with its parent operator [the one with the most
+demanding communication requirements].  If no processor can be acquired
+that can handle both operators together, then the heuristic fails.  If
+the additional operator had already been assigned to another processor,
+this last processor is sold back."
+
+Random is the paper's baseline: it buys one machine per operator (or
+per forced pair), so its cost scales with the operator count and it
+loses to every informed heuristic in all reported experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..problem import ProblemInstance
+from .base import PlacementContext, PlacementHeuristic, PlacementOutcome
+
+__all__ = ["RandomPlacement"]
+
+
+class RandomPlacement(PlacementHeuristic):
+    name = "random"
+
+    def place(
+        self,
+        instance: ProblemInstance,
+        *,
+        rng: np.random.Generator | int | None = None,
+    ) -> PlacementOutcome:
+        ctx = PlacementContext(instance, rng=rng)
+        while True:
+            todo = ctx.unassigned()
+            if not todo:
+                break
+            op = todo[int(ctx.rng.integers(0, len(todo)))]
+            uid = ctx.buy_cheapest_for((op,))
+            if uid is None:
+                # grouping fallback; raises PlacementError if even the
+                # pair cannot be hosted.
+                ctx.group_and_place(op)
+        return ctx.finish()

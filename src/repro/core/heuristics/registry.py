@@ -1,0 +1,59 @@
+"""Name → heuristic registry.
+
+The experiment campaigns, CLI, and benchmark harness all refer to
+heuristics by their paper names; this registry is the single source of
+truth (and of the canonical plotting/report order, which follows the
+paper's figure legends).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import PlacementHeuristic
+from .comm_greedy import CommGreedyPlacement
+from .comp_greedy import CompGreedyPlacement
+from .object_availability import ObjectAvailabilityPlacement
+from .object_grouping import ObjectGroupingPlacement
+from .random_h import RandomPlacement
+from .subtree_bottom_up import SubtreeBottomUpPlacement
+
+__all__ = [
+    "HEURISTIC_FACTORIES",
+    "HEURISTIC_ORDER",
+    "make_heuristic",
+    "all_heuristics",
+]
+
+HEURISTIC_FACTORIES: dict[str, Callable[[], PlacementHeuristic]] = {
+    RandomPlacement.name: RandomPlacement,
+    CompGreedyPlacement.name: CompGreedyPlacement,
+    CommGreedyPlacement.name: CommGreedyPlacement,
+    SubtreeBottomUpPlacement.name: SubtreeBottomUpPlacement,
+    ObjectGroupingPlacement.name: ObjectGroupingPlacement,
+    ObjectAvailabilityPlacement.name: ObjectAvailabilityPlacement,
+}
+
+#: Legend order of the paper's figures.
+HEURISTIC_ORDER: tuple[str, ...] = (
+    "random",
+    "comp-greedy",
+    "comm-greedy",
+    "subtree-bottom-up",
+    "object-grouping",
+    "object-availability",
+)
+
+
+def make_heuristic(name: str) -> PlacementHeuristic:
+    """Instantiate a heuristic by its paper name."""
+    try:
+        return HEURISTIC_FACTORIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(HEURISTIC_FACTORIES))
+        raise KeyError(f"unknown heuristic {name!r}; known: {known}") from None
+
+
+def all_heuristics() -> list[PlacementHeuristic]:
+    """Fresh instances of all six heuristics, in figure-legend order."""
+    return [make_heuristic(name) for name in HEURISTIC_ORDER]

@@ -1,0 +1,181 @@
+"""The Subtree-Bottom-Up placement heuristic (§4.1) — the paper's winner.
+
+"This heuristic first acquires as many most expensive processors as
+there are al-operators and assigns each al-operator to a distinct
+processor.  The heuristic then tries to merge the operators with their
+father on a single machine, in a bottom-up fashion (possibly returning
+some processors).  Consider a processor on which one or more operators
+have been assigned.  The heuristic first tries to allocate as many
+parent operators of the currently assigned operators to this processor.
+If some parent operators cannot be assigned to this processor, then one
+or more new processors are acquired.  This mechanism is used until all
+operators have been assigned."
+
+Implementation notes
+--------------------
+Operators are visited bottom-up (children before parents), so when a
+non-al operator is reached both its children already sit somewhere:
+
+1. try the children's processors, preferring the child with the larger
+   communication volume (that is the edge worth internalising);
+2. else acquire a fresh most-expensive machine (fail if even that
+   cannot host the operator).
+
+After placing a parent on one child's machine, the heuristic attempts
+to *fully merge* the other child's machine into it — this is the
+"possibly returning some processors" consolidation that lets entire
+subtrees collapse onto single machines and makes the heuristic both
+cheap and communication-frugal.  The paper reports it is near-optimal
+on every homogeneous instance where the optimum is known.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import PlacementError
+from ..problem import ProblemInstance
+from .base import PlacementContext, PlacementHeuristic, PlacementOutcome
+
+__all__ = ["SubtreeBottomUpPlacement"]
+
+
+class SubtreeBottomUpPlacement(PlacementHeuristic):
+    name = "subtree-bottom-up"
+
+    def place(
+        self,
+        instance: ProblemInstance,
+        *,
+        rng: np.random.Generator | int | None = None,
+    ) -> PlacementOutcome:
+        ctx = PlacementContext(instance, rng=rng)
+        tree = instance.tree
+
+        # Phase A: one most-expensive machine per al-operator.  When an
+        # al-operator cannot take a machine of its own (its tree edge to
+        # an already-placed neighbour exceeds the link budget), it joins
+        # that neighbour instead — the subtree colocation the merge
+        # phase would perform anyway, done eagerly.
+        for i in tree.al_operators:
+            uid = ctx.buy_most_expensive()
+            if ctx.try_assign(i, uid):
+                continue
+            ctx.builder.sell(uid)
+            neighbours = sorted(
+                (j for j in tree.neighbors(i)
+                 if j in ctx.tracker.assignment),
+                key=lambda j: (-tree.comm_volume(i, j), j),
+            )
+            for j in neighbours:
+                host = ctx.tracker.processor_of(j)
+                assert host is not None
+                if ctx.try_assign(i, host):
+                    break
+            else:
+                raise PlacementError(
+                    f"al-operator n{i} does not fit the most expensive"
+                    " processor", detail=i,
+                )
+
+        # Phase B: bottom-up parent merging with subtree consolidation.
+        for i in tree.bottom_up():
+            kids = sorted(
+                tree.children(i),
+                key=lambda c: (-tree[c].output_mb, c),
+            )
+            if i not in ctx.tracker.assignment:
+                self._place_parent(ctx, i, kids)
+            # Consolidation: try to pull each child's whole machine onto
+            # i's machine ("merge the operators with their father"); if
+            # the father's machine lacks room, try the opposite merge so
+            # father and child still end up together when possible.
+            for c in kids:
+                host = ctx.tracker.processor_of(i)
+                cu = ctx.tracker.processor_of(c)
+                assert host is not None and cu is not None
+                if cu == host:
+                    continue
+                if not self._merge(ctx, donor=cu, target=host):
+                    self._merge(ctx, donor=host, target=cu)
+
+        return ctx.finish()
+
+    def _place_parent(
+        self, ctx: PlacementContext, i: int, kids: list[int]
+    ) -> None:
+        """Place operator ``i`` given that all its children are mapped.
+
+        Candidates, in order: each child's machine, then a fresh
+        most-expensive machine.  A plain assignment may be impossible
+        when the edge to the *other* child exceeds the link budget, so
+        each candidate is also retried with the other children's whole
+        machines merged in atomically — the "merge the operators with
+        their father" step performed eagerly rather than post hoc.
+        """
+        child_uids: list[int] = []
+        for c in kids:
+            cu = ctx.tracker.processor_of(c)
+            assert cu is not None, "bottom-up order places children first"
+            if cu not in child_uids:
+                child_uids.append(cu)
+
+        # 1. plain placement on a child's machine
+        for cu in child_uids:
+            if ctx.try_assign(i, cu):
+                return
+        # 2. placement with full consolidation onto each candidate host
+        for host in child_uids:
+            if self._merge_all_and_assign(ctx, i, host, child_uids):
+                return
+        # 3. fresh machine (plain, then consolidated)
+        uid = ctx.buy_most_expensive()
+        if ctx.try_assign(i, uid):
+            return
+        if self._merge_all_and_assign(ctx, i, uid, child_uids):
+            return
+        ctx.builder.sell(uid)
+        raise PlacementError(
+            f"operator n{i} cannot be hosted with or without merging its"
+            " children's machines", detail=i,
+        )
+
+    @staticmethod
+    def _merge_all_and_assign(
+        ctx: PlacementContext, i: int, host: int, child_uids: list[int]
+    ) -> bool:
+        """Atomically move every child machine's operators onto ``host``
+        and then place ``i`` there; all-or-nothing."""
+        moved: list[tuple[int, int]] = []  # (operator, original uid)
+        donors = [u for u in child_uids if u != host]
+        for donor in donors:
+            for op in ctx.tracker.operators_on(donor):
+                ctx.tracker.unassign(op)
+                moved.append((op, donor))
+        for op, _src in moved:
+            ctx.tracker.assign(op, host)
+        ctx.tracker.assign(i, host)
+        spec = ctx.spec_of(host)
+        if ctx.tracker.fits(host, spec.speed_ops, spec.nic_mbps):
+            for donor in donors:
+                ctx.builder.sell(donor)
+            return True
+        # rollback
+        ctx.tracker.unassign(i)
+        for op, _src in moved:
+            ctx.tracker.unassign(op)
+        for op, src in moved:
+            ctx.tracker.assign(op, src)
+        return False
+
+    @staticmethod
+    def _merge(ctx: PlacementContext, *, donor: int, target: int) -> bool:
+        ops = ctx.tracker.operators_on(donor)
+        for op in ops:
+            ctx.tracker.unassign(op)
+        if ctx.try_assign_group(ops, target):
+            ctx.builder.sell(donor)
+            return True
+        for op in ops:
+            ctx.tracker.assign(op, donor)
+        return False

@@ -1,0 +1,312 @@
+"""Integer-linear-program formulation of the allocation problem (§3).
+
+The paper derives an ILP (detailed in its companion research report
+RR-2008-20) and reports that CPLEX 11 could only load it for tiny
+instances: "the ILP is so enormous that, even when using only 5
+possible groups of processors and using trees with 30 operators, the
+ILP description file could not be opened in Cplex".
+
+This module reconstructs that formulation explicitly.  We do **not**
+ship an ILP solver (CPLEX is proprietary; the exact branch-and-bound in
+:mod:`repro.core.exact` replaces it for the optimal-comparison
+experiment) — the model object exists to
+
+* document the formulation,
+* reproduce the paper's size anecdote quantitatively
+  (:func:`model_statistics`, used by the ``ilpsize`` benchmark), and
+* emit standard CPLEX-LP text (:meth:`IlpModel.to_lp`) so the model can
+  be fed to any external solver.
+
+Formulation
+-----------
+With machine slots ``u ∈ {0..U-1}`` (``U = |N|`` suffices: an optimal
+solution never uses more machines than operators), catalog
+configurations ``t``, operators ``i``, objects ``k``, servers ``l`` and
+tree edges ``e = (c → p)``:
+
+==================  =========================================================
+variable            meaning
+==================  =========================================================
+``x[i,u] ∈ {0,1}``  operator ``i`` placed on machine ``u``
+``y[u,t] ∈ {0,1}``  machine ``u`` purchased with configuration ``t``
+``z[u,k] ∈ {0,1}``  machine ``u`` needs object ``k`` (some operator on it)
+``d[u,k,l] ∈{0,1}`` machine ``u`` downloads ``k`` from server ``l``
+``cut[e,u] ≥ 0``    edge ``e`` traffic charged to machine ``u``'s NIC
+``pair[e,u,v]≥0``   edge ``e`` crosses the (u,v) link
+==================  =========================================================
+
+Objective: ``min Σ_{u,t} cost_t · y[u,t]``.
+
+Constraints (numbers refer to the paper's equations):
+
+* assignment: ``Σ_u x[i,u] = 1``; ``x[i,u] ≤ Σ_t y[u,t]``;
+  ``Σ_t y[u,t] ≤ 1``;
+* (1) compute: ``Σ_i ρ·w_i·x[i,u] ≤ Σ_t s_t·y[u,t]``;
+* needs: ``z[u,k] ≥ x[i,u]`` for every operator ``i`` with
+  ``k ∈ Leaf(i)``; sourcing: ``Σ_l d[u,k,l] = z[u,k]`` over holders;
+* cut linearisation, for edge ``e=(c→p)``:
+  ``cut[e,u] ≥ x[c,u] − x[p,u]`` and ``cut[e,u] ≥ x[p,u] − x[c,u]``
+  (charges δ_c to both endpoints' NICs when split);
+* (2) NIC: ``Σ_{k,l} rate_k·d[u,k,l] + Σ_e ρ·δ_c·cut[e,u]
+  ≤ Σ_t B_t·y[u,t]``;
+* (3) server NIC: ``Σ_{u,k} rate_k·d[u,k,l] ≤ Bs_l``;
+* (4) server link: ``Σ_k rate_k·d[u,k,l] ≤ bs_{l,u}``;
+* (5) pair links: ``pair[e,u,v] ≥ x[c,u] + x[p,v] − 1`` (both
+  orientations) and ``Σ_e ρ·δ_c·(pair[e,u,v] + pair[e,v,u]) ≤ bp``.
+
+The (5) family contributes Θ(|E|·U²) variables — the quadratic blow-up
+behind the paper's anecdote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .problem import ProblemInstance
+
+__all__ = ["IlpModel", "IlpStatistics", "build_ilp", "model_statistics"]
+
+
+@dataclass(frozen=True)
+class IlpStatistics:
+    """Size of the ILP for one instance (the ``ilpsize`` benchmark)."""
+
+    n_operators: int
+    n_machines: int
+    n_configurations: int
+    n_binary_variables: int
+    n_continuous_variables: int
+    n_constraints: int
+    lp_text_bytes: int
+
+    @property
+    def n_variables(self) -> int:
+        return self.n_binary_variables + self.n_continuous_variables
+
+
+class IlpModel:
+    """Symbolic ILP for one :class:`ProblemInstance`.
+
+    The model is stored as (name, coefficient-map, sense, rhs) rows so
+    it can be rendered to CPLEX-LP text or inspected by tests without
+    any solver dependency.
+    """
+
+    def __init__(self, instance: ProblemInstance, n_machines: int | None = None):
+        self.instance = instance
+        tree = instance.tree
+        self.n_machines = n_machines if n_machines is not None else len(tree)
+        if self.n_machines <= 0:
+            raise ValueError("need at least one machine slot")
+        self.objective: dict[str, float] = {}
+        self.rows: list[tuple[str, dict[str, float], str, float]] = []
+        self.binaries: list[str] = []
+        self.continuous: list[str] = []
+        self._build()
+
+    # -- construction -----------------------------------------------------
+    def _row(self, name: str, coeffs: dict[str, float], sense: str,
+             rhs: float) -> None:
+        self.rows.append((name, coeffs, sense, rhs))
+
+    def _build(self) -> None:
+        inst = self.instance
+        tree = inst.tree
+        U = range(self.n_machines)
+        specs = inst.catalog.specs
+        rho = inst.rho
+
+        x = {(i, u): f"x_{i}_{u}" for i in tree.operator_indices for u in U}
+        y = {(u, t): f"y_{u}_{t}" for u in U for t in range(len(specs))}
+        self.binaries.extend(x.values())
+        self.binaries.extend(y.values())
+
+        for name, cost in (
+            (y[u, t], specs[t].cost) for u in U for t in range(len(specs))
+        ):
+            self.objective[name] = cost
+
+        # assignment & purchase coupling
+        for i in tree.operator_indices:
+            self._row(f"assign_{i}", {x[i, u]: 1.0 for u in U}, "=", 1.0)
+        for u in U:
+            self._row(
+                f"one_config_{u}",
+                {y[u, t]: 1.0 for t in range(len(specs))},
+                "<=", 1.0,
+            )
+            for i in tree.operator_indices:
+                coeffs = {x[i, u]: 1.0}
+                for t in range(len(specs)):
+                    coeffs[y[u, t]] = -1.0
+                self._row(f"open_{i}_{u}", coeffs, "<=", 0.0)
+
+        # Eq. 1 — compute
+        for u in U:
+            coeffs = {
+                x[i, u]: rho * tree[i].work for i in tree.operator_indices
+            }
+            for t, spec in enumerate(specs):
+                coeffs[y[u, t]] = coeffs.get(y[u, t], 0.0) - spec.speed_ops
+            self._row(f"cpu_{u}", coeffs, "<=", 0.0)
+
+        # needs and download sourcing
+        z = {}
+        d = {}
+        for u in U:
+            for k in tree.used_objects:
+                z[u, k] = f"z_{u}_{k}"
+                self.binaries.append(z[u, k])
+                for i in tree.object_users(k):
+                    self._row(
+                        f"need_{u}_{k}_{i}",
+                        {z[u, k]: 1.0, x[i, u]: -1.0},
+                        ">=", 0.0,
+                    )
+                holders = inst.farm.holders(k)
+                for l in holders:
+                    d[u, k, l] = f"d_{u}_{k}_{l}"
+                    self.binaries.append(d[u, k, l])
+                self._row(
+                    f"source_{u}_{k}",
+                    {**{d[u, k, l]: 1.0 for l in holders}, z[u, k]: -1.0},
+                    "=", 0.0,
+                )
+
+        # cut variables and Eq. 2 — processor NIC
+        cut = {}
+        for e_idx, e in enumerate(tree.edges):
+            for u in U:
+                cut[e_idx, u] = f"cut_{e_idx}_{u}"
+                self.continuous.append(cut[e_idx, u])
+                self._row(
+                    f"cutA_{e_idx}_{u}",
+                    {cut[e_idx, u]: 1.0, x[e.child, u]: -1.0,
+                     x[e.parent, u]: 1.0},
+                    ">=", 0.0,
+                )
+                self._row(
+                    f"cutB_{e_idx}_{u}",
+                    {cut[e_idx, u]: 1.0, x[e.parent, u]: -1.0,
+                     x[e.child, u]: 1.0},
+                    ">=", 0.0,
+                )
+        for u in U:
+            coeffs: dict[str, float] = {}
+            for k in tree.used_objects:
+                rate = inst.rate(k)
+                for l in inst.farm.holders(k):
+                    coeffs[d[u, k, l]] = rate
+            for e_idx, e in enumerate(tree.edges):
+                coeffs[cut[e_idx, u]] = rho * e.volume_mb
+            for t, spec in enumerate(specs):
+                coeffs[y[u, t]] = -spec.nic_mbps
+            self._row(f"nic_{u}", coeffs, "<=", 0.0)
+
+        # Eq. 3 — server NIC;  Eq. 4 — server links
+        for l in inst.farm.uids:
+            coeffs = {}
+            for k in sorted(inst.farm[l].objects):
+                if k not in set(tree.used_objects):
+                    continue
+                rate = inst.rate(k)
+                for u in U:
+                    coeffs[d[u, k, l]] = rate
+            if coeffs:
+                self._row(
+                    f"srv_{l}", coeffs, "<=", inst.farm[l].nic_mbps
+                )
+            for u in U:
+                link_coeffs = {}
+                for k in sorted(inst.farm[l].objects):
+                    if k not in set(tree.used_objects):
+                        continue
+                    link_coeffs[d[u, k, l]] = inst.rate(k)
+                if link_coeffs:
+                    self._row(
+                        f"slink_{l}_{u}", link_coeffs, "<=",
+                        inst.network.server_link(l, u),
+                    )
+
+        # Eq. 5 — pairwise links (the quadratic family)
+        pair = {}
+        for e_idx, e in enumerate(tree.edges):
+            for u in U:
+                for v in U:
+                    if u == v:
+                        continue
+                    pair[e_idx, u, v] = f"p_{e_idx}_{u}_{v}"
+                    self.continuous.append(pair[e_idx, u, v])
+                    self._row(
+                        f"pairdef_{e_idx}_{u}_{v}",
+                        {pair[e_idx, u, v]: 1.0, x[e.child, u]: -1.0,
+                         x[e.parent, v]: -1.0},
+                        ">=", -1.0,
+                    )
+        for u in U:
+            for v in U:
+                if v <= u:
+                    continue
+                coeffs = {}
+                for e_idx, e in enumerate(tree.edges):
+                    vol = rho * e.volume_mb
+                    coeffs[pair[e_idx, u, v]] = vol
+                    coeffs[pair[e_idx, v, u]] = vol
+                if coeffs:
+                    self._row(
+                        f"plink_{u}_{v}", coeffs, "<=",
+                        inst.network.processor_link(u, v),
+                    )
+
+    # -- export ------------------------------------------------------------
+    def to_lp(self) -> str:
+        """Render as CPLEX-LP format text."""
+        out: list[str] = ["\\ ILP for constructive in-network stream"
+                          " processing (paper §3)", "Minimize", " obj:"]
+        terms = [
+            f" + {c:g} {v}" for v, c in sorted(self.objective.items())
+        ]
+        out.append("  " + "".join(terms) if terms else "  0 x_0_0")
+        out.append("Subject To")
+        for name, coeffs, sense, rhs in self.rows:
+            body = "".join(
+                f" {'+' if c >= 0 else '-'} {abs(c):g} {v}"
+                for v, c in sorted(coeffs.items())
+            )
+            op = {"<=": "<=", ">=": ">=", "=": "="}[sense]
+            out.append(f" {name}:{body} {op} {rhs:g}")
+        out.append("Bounds")
+        for v in self.continuous:
+            out.append(f" 0 <= {v} <= 1")
+        out.append("Binaries")
+        for v in self.binaries:
+            out.append(f" {v}")
+        out.append("End")
+        return "\n".join(out)
+
+    def statistics(self) -> IlpStatistics:
+        lp = self.to_lp()
+        return IlpStatistics(
+            n_operators=len(self.instance.tree),
+            n_machines=self.n_machines,
+            n_configurations=len(self.instance.catalog),
+            n_binary_variables=len(self.binaries),
+            n_continuous_variables=len(self.continuous),
+            n_constraints=len(self.rows),
+            lp_text_bytes=len(lp.encode("utf8")),
+        )
+
+
+def build_ilp(
+    instance: ProblemInstance, n_machines: int | None = None
+) -> IlpModel:
+    """Construct the §3 ILP for ``instance``."""
+    return IlpModel(instance, n_machines)
+
+
+def model_statistics(
+    instance: ProblemInstance, n_machines: int | None = None
+) -> IlpStatistics:
+    """Size statistics without keeping the model alive."""
+    return build_ilp(instance, n_machines).statistics()

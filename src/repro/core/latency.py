@@ -1,0 +1,94 @@
+"""Analytic end-to-end latency of an allocation (companion analysis).
+
+The paper optimises cost under a throughput constraint; the work it
+builds on (Pietzuch et al. [15]) trades off *latency* instead.  This
+module computes the steady-state pipeline latency of an allocation so
+the two objectives can be compared on the same platforms — and so the
+discrete-event simulator's measured latency has an analytic
+counterpart to be checked against (the integration tests do).
+
+Model
+-----
+In steady state at throughput ρ, result ``t`` flows bottom-up: each
+operator is one pipeline stage of service time ``w_i / s_{a(i)}``; a
+cut edge adds a transfer stage.  Under the ``reserved`` bandwidth
+policy a transfer of ``δ_i`` MB runs at its reservation ``ρ·δ_i`` and
+therefore takes ``1/ρ`` seconds regardless of size — the fluid
+pipeline's defining property.  The end-to-end latency of a result is
+the longest root-to-source chain of stage times:
+
+``L = max over source paths Σ (compute stages + (1/ρ per cut edge))``
+
+This is exact for the reserved-policy simulator up to CPU queueing
+between colocated operators (two operators of one machine serialise on
+its CPU), which adds at most the machine's residual busy time per
+stage; the integration tests therefore assert the analytic value is a
+lower bound within a stage-granular envelope of the measured one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mapping import Allocation
+
+__all__ = ["LatencyAnalysis", "pipeline_latency"]
+
+
+@dataclass(frozen=True)
+class LatencyAnalysis:
+    """Critical-path latency decomposition."""
+
+    #: Total analytic latency, seconds.
+    latency_s: float
+    #: Operator indices on the critical path, source → root.
+    critical_path: tuple[int, ...]
+    #: Seconds spent computing along the path.
+    compute_s: float
+    #: Seconds spent in cross-machine transfers along the path.
+    transfer_s: float
+    #: Number of cut edges along the path.
+    n_cut_edges: int
+
+
+def pipeline_latency(
+    allocation: Allocation, *, rho: float | None = None
+) -> LatencyAnalysis:
+    """Longest source→root stage chain of the allocation at rate ρ."""
+    inst = allocation.instance
+    tree = inst.tree
+    rho = inst.rho if rho is None else rho
+    speed = {p.uid: p.speed_ops for p in allocation.processors}
+    transfer_time = 1.0 / rho
+
+    # longest[i] = (latency up to and including i's compute, path)
+    longest: dict[int, tuple[float, tuple[int, ...]]] = {}
+    for i in tree.bottom_up():
+        compute = tree[i].work / speed[allocation.a(i)]
+        best = 0.0
+        best_path: tuple[int, ...] = ()
+        for c in tree.children(i):
+            sub, sub_path = longest[c]
+            if allocation.a(c) != allocation.a(i):
+                sub += transfer_time
+            if sub > best:
+                best = sub
+                best_path = sub_path
+        longest[i] = (best + compute, best_path + (i,))
+
+    total, path = longest[tree.root]
+    compute_s = sum(
+        tree[i].work / speed[allocation.a(i)] for i in path
+    )
+    n_cut = sum(
+        1
+        for a, b in zip(path, path[1:])
+        if allocation.a(a) != allocation.a(b)
+    )
+    return LatencyAnalysis(
+        latency_s=total,
+        critical_path=path,
+        compute_s=compute_s,
+        transfer_s=n_cut * transfer_time,
+        n_cut_edges=n_cut,
+    )

@@ -1,0 +1,230 @@
+"""Incremental steady-state load accounting (the terms of Eq. 1–5).
+
+Placement heuristics test thousands of tentative assignments, each of
+which changes at most ``deg(i) + |Leaf(i)|`` load terms, so recomputing
+whole-platform loads per probe would be quadratic.  :class:`LoadTracker`
+maintains every constraint-relevant aggregate under
+``assign``/``unassign`` updates in O(degree) time:
+
+* per-processor compute rate ``ρ·Σ w_i``                        (Eq. 1),
+* per-processor NIC usage = distinct-object download rates
+  + cut-edge traffic in both directions                          (Eq. 2),
+* per-processor-pair cut traffic                                 (Eq. 5).
+
+Server-side loads (Eq. 3–4) depend on the *server selection* phase and
+are tracked separately by :class:`DownloadPlan` in
+:mod:`repro.core.server_selection`.
+
+Partial mappings: while operators remain unassigned, each tree edge
+with exactly one mapped endpoint is counted as *remote* on the mapped
+side.  This is the conservative reading of the heuristics' "can this
+processor handle the operator at the required throughput" test — a
+later colocation can only reduce the load, never invalidate an accepted
+purchase.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Mapping
+
+from ..errors import ModelError
+from .problem import ProblemInstance
+
+__all__ = ["LoadTracker", "standalone_requirement"]
+
+
+def _pair(u: int, v: int) -> tuple[int, int]:
+    return (u, v) if u < v else (v, u)
+
+
+class LoadTracker:
+    """Mutable load bookkeeping for a (possibly partial) mapping."""
+
+    def __init__(self, instance: ProblemInstance) -> None:
+        self.instance = instance
+        self.tree = instance.tree
+        self.rho = instance.rho
+        self.assignment: dict[int, int] = {}
+        # per-processor aggregates
+        self._compute: dict[int, float] = defaultdict(float)
+        self._comm: dict[int, float] = defaultdict(float)
+        self._dl_rate: dict[int, float] = defaultdict(float)
+        # (uid -> object -> #operators on uid needing it)
+        self._dl_counts: dict[int, dict[int, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        # cut traffic per unordered processor pair
+        self._pair_load: dict[tuple[int, int], float] = defaultdict(float)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def assign(self, i: int, u: int) -> None:
+        """Map operator ``i`` onto processor uid ``u``."""
+        if i in self.assignment:
+            raise ModelError(
+                f"operator n{i} is already mapped; unassign it first"
+            )
+        tree = self.tree
+        rho = self.rho
+        self.assignment[i] = u
+        self._compute[u] += rho * tree[i].work
+
+        counts = self._dl_counts[u]
+        for k in set(tree.leaf(i)):
+            if counts[k] == 0:
+                self._dl_rate[u] += self.instance.rate(k)
+            counts[k] += 1
+
+        for j in tree.neighbors(i):
+            vol = rho * tree.comm_volume(i, j)
+            v = self.assignment.get(j)
+            if v is None:
+                self._comm[u] += vol  # pessimistic: neighbour unmapped
+            elif v == u:
+                # edge was pessimistically charged to v==u; now internal
+                self._comm[u] -= vol
+            else:
+                self._comm[u] += vol  # v's side was already charged
+                self._pair_load[_pair(u, v)] += vol
+
+    def unassign(self, i: int) -> int:
+        """Remove operator ``i`` from the mapping; returns its old uid."""
+        try:
+            u = self.assignment.pop(i)
+        except KeyError:
+            raise ModelError(f"operator n{i} is not mapped")
+        tree = self.tree
+        rho = self.rho
+        self._compute[u] -= rho * tree[i].work
+
+        counts = self._dl_counts[u]
+        for k in set(tree.leaf(i)):
+            counts[k] -= 1
+            if counts[k] == 0:
+                self._dl_rate[u] -= self.instance.rate(k)
+                del counts[k]
+
+        for j in tree.neighbors(i):
+            vol = rho * tree.comm_volume(i, j)
+            v = self.assignment.get(j)
+            if v is None:
+                self._comm[u] -= vol
+            elif v == u:
+                self._comm[u] += vol  # edge back to pessimistic on v's side
+            else:
+                self._comm[u] -= vol
+                pair = _pair(u, v)
+                self._pair_load[pair] -= vol
+                if self._pair_load[pair] <= 1e-12:
+                    del self._pair_load[pair]
+        return u
+
+    def move(self, i: int, u: int) -> None:
+        """Reassign operator ``i`` to processor ``u``."""
+        self.unassign(i)
+        self.assign(i, u)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def processor_of(self, i: int) -> int | None:
+        return self.assignment.get(i)
+
+    def operators_on(self, u: int) -> tuple[int, ...]:
+        """``ā(u)`` — operators currently mapped on ``u`` (ascending)."""
+        return tuple(sorted(i for i, v in self.assignment.items() if v == u))
+
+    def compute_load(self, u: int) -> float:
+        """``ρ·Σ_{i∈ā(u)} w_i`` in operations/second (Eq. 1 LHS × s_u)."""
+        return self._compute.get(u, 0.0)
+
+    def download_rate(self, u: int) -> float:
+        """Σ of ``rate_k`` over *distinct* objects needed on ``u``."""
+        return self._dl_rate.get(u, 0.0)
+
+    def comm_rate(self, u: int) -> float:
+        """Cut-edge traffic (in+out) charged to ``u``'s NIC, MB/s."""
+        return self._comm.get(u, 0.0)
+
+    def nic_load(self, u: int) -> float:
+        """Eq. 2 LHS: downloads + inter-processor traffic, MB/s."""
+        return self.download_rate(u) + self.comm_rate(u)
+
+    def needed_objects(self, u: int) -> tuple[int, ...]:
+        """Distinct objects processor ``u`` must download (ascending)."""
+        return tuple(sorted(self._dl_counts.get(u, {})))
+
+    def pair_load(self, u: int, v: int) -> float:
+        """Eq. 5 LHS for the unordered pair ``{u, v}``, MB/s."""
+        return self._pair_load.get(_pair(u, v), 0.0)
+
+    def pairs_touching(self, u: int) -> list[tuple[int, int]]:
+        return [p for p in self._pair_load if u in p]
+
+    @property
+    def pair_loads(self) -> Mapping[tuple[int, int], float]:
+        return self._pair_load
+
+    @property
+    def used_uids(self) -> tuple[int, ...]:
+        return tuple(sorted({*self.assignment.values()}))
+
+    def is_complete(self) -> bool:
+        return len(self.assignment) == len(self.tree)
+
+    # ------------------------------------------------------------------
+    # feasibility probes used by the heuristics
+    # ------------------------------------------------------------------
+    def fits(self, u: int, speed_ops: float, nic_mbps: float) -> bool:
+        """Do ``u``'s current aggregates fit the given capacities and do
+        all links touching ``u`` respect the uniform ``bp``?"""
+        tol = 1 + 1e-9
+        if self._compute.get(u, 0.0) > speed_ops * tol:
+            return False
+        if self.nic_load(u) > nic_mbps * tol:
+            return False
+        bp = self.instance.network.processor_link_mbps
+        for p, load in self._pair_load.items():
+            if u in p and load > bp * tol:
+                return False
+        return True
+
+    def would_fit(
+        self, i: int, u: int, speed_ops: float, nic_mbps: float
+    ) -> bool:
+        """Tentatively assign ``i``→``u``, test :meth:`fits`, roll back.
+
+        Cost is O(degree), so heuristic inner loops can call it freely.
+        """
+        self.assign(i, u)
+        ok = self.fits(u, speed_ops, nic_mbps)
+        self.unassign(i)
+        return ok
+
+
+def standalone_requirement(
+    instance: ProblemInstance, ops: Iterable[int]
+) -> tuple[float, float]:
+    """Load of the operator group ``ops`` if placed alone on one empty
+    processor, every neighbour outside the group assumed remote.
+
+    Returns ``(work_ops_per_s, nic_mbps)`` — the quantities compared
+    against a candidate :class:`~repro.platform.catalog.ProcessorSpec`
+    when a heuristic asks "can any machine host this group at throughput
+    ρ?".  Distinct objects are counted once (one download per object per
+    processor).
+    """
+    tree = instance.tree
+    group = set(ops)
+    if not group:
+        return 0.0, 0.0
+    work = sum(tree[i].work for i in group) * instance.rho
+    objects = tree.leaf_set(group)
+    bw = sum(instance.rate(k) for k in objects)
+    for i in group:
+        for j in tree.neighbors(i):
+            if j not in group:
+                bw += instance.rho * tree.comm_volume(i, j)
+    return work, bw

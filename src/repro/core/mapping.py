@@ -1,0 +1,173 @@
+"""The allocation object: ``a``, ``ā`` and ``DL`` of §2.3.
+
+An :class:`Allocation` is a *complete* solution to one problem
+instance:
+
+* the purchased processor set (uid → :class:`Processor`);
+* the allocation function ``a`` mapping every operator to a processor
+  uid, with inverse ``ā(u)``;
+* the download plan ``DL(u)`` = set of ``(k, l)`` pairs, meaning
+  processor ``u`` downloads object ``k`` from server ``l``.
+
+Construction validates *structural* consistency (every operator mapped
+to an owned processor, every required (processor, object) demand
+sourced from a server that actually holds the object, no spurious
+downloads).  *Capacity* feasibility (Eq. 1–5) is the job of
+:mod:`repro.core.constraints`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..errors import ModelError
+from ..platform.resources import Processor
+from ..units import format_cost
+from .problem import ProblemInstance
+
+__all__ = ["Allocation", "required_downloads"]
+
+
+def required_downloads(
+    instance: ProblemInstance, assignment: Mapping[int, int]
+) -> dict[int, set[int]]:
+    """Distinct objects each processor must download given a (possibly
+    partial) assignment: uid → {object indices}.
+
+    One download per (processor, object) regardless of how many of the
+    processor's operators consume the object; conversely operators of
+    the *same* object on different processors each trigger their own
+    download (§2.3).
+    """
+    needs: dict[int, set[int]] = {}
+    tree = instance.tree
+    for i, u in assignment.items():
+        leaves = tree.leaf(i)
+        if leaves:
+            needs.setdefault(u, set()).update(leaves)
+    return needs
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A complete, structurally-valid solution."""
+
+    instance: ProblemInstance
+    processors: tuple[Processor, ...]
+    assignment: Mapping[int, int]
+    downloads: Mapping[tuple[int, int], int]
+    #: Which heuristic produced this (for reports); free-form.
+    provenance: str = ""
+
+    def __post_init__(self) -> None:
+        uid_set = {p.uid for p in self.processors}
+        if len(uid_set) != len(self.processors):
+            raise ModelError("duplicate processor uid in allocation")
+        tree = self.instance.tree
+        if set(self.assignment) != set(tree.operator_indices):
+            raise ModelError(
+                "allocation must map every operator exactly once"
+            )
+        for i, u in self.assignment.items():
+            if u not in uid_set:
+                raise ModelError(
+                    f"operator n{i} mapped to unknown processor P{u}"
+                )
+        needs = required_downloads(self.instance, self.assignment)
+        wanted = {
+            (u, k) for u, objs in needs.items() for k in objs
+        }
+        provided = set(self.downloads)
+        if provided != wanted:
+            missing = wanted - provided
+            spurious = provided - wanted
+            parts = []
+            if missing:
+                parts.append(f"missing download sources for {sorted(missing)}")
+            if spurious:
+                parts.append(f"spurious downloads {sorted(spurious)}")
+            raise ModelError("; ".join(parts))
+        farm = self.instance.farm
+        for (u, k), l in self.downloads.items():
+            if l not in farm.uids:
+                raise ModelError(f"download (P{u}, o{k}) from unknown S{l}")
+            if not farm[l].hosts(k):
+                raise ModelError(
+                    f"download (P{u}, o{k}) sourced from S{l}, which does not"
+                    f" hold o{k}"
+                )
+
+    # ------------------------------------------------------------------
+    # the paper's accessors
+    # ------------------------------------------------------------------
+    def a(self, i: int) -> int:
+        """``a(i)`` — uid of the processor hosting operator ``i``."""
+        return self.assignment[i]
+
+    def a_bar(self, u: int) -> tuple[int, ...]:
+        """``ā(u)`` — operators hosted by processor ``u`` (ascending)."""
+        return tuple(
+            sorted(i for i, v in self.assignment.items() if v == u)
+        )
+
+    def dl(self, u: int) -> frozenset[tuple[int, int]]:
+        """``DL(u)`` — the ``(k, l)`` download pairs of processor ``u``."""
+        return frozenset(
+            (k, l) for (uu, k), l in self.downloads.items() if uu == u
+        )
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    @property
+    def processor_map(self) -> dict[int, Processor]:
+        return {p.uid: p for p in self.processors}
+
+    @property
+    def used_uids(self) -> tuple[int, ...]:
+        return tuple(sorted({*self.assignment.values()}))
+
+    @property
+    def n_processors(self) -> int:
+        return len(self.processors)
+
+    @property
+    def cost(self) -> float:
+        """Total platform cost — the paper's objective function."""
+        return sum(p.cost for p in self.processors)
+
+    def describe(self) -> str:
+        tree = self.instance.tree
+        lines = [f"cost = {format_cost(self.cost)}"
+                 f" ({self.n_processors} processors)"]
+        for p in sorted(self.processors, key=lambda p: p.uid):
+            ops = ", ".join(f"n{i}" for i in self.a_bar(p.uid)) or "(idle)"
+            lines.append(f"  {p.label} [{p.spec.describe()}]: {ops}")
+            dls = sorted(self.dl(p.uid))
+            if dls:
+                lines.append(
+                    "    downloads: "
+                    + ", ".join(f"o{k}<-S{l}" for k, l in dls)
+                )
+        return "\n".join(lines)
+
+    def replace_processors(
+        self, processors: Sequence[Processor]
+    ) -> "Allocation":
+        """Same mapping on a re-specced processor set (downgrade phase);
+        uids must be preserved."""
+        return Allocation(
+            instance=self.instance,
+            processors=tuple(processors),
+            assignment=dict(self.assignment),
+            downloads=dict(self.downloads),
+            provenance=self.provenance,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Allocation(n_procs={self.n_processors},"
+            f" cost={format_cost(self.cost)}"
+            f"{', ' + self.provenance if self.provenance else ''})"
+        )

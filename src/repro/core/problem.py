@@ -1,0 +1,129 @@
+"""The operator-placement problem instance.
+
+Bundles the four inputs of the paper's optimization problem:
+
+* the application tree (operators + basic objects) and target
+  throughput ρ ("the rate at which final results are produced is above
+  a given threshold", §1);
+* the fixed server farm holding the basic objects;
+* the purchase catalog (CONSTR-HOM when it has a single configuration,
+  CONSTR-LAN otherwise, §2.2);
+* the interconnect model.
+
+The instance is immutable; heuristics, exact solvers, and the simulator
+all consume it read-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..apptree.tree import OperatorTree
+from ..errors import InfeasibleError, ModelError
+from ..platform.catalog import Catalog
+from ..platform.network import NetworkModel
+from ..platform.servers import ServerFarm
+
+__all__ = ["ProblemInstance"]
+
+
+@dataclass(frozen=True)
+class ProblemInstance:
+    """One instance of the constructive operator-placement problem."""
+
+    tree: OperatorTree
+    farm: ServerFarm
+    catalog: Catalog
+    network: NetworkModel = field(default_factory=NetworkModel)
+    rho: float = 1.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rho <= 0:
+            raise ModelError(f"target throughput must be positive: {self.rho}")
+        missing = [
+            k for k in self.tree.used_objects if self.farm.availability(k) == 0
+        ]
+        if missing:
+            raise ModelError(
+                "instance is malformed: objects "
+                + ", ".join(f"o{k}" for k in missing)
+                + " are required by the tree but hosted on no server"
+            )
+
+    # -- convenience accessors ------------------------------------------
+    @property
+    def is_homogeneous(self) -> bool:
+        """CONSTR-HOM: a single purchasable configuration (§2.2)."""
+        return len(self.catalog) == 1
+
+    def rate(self, object_index: int) -> float:
+        """``rate_k`` in MB/s (independent of ρ — download frequency is a
+        QoS input, not a function of application throughput)."""
+        return self.tree.catalog.rate_of(object_index)
+
+    def edge_rate(self, child: int) -> float:
+        """Steady-state bandwidth ``ρ·δ_child`` of a cut tree edge."""
+        return self.rho * self.tree[child].output_mb
+
+    def operator_compute_rate(self, i: int) -> float:
+        """``ρ·w_i`` — operations/second operator ``i`` demands."""
+        return self.rho * self.tree[i].work
+
+    # -- sanity probes -----------------------------------------------------
+    def check_basic_feasibility(self) -> None:
+        """Raise :class:`InfeasibleError` on conditions under which *no*
+        allocation can exist, regardless of budget:
+
+        * some operator's compute rate exceeds the fastest processor;
+        * some single tree edge exceeds the processor-link bandwidth
+          *and* exceeds what colocation could avoid — colocation always
+          can avoid it, so edges are only checked against the NIC when
+          split is forced... in a tree, any edge *can* be internalised,
+          so edges are not individually fatal;
+        * some single object's download rate exceeds the largest
+          processor NIC, the server NIC, or the server link (an
+          al-operator must download it from somewhere).
+        """
+        t = self.tree
+        fastest = self.catalog.fastest
+        for op in t:
+            if self.rho * op.work > fastest.speed_ops * (1 + 1e-9):
+                raise InfeasibleError(
+                    f"operator {op.label} needs {self.rho * op.work:.4g} ops/s"
+                    f" but the fastest processor offers {fastest.speed_ops:.4g}"
+                )
+        max_nic = self.catalog.max_nic_mbps
+        for i in t.al_operators:
+            for k in set(t.leaf(i)):
+                r = self.rate(k)
+                if r > max_nic * (1 + 1e-9):
+                    raise InfeasibleError(
+                        f"object o{k} downloads at {r:.4g} MB/s, beyond every"
+                        f" purchasable NIC ({max_nic:.4g} MB/s)"
+                    )
+                ok = any(
+                    r <= min(
+                        self.farm[l].nic_mbps,
+                        self.network.server_link(l, 0),
+                    ) * (1 + 1e-9)
+                    for l in self.farm.holders(k)
+                )
+                if not ok:
+                    raise InfeasibleError(
+                        f"object o{k} cannot be downloaded from any holding"
+                        " server within link/NIC capacity"
+                    )
+
+    def with_rho(self, rho: float) -> "ProblemInstance":
+        return replace(self, rho=rho)
+
+    def with_catalog(self, catalog: Catalog) -> "ProblemInstance":
+        return replace(self, catalog=catalog)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProblemInstance(n_ops={len(self.tree)},"
+            f" n_servers={len(self.farm)}, rho={self.rho:g}"
+            f"{', ' + self.name if self.name else ''})"
+        )

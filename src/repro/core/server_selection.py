@@ -1,0 +1,256 @@
+"""Server-selection heuristics (§4.2): choosing ``DL(u)``.
+
+After operator placement, every processor hosting al-operators must
+download the objects those operators need; this phase decides *from
+which server* each download occurs, respecting server NIC capacity
+(Eq. 3) and server→processor link capacity (Eq. 4).
+
+Two strategies, exactly as in the paper:
+
+* :class:`RandomServerSelection` — used with the Random placement
+  heuristic: "we associate randomly a server to each basic object a
+  processor has to download".  Capacity-oblivious; the resulting plan
+  is validated afterwards and the pipeline fails if it violates Eq. 3–4.
+* :class:`ThreeLoopServerSelection` — used with all other heuristics:
+
+  1. assign objects held *exclusively* by one server (no choice); if a
+     capacity would be exceeded, fail;
+  2. route as many downloads as possible to servers providing only one
+     object type (they are useless for anything else);
+  3. treat remaining objects in decreasing order of ``nbP/nbS`` (number
+     of processors still needing the object / number of servers still
+     able to provide it); for each download pick the server maximising
+     ``min(remaining server NIC, remaining link bandwidth)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import ServerSelectionError
+from ..rng import make_rng
+from .mapping import required_downloads
+from .problem import ProblemInstance
+
+__all__ = [
+    "ServerSelection",
+    "RandomServerSelection",
+    "ThreeLoopServerSelection",
+    "DownloadPlan",
+    "demands_of",
+]
+
+_TOL = 1 + 1e-9
+
+
+def demands_of(
+    instance: ProblemInstance, assignment: Mapping[int, int]
+) -> list[tuple[int, int]]:
+    """Flatten the (processor, object) download demands of a complete
+    assignment, deterministically ordered."""
+    needs = required_downloads(instance, assignment)
+    return sorted((u, k) for u, objs in needs.items() for k in objs)
+
+
+class DownloadPlan:
+    """Mutable Eq. 3/4 bookkeeping while building ``DL``.
+
+    Tracks remaining server NIC and per-(server, processor) link
+    capacity; refuses assignments that overflow either.
+    """
+
+    def __init__(self, instance: ProblemInstance) -> None:
+        self.instance = instance
+        self.sources: dict[tuple[int, int], int] = {}
+        self._server_left: dict[int, float] = {
+            l: instance.farm[l].nic_mbps for l in instance.farm.uids
+        }
+        self._link_used: dict[tuple[int, int], float] = {}
+
+    def server_headroom(self, l: int) -> float:
+        return self._server_left[l]
+
+    def link_headroom(self, l: int, u: int) -> float:
+        cap = self.instance.network.server_link(l, u)
+        return cap - self._link_used.get((l, u), 0.0)
+
+    def headroom(self, l: int, u: int) -> float:
+        """The three-loop heuristic's server preference key:
+        ``min(remaining server NIC, remaining link bandwidth)``."""
+        return min(self.server_headroom(l), self.link_headroom(l, u))
+
+    def can_assign(self, u: int, k: int, l: int) -> bool:
+        r = self.instance.rate(k)
+        return (
+            self.instance.farm[l].hosts(k)
+            and r <= self.server_headroom(l) * _TOL
+            and r <= self.link_headroom(l, u) * _TOL
+        )
+
+    def assign(self, u: int, k: int, l: int, *, force: bool = False) -> None:
+        """Record download (u, k) ← l.  With ``force`` the capacity check
+        is skipped (random strategy); structural hosting is always
+        enforced."""
+        if (u, k) in self.sources:
+            raise ServerSelectionError(
+                f"download (P{u}, o{k}) already has a source"
+            )
+        if not self.instance.farm[l].hosts(k):
+            raise ServerSelectionError(
+                f"server S{l} does not hold object o{k}"
+            )
+        if not force and not self.can_assign(u, k, l):
+            raise ServerSelectionError(
+                f"no capacity for (P{u}, o{k}) on S{l}"
+            )
+        r = self.instance.rate(k)
+        self.sources[(u, k)] = l
+        self._server_left[l] -= r
+        self._link_used[(l, u)] = self._link_used.get((l, u), 0.0) + r
+
+    def is_overcommitted(self) -> bool:
+        """True when a forced plan exceeded some capacity."""
+        if any(left < -1e-9 for left in self._server_left.values()):
+            return True
+        for (l, u), used in self._link_used.items():
+            if used > self.instance.network.server_link(l, u) * _TOL:
+                return True
+        return False
+
+
+class ServerSelection(ABC):
+    """Strategy interface for phase 2."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(
+        self,
+        instance: ProblemInstance,
+        assignment: Mapping[int, int],
+        *,
+        rng: np.random.Generator | int | None = None,
+    ) -> dict[tuple[int, int], int]:
+        """Return ``(u, k) → l`` covering every download demand, or raise
+        :class:`ServerSelectionError`."""
+
+
+class RandomServerSelection(ServerSelection):
+    """Uniform random holder per demand; validated post hoc."""
+
+    name = "random"
+
+    def select(
+        self,
+        instance: ProblemInstance,
+        assignment: Mapping[int, int],
+        *,
+        rng: np.random.Generator | int | None = None,
+    ) -> dict[tuple[int, int], int]:
+        gen = make_rng(rng)
+        plan = DownloadPlan(instance)
+        for u, k in demands_of(instance, assignment):
+            holders = instance.farm.holders(k)
+            if not holders:
+                raise ServerSelectionError(f"object o{k} hosted nowhere")
+            l = holders[int(gen.integers(0, len(holders)))]
+            plan.assign(u, k, l, force=True)
+        if plan.is_overcommitted():
+            raise ServerSelectionError(
+                "random server selection exceeded server NIC or link capacity"
+            )
+        return plan.sources
+
+
+class ThreeLoopServerSelection(ServerSelection):
+    """The paper's three-loop capacity-aware strategy."""
+
+    name = "three-loop"
+
+    def select(
+        self,
+        instance: ProblemInstance,
+        assignment: Mapping[int, int],
+        *,
+        rng: np.random.Generator | int | None = None,
+    ) -> dict[tuple[int, int], int]:
+        farm = instance.farm
+        plan = DownloadPlan(instance)
+        pending: list[tuple[int, int]] = demands_of(instance, assignment)
+
+        # -- loop 1: exclusively-held objects have no choice ------------
+        exclusive = farm.exclusive_objects()
+        still: list[tuple[int, int]] = []
+        for u, k in pending:
+            if k in exclusive:
+                l = exclusive[k]
+                if not plan.can_assign(u, k, l):
+                    raise ServerSelectionError(
+                        f"object o{k} is held only by S{l}, whose capacity"
+                        f" cannot sustain the download to P{u}"
+                    )
+                plan.assign(u, k, l)
+            else:
+                still.append((u, k))
+        pending = still
+
+        # -- loop 2: single-object servers take what they can -----------
+        single_servers = farm.single_object_servers()
+        if single_servers:
+            by_object: dict[int, list[int]] = {}
+            for l in single_servers:
+                (k,) = tuple(farm[l].objects)
+                by_object.setdefault(k, []).append(l)
+            still = []
+            for u, k in pending:
+                assigned = False
+                for l in by_object.get(k, ()):  # ascending uid
+                    if plan.can_assign(u, k, l):
+                        plan.assign(u, k, l)
+                        assigned = True
+                        break
+                if not assigned:
+                    still.append((u, k))
+            pending = still
+
+        # -- loop 3: contention-ordered residual assignment --------------
+        while pending:
+            # nbP: processors still needing each object; nbS: servers
+            # still able to provide it (positive headroom for the rate).
+            per_object: dict[int, list[int]] = {}
+            for u, k in pending:
+                per_object.setdefault(k, []).append(u)
+
+            def ratio(k: int) -> float:
+                rate = instance.rate(k)
+                nb_s = sum(
+                    1
+                    for l in farm.holders(k)
+                    if plan.server_headroom(l) * _TOL >= rate
+                )
+                if nb_s == 0:
+                    return float("inf")  # most constrained: handle first
+                return len(per_object[k]) / nb_s
+
+            k = max(sorted(per_object), key=ratio)
+            for u in sorted(per_object[k]):
+                candidates = sorted(
+                    farm.holders(k),
+                    key=lambda l: (-plan.headroom(l, u), l),
+                )
+                for l in candidates:
+                    if plan.can_assign(u, k, l):
+                        plan.assign(u, k, l)
+                        break
+                else:
+                    raise ServerSelectionError(
+                        f"no server can sustain download of o{k} to P{u}"
+                        " (all holders saturated)"
+                    )
+            pending = [(u, kk) for (u, kk) in pending if kk != k]
+
+        return plan.sources

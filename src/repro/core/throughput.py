@@ -1,0 +1,102 @@
+"""Analytic maximum sustainable throughput of a fixed allocation.
+
+All five constraints are affine in ρ once the mapping and the download
+plan are fixed:
+
+* Eq. 1 and Eq. 5 scale linearly with ρ,
+* Eq. 2 mixes a ρ-independent download term with ρ-linear cut traffic,
+* Eq. 3–4 are ρ-independent entirely (download frequency is an
+  application QoS input, not a function of result rate).
+
+So the maximum ρ★ is a closed-form min over bottleneck ratios —
+infinite when nothing scales with ρ (single processor, no cut edges),
+and zero when some ρ-independent constraint is already violated.  The
+discrete-event simulator (:mod:`repro.simulator`) measures the same
+quantity empirically; the two are compared in integration tests, which
+is the strongest end-to-end check in the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mapping import Allocation
+
+__all__ = ["ThroughputAnalysis", "max_throughput"]
+
+
+@dataclass(frozen=True, slots=True)
+class ThroughputAnalysis:
+    """Bottleneck decomposition of an allocation's achievable rate."""
+
+    #: Maximum feasible ρ (may be ``inf``; 0 when the download plan
+    #: alone is infeasible at any rate).
+    rho_max: float
+    #: Resource string of the binding bottleneck, e.g. ``"P3:nic"``.
+    bottleneck: str
+    #: Per-constraint candidate limits (resource → ρ bound).
+    limits: dict[str, float]
+
+    def sustains(self, rho: float) -> bool:
+        return rho <= self.rho_max * (1 + 1e-9)
+
+
+def max_throughput(alloc: Allocation) -> ThroughputAnalysis:
+    """Compute ρ★ and its bottleneck for a structurally-valid allocation."""
+    inst = alloc.instance
+    tree = inst.tree
+    limits: dict[str, float] = {}
+
+    # ρ-independent server-side feasibility (Eq. 3 & 4).
+    per_server: dict[int, float] = {}
+    per_link: dict[tuple[int, int], float] = {}
+    for (u, k), l in alloc.downloads.items():
+        r = inst.rate(k)
+        per_server[l] = per_server.get(l, 0.0) + r
+        per_link[(l, u)] = per_link.get((l, u), 0.0) + r
+    for l, load in per_server.items():
+        if load > inst.farm[l].nic_mbps * (1 + 1e-9):
+            limits[f"S{l}:nic"] = 0.0
+    for (l, u), load in per_link.items():
+        if load > inst.network.server_link(l, u) * (1 + 1e-9):
+            limits[f"S{l}->P{u}:link"] = 0.0
+
+    # Eq. 1: ρ ≤ s_u / Σ w_i.
+    for p in alloc.processors:
+        work = sum(tree[i].work for i in alloc.a_bar(p.uid))
+        if work > 0:
+            limits[f"{p.label}:cpu"] = p.speed_ops / work
+
+    # Eq. 2: downloads + ρ·cut ≤ Bp_u  ⇒  ρ ≤ (Bp_u − dl) / cut.
+    cut_traffic: dict[int, float] = {p.uid: 0.0 for p in alloc.processors}
+    pair_volume: dict[tuple[int, int], float] = {}
+    for edge in tree.edges:
+        u = alloc.a(edge.child)
+        v = alloc.a(edge.parent)
+        if u != v:
+            cut_traffic[u] += edge.volume_mb
+            cut_traffic[v] += edge.volume_mb
+            key = (u, v) if u < v else (v, u)
+            pair_volume[key] = pair_volume.get(key, 0.0) + edge.volume_mb
+    for p in alloc.processors:
+        dl = sum(inst.rate(k) for (k, _l) in alloc.dl(p.uid))
+        headroom = p.nic_mbps - dl
+        if headroom < -1e-9 * p.nic_mbps:
+            limits[f"{p.label}:nic"] = 0.0
+        elif cut_traffic[p.uid] > 0:
+            limits[f"{p.label}:nic"] = max(headroom, 0.0) / cut_traffic[p.uid]
+
+    # Eq. 5: ρ·pair ≤ bp.
+    for (u, v), vol in pair_volume.items():
+        limits[f"P{u}<->P{v}:link"] = (
+            inst.network.processor_link(u, v) / vol
+        )
+
+    if not limits:
+        return ThroughputAnalysis(
+            rho_max=float("inf"), bottleneck="none", limits={}
+        )
+    bottleneck = min(limits, key=lambda k: limits[k])
+    return ThroughputAnalysis(
+        rho_max=limits[bottleneck], bottleneck=bottleneck, limits=limits
+    )

@@ -1,0 +1,111 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every failure mode that the paper's algorithms can encounter is surfaced
+as a dedicated exception type so that callers (and the experiment
+campaign runner, which records infeasibility *as data*) can distinguish
+them without string matching.
+
+The hierarchy::
+
+    ReproError
+    ├── ModelError            — malformed application tree / platform
+    │   ├── TreeStructureError
+    │   └── PlatformModelError
+    ├── AllocationError       — the two-phase allocation pipeline failed
+    │   ├── PlacementError        (phase 1: operator placement)
+    │   ├── ServerSelectionError  (phase 2: server selection)
+    │   └── DowngradeError        (phase 3: processor downgrade)
+    ├── InfeasibleError       — problem provably has no solution
+    └── SolverError           — exact solver resource limits exceeded
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "TreeStructureError",
+    "PlatformModelError",
+    "AllocationError",
+    "PlacementError",
+    "ServerSelectionError",
+    "DowngradeError",
+    "InfeasibleError",
+    "SolverError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ModelError(ReproError):
+    """A model object (tree, platform, mapping) is structurally invalid."""
+
+
+class TreeStructureError(ModelError):
+    """The operator tree violates a structural invariant.
+
+    Raised e.g. when a node would get more than two children
+    (``|Leaf(i)| + |Ch(i)| <= 2`` in the paper), when an operator has no
+    children at all, or when the node graph is not a tree.
+    """
+
+
+class PlatformModelError(ModelError):
+    """The platform description is invalid (bad catalog entry, negative
+    bandwidth, unknown server, ...)."""
+
+
+class AllocationError(ReproError):
+    """Base class for failures of the allocation pipeline.
+
+    Carries an optional ``stage`` attribute naming the pipeline phase and
+    a free-form ``detail`` for diagnostics.
+    """
+
+    stage: str = "allocation"
+
+    def __init__(self, message: str, *, detail: object | None = None) -> None:
+        super().__init__(message)
+        self.detail = detail
+
+
+class PlacementError(AllocationError):
+    """Phase 1 failed: some operator could not be assigned to any
+    purchasable processor while meeting the target throughput.
+
+    This mirrors the paper's "the heuristic fails" outcomes in §4.1.
+    """
+
+    stage = "placement"
+
+
+class ServerSelectionError(AllocationError):
+    """Phase 2 failed: a required basic-object download could not be
+    routed to any server without violating server NIC or link capacity.
+
+    The paper observes Subtree-Bottom-Up failing exactly here in two of
+    its large-object experiments (§5).
+    """
+
+    stage = "server-selection"
+
+
+class DowngradeError(AllocationError):
+    """Phase 3 failed: no catalog configuration satisfies a processor's
+    residual load.  This indicates an internal inconsistency (the
+    pre-downgrade configuration must always remain admissible), so it is
+    a bug-detector rather than an expected outcome."""
+
+    stage = "downgrade"
+
+
+class InfeasibleError(ReproError):
+    """The instance provably admits no feasible allocation at all
+    (e.g. one operator's compute demand exceeds the fastest processor,
+    or a single cut edge exceeds every link)."""
+
+
+class SolverError(ReproError):
+    """The exact solver exceeded its configured node/time budget."""

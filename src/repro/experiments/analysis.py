@@ -1,0 +1,124 @@
+"""Cross-experiment analytics over campaign results.
+
+The paper's prose weaves several comparative observations through §5
+("Subtree-bottom-up outperforms other heuristics in most situations",
+"the Greedy heuristics are between Subtree-bottom-up and the object
+sensitive heuristics", failure-mode remarks).  This module turns those
+into computable summaries over any :class:`SweepResult`:
+
+* :func:`win_matrix` — pairwise "A beats B" counts across sweep points;
+* :func:`cost_decomposition` — where the money goes (chassis vs CPU
+  upgrades vs NIC upgrades) for a given allocation population;
+* :func:`failure_breakdown` — which pipeline phase kills which
+  heuristic where (placement vs server selection);
+* :func:`frontier_table` — feasibility frontiers per heuristic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.pipeline import AllocationResult
+from ..platform.catalog import BASE_CHASSIS_COST
+from .runner import SweepResult
+
+__all__ = [
+    "win_matrix",
+    "format_win_matrix",
+    "CostBreakdown",
+    "cost_decomposition",
+    "failure_breakdown",
+    "frontier_table",
+]
+
+
+def win_matrix(sweep: SweepResult) -> dict[tuple[str, str], int]:
+    """``(a, b) → #sweep points where a's mean cost < b's`` (both
+    feasible).  Ties count for neither."""
+    out: dict[tuple[str, str], int] = {}
+    for a in sweep.heuristics:
+        for b in sweep.heuristics:
+            if a == b:
+                continue
+            wins = 0
+            for x in sweep.x_values:
+                ca = sweep.cells[(x, a)]
+                cb = sweep.cells[(x, b)]
+                if ca.n_success and cb.n_success:
+                    if ca.mean_cost < cb.mean_cost - 1e-9:
+                        wins += 1
+            out[(a, b)] = wins
+    return out
+
+
+def format_win_matrix(sweep: SweepResult) -> str:
+    """Render the win matrix as an aligned table (rows beat columns)."""
+    wm = win_matrix(sweep)
+    names = list(sweep.heuristics)
+    short = {h: h[:12] for h in names}
+    head = " " * 14 + " ".join(f"{short[h]:>12}" for h in names)
+    lines = [f"{sweep.name}: pairwise wins (row beats column)", head]
+    for a in names:
+        row = [f"{short[a]:<14}"]
+        for b in names:
+            row.append(
+                f"{'-':>12}" if a == b else f"{wm[(a, b)]:>12}"
+            )
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Where an allocation's money goes."""
+
+    chassis: float
+    cpu_upgrades: float
+    nic_upgrades: float
+
+    @property
+    def total(self) -> float:
+        return self.chassis + self.cpu_upgrades + self.nic_upgrades
+
+    def render(self) -> str:
+        t = self.total or 1.0
+        return (
+            f"chassis ${self.chassis:,.0f} ({self.chassis / t:.0%}),"
+            f" CPU upgrades ${self.cpu_upgrades:,.0f}"
+            f" ({self.cpu_upgrades / t:.0%}),"
+            f" NIC upgrades ${self.nic_upgrades:,.0f}"
+            f" ({self.nic_upgrades / t:.0%})"
+        )
+
+
+def cost_decomposition(result: AllocationResult) -> CostBreakdown:
+    """Split one allocation's platform cost into catalog components."""
+    chassis = cpu = nic = 0.0
+    for p in result.allocation.processors:
+        chassis += p.spec.base_cost
+        cpu += p.spec.cpu.upgrade_cost
+        nic += p.spec.nic.upgrade_cost
+    return CostBreakdown(chassis=chassis, cpu_upgrades=cpu,
+                         nic_upgrades=nic)
+
+
+def failure_breakdown(sweep: SweepResult) -> dict[str, dict[str, int]]:
+    """heuristic → {failure stage → count} aggregated over the sweep."""
+    out: dict[str, dict[str, int]] = {h: {} for h in sweep.heuristics}
+    for (x, h), cell in sweep.cells.items():
+        for stage, count in cell.failure_stages.items():
+            out[h][stage] = out[h].get(stage, 0) + count
+    return out
+
+
+def frontier_table(sweep: SweepResult) -> str:
+    """One line per heuristic: largest sweep value still feasible."""
+    lines = [f"{sweep.name}: feasibility frontier ({sweep.parameter})"]
+    for h in sweep.heuristics:
+        f = sweep.feasibility_frontier(h)
+        lines.append(
+            f"  {h:22s} {'never feasible' if f is None else f'{f:g}'}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,445 @@
+"""Per-figure campaign definitions (§5 results).
+
+Each function reproduces one figure/table/finding of the paper's
+evaluation and returns a result object with a ``render()`` method; the
+benchmark harness (`benchmarks/`) and the CLI (``python -m repro
+figure <id>``) are thin wrappers over these.
+
+Index (see DESIGN.md §3 for the full mapping):
+
+====================  =====================================================
+``fig2a``             cost vs N, α=0.9, small objects, high frequency
+``fig2b``             cost vs N, α=1.7 (feasibility collapses past ≈80)
+``fig3``              cost vs α, N=60 (flat → rise → cliff)
+``fig3_n20``          cost vs α, N=20 (thresholds shift right)
+``large_objects``     δk ∈ [450,530] MB (feasibility ends ≈45 operators)
+``low_frequency``     fk = 1/50 s (same mappings, cheaper NICs)
+``rate_sweep``        download frequency sweep (no effect below 1/10 s)
+``replication_sweep`` object mirroring level (little or no effect)
+``optimal_comparison`` heuristics vs exact optimum (homogeneous, small N)
+``ilp_size``          ILP growth (the CPLEX anecdote)
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.bounds import cost_lower_bound
+from ..core.exact import solve_exact
+from ..core.heuristics.registry import HEURISTIC_ORDER
+from ..core.ilp import IlpStatistics, model_statistics
+from ..core.pipeline import allocate
+from ..errors import ReproError, SolverError
+from ..rng import derive_seed
+from .config import (
+    ALPHA_SWEEP_DEFAULT,
+    DENSE_OPS_PER_GHZ,
+    ExperimentConfig,
+    N_SWEEP_DEFAULT,
+    large_high,
+    small_high,
+    small_low,
+)
+from .instances import make_instance
+from .report import format_sweep_table, ranking_summary, sweep_to_csv
+from .runner import SweepResult, run_instance, run_point, run_sweep
+
+__all__ = [
+    "fig2a",
+    "fig2b",
+    "fig3",
+    "fig3_n20",
+    "large_objects",
+    "low_frequency",
+    "rate_sweep",
+    "replication_sweep",
+    "optimal_comparison",
+    "ilp_size",
+    "OptimalComparison",
+    "FrequencyComparison",
+    "IlpSizeSweep",
+    "FIGURE_REGISTRY",
+]
+
+
+# ----------------------------------------------------------------------
+# cost-vs-N and cost-vs-alpha sweeps
+# ----------------------------------------------------------------------
+
+def fig2a(
+    n_values: Sequence[int] = N_SWEEP_DEFAULT,
+    *,
+    n_instances: int = 10,
+    master_seed: int = 2009,
+) -> SweepResult:
+    """Figure 2(a): α = 0.9, high frequency, small objects.
+
+    Runs under the *dense* calibration with 2.5 GB/s links (see
+    :mod:`repro.experiments.config`): Figure 2(a)'s cost magnitudes
+    imply a few average operators per cheapest machine, which pins
+    ``ops_per_ghz ≈ 30``; under the cliff-faithful default the α = 0.9
+    workload consolidates onto one machine and the figure degenerates.
+    """
+    return run_sweep(
+        "fig2a", "N", list(n_values),
+        lambda n: small_high(
+            n_operators=int(n), alpha=0.9, n_instances=n_instances,
+            master_seed=master_seed, ops_per_ghz=DENSE_OPS_PER_GHZ,
+            link_mbps=2500.0,
+        ),
+    )
+
+
+def fig2b(
+    n_values: Sequence[int] = N_SWEEP_DEFAULT,
+    *,
+    n_instances: int = 10,
+    master_seed: int = 2009,
+) -> SweepResult:
+    """Figure 2(b): α = 1.7 — cost grows with N and "for trees with
+    more than 80 operators, almost no feasible mapping can be found"."""
+    return run_sweep(
+        "fig2b", "N", list(n_values),
+        lambda n: small_high(
+            n_operators=int(n), alpha=1.7, n_instances=n_instances,
+            master_seed=master_seed,
+        ),
+    )
+
+
+def fig3(
+    alpha_values: Sequence[float] = ALPHA_SWEEP_DEFAULT,
+    *,
+    n_operators: int = 60,
+    n_instances: int = 10,
+    master_seed: int = 2009,
+) -> SweepResult:
+    """Figure 3: N = 60, α sweep — flat until ≈1.6, rising, infeasible
+    past ≈1.8 (thresholds 1.7/2.2 for N = 20, see :func:`fig3_n20`)."""
+    return run_sweep(
+        f"fig3(N={n_operators})", "alpha", list(alpha_values),
+        lambda a: small_high(
+            n_operators=n_operators, alpha=float(a),
+            n_instances=n_instances, master_seed=master_seed,
+        ),
+    )
+
+
+def fig3_n20(
+    alpha_values: Sequence[float] = ALPHA_SWEEP_DEFAULT,
+    *,
+    n_instances: int = 10,
+    master_seed: int = 2009,
+) -> SweepResult:
+    """§5 text: the N = 20 thresholds sit higher (≈1.7 and ≈2.2)."""
+    return fig3(
+        alpha_values, n_operators=20, n_instances=n_instances,
+        master_seed=master_seed,
+    )
+
+
+def large_objects(
+    n_values: Sequence[int] = (10, 20, 30, 40, 45, 50, 60, 80),
+    *,
+    alpha: float = 1.1,
+    n_instances: int = 10,
+    master_seed: int = 2009,
+) -> SweepResult:
+    """§5 text: large objects (450–530 MB) — "no feasible solution can
+    be found as soon as the trees exceed 45 nodes"; Subtree-Bottom-Up
+    fails where greedy heuristics still find mappings.
+
+    Runs with the GB/s reading of the NIC column (``fat_nics``) and
+    α = 1.1: the 1 GB/s links force the whole upper tree onto one
+    machine (every internal edge exceeds them), so feasibility ends
+    when that machine's aggregated work crosses the fastest CPU —
+    which lands at the paper's ≈45 operators for α = 1.1 (measured;
+    see EXPERIMENTS.md).  Under the plain Gbps NIC reading the regime
+    collapses below 10 operators, far from the paper's account.
+    """
+    return run_sweep(
+        "large-objects", "N", list(n_values),
+        lambda n: large_high(
+            n_operators=int(n), alpha=alpha, n_instances=n_instances,
+            master_seed=master_seed, fat_nics=True,
+        ),
+    )
+
+
+def replication_sweep(
+    probabilities: Sequence[float] = (0.0, 0.1, 0.2, 0.4, 0.7),
+    *,
+    n_operators: int = 60,
+    alpha: float = 1.5,
+    n_instances: int = 10,
+    master_seed: int = 2009,
+) -> SweepResult:
+    """§5 closing remark: "the level of replication of basic objects on
+    servers may matter for application trees with specific structures
+    and download frequencies, but in general we can consider that this
+    parameter has little or no effect on the heuristics' performance."
+
+    Sweeps the probability that each object is mirrored on each extra
+    server (0 = every object on exactly one server, the regime where
+    Object-Availability's scarcity ordering has the most signal).
+    """
+    return run_sweep(
+        "replication-sweep", "replication", [float(p) for p in probabilities],
+        lambda p: small_high(
+            n_operators=n_operators, alpha=alpha,
+            replication_probability=float(p),
+            n_instances=n_instances, master_seed=master_seed,
+        ),
+    )
+
+
+def rate_sweep(
+    frequencies_hz: Sequence[float] = (1 / 2, 1 / 5, 1 / 10, 1 / 20, 1 / 50),
+    *,
+    n_operators: int = 60,
+    alpha: float = 1.5,
+    n_instances: int = 10,
+    master_seed: int = 2009,
+) -> SweepResult:
+    """§5: influence of download rates — "frequencies smaller than
+    1/10 s have no further influence on the solution"."""
+    return run_sweep(
+        "rate-sweep", "frequency", [float(f) for f in frequencies_hz],
+        lambda f: small_high(
+            n_operators=n_operators, alpha=alpha, frequency_hz=float(f),
+            n_instances=n_instances, master_seed=master_seed,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# high/low frequency mapping comparison
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FrequencyComparison:
+    """Per-instance high- vs low-frequency comparison for one heuristic."""
+
+    heuristic: str
+    n_instances: int
+    n_same_assignment: int
+    n_cheaper_low: int
+    mean_cost_high: float
+    mean_cost_low: float
+
+    def render(self) -> str:
+        return (
+            f"{self.heuristic:22s} same mapping {self.n_same_assignment}"
+            f"/{self.n_instances}, cheaper at low freq"
+            f" {self.n_cheaper_low}/{self.n_instances}, mean cost"
+            f" ${self.mean_cost_high:,.0f} -> ${self.mean_cost_low:,.0f}"
+        )
+
+
+def low_frequency(
+    *,
+    n_operators: int = 60,
+    alpha: float = 1.5,
+    n_instances: int = 10,
+    master_seed: int = 2009,
+    heuristics: Sequence[str] = HEURISTIC_ORDER,
+) -> list[FrequencyComparison]:
+    """§5: with fk = 1/50 s "the heuristics lead to the same operator
+    mapping, but in some cases the purchased processors have less
+    powerful network cards".  Same trees, two frequencies."""
+    high = small_high(
+        n_operators=n_operators, alpha=alpha, n_instances=n_instances,
+        master_seed=master_seed,
+    )
+    low = small_low(
+        n_operators=n_operators, alpha=alpha, n_instances=n_instances,
+        master_seed=master_seed,
+    )
+    out: list[FrequencyComparison] = []
+    for name in heuristics:
+        same = cheaper = 0
+        costs_h: list[float] = []
+        costs_l: list[float] = []
+        n_pairs = 0
+        for i in range(n_instances):
+            inst_h = make_instance(high, i)
+            inst_l = make_instance(low, i)
+            seed = derive_seed(master_seed, "freqcmp", name, i)
+            try:
+                rh = allocate(inst_h, name, rng=seed)
+                rl = allocate(inst_l, name, rng=seed)
+            except ReproError:
+                continue
+            n_pairs += 1
+            costs_h.append(rh.cost)
+            costs_l.append(rl.cost)
+            if dict(rh.allocation.assignment) == dict(rl.allocation.assignment):
+                same += 1
+            if rl.cost < rh.cost - 1e-9:
+                cheaper += 1
+        out.append(
+            FrequencyComparison(
+                heuristic=name,
+                n_instances=n_pairs,
+                n_same_assignment=same,
+                n_cheaper_low=cheaper,
+                mean_cost_high=(
+                    sum(costs_h) / len(costs_h) if costs_h else math.nan
+                ),
+                mean_cost_low=(
+                    sum(costs_l) / len(costs_l) if costs_l else math.nan
+                ),
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# optimal comparison (the paper's CPLEX experiment)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OptimalComparison:
+    """Heuristics vs proven optimum on small homogeneous instances."""
+
+    n_operators: int
+    n_instances: int
+    optimal_costs: tuple[float, ...]
+    heuristic_ratios: dict[str, tuple[float, ...]]
+    lower_bound_gaps: tuple[float, ...]
+
+    def mean_ratio(self, heuristic: str) -> float:
+        r = [x for x in self.heuristic_ratios[heuristic] if math.isfinite(x)]
+        return sum(r) / len(r) if r else math.nan
+
+    def optimal_hits(self, heuristic: str) -> int:
+        return sum(
+            1 for x in self.heuristic_ratios[heuristic]
+            if math.isfinite(x) and x <= 1.0 + 1e-9
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"optimal comparison (homogeneous, N={self.n_operators},"
+            f" {self.n_instances} instances)"
+        ]
+        order = sorted(
+            self.heuristic_ratios,
+            key=lambda h: (self.mean_ratio(h)
+                           if math.isfinite(self.mean_ratio(h)) else math.inf),
+        )
+        for h in order:
+            lines.append(
+                f"  {h:22s} mean ratio {self.mean_ratio(h):6.3f}"
+                f"  optimal on {self.optimal_hits(h)}"
+                f"/{len(self.heuristic_ratios[h])}"
+            )
+        return "\n".join(lines)
+
+
+def optimal_comparison(
+    *,
+    n_operators: int = 12,
+    n_instances: int = 8,
+    alpha: float = 1.8,
+    master_seed: int = 2009,
+    node_budget: int = 3_000_000,
+    heuristics: Sequence[str] = HEURISTIC_ORDER,
+) -> OptimalComparison:
+    """§5's last experiment: "we decided to compare the heuristic
+    solution with the optimal solution only in a homogeneous setting
+    [...] Subtree-bottom-up finds the optimal solution in most of the
+    cases" with the ranking SBU, Greedy (Comm best), Object-Grouping,
+    Object-Availability, Random.
+
+    α defaults to 1.8 so that compute pressure forces multi-machine
+    optima (single-machine optima make every heuristic trivially
+    optimal and the comparison vacuous)."""
+    config = small_high(
+        n_operators=n_operators, alpha=alpha, n_instances=n_instances,
+        master_seed=master_seed, homogeneous=True,
+    )
+    optima: list[float] = []
+    gaps: list[float] = []
+    ratios: dict[str, list[float]] = {h: [] for h in heuristics}
+    for i in range(n_instances):
+        inst = make_instance(config, i)
+        try:
+            sol = solve_exact(inst, node_budget=node_budget)
+        except SolverError:
+            continue
+        if not sol.feasible:
+            continue
+        optima.append(sol.cost)
+        lb = cost_lower_bound(inst)
+        gaps.append(sol.cost / lb.value if lb.value > 0 else math.nan)
+        for name in heuristics:
+            seed = derive_seed(master_seed, "optcmp", name, i)
+            outcome = run_instance(inst, name, seed=seed, instance_index=i)
+            ratios[name].append(
+                outcome.cost / sol.cost if outcome.cost is not None
+                else math.inf
+            )
+    return OptimalComparison(
+        n_operators=n_operators,
+        n_instances=len(optima),
+        optimal_costs=tuple(optima),
+        heuristic_ratios={h: tuple(v) for h, v in ratios.items()},
+        lower_bound_gaps=tuple(gaps),
+    )
+
+
+# ----------------------------------------------------------------------
+# ILP size (the CPLEX anecdote)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class IlpSizeSweep:
+    """ILP model statistics across tree sizes."""
+
+    stats: tuple[IlpStatistics, ...]
+
+    def render(self) -> str:
+        lines = [
+            "ILP size growth (paper: unusable in CPLEX already at N=30)",
+            f"{'N':>4} {'machines':>9} {'binaries':>9} {'continuous':>11}"
+            f" {'constraints':>12} {'LP bytes':>12}",
+        ]
+        for s in self.stats:
+            lines.append(
+                f"{s.n_operators:>4} {s.n_machines:>9}"
+                f" {s.n_binary_variables:>9} {s.n_continuous_variables:>11}"
+                f" {s.n_constraints:>12} {s.lp_text_bytes:>12,}"
+            )
+        return "\n".join(lines)
+
+
+def ilp_size(
+    n_values: Sequence[int] = (5, 10, 20, 30),
+    *,
+    master_seed: int = 2009,
+) -> IlpSizeSweep:
+    """Reproduce the "ILP description file could not be opened" size
+    explosion quantitatively."""
+    stats = []
+    for n in n_values:
+        config = small_high(n_operators=int(n), n_instances=1,
+                            master_seed=master_seed)
+        inst = make_instance(config, 0)
+        stats.append(model_statistics(inst))
+    return IlpSizeSweep(stats=tuple(stats))
+
+
+#: CLI/benchmark lookup.
+FIGURE_REGISTRY = {
+    "fig2a": fig2a,
+    "fig2b": fig2b,
+    "fig3": fig3,
+    "fig3_n20": fig3_n20,
+    "large_objects": large_objects,
+    "rate_sweep": rate_sweep,
+    "replication_sweep": replication_sweep,
+}

@@ -1,0 +1,114 @@
+"""Rendering campaign results as text tables, series, and CSV.
+
+The original figures are gnuplot line charts; in this reproduction the
+same data is printed as aligned tables (one row per sweep point, one
+column per heuristic) plus per-figure observations — the benchmark
+harness captures these outputs, and EXPERIMENTS.md quotes them.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from typing import Sequence
+
+from .runner import SweepResult
+
+__all__ = ["format_sweep_table", "sweep_to_csv", "ranking_summary",
+           "format_cell"]
+
+_FAIL = "      --"
+
+
+def format_cell(mean_cost: float, success_rate: float) -> str:
+    """One table cell: mean cost, flagged when some instances failed."""
+    if math.isnan(mean_cost):
+        return _FAIL
+    flag = "" if success_rate >= 0.999 else "*"
+    return f"{mean_cost:>8,.0f}{flag}"
+
+
+def format_sweep_table(sweep: SweepResult, *, title: str | None = None) -> str:
+    """Aligned text table of mean costs (— marks all-failed points,
+    ``*`` marks partially-failed ones, as the paper's prose reports)."""
+    out = io.StringIO()
+    heading = title or f"{sweep.name}: mean platform cost ($) vs {sweep.parameter}"
+    out.write(heading + "\n")
+    cols = [h for h in sweep.heuristics]
+    namew = max(len(sweep.parameter), 6)
+    out.write(
+        f"{sweep.parameter:>{namew}} "
+        + " ".join(f"{h:>21}" for h in cols)
+        + "\n"
+    )
+    for x in sweep.x_values:
+        xs = f"{x:g}"
+        row = [f"{xs:>{namew}}"]
+        for h in cols:
+            cell = sweep.cells[(x, h)]
+            body = format_cell(cell.mean_cost, cell.success_rate)
+            rate = (
+                f"({cell.n_success}/{len(cell.outcomes)})"
+                if cell.n_success < len(cell.outcomes)
+                else ""
+            )
+            row.append(f"{body:>14}{rate:>7}")
+        out.write(" ".join(row) + "\n")
+    return out.getvalue()
+
+
+def sweep_to_csv(sweep: SweepResult) -> str:
+    """Machine-readable export: one row per (x, heuristic)."""
+    out = io.StringIO()
+    out.write(
+        "figure,parameter,x,heuristic,mean_cost,mean_processors,"
+        "n_success,n_instances,failures\n"
+    )
+    for x in sweep.x_values:
+        for h in sweep.heuristics:
+            cell = sweep.cells[(x, h)]
+            failures = ";".join(
+                f"{k}:{v}" for k, v in sorted(cell.failure_stages.items())
+            )
+            mean = "" if math.isnan(cell.mean_cost) else f"{cell.mean_cost:.2f}"
+            meanp = (
+                "" if math.isnan(cell.mean_processors)
+                else f"{cell.mean_processors:.2f}"
+            )
+            out.write(
+                f"{sweep.name},{sweep.parameter},{x:g},{h},{mean},{meanp},"
+                f"{cell.n_success},{len(cell.outcomes)},{failures}\n"
+            )
+    return out.getvalue()
+
+
+def ranking_summary(sweep: SweepResult) -> str:
+    """Mean cost ratio of each heuristic to the per-point best, averaged
+    over points where both succeed — the 'who wins' digest."""
+    ratios: dict[str, list[float]] = {h: [] for h in sweep.heuristics}
+    for x in sweep.x_values:
+        best = math.inf
+        for h in sweep.heuristics:
+            cell = sweep.cells[(x, h)]
+            if cell.n_success and cell.mean_cost < best:
+                best = cell.mean_cost
+        if not math.isfinite(best) or best <= 0:
+            continue
+        for h in sweep.heuristics:
+            cell = sweep.cells[(x, h)]
+            if cell.n_success:
+                ratios[h].append(cell.mean_cost / best)
+    lines = [f"{sweep.name}: mean cost ratio to per-point best"]
+    order = sorted(
+        sweep.heuristics,
+        key=lambda h: (
+            sum(ratios[h]) / len(ratios[h]) if ratios[h] else math.inf
+        ),
+    )
+    for h in order:
+        if ratios[h]:
+            mean = sum(ratios[h]) / len(ratios[h])
+            lines.append(f"  {h:22s} {mean:6.2f}x  ({len(ratios[h])} points)")
+        else:
+            lines.append(f"  {h:22s}   all points infeasible")
+    return "\n".join(lines)

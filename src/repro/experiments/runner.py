@@ -1,0 +1,190 @@
+"""Campaign execution: run heuristics over instance populations.
+
+The paper's figures plot, for each heuristic, the mean platform cost
+over a population of random instances at each sweep point, with points
+omitted where no feasible mapping is found.  :func:`run_point` produces
+one such column; :func:`run_sweep` a whole figure.  Failures are
+recorded per phase (placement / server-selection), mirroring the
+paper's discussion of *where* heuristics fail (e.g. Subtree-Bottom-Up
+failing in server selection on large objects).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..core.heuristics.registry import HEURISTIC_ORDER, make_heuristic
+from ..core.pipeline import allocate
+from ..core.problem import ProblemInstance
+from ..errors import (
+    AllocationError,
+    InfeasibleError,
+    PlacementError,
+    ServerSelectionError,
+)
+from ..rng import derive_seed
+from .config import ExperimentConfig
+from .instances import make_instance
+
+__all__ = [
+    "InstanceOutcome",
+    "CellResult",
+    "SweepResult",
+    "run_point",
+    "run_sweep",
+]
+
+
+@dataclass(frozen=True)
+class InstanceOutcome:
+    """One (instance, heuristic) run."""
+
+    instance_index: int
+    cost: float | None
+    n_processors: int | None
+    failure_stage: str | None  # None | "placement" | "server-selection" | ...
+    elapsed_s: float
+
+    @property
+    def succeeded(self) -> bool:
+        return self.cost is not None
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """All instances of one sweep point for one heuristic."""
+
+    heuristic: str
+    outcomes: tuple[InstanceOutcome, ...]
+
+    @property
+    def n_success(self) -> int:
+        return sum(1 for o in self.outcomes if o.succeeded)
+
+    @property
+    def success_rate(self) -> float:
+        return self.n_success / len(self.outcomes) if self.outcomes else 0.0
+
+    @property
+    def mean_cost(self) -> float:
+        """Mean over successful runs — NaN when none succeeded (the
+        paper leaves such points off the plot)."""
+        costs = [o.cost for o in self.outcomes if o.cost is not None]
+        return sum(costs) / len(costs) if costs else math.nan
+
+    @property
+    def mean_processors(self) -> float:
+        ns = [o.n_processors for o in self.outcomes
+              if o.n_processors is not None]
+        return sum(ns) / len(ns) if ns else math.nan
+
+    @property
+    def failure_stages(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for o in self.outcomes:
+            if o.failure_stage:
+                out[o.failure_stage] = out.get(o.failure_stage, 0) + 1
+        return out
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full figure: one CellResult per (x value, heuristic)."""
+
+    name: str
+    parameter: str
+    x_values: tuple[float, ...]
+    heuristics: tuple[str, ...]
+    cells: Mapping[tuple[float, str], CellResult]
+    configs: Mapping[float, ExperimentConfig]
+
+    def series(self, heuristic: str) -> list[tuple[float, float]]:
+        """(x, mean cost) points with at least one success."""
+        out = []
+        for x in self.x_values:
+            cell = self.cells[(x, heuristic)]
+            if cell.n_success:
+                out.append((x, cell.mean_cost))
+        return out
+
+    def feasibility_frontier(self, heuristic: str) -> float | None:
+        """Largest x at which the heuristic still succeeds at least once
+        (the paper's 'no feasible mapping beyond ...' statements)."""
+        xs = [x for x, _ in self.series(heuristic)]
+        return max(xs) if xs else None
+
+
+def run_instance(
+    instance: ProblemInstance,
+    heuristic_name: str,
+    *,
+    seed: int,
+    instance_index: int = 0,
+) -> InstanceOutcome:
+    """Run one heuristic pipeline on one instance, capturing failure."""
+    try:
+        result = allocate(instance, make_heuristic(heuristic_name), rng=seed)
+    except (PlacementError, ServerSelectionError, AllocationError,
+            InfeasibleError) as err:
+        stage = getattr(err, "stage", type(err).__name__)
+        return InstanceOutcome(
+            instance_index=instance_index,
+            cost=None,
+            n_processors=None,
+            failure_stage=stage,
+            elapsed_s=0.0,
+        )
+    return InstanceOutcome(
+        instance_index=instance_index,
+        cost=result.cost,
+        n_processors=result.n_processors,
+        failure_stage=None,
+        elapsed_s=result.elapsed_s,
+    )
+
+
+def run_point(
+    config: ExperimentConfig,
+    heuristics: Sequence[str] = HEURISTIC_ORDER,
+) -> dict[str, CellResult]:
+    """Run every heuristic over the configured instance population."""
+    out: dict[str, CellResult] = {}
+    instances = [
+        make_instance(config, i) for i in range(config.n_instances)
+    ]
+    for name in heuristics:
+        outcomes = []
+        for i, inst in enumerate(instances):
+            seed = derive_seed(config.master_seed, "run", name, i)
+            outcomes.append(
+                run_instance(inst, name, seed=seed, instance_index=i)
+            )
+        out[name] = CellResult(heuristic=name, outcomes=tuple(outcomes))
+    return out
+
+
+def run_sweep(
+    name: str,
+    parameter: str,
+    x_values: Sequence[float],
+    config_for: Callable[[float], ExperimentConfig],
+    heuristics: Sequence[str] = HEURISTIC_ORDER,
+) -> SweepResult:
+    """Run a full parameter sweep (one paper figure)."""
+    cells: dict[tuple[float, str], CellResult] = {}
+    configs: dict[float, ExperimentConfig] = {}
+    for x in x_values:
+        config = config_for(x)
+        configs[x] = config
+        for hname, cell in run_point(config, heuristics).items():
+            cells[(x, hname)] = cell
+    return SweepResult(
+        name=name,
+        parameter=parameter,
+        x_values=tuple(float(x) for x in x_values),
+        heuristics=tuple(heuristics),
+        cells=cells,
+        configs=configs,
+    )

@@ -1,0 +1,319 @@
+"""JSON (de)serialisation of model objects.
+
+A reproduction is only as useful as its artefacts are portable:
+instances, allocations, and campaign outputs need to move between the
+CLI, notebooks, and archival storage.  This module provides stable,
+versioned JSON round-trips for every model object a user would save:
+
+* :class:`~repro.apptree.objects.ObjectCatalog` /
+  :class:`~repro.apptree.tree.OperatorTree`
+* :class:`~repro.platform.servers.ServerFarm` /
+  :class:`~repro.platform.catalog.Catalog` /
+  :class:`~repro.platform.network.NetworkModel`
+* :class:`~repro.core.problem.ProblemInstance`
+* :class:`~repro.core.mapping.Allocation`
+
+Round-trips are exact: deserialised objects compare equal on every
+model attribute, and an allocation re-attached to its round-tripped
+instance verifies identically — properties the test-suite pins.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .apptree.nodes import Operator
+from .apptree.objects import BasicObject, ObjectCatalog
+from .apptree.tree import OperatorTree
+from .core.mapping import Allocation
+from .core.problem import ProblemInstance
+from .errors import ModelError
+from .platform.catalog import Catalog, CpuOption, NicOption, ProcessorSpec
+from .platform.network import NetworkModel
+from .platform.resources import Processor, Server
+from .platform.servers import ServerFarm
+
+__all__ = [
+    "FORMAT_VERSION",
+    "instance_to_dict",
+    "instance_from_dict",
+    "allocation_to_dict",
+    "allocation_from_dict",
+    "dump_instance",
+    "load_instance",
+    "dump_allocation",
+    "load_allocation",
+]
+
+#: Bumped on any incompatible schema change.
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# building blocks
+# ----------------------------------------------------------------------
+
+def _catalog_to_dict(catalog: ObjectCatalog) -> list[dict[str, Any]]:
+    return [
+        {
+            "index": o.index,
+            "size_mb": o.size_mb,
+            "frequency_hz": o.frequency_hz,
+            "name": o.name,
+        }
+        for o in catalog
+    ]
+
+
+def _catalog_from_dict(data: list[dict[str, Any]]) -> ObjectCatalog:
+    return ObjectCatalog(
+        [
+            BasicObject(
+                index=d["index"],
+                size_mb=d["size_mb"],
+                frequency_hz=d["frequency_hz"],
+                name=d.get("name", ""),
+            )
+            for d in data
+        ]
+    )
+
+
+def _tree_to_dict(tree: OperatorTree) -> dict[str, Any]:
+    return {
+        "name": tree.name,
+        "objects": _catalog_to_dict(tree.catalog),
+        "operators": [
+            {
+                "index": op.index,
+                "children": list(op.children),
+                "leaves": list(op.leaves),
+                "work": op.work,
+                "output_mb": op.output_mb,
+                "name": op.name,
+            }
+            for op in tree
+        ],
+    }
+
+
+def _tree_from_dict(data: dict[str, Any]) -> OperatorTree:
+    catalog = _catalog_from_dict(data["objects"])
+    ops = [
+        Operator(
+            index=d["index"],
+            children=tuple(d["children"]),
+            leaves=tuple(d["leaves"]),
+            work=d["work"],
+            output_mb=d["output_mb"],
+            name=d.get("name", ""),
+        )
+        for d in data["operators"]
+    ]
+    return OperatorTree(ops, catalog, name=data.get("name", ""))
+
+
+def _farm_to_dict(farm: ServerFarm) -> list[dict[str, Any]]:
+    return [
+        {
+            "uid": s.uid,
+            "objects": sorted(s.objects),
+            "nic_mbps": s.nic_mbps,
+            "name": s.name,
+        }
+        for s in farm
+    ]
+
+
+def _farm_from_dict(data: list[dict[str, Any]]) -> ServerFarm:
+    return ServerFarm(
+        [
+            Server(
+                uid=d["uid"],
+                objects=frozenset(d["objects"]),
+                nic_mbps=d["nic_mbps"],
+                name=d.get("name", ""),
+            )
+            for d in data
+        ]
+    )
+
+
+def _machine_catalog_to_dict(catalog: Catalog) -> dict[str, Any]:
+    return {
+        "base_cost": catalog.base_cost,
+        "ops_per_ghz": catalog.ops_per_ghz,
+        "cpus": [
+            {"speed_ghz": c.speed_ghz, "upgrade_cost": c.upgrade_cost}
+            for c in catalog.cpu_options
+        ],
+        "nics": [
+            {"bandwidth_gbps": n.bandwidth_gbps,
+             "upgrade_cost": n.upgrade_cost}
+            for n in catalog.nic_options
+        ],
+    }
+
+
+def _machine_catalog_from_dict(data: dict[str, Any]) -> Catalog:
+    return Catalog(
+        cpu_options=[
+            CpuOption(d["speed_ghz"], d["upgrade_cost"])
+            for d in data["cpus"]
+        ],
+        nic_options=[
+            NicOption(d["bandwidth_gbps"], d["upgrade_cost"])
+            for d in data["nics"]
+        ],
+        base_cost=data["base_cost"],
+        ops_per_ghz=data["ops_per_ghz"],
+    )
+
+
+def _network_to_dict(net: NetworkModel) -> dict[str, Any]:
+    return {
+        "processor_link_mbps": net.processor_link_mbps,
+        "server_link_mbps": net.server_link_mbps,
+        "server_link_overrides": {
+            str(k): v for k, v in net.server_link_overrides.items()
+        },
+    }
+
+
+def _network_from_dict(data: dict[str, Any]) -> NetworkModel:
+    return NetworkModel(
+        processor_link_mbps=data["processor_link_mbps"],
+        server_link_mbps=data["server_link_mbps"],
+        server_link_overrides={
+            int(k): v
+            for k, v in data.get("server_link_overrides", {}).items()
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# instance
+# ----------------------------------------------------------------------
+
+def instance_to_dict(instance: ProblemInstance) -> dict[str, Any]:
+    """Serialise a problem instance to plain JSON-ready data."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "problem-instance",
+        "name": instance.name,
+        "rho": instance.rho,
+        "tree": _tree_to_dict(instance.tree),
+        "farm": _farm_to_dict(instance.farm),
+        "machine_catalog": _machine_catalog_to_dict(instance.catalog),
+        "network": _network_to_dict(instance.network),
+    }
+
+
+def instance_from_dict(data: dict[str, Any]) -> ProblemInstance:
+    """Rebuild a problem instance; validates format and structure."""
+    _check_header(data, "problem-instance")
+    return ProblemInstance(
+        tree=_tree_from_dict(data["tree"]),
+        farm=_farm_from_dict(data["farm"]),
+        catalog=_machine_catalog_from_dict(data["machine_catalog"]),
+        network=_network_from_dict(data["network"]),
+        rho=data["rho"],
+        name=data.get("name", ""),
+    )
+
+
+# ----------------------------------------------------------------------
+# allocation
+# ----------------------------------------------------------------------
+
+def _spec_key(spec: ProcessorSpec) -> dict[str, float]:
+    return {
+        "speed_ghz": spec.cpu.speed_ghz,
+        "bandwidth_gbps": spec.nic.bandwidth_gbps,
+    }
+
+
+def allocation_to_dict(alloc: Allocation) -> dict[str, Any]:
+    """Serialise an allocation together with its instance."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "allocation",
+        "instance": instance_to_dict(alloc.instance),
+        "provenance": alloc.provenance,
+        "processors": [
+            {"uid": p.uid, **_spec_key(p.spec)} for p in alloc.processors
+        ],
+        "assignment": {str(i): u for i, u in alloc.assignment.items()},
+        "downloads": [
+            {"processor": u, "object": k, "server": l}
+            for (u, k), l in sorted(alloc.downloads.items())
+        ],
+    }
+
+
+def allocation_from_dict(data: dict[str, Any]) -> Allocation:
+    """Rebuild an allocation; spec references are resolved against the
+    embedded machine catalog (unknown configurations are rejected)."""
+    _check_header(data, "allocation")
+    instance = instance_from_dict(data["instance"])
+    by_key = {
+        (s.cpu.speed_ghz, s.nic.bandwidth_gbps): s
+        for s in instance.catalog.specs
+    }
+    processors = []
+    for d in data["processors"]:
+        key = (d["speed_ghz"], d["bandwidth_gbps"])
+        if key not in by_key:
+            raise ModelError(
+                f"allocation references configuration {key} absent from"
+                " its catalog"
+            )
+        processors.append(Processor(uid=d["uid"], spec=by_key[key]))
+    return Allocation(
+        instance=instance,
+        processors=tuple(processors),
+        assignment={int(i): u for i, u in data["assignment"].items()},
+        downloads={
+            (d["processor"], d["object"]): d["server"]
+            for d in data["downloads"]
+        },
+        provenance=data.get("provenance", ""),
+    )
+
+
+# ----------------------------------------------------------------------
+# file helpers
+# ----------------------------------------------------------------------
+
+def _check_header(data: dict[str, Any], kind: str) -> None:
+    if data.get("kind") != kind:
+        raise ModelError(
+            f"expected a {kind!r} document, got {data.get('kind')!r}"
+        )
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported format version {version}"
+            f" (this build reads {FORMAT_VERSION})"
+        )
+
+
+def dump_instance(instance: ProblemInstance, path) -> None:
+    with open(path, "w", encoding="utf8") as fh:
+        json.dump(instance_to_dict(instance), fh, indent=1)
+
+
+def load_instance(path) -> ProblemInstance:
+    with open(path, encoding="utf8") as fh:
+        return instance_from_dict(json.load(fh))
+
+
+def dump_allocation(alloc: Allocation, path) -> None:
+    with open(path, "w", encoding="utf8") as fh:
+        json.dump(allocation_to_dict(alloc), fh, indent=1)
+
+
+def load_allocation(path) -> Allocation:
+    with open(path, encoding="utf8") as fh:
+        return allocation_from_dict(json.load(fh))

@@ -1,0 +1,34 @@
+"""Platform model: catalogs, processors, servers, network (§2.2)."""
+
+from .catalog import (
+    BASE_CHASSIS_COST,
+    Catalog,
+    CpuOption,
+    DELL_CPU_OPTIONS,
+    DELL_NIC_OPTIONS,
+    NicOption,
+    ProcessorSpec,
+    dell_catalog,
+)
+from .builder import PlatformBuilder, Transaction
+from .network import NetworkModel
+from .resources import Processor, Server
+from .servers import DEFAULT_N_SERVERS, ServerFarm
+
+__all__ = [
+    "BASE_CHASSIS_COST",
+    "Catalog",
+    "CpuOption",
+    "DELL_CPU_OPTIONS",
+    "DELL_NIC_OPTIONS",
+    "DEFAULT_N_SERVERS",
+    "NetworkModel",
+    "NicOption",
+    "PlatformBuilder",
+    "Processor",
+    "ProcessorSpec",
+    "Server",
+    "ServerFarm",
+    "Transaction",
+    "dell_catalog",
+]

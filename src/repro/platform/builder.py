@@ -1,0 +1,156 @@
+"""The constructive purchase ledger.
+
+The paper's setting is *constructive*: "either the user can build the
+platform from scratch using off-the-shelf components, or computing and
+network units are rented by a cloud provider".  Heuristics therefore
+buy, sell back, and downgrade processors as they go (Random sells a
+processor back when regrouping; Comm-Greedy may merge two processors
+and sell one; the final phase downgrades every machine to the cheapest
+sufficient model).
+
+:class:`PlatformBuilder` tracks the live processor set, assigns stable
+uids, and records every transaction so ablations can audit how each
+heuristic spends money.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Literal
+
+from ..errors import PlatformModelError
+from ..units import format_cost
+from .catalog import Catalog, ProcessorSpec
+from .resources import Processor
+
+__all__ = ["PlatformBuilder", "Transaction"]
+
+
+@dataclass(frozen=True, slots=True)
+class Transaction:
+    """One ledger entry: a purchase, sale, or model swap."""
+
+    kind: Literal["acquire", "sell", "replace"]
+    uid: int
+    spec: ProcessorSpec
+    previous: ProcessorSpec | None = None
+
+    @property
+    def cash_delta(self) -> float:
+        """Money spent (positive) or recovered (negative)."""
+        if self.kind == "acquire":
+            return self.spec.cost
+        if self.kind == "sell":
+            return -self.spec.cost
+        assert self.previous is not None
+        return self.spec.cost - self.previous.cost
+
+
+class PlatformBuilder:
+    """Mutable set of purchased processors with full undo/audit support."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self._processors: dict[int, Processor] = {}
+        self._next_uid = 0
+        self._log: list[Transaction] = []
+
+    # -- purchases ------------------------------------------------------
+    def acquire(self, spec: ProcessorSpec) -> Processor:
+        """Buy one processor of the given configuration."""
+        proc = Processor(uid=self._next_uid, spec=spec)
+        self._processors[proc.uid] = proc
+        self._next_uid += 1
+        self._log.append(Transaction("acquire", proc.uid, spec))
+        return proc
+
+    def acquire_cheapest(
+        self, work_ops: float, bandwidth_mbps: float
+    ) -> Processor | None:
+        """Buy the cheapest configuration supporting the load, if any."""
+        spec = self.catalog.cheapest_satisfying(work_ops, bandwidth_mbps)
+        if spec is None:
+            return None
+        return self.acquire(spec)
+
+    def acquire_most_expensive(self) -> Processor:
+        """Buy the top-of-catalog machine (pre-downgrade staging used by
+        Comp-Greedy, Subtree-Bottom-Up, Object-*)."""
+        return self.acquire(self.catalog.most_expensive)
+
+    def sell(self, uid: int) -> None:
+        """Sell a processor back ("this last processor is sold back",
+        §4.1 Random; also Comm-Greedy case iii)."""
+        try:
+            proc = self._processors.pop(uid)
+        except KeyError:
+            raise PlatformModelError(f"cannot sell unknown processor P{uid}")
+        self._log.append(Transaction("sell", uid, proc.spec))
+
+    def replace(self, uid: int, spec: ProcessorSpec) -> Processor:
+        """Swap a processor's configuration in place (downgrade phase);
+        the uid — and hence the operator mapping — is preserved."""
+        try:
+            old = self._processors[uid]
+        except KeyError:
+            raise PlatformModelError(f"cannot replace unknown processor P{uid}")
+        new = Processor(uid=uid, spec=spec)
+        self._processors[uid] = new
+        self._log.append(Transaction("replace", uid, spec, previous=old.spec))
+        return new
+
+    # -- inspection ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._processors)
+
+    def __iter__(self) -> Iterator[Processor]:
+        return iter(self._processors.values())
+
+    def __contains__(self, uid: int) -> bool:
+        return uid in self._processors
+
+    def get(self, uid: int) -> Processor:
+        try:
+            return self._processors[uid]
+        except KeyError:
+            raise PlatformModelError(f"unknown processor P{uid}")
+
+    @property
+    def processors(self) -> tuple[Processor, ...]:
+        """Live processors, ascending uid."""
+        return tuple(
+            self._processors[uid] for uid in sorted(self._processors)
+        )
+
+    @property
+    def uids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._processors))
+
+    @property
+    def total_cost(self) -> float:
+        """Cost of the currently-owned platform (what the paper plots)."""
+        return sum(p.cost for p in self._processors.values())
+
+    @property
+    def cash_spent(self) -> float:
+        """Gross cash movement including sold-back machines — equals
+        :attr:`total_cost` when sales refund fully, which they do here;
+        exposed so the ledger can be audited in tests."""
+        return sum(t.cash_delta for t in self._log)
+
+    @property
+    def transactions(self) -> tuple[Transaction, ...]:
+        return tuple(self._log)
+
+    def describe(self) -> str:
+        lines = [
+            f"{p.label}: {p.spec.describe()}" for p in self.processors
+        ]
+        lines.append(f"total: {format_cost(self.total_cost)}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PlatformBuilder(n={len(self)},"
+            f" cost={format_cost(self.total_cost)})"
+        )

@@ -1,0 +1,86 @@
+"""Interconnect model: full graph + bounded multi-port assumptions (§2.2).
+
+The target network is a *fully connected* graph over all resources:
+
+* between two distinct processors: a bidirectional link of bandwidth
+  ``bp`` (uniform, "the same interconnect technology is used to connect
+  all processors");
+* from server ``S_l`` to any processor: a link of bandwidth ``bs_l``
+  (the server sends, the processor receives).
+
+The paper's simulations use 1 GB/s for all links.  We keep per-server
+overrides so tests can exercise heterogeneous cases, but processor↔
+processor bandwidth stays a single scalar per the model.
+
+Resources follow the full-overlap **bounded multi-port** model: a
+resource may compute, send, and receive simultaneously, on any number of
+links at once, but the sum of its transfer rates is bounded by its NIC.
+The NIC bounds live on :class:`~repro.platform.resources.Processor` /
+``Server``; this module only answers link-capacity queries (constraints
+4 and 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import PlatformModelError
+from ..units import DEFAULT_LINK_BANDWIDTH_MBPS
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkModel:
+    """Link bandwidths of the fully connected platform graph.
+
+    Parameters
+    ----------
+    processor_link_mbps:
+        ``bp`` — bandwidth of every processor↔processor link (MB/s).
+    server_link_mbps:
+        ``bs_l`` — default bandwidth of every server→processor link.
+    server_link_overrides:
+        Optional per-server overrides, mapping server uid → MB/s.
+    """
+
+    processor_link_mbps: float = DEFAULT_LINK_BANDWIDTH_MBPS
+    server_link_mbps: float = DEFAULT_LINK_BANDWIDTH_MBPS
+    server_link_overrides: Mapping[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.processor_link_mbps <= 0:
+            raise PlatformModelError("processor link bandwidth must be positive")
+        if self.server_link_mbps <= 0:
+            raise PlatformModelError("server link bandwidth must be positive")
+        for uid, bw in self.server_link_overrides.items():
+            if bw <= 0:
+                raise PlatformModelError(
+                    f"server {uid} link bandwidth must be positive, got {bw}"
+                )
+
+    def processor_link(self, u: int, v: int) -> float:
+        """``bp_{u,v}`` — capacity between two distinct processors."""
+        if u == v:
+            raise PlatformModelError(
+                "no network link from a processor to itself: intra-processor"
+                " communication is free in the model"
+            )
+        return self.processor_link_mbps
+
+    def server_link(self, server_uid: int, processor_uid: int) -> float:
+        """``bs_{l,u}`` — capacity from server ``l`` to processor ``u``.
+
+        In the model this depends only on the server side (one NIC
+        technology per server), hence the processor argument is accepted
+        for call-site clarity but does not affect the result.
+        """
+        return self.server_link_overrides.get(server_uid, self.server_link_mbps)
+
+    def with_processor_link(self, mbps: float) -> "NetworkModel":
+        return NetworkModel(
+            processor_link_mbps=mbps,
+            server_link_mbps=self.server_link_mbps,
+            server_link_overrides=dict(self.server_link_overrides),
+        )

@@ -1,0 +1,96 @@
+"""Resource instances: purchased processors and fixed data servers (§2.2).
+
+The platform is ``R = P ∪ S``: *processors* execute operators and are
+bought from the :mod:`~repro.platform.catalog`; *servers* hold and
+update basic objects and are part of the problem input.  Every resource
+owns a NIC whose bandwidth bounds the **total** data it sends plus
+receives (the bounded multi-port model of Hong & Prasanna used by the
+paper), and pairwise links bound per-pair traffic (see
+:mod:`~repro.platform.network`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import AbstractSet, FrozenSet, Iterable
+
+from ..errors import PlatformModelError
+from ..units import SERVER_NIC_BANDWIDTH_MBPS
+from .catalog import ProcessorSpec
+
+__all__ = ["Processor", "Server"]
+
+
+@dataclass(frozen=True, slots=True)
+class Processor:
+    """A purchased compute server ``P_u``.
+
+    ``uid`` identifies the instance within a platform (allocation
+    functions map operators to uids, so two instances of the same spec
+    are distinct resources).
+    """
+
+    uid: int
+    spec: ProcessorSpec
+
+    def __post_init__(self) -> None:
+        if self.uid < 0:
+            raise PlatformModelError(f"processor uid must be >= 0: {self.uid}")
+
+    @property
+    def speed_ops(self) -> float:
+        """``s_u`` — compute capacity, operations per second."""
+        return self.spec.speed_ops
+
+    @property
+    def nic_mbps(self) -> float:
+        """``Bp_u`` — NIC capacity, MB/s (in + out combined)."""
+        return self.spec.nic_mbps
+
+    @property
+    def cost(self) -> float:
+        return self.spec.cost
+
+    @property
+    def label(self) -> str:
+        return f"P{self.uid}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.label}[{self.spec.describe()}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Server:
+    """A fixed data server ``S_l`` hosting a set of basic-object types.
+
+    An object hosted here is "available and updated at this location"
+    (§1): any processor may download it from ``S_l``, consuming
+    ``rate_k`` on the server's NIC and on the server→processor link.
+    """
+
+    uid: int
+    objects: FrozenSet[int]
+    nic_mbps: float = SERVER_NIC_BANDWIDTH_MBPS
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.uid < 0:
+            raise PlatformModelError(f"server uid must be >= 0: {self.uid}")
+        if self.nic_mbps <= 0:
+            raise PlatformModelError(
+                f"server NIC bandwidth must be positive: {self.nic_mbps}"
+            )
+        for k in self.objects:
+            if k < 0:
+                raise PlatformModelError(f"server hosts invalid object {k}")
+
+    def hosts(self, object_index: int) -> bool:
+        return object_index in self.objects
+
+    @property
+    def label(self) -> str:
+        return self.name or f"S{self.uid}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        objs = ",".join(f"o{k}" for k in sorted(self.objects))
+        return f"{self.label}[{objs}]"

@@ -1,0 +1,159 @@
+"""Server-farm construction: where basic objects live (§5 methodology).
+
+"Throughout the whole set of simulations we use the same server
+architecture: we dispose of 6 servers, each of them equipped with a
+10 GB network card.  The 15 different types of objects are randomly
+distributed over the 6 servers."
+
+Random distribution allows *replication*: an object may land on several
+servers ("basic objects may be replicated at multiple locations"), and
+the Object-Availability heuristic keys off exactly this replication
+count ``av_k``.  We guarantee every object lands on at least one server
+(otherwise the instance would be trivially infeasible) and draw, for
+each object, a random non-empty subset of servers with a configurable
+replication probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..errors import PlatformModelError
+from ..rng import make_rng
+from ..units import SERVER_NIC_BANDWIDTH_MBPS
+from .resources import Server
+
+__all__ = ["ServerFarm", "DEFAULT_N_SERVERS"]
+
+#: §5: "we dispose of 6 servers".
+DEFAULT_N_SERVERS: int = 6
+
+
+class ServerFarm:
+    """The fixed set ``S`` of data servers with object placement maps."""
+
+    def __init__(self, servers: Sequence[Server]) -> None:
+        if not servers:
+            raise PlatformModelError("a server farm needs at least one server")
+        for pos, srv in enumerate(servers):
+            if srv.uid != pos:
+                raise PlatformModelError(
+                    f"servers must be indexed contiguously: position {pos}"
+                    f" holds S{srv.uid}"
+                )
+        self._servers: tuple[Server, ...] = tuple(servers)
+        holders: dict[int, list[int]] = {}
+        for srv in servers:
+            for k in srv.objects:
+                holders.setdefault(k, []).append(srv.uid)
+        self._holders: dict[int, tuple[int, ...]] = {
+            k: tuple(sorted(v)) for k, v in holders.items()
+        }
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        n_objects: int,
+        *,
+        n_servers: int = DEFAULT_N_SERVERS,
+        nic_mbps: float = SERVER_NIC_BANDWIDTH_MBPS,
+        replication_probability: float = 0.2,
+        seed: int | np.random.Generator | None = None,
+    ) -> "ServerFarm":
+        """Distribute ``n_objects`` object types over ``n_servers``.
+
+        Each object gets one *home* server uniformly at random, plus
+        each other server independently with ``replication_probability``
+        — so ``av_k >= 1`` always, and replication levels vary across
+        objects as the Object-Availability experiments require.
+        """
+        if n_servers <= 0:
+            raise PlatformModelError("n_servers must be positive")
+        if not (0.0 <= replication_probability < 1.0):
+            raise PlatformModelError(
+                "replication probability must be in [0, 1)"
+            )
+        rng = make_rng(seed)
+        hosted: list[set[int]] = [set() for _ in range(n_servers)]
+        for k in range(n_objects):
+            home = int(rng.integers(0, n_servers))
+            hosted[home].add(k)
+            for l in range(n_servers):
+                if l != home and rng.random() < replication_probability:
+                    hosted[l].add(k)
+        return cls(
+            [
+                Server(uid=l, objects=frozenset(hosted[l]), nic_mbps=nic_mbps)
+                for l in range(n_servers)
+            ]
+        )
+
+    @classmethod
+    def single_server(
+        cls, n_objects: int, *, nic_mbps: float = SERVER_NIC_BANDWIDTH_MBPS
+    ) -> "ServerFarm":
+        """All objects on one server (used by complexity-case tests)."""
+        return cls(
+            [Server(uid=0, objects=frozenset(range(n_objects)),
+                    nic_mbps=nic_mbps)]
+        )
+
+    # -- container protocol --------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __iter__(self) -> Iterator[Server]:
+        return iter(self._servers)
+
+    def __getitem__(self, uid: int) -> Server:
+        return self._servers[uid]
+
+    @property
+    def uids(self) -> range:
+        return range(len(self._servers))
+
+    # -- queries ---------------------------------------------------------------
+    def holders(self, object_index: int) -> tuple[int, ...]:
+        """Server uids hosting object ``k`` (ascending); empty if none."""
+        return self._holders.get(object_index, ())
+
+    def availability(self, object_index: int) -> int:
+        """``av_k`` — replication count of object ``k`` (§4.1
+        Object-Availability)."""
+        return len(self._holders.get(object_index, ()))
+
+    def hosts_all(self, object_indices) -> bool:
+        """True when every requested object is hosted somewhere."""
+        return all(self.availability(k) >= 1 for k in object_indices)
+
+    def exclusive_objects(self) -> dict[int, int]:
+        """Objects held by exactly one server → that server's uid.
+        (Server-selection loop 1 targets these.)"""
+        return {
+            k: uids[0] for k, uids in self._holders.items() if len(uids) == 1
+        }
+
+    def single_object_servers(self) -> tuple[int, ...]:
+        """Servers providing exactly one object type (loop 2 targets)."""
+        return tuple(
+            srv.uid for srv in self._servers if len(srv.objects) == 1
+        )
+
+    def describe(self) -> str:
+        lines = []
+        for srv in self._servers:
+            objs = ",".join(f"o{k}" for k in sorted(srv.objects)) or "-"
+            lines.append(
+                f"{srv.label}: NIC {srv.nic_mbps:g} MB/s, hosts {objs}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServerFarm(n_servers={len(self._servers)},"
+            f" n_hosted_objects={len(self._holders)})"
+        )

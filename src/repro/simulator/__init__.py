@@ -1,0 +1,34 @@
+"""Steady-state discrete-event simulation of purchased platforms."""
+
+from .engine import SimulationResult, SteadyStateSimulator
+from .events import (
+    ComputeFinished,
+    DownloadLaunch,
+    Event,
+    EventQueue,
+    SourceRelease,
+    TransferFinished,
+)
+from .flows import CapacityConstraint, FlowSpec, max_min_rates
+from .measure import (
+    ThroughputProbe,
+    measured_max_throughput,
+    simulate_allocation,
+)
+
+__all__ = [
+    "CapacityConstraint",
+    "ComputeFinished",
+    "DownloadLaunch",
+    "Event",
+    "EventQueue",
+    "FlowSpec",
+    "SimulationResult",
+    "SourceRelease",
+    "SteadyStateSimulator",
+    "ThroughputProbe",
+    "TransferFinished",
+    "max_min_rates",
+    "measured_max_throughput",
+    "simulate_allocation",
+]

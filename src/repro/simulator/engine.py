@@ -1,0 +1,454 @@
+"""Fluid-flow discrete-event simulator of an allocation in steady state.
+
+The paper's feasibility argument is analytic (Eq. 1–5); this engine
+*executes* a purchased platform to check the argument end to end.  It
+models exactly the §2.3 runtime:
+
+* every operator is a pipeline stage on its processor: while result
+  ``t`` is being computed, result ``t−1``'s output travels to the
+  parent and result ``t+1``'s inputs are arriving (full overlap);
+* source operators (no operator children) release work at a
+  configurable *offered rate* (open loop);
+* each processor's CPU is a work-conserving FIFO server of speed
+  ``s_u`` operations/second;
+* network transfers are fluid flows sharing bandwidth max-min fairly
+  under the bounded multi-port model (one aggregate NIC constraint per
+  resource, one constraint per link);
+* basic-object downloads are periodic: every ``1/f_k`` seconds each
+  processor needing object ``k`` pulls ``δ_k`` MB from its selected
+  server; a refresh that has not finished when the next one is due
+  counts as a *deadline miss* (the next refresh is then skipped —
+  the stale copy stays in use, matching how real refresh loops behave).
+
+Flow policy
+-----------
+``reserved`` (default) caps every flow at its steady-state reservation
+(``ρ·δ`` for edge transfers, ``rate_k`` for downloads).  Under this
+policy an allocation that satisfies Eq. 1–5 at the offered rate
+provably sustains it: every constraint's cap total is within capacity,
+so progressive filling grants all caps, and each periodic refresh takes
+exactly one period.  A refresh finishing exactly at its deadline is a
+*tie*, resolved by an epsilon grace at launch time rather than by
+inflating caps (which would oversubscribe NICs the downgrade phase
+sized exactly).  ``elastic`` removes the caps, letting transfers grab
+spare bandwidth — more realistic, used by the simulator benchmarks.
+
+The integration tests drive both directions: feasible allocations must
+achieve the offered rate with zero misses; offering well above the
+analytic maximum must visibly saturate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Literal, Mapping
+
+from ..core.mapping import Allocation
+from ..errors import ModelError
+from .events import (
+    ComputeFinished,
+    DownloadLaunch,
+    EventQueue,
+    SourceRelease,
+    TransferFinished,
+)
+from .flows import CapacityConstraint, FlowSpec, max_min_rates
+
+__all__ = ["SteadyStateSimulator", "SimulationResult"]
+
+_EPS = 1e-9
+#: Residual volume (MB) below which an in-flight refresh counts as
+#: complete when its deadline arrives (floating-point tie grace).
+_DEADLINE_GRACE_MB = 1e-6
+
+
+@dataclass
+class _Flow:
+    volume_left: float
+    constraints: tuple[object, ...]
+    cap: float | None
+    kind: Literal["edge", "download"]
+    payload: tuple
+    volume_total: float = 0.0
+    version: int = 0
+    rate: float = 0.0
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one steady-state run."""
+
+    offered_rate: float
+    achieved_rate: float
+    n_root_results: int
+    root_completions: tuple[float, ...]
+    download_misses: int
+    n_events: int
+    sim_time: float
+    #: True when the run hit its horizon before producing the requested
+    #: results — the offered rate exceeded what the platform sustains.
+    saturated: bool
+    #: CPU busy fraction per processor uid over the run.
+    cpu_utilization: Mapping[int, float] = field(default_factory=dict)
+    #: Transferred volume / (capacity × time) per NIC/link constraint id.
+    nic_utilization: Mapping[object, float] = field(default_factory=dict)
+    #: End-to-end latency (source release → root completion) per result.
+    latencies: tuple[float, ...] = ()
+
+    @property
+    def efficiency(self) -> float:
+        """achieved / offered (≈1.0 for feasible operation)."""
+        if self.offered_rate <= 0:
+            return 0.0
+        return self.achieved_rate / self.offered_rate
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return float("nan")
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def max_latency(self) -> float:
+        return max(self.latencies) if self.latencies else float("nan")
+
+
+class SteadyStateSimulator:
+    """Simulate one :class:`~repro.core.mapping.Allocation`."""
+
+    def __init__(
+        self,
+        allocation: Allocation,
+        *,
+        offered_rate: float | None = None,
+        n_results: int = 50,
+        flow_policy: Literal["reserved", "elastic"] = "reserved",
+        time_limit: float | None = None,
+        max_events: int = 2_000_000,
+    ) -> None:
+        self.alloc = allocation
+        self.inst = allocation.instance
+        self.tree = self.inst.tree
+        self.rho = (
+            self.inst.rho if offered_rate is None else float(offered_rate)
+        )
+        if self.rho <= 0:
+            raise ModelError("offered rate must be positive")
+        if n_results <= 0:
+            raise ModelError("n_results must be positive")
+        self.n_results = n_results
+        self.flow_policy = flow_policy
+        # default horizon: generous multiple of the ideal makespan
+        self.time_limit = (
+            time_limit
+            if time_limit is not None
+            else 20.0 * (n_results + 5) / self.rho
+        )
+        self.max_events = max_events
+
+        self.procs = allocation.processor_map
+        self.speed = {u: p.speed_ops for u, p in self.procs.items()}
+
+        # ---- static flow constraint table -----------------------------
+        self.constraints: dict[object, CapacityConstraint] = {}
+        for u, p in self.procs.items():
+            self._add_constraint(("nic", "P", u), p.nic_mbps)
+        for l in self.inst.farm.uids:
+            self._add_constraint(("nic", "S", l), self.inst.farm[l].nic_mbps)
+
+        # ---- dynamic state ---------------------------------------------
+        self.queue = EventQueue()
+        self.flows: dict[object, _Flow] = {}
+        self.ready: dict[int, deque] = {u: deque() for u in self.procs}
+        self.busy: dict[int, bool] = {u: False for u in self.procs}
+        self.computed: dict[int, int] = {
+            i: 0 for i in self.tree.operator_indices
+        }
+        self.released: dict[int, int] = {}
+        self.arrivals: dict[int, dict[int, int]] = {
+            i: {} for i in self.tree.operator_indices
+        }
+        self.queued: set[tuple[int, int]] = set()
+        self.root_completions: list[float] = []
+        self.download_misses = 0
+        self.n_events = 0
+        self.cpu_busy: dict[int, float] = {u: 0.0 for u in self.procs}
+        self.transferred: dict[object, float] = {}
+
+        self.source_ops = tuple(
+            i for i in self.tree.operator_indices if not self.tree.children(i)
+        )
+
+    # ------------------------------------------------------------------
+    # wiring helpers
+    # ------------------------------------------------------------------
+    def _add_constraint(self, cid: object, capacity: float) -> None:
+        self.constraints[cid] = CapacityConstraint(cid, capacity)
+
+    def _edge_constraints(self, u: int, v: int) -> tuple[object, ...]:
+        key = ("plink", min(u, v), max(u, v))
+        if key not in self.constraints:
+            self._add_constraint(
+                key, self.inst.network.processor_link(u, v)
+            )
+        return (("nic", "P", u), ("nic", "P", v), key)
+
+    def _download_constraints(self, l: int, u: int) -> tuple[object, ...]:
+        key = ("slink", l, u)
+        if key not in self.constraints:
+            self._add_constraint(key, self.inst.network.server_link(l, u))
+        return (("nic", "S", l), ("nic", "P", u), key)
+
+    # ------------------------------------------------------------------
+    # fluid network
+    # ------------------------------------------------------------------
+    def _settle(self) -> None:
+        """Advance all flow volumes to the current instant."""
+        now = self.queue.now
+        dt = now - self._last_settle
+        if dt > 0:
+            for f in self.flows.values():
+                if f.rate > 0:
+                    moved = min(f.volume_left, f.rate * dt)
+                    f.volume_left -= moved
+                    for cid in f.constraints:
+                        self.transferred[cid] = (
+                            self.transferred.get(cid, 0.0) + moved
+                        )
+        self._last_settle = now
+
+    def _reallocate(self) -> None:
+        """Recompute max-min rates and (re)schedule completions."""
+        specs = [
+            FlowSpec(key, f.constraints, f.cap)
+            for key, f in self.flows.items()
+        ]
+        used = {cid for f in self.flows.values() for cid in f.constraints}
+        rates = max_min_rates(
+            specs, [self.constraints[cid] for cid in used]
+        )
+        now = self.queue.now
+        for key, f in self.flows.items():
+            f.rate = rates[key]
+            f.version += 1
+            if f.volume_left <= _EPS:
+                self.queue.push(now, TransferFinished((key, f.version)))
+            elif f.rate > _EPS:
+                eta = now + f.volume_left / f.rate
+                self.queue.push(eta, TransferFinished((key, f.version)))
+            # rate 0: flow is stalled; it will be rescheduled by the next
+            # reallocation that gives it bandwidth.
+
+    def _start_flow(
+        self,
+        key: object,
+        volume: float,
+        constraints: tuple[object, ...],
+        cap: float | None,
+        kind: Literal["edge", "download"],
+        payload: tuple,
+    ) -> None:
+        self._settle()
+        self.flows[key] = _Flow(
+            volume_left=volume,
+            constraints=constraints,
+            cap=cap if self.flow_policy == "reserved" else None,
+            kind=kind,
+            payload=payload,
+            volume_total=volume,
+        )
+        self._reallocate()
+
+    def _finish_flow(self, key: object) -> _Flow:
+        self._settle()
+        flow = self.flows.pop(key)
+        self._reallocate()
+        return flow
+
+    # ------------------------------------------------------------------
+    # CPU / pipeline
+    # ------------------------------------------------------------------
+    def _maybe_enqueue(self, op: int, t: int) -> None:
+        """Queue (op, t) for computation when its inputs are complete and
+        its predecessor result is done (stream order)."""
+        if (op, t) in self.queued or self.computed[op] != t - 1:
+            return
+        n_children = len(self.tree.children(op))
+        if n_children:
+            if self.arrivals[op].get(t, 0) < n_children:
+                return
+        else:
+            if self.released.get(op, 0) < t:
+                return
+        self.queued.add((op, t))
+        u = self.alloc.a(op)
+        self.ready[u].append((op, t))
+        self._maybe_start_cpu(u)
+
+    def _maybe_start_cpu(self, u: int) -> None:
+        if self.busy[u] or not self.ready[u]:
+            return
+        op, t = self.ready[u].popleft()
+        self.busy[u] = True
+        duration = self.tree[op].work / self.speed[u] if self.tree[op].work else 0.0
+        self.cpu_busy[u] += duration
+        self.queue.push(self.queue.now + duration, ComputeFinished(u, op, t))
+
+    def _deliver(self, op: int, t: int) -> None:
+        """Result ``t`` of ``op`` reached its parent (or the outside)."""
+        parent = self.tree.parent(op)
+        if parent is None:
+            self.root_completions.append(self.queue.now)
+            return
+        self.arrivals[parent][t] = self.arrivals[parent].get(t, 0) + 1
+        self._maybe_enqueue(parent, t)
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _on_source_release(self, ev: SourceRelease) -> None:
+        self.released[ev.operator] = ev.t
+        self._maybe_enqueue(ev.operator, ev.t)
+
+    def _on_compute_finished(self, ev: ComputeFinished) -> None:
+        self.computed[ev.operator] = ev.t
+        self.busy[ev.uid] = False
+        self._maybe_start_cpu(ev.uid)
+        # output travels to the parent
+        parent = self.tree.parent(ev.operator)
+        if parent is not None and self.alloc.a(parent) != ev.uid:
+            v = self.alloc.a(parent)
+            self._start_flow(
+                key=("edge", ev.operator, ev.t),
+                volume=self.tree[ev.operator].output_mb,
+                constraints=self._edge_constraints(ev.uid, v),
+                cap=self.rho * self.tree[ev.operator].output_mb,
+                kind="edge",
+                payload=(ev.operator, ev.t),
+            )
+        else:
+            self._deliver(ev.operator, ev.t)
+        # the next result of this operator may already be waiting
+        self._maybe_enqueue(ev.operator, ev.t + 1)
+
+    def _on_transfer_finished(self, ev: TransferFinished) -> None:
+        key, version = ev.flow_key
+        flow = self.flows.get(key)
+        if flow is None or flow.version != version:
+            return  # stale schedule from an older rate allocation
+        self._settle()
+        if flow.volume_left > _EPS:
+            return  # rate changed since; a fresher event is queued
+        flow = self._finish_flow(key)
+        if flow.kind == "edge":
+            op, t = flow.payload
+            self._deliver(op, t)
+        # download completions need no action: freshness bookkeeping is
+        # done at launch time.
+
+    def _on_download_launch(self, ev: DownloadLaunch) -> None:
+        key = ("dl", ev.uid, ev.k)
+        obj = self.tree.catalog[ev.k]
+        if key in self.flows:
+            # A refresh at exactly its reserved rate finishes exactly at
+            # the deadline; settle and absorb the floating-point tie.
+            self._settle()
+            flow = self.flows.get(key)
+            if flow is not None and flow.volume_left <= _DEADLINE_GRACE_MB:
+                self._finish_flow(key)
+        if key in self.flows:
+            # previous refresh genuinely still in flight: deadline miss;
+            # skip this period (the stale copy stays in use).
+            self.download_misses += 1
+        else:
+            l = self.alloc.downloads[(ev.uid, ev.k)]
+            self._start_flow(
+                key=key,
+                volume=obj.size_mb,
+                constraints=self._download_constraints(l, ev.uid),
+                cap=obj.rate_mbps,
+                kind="download",
+                payload=(ev.uid, ev.k, ev.period_index),
+            )
+        # chain the next period
+        nxt = ev.period_index + 1
+        self.queue.push(
+            nxt / obj.frequency_hz,
+            DownloadLaunch(ev.uid, ev.k, nxt),
+        )
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        self._last_settle = 0.0
+        # periodic source releases (open loop at the offered rate)
+        for op in self.source_ops:
+            for t in range(1, self.n_results + 1):
+                self.queue.push((t - 1) / self.rho, SourceRelease(op, t))
+        # periodic downloads
+        for (u, k) in self.alloc.downloads:
+            self.queue.push(0.0, DownloadLaunch(u, k, 0))
+
+        saturated = False
+        while self.queue:
+            if len(self.root_completions) >= self.n_results:
+                break
+            when = self.queue.peek_time()
+            if when is not None and when > self.time_limit:
+                saturated = True
+                break
+            self.n_events += 1
+            if self.n_events > self.max_events:
+                saturated = True
+                break
+            _, event = self.queue.pop()
+            if isinstance(event, SourceRelease):
+                self._on_source_release(event)
+            elif isinstance(event, ComputeFinished):
+                self._on_compute_finished(event)
+            elif isinstance(event, TransferFinished):
+                self._on_transfer_finished(event)
+            elif isinstance(event, DownloadLaunch):
+                self._on_download_launch(event)
+            else:  # pragma: no cover - defensive
+                raise ModelError(f"unknown event {event!r}")
+
+        comps = tuple(self.root_completions)
+        achieved = 0.0
+        if len(comps) >= 2:
+            # steady-state window: drop the first third (pipeline fill)
+            start = len(comps) // 3
+            span = comps[-1] - comps[start]
+            if span > 0:
+                achieved = (len(comps) - 1 - start) / span
+            else:
+                achieved = float("inf")
+        horizon = self.queue.now
+        cpu_util = {
+            u: (self.cpu_busy[u] / horizon if horizon > 0 else 0.0)
+            for u in self.procs
+        }
+        nic_util = {}
+        if horizon > 0:
+            for cid, vol in self.transferred.items():
+                cap = self.constraints[cid].capacity
+                if cap > 0:
+                    nic_util[cid] = vol / (cap * horizon)
+        latencies = tuple(
+            comp - t / self.rho for t, comp in enumerate(comps)
+        )
+        return SimulationResult(
+            offered_rate=self.rho,
+            achieved_rate=achieved,
+            n_root_results=len(comps),
+            root_completions=comps,
+            download_misses=self.download_misses,
+            n_events=self.n_events,
+            sim_time=horizon,
+            saturated=saturated or len(comps) < self.n_results,
+            cpu_utilization=cpu_util,
+            nic_utilization=nic_util,
+            latencies=latencies,
+        )

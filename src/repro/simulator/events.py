@@ -1,0 +1,97 @@
+"""Event definitions and the simulation clock/queue.
+
+A tiny, dependency-free event kernel: a heap of ``(time, seq, Event)``
+with a monotone sequence number for deterministic FIFO tie-breaking.
+The engine (:mod:`repro.simulator.engine`) is a *fluid-flow* DES: the
+only event kinds are discrete state changes (a compute step or network
+transfer finishing, a periodic source/download release); between
+events, transfer progress is linear at the current max-min rates.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "Event",
+    "SourceRelease",
+    "ComputeFinished",
+    "TransferFinished",
+    "DownloadLaunch",
+    "EventQueue",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """Base event."""
+
+
+@dataclass(frozen=True, slots=True)
+class SourceRelease(Event):
+    """A source operator may begin computing result ``t`` (open-loop
+    arrival at the offered rate)."""
+
+    operator: int
+    t: int
+
+
+@dataclass(frozen=True, slots=True)
+class ComputeFinished(Event):
+    """Processor ``uid`` finished computing result ``t`` of operator."""
+
+    uid: int
+    operator: int
+    t: int
+
+
+@dataclass(frozen=True, slots=True)
+class TransferFinished(Event):
+    """A fluid flow drained.  ``flow_key`` identifies it in the engine's
+    active-flow table.  Scheduled lazily: the engine validates that the
+    flow is still alive and still due at this time."""
+
+    flow_key: object
+
+
+@dataclass(frozen=True, slots=True)
+class DownloadLaunch(Event):
+    """Periodic basic-object refresh: start the next download of object
+    ``k`` to processor ``uid``."""
+
+    uid: int
+    k: int
+    period_index: int
+
+
+class EventQueue:
+    """Heap-ordered future event list with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+
+    def push(self, when: float, event: Event) -> None:
+        if when < self.now - 1e-9:
+            raise ValueError(
+                f"cannot schedule event in the past ({when} < {self.now})"
+            )
+        heapq.heappush(self._heap, (when, next(self._seq), event))
+
+    def pop(self) -> tuple[float, Event]:
+        when, _seq, event = heapq.heappop(self._heap)
+        self.now = when
+        return when, event
+
+    def peek_time(self) -> float | None:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

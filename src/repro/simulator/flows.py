@@ -1,0 +1,126 @@
+"""Bounded multi-port max-min fair bandwidth sharing.
+
+The platform model (§2.2, after Hong & Prasanna) lets every resource
+send and receive on any number of links simultaneously, with the *sum*
+of its transfer rates bounded by its NIC, and each link imposing a
+per-pair bound.  Given the set of concurrently active flows, the
+steady-state rates realised by TCP-like fair sharing are the classic
+**max-min fair** allocation under those capacity constraints, computed
+by progressive filling:
+
+1. grow all unfrozen flows' rates at the same speed;
+2. the first constraint to saturate freezes all flows through it;
+3. repeat until every flow is frozen (or hits its own demand cap).
+
+Per-flow caps model basic-object refresh streams, which must sustain
+``rate_k`` but should not exceed it (downloading *faster* than the
+refresh frequency is useless).
+
+This module is deliberately independent of the rest of the simulator:
+constraints are abstract (capacity, member flows), so the unit tests
+can exercise textbook max-min examples directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping, Sequence
+
+__all__ = ["FlowSpec", "CapacityConstraint", "max_min_rates"]
+
+
+@dataclass(frozen=True, slots=True)
+class FlowSpec:
+    """One active flow: an id, the constraints it traverses, and an
+    optional rate cap (``None`` = elastic)."""
+
+    flow_id: Hashable
+    constraints: tuple[Hashable, ...]
+    cap: float | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class CapacityConstraint:
+    """A shared capacity (NIC or link), in MB/s."""
+
+    constraint_id: Hashable
+    capacity: float
+
+
+def max_min_rates(
+    flows: Sequence[FlowSpec],
+    constraints: Iterable[CapacityConstraint],
+    *,
+    epsilon: float = 1e-12,
+) -> dict[Hashable, float]:
+    """Progressive-filling max-min fair allocation.
+
+    Returns flow_id → rate (MB/s).  Flows through an unknown constraint
+    id raise ``KeyError`` — that is a wiring bug, not a runtime
+    condition.  A flow crossing a zero-capacity constraint gets rate 0.
+    """
+    cap_left: dict[Hashable, float] = {
+        c.constraint_id: float(c.capacity) for c in constraints
+    }
+    members: dict[Hashable, set[Hashable]] = {cid: set() for cid in cap_left}
+    for f in flows:
+        for cid in f.constraints:
+            members[cid].add(f.flow_id)  # KeyError = wiring bug
+
+    rates: dict[Hashable, float] = {f.flow_id: 0.0 for f in flows}
+    caps: dict[Hashable, float | None] = {f.flow_id: f.cap for f in flows}
+    active: set[Hashable] = {f.flow_id for f in flows}
+
+    # flows through saturated-from-the-start constraints
+    for cid, left in cap_left.items():
+        if left <= epsilon:
+            for fid in members[cid]:
+                active.discard(fid)
+
+    while active:
+        # headroom per active flow for each constraint hosting any
+        increment = None
+        for cid, left in cap_left.items():
+            n = sum(1 for fid in members[cid] if fid in active)
+            if n == 0:
+                continue
+            share = left / n
+            if increment is None or share < increment:
+                increment = share
+        # individual caps may bind earlier
+        cap_binding = None
+        for fid in active:
+            c = caps[fid]
+            if c is not None:
+                room = c - rates[fid]
+                if cap_binding is None or room < cap_binding:
+                    cap_binding = room
+        if increment is None and cap_binding is None:
+            # flows crossing no constraint and uncapped: unbounded demand
+            # is meaningless here; freeze them at +inf? — treat as bug.
+            raise ValueError(
+                "uncapped flow crosses no capacity constraint"
+            )
+        step = min(x for x in (increment, cap_binding) if x is not None)
+        step = max(step, 0.0)
+
+        for fid in active:
+            rates[fid] += step
+        for cid in cap_left:
+            n = sum(1 for fid in members[cid] if fid in active)
+            cap_left[cid] -= step * n
+
+        frozen: set[Hashable] = set()
+        for cid, left in cap_left.items():
+            if left <= epsilon:
+                frozen |= {fid for fid in members[cid] if fid in active}
+        for fid in active:
+            c = caps[fid]
+            if c is not None and rates[fid] >= c - epsilon:
+                frozen.add(fid)
+        if not frozen:
+            # numerical guard: freeze everything touched by the minimum
+            frozen = set(active)
+        active -= frozen
+
+    return rates

@@ -1,0 +1,123 @@
+"""Units and calibration constants used throughout the reproduction.
+
+The paper mixes informal units ("10 GB network card", NIC table in
+"Gbps", object sizes in MB, CPU speeds in GHz).  This module pins down
+one coherent internal system so every other module can do plain float
+arithmetic without conversion mistakes:
+
+========================  =========================================
+quantity                  internal unit
+========================  =========================================
+data size (``δ``)         **megabyte (MB)**
+time                      **second (s)**
+bandwidth / rates         **MB/s**
+compute demand (``w``)    **operations** (dimensionless work units)
+compute speed (``s_u``)   **operations per second**
+money                     **USD**
+========================  =========================================
+
+Conversions
+-----------
+
+* NIC catalog entries quoted in *Gbps* (paper Table 1) convert at
+  ``1 Gbps = 125 MB/s`` (:data:`MB_PER_GBPS`).
+* The paper's "1 GB link" between any two resources is read as 1 GB/s =
+  ``1000 MB/s`` (:data:`DEFAULT_LINK_BANDWIDTH_MBPS`), and the servers'
+  "10 GB network card" as ``10_000 MB/s``
+  (:data:`SERVER_NIC_BANDWIDTH_MBPS`).  These are the only readings
+  under which the paper's large-object experiments (450–530 MB objects
+  downloaded every 2 s, i.e. ≈245 MB/s per download) are feasible at
+  all, matching the reported feasibility limit of ≈45 operators.
+* CPU speeds quoted in *GHz* convert to operations/second via the
+  calibration constant :data:`OPS_PER_GHZ` (see below).
+
+Calibration of ``OPS_PER_GHZ``
+------------------------------
+
+The simulation methodology defines operator work as
+``w_i = (δ_l + δ_r)**α`` with δ in MB, and requires
+``ρ · w_i / s_u ≤ 1``.  The paper does not state how Table 1's GHz
+figures compare with these work units, but it *does* report where
+feasibility collapses (§5):
+
+* N = 60 trees become infeasible past **α ≈ 1.8**, and costs start
+  rising at **α ≈ 1.6**;
+* N = 20 trees: thresholds at **α ≈ 2.2** (infeasible) and **1.7**.
+
+The root operator aggregates the whole leaf mass, ≈ ``(N+1)·17.5`` MB
+for small objects, so infeasibility requires its work to exceed the
+fastest processor: ``mass**α > 46.88·OPS_PER_GHZ``.  Solving both
+reported second thresholds gives ``OPS_PER_GHZ ≈ 6·10³`` (N=60:
+``1067**1.8 ≈ 2.8e5 ≈ 46.88·6000``; N=20: ``367**2.2 ≈ 2.8e5``), and
+the same constant puts the *cheapest* processor's saturation at
+α ≈ 1.6 for N = 60 — the paper's first threshold.  We therefore fix
+``OPS_PER_GHZ = 6000.0``.  Absolute dollar values are not expected to
+match the paper (see EXPERIMENTS.md), but threshold *positions* are.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MB_PER_GBPS",
+    "MB_PER_GB",
+    "OPS_PER_GHZ",
+    "DEFAULT_LINK_BANDWIDTH_MBPS",
+    "SERVER_NIC_BANDWIDTH_MBPS",
+    "gbps_to_mbps",
+    "gb_to_mb",
+    "ghz_to_ops",
+    "mbps_to_gbps",
+    "format_cost",
+    "format_bandwidth",
+]
+
+#: MB/s per Gbps (1 gigabit = 125 megabytes).
+MB_PER_GBPS: float = 125.0
+
+#: MB per GB (decimal, matching vendor marketing units).
+MB_PER_GB: float = 1000.0
+
+#: Operations/second per GHz of catalog CPU speed (calibrated; see module
+#: docstring for the derivation from the paper's α thresholds).
+OPS_PER_GHZ: float = 6000.0
+
+#: Bandwidth of every server↔processor and processor↔processor link
+#: ("we assume that servers and processors are all interconnected by a
+#: 1 GB link", §5), in MB/s.
+DEFAULT_LINK_BANDWIDTH_MBPS: float = 1000.0
+
+#: Bandwidth of each data server's NIC ("equipped with a 10 GB network
+#: card", §5), in MB/s.
+SERVER_NIC_BANDWIDTH_MBPS: float = 10_000.0
+
+
+def gbps_to_mbps(gbps: float) -> float:
+    """Convert a bandwidth quoted in Gbps (paper Table 1) to MB/s."""
+    return gbps * MB_PER_GBPS
+
+
+def mbps_to_gbps(mbps: float) -> float:
+    """Convert an internal MB/s bandwidth back to Gbps for display."""
+    return mbps / MB_PER_GBPS
+
+
+def gb_to_mb(gb: float) -> float:
+    """Convert a size quoted in GB to MB."""
+    return gb * MB_PER_GB
+
+
+def ghz_to_ops(ghz: float) -> float:
+    """Convert a catalog CPU speed in GHz to operations/second."""
+    return ghz * OPS_PER_GHZ
+
+
+def format_cost(dollars: float) -> str:
+    """Render a platform cost as the paper prints them, e.g. ``$52,443``."""
+    return f"${dollars:,.0f}"
+
+
+def format_bandwidth(mbps: float) -> str:
+    """Human-readable bandwidth, choosing MB/s or GB/s as appropriate."""
+    if mbps >= MB_PER_GB:
+        return f"{mbps / MB_PER_GB:.3g} GB/s"
+    return f"{mbps:.3g} MB/s"

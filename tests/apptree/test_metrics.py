@@ -1,0 +1,98 @@
+"""Tests for tree metrics/analytics."""
+
+import numpy as np
+import pytest
+
+from repro.apptree.generators import random_tree
+from repro.apptree.metrics import (
+    communication_profile,
+    compute_metrics,
+    download_demand,
+    work_histogram,
+)
+from repro.apptree.objects import ObjectCatalog
+
+from ..conftest import build_catalog, build_pair_tree
+
+CAT = ObjectCatalog.random(15, seed=0)
+
+
+class TestComputeMetrics:
+    def test_counts(self):
+        t = random_tree(25, CAT, alpha=1.0, seed=1)
+        m = compute_metrics(t)
+        assert m.n_operators == 25
+        assert m.n_leaf_occurrences == 26
+        assert m.n_al_operators == len(t.al_operators)
+        assert m.n_distinct_objects == len(t.used_objects)
+        assert m.height == t.height
+
+    def test_work_aggregates(self):
+        t = random_tree(25, CAT, alpha=1.2, seed=2)
+        m = compute_metrics(t)
+        assert m.total_work == pytest.approx(t.total_work)
+        assert m.max_work == pytest.approx(t.max_work)
+        assert m.root_output_mb == pytest.approx(t[t.root].output_mb)
+
+    def test_edge_aggregates(self):
+        t = random_tree(25, CAT, alpha=1.0, seed=3)
+        m = compute_metrics(t)
+        vols = [e.volume_mb for e in t.edges]
+        assert m.total_edge_volume_mb == pytest.approx(sum(vols))
+        assert m.max_edge_volume_mb == pytest.approx(max(vols))
+
+    def test_popularity_stats(self):
+        cat = build_catalog([10.0, 20.0, 30.0])
+        t = build_pair_tree(cat, k_left=0, k_right=0)
+        m = compute_metrics(t)
+        assert m.max_popularity == 2
+        assert m.mean_popularity == pytest.approx(2.0)
+
+    def test_single_operator_tree(self):
+        cat = build_catalog([5.0])
+        t = build_pair_tree(cat, 0, 0)  # 3 ops; now a true single:
+        from repro.apptree.nodes import Operator
+        from repro.apptree.tree import OperatorTree
+        from repro.apptree.generators import annotate_tree
+
+        single = annotate_tree(
+            OperatorTree(
+                [Operator(index=0, children=(), leaves=(0, 0), work=0,
+                          output_mb=0)],
+                cat,
+            ),
+            alpha=1.0,
+        )
+        m = compute_metrics(single)
+        assert m.n_operators == 1
+        assert m.total_edge_volume_mb == 0.0
+        assert m.max_edge_volume_mb == 0.0
+        assert m.is_left_deep
+
+    def test_as_dict_roundtrip(self):
+        t = random_tree(10, CAT, alpha=1.0, seed=4)
+        d = compute_metrics(t).as_dict()
+        assert d["n_operators"] == 10
+        assert set(d) >= {"total_work", "max_popularity", "height"}
+
+
+class TestProfiles:
+    def test_communication_profile_sorted(self):
+        t = random_tree(30, CAT, alpha=1.0, seed=5)
+        prof = communication_profile(t)
+        assert len(prof) == len(t.edges)
+        assert np.all(np.diff(prof) <= 0)
+
+    def test_download_demand(self):
+        cat = build_catalog([10.0, 20.0])
+        t = build_pair_tree(cat, 0, 0)
+        d = download_demand(t)
+        # object 0 used by two al-operators at rate 5 MB/s each
+        assert d[0] == pytest.approx(2 * 10.0 * 0.5)
+        assert 1 not in d
+
+    def test_work_histogram(self):
+        t = random_tree(30, CAT, alpha=1.0, seed=6)
+        counts, edges = work_histogram(t, n_bins=5)
+        assert counts.sum() == 30
+        assert len(edges) == 6

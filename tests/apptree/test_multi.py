@@ -1,0 +1,215 @@
+"""Tests for multi-application workloads and CSE (future-work S7)."""
+
+import pytest
+
+from repro.apptree.generators import annotate_tree, random_tree
+from repro.apptree.multi import (
+    VIRTUAL_NAME,
+    combine_forest,
+    find_common_subexpressions,
+    merge_common_subexpressions,
+    subtree_signature,
+)
+from repro.apptree.nodes import Operator
+from repro.apptree.objects import ObjectCatalog
+from repro.apptree.tree import OperatorTree
+from repro.errors import TreeStructureError
+
+CAT = ObjectCatalog.random(15, seed=0)
+
+
+def shared_subtree_forest():
+    """Two trees sharing an identical 3-operator subexpression."""
+    # shared part: s0(s1(o0, o1), s2(o2, o3))
+    def shared(base):
+        return [
+            Operator(index=base, children=(base + 1, base + 2), leaves=(),
+                     work=0, output_mb=0),
+            Operator(index=base + 1, children=(), leaves=(0, 1), work=0,
+                     output_mb=0),
+            Operator(index=base + 2, children=(), leaves=(2, 3), work=0,
+                     output_mb=0),
+        ]
+
+    t1_ops = [
+        Operator(index=0, children=(1, 4), leaves=(), work=0, output_mb=0),
+        *shared(1),
+        Operator(index=4, children=(), leaves=(5,), work=0, output_mb=0),
+    ]
+    t2_ops = [
+        Operator(index=0, children=(1, 4), leaves=(), work=0, output_mb=0),
+        *shared(1),
+        Operator(index=4, children=(), leaves=(7, 8), work=0, output_mb=0),
+    ]
+    t1 = annotate_tree(OperatorTree(t1_ops, CAT, name="app1"), alpha=1.0)
+    t2 = annotate_tree(OperatorTree(t2_ops, CAT, name="app2"), alpha=1.0)
+    return t1, t2
+
+
+class TestCombineForest:
+    def test_single_tree_passthrough(self):
+        t = random_tree(5, CAT, alpha=1.0, seed=1)
+        assert combine_forest([t]) is t
+
+    def test_combined_size_and_cost_neutral_glue(self):
+        ts = [random_tree(n, CAT, alpha=1.2, seed=n) for n in (5, 8, 3)]
+        f = combine_forest(ts)
+        assert len(f) == sum(len(t) for t in ts) + len(ts) - 1
+        glue = [op for op in f if op.name == VIRTUAL_NAME]
+        assert len(glue) == len(ts) - 1
+        for op in glue:
+            assert op.work == 0.0 and op.output_mb == 0.0
+        assert f.total_work == pytest.approx(sum(t.total_work for t in ts))
+
+    def test_combined_preserves_edge_volumes(self):
+        ts = [random_tree(4, CAT, alpha=1.0, seed=s) for s in (1, 2)]
+        f = combine_forest(ts)
+        orig = sorted(
+            e.volume_mb for t in ts for e in t.edges
+        )
+        # glue edges have volume equal to each tree root's output and 0
+        glue_vols = sorted(t[t.root].output_mb for t in ts)
+        combined = sorted(e.volume_mb for e in f.edges)
+        assert combined == pytest.approx(sorted(orig + glue_vols))
+
+    def test_mixed_catalogs_rejected(self):
+        other = ObjectCatalog.random(15, seed=99)
+        t1 = random_tree(4, CAT, alpha=1.0, seed=1)
+        t2 = random_tree(4, other, alpha=1.0, seed=2)
+        with pytest.raises(TreeStructureError):
+            combine_forest([t1, t2])
+
+    def test_empty_forest_rejected(self):
+        with pytest.raises(TreeStructureError):
+            combine_forest([])
+
+    def test_combined_allocatable(self):
+        """A combined forest runs through the standard pipeline."""
+        from repro.core import allocate
+        from tests.conftest import make_micro_instance, single_server_farm
+
+        ts = [random_tree(6, CAT, alpha=1.2, seed=s) for s in (3, 4)]
+        f = combine_forest(ts)
+        inst = make_micro_instance(
+            f, farm=single_server_farm(len(CAT))
+        )
+        result = allocate(inst, "subtree-bottom-up", rng=0)
+        assert result.cost > 0
+
+
+class TestSignatures:
+    def test_identical_subtrees_same_signature(self):
+        t1, t2 = shared_subtree_forest()
+        assert subtree_signature(t1, 1) == subtree_signature(t2, 1)
+
+    def test_commutativity_folds_child_order(self):
+        a = annotate_tree(
+            OperatorTree(
+                [
+                    Operator(index=0, children=(1, 2), leaves=(), work=0,
+                             output_mb=0),
+                    Operator(index=1, children=(), leaves=(0,), work=0,
+                             output_mb=0),
+                    Operator(index=2, children=(), leaves=(1, 2), work=0,
+                             output_mb=0),
+                ],
+                CAT,
+            ),
+            alpha=1.0,
+        )
+        b = annotate_tree(
+            OperatorTree(
+                [
+                    Operator(index=0, children=(1, 2), leaves=(), work=0,
+                             output_mb=0),
+                    Operator(index=1, children=(), leaves=(2, 1), work=0,
+                             output_mb=0),
+                    Operator(index=2, children=(), leaves=(0,), work=0,
+                             output_mb=0),
+                ],
+                CAT,
+            ),
+            alpha=1.0,
+        )
+        assert subtree_signature(a, 0) == subtree_signature(b, 0)
+
+    def test_different_objects_different_signature(self):
+        t1, _ = shared_subtree_forest()
+        assert subtree_signature(t1, 1) != subtree_signature(t1, 4)
+
+
+class TestFindCommonSubexpressions:
+    def test_finds_shared_block(self):
+        t1, t2 = shared_subtree_forest()
+        subs = find_common_subexpressions([t1, t2])
+        assert len(subs) == 1
+        sub = subs[0]
+        assert sub.n_operators == 3
+        assert sub.n_duplicates == 1
+        assert set(sub.occurrences) == {(0, 1), (1, 1)}
+        assert sub.work_saved == pytest.approx(
+            sum(t1[j].work for j in t1.subtree(1))
+        )
+
+    def test_maximality(self):
+        """The inner shared al-ops must not be reported separately."""
+        t1, t2 = shared_subtree_forest()
+        subs = find_common_subexpressions([t1, t2], min_operators=1)
+        assert len(subs) == 1
+
+    def test_no_false_positives(self):
+        a = random_tree(10, CAT, alpha=1.0, seed=11)
+        b = random_tree(10, CAT, alpha=1.0, seed=12)
+        subs = find_common_subexpressions([a, b], min_operators=3)
+        for sub in subs:
+            # verify duplicates really are identical by signature
+            (ta, ia), (tb, ib) = sub.occurrences[0], sub.occurrences[1]
+            trees = [a, b]
+            assert subtree_signature(trees[ta], ia) == subtree_signature(
+                trees[tb], ib
+            )
+
+
+class TestMerge:
+    def test_merge_removes_duplicate_work(self):
+        t1, t2 = shared_subtree_forest()
+        total_before = t1.total_work + t2.total_work
+        m = merge_common_subexpressions([t1, t2], alpha=1.0)
+        total_after = sum(t.total_work for t in m.trees)
+        assert total_after == pytest.approx(total_before - m.work_saved)
+        assert m.work_saved > 0
+
+    def test_merge_adds_derived_object(self):
+        t1, t2 = shared_subtree_forest()
+        m = merge_common_subexpressions([t1, t2], alpha=1.0)
+        assert len(m.derived_objects) == 1
+        k = m.derived_objects[0]
+        derived = m.catalog[k]
+        assert derived.size_mb == pytest.approx(t1[1].output_mb)
+        assert derived.frequency_hz == 1.0
+
+    def test_merge_keeps_first_occurrence(self):
+        t1, t2 = shared_subtree_forest()
+        m = merge_common_subexpressions([t1, t2], alpha=1.0)
+        # first tree unchanged in operator count, second shrunk by 3
+        # (the subtree) with its parent gaining a derived leaf
+        assert len(m.trees[0]) == len(t1)
+        assert len(m.trees[1]) == len(t2) - 3
+
+    def test_merge_output_invariant(self):
+        t1, t2 = shared_subtree_forest()
+        m = merge_common_subexpressions([t1, t2], alpha=1.0)
+        for before, after in zip((t1, t2), m.trees):
+            assert after[after.root].output_mb == pytest.approx(
+                before[before.root].output_mb
+            )
+
+    def test_whole_app_duplicate_rejected(self):
+        t = random_tree(6, CAT, alpha=1.0, seed=5)
+        with pytest.raises(TreeStructureError):
+            merge_common_subexpressions([t, t], alpha=1.0)
+
+    def test_publication_rate_reported(self):
+        t1, t2 = shared_subtree_forest()
+        m = merge_common_subexpressions([t1, t2], alpha=1.0, rho=2.0)
+        assert m.publication_rate == pytest.approx(2.0 * t1[1].output_mb)

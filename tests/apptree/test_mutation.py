@@ -1,0 +1,137 @@
+"""Tests for associativity/commutativity rewrites (future-work S6)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apptree.generators import random_tree
+from repro.apptree.mutation import (
+    balanced_equivalent,
+    huffman_equivalent,
+    leaf_multiset,
+    left_deep_equivalent,
+)
+from repro.apptree.objects import ObjectCatalog
+from repro.errors import TreeStructureError
+
+CAT = ObjectCatalog.random(15, seed=0)
+
+
+def brute_force_min_total_mass(sizes):
+    """Optimal Σ(δl+δr) over all binary merge orders, by DP over subsets
+    (Huffman's objective; exponential, only for tiny inputs)."""
+    n = len(sizes)
+    total = {}
+    mass = {}
+    for i in range(n):
+        total[frozenset([i])] = 0.0
+        mass[frozenset([i])] = sizes[i]
+    items = frozenset(range(n))
+
+    def solve(s):
+        if s in total:
+            return total[s]
+        best = float("inf")
+        members = sorted(s)
+        # split s into two non-empty halves
+        for r in range(1, len(members)):
+            for left in itertools.combinations(members, r):
+                lf = frozenset(left)
+                rf = s - lf
+                if min(lf) != members[0]:
+                    continue  # canonical split, avoid mirror duplicates
+                cand = solve(lf) + solve(rf) + sum(
+                    sizes[i] for i in s
+                )
+                best = min(best, cand)
+        total[s] = best
+        mass[s] = sum(sizes[i] for i in s)
+        return best
+
+    return solve(items)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("rewrite", [left_deep_equivalent,
+                                         balanced_equivalent,
+                                         huffman_equivalent])
+    def test_leaf_multiset_preserved(self, rewrite):
+        t = random_tree(20, CAT, alpha=1.0, seed=1)
+        r = rewrite(t, alpha=1.0)
+        assert sorted(leaf_multiset(r)) == sorted(leaf_multiset(t))
+
+    @pytest.mark.parametrize("rewrite", [left_deep_equivalent,
+                                         balanced_equivalent,
+                                         huffman_equivalent])
+    def test_root_output_invariant(self, rewrite):
+        t = random_tree(20, CAT, alpha=1.0, seed=2)
+        r = rewrite(t, alpha=1.0)
+        assert r[r.root].output_mb == pytest.approx(t[t.root].output_mb)
+
+    @pytest.mark.parametrize("rewrite", [left_deep_equivalent,
+                                         balanced_equivalent,
+                                         huffman_equivalent])
+    def test_structure_valid(self, rewrite):
+        t = random_tree(13, CAT, alpha=1.4, seed=3)
+        r = rewrite(t, alpha=1.4)
+        r.validate()
+        assert len(r.leaf_occurrences) == len(t.leaf_occurrences)
+        assert len(r) == len(t.leaf_occurrences) - 1
+
+    def test_left_deep_is_left_deep(self):
+        t = random_tree(10, CAT, alpha=1.0, seed=4)
+        assert left_deep_equivalent(t, alpha=1.0).is_left_deep
+
+    def test_single_leaf_rejected(self):
+        from repro.apptree.nodes import Operator
+        from repro.apptree.tree import OperatorTree
+        from repro.apptree.generators import annotate_tree
+
+        single = annotate_tree(
+            OperatorTree(
+                [Operator(index=0, children=(), leaves=(0,), work=0,
+                          output_mb=0)],
+                CAT,
+            ),
+            alpha=1.0,
+        )
+        with pytest.raises(TreeStructureError):
+            huffman_equivalent(single, alpha=1.0)
+
+
+class TestHuffmanOptimality:
+    def test_huffman_beats_or_ties_other_shapes(self):
+        for seed in range(5):
+            t = random_tree(15, CAT, alpha=1.0, seed=seed)
+            h = huffman_equivalent(t, alpha=1.0).total_work
+            assert h <= left_deep_equivalent(t, alpha=1.0).total_work + 1e-6
+            assert h <= balanced_equivalent(t, alpha=1.0).total_work + 1e-6
+            assert h <= t.total_work + 1e-6
+
+    @given(
+        sizes=st.lists(st.floats(1.0, 100.0), min_size=2, max_size=7),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_huffman_matches_bruteforce_at_alpha_1(self, sizes):
+        cat = ObjectCatalog(
+            [
+                __import__("repro").apptree.BasicObject(
+                    index=k, size_mb=s, frequency_hz=1.0
+                )
+                for k, s in enumerate(sizes)
+            ]
+        )
+        # a left-deep tree over exactly these leaves
+        from repro.apptree.generators import assemble_tree, left_deep_shape
+
+        t = assemble_tree(
+            left_deep_shape(len(sizes) - 1) if len(sizes) > 1 else None,
+            list(range(len(sizes))),
+            cat,
+            alpha=1.0,
+        )
+        h = huffman_equivalent(t, alpha=1.0)
+        assert h.total_work == pytest.approx(
+            brute_force_min_total_mass(sizes), rel=1e-9
+        )

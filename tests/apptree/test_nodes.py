@@ -1,0 +1,89 @@
+"""Tests for operator-node primitives."""
+
+import pytest
+
+from repro.apptree.nodes import LeafRef, Operator, check_child_lists
+from repro.errors import TreeStructureError
+
+
+class TestLeafRef:
+    def test_valid(self):
+        assert LeafRef(3).object_index == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(TreeStructureError):
+            LeafRef(-1)
+
+
+class TestOperator:
+    def test_al_operator_detection(self):
+        al = Operator(index=0, children=(), leaves=(0, 1), work=1, output_mb=1)
+        internal = Operator(index=1, children=(2, 3), leaves=(), work=1,
+                            output_mb=1)
+        mixed = Operator(index=4, children=(5,), leaves=(0,), work=1,
+                         output_mb=1)
+        assert al.is_al_operator
+        assert not internal.is_al_operator
+        assert mixed.is_al_operator
+
+    def test_arity(self):
+        op = Operator(index=0, children=(1,), leaves=(0,), work=0, output_mb=0)
+        assert op.arity == 2
+
+    def test_binary_bound_enforced(self):
+        with pytest.raises(TreeStructureError):
+            Operator(index=0, children=(1, 2), leaves=(0,), work=0,
+                     output_mb=0)
+        with pytest.raises(TreeStructureError):
+            Operator(index=0, children=(), leaves=(0, 1, 2), work=0,
+                     output_mb=0)
+
+    def test_childless_operator_rejected(self):
+        with pytest.raises(TreeStructureError):
+            Operator(index=0, children=(), leaves=(), work=0, output_mb=0)
+
+    def test_duplicate_operator_child_rejected(self):
+        with pytest.raises(TreeStructureError):
+            Operator(index=0, children=(1, 1), leaves=(), work=0, output_mb=0)
+
+    def test_duplicate_leaf_allowed(self):
+        # two leaves of the same object are legal (Figure 1(a): n1 reads
+        # o1 and o2; a node could read o1 twice)
+        op = Operator(index=0, children=(), leaves=(2, 2), work=0,
+                      output_mb=0)
+        assert op.leaves == (2, 2)
+
+    def test_negative_quantities_rejected(self):
+        with pytest.raises(TreeStructureError):
+            Operator(index=0, children=(), leaves=(0,), work=-1, output_mb=0)
+        with pytest.raises(TreeStructureError):
+            Operator(index=0, children=(), leaves=(0,), work=0, output_mb=-1)
+        with pytest.raises(TreeStructureError):
+            Operator(index=-2, children=(), leaves=(0,), work=0, output_mb=0)
+        with pytest.raises(TreeStructureError):
+            Operator(index=0, children=(), leaves=(-3,), work=0, output_mb=0)
+
+    def test_with_annotation_preserves_structure(self):
+        op = Operator(index=5, children=(7,), leaves=(1,), work=0,
+                      output_mb=0, name="agg")
+        new = op.with_annotation(work=12.5, output_mb=30.0)
+        assert new.index == 5 and new.children == (7,) and new.leaves == (1,)
+        assert new.work == 12.5 and new.output_mb == 30.0
+        assert new.name == "agg"
+
+    def test_label(self):
+        assert Operator(index=2, children=(), leaves=(0,), work=0,
+                        output_mb=0).label == "n2"
+
+
+class TestCheckChildLists:
+    def test_accepts_valid_forest(self):
+        check_child_lists([[1], []], [[0], [0, 1]])
+
+    def test_rejects_double_parent(self):
+        with pytest.raises(TreeStructureError):
+            check_child_lists([[2], [2], []], [[], [], [0, 0]])
+
+    def test_rejects_over_arity(self):
+        with pytest.raises(TreeStructureError):
+            check_child_lists([[1, 2]], [[0]])

@@ -1,0 +1,125 @@
+"""Tests for basic objects and the object catalog."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apptree.objects import (
+    BasicObject,
+    HIGH_FREQUENCY_HZ,
+    LARGE_SIZE_RANGE_MB,
+    LOW_FREQUENCY_HZ,
+    ObjectCatalog,
+    SMALL_SIZE_RANGE_MB,
+)
+from repro.errors import ModelError
+
+
+class TestBasicObject:
+    def test_rate_is_size_times_frequency(self):
+        o = BasicObject(index=0, size_mb=20.0, frequency_hz=0.5)
+        assert o.rate_mbps == pytest.approx(10.0)
+
+    def test_paper_frequencies(self):
+        assert HIGH_FREQUENCY_HZ == pytest.approx(1 / 2)
+        assert LOW_FREQUENCY_HZ == pytest.approx(1 / 50)
+
+    def test_label_defaults_to_index(self):
+        assert BasicObject(index=3, size_mb=1, frequency_hz=1).label == "o3"
+        assert BasicObject(index=3, size_mb=1, frequency_hz=1,
+                           name="video").label == "video"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(index=-1, size_mb=1.0, frequency_hz=1.0),
+            dict(index=0, size_mb=0.0, frequency_hz=1.0),
+            dict(index=0, size_mb=-2.0, frequency_hz=1.0),
+            dict(index=0, size_mb=1.0, frequency_hz=0.0),
+            dict(index=0, size_mb=1.0, frequency_hz=-0.5),
+        ],
+    )
+    def test_invalid_objects_rejected(self, kwargs):
+        with pytest.raises(ModelError):
+            BasicObject(**kwargs)
+
+    @given(
+        size=st.floats(0.001, 1e4, allow_nan=False),
+        freq=st.floats(0.001, 100, allow_nan=False),
+    )
+    def test_rate_positive(self, size, freq):
+        assert BasicObject(0, size, freq).rate_mbps > 0
+
+
+class TestObjectCatalog:
+    def test_random_catalog_respects_ranges(self):
+        cat = ObjectCatalog.random(
+            15, size_range_mb=SMALL_SIZE_RANGE_MB, seed=0
+        )
+        assert len(cat) == 15
+        for o in cat:
+            assert SMALL_SIZE_RANGE_MB[0] <= o.size_mb <= SMALL_SIZE_RANGE_MB[1]
+            assert o.frequency_hz == HIGH_FREQUENCY_HZ
+
+    def test_random_catalog_large_regime(self):
+        cat = ObjectCatalog.random(
+            15, size_range_mb=LARGE_SIZE_RANGE_MB, seed=0
+        )
+        for o in cat:
+            assert 450.0 <= o.size_mb <= 530.0
+
+    def test_random_is_seeded(self):
+        a = ObjectCatalog.random(10, seed=5)
+        b = ObjectCatalog.random(10, seed=5)
+        assert a == b
+        assert a is not b
+
+    def test_uniform_catalog(self):
+        cat = ObjectCatalog.uniform(4, size_mb=8.0, frequency_hz=0.25)
+        assert all(o.size_mb == 8.0 for o in cat)
+        assert cat.rate_of(2) == pytest.approx(2.0)
+
+    def test_with_frequency_changes_only_frequency(self):
+        cat = ObjectCatalog.random(6, seed=1)
+        low = cat.with_frequency(1 / 50)
+        assert np.array_equal(low.sizes(), cat.sizes())
+        assert all(o.frequency_hz == pytest.approx(1 / 50) for o in low)
+
+    def test_contiguous_indexing_enforced(self):
+        with pytest.raises(ModelError):
+            ObjectCatalog([BasicObject(index=1, size_mb=1, frequency_hz=1)])
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ModelError):
+            ObjectCatalog([])
+
+    def test_rates_vector_matches_scalar(self):
+        cat = ObjectCatalog.random(7, seed=2)
+        rates = cat.rates()
+        for k in cat.indices:
+            assert rates[k] == pytest.approx(cat.rate_of(k))
+
+    def test_total_rate_with_multiplicity(self):
+        cat = ObjectCatalog.uniform(3, size_mb=10.0, frequency_hz=0.5)
+        assert cat.total_rate() == pytest.approx(15.0)
+        assert cat.total_rate({0: 2, 2: 1}) == pytest.approx(15.0)
+
+    def test_hash_and_eq(self):
+        a = ObjectCatalog.uniform(2, 1.0, 1.0)
+        b = ObjectCatalog.uniform(2, 1.0, 1.0)
+        assert a == b and hash(a) == hash(b)
+        assert a != ObjectCatalog.uniform(2, 2.0, 1.0)
+
+    @given(n=st.integers(1, 40))
+    def test_random_catalog_size(self, n):
+        assert len(ObjectCatalog.random(n, seed=0)) == n
+
+    def test_bad_size_range_rejected(self):
+        with pytest.raises(ModelError):
+            ObjectCatalog.random(3, size_range_mb=(30.0, 5.0), seed=0)
+        with pytest.raises(ModelError):
+            ObjectCatalog.random(3, size_range_mb=(0.0, 5.0), seed=0)
+
+    def test_zero_types_rejected(self):
+        with pytest.raises(ModelError):
+            ObjectCatalog.random(0, seed=0)

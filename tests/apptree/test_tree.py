@@ -1,0 +1,198 @@
+"""Tests for the OperatorTree index-set API and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.apptree.generators import annotate_tree, random_tree
+from repro.apptree.nodes import Operator
+from repro.apptree.objects import ObjectCatalog
+from repro.apptree.tree import OperatorTree
+from repro.errors import TreeStructureError
+
+from ..conftest import build_catalog, build_chain_tree, build_pair_tree
+
+
+def figure1a_tree():
+    """The paper's Figure 1(a): n4(n5(n2(o1), n3(o2, o3)), n1(o1, o2)).
+
+    Re-indexed 0-based: root n0 with children n1, n2; n1 = al-op with
+    leaves (o0, o1); n2 has children n3, n4; n3 leaves (o0,);
+    n4 leaves (o1, o2).
+    """
+    catalog = build_catalog([10.0, 20.0, 40.0])
+    ops = [
+        Operator(index=0, children=(1, 2), leaves=(), work=0, output_mb=0),
+        Operator(index=1, children=(), leaves=(0, 1), work=0, output_mb=0),
+        Operator(index=2, children=(3, 4), leaves=(), work=0, output_mb=0),
+        Operator(index=3, children=(), leaves=(0,), work=0, output_mb=0),
+        Operator(index=4, children=(), leaves=(1, 2), work=0, output_mb=0),
+    ]
+    return annotate_tree(OperatorTree(ops, catalog), alpha=1.0)
+
+
+class TestStructure:
+    def test_root_detection(self):
+        t = figure1a_tree()
+        assert t.root == 0
+        assert t.parent(0) is None
+        assert t.parent(3) == 2
+
+    def test_index_sets(self):
+        t = figure1a_tree()
+        assert t.leaf(1) == (0, 1)
+        assert t.children(2) == (3, 4)
+        assert t.leaf_set([1, 4]) == {0, 1, 2}
+        assert t.children_set([0, 2]) == {1, 2, 3, 4}
+        assert t.parent_set([1, 3]) == {0, 2}
+        assert t.parent_set([0]) == set()
+
+    def test_al_operators(self):
+        t = figure1a_tree()
+        assert t.al_operators == (1, 3, 4)
+
+    def test_orders(self):
+        t = figure1a_tree()
+        bu = t.bottom_up()
+        pos = {op: i for i, op in enumerate(bu)}
+        for e in t.edges:
+            assert pos[e.child] < pos[e.parent]
+        td = t.top_down()
+        pos = {op: i for i, op in enumerate(td)}
+        for e in t.edges:
+            assert pos[e.parent] < pos[e.child]
+
+    def test_depth_and_height(self):
+        t = figure1a_tree()
+        assert t.depth(0) == 0
+        assert t.depth(1) == 1
+        assert t.depth(4) == 2
+        assert t.height == 2
+
+    def test_subtree(self):
+        t = figure1a_tree()
+        assert set(t.subtree(2)) == {2, 3, 4}
+        assert set(t.subtree(0)) == set(range(5))
+
+    def test_popularity(self):
+        t = figure1a_tree()
+        assert t.popularity(0) == 2  # n1 and n3
+        assert t.popularity(1) == 2  # n1 and n4
+        assert t.popularity(2) == 1  # n4 only
+        assert t.object_users(0) == (1, 3)
+
+    def test_leaf_mass_is_annotated_delta(self):
+        t = figure1a_tree()
+        for i in t.operator_indices:
+            assert t.leaf_mass(i) == pytest.approx(t[i].output_mb)
+        # root mass = sum over leaf occurrences: o0,o1 + o0 + o1,o2
+        assert t.leaf_mass(0) == pytest.approx(10 + 20 + 10 + 20 + 40)
+
+    def test_comm_volume_symmetric_lookup(self):
+        t = figure1a_tree()
+        assert t.comm_volume(2, 0) == t.comm_volume(0, 2)
+        assert t.comm_volume(2, 0) == pytest.approx(t[2].output_mb)
+        with pytest.raises(TreeStructureError):
+            t.comm_volume(1, 3)
+
+    def test_neighbors(self):
+        t = figure1a_tree()
+        assert set(t.neighbors(2)) == {3, 4, 0}
+        assert set(t.neighbors(0)) == {1, 2}
+
+    def test_edges_have_child_volume(self):
+        t = figure1a_tree()
+        for e in t.edges:
+            assert e.volume_mb == pytest.approx(t[e.child].output_mb)
+
+
+class TestValidation:
+    def test_two_roots_rejected(self, micro_catalog):
+        ops = [
+            Operator(index=0, children=(), leaves=(0,), work=0, output_mb=0),
+            Operator(index=1, children=(), leaves=(1,), work=0, output_mb=0),
+        ]
+        with pytest.raises(TreeStructureError):
+            OperatorTree(ops, micro_catalog)
+
+    def test_double_parent_rejected(self, micro_catalog):
+        ops = [
+            Operator(index=0, children=(2,), leaves=(0,), work=0, output_mb=0),
+            Operator(index=1, children=(2,), leaves=(0,), work=0, output_mb=0),
+            Operator(index=2, children=(), leaves=(1,), work=0, output_mb=0),
+        ]
+        with pytest.raises(TreeStructureError):
+            OperatorTree(ops, micro_catalog)
+
+    def test_unknown_child_rejected(self, micro_catalog):
+        ops = [
+            Operator(index=0, children=(5,), leaves=(0,), work=0, output_mb=0),
+        ]
+        with pytest.raises(TreeStructureError):
+            OperatorTree(ops, micro_catalog)
+
+    def test_unknown_object_rejected(self, micro_catalog):
+        ops = [
+            Operator(index=0, children=(), leaves=(99,), work=0, output_mb=0),
+        ]
+        with pytest.raises(TreeStructureError):
+            OperatorTree(ops, micro_catalog)
+
+    def test_out_of_order_indices_rejected(self, micro_catalog):
+        ops = [
+            Operator(index=1, children=(), leaves=(0,), work=0, output_mb=0),
+        ]
+        with pytest.raises(TreeStructureError):
+            OperatorTree(ops, micro_catalog)
+
+    def test_empty_tree_rejected(self, micro_catalog):
+        with pytest.raises(TreeStructureError):
+            OperatorTree([], micro_catalog)
+
+    def test_validate_idempotent(self):
+        t = figure1a_tree()
+        t.validate()
+
+
+class TestRelabel:
+    def test_relabel_preserves_semantics(self):
+        t = figure1a_tree()
+        order = [4, 2, 0, 1, 3]
+        r = t.relabel(order)
+        assert len(r) == len(t)
+        assert r.total_work == pytest.approx(t.total_work)
+        assert sorted(e.volume_mb for e in r.edges) == pytest.approx(
+            sorted(e.volume_mb for e in t.edges)
+        )
+        assert len(r.al_operators) == len(t.al_operators)
+
+    def test_relabel_requires_permutation(self):
+        t = figure1a_tree()
+        with pytest.raises(TreeStructureError):
+            t.relabel([0, 0, 1, 2, 3])
+
+
+class TestExports:
+    def test_networkx_export(self):
+        t = figure1a_tree()
+        g = t.to_networkx()
+        op_nodes = [n for n in g.nodes if isinstance(n, int)]
+        assert len(op_nodes) == len(t)
+        # 4 operator edges + 5 leaf edges
+        assert g.number_of_edges() == 4 + 5
+
+    def test_pretty_contains_all_operators(self):
+        t = figure1a_tree()
+        text = t.pretty()
+        for i in t.operator_indices:
+            assert f"n{i}" in text
+
+    def test_is_left_deep(self, micro_catalog):
+        chain = build_chain_tree(micro_catalog, 5)
+        assert chain.is_left_deep
+        assert not figure1a_tree().is_left_deep
+
+    def test_work_vectors(self):
+        t = figure1a_tree()
+        assert t.work_vector().shape == (5,)
+        assert t.total_work == pytest.approx(float(t.work_vector().sum()))
+        assert t.max_work == pytest.approx(float(t.work_vector().max()))

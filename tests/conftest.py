@@ -1,0 +1,140 @@
+"""Shared fixtures and hand-built model objects for the test suite.
+
+The fixtures provide three tiers of instances:
+
+* *micro* — hand-crafted trees with known loads, used to verify exact
+  numerical behaviour of constraints and heuristics;
+* *small* — paper-methodology random instances small enough for the
+  exact solver;
+* *medium* — methodology instances at the figures' operating points.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apptree.generators import annotate_tree, random_tree
+from repro.apptree.nodes import Operator
+from repro.apptree.objects import BasicObject, ObjectCatalog
+from repro.apptree.tree import OperatorTree
+from repro.core.problem import ProblemInstance
+from repro.platform.catalog import Catalog, dell_catalog
+from repro.platform.network import NetworkModel
+from repro.platform.resources import Server
+from repro.platform.servers import ServerFarm
+
+
+# ----------------------------------------------------------------------
+# hand-built micro model
+# ----------------------------------------------------------------------
+
+def build_catalog(sizes, frequency=0.5):
+    """Object catalog from a list of sizes (MB), one frequency."""
+    return ObjectCatalog(
+        [
+            BasicObject(index=k, size_mb=s, frequency_hz=frequency)
+            for k, s in enumerate(sizes)
+        ]
+    )
+
+
+def build_chain_tree(catalog, n_ops, *, alpha=1.0, object_of=None):
+    """Left-deep chain: op i has child i+1 and one leaf (two at the
+    bottom); ``object_of(i)`` picks the leaf object (default 0)."""
+    pick = object_of or (lambda i: 0)
+    ops = []
+    for i in range(n_ops):
+        if i + 1 < n_ops:
+            ops.append(Operator(index=i, children=(i + 1,),
+                                leaves=(pick(i),), work=0.0, output_mb=0.0))
+        else:
+            ops.append(Operator(index=i, children=(),
+                                leaves=(pick(i), pick(i)), work=0.0,
+                                output_mb=0.0))
+    return annotate_tree(OperatorTree(ops, catalog), alpha=alpha)
+
+
+def build_pair_tree(catalog, k_left=0, k_right=1, *, alpha=1.0):
+    """Two al-operators under a root: root(n1(o_k_left,o_k_left2?),...)
+
+    Concretely: n0 root with children n1, n2; n1 has leaves (k_left,),
+    n2 has leaves (k_right,) — wait, binary arity means n1/n2 each take
+    up to two leaves; we give each a single leaf for simplicity, which
+    is legal (|Leaf|+|Ch| = 1 ≥ 1).
+    """
+    ops = [
+        Operator(index=0, children=(1, 2), leaves=(), work=0.0,
+                 output_mb=0.0),
+        Operator(index=1, children=(), leaves=(k_left,), work=0.0,
+                 output_mb=0.0),
+        Operator(index=2, children=(), leaves=(k_right,), work=0.0,
+                 output_mb=0.0),
+    ]
+    return annotate_tree(OperatorTree(ops, catalog), alpha=alpha)
+
+
+def single_server_farm(n_objects, nic=10_000.0):
+    return ServerFarm.single_server(n_objects, nic_mbps=nic)
+
+
+def make_micro_instance(
+    tree,
+    *,
+    farm=None,
+    catalog=None,
+    link=1000.0,
+    rho=1.0,
+):
+    return ProblemInstance(
+        tree=tree,
+        farm=farm or single_server_farm(len(tree.catalog)),
+        catalog=catalog or dell_catalog(),
+        network=NetworkModel(
+            processor_link_mbps=link, server_link_mbps=link
+        ),
+        rho=rho,
+    )
+
+
+# ----------------------------------------------------------------------
+# fixtures
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def micro_catalog():
+    return build_catalog([10.0, 20.0, 30.0])
+
+
+@pytest.fixture
+def pair_tree(micro_catalog):
+    return build_pair_tree(micro_catalog)
+
+
+@pytest.fixture
+def chain_tree(micro_catalog):
+    return build_chain_tree(micro_catalog, 4, object_of=lambda i: i % 3)
+
+
+@pytest.fixture
+def micro_instance(pair_tree):
+    return make_micro_instance(pair_tree)
+
+
+@pytest.fixture
+def small_instance():
+    """Paper-methodology instance small enough for the exact solver."""
+    import repro
+
+    return repro.quick_instance(8, alpha=1.6, seed=11)
+
+
+@pytest.fixture
+def medium_instance():
+    import repro
+
+    return repro.quick_instance(40, alpha=1.5, seed=3)
+
+
+@pytest.fixture
+def dell():
+    return dell_catalog()

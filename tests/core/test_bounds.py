@@ -1,0 +1,77 @@
+"""Tests for the polynomial cost lower bounds.
+
+The defining property: every bound component is ≤ the exact optimum on
+every instance where the optimum is computable.
+"""
+
+import math
+
+import pytest
+
+import repro
+from repro.core import allocate
+from repro.core.bounds import cost_lower_bound
+from repro.core.exact import solve_exact
+
+from ..conftest import build_catalog, build_pair_tree, make_micro_instance
+
+
+class TestComponents:
+    def test_trivial_is_cheapest_machine(self, small_instance):
+        lb = cost_lower_bound(small_instance)
+        assert lb.trivial == pytest.approx(
+            small_instance.catalog.cheapest.cost
+        )
+        assert lb.value >= lb.trivial
+
+    def test_compute_count_scales_with_work(self):
+        # crank α so total work needs several fastest machines
+        inst = repro.quick_instance(20, alpha=1.9, seed=3)
+        lb = cost_lower_bound(inst)
+        total = inst.rho * inst.tree.total_work
+        machines = math.ceil(total / inst.catalog.max_speed_ops - 1e-12)
+        assert lb.compute_count == pytest.approx(
+            max(1, machines) * inst.catalog.cheapest.cost
+        )
+
+    def test_per_operator_infinite_when_infeasible(self):
+        cat = build_catalog([500.0])
+        tree = build_pair_tree(cat, 0, 0, alpha=3.0)
+        inst = make_micro_instance(tree)
+        lb = cost_lower_bound(inst)
+        assert math.isinf(lb.per_operator)
+        assert math.isinf(lb.value)
+
+    def test_binding_names_a_component(self, small_instance):
+        lb = cost_lower_bound(small_instance)
+        assert lb.binding in {
+            "trivial",
+            "compute-count",
+            "compute-fractional",
+            "per-operator",
+            "download-fractional",
+        }
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("alpha", [0.9, 1.7, 1.9])
+    def test_lower_bound_below_exact_optimum(self, seed, alpha):
+        inst = repro.quick_instance(8, alpha=alpha, seed=seed)
+        sol = solve_exact(inst)
+        lb = cost_lower_bound(inst)
+        if sol.feasible:
+            assert lb.value <= sol.cost + 1e-6
+        # infeasible instances may have finite LB — the bound is on the
+        # optimum *if it exists*, so nothing to check.
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_lower_bound_below_heuristic_costs(self, seed):
+        inst = repro.quick_instance(25, alpha=1.6, seed=seed)
+        lb = cost_lower_bound(inst)
+        for name in ("subtree-bottom-up", "comp-greedy"):
+            try:
+                result = allocate(inst, name, rng=0)
+            except repro.ReproError:
+                continue
+            assert lb.value <= result.cost + 1e-6

@@ -1,0 +1,222 @@
+"""Tests for the executable §3 complexity results."""
+
+import math
+
+import pytest
+
+from repro.apptree.nodes import Operator
+from repro.apptree.objects import BasicObject, ObjectCatalog
+from repro.apptree.tree import OperatorTree
+from repro.core.complexity import (
+    is_object_disjoint,
+    minimal_machines_object_disjoint,
+    round_robin_mapping,
+    solve_object_disjoint,
+    three_partition_instance,
+)
+from repro.core.constraints import verify
+from repro.core.exact import solve_exact
+from repro.core.mapping import Allocation
+from repro.core.problem import ProblemInstance
+from repro.errors import ModelError, PlacementError
+from repro.platform.catalog import Catalog, CpuOption, NicOption
+from repro.platform.network import NetworkModel
+from repro.platform.resources import Processor, Server
+from repro.platform.servers import ServerFarm
+
+# YES: {3,3,3} + {3,3,3}, B = 9
+YES_NUMBERS = [3, 3, 3, 3, 3, 3]
+YES_TRIPLES = [(0, 1, 2), (3, 4, 5)]
+# NO: B = 15 but all triples sum to 14 or 16
+NO_NUMBERS = [4, 4, 4, 6, 6, 6]
+
+
+class TestThreePartitionReduction:
+    def test_structure_fully_homogeneous(self):
+        red = three_partition_instance(YES_NUMBERS)
+        assert red.m == 2
+        assert red.target_sum == pytest.approx(9.0)
+        tree = red.instance.tree
+        assert tree.is_left_deep
+        assert all(op.output_mb == 0.0 for op in tree)  # no comm costs
+        assert all(op.work == 1.0 for op in tree)  # uniform work
+        rates = {red.instance.rate(k) for k in tree.used_objects}
+        assert len(rates) == 1  # uniform objects
+        # machine capacities: exactly B operators, exactly 3 downloads
+        spec = red.instance.catalog.cheapest
+        assert spec.speed_ops == pytest.approx(red.target_sum)
+        assert spec.nic_mbps == pytest.approx(3 * rates.pop())
+
+    def test_objects_shared_by_multiple_operators(self):
+        """The hardness source per the paper: shared basic objects."""
+        red = three_partition_instance(YES_NUMBERS)
+        tree = red.instance.tree
+        assert not is_object_disjoint(tree)
+        for j, a in enumerate(red.numbers):
+            assert tree.popularity(j) == a
+
+    def test_yes_certificate_is_feasible_on_m_machines(self):
+        red = three_partition_instance(YES_NUMBERS)
+        alloc = red.allocation_for_triples(YES_TRIPLES)
+        report = verify(alloc)
+        assert report.feasible, report.summary()
+        assert alloc.n_processors == red.yes_means_machines
+
+    def test_yes_group_packing(self):
+        red = three_partition_instance(YES_NUMBERS)
+        assert red.group_packing_feasible(red.m)
+
+    def test_no_instance_rejects_m_machines(self):
+        red = three_partition_instance(NO_NUMBERS)
+        assert not red.group_packing_feasible(red.m)
+        assert red.group_packing_feasible(red.m + 1)
+
+    def test_no_certificate_violates_constraints(self):
+        """Any triple grouping of the NO instance must break Eq. 1."""
+        red = three_partition_instance(NO_NUMBERS)
+        # {4,4,4} vs {6,6,6}: 12 and 18 operators vs capacity 15
+        alloc = red.allocation_for_triples([(0, 1, 2), (3, 4, 5)])
+        report = verify(alloc)
+        assert not report.feasible
+        assert report.by_equation(1)
+
+    def test_splitting_a_group_breaks_nic_budget(self):
+        """Splitting one object's users across machines exceeds the
+        global download budget — the counting argument's core step."""
+        red = three_partition_instance(YES_NUMBERS)
+        spec = red.instance.catalog.cheapest
+        procs = tuple(Processor(uid=u, spec=spec) for u in range(2))
+        # split group 0 between the machines, keep totals at B=9 ops
+        assignment = {}
+        flat = [i for g in red.groups for i in g]
+        for pos, i in enumerate(flat):
+            assignment[i] = 0 if pos < 9 else 1
+        # machine 0 now holds groups 0,1,2 (9 ops) but group 2's last
+        # operator index 8 is the boundary... construct downloads per
+        # actual needs and count slots:
+        from repro.core.mapping import required_downloads
+
+        needs = required_downloads(red.instance, assignment)
+        downloads = {
+            (u, k): 0 for u, ks in needs.items() for k in ks
+        }
+        total_slots = len(downloads)
+        # with a group split the slot count exceeds 3m = 6
+        boundary_split = any(
+            len({assignment[i] for i in g}) > 1 for g in red.groups
+        )
+        if boundary_split:
+            assert total_slots > 6
+        alloc = Allocation(
+            instance=red.instance,
+            processors=procs,
+            assignment=assignment,
+            downloads=downloads,
+        )
+        if boundary_split:
+            assert not verify(alloc).feasible
+
+    def test_exact_solver_confirms_yes_instance(self):
+        """End-to-end: the generic B&B finds an m-machine optimum for
+        a small YES instance (strict range relaxed to keep it tiny)."""
+        red = three_partition_instance([2, 2, 2, 2, 2, 2], strict=False)
+        sol = solve_exact(red.instance, node_budget=500_000)
+        assert sol.feasible
+        assert sol.n_processors == red.m
+
+    @pytest.mark.parametrize(
+        "bad", [[10, 10], [], [1, 1, 1, 50, 50, 50], [2, 2, 2, 2, 2, 3]]
+    )
+    def test_invalid_inputs_rejected(self, bad):
+        with pytest.raises(ModelError):
+            three_partition_instance(bad)
+
+    def test_non_strict_allows_out_of_range(self):
+        red = three_partition_instance([1, 1, 7, 2, 3, 4], strict=False)
+        assert red.m == 2
+
+
+def object_disjoint_instance(n_ops=6, work=10.0, rate_size=20.0,
+                             speed=25.0, nic=45.0):
+    """Uniform object-disjoint chain with δ=0 (the restricted case).
+
+    Every operator gets its own object of identical rate; machine
+    capacities are set so a machine holds exactly two operators.
+    """
+    catalog = ObjectCatalog(
+        [
+            BasicObject(index=k, size_mb=rate_size, frequency_hz=1.0)
+            for k in range(n_ops + 1)
+        ]
+    )
+    ops = []
+    for j in range(n_ops):
+        children = (j + 1,) if j + 1 < n_ops else ()
+        leaves = (j,) if j + 1 < n_ops else (j, j + 1)
+        ops.append(
+            Operator(index=j, children=children, leaves=leaves,
+                     work=work, output_mb=0.0)
+        )
+    tree = OperatorTree(ops, catalog)
+    farm = ServerFarm(
+        [Server(uid=0, objects=frozenset(range(n_ops + 1)),
+                nic_mbps=1e6)]
+    )
+    machine = Catalog(
+        cpu_options=[CpuOption(1.0, 0.0)],
+        nic_options=[NicOption(nic / 125.0, 0.0)],
+        ops_per_ghz=speed,
+    )
+    return ProblemInstance(
+        tree=tree, farm=farm, catalog=machine,
+        network=NetworkModel(processor_link_mbps=1e6,
+                             server_link_mbps=1e6),
+    )
+
+
+class TestObjectDisjointCase:
+    def test_detection(self):
+        inst = object_disjoint_instance()
+        assert is_object_disjoint(inst.tree)
+
+    def test_shared_object_rejected(self):
+        red = three_partition_instance(YES_NUMBERS)
+        assert not is_object_disjoint(red.instance.tree)
+        with pytest.raises(ModelError):
+            round_robin_mapping(red.instance)
+
+    def test_counting_bound(self):
+        inst = object_disjoint_instance(n_ops=6, work=10, speed=25)
+        # compute: 60/25 → 3 machines; bandwidth: 7 objects × 20 = 140
+        # over 45 MB/s NICs → 4 machines
+        assert minimal_machines_object_disjoint(inst) == 4
+
+    def test_round_robin_feasible_at_bound(self):
+        inst = object_disjoint_instance()
+        assignment, k = solve_object_disjoint(inst)
+        assert k == minimal_machines_object_disjoint(inst)
+        assert set(assignment) == set(inst.tree.operator_indices)
+        # verify the mapping as a real allocation
+        spec = inst.catalog.cheapest
+        procs = tuple(Processor(uid=u, spec=spec) for u in range(k))
+        downloads = {}
+        for i, u in assignment.items():
+            for obj in set(inst.tree.leaf(i)):
+                downloads[(u, obj)] = 0
+        alloc = Allocation(
+            instance=inst, processors=procs, assignment=assignment,
+            downloads=downloads,
+        )
+        assert verify(alloc).feasible
+
+    def test_matches_exact_optimum(self):
+        inst = object_disjoint_instance()
+        _, k = solve_object_disjoint(inst)
+        sol = solve_exact(inst)
+        assert sol.feasible
+        assert k == sol.n_processors
+
+    def test_oversized_operator_rejected(self):
+        inst = object_disjoint_instance(work=100.0, speed=25.0)
+        with pytest.raises(PlacementError):
+            solve_object_disjoint(inst)

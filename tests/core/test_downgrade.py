@@ -1,0 +1,67 @@
+"""Tests for the downgrade phase."""
+
+import pytest
+
+import repro
+from repro.core.downgrade import downgrade_processors
+from repro.core.heuristics import make_heuristic
+from repro.core.loads import LoadTracker
+from repro.errors import DowngradeError
+from repro.platform.builder import PlatformBuilder
+
+
+def placed(instance, heuristic="comp-greedy", rng=0):
+    outcome = make_heuristic(heuristic).place(instance, rng=rng)
+    return outcome.builder, outcome.tracker
+
+
+class TestDowngrade:
+    def test_never_increases_cost(self, medium_instance):
+        builder, tracker = placed(medium_instance)
+        before = builder.total_cost
+        downgrade_processors(medium_instance, builder, tracker)
+        assert builder.total_cost <= before + 1e-9
+
+    def test_resulting_specs_cover_loads(self, medium_instance):
+        builder, tracker = placed(medium_instance)
+        loads = downgrade_processors(medium_instance, builder, tracker)
+        for uid, (work, bw) in loads.items():
+            spec = builder.get(uid).spec
+            assert spec.satisfies(work, bw)
+
+    def test_downgrade_is_tight(self, medium_instance):
+        """No strictly cheaper spec covers any processor's load."""
+        builder, tracker = placed(medium_instance)
+        downgrade_processors(medium_instance, builder, tracker)
+        for uid in builder.uids:
+            spec = builder.get(uid).spec
+            work = tracker.compute_load(uid)
+            bw = tracker.nic_load(uid)
+            for other in medium_instance.catalog.specs:
+                if other.cost < spec.cost - 1e-9:
+                    assert not other.satisfies(work, bw)
+
+    def test_incomplete_assignment_rejected(self, medium_instance):
+        builder = PlatformBuilder(medium_instance.catalog)
+        tracker = LoadTracker(medium_instance)
+        builder.acquire_most_expensive()
+        tracker.assign(0, 0)
+        with pytest.raises(DowngradeError):
+            downgrade_processors(medium_instance, builder, tracker)
+
+    def test_homogeneous_is_identity(self):
+        inst = repro.quick_instance(10, alpha=1.5, seed=1)
+        hom = inst.with_catalog(inst.catalog.homogeneous())
+        builder, tracker = placed(hom)
+        before = builder.total_cost
+        downgrade_processors(hom, builder, tracker)
+        assert builder.total_cost == pytest.approx(before)
+
+    def test_most_expensive_buyers_save_money(self):
+        """Heuristics that stage on top-of-catalog machines must get a
+        real saving from the downgrade on easy instances."""
+        inst = repro.quick_instance(20, alpha=0.9, seed=2)
+        builder, tracker = placed(inst, "subtree-bottom-up")
+        before = builder.total_cost
+        downgrade_processors(inst, builder, tracker)
+        assert builder.total_cost < before

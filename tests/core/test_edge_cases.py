@@ -1,0 +1,130 @@
+"""Edge-case and failure-injection tests across the core package."""
+
+import math
+
+import pytest
+
+import repro
+from repro.apptree.generators import annotate_tree
+from repro.apptree.nodes import Operator
+from repro.apptree.tree import OperatorTree
+from repro.core import allocate, verify
+from repro.core.mapping import Allocation
+from repro.core.throughput import max_throughput
+from repro.errors import ReproError
+from repro.platform.resources import Processor
+
+from ..conftest import (
+    build_catalog,
+    build_pair_tree,
+    make_micro_instance,
+    single_server_farm,
+)
+
+
+class TestSingleOperatorApplication:
+    """The smallest legal application: one operator, two leaves."""
+
+    def make(self):
+        cat = build_catalog([10.0, 20.0])
+        ops = [Operator(index=0, children=(), leaves=(0, 1), work=0,
+                        output_mb=0)]
+        tree = annotate_tree(OperatorTree(ops, cat), alpha=1.0)
+        return make_micro_instance(tree)
+
+    @pytest.mark.parametrize(
+        "h", ["random", "comp-greedy", "comm-greedy",
+              "subtree-bottom-up", "object-grouping",
+              "object-availability"]
+    )
+    def test_all_heuristics_handle_it(self, h):
+        inst = self.make()
+        result = allocate(inst, h, rng=0)
+        assert result.n_processors == 1
+        assert verify(result.allocation).feasible
+
+    def test_throughput_finite_cpu_bound(self):
+        inst = self.make()
+        result = allocate(inst, "comp-greedy", rng=0)
+        analysis = max_throughput(result.allocation)
+        # single machine: CPU is the only ρ-dependent constraint
+        assert analysis.bottleneck.endswith(":cpu")
+
+
+class TestIdleProcessors:
+    def test_idle_processor_is_legal_but_costed(self, micro_instance):
+        spec = micro_instance.catalog.cheapest
+        procs = (Processor(0, spec), Processor(1, spec))  # P1 idle
+        alloc = Allocation(
+            instance=micro_instance,
+            processors=procs,
+            assignment={0: 0, 1: 0, 2: 0},
+            downloads={(0, 0): 0, (0, 1): 0},
+        )
+        assert alloc.cost == pytest.approx(2 * spec.cost)
+        assert verify(alloc).feasible
+        assert "(idle)" in alloc.describe()
+
+    def test_pipeline_never_emits_idle_processors(self):
+        inst = repro.quick_instance(20, alpha=1.5, seed=9)
+        for h in ("random", "comm-greedy", "subtree-bottom-up"):
+            result = allocate(inst, h, rng=3)
+            for p in result.allocation.processors:
+                assert result.allocation.a_bar(p.uid)
+
+
+class TestZeroWorkOperators:
+    """Virtual glue nodes (multi-app forests) have w=0, δ=0."""
+
+    def test_zero_work_zero_output_tree(self):
+        cat = build_catalog([10.0])
+        ops = [
+            Operator(index=0, children=(1, 2), leaves=(), work=0.0,
+                     output_mb=0.0),
+            Operator(index=1, children=(), leaves=(0,), work=0.0,
+                     output_mb=0.0),
+            Operator(index=2, children=(), leaves=(0,), work=0.0,
+                     output_mb=0.0),
+        ]
+        tree = OperatorTree(ops, cat)
+        inst = make_micro_instance(tree)
+        result = allocate(inst, "comp-greedy", rng=0)
+        assert result.cost == pytest.approx(inst.catalog.cheapest.cost)
+        # zero-work allocations may have unbounded throughput modulo
+        # downloads; just assert the analysis is well-formed
+        analysis = max_throughput(result.allocation)
+        assert analysis.rho_max > 0
+
+
+class TestHighRho:
+    def test_rho_scales_feasibility(self):
+        inst = repro.quick_instance(15, alpha=1.6, seed=4)
+        base = allocate(inst, "subtree-bottom-up", rng=0)
+        margin = base.throughput.rho_max
+        if math.isinf(margin):
+            pytest.skip("unbounded")
+        # demanding more than the best machine can ever deliver fails
+        hard = inst.with_rho(margin * 50)
+        with pytest.raises(ReproError):
+            allocate(hard, "subtree-bottom-up", rng=0)
+
+    def test_cost_monotone_in_rho_for_sbu(self):
+        inst = repro.quick_instance(25, alpha=1.6, seed=8)
+        costs = []
+        for rho in (0.5, 1.0, 1.5):
+            try:
+                costs.append(
+                    allocate(inst.with_rho(rho), "subtree-bottom-up",
+                             rng=0).cost
+                )
+            except ReproError:
+                costs.append(math.inf)
+        assert costs[0] <= costs[-1]
+
+
+class TestFractionalThroughput:
+    def test_non_unit_rho_verified(self):
+        inst = repro.quick_instance(12, alpha=1.4, seed=2).with_rho(0.25)
+        result = allocate(inst, "comm-greedy", rng=1)
+        assert verify(result.allocation).feasible
+        assert result.throughput.rho_max >= 0.25

@@ -1,0 +1,136 @@
+"""Tests for the exact branch-and-bound solver."""
+
+import math
+
+import pytest
+
+import repro
+from repro.core import allocate
+from repro.core.exact import exact_download_feasible, solve_exact
+from repro.errors import SolverError
+from repro.platform.resources import Server
+from repro.platform.servers import ServerFarm
+
+from ..conftest import build_catalog, build_pair_tree, make_micro_instance
+from .test_constraints import tiny_catalog
+
+
+class TestSolveExact:
+    def test_trivial_instance_one_machine(self):
+        inst = repro.quick_instance(5, alpha=0.9, seed=0)
+        sol = solve_exact(inst)
+        assert sol.feasible and sol.proven_optimal
+        assert sol.n_processors == 1
+        assert sol.cost == pytest.approx(inst.catalog.cheapest.cost)
+
+    def test_blocks_partition_operators(self):
+        inst = repro.quick_instance(7, alpha=1.7, seed=1)
+        sol = solve_exact(inst)
+        ops = sorted(i for block in sol.blocks for i in block)
+        assert ops == list(inst.tree.operator_indices)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_never_worse_than_heuristics(self, seed):
+        inst = repro.quick_instance(9, alpha=1.8, seed=seed)
+        sol = solve_exact(inst)
+        if not sol.feasible:
+            return
+        for name in ("subtree-bottom-up", "comp-greedy", "comm-greedy"):
+            try:
+                result = allocate(inst, name, rng=0)
+            except repro.ReproError:
+                continue
+            assert sol.cost <= result.cost + 1e-6
+
+    def test_warm_start_does_not_change_value(self):
+        inst = repro.quick_instance(8, alpha=1.8, seed=5)
+        cold = solve_exact(inst)
+        warm = solve_exact(inst, best_known=cold.cost * 1.5)
+        assert warm.cost == pytest.approx(cold.cost)
+
+    def test_infeasible_instance_reported(self):
+        cat = build_catalog([500.0])
+        tree = build_pair_tree(cat, 0, 0, alpha=3.0)
+        inst = make_micro_instance(tree)
+        sol = solve_exact(inst)
+        assert not sol.feasible
+        assert math.isinf(sol.cost)
+
+    def test_node_budget_enforced(self):
+        inst = repro.quick_instance(14, alpha=1.8, seed=2)
+        with pytest.raises(SolverError):
+            solve_exact(inst, node_budget=5)
+
+    def test_homogeneous_minimises_machine_count(self):
+        """In CONSTR-HOM min cost ⇔ min #machines; cross-check against a
+        capacity argument: ceil(total work / speed) machines at least."""
+        inst = repro.quick_instance(8, alpha=1.9, seed=7)
+        hom = inst.with_catalog(inst.catalog.homogeneous())
+        sol = solve_exact(hom)
+        if not sol.feasible:
+            return
+        spec = hom.catalog.cheapest
+        lower = math.ceil(hom.rho * hom.tree.total_work / spec.speed_ops - 1e-9)
+        assert sol.n_processors >= lower
+        assert sol.cost == pytest.approx(sol.n_processors * spec.cost)
+
+    def test_respects_link_constraints(self):
+        """Two operators with an over-link edge must share a block."""
+        cat = build_catalog([600.0], frequency=0.001)
+        tree = build_pair_tree(cat, 0, 0, alpha=1.0)
+        inst = make_micro_instance(tree, link=100.0)
+        sol = solve_exact(inst)
+        assert sol.feasible
+        # all edges exceed the 100 MB/s link → single block
+        assert sol.n_processors == 1
+
+
+class TestExactDownloadFeasible:
+    def test_feasible_plan_returned(self):
+        cat = build_catalog([10.0, 20.0])
+        tree = build_pair_tree(cat, 0, 1)
+        inst = make_micro_instance(tree)
+        plan = exact_download_feasible(inst, ((0, 1, 2),))
+        assert plan is not None
+        assert set(plan) == {(0, 0), (0, 1)}
+
+    def test_backtracking_finds_tight_assignment(self):
+        """Greedy-by-order would fail; backtracking must succeed.
+
+        o0 on {S0,S1}, o1 on {S0} only.  S0 can carry one download.
+        Assigning o0→S0 first (rate fills S0) forces backtrack so that
+        o1 takes S0 and o0 goes to S1.
+        """
+        cat = build_catalog([100.0, 100.0])  # rates 50
+        tree = build_pair_tree(cat, 0, 1)
+        farm = ServerFarm(
+            [
+                Server(uid=0, objects=frozenset({0, 1}), nic_mbps=60.0),
+                Server(uid=1, objects=frozenset({0}), nic_mbps=60.0),
+            ]
+        )
+        inst = make_micro_instance(tree, farm=farm)
+        plan = exact_download_feasible(inst, ((0, 1, 2),))
+        assert plan is not None
+        assert plan[(0, 1)] == 0
+        assert plan[(0, 0)] == 1
+
+    def test_provable_infeasibility(self):
+        cat = build_catalog([100.0, 100.0])
+        tree = build_pair_tree(cat, 0, 1)
+        farm = ServerFarm(
+            [Server(uid=0, objects=frozenset({0, 1}), nic_mbps=60.0)]
+        )
+        inst = make_micro_instance(tree, farm=farm)
+        assert exact_download_feasible(inst, ((0, 1, 2),)) is None
+
+    def test_per_block_duplication(self):
+        """Two blocks needing the same object consume capacity twice."""
+        cat = build_catalog([100.0])
+        tree = build_pair_tree(cat, 0, 0)
+        farm = ServerFarm(
+            [Server(uid=0, objects=frozenset({0}), nic_mbps=80.0)]
+        )
+        inst = make_micro_instance(tree, farm=farm)
+        assert exact_download_feasible(inst, ((0, 1, 2),)) is not None
+        assert exact_download_feasible(inst, ((0, 1), (2,))) is None

@@ -1,0 +1,199 @@
+"""Behavioural tests pinning each heuristic's §4.1 mechanics on
+hand-constructed scenarios (beyond the shared contract tests)."""
+
+import pytest
+
+from repro.apptree.generators import annotate_tree
+from repro.apptree.nodes import Operator
+from repro.apptree.objects import BasicObject, ObjectCatalog
+from repro.apptree.tree import OperatorTree
+from repro.core.heuristics import make_heuristic
+from repro.core.problem import ProblemInstance
+from repro.platform.catalog import Catalog, CpuOption, NicOption
+from repro.platform.network import NetworkModel
+from repro.platform.resources import Server
+from repro.platform.servers import ServerFarm
+
+from ..conftest import build_catalog, make_micro_instance
+
+
+def star_of_al_operators(sizes, alpha=1.0):
+    """Root with two al-children... generalised: a balanced tree whose
+    leaves use the given object sizes, one object per al-operator."""
+    catalog = build_catalog(sizes)
+    n_al = len(sizes) // 2
+    ops = []
+    # root chain combining n_al al-operators pairwise (simple comb)
+    # comb: c_0 is root; c_j has children (c_{j+1}, a_j); last comb
+    # node has (a_{n-2}, a_{n-1})
+    n_comb = n_al - 1
+    for j in range(n_comb):
+        if j < n_comb - 1:
+            ops.append(Operator(index=j, children=(j + 1, n_comb + j),
+                                leaves=(), work=0, output_mb=0))
+        else:
+            ops.append(
+                Operator(index=j, children=(n_comb + j, n_comb + j + 1),
+                         leaves=(), work=0, output_mb=0)
+            )
+    for a in range(n_al):
+        k = 2 * a
+        ops.append(
+            Operator(index=n_comb + a, children=(),
+                     leaves=(k, k + 1), work=0, output_mb=0)
+        )
+    tree = OperatorTree(ops, catalog)
+    return annotate_tree(tree, alpha=alpha)
+
+
+class TestCommGreedyMechanics:
+    def test_case_i_consolidates_annotated_trees(self):
+        """On δ-additive trees parent edges dominate, so the whole tree
+        assembles around the first pair via cases (i)/(ii) — one
+        machine, no merges needed."""
+        inst = make_micro_instance(
+            star_of_al_operators([10.0] * 8, alpha=1.0)
+        )
+        outcome = make_heuristic("comm-greedy").place(inst, rng=0)
+        assert len(outcome.builder.uids) == 1
+        kinds = [t.kind for t in outcome.builder.transactions]
+        assert kinds == ["acquire"]
+
+    def test_case_iii_merges_and_sells(self):
+        """Case (iii) fires only when edge volumes are non-monotone
+        (possible for hand-modelled operators): two clusters built
+        around deep heavy edges must merge when their small connecting
+        edges are processed, selling a machine."""
+        catalog = build_catalog([1.0])
+        ops = [
+            Operator(index=0, children=(1, 2), leaves=(), work=1.0,
+                     output_mb=0.0, name="r"),
+            Operator(index=1, children=(3, 4), leaves=(), work=1.0,
+                     output_mb=5.0, name="a"),
+            Operator(index=2, children=(5, 6), leaves=(), work=1.0,
+                     output_mb=5.0, name="b"),
+            *[
+                Operator(index=i, children=(), leaves=(0, 0), work=1.0,
+                         output_mb=100.0)
+                for i in (3, 4, 5, 6)
+            ],
+        ]
+        tree = OperatorTree(ops, catalog)  # hand-annotated, no rewrite
+        inst = make_micro_instance(tree)
+        outcome = make_heuristic("comm-greedy").place(inst, rng=0)
+        assert len(outcome.builder.uids) == 1
+        kinds = [t.kind for t in outcome.builder.transactions]
+        assert "sell" in kinds
+
+    def test_edges_processed_by_volume(self):
+        """The largest edge is always internalised first, so it can
+        never end up cut while a smaller edge is internalised on a
+        multi-machine outcome... weaker invariant tested: the largest
+        edge is internal."""
+        import repro
+
+        inst = repro.quick_instance(30, alpha=1.6, seed=15)
+        outcome = make_heuristic("comm-greedy").place(inst, rng=0)
+        tree = inst.tree
+        big = max(tree.edges, key=lambda e: e.volume_mb)
+        a = outcome.assignment
+        assert a[big.child] == a[big.parent]
+
+
+class TestObjectAvailabilityMechanics:
+    def test_scarcity_order_controls_first_machine(self):
+        """Two objects: o0 on one server (scarce), o1 on three.  The
+        first purchased machine must host o0's consumers."""
+        catalog = build_catalog([10.0, 10.0])
+        ops = [
+            Operator(index=0, children=(1, 2), leaves=(), work=0,
+                     output_mb=0),
+            Operator(index=1, children=(), leaves=(0,), work=0,
+                     output_mb=0),
+            Operator(index=2, children=(), leaves=(1,), work=0,
+                     output_mb=0),
+        ]
+        tree = annotate_tree(OperatorTree(ops, catalog), alpha=1.0)
+        farm = ServerFarm(
+            [
+                Server(uid=0, objects=frozenset({0, 1})),
+                Server(uid=1, objects=frozenset({1})),
+                Server(uid=2, objects=frozenset({1})),
+            ]
+        )
+        inst = make_micro_instance(tree, farm=farm)
+        outcome = make_heuristic("object-availability").place(inst, rng=0)
+        first = min(outcome.builder.uids)
+        assert outcome.assignment[1] == first  # o0's consumer
+
+
+class TestObjectGroupingMechanics:
+    def test_popularity_order(self):
+        """The seed al-operator is the one whose objects are most
+        popular."""
+        catalog = build_catalog([10.0, 10.0, 10.0])
+        # o0 used by two al-ops; o1, o2 by one each
+        ops = [
+            Operator(index=0, children=(1, 2), leaves=(), work=0,
+                     output_mb=0),
+            Operator(index=1, children=(3, 4), leaves=(), work=0,
+                     output_mb=0),
+            Operator(index=2, children=(), leaves=(0, 1), work=0,
+                     output_mb=0),
+            Operator(index=3, children=(), leaves=(0, 2), work=0,
+                     output_mb=0),
+            Operator(index=4, children=(), leaves=(1, 2), work=0,
+                     output_mb=0),
+        ]
+        tree = annotate_tree(OperatorTree(ops, catalog), alpha=1.0)
+        inst = make_micro_instance(tree)
+        heur = make_heuristic("object-grouping")
+        outcome = heur.place(inst, rng=0)
+        # popularity sums: n2 → o0(2)+o1(2)=4, n3 → o0(2)+o2(2)=4,
+        # n4 → o1(2)+o2(2)=4 — tie broken by index → n2 seeds machine 0
+        first = min(outcome.builder.uids)
+        assert outcome.assignment[2] == first
+
+
+class TestSubtreeBottomUpMechanics:
+    def test_transaction_ledger_shows_al_op_machines(self):
+        """Phase A buys one machine per al-operator before merging."""
+        import repro
+
+        inst = repro.quick_instance(20, alpha=1.2, seed=6)
+        outcome = make_heuristic("subtree-bottom-up").place(inst, rng=0)
+        acquisitions = [
+            t for t in outcome.builder.transactions if t.kind == "acquire"
+        ]
+        assert len(acquisitions) >= len(inst.tree.al_operators)
+
+    def test_chain_of_heavy_edges_colocated(self):
+        """SBU handles the over-link chain that defeats Random's
+        single-level grouping."""
+        from ..conftest import build_chain_tree
+
+        cat = build_catalog([600.0])
+        # use tiny frequency so downloads don't dominate
+        cat = ObjectCatalog(
+            [BasicObject(0, 600.0, 0.001)]
+        )
+        tree = build_chain_tree(cat, 3, object_of=lambda i: 0)
+        inst = make_micro_instance(tree, link=500.0)
+        outcome = make_heuristic("subtree-bottom-up").place(inst, rng=0)
+        assert len(set(outcome.assignment.values())) == 1
+
+
+class TestCompGreedyMechanics:
+    def test_most_expensive_bought_then_downgraded_by_pipeline(self):
+        import repro
+        from repro.core import allocate
+
+        inst = repro.quick_instance(15, alpha=1.2, seed=8)
+        outcome = make_heuristic("comp-greedy").place(inst, rng=0)
+        # pre-downgrade: every machine is the top configuration
+        for uid in outcome.builder.uids:
+            assert outcome.builder.get(uid).spec.cost == pytest.approx(
+                inst.catalog.most_expensive.cost
+            )
+        result = allocate(inst, "comp-greedy", rng=0)
+        assert result.cost < outcome.cost  # downgrade saved money

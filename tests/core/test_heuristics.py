@@ -1,0 +1,272 @@
+"""Tests for the six placement heuristics (§4.1).
+
+Every heuristic must produce complete, Eq. 1/2/5-feasible placements
+(or fail loudly); on top of that each heuristic has behavioural tests
+pinned to its paper description.
+"""
+
+import pytest
+
+import repro
+from repro.core.heuristics import (
+    HEURISTIC_ORDER,
+    all_heuristics,
+    make_heuristic,
+)
+from repro.core.heuristics.base import PlacementContext
+from repro.core.loads import standalone_requirement
+from repro.errors import PlacementError
+from repro.platform.catalog import Catalog, CpuOption, NicOption
+
+from ..conftest import (
+    build_catalog,
+    build_chain_tree,
+    build_pair_tree,
+    make_micro_instance,
+)
+
+ALL = list(HEURISTIC_ORDER)
+
+
+class TestRegistry:
+    def test_six_heuristics(self):
+        assert len(HEURISTIC_ORDER) == 6
+        assert len(all_heuristics()) == 6
+
+    def test_names_match_instances(self):
+        for name in HEURISTIC_ORDER:
+            assert make_heuristic(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_heuristic("simulated-annealing")
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestCommonContract:
+    def test_complete_and_feasible(self, name, medium_instance):
+        outcome = make_heuristic(name).place(medium_instance, rng=7)
+        tracker = outcome.tracker
+        assert tracker.is_complete()
+        for uid in outcome.builder.uids:
+            spec = outcome.builder.get(uid).spec
+            assert tracker.fits(uid, spec.speed_ops, spec.nic_mbps)
+
+    def test_no_empty_processors(self, name, medium_instance):
+        outcome = make_heuristic(name).place(medium_instance, rng=7)
+        for uid in outcome.builder.uids:
+            assert outcome.tracker.operators_on(uid)
+
+    def test_deterministic_given_seed(self, name, medium_instance):
+        a = make_heuristic(name).place(medium_instance, rng=13)
+        b = make_heuristic(name).place(medium_instance, rng=13)
+        assert a.assignment == b.assignment
+        assert a.cost == pytest.approx(b.cost)
+
+    def test_fails_loudly_on_oversized_operator(self, name):
+        cat = build_catalog([500.0])
+        tree = build_pair_tree(cat, 0, 0, alpha=3.0)  # root work huge
+        inst = make_micro_instance(tree)
+        with pytest.raises(PlacementError):
+            make_heuristic(name).place(inst, rng=0)
+
+
+class TestRandomPlacement:
+    def test_distinct_seeds_vary_assignments(self, medium_instance):
+        assignments = [
+            tuple(sorted(
+                make_heuristic("random")
+                .place(medium_instance, rng=s)
+                .assignment.items()
+            ))
+            for s in range(5)
+        ]
+        assert len(set(assignments)) > 1
+
+    def test_buys_cheapest_per_operator(self):
+        """Random buys, per operator, exactly the cheapest configuration
+        covering that operator's standalone load."""
+        inst = repro.quick_instance(10, alpha=0.5, seed=3)
+        outcome = make_heuristic("random").place(inst, rng=1)
+        expected = sum(
+            inst.catalog.cheapest_satisfying(
+                *standalone_requirement(inst, (i,))
+            ).cost
+            for i in inst.tree.operator_indices
+        )
+        assert outcome.cost == pytest.approx(expected)
+        assert len(outcome.builder.uids) == len(inst.tree)
+
+    def test_grouping_on_heavy_pair(self):
+        """An operator pair whose connecting edge exceeds the link
+        budget must end up colocated via the grouping technique."""
+        cat = build_catalog([600.0], frequency=0.001)
+        tree = build_chain_tree(cat, 2, object_of=lambda i: 0)
+        inst = make_micro_instance(tree, link=500.0)
+        # the single inner edge carries 1200 MB/s > link → colocate
+        outcome = make_heuristic("random").place(inst, rng=0)
+        assert len(set(outcome.assignment.values())) == 1
+
+    def test_single_level_grouping_limitation(self):
+        """A chain of three over-link edges cannot be repaired by
+        pairing one neighbour — Random fails loudly (the paper's
+        heuristics fail in exactly these regimes)."""
+        cat = build_catalog([600.0], frequency=0.001)
+        tree = build_chain_tree(cat, 3, object_of=lambda i: 0)
+        inst = make_micro_instance(tree, link=500.0)
+        with pytest.raises(PlacementError):
+            make_heuristic("random").place(inst, rng=0)
+
+
+class TestCompGreedy:
+    def test_heaviest_first_on_best_machine(self, medium_instance):
+        outcome = make_heuristic("comp-greedy").place(medium_instance, rng=0)
+        tree = medium_instance.tree
+        heaviest = max(tree.operator_indices, key=lambda i: tree[i].work)
+        first_uid = min(outcome.builder.uids)
+        assert outcome.assignment[heaviest] == first_uid
+
+    def test_consolidates_easy_instances(self):
+        inst = repro.quick_instance(30, alpha=0.9, seed=5)
+        outcome = make_heuristic("comp-greedy").place(inst, rng=0)
+        assert len(outcome.builder.uids) == 1
+
+
+class TestCommGreedy:
+    def test_largest_edge_colocated_when_possible(self, medium_instance):
+        outcome = make_heuristic("comm-greedy").place(medium_instance, rng=0)
+        tree = medium_instance.tree
+        edge = max(tree.edges, key=lambda e: e.volume_mb)
+        a = outcome.assignment
+        assert a[edge.child] == a[edge.parent]
+
+    def test_consolidates_easy_instances(self):
+        inst = repro.quick_instance(30, alpha=0.9, seed=5)
+        outcome = make_heuristic("comm-greedy").place(inst, rng=0)
+        assert len(outcome.builder.uids) == 1
+
+
+class TestSubtreeBottomUp:
+    def test_consolidates_easy_instances(self):
+        inst = repro.quick_instance(40, alpha=0.9, seed=5)
+        outcome = make_heuristic("subtree-bottom-up").place(inst, rng=0)
+        assert len(outcome.builder.uids) == 1
+
+    def test_parent_colocated_with_a_child_when_it_fits(self):
+        inst = repro.quick_instance(25, alpha=1.5, seed=8)
+        outcome = make_heuristic("subtree-bottom-up").place(inst, rng=0)
+        tree = inst.tree
+        a = outcome.assignment
+        for i in tree.operator_indices:
+            kids = tree.children(i)
+            if not kids:
+                continue
+            # SBU invariant: an operator shares a machine with at least
+            # one child unless no machine could host them together —
+            # verify the common case statistically: most internal
+            # operators are colocated with a child.
+        colocated = sum(
+            1 for i in tree.operator_indices
+            if tree.children(i) and any(
+                a[c] == a[i] for c in tree.children(i)
+            )
+        )
+        internal = sum(1 for i in tree.operator_indices if tree.children(i))
+        assert colocated >= internal * 0.8
+
+    def test_al_operators_anchor_machines(self):
+        """With merging disabled by capacity, each al-op keeps its own
+        machine: craft a single-spec catalog that fits exactly one
+        operator."""
+        cat = build_catalog([10.0, 20.0, 30.0])
+        tree = build_pair_tree(cat, 0, 1, alpha=1.0)
+        # capacity fits any single operator (max work = 30+? root work
+        # 30^1=30... masses: 10, 20, root 30 → work same) but not two.
+        single_op = Catalog(
+            cpu_options=[CpuOption(1.0, 0.0)],
+            nic_options=[NicOption(100.0, 0.0)],  # NIC ample
+            ops_per_ghz=31.0,
+        )
+        inst = make_micro_instance(tree, catalog=single_op)
+        outcome = make_heuristic("subtree-bottom-up").place(inst, rng=0)
+        # 3 operators, max capacity 31 < any pair sum (30, 40, 50... )
+        assert len(outcome.builder.uids) == 3
+
+
+class TestObjectGrouping:
+    def test_sharers_colocated(self):
+        """Two al-operators needing the same object land together when
+        capacity allows."""
+        cat = build_catalog([10.0, 20.0])
+        tree = build_pair_tree(cat, 0, 0)
+        inst = make_micro_instance(tree)
+        outcome = make_heuristic("object-grouping").place(inst, rng=0)
+        a = outcome.assignment
+        assert a[1] == a[2]
+
+    def test_all_assigned_on_methodology_instance(self, medium_instance):
+        outcome = make_heuristic("object-grouping").place(
+            medium_instance, rng=0
+        )
+        assert outcome.tracker.is_complete()
+
+
+class TestObjectAvailability:
+    def test_scarce_objects_first(self):
+        """Consumers of the scarcest object land on the first machine."""
+        import repro as _r
+
+        inst = _r.quick_instance(30, alpha=1.2, seed=12)
+        outcome = make_heuristic("object-availability").place(inst, rng=0)
+        farm = inst.farm
+        tree = inst.tree
+        scarcest = min(
+            tree.used_objects, key=lambda k: (farm.availability(k), k)
+        )
+        first_uid = min(outcome.builder.uids)
+        users = [
+            i for i in tree.object_users(scarcest)
+        ]
+        # at least one user of the scarcest object sits on machine 0
+        assert any(outcome.assignment[i] == first_uid for i in users)
+
+
+class TestPlacementContext:
+    def test_group_and_place_displaces_partner(self, medium_instance):
+        ctx = PlacementContext(medium_instance, rng=0)
+        tree = medium_instance.tree
+        # place the partner somewhere first
+        op = tree.root
+        partner = ctx.best_comm_partner(op)
+        uid0 = ctx.buy_most_expensive()
+        assert ctx.try_assign(partner, uid0)
+        uid = ctx.group_and_place(op)
+        assert ctx.tracker.processor_of(op) == uid
+        assert ctx.tracker.processor_of(partner) == uid
+        # partner's old machine was empty afterwards → sold
+        assert uid0 not in ctx.builder or ctx.tracker.operators_on(uid0)
+
+    def test_best_comm_partner_maximises_volume(self, medium_instance):
+        ctx = PlacementContext(medium_instance, rng=0)
+        tree = medium_instance.tree
+        for i in tree.operator_indices:
+            p = ctx.best_comm_partner(i)
+            if p is None:
+                continue
+            vol = tree.comm_volume(i, p)
+            for j in tree.neighbors(i):
+                assert vol >= tree.comm_volume(i, j) - 1e-12
+
+    def test_finish_requires_completeness(self, medium_instance):
+        ctx = PlacementContext(medium_instance, rng=0)
+        with pytest.raises(PlacementError):
+            ctx.finish()
+
+    def test_finish_sells_empty_processors(self, micro_instance):
+        ctx = PlacementContext(micro_instance, rng=0)
+        ctx.buy_most_expensive()  # stays empty
+        uid = ctx.buy_most_expensive()
+        for i in micro_instance.tree.operator_indices:
+            assert ctx.try_assign(i, uid)
+        outcome = ctx.finish()
+        assert outcome.builder.uids == (uid,)

@@ -1,0 +1,79 @@
+"""Tests for the ILP formulation and LP emission (§3)."""
+
+import pytest
+
+import repro
+from repro.core.ilp import build_ilp, model_statistics
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return repro.quick_instance(4, alpha=1.0, seed=0)
+
+
+class TestModelShape:
+    def test_machine_slots_default_to_operator_count(self, tiny):
+        model = build_ilp(tiny)
+        assert model.n_machines == len(tiny.tree)
+
+    def test_variable_counts(self, tiny):
+        model = build_ilp(tiny, n_machines=3)
+        n = len(tiny.tree)
+        specs = len(tiny.catalog)
+        x_vars = n * 3
+        y_vars = 3 * specs
+        assert len(model.binaries) >= x_vars + y_vars
+        # pair variables: |E| × U × (U−1)
+        n_edges = len(tiny.tree.edges)
+        assert len(model.continuous) == n_edges * 3 + n_edges * 3 * 2
+
+    def test_assignment_rows_present(self, tiny):
+        model = build_ilp(tiny, n_machines=2)
+        names = {name for name, *_ in model.rows}
+        for i in tiny.tree.operator_indices:
+            assert f"assign_{i}" in names
+        assert "cpu_0" in names and "nic_1" in names
+
+    def test_objective_prices_configurations(self, tiny):
+        model = build_ilp(tiny, n_machines=1)
+        specs = tiny.catalog.specs
+        assert len(model.objective) == len(specs)
+        assert min(model.objective.values()) == pytest.approx(
+            tiny.catalog.cheapest.cost
+        )
+
+    def test_rejects_zero_machines(self, tiny):
+        with pytest.raises(ValueError):
+            build_ilp(tiny, n_machines=0)
+
+
+class TestLpEmission:
+    def test_lp_format_sections(self, tiny):
+        lp = build_ilp(tiny, n_machines=2).to_lp()
+        for section in ("Minimize", "Subject To", "Bounds", "Binaries",
+                        "End"):
+            assert section in lp
+
+    def test_lp_mentions_all_variables(self, tiny):
+        model = build_ilp(tiny, n_machines=2)
+        lp = model.to_lp()
+        assert "x_0_0" in lp and "y_1_0" in lp
+
+
+class TestStatistics:
+    def test_statistics_consistent_with_model(self, tiny):
+        model = build_ilp(tiny, n_machines=2)
+        st = model.statistics()
+        assert st.n_binary_variables == len(model.binaries)
+        assert st.n_continuous_variables == len(model.continuous)
+        assert st.n_constraints == len(model.rows)
+        assert st.n_variables == st.n_binary_variables + st.n_continuous_variables
+        assert st.lp_text_bytes > 0
+
+    def test_superlinear_growth(self):
+        """The paper's anecdote: the model explodes with N."""
+        small = model_statistics(repro.quick_instance(5, seed=1))
+        big = model_statistics(repro.quick_instance(15, seed=1))
+        ratio_n = 15 / 5
+        assert big.n_constraints / small.n_constraints > ratio_n**2
+        assert big.lp_text_bytes / small.lp_text_bytes > ratio_n**2

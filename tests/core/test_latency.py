@@ -1,0 +1,84 @@
+"""Tests for the analytic pipeline-latency analysis, including the
+cross-check against the discrete-event simulator's measured latency."""
+
+import pytest
+
+import repro
+from repro.core import allocate, pipeline_latency
+from repro.simulator import simulate_allocation
+
+
+class TestPipelineLatency:
+    def test_single_machine_latency_is_critical_compute_path(self):
+        inst = repro.quick_instance(12, alpha=1.4, seed=3)
+        result = allocate(inst, "comp-greedy", rng=0)
+        assert result.n_processors == 1
+        analysis = pipeline_latency(result.allocation)
+        assert analysis.n_cut_edges == 0
+        assert analysis.transfer_s == 0.0
+        assert analysis.latency_s == pytest.approx(analysis.compute_s)
+        # path runs source → root
+        assert analysis.critical_path[-1] == inst.tree.root
+
+    def test_split_mapping_adds_transfer_periods(self):
+        inst = repro.quick_instance(15, alpha=1.5, seed=7)
+        result = allocate(inst, "random", rng=1)
+        analysis = pipeline_latency(result.allocation)
+        assert analysis.n_cut_edges >= 1
+        assert analysis.transfer_s == pytest.approx(
+            analysis.n_cut_edges / inst.rho
+        )
+        assert analysis.latency_s == pytest.approx(
+            analysis.compute_s + analysis.transfer_s
+        )
+
+    def test_path_is_a_root_chain(self):
+        inst = repro.quick_instance(20, alpha=1.3, seed=2)
+        result = allocate(inst, "comm-greedy", rng=0)
+        a = pipeline_latency(result.allocation)
+        tree = inst.tree
+        for child, parent in zip(a.critical_path, a.critical_path[1:]):
+            assert tree.parent(child) == parent
+
+    def test_rho_scaling(self):
+        inst = repro.quick_instance(15, alpha=1.5, seed=5)
+        result = allocate(inst, "random", rng=3)
+        slow = pipeline_latency(result.allocation, rho=0.5)
+        fast = pipeline_latency(result.allocation, rho=1.0)
+        # transfers take a full period: slower rate = longer latency
+        assert slow.transfer_s >= fast.transfer_s
+
+
+class TestAgainstSimulator:
+    @pytest.mark.parametrize("heuristic,seed", [
+        ("comp-greedy", 1),
+        ("random", 4),
+        ("subtree-bottom-up", 9),
+    ])
+    def test_analytic_bounds_measured(self, heuristic, seed):
+        """Analytic latency ≤ DES-measured mean latency ≤ analytic plus
+        a CPU-queueing envelope (one extra service round per machine on
+        the path)."""
+        inst = repro.quick_instance(18, alpha=1.5, seed=seed)
+        result = allocate(inst, heuristic, rng=seed)
+        analysis = pipeline_latency(result.allocation)
+        sim = simulate_allocation(result.allocation, n_results=40)
+        assert sim.download_misses == 0
+        measured = sim.mean_latency
+        assert measured >= analysis.latency_s * 0.99
+        # envelope: full busy period of every machine on the path
+        tree = inst.tree
+        envelope = analysis.latency_s
+        per_machine_busy = {}
+        for p in result.allocation.processors:
+            busy = sum(
+                tree[i].work for i in result.allocation.a_bar(p.uid)
+            ) / p.speed_ops
+            per_machine_busy[p.uid] = busy
+        machines_on_path = {
+            result.allocation.a(i) for i in analysis.critical_path
+        }
+        envelope += sum(
+            per_machine_busy[u] for u in machines_on_path
+        ) + 1.0 / inst.rho
+        assert measured <= envelope

@@ -1,0 +1,225 @@
+"""Tests for incremental load accounting, including the cross-check
+against the literal constraint verifier (the two independent
+implementations must agree on every complete mapping)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.core.constraints import verify
+from repro.core.loads import LoadTracker, standalone_requirement
+from repro.core.mapping import Allocation, required_downloads
+from repro.core.server_selection import ThreeLoopServerSelection
+from repro.errors import ModelError
+from repro.platform.builder import PlatformBuilder
+
+from ..conftest import (
+    build_catalog,
+    build_chain_tree,
+    build_pair_tree,
+    make_micro_instance,
+)
+
+
+@pytest.fixture
+def tracker(micro_instance):
+    return LoadTracker(micro_instance)
+
+
+class TestAssignUnassign:
+    def test_compute_load_accumulates(self, micro_instance, tracker):
+        t = micro_instance.tree
+        tracker.assign(0, 0)
+        tracker.assign(1, 0)
+        assert tracker.compute_load(0) == pytest.approx(
+            t[0].work + t[1].work
+        )
+        tracker.unassign(1)
+        assert tracker.compute_load(0) == pytest.approx(t[0].work)
+
+    def test_double_assign_rejected(self, tracker):
+        tracker.assign(0, 0)
+        with pytest.raises(ModelError):
+            tracker.assign(0, 1)
+
+    def test_unassign_unknown_rejected(self, tracker):
+        with pytest.raises(ModelError):
+            tracker.unassign(2)
+
+    def test_move(self, tracker):
+        tracker.assign(1, 0)
+        tracker.move(1, 3)
+        assert tracker.processor_of(1) == 3
+        assert tracker.compute_load(0) == 0.0
+
+    def test_operators_on(self, tracker):
+        tracker.assign(2, 5)
+        tracker.assign(0, 5)
+        assert tracker.operators_on(5) == (0, 2)
+        assert tracker.used_uids == (5,)
+
+
+class TestDownloadDedup:
+    def test_shared_object_counted_once(self):
+        cat = build_catalog([10.0, 20.0])
+        tree = build_pair_tree(cat, 0, 0)  # both al-ops need object 0
+        inst = make_micro_instance(tree)
+        tr = LoadTracker(inst)
+        tr.assign(1, 0)
+        assert tr.download_rate(0) == pytest.approx(5.0)
+        tr.assign(2, 0)
+        assert tr.download_rate(0) == pytest.approx(5.0)  # dedup
+        tr.unassign(1)
+        assert tr.download_rate(0) == pytest.approx(5.0)  # still needed
+        tr.unassign(2)
+        assert tr.download_rate(0) == pytest.approx(0.0)
+
+    def test_split_operators_duplicate_download(self):
+        cat = build_catalog([10.0, 20.0])
+        tree = build_pair_tree(cat, 0, 0)
+        inst = make_micro_instance(tree)
+        tr = LoadTracker(inst)
+        tr.assign(1, 0)
+        tr.assign(2, 1)
+        assert tr.download_rate(0) == pytest.approx(5.0)
+        assert tr.download_rate(1) == pytest.approx(5.0)
+
+    def test_needed_objects(self, micro_instance):
+        tr = LoadTracker(micro_instance)
+        tr.assign(1, 0)
+        tr.assign(2, 0)
+        assert tr.needed_objects(0) == (0, 1)
+
+
+class TestCommAccounting:
+    def test_pessimistic_then_internalised(self, micro_instance):
+        t = micro_instance.tree
+        tr = LoadTracker(micro_instance)
+        tr.assign(1, 0)
+        # edge (1 -> 0) pessimistically counted while 0 unmapped
+        assert tr.comm_rate(0) == pytest.approx(t[1].output_mb)
+        tr.assign(0, 0)  # root joins: edge internal, but root's other
+        # child (2) is unmapped -> pessimistic on that edge
+        assert tr.comm_rate(0) == pytest.approx(t[2].output_mb)
+        tr.assign(2, 0)
+        assert tr.comm_rate(0) == pytest.approx(0.0)
+
+    def test_cut_edge_counted_both_sides(self, micro_instance):
+        t = micro_instance.tree
+        tr = LoadTracker(micro_instance)
+        tr.assign(1, 0)
+        tr.assign(0, 1)
+        vol = t[1].output_mb
+        assert tr.pair_load(0, 1) == pytest.approx(vol)
+        assert tr.pair_load(1, 0) == pytest.approx(vol)
+        # each side's NIC carries the edge (plus pessimistic others)
+        assert tr.comm_rate(0) == pytest.approx(vol)
+
+    def test_unassign_reverts_pair_load(self, micro_instance):
+        tr = LoadTracker(micro_instance)
+        tr.assign(1, 0)
+        tr.assign(0, 1)
+        tr.unassign(0)
+        assert tr.pair_load(0, 1) == 0.0
+        assert (0, 1) not in tr.pair_loads
+
+    def test_rho_scaling(self, pair_tree):
+        inst = make_micro_instance(pair_tree).with_rho(3.0)
+        tr = LoadTracker(inst)
+        tr.assign(1, 0)
+        assert tr.comm_rate(0) == pytest.approx(
+            3.0 * pair_tree[1].output_mb
+        )
+        assert tr.compute_load(0) == pytest.approx(3.0 * pair_tree[1].work)
+
+
+class TestFits:
+    def test_fits_respects_all_dimensions(self, micro_instance, dell):
+        tr = LoadTracker(micro_instance)
+        tr.assign(0, 0)
+        spec = dell.most_expensive
+        assert tr.fits(0, spec.speed_ops, spec.nic_mbps)
+        assert not tr.fits(0, 0.0, spec.nic_mbps)
+        assert not tr.fits(0, spec.speed_ops, 0.0)
+
+    def test_would_fit_rolls_back(self, micro_instance, dell):
+        tr = LoadTracker(micro_instance)
+        spec = dell.cheapest
+        before = dict(tr.assignment)
+        tr.would_fit(0, 0, spec.speed_ops, spec.nic_mbps)
+        assert tr.assignment == before
+
+    def test_fits_checks_links(self):
+        # edge volume 600 MB/s > link 500 ⇒ split infeasible
+        cat = build_catalog([600.0], frequency=0.001)
+        tree = build_pair_tree(cat, 0, 0)
+        inst = make_micro_instance(tree, link=500.0)
+        tr = LoadTracker(inst)
+        tr.assign(1, 0)
+        tr.assign(0, 1)
+        assert not tr.fits(0, 1e12, 1e12)
+
+
+class TestStandaloneRequirement:
+    def test_empty_group(self, micro_instance):
+        assert standalone_requirement(micro_instance, []) == (0.0, 0.0)
+
+    def test_single_al_operator(self, micro_instance):
+        t = micro_instance.tree
+        work, bw = standalone_requirement(micro_instance, [1])
+        assert work == pytest.approx(t[1].work)
+        # download of o0 (5 MB/s) + output edge to root (10 MB/s)
+        assert bw == pytest.approx(5.0 + t[1].output_mb)
+
+    def test_group_internalises_edges(self, micro_instance):
+        t = micro_instance.tree
+        _, bw_separate = standalone_requirement(micro_instance, [0])
+        _, bw_group = standalone_requirement(micro_instance, [0, 1, 2])
+        # whole tree on one machine: only downloads remain
+        assert bw_group == pytest.approx(5.0 + 10.0)
+        assert bw_group < bw_separate + 1e-9
+
+    def test_group_dedups_objects(self):
+        cat = build_catalog([10.0, 20.0])
+        tree = build_pair_tree(cat, 0, 0)
+        inst = make_micro_instance(tree)
+        _, bw = standalone_requirement(inst, [1, 2])
+        # one download of o0 + two outputs to the (remote) root
+        assert bw == pytest.approx(5.0 + 10.0 + 10.0)
+
+
+class TestTrackerMatchesVerifier:
+    """The incremental tracker and the literal Eq. 1–5 verifier are
+    independent implementations; on complete mappings they must agree."""
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_random_complete_mappings_agree(self, seed):
+        import numpy as np
+
+        inst = repro.quick_instance(10, alpha=1.2, seed=3)
+        rng = np.random.default_rng(seed)
+        n_procs = int(rng.integers(1, 5))
+        tr = LoadTracker(inst)
+        builder = PlatformBuilder(inst.catalog)
+        procs = [builder.acquire_most_expensive() for _ in range(n_procs)]
+        for i in inst.tree.operator_indices:
+            tr.assign(i, int(rng.integers(0, n_procs)))
+        try:
+            downloads = ThreeLoopServerSelection().select(
+                inst, tr.assignment
+            )
+        except repro.ServerSelectionError:
+            return  # nothing to cross-check
+        alloc = Allocation(
+            instance=inst,
+            processors=tuple(procs),
+            assignment=dict(tr.assignment),
+            downloads=downloads,
+        )
+        report = verify(alloc)
+        for u in builder.uids:
+            load, _cap = report.compute_loads[u]
+            assert load == pytest.approx(tr.compute_load(u), rel=1e-9)
+            nic, _cap = report.nic_loads[u]
+            assert nic == pytest.approx(tr.nic_load(u), rel=1e-9)

@@ -1,0 +1,76 @@
+"""Exhaustive reversibility tests for the incremental load tracker.
+
+Every assign/move/unassign sequence must leave zero residue — the
+heuristics do thousands of tentative operations, and any leak would
+silently corrupt feasibility decisions downstream.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.core.loads import LoadTracker
+
+
+class TestReversibility:
+    @given(
+        seed=st.integers(0, 500),
+        script=st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 3)),
+            min_size=1, max_size=60,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_scripts_leave_no_residue(self, seed, script):
+        """Interpret (op, uid) pairs as: assign if unassigned, move if
+        assigned elsewhere, unassign if already there.  Then unassign
+        everything and demand an exactly-clean tracker."""
+        inst = repro.quick_instance(10, alpha=1.3, seed=seed % 5)
+        tr = LoadTracker(inst)
+        for op, uid in script:
+            cur = tr.processor_of(op)
+            if cur is None:
+                tr.assign(op, uid)
+            elif cur == uid:
+                tr.unassign(op)
+            else:
+                tr.move(op, uid)
+        for op in list(tr.assignment):
+            tr.unassign(op)
+        assert not tr.assignment
+        for uid in range(5):
+            assert tr.compute_load(uid) == pytest.approx(0.0, abs=1e-9)
+            assert tr.download_rate(uid) == pytest.approx(0.0, abs=1e-9)
+            assert tr.comm_rate(uid) == pytest.approx(0.0, abs=1e-7)
+            assert tr.needed_objects(uid) == ()
+        assert not dict(tr.pair_loads)
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_assignment_order_irrelevant(self, seed):
+        """Final loads depend only on the final mapping, not the order
+        in which it was built."""
+        import numpy as np
+
+        inst = repro.quick_instance(12, alpha=1.4, seed=1)
+        rng = np.random.default_rng(seed)
+        targets = {
+            i: int(rng.integers(0, 4)) for i in inst.tree.operator_indices
+        }
+        order_a = sorted(targets)
+        order_b = list(reversed(order_a))
+
+        def build(order):
+            tr = LoadTracker(inst)
+            for i in order:
+                tr.assign(i, targets[i])
+            return tr
+
+        ta, tb = build(order_a), build(order_b)
+        for uid in range(4):
+            assert ta.compute_load(uid) == pytest.approx(
+                tb.compute_load(uid)
+            )
+            assert ta.nic_load(uid) == pytest.approx(tb.nic_load(uid))
+        assert {k: pytest.approx(v) for k, v in ta.pair_loads.items()} == \
+            dict(tb.pair_loads)

@@ -1,0 +1,77 @@
+"""Tests for the local-search refinement extension."""
+
+import pytest
+
+import repro
+from repro.core import allocate, verify
+from repro.core.heuristics import make_heuristic, refine_placement
+from repro.errors import PlacementError
+from repro.core.heuristics.base import PlacementContext
+
+
+class TestRefinePlacement:
+    def test_never_worsens(self):
+        for seed in range(4):
+            inst = repro.quick_instance(30, alpha=1.5, seed=seed)
+            outcome = make_heuristic("random").place(inst, rng=seed)
+            report = refine_placement(inst, outcome)
+            assert report.cost_after <= report.cost_before + 1e-9
+
+    def test_collapses_random_on_easy_instances(self):
+        """On instances where everything fits one machine, refinement
+        must take Random's one-machine-per-operator platform down to a
+        single machine."""
+        inst = repro.quick_instance(15, alpha=0.9, seed=3)
+        outcome = make_heuristic("random").place(inst, rng=1)
+        assert len(outcome.builder.uids) == 15
+        report = refine_placement(inst, outcome)
+        assert len(outcome.builder.uids) == 1
+        assert report.merges >= 14 or report.relocations > 0
+        assert report.improvement > 0.9
+
+    def test_refined_placement_flows_through_pipeline(self):
+        inst = repro.quick_instance(25, alpha=1.6, seed=7)
+        plain = allocate(inst, "random", rng=2)
+        refined = allocate(inst, "random", rng=2, refine=True)
+        assert refined.cost <= plain.cost + 1e-9
+        assert verify(refined.allocation).feasible
+        assert refined.refinement is not None
+        assert refined.refinement.cost_after <= refined.refinement.cost_before
+
+    def test_specs_stay_sufficient_after_refinement(self):
+        """The refiner may grow a machine's load beyond its originally
+        purchased spec; it must re-spec so the tracker still fits."""
+        inst = repro.quick_instance(20, alpha=1.5, seed=11)
+        outcome = make_heuristic("random").place(inst, rng=4)
+        refine_placement(inst, outcome)
+        for uid in outcome.builder.uids:
+            spec = outcome.builder.get(uid).spec
+            assert outcome.tracker.fits(uid, spec.speed_ops, spec.nic_mbps)
+
+    def test_near_optimal_after_refinement(self):
+        """Refined Random should approach the exact optimum on small
+        instances — quantifying how much of the gap is 'easy'."""
+        from repro.core import solve_exact
+
+        inst = repro.quick_instance(9, alpha=1.7, seed=5)
+        sol = solve_exact(inst)
+        if not sol.feasible:
+            return
+        refined = allocate(inst, "random", rng=0, refine=True)
+        assert refined.cost <= sol.cost * 1.6
+
+    def test_incomplete_placement_rejected(self):
+        inst = repro.quick_instance(10, alpha=1.2, seed=0)
+        ctx = PlacementContext(inst, rng=0)
+        uid = ctx.buy_most_expensive()
+        ctx.try_assign(0, uid)
+        with pytest.raises(PlacementError):
+            refine_placement(inst, ctx.finish())  # finish raises first
+
+    def test_report_accounting(self):
+        inst = repro.quick_instance(12, alpha=1.0, seed=2)
+        outcome = make_heuristic("random").place(inst, rng=3)
+        report = refine_placement(inst, outcome)
+        assert report.passes >= 1
+        assert report.relocations >= 0 and report.merges >= 0
+        assert 0.0 <= report.improvement <= 1.0

@@ -1,0 +1,149 @@
+"""Tests for the Allocation object (structural validation, accessors)."""
+
+import pytest
+
+from repro.core.mapping import Allocation, required_downloads
+from repro.errors import ModelError
+from repro.platform.resources import Processor, Server
+from repro.platform.servers import ServerFarm
+
+from ..conftest import build_catalog, build_pair_tree, make_micro_instance
+
+
+@pytest.fixture
+def inst():
+    cat = build_catalog([10.0, 20.0, 30.0])
+    tree = build_pair_tree(cat, 0, 1)
+    farm = ServerFarm(
+        [
+            Server(uid=0, objects=frozenset({0, 1})),
+            Server(uid=1, objects=frozenset({1, 2})),
+        ]
+    )
+    return make_micro_instance(tree, farm=farm)
+
+
+def procs(inst, n):
+    spec = inst.catalog.most_expensive
+    return tuple(Processor(uid=u, spec=spec) for u in range(n))
+
+
+class TestRequiredDownloads:
+    def test_per_processor_distinct(self, inst):
+        needs = required_downloads(inst, {0: 0, 1: 0, 2: 0})
+        assert needs == {0: {0, 1}}
+
+    def test_split_duplicates(self, inst):
+        needs = required_downloads(inst, {0: 0, 1: 1, 2: 2})
+        assert needs == {1: {0}, 2: {1}}
+
+    def test_partial_assignment(self, inst):
+        assert required_downloads(inst, {1: 4}) == {4: {0}}
+
+
+class TestAllocationValidation:
+    def test_valid_allocation(self, inst):
+        alloc = Allocation(
+            instance=inst,
+            processors=procs(inst, 1),
+            assignment={0: 0, 1: 0, 2: 0},
+            downloads={(0, 0): 0, (0, 1): 0},
+        )
+        assert alloc.cost > 0
+        assert alloc.a(1) == 0
+        assert alloc.a_bar(0) == (0, 1, 2)
+        assert alloc.dl(0) == {(0, 0), (1, 0)}
+
+    def test_missing_operator_rejected(self, inst):
+        with pytest.raises(ModelError):
+            Allocation(
+                instance=inst,
+                processors=procs(inst, 1),
+                assignment={0: 0, 1: 0},
+                downloads={(0, 0): 0},
+            )
+
+    def test_unknown_processor_rejected(self, inst):
+        with pytest.raises(ModelError):
+            Allocation(
+                instance=inst,
+                processors=procs(inst, 1),
+                assignment={0: 0, 1: 0, 2: 7},
+                downloads={(0, 0): 0, (7, 1): 1},
+            )
+
+    def test_missing_download_rejected(self, inst):
+        with pytest.raises(ModelError):
+            Allocation(
+                instance=inst,
+                processors=procs(inst, 1),
+                assignment={0: 0, 1: 0, 2: 0},
+                downloads={(0, 0): 0},  # o1's download missing
+            )
+
+    def test_spurious_download_rejected(self, inst):
+        with pytest.raises(ModelError):
+            Allocation(
+                instance=inst,
+                processors=procs(inst, 1),
+                assignment={0: 0, 1: 0, 2: 0},
+                downloads={(0, 0): 0, (0, 1): 0, (0, 2): 1},
+            )
+
+    def test_download_from_nonholder_rejected(self, inst):
+        with pytest.raises(ModelError):
+            Allocation(
+                instance=inst,
+                processors=procs(inst, 1),
+                assignment={0: 0, 1: 0, 2: 0},
+                downloads={(0, 0): 1, (0, 1): 0},  # S1 doesn't hold o0
+            )
+
+    def test_duplicate_processor_uid_rejected(self, inst):
+        spec = inst.catalog.cheapest
+        with pytest.raises(ModelError):
+            Allocation(
+                instance=inst,
+                processors=(Processor(0, spec), Processor(0, spec)),
+                assignment={0: 0, 1: 0, 2: 0},
+                downloads={(0, 0): 0, (0, 1): 0},
+            )
+
+
+class TestAllocationAccessors:
+    def make(self, inst):
+        return Allocation(
+            instance=inst,
+            processors=procs(inst, 2),
+            assignment={0: 0, 1: 0, 2: 1},
+            downloads={(0, 0): 0, (1, 1): 1},
+            provenance="test",
+        )
+
+    def test_cost_is_sum(self, inst):
+        alloc = self.make(inst)
+        assert alloc.cost == pytest.approx(
+            2 * inst.catalog.most_expensive.cost
+        )
+        assert alloc.n_processors == 2
+
+    def test_used_uids(self, inst):
+        assert self.make(inst).used_uids == (0, 1)
+
+    def test_processor_map(self, inst):
+        pm = self.make(inst).processor_map
+        assert set(pm) == {0, 1}
+
+    def test_describe_mentions_everything(self, inst):
+        text = self.make(inst).describe()
+        assert "P0" in text and "P1" in text
+        assert "o0<-S0" in text and "o1<-S1" in text
+
+    def test_replace_processors(self, inst):
+        alloc = self.make(inst)
+        spec = inst.catalog.cheapest
+        cheap = tuple(Processor(uid=p.uid, spec=spec)
+                      for p in alloc.processors)
+        swapped = alloc.replace_processors(cheap)
+        assert swapped.cost == pytest.approx(2 * spec.cost)
+        assert swapped.assignment == alloc.assignment

@@ -1,0 +1,128 @@
+"""Tests for the end-to-end allocation pipeline."""
+
+import pytest
+
+import repro
+from repro.core import (
+    HEURISTIC_ORDER,
+    RandomServerSelection,
+    ThreeLoopServerSelection,
+    allocate,
+    default_server_selection,
+    verify,
+)
+from repro.core.pipeline import AllocationResult
+from repro.errors import PlacementError
+
+from ..conftest import build_catalog, build_chain_tree, make_micro_instance
+
+
+class TestDefaults:
+    def test_random_pairs_with_random_selection(self):
+        assert isinstance(
+            default_server_selection("random"), RandomServerSelection
+        )
+
+    @pytest.mark.parametrize(
+        "name", [h for h in HEURISTIC_ORDER if h != "random"]
+    )
+    def test_others_pair_with_three_loop(self, name):
+        assert isinstance(
+            default_server_selection(name), ThreeLoopServerSelection
+        )
+
+
+class TestAllocate:
+    @pytest.mark.parametrize("name", HEURISTIC_ORDER)
+    def test_every_heuristic_produces_verified_allocation(
+        self, name, medium_instance
+    ):
+        result = allocate(medium_instance, name, rng=5)
+        assert isinstance(result, AllocationResult)
+        assert verify(result.allocation).feasible
+        assert result.heuristic == name
+        assert result.cost == pytest.approx(result.allocation.cost)
+        assert result.throughput.rho_max >= medium_instance.rho * (1 - 1e-9)
+
+    def test_accepts_heuristic_instance(self, medium_instance):
+        from repro.core.heuristics import SubtreeBottomUpPlacement
+
+        result = allocate(medium_instance, SubtreeBottomUpPlacement(), rng=0)
+        assert result.heuristic == "subtree-bottom-up"
+
+    def test_downgrade_flag(self, medium_instance):
+        with_dg = allocate(medium_instance, "comp-greedy", rng=0)
+        without = allocate(
+            medium_instance, "comp-greedy", rng=0, downgrade=False
+        )
+        assert with_dg.downgraded
+        assert not without.downgraded
+        assert with_dg.cost <= without.cost + 1e-9
+
+    def test_downgrade_skipped_on_homogeneous(self):
+        inst = repro.quick_instance(10, alpha=1.4, seed=2)
+        hom = inst.with_catalog(inst.catalog.homogeneous())
+        result = allocate(hom, "comp-greedy", rng=0)
+        assert not result.downgraded
+
+    def test_placement_failure_propagates(self):
+        cat = build_catalog([600.0], frequency=0.001)
+        tree = build_chain_tree(cat, 3, object_of=lambda i: 0)
+        inst = make_micro_instance(tree, link=500.0)
+        with pytest.raises(PlacementError):
+            allocate(inst, "random", rng=0)
+
+    def test_server_strategy_override(self, medium_instance):
+        result = allocate(
+            medium_instance,
+            "comp-greedy",
+            server_strategy=RandomServerSelection(),
+            rng=4,
+        )
+        assert result.server_strategy == "random"
+        assert verify(result.allocation).feasible
+
+    def test_deterministic(self, medium_instance):
+        a = allocate(medium_instance, "random", rng=11)
+        b = allocate(medium_instance, "random", rng=11)
+        assert dict(a.allocation.assignment) == dict(b.allocation.assignment)
+        assert a.allocation.downloads == b.allocation.downloads
+
+    def test_elapsed_recorded(self, medium_instance):
+        result = allocate(medium_instance, "subtree-bottom-up", rng=0)
+        assert result.elapsed_s >= 0.0
+
+    def test_provenance_recorded(self, medium_instance):
+        result = allocate(medium_instance, "object-grouping", rng=0)
+        assert result.allocation.provenance == "object-grouping"
+
+
+class TestCostOrdering:
+    def test_informed_heuristics_beat_random(self):
+        """§5 headline: 'all our more sophisticated heuristics perform
+        better than the simple random approach'."""
+        inst = repro.quick_instance(35, alpha=1.5, seed=21)
+        random_cost = allocate(inst, "random", rng=1).cost
+        for name in ("comp-greedy", "comm-greedy", "subtree-bottom-up"):
+            assert allocate(inst, name, rng=1).cost < random_cost
+
+    def test_sbu_wins_or_ties_on_methodology_instances(self):
+        """SBU 'outperforms other heuristics in most situations' — allow
+        rare losses but require it to be best on most seeds."""
+        wins = 0
+        total = 0
+        for seed in range(6):
+            inst = repro.quick_instance(30, alpha=1.6, seed=seed)
+            costs = {}
+            for name in HEURISTIC_ORDER:
+                try:
+                    costs[name] = allocate(inst, name, rng=2).cost
+                except repro.ReproError:
+                    continue
+            if "subtree-bottom-up" not in costs or len(costs) < 2:
+                continue
+            total += 1
+            if costs["subtree-bottom-up"] <= min(costs.values()) + 1e-9:
+                wins += 1
+        assert total >= 4
+        assert wins >= total * 0.5

@@ -1,0 +1,60 @@
+"""Tests for the portfolio allocator (the paper's recommended workflow)."""
+
+import pytest
+
+import repro
+from repro.core import allocate, allocate_best, verify
+from repro.errors import PlacementError
+
+
+class TestAllocateBest:
+    def test_never_worse_than_any_member(self):
+        inst = repro.quick_instance(25, alpha=1.6, seed=4)
+        best = allocate_best(inst, rng=0)
+        assert verify(best.allocation).feasible
+        for name in ("subtree-bottom-up", "comp-greedy"):
+            solo = allocate(inst, name, rng=0)
+            assert best.cost <= solo.cost + 1e-9
+
+    def test_survives_member_failures(self):
+        """In regimes where some heuristics fail, the portfolio still
+        answers with whoever survives (large-object style instance)."""
+        from repro.experiments import large_high, make_instance
+
+        inst = make_instance(
+            large_high(n_operators=30, alpha=1.1, n_instances=1,
+                       fat_nics=True),
+            0,
+        )
+        # SBU fails here; comp-greedy survives (see large-object bench)
+        with pytest.raises(repro.ReproError):
+            allocate(inst, "subtree-bottom-up", rng=0)
+        best = allocate_best(inst, rng=0)
+        assert best.heuristic == "comp-greedy"
+
+    def test_all_fail_raises_with_breakdown(self):
+        inst = repro.quick_instance(40, alpha=2.8, seed=1)
+        with pytest.raises(PlacementError) as exc:
+            allocate_best(inst, rng=0)
+        assert "subtree-bottom-up" in str(exc.value)
+
+    def test_subset_portfolio(self):
+        inst = repro.quick_instance(15, alpha=1.4, seed=2)
+        best = allocate_best(inst, heuristics=("random",), rng=3)
+        assert best.heuristic == "random"
+
+    def test_deterministic(self):
+        inst = repro.quick_instance(20, alpha=1.5, seed=6)
+        a = allocate_best(inst, rng=9)
+        b = allocate_best(inst, rng=9)
+        assert a.cost == pytest.approx(b.cost)
+        assert a.heuristic == b.heuristic
+
+    def test_refine_flag_propagates(self):
+        inst = repro.quick_instance(20, alpha=1.5, seed=7)
+        plain = allocate_best(inst, heuristics=("random",), rng=1)
+        refined = allocate_best(
+            inst, heuristics=("random",), rng=1, refine=True
+        )
+        assert refined.cost <= plain.cost + 1e-9
+        assert refined.refinement is not None

@@ -1,0 +1,82 @@
+"""Tests for the problem-instance container."""
+
+import pytest
+
+from repro.core.problem import ProblemInstance
+from repro.errors import InfeasibleError, ModelError
+from repro.platform.catalog import dell_catalog
+from repro.platform.network import NetworkModel
+from repro.platform.resources import Server
+from repro.platform.servers import ServerFarm
+
+from ..conftest import build_catalog, build_pair_tree, make_micro_instance
+
+
+class TestConstruction:
+    def test_valid_instance(self, micro_instance):
+        assert micro_instance.rho == 1.0
+        assert not micro_instance.is_homogeneous
+
+    def test_homogeneous_detection(self, pair_tree, dell):
+        inst = make_micro_instance(pair_tree, catalog=dell.homogeneous())
+        assert inst.is_homogeneous
+
+    def test_rho_must_be_positive(self, pair_tree):
+        with pytest.raises(ModelError):
+            make_micro_instance(pair_tree).with_rho(0.0)
+
+    def test_unhosted_object_rejected(self, pair_tree):
+        # farm hosting only object 0 while the tree uses 0 and 1
+        farm = ServerFarm([Server(uid=0, objects=frozenset({0}))])
+        with pytest.raises(ModelError):
+            make_micro_instance(pair_tree, farm=farm)
+
+
+class TestAccessors:
+    def test_rates(self, micro_instance):
+        # object 0: 10 MB at 0.5 Hz
+        assert micro_instance.rate(0) == pytest.approx(5.0)
+
+    def test_edge_rate_scales_with_rho(self, micro_instance):
+        base = micro_instance.edge_rate(1)
+        double = micro_instance.with_rho(2.0).edge_rate(1)
+        assert double == pytest.approx(2 * base)
+
+    def test_operator_compute_rate(self, micro_instance):
+        t = micro_instance.tree
+        assert micro_instance.operator_compute_rate(0) == pytest.approx(
+            t[0].work
+        )
+
+    def test_with_catalog(self, micro_instance, dell):
+        hom = micro_instance.with_catalog(dell.homogeneous())
+        assert hom.is_homogeneous
+        assert hom.tree is micro_instance.tree
+
+
+class TestBasicFeasibility:
+    def test_feasible_instance_passes(self, micro_instance):
+        micro_instance.check_basic_feasibility()
+
+    def test_oversized_operator_detected(self, micro_catalog):
+        # α huge → root work beyond any machine
+        tree = build_pair_tree(micro_catalog, alpha=5.0)
+        inst = make_micro_instance(tree)
+        with pytest.raises(InfeasibleError):
+            inst.check_basic_feasibility()
+
+    def test_oversized_download_detected(self):
+        # one object bigger than every NIC: 10_000 MB at 0.5 Hz = 5 GB/s
+        cat = build_catalog([10_000.0])
+        tree = build_pair_tree(cat, 0, 0, alpha=0.0)
+        inst = make_micro_instance(tree)
+        with pytest.raises(InfeasibleError):
+            inst.check_basic_feasibility()
+
+    def test_link_bound_download_detected(self):
+        # object fits the 20 Gbps NIC (2500 MB/s) but not a 1 GB/s link
+        cat = build_catalog([4000.0])  # 2000 MB/s at 0.5 Hz
+        tree = build_pair_tree(cat, 0, 0, alpha=0.0)
+        inst = make_micro_instance(tree, link=1000.0)
+        with pytest.raises(InfeasibleError):
+            inst.check_basic_feasibility()

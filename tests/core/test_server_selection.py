@@ -1,0 +1,204 @@
+"""Tests for the server-selection phase (§4.2)."""
+
+import pytest
+
+import repro
+from repro.core.mapping import required_downloads
+from repro.core.server_selection import (
+    DownloadPlan,
+    RandomServerSelection,
+    ThreeLoopServerSelection,
+    demands_of,
+)
+from repro.errors import ServerSelectionError
+from repro.platform.network import NetworkModel
+from repro.platform.resources import Server
+from repro.platform.servers import ServerFarm
+from repro.core.problem import ProblemInstance
+
+from ..conftest import build_catalog, build_pair_tree
+from .test_constraints import tiny_catalog
+
+
+def selection_instance(*, sizes=(10.0, 20.0), servers=None,
+                       server_nic=10_000.0, link=1000.0):
+    cat = build_catalog(list(sizes))
+    tree = build_pair_tree(cat, 0, 1)
+    farm = ServerFarm(
+        servers
+        or [
+            Server(uid=0, objects=frozenset({0}), nic_mbps=server_nic),
+            Server(uid=1, objects=frozenset({0, 1}), nic_mbps=server_nic),
+        ]
+    )
+    return ProblemInstance(
+        tree=tree,
+        farm=farm,
+        catalog=tiny_catalog(1e9, 1e9),
+        network=NetworkModel(processor_link_mbps=link,
+                             server_link_mbps=link),
+    )
+
+
+class TestDemands:
+    def test_demands_flattened_sorted(self):
+        inst = selection_instance()
+        demands = demands_of(inst, {0: 0, 1: 0, 2: 1})
+        assert demands == [(0, 0), (1, 1)]
+
+    def test_demands_dedup_within_processor(self):
+        cat = build_catalog([10.0])
+        tree = build_pair_tree(cat, 0, 0)
+        farm = ServerFarm.single_server(1)
+        inst = ProblemInstance(tree=tree, farm=farm,
+                               catalog=tiny_catalog(1e9, 1e9))
+        assert demands_of(inst, {0: 0, 1: 0, 2: 0}) == [(0, 0)]
+
+
+class TestDownloadPlan:
+    def test_headroom_tracking(self):
+        inst = selection_instance(server_nic=12.0)
+        plan = DownloadPlan(inst)
+        assert plan.server_headroom(1) == pytest.approx(12.0)
+        plan.assign(0, 1, 1)  # o1 rate 10
+        assert plan.server_headroom(1) == pytest.approx(2.0)
+        assert plan.link_headroom(1, 0) == pytest.approx(990.0)
+
+    def test_capacity_enforced(self):
+        inst = selection_instance(server_nic=12.0)
+        plan = DownloadPlan(inst)
+        plan.assign(0, 1, 1)
+        with pytest.raises(ServerSelectionError):
+            plan.assign(1, 1, 1)  # another 10 > remaining 2
+
+    def test_force_bypasses_capacity(self):
+        inst = selection_instance(server_nic=12.0)
+        plan = DownloadPlan(inst)
+        plan.assign(0, 1, 1)
+        plan.assign(1, 1, 1, force=True)
+        assert plan.is_overcommitted()
+
+    def test_nonholder_always_rejected(self):
+        inst = selection_instance()
+        plan = DownloadPlan(inst)
+        with pytest.raises(ServerSelectionError):
+            plan.assign(0, 1, 0, force=True)  # S0 doesn't hold o1
+
+    def test_double_assignment_rejected(self):
+        inst = selection_instance()
+        plan = DownloadPlan(inst)
+        plan.assign(0, 0, 0)
+        with pytest.raises(ServerSelectionError):
+            plan.assign(0, 0, 1)
+
+
+class TestThreeLoop:
+    def test_loop1_exclusive_objects(self):
+        inst = selection_instance()
+        # o1 is exclusive to S1
+        plan = ThreeLoopServerSelection().select(inst, {0: 0, 1: 0, 2: 0})
+        assert plan[(0, 1)] == 1
+
+    def test_loop1_failure_when_exclusive_saturated(self):
+        inst = selection_instance(
+            servers=[
+                Server(uid=0, objects=frozenset({0}), nic_mbps=10_000),
+                Server(uid=1, objects=frozenset({1}), nic_mbps=1.0),
+            ]
+        )
+        with pytest.raises(ServerSelectionError):
+            ThreeLoopServerSelection().select(inst, {0: 0, 1: 0, 2: 0})
+
+    def test_loop2_prefers_single_object_server(self):
+        # o0 on S0 (single-object) and S1; loop 2 must pick S0
+        inst = selection_instance()
+        plan = ThreeLoopServerSelection().select(inst, {0: 0, 1: 0, 2: 0})
+        assert plan[(0, 0)] == 0
+
+    def test_loop3_balances_by_headroom(self):
+        # two servers both hold o0 only... craft: o0 replicated on both,
+        # two processors each needing o0; loop 3 should spread by
+        # headroom after S0 takes the first.
+        cat = build_catalog([100.0])  # rate 50
+        tree = build_pair_tree(cat, 0, 0)
+        farm = ServerFarm(
+            [
+                Server(uid=0, objects=frozenset({0, }), nic_mbps=60.0),
+                Server(uid=1, objects=frozenset({0, }), nic_mbps=60.0),
+            ]
+        )
+        inst = ProblemInstance(tree=tree, farm=farm,
+                               catalog=tiny_catalog(1e9, 1e9))
+        # both al-ops on different processors → two downloads of o0
+        plan = ThreeLoopServerSelection().select(inst, {0: 0, 1: 0, 2: 1})
+        # o0 is on both servers but each server fits only one download
+        assert {plan[(0, 0)], plan[(1, 0)]} == {0, 1}
+
+    def test_loop3_failure_when_all_saturated(self):
+        cat = build_catalog([100.0])
+        tree = build_pair_tree(cat, 0, 0)
+        farm = ServerFarm(
+            [
+                Server(uid=0, objects=frozenset({0}), nic_mbps=60.0),
+                Server(uid=1, objects=frozenset({0}), nic_mbps=40.0),
+            ]
+        )
+        inst = ProblemInstance(tree=tree, farm=farm,
+                               catalog=tiny_catalog(1e9, 1e9))
+        with pytest.raises(ServerSelectionError):
+            ThreeLoopServerSelection().select(inst, {0: 0, 1: 1, 2: 2})
+
+    def test_link_capacity_respected(self):
+        # server NIC huge but per-link 55 < two downloads to same proc
+        cat = build_catalog([100.0, 100.0])  # rates 50 each
+        tree = build_pair_tree(cat, 0, 1)
+        farm = ServerFarm(
+            [Server(uid=0, objects=frozenset({0, 1}), nic_mbps=10_000)]
+        )
+        inst = ProblemInstance(
+            tree=tree, farm=farm, catalog=tiny_catalog(1e9, 1e9),
+            network=NetworkModel(server_link_mbps=55.0),
+        )
+        with pytest.raises(ServerSelectionError):
+            ThreeLoopServerSelection().select(inst, {0: 0, 1: 0, 2: 0})
+
+    def test_covers_all_demands(self):
+        inst = repro.quick_instance(30, alpha=1.2, seed=6)
+        from repro.core import make_heuristic
+
+        outcome = make_heuristic("comp-greedy").place(inst, rng=0)
+        plan = ThreeLoopServerSelection().select(
+            inst, outcome.tracker.assignment
+        )
+        needs = required_downloads(inst, outcome.tracker.assignment)
+        wanted = {(u, k) for u, ks in needs.items() for k in ks}
+        assert set(plan) == wanted
+        for (u, k), l in plan.items():
+            assert inst.farm[l].hosts(k)
+
+
+class TestRandomSelection:
+    def test_valid_plan_from_holders(self):
+        inst = selection_instance()
+        plan = RandomServerSelection().select(
+            inst, {0: 0, 1: 0, 2: 0}, rng=3
+        )
+        for (u, k), l in plan.items():
+            assert inst.farm[l].hosts(k)
+
+    def test_deterministic_under_seed(self):
+        inst = selection_instance()
+        a = RandomServerSelection().select(inst, {0: 0, 1: 0, 2: 0}, rng=3)
+        b = RandomServerSelection().select(inst, {0: 0, 1: 0, 2: 0}, rng=3)
+        assert a == b
+
+    def test_overcommit_detected(self):
+        cat = build_catalog([100.0])
+        tree = build_pair_tree(cat, 0, 0)
+        farm = ServerFarm(
+            [Server(uid=0, objects=frozenset({0}), nic_mbps=60.0)]
+        )
+        inst = ProblemInstance(tree=tree, farm=farm,
+                               catalog=tiny_catalog(1e9, 1e9))
+        with pytest.raises(ServerSelectionError):
+            RandomServerSelection().select(inst, {0: 0, 1: 1, 2: 2}, rng=0)

@@ -1,0 +1,94 @@
+"""Tests for figure campaign definitions (small populations)."""
+
+import math
+
+import pytest
+
+from repro.experiments.figures import (
+    fig2a,
+    fig2b,
+    fig3,
+    ilp_size,
+    large_objects,
+    low_frequency,
+    optimal_comparison,
+    rate_sweep,
+)
+
+
+class TestSweepFigures:
+    def test_fig2a_uses_dense_calibration(self):
+        sweep = fig2a(n_values=(10,), n_instances=1)
+        assert sweep.configs[10.0].ops_per_ghz == 30.0
+        assert sweep.configs[10.0].link_mbps == 2500.0
+        assert sweep.name == "fig2a"
+
+    def test_fig2b_uses_standard_calibration(self):
+        sweep = fig2b(n_values=(10,), n_instances=1)
+        assert sweep.configs[10.0].ops_per_ghz == 6000.0
+        assert sweep.configs[10.0].alpha == 1.7
+
+    def test_fig3_alpha_axis(self):
+        sweep = fig3(alpha_values=(0.9, 2.6), n_operators=20,
+                     n_instances=1)
+        assert sweep.parameter == "alpha"
+        assert sweep.x_values == (0.9, 2.6)
+
+    def test_large_objects_regime(self):
+        sweep = large_objects(n_values=(6,), n_instances=1)
+        cfg = sweep.configs[6.0]
+        assert cfg.size_range_mb == (450.0, 530.0)
+
+    def test_rate_sweep_axis(self):
+        sweep = rate_sweep(frequencies_hz=(0.5, 0.02), n_operators=10,
+                           n_instances=1)
+        assert sweep.parameter == "frequency"
+        assert len(sweep.x_values) == 2
+
+
+class TestLowFrequency:
+    def test_comparison_runs(self):
+        rows = low_frequency(n_operators=15, n_instances=2,
+                             heuristics=("comp-greedy",))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.heuristic == "comp-greedy"
+        assert row.n_instances >= 1
+        # low frequency can never cost more
+        assert row.mean_cost_low <= row.mean_cost_high + 1e-6
+        assert "same mapping" in row.render()
+
+
+class TestOptimalComparison:
+    def test_small_campaign(self):
+        cmp_ = optimal_comparison(
+            n_operators=7, n_instances=3, alpha=1.8,
+            heuristics=("subtree-bottom-up", "random"),
+        )
+        assert cmp_.n_instances >= 1
+        # ratios are ≥ 1 (optimum is optimal)
+        for h, ratios in cmp_.heuristic_ratios.items():
+            for r in ratios:
+                if math.isfinite(r):
+                    assert r >= 1.0 - 1e-9
+        # SBU must be within a small factor of optimal on tiny trees
+        assert cmp_.mean_ratio("subtree-bottom-up") <= 1.5
+        text = cmp_.render()
+        assert "subtree-bottom-up" in text
+
+    def test_optimal_hits_counted(self):
+        cmp_ = optimal_comparison(
+            n_operators=6, n_instances=2, alpha=1.6,
+            heuristics=("subtree-bottom-up",),
+        )
+        hits = cmp_.optimal_hits("subtree-bottom-up")
+        assert 0 <= hits <= len(cmp_.heuristic_ratios["subtree-bottom-up"])
+
+
+class TestIlpSize:
+    def test_growth_rendered(self):
+        sweep = ilp_size(n_values=(4, 8))
+        assert len(sweep.stats) == 2
+        assert sweep.stats[1].n_constraints > sweep.stats[0].n_constraints
+        text = sweep.render()
+        assert "LP bytes" in text

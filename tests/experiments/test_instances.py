@@ -1,0 +1,66 @@
+"""Tests for campaign instance generation."""
+
+import pytest
+
+from repro.experiments.config import large_high, small_high, small_low
+from repro.experiments.instances import instance_stream, make_instance
+
+
+class TestMakeInstance:
+    def test_reproducible(self):
+        cfg = small_high(n_operators=25, n_instances=2, master_seed=7)
+        a = make_instance(cfg, 0)
+        b = make_instance(cfg, 0)
+        assert [op.leaves for op in a.tree] == [op.leaves for op in b.tree]
+        for l in a.farm.uids:
+            assert a.farm[l].objects == b.farm[l].objects
+
+    def test_index_varies_population(self):
+        cfg = small_high(n_operators=25, master_seed=7)
+        a = make_instance(cfg, 0)
+        b = make_instance(cfg, 1)
+        assert [op.leaves for op in a.tree] != [op.leaves for op in b.tree]
+
+    def test_config_dimensions_respected(self):
+        cfg = small_high(n_operators=33, n_servers=4, n_object_types=9)
+        inst = make_instance(cfg, 0)
+        assert len(inst.tree) == 33
+        assert len(inst.farm) == 4
+        assert len(inst.tree.catalog) == 9
+
+    def test_large_regime_sizes(self):
+        inst = make_instance(large_high(n_operators=10), 0)
+        for o in inst.tree.catalog:
+            assert 450.0 <= o.size_mb <= 530.0
+
+    def test_frequency_change_keeps_tree(self):
+        """High- and low-frequency configs with the same seed must
+        produce identical trees and server layouts (the low-frequency
+        experiment depends on this pairing)."""
+        hi = make_instance(small_high(n_operators=20, master_seed=3), 2)
+        lo = make_instance(small_low(n_operators=20, master_seed=3), 2)
+        assert [op.leaves for op in hi.tree] == [op.leaves for op in lo.tree]
+        assert [op.children for op in hi.tree] == [
+            op.children for op in lo.tree
+        ]
+        for l in hi.farm.uids:
+            assert hi.farm[l].objects == lo.farm[l].objects
+        # but rates differ
+        assert hi.rate(0) != lo.rate(0)
+
+    def test_homogeneous_flag(self):
+        inst = make_instance(small_high(homogeneous=True, n_operators=8), 0)
+        assert inst.is_homogeneous
+
+    def test_calibration_flag(self):
+        std = make_instance(small_high(n_operators=8), 0)
+        dense = make_instance(
+            small_high(n_operators=8, ops_per_ghz=25.0), 0
+        )
+        assert std.catalog.max_speed_ops > dense.catalog.max_speed_ops
+
+
+class TestInstanceStream:
+    def test_stream_length(self):
+        cfg = small_high(n_operators=10, n_instances=4)
+        assert len(list(instance_stream(cfg))) == 4

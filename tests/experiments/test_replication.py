@@ -1,0 +1,35 @@
+"""Tests for the replication-sweep experiment (§5 closing remark)."""
+
+import math
+
+import pytest
+
+from repro.experiments import replication_sweep
+
+
+class TestReplicationSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return replication_sweep(
+            probabilities=(0.0, 0.5), n_operators=25, alpha=1.4,
+            n_instances=2, master_seed=21,
+        )
+
+    def test_axis_and_registry(self, sweep):
+        assert sweep.parameter == "replication"
+        assert sweep.x_values == (0.0, 0.5)
+        from repro.experiments import FIGURE_REGISTRY
+
+        assert "replication_sweep" in FIGURE_REGISTRY
+
+    def test_little_effect_on_informed_heuristics(self, sweep):
+        for h in ("comp-greedy", "subtree-bottom-up"):
+            costs = [sweep.cells[(x, h)].mean_cost for x in sweep.x_values]
+            assert all(not math.isnan(c) for c in costs)
+            assert max(costs) <= 2.0 * min(costs)
+
+    def test_zero_replication_feasible(self, sweep):
+        """Every object on exactly one server still admits solutions
+        (loop 1 of the three-loop selection handles exclusives)."""
+        for h in sweep.heuristics:
+            assert sweep.cells[(0.0, h)].n_success >= 1, h

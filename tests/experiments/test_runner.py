@@ -1,0 +1,102 @@
+"""Tests for the campaign runner and aggregation."""
+
+import math
+
+import pytest
+
+from repro.experiments.config import small_high
+from repro.experiments.instances import make_instance
+from repro.experiments.runner import (
+    CellResult,
+    InstanceOutcome,
+    run_instance,
+    run_point,
+    run_sweep,
+)
+
+
+class TestRunInstance:
+    def test_success_outcome(self):
+        inst = make_instance(small_high(n_operators=15), 0)
+        out = run_instance(inst, "subtree-bottom-up", seed=1)
+        assert out.succeeded
+        assert out.cost > 0
+        assert out.n_processors >= 1
+        assert out.failure_stage is None
+
+    def test_failure_outcome_recorded_not_raised(self):
+        # α high enough that placement must fail
+        inst = make_instance(
+            small_high(n_operators=60, alpha=2.6), 0
+        )
+        out = run_instance(inst, "comp-greedy", seed=1)
+        assert not out.succeeded
+        assert out.failure_stage == "placement"
+        assert out.cost is None
+
+
+class TestCellResult:
+    def cell(self):
+        return CellResult(
+            heuristic="x",
+            outcomes=(
+                InstanceOutcome(0, 100.0, 2, None, 0.0),
+                InstanceOutcome(1, 200.0, 3, None, 0.0),
+                InstanceOutcome(2, None, None, "placement", 0.0),
+            ),
+        )
+
+    def test_aggregates(self):
+        c = self.cell()
+        assert c.n_success == 2
+        assert c.success_rate == pytest.approx(2 / 3)
+        assert c.mean_cost == pytest.approx(150.0)
+        assert c.mean_processors == pytest.approx(2.5)
+        assert c.failure_stages == {"placement": 1}
+
+    def test_all_failed_is_nan(self):
+        c = CellResult(
+            heuristic="x",
+            outcomes=(InstanceOutcome(0, None, None, "placement", 0.0),),
+        )
+        assert math.isnan(c.mean_cost)
+        assert c.success_rate == 0.0
+
+
+class TestRunPointAndSweep:
+    def test_run_point_covers_heuristics(self):
+        cfg = small_high(n_operators=10, n_instances=2)
+        cells = run_point(cfg, heuristics=("random", "comp-greedy"))
+        assert set(cells) == {"random", "comp-greedy"}
+        for cell in cells.values():
+            assert len(cell.outcomes) == 2
+
+    def test_run_point_deterministic(self):
+        cfg = small_high(n_operators=10, n_instances=2, master_seed=5)
+        a = run_point(cfg, heuristics=("random",))
+        b = run_point(cfg, heuristics=("random",))
+        assert a["random"].mean_cost == pytest.approx(b["random"].mean_cost)
+
+    def test_run_sweep_structure(self):
+        sweep = run_sweep(
+            "mini", "N", [5, 10],
+            lambda n: small_high(n_operators=int(n), n_instances=2),
+            heuristics=("comp-greedy", "subtree-bottom-up"),
+        )
+        assert sweep.x_values == (5.0, 10.0)
+        assert set(sweep.heuristics) == {"comp-greedy", "subtree-bottom-up"}
+        assert len(sweep.cells) == 4
+        series = sweep.series("comp-greedy")
+        assert len(series) == 2
+        assert all(cost > 0 for _x, cost in series)
+
+    def test_feasibility_frontier(self):
+        sweep = run_sweep(
+            "cliff", "alpha", [1.0, 2.6],
+            lambda a: small_high(
+                n_operators=40, alpha=float(a), n_instances=1
+            ),
+            heuristics=("comp-greedy",),
+        )
+        frontier = sweep.feasibility_frontier("comp-greedy")
+        assert frontier == 1.0  # 2.6 is infeasible at N=40

@@ -1,0 +1,107 @@
+"""Tests for the constructive purchase ledger."""
+
+import pytest
+
+from repro.errors import PlatformModelError
+from repro.platform.builder import PlatformBuilder
+from repro.platform.catalog import dell_catalog
+
+
+@pytest.fixture
+def builder(dell):
+    return PlatformBuilder(dell)
+
+
+class TestAcquire:
+    def test_acquire_assigns_fresh_uids(self, builder, dell):
+        a = builder.acquire(dell.cheapest)
+        b = builder.acquire(dell.most_expensive)
+        assert a.uid != b.uid
+        assert len(builder) == 2
+
+    def test_acquire_cheapest_for_load(self, builder, dell):
+        p = builder.acquire_cheapest(10.0, 10.0)
+        assert p is not None
+        assert p.spec.cost == dell.cheapest.cost
+
+    def test_acquire_cheapest_impossible(self, builder):
+        assert builder.acquire_cheapest(1e15, 0.0) is None
+        assert len(builder) == 0
+
+    def test_acquire_most_expensive(self, builder, dell):
+        p = builder.acquire_most_expensive()
+        assert p.spec.cost == pytest.approx(dell.most_expensive.cost)
+
+    def test_total_cost(self, builder, dell):
+        builder.acquire(dell.cheapest)
+        builder.acquire(dell.cheapest)
+        assert builder.total_cost == pytest.approx(2 * dell.cheapest.cost)
+
+
+class TestSellAndReplace:
+    def test_sell_refunds(self, builder, dell):
+        p = builder.acquire(dell.most_expensive)
+        builder.sell(p.uid)
+        assert builder.total_cost == 0.0
+        assert len(builder) == 0
+
+    def test_sell_unknown_rejected(self, builder):
+        with pytest.raises(PlatformModelError):
+            builder.sell(42)
+
+    def test_uids_not_reused_after_sell(self, builder, dell):
+        p = builder.acquire(dell.cheapest)
+        builder.sell(p.uid)
+        q = builder.acquire(dell.cheapest)
+        assert q.uid != p.uid
+
+    def test_replace_preserves_uid(self, builder, dell):
+        p = builder.acquire_most_expensive()
+        new = builder.replace(p.uid, dell.cheapest)
+        assert new.uid == p.uid
+        assert builder.get(p.uid).spec.cost == dell.cheapest.cost
+
+    def test_replace_unknown_rejected(self, builder, dell):
+        with pytest.raises(PlatformModelError):
+            builder.replace(3, dell.cheapest)
+
+
+class TestLedger:
+    def test_cash_spent_equals_total_cost(self, builder, dell):
+        a = builder.acquire(dell.most_expensive)
+        builder.acquire(dell.cheapest)
+        builder.sell(a.uid)
+        c = builder.acquire_most_expensive()
+        builder.replace(c.uid, dell.cheapest)
+        assert builder.cash_spent == pytest.approx(builder.total_cost)
+
+    def test_transaction_log(self, builder, dell):
+        a = builder.acquire(dell.cheapest)
+        builder.sell(a.uid)
+        kinds = [t.kind for t in builder.transactions]
+        assert kinds == ["acquire", "sell"]
+        assert builder.transactions[0].cash_delta == pytest.approx(
+            dell.cheapest.cost
+        )
+        assert builder.transactions[1].cash_delta == pytest.approx(
+            -dell.cheapest.cost
+        )
+
+    def test_replace_cash_delta(self, builder, dell):
+        p = builder.acquire_most_expensive()
+        builder.replace(p.uid, dell.cheapest)
+        delta = builder.transactions[-1].cash_delta
+        assert delta == pytest.approx(
+            dell.cheapest.cost - dell.most_expensive.cost
+        )
+
+    def test_iteration_and_contains(self, builder, dell):
+        p = builder.acquire(dell.cheapest)
+        assert p.uid in builder
+        assert [q.uid for q in builder.processors] == [p.uid]
+        assert builder.uids == (p.uid,)
+
+    def test_describe(self, builder, dell):
+        builder.acquire(dell.cheapest)
+        text = builder.describe()
+        assert "P0" in text and "total" in text

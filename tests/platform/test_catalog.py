@@ -1,0 +1,173 @@
+"""Tests for the purchase catalog (paper Table 1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PlatformModelError
+from repro.platform.catalog import (
+    BASE_CHASSIS_COST,
+    Catalog,
+    CpuOption,
+    DELL_CPU_OPTIONS,
+    DELL_NIC_OPTIONS,
+    NicOption,
+    ProcessorSpec,
+    dell_catalog,
+)
+from repro.units import OPS_PER_GHZ
+
+
+class TestTable1Data:
+    def test_five_cpu_rows(self):
+        speeds = [c.speed_ghz for c in DELL_CPU_OPTIONS]
+        assert speeds == [11.72, 19.20, 25.60, 38.40, 46.88]
+
+    def test_five_nic_rows(self):
+        bws = [n.bandwidth_gbps for n in DELL_NIC_OPTIONS]
+        assert bws == [1.0, 2.0, 4.0, 10.0, 20.0]
+
+    def test_cpu_upgrade_costs(self):
+        costs = [c.upgrade_cost for c in DELL_CPU_OPTIONS]
+        assert costs == [0.0, 1550.0, 2399.0, 3949.0, 5299.0]
+
+    def test_nic_upgrade_costs(self):
+        costs = [n.upgrade_cost for n in DELL_NIC_OPTIONS]
+        assert costs == [0.0, 399.0, 1197.0, 2800.0, 5999.0]
+
+    def test_base_chassis(self):
+        assert BASE_CHASSIS_COST == 7548.0
+
+    def test_ratios_increase_with_speed(self):
+        """Table 1's point: bigger configurations have better ratios."""
+        ratios = [c.ratio for c in DELL_CPU_OPTIONS]
+        assert ratios == sorted(ratios)
+        nratios = [n.ratio for n in DELL_NIC_OPTIONS]
+        assert nratios == sorted(nratios)
+
+
+class TestProcessorSpec:
+    def test_cost_composition(self):
+        spec = ProcessorSpec(cpu=DELL_CPU_OPTIONS[1], nic=DELL_NIC_OPTIONS[2])
+        assert spec.cost == pytest.approx(7548 + 1550 + 1197)
+
+    def test_capacity_conversions(self):
+        spec = ProcessorSpec(cpu=DELL_CPU_OPTIONS[0], nic=DELL_NIC_OPTIONS[0])
+        assert spec.speed_ops == pytest.approx(11.72 * OPS_PER_GHZ)
+        assert spec.nic_mbps == pytest.approx(125.0)
+
+    def test_custom_ops_per_ghz(self):
+        spec = ProcessorSpec(
+            cpu=DELL_CPU_OPTIONS[0], nic=DELL_NIC_OPTIONS[0], ops_per_ghz=25.0
+        )
+        assert spec.speed_ops == pytest.approx(11.72 * 25.0)
+
+    def test_satisfies(self):
+        spec = ProcessorSpec(cpu=DELL_CPU_OPTIONS[0], nic=DELL_NIC_OPTIONS[0])
+        assert spec.satisfies(spec.speed_ops, spec.nic_mbps)
+        assert spec.satisfies(spec.speed_ops * (1 + 1e-12), spec.nic_mbps)
+        assert not spec.satisfies(spec.speed_ops * 1.01, 0.0)
+        assert not spec.satisfies(0.0, spec.nic_mbps * 1.01)
+
+    def test_describe(self):
+        spec = ProcessorSpec(cpu=DELL_CPU_OPTIONS[4], nic=DELL_NIC_OPTIONS[4])
+        text = spec.describe()
+        assert "46.88" in text and "20" in text and "$18,846" in text
+
+
+class TestCatalog:
+    def test_25_configurations(self, dell):
+        assert len(dell) == 25
+
+    def test_cheapest_and_most_expensive(self, dell):
+        assert dell.cheapest.cost == pytest.approx(7548.0)
+        assert dell.most_expensive.cost == pytest.approx(7548 + 5299 + 5999)
+        assert dell.most_expensive.speed_ghz == 46.88
+        assert dell.most_expensive.nic.bandwidth_gbps == 20.0
+
+    def test_fastest_is_most_capable(self, dell):
+        assert dell.fastest.speed_ops == dell.max_speed_ops
+        assert dell.fastest.nic_mbps == dell.max_nic_mbps
+
+    def test_specs_sorted_by_cost(self, dell):
+        costs = [s.cost for s in dell.specs]
+        assert costs == sorted(costs)
+
+    def test_cheapest_satisfying_zero_load(self, dell):
+        assert dell.cheapest_satisfying(0.0, 0.0) is dell.specs[0]
+
+    def test_cheapest_satisfying_monotone(self, dell):
+        a = dell.cheapest_satisfying(1000.0, 100.0)
+        b = dell.cheapest_satisfying(200_000.0, 100.0)
+        assert a.cost <= b.cost
+
+    def test_cheapest_satisfying_none_when_impossible(self, dell):
+        assert dell.cheapest_satisfying(1e12, 0.0) is None
+        assert dell.cheapest_satisfying(0.0, 1e12) is None
+
+    def test_cheapest_satisfying_is_cheapest(self, dell):
+        work, bw = 100_000.0, 1300.0
+        best = dell.cheapest_satisfying(work, bw)
+        for s in dell.specs:
+            if s.satisfies(work, bw):
+                assert best.cost <= s.cost
+
+    def test_cache_consistency(self, dell):
+        a = dell.cheapest_satisfying(5.0, 5.0)
+        b = dell.cheapest_satisfying(5.0, 5.0)
+        assert a is b
+
+    def test_homogeneous_catalog(self, dell):
+        hom = dell.homogeneous()
+        assert len(hom) == 1
+        assert hom.cheapest.cost == pytest.approx(dell.fastest.cost)
+        assert hom.cheapest.speed_ops == pytest.approx(dell.fastest.speed_ops)
+
+    def test_homogeneous_custom_spec(self, dell):
+        hom = dell.homogeneous(dell.cheapest)
+        assert len(hom) == 1
+        assert hom.cheapest.cost == pytest.approx(dell.cheapest.cost)
+
+    def test_homogeneous_preserves_calibration(self):
+        cat = dell_catalog(ops_per_ghz=25.0)
+        hom = cat.homogeneous()
+        assert hom.cheapest.ops_per_ghz == 25.0
+
+    def test_feasible_for(self, dell):
+        assert dell.feasible_for(dell.max_speed_ops, dell.max_nic_mbps)
+        assert not dell.feasible_for(dell.max_speed_ops * 2, 0.0)
+
+    def test_table_rendering(self, dell):
+        text = dell.table()
+        assert "11.72" in text and "46.88" in text and "20" in text
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(PlatformModelError):
+            Catalog(cpu_options=[], nic_options=DELL_NIC_OPTIONS)
+
+    def test_bad_calibration_rejected(self):
+        with pytest.raises(PlatformModelError):
+            Catalog(ops_per_ghz=0.0)
+
+    @given(
+        work=st.floats(0, 3e5),
+        bw=st.floats(0, 3e3),
+    )
+    def test_cheapest_satisfying_actually_satisfies(self, work, bw):
+        dell = dell_catalog()
+        spec = dell.cheapest_satisfying(work, bw)
+        if spec is not None:
+            assert spec.satisfies(work, bw)
+
+
+class TestOptions:
+    def test_invalid_cpu(self):
+        with pytest.raises(PlatformModelError):
+            CpuOption(0.0, 100.0)
+        with pytest.raises(PlatformModelError):
+            CpuOption(1.0, -5.0)
+
+    def test_invalid_nic(self):
+        with pytest.raises(PlatformModelError):
+            NicOption(-1.0, 0.0)
+        with pytest.raises(PlatformModelError):
+            NicOption(1.0, -1.0)

@@ -1,0 +1,44 @@
+"""Tests for the interconnect model."""
+
+import pytest
+
+from repro.errors import PlatformModelError
+from repro.platform.network import NetworkModel
+
+
+class TestNetworkModel:
+    def test_defaults_match_paper(self):
+        net = NetworkModel()
+        assert net.processor_link(0, 1) == 1000.0
+        assert net.server_link(0, 5) == 1000.0
+
+    def test_self_link_rejected(self):
+        with pytest.raises(PlatformModelError):
+            NetworkModel().processor_link(3, 3)
+
+    def test_symmetry(self):
+        net = NetworkModel(processor_link_mbps=250.0)
+        assert net.processor_link(1, 2) == net.processor_link(2, 1)
+
+    def test_server_overrides(self):
+        net = NetworkModel(server_link_overrides={2: 400.0})
+        assert net.server_link(2, 0) == 400.0
+        assert net.server_link(1, 0) == 1000.0
+
+    def test_with_processor_link(self):
+        net = NetworkModel(server_link_overrides={1: 10.0})
+        fat = net.with_processor_link(5000.0)
+        assert fat.processor_link(0, 1) == 5000.0
+        assert fat.server_link(1, 0) == 10.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(processor_link_mbps=0.0),
+            dict(server_link_mbps=-1.0),
+            dict(server_link_overrides={0: 0.0}),
+        ],
+    )
+    def test_invalid_bandwidths_rejected(self, kwargs):
+        with pytest.raises(PlatformModelError):
+            NetworkModel(**kwargs)

@@ -1,0 +1,45 @@
+"""Tests for processor/server resource instances."""
+
+import pytest
+
+from repro.errors import PlatformModelError
+from repro.platform.catalog import DELL_CPU_OPTIONS, DELL_NIC_OPTIONS, ProcessorSpec
+from repro.platform.resources import Processor, Server
+
+
+class TestProcessor:
+    def test_capacities_delegate_to_spec(self):
+        spec = ProcessorSpec(cpu=DELL_CPU_OPTIONS[2], nic=DELL_NIC_OPTIONS[3])
+        p = Processor(uid=4, spec=spec)
+        assert p.speed_ops == spec.speed_ops
+        assert p.nic_mbps == spec.nic_mbps
+        assert p.cost == spec.cost
+        assert p.label == "P4"
+
+    def test_negative_uid_rejected(self):
+        spec = ProcessorSpec(cpu=DELL_CPU_OPTIONS[0], nic=DELL_NIC_OPTIONS[0])
+        with pytest.raises(PlatformModelError):
+            Processor(uid=-1, spec=spec)
+
+
+class TestServer:
+    def test_hosts(self):
+        s = Server(uid=0, objects=frozenset({1, 3}))
+        assert s.hosts(1) and s.hosts(3)
+        assert not s.hosts(2)
+
+    def test_default_nic_is_10gb(self):
+        s = Server(uid=0, objects=frozenset())
+        assert s.nic_mbps == 10_000.0
+
+    def test_label(self):
+        assert Server(uid=2, objects=frozenset()).label == "S2"
+        assert Server(uid=2, objects=frozenset(), name="db").label == "db"
+
+    def test_invalid_rejected(self):
+        with pytest.raises(PlatformModelError):
+            Server(uid=-1, objects=frozenset())
+        with pytest.raises(PlatformModelError):
+            Server(uid=0, objects=frozenset(), nic_mbps=0.0)
+        with pytest.raises(PlatformModelError):
+            Server(uid=0, objects=frozenset({-2}))

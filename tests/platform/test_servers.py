@@ -1,0 +1,99 @@
+"""Tests for server-farm construction (§5 methodology)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlatformModelError
+from repro.platform.resources import Server
+from repro.platform.servers import DEFAULT_N_SERVERS, ServerFarm
+
+
+class TestRandomFarm:
+    def test_default_is_6_servers(self):
+        farm = ServerFarm.random(15, seed=0)
+        assert len(farm) == DEFAULT_N_SERVERS == 6
+
+    def test_every_object_hosted(self):
+        farm = ServerFarm.random(15, seed=1)
+        for k in range(15):
+            assert farm.availability(k) >= 1
+
+    def test_seeded(self):
+        a = ServerFarm.random(15, seed=2)
+        b = ServerFarm.random(15, seed=2)
+        for l in a.uids:
+            assert a[l].objects == b[l].objects
+
+    def test_replication_probability_extremes(self):
+        none = ServerFarm.random(20, replication_probability=0.0, seed=3)
+        for k in range(20):
+            assert none.availability(k) == 1
+        heavy = ServerFarm.random(20, replication_probability=0.9, seed=3)
+        assert sum(heavy.availability(k) for k in range(20)) > 20
+
+    @given(n_objects=st.integers(1, 30), n_servers=st.integers(1, 8))
+    @settings(max_examples=20)
+    def test_random_farm_invariants(self, n_objects, n_servers):
+        farm = ServerFarm.random(
+            n_objects, n_servers=n_servers, seed=0
+        )
+        assert len(farm) == n_servers
+        for k in range(n_objects):
+            holders = farm.holders(k)
+            assert len(holders) >= 1
+            for l in holders:
+                assert farm[l].hosts(k)
+
+    def test_invalid_args(self):
+        with pytest.raises(PlatformModelError):
+            ServerFarm.random(5, n_servers=0, seed=0)
+        with pytest.raises(PlatformModelError):
+            ServerFarm.random(5, replication_probability=1.0, seed=0)
+
+
+class TestQueries:
+    def farm(self):
+        return ServerFarm(
+            [
+                Server(uid=0, objects=frozenset({0})),
+                Server(uid=1, objects=frozenset({0, 1, 2})),
+                Server(uid=2, objects=frozenset({3})),
+            ]
+        )
+
+    def test_holders_sorted(self):
+        f = self.farm()
+        assert f.holders(0) == (0, 1)
+        assert f.holders(3) == (2,)
+        assert f.holders(9) == ()
+
+    def test_exclusive_objects(self):
+        f = self.farm()
+        # objects held by exactly one server: 1, 2 (S1), 3 (S2)
+        assert f.exclusive_objects() == {1: 1, 2: 1, 3: 2}
+
+    def test_single_object_servers(self):
+        f = self.farm()
+        assert f.single_object_servers() == (0, 2)
+
+    def test_hosts_all(self):
+        f = self.farm()
+        assert f.hosts_all([0, 1, 3])
+        assert not f.hosts_all([0, 7])
+
+    def test_single_server_farm(self):
+        f = ServerFarm.single_server(4)
+        assert len(f) == 1
+        assert f.holders(3) == (0,)
+
+    def test_contiguous_uid_enforced(self):
+        with pytest.raises(PlatformModelError):
+            ServerFarm([Server(uid=1, objects=frozenset())])
+
+    def test_empty_farm_rejected(self):
+        with pytest.raises(PlatformModelError):
+            ServerFarm([])
+
+    def test_describe(self):
+        text = self.farm().describe()
+        assert "S0" in text and "o3" in text

@@ -1,0 +1,69 @@
+"""Tests for the event kernel."""
+
+import pytest
+
+from repro.simulator.events import (
+    ComputeFinished,
+    DownloadLaunch,
+    EventQueue,
+    SourceRelease,
+    TransferFinished,
+)
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(3.0, SourceRelease(0, 1))
+        q.push(1.0, SourceRelease(1, 1))
+        q.push(2.0, SourceRelease(2, 1))
+        times = [q.pop()[0] for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_fifo_tie_break(self):
+        q = EventQueue()
+        q.push(1.0, SourceRelease(7, 1))
+        q.push(1.0, SourceRelease(8, 1))
+        _, first = q.pop()
+        _, second = q.pop()
+        assert first.operator == 7 and second.operator == 8
+
+    def test_clock_advances(self):
+        q = EventQueue()
+        q.push(5.0, DownloadLaunch(0, 0, 0))
+        assert q.now == 0.0
+        q.pop()
+        assert q.now == 5.0
+
+    def test_no_scheduling_in_the_past(self):
+        q = EventQueue()
+        q.push(5.0, DownloadLaunch(0, 0, 0))
+        q.pop()
+        with pytest.raises(ValueError):
+            q.push(4.0, DownloadLaunch(0, 0, 1))
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(1.0, TransferFinished(("k", 0)))
+        assert q and len(q) == 1
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(2.5, ComputeFinished(0, 1, 2))
+        assert q.peek_time() == 2.5
+        assert len(q) == 1  # peek does not pop
+
+
+class TestEventTypes:
+    def test_events_are_frozen(self):
+        ev = SourceRelease(1, 2)
+        with pytest.raises(AttributeError):
+            ev.t = 5
+
+    def test_fields(self):
+        ev = ComputeFinished(uid=3, operator=4, t=9)
+        assert (ev.uid, ev.operator, ev.t) == (3, 4, 9)
+        dl = DownloadLaunch(uid=1, k=2, period_index=3)
+        assert (dl.uid, dl.k, dl.period_index) == (1, 2, 3)

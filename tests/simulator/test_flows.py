@@ -1,0 +1,164 @@
+"""Tests for bounded multi-port max-min fair sharing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator.flows import CapacityConstraint, FlowSpec, max_min_rates
+
+
+def solve(flows, caps):
+    return max_min_rates(
+        [FlowSpec(fid, tuple(cs), cap) for fid, cs, cap in flows],
+        [CapacityConstraint(cid, c) for cid, c in caps.items()],
+    )
+
+
+class TestTextbookCases:
+    def test_single_link_equal_share(self):
+        rates = solve(
+            [("a", ["L"], None), ("b", ["L"], None), ("c", ["L"], None)],
+            {"L": 9.0},
+        )
+        assert all(r == pytest.approx(3.0) for r in rates.values())
+
+    def test_classic_two_link_chain(self):
+        """Flows: f1 on L1+L2, f2 on L1, f3 on L2; caps 10 each →
+        max-min: f1=5, f2=5, f3=5."""
+        rates = solve(
+            [
+                ("f1", ["L1", "L2"], None),
+                ("f2", ["L1"], None),
+                ("f3", ["L2"], None),
+            ],
+            {"L1": 10.0, "L2": 10.0},
+        )
+        assert rates["f1"] == pytest.approx(5.0)
+        assert rates["f2"] == pytest.approx(5.0)
+        assert rates["f3"] == pytest.approx(5.0)
+
+    def test_asymmetric_bottleneck(self):
+        """f1 on L1+L2 (L2 tight), f2 on L1: f1 frozen at 2 by L2; f2
+        takes the rest of L1."""
+        rates = solve(
+            [("f1", ["L1", "L2"], None), ("f2", ["L1"], None)],
+            {"L1": 10.0, "L2": 2.0},
+        )
+        assert rates["f1"] == pytest.approx(2.0)
+        assert rates["f2"] == pytest.approx(8.0)
+
+    def test_caps_respected_and_redistributed(self):
+        rates = solve(
+            [("slow", ["L"], 1.0), ("fast", ["L"], None)],
+            {"L": 10.0},
+        )
+        assert rates["slow"] == pytest.approx(1.0)
+        assert rates["fast"] == pytest.approx(9.0)
+
+    def test_all_capped_below_capacity(self):
+        rates = solve(
+            [("a", ["L"], 2.0), ("b", ["L"], 3.0)],
+            {"L": 100.0},
+        )
+        assert rates["a"] == pytest.approx(2.0)
+        assert rates["b"] == pytest.approx(3.0)
+
+    def test_zero_capacity_starves(self):
+        rates = solve(
+            [("a", ["L", "Z"], None), ("b", ["L"], None)],
+            {"L": 10.0, "Z": 0.0},
+        )
+        assert rates["a"] == pytest.approx(0.0)
+        assert rates["b"] == pytest.approx(10.0)
+
+    def test_no_flows(self):
+        assert solve([], {"L": 5.0}) == {}
+
+    def test_uncapped_unconstrained_flow_rejected(self):
+        with pytest.raises(ValueError):
+            solve([("a", [], None)], {})
+
+    def test_capped_unconstrained_flow_gets_cap(self):
+        rates = solve([("a", [], 7.0)], {})
+        assert rates["a"] == pytest.approx(7.0)
+
+
+class TestBoundedMultiPort:
+    def test_nic_bounds_total_of_parallel_transfers(self):
+        """One sender NIC shared by two receivers: each gets half the
+        NIC even though both links have spare capacity."""
+        rates = solve(
+            [
+                ("to1", ["nicS", "link1", "nic1"], None),
+                ("to2", ["nicS", "link2", "nic2"], None),
+            ],
+            {"nicS": 100.0, "link1": 1000.0, "link2": 1000.0,
+             "nic1": 1000.0, "nic2": 1000.0},
+        )
+        assert rates["to1"] == pytest.approx(50.0)
+        assert rates["to2"] == pytest.approx(50.0)
+
+    def test_feasible_reservations_all_granted(self):
+        """If Σ caps ≤ capacity on every constraint, every flow gets its
+        cap — the property the `reserved` simulator policy relies on."""
+        flows = [
+            ("a", ["n1", "l12", "n2"], 30.0),
+            ("b", ["n1", "l13", "n3"], 40.0),
+            ("c", ["n2", "l23", "n3"], 50.0),
+        ]
+        caps = {"n1": 70.0, "n2": 80.0, "n3": 90.0, "l12": 30.0,
+                "l13": 40.0, "l23": 50.0}
+        rates = solve(flows, caps)
+        assert rates["a"] == pytest.approx(30.0)
+        assert rates["b"] == pytest.approx(40.0)
+        assert rates["c"] == pytest.approx(50.0)
+
+
+class TestProperties:
+    @given(
+        n_flows=st.integers(1, 8),
+        n_constraints=st.integers(1, 5),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_invariants(self, n_flows, n_constraints, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        caps = {
+            f"c{j}": float(rng.uniform(1, 100)) for j in range(n_constraints)
+        }
+        flows = []
+        for i in range(n_flows):
+            member = [
+                f"c{j}" for j in range(n_constraints) if rng.random() < 0.5
+            ]
+            if not member:
+                member = [f"c{int(rng.integers(0, n_constraints))}"]
+            cap = float(rng.uniform(0.5, 50)) if rng.random() < 0.4 else None
+            flows.append((f"f{i}", member, cap))
+        rates = solve(flows, caps)
+        # 1. no constraint overloaded
+        for cid, cap in caps.items():
+            used = sum(
+                rates[fid] for fid, member, _ in flows if cid in member
+            )
+            assert used <= cap * (1 + 1e-6)
+        # 2. caps respected
+        for fid, _, cap in flows:
+            if cap is not None:
+                assert rates[fid] <= cap * (1 + 1e-6)
+        # 3. rates non-negative
+        assert all(r >= 0 for r in rates.values())
+        # 4. work conservation: every uncapped flow is blocked by some
+        #    saturated constraint
+        for fid, member, cap in flows:
+            if cap is not None and rates[fid] >= cap * (1 - 1e-6):
+                continue
+            saturated = False
+            for cid in member:
+                used = sum(
+                    rates[f2] for f2, m2, _ in flows if cid in m2
+                )
+                if used >= caps[cid] * (1 - 1e-6):
+                    saturated = True
+            assert saturated, f"{fid} is neither capped nor blocked"

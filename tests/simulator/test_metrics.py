@@ -1,0 +1,82 @@
+"""Tests for the simulator's utilization and latency metrics."""
+
+import math
+
+import pytest
+
+import repro
+from repro.core import allocate
+from repro.simulator import simulate_allocation
+
+
+@pytest.fixture(scope="module")
+def split_result():
+    inst = repro.quick_instance(20, alpha=1.6, seed=5)
+    alloc = allocate(inst, "random", rng=2).allocation
+    return inst, alloc, simulate_allocation(alloc, n_results=40)
+
+
+class TestCpuUtilization:
+    def test_fractions_in_unit_interval(self, split_result):
+        _inst, _alloc, res = split_result
+        for u, util in res.cpu_utilization.items():
+            assert 0.0 <= util <= 1.0 + 1e-9
+
+    def test_matches_analytic_load(self, split_result):
+        """In steady state, CPU busy fraction ≈ ρ·Σw/s per processor
+        (within pipeline fill/drain noise)."""
+        inst, alloc, res = split_result
+        tree = inst.tree
+        for p in alloc.processors:
+            expected = sum(
+                tree[i].work for i in alloc.a_bar(p.uid)
+            ) / p.speed_ops
+            assert res.cpu_utilization[p.uid] == pytest.approx(
+                expected, rel=0.25
+            )
+
+    def test_every_processor_reported(self, split_result):
+        _inst, alloc, res = split_result
+        assert set(res.cpu_utilization) == {p.uid for p in alloc.processors}
+
+
+class TestNicUtilization:
+    def test_fractions_bounded(self, split_result):
+        _inst, _alloc, res = split_result
+        for cid, util in res.nic_utilization.items():
+            assert 0.0 <= util <= 1.0 + 1e-6, cid
+
+    def test_server_constraints_present(self, split_result):
+        _inst, alloc, res = split_result
+        server_ids = {cid for cid in res.nic_utilization
+                      if isinstance(cid, tuple) and cid[1] == "S"}
+        # at least one server NIC saw download traffic
+        assert server_ids
+
+
+class TestLatency:
+    def test_latencies_positive_and_bounded(self, split_result):
+        _inst, _alloc, res = split_result
+        assert len(res.latencies) == res.n_root_results
+        assert all(l > 0 for l in res.latencies)
+        assert res.mean_latency <= res.max_latency
+
+    def test_single_machine_latency_is_pipeline_depth(self):
+        """On one machine there are no transfers: latency ≈ the critical
+        path of compute (steady state, ρ-paced)."""
+        inst = repro.quick_instance(10, alpha=1.2, seed=1)
+        alloc = allocate(inst, "comp-greedy", rng=0).allocation
+        assert alloc.n_processors == 1
+        res = simulate_allocation(alloc, n_results=30)
+        assert res.mean_latency < 5.0  # well under pipeline-depth scale
+
+    def test_empty_metrics_on_nan(self):
+        from repro.simulator.engine import SimulationResult
+
+        empty = SimulationResult(
+            offered_rate=1.0, achieved_rate=0.0, n_root_results=0,
+            root_completions=(), download_misses=0, n_events=0,
+            sim_time=0.0, saturated=True,
+        )
+        assert math.isnan(empty.mean_latency)
+        assert math.isnan(empty.max_latency)

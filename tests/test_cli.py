@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig9"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "11.72" in out and "7,548" in out
+
+    def test_solve(self, capsys):
+        code = main([
+            "solve", "-n", "12", "-a", "1.4", "-s", "3",
+            "-H", "subtree-bottom-up",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "subtree-bottom-up" in out
+        assert "$" in out
+
+    def test_solve_describe(self, capsys):
+        main([
+            "solve", "-n", "8", "-a", "1.0", "-H", "comp-greedy",
+            "--describe",
+        ])
+        out = capsys.readouterr().out
+        assert "downloads:" in out or "P0" in out
+
+    def test_solve_reports_failures(self, capsys):
+        code = main(["solve", "-n", "40", "-a", "2.8",
+                     "-H", "comp-greedy"])
+        assert code == 0
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_figure_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "out.csv"
+        code = main([
+            "figure", "fig3", "-i", "1", "--csv", str(csv_path),
+        ])
+        assert code == 0
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("figure,parameter")
+        out = capsys.readouterr().out
+        assert "mean platform cost" in out
+
+    def test_optimal(self, capsys):
+        code = main(["optimal", "-n", "6", "-i", "2", "-a", "1.6"])
+        assert code == 0
+        assert "optimal comparison" in capsys.readouterr().out
+
+    def test_lowfreq(self, capsys):
+        code = main(["lowfreq", "-n", "12", "-i", "2"])
+        assert code == 0
+        assert "same mapping" in capsys.readouterr().out
+
+    def test_ilpsize(self, capsys):
+        code = main(["ilpsize", "-n", "4", "6"])
+        assert code == 0
+        assert "LP bytes" in capsys.readouterr().out
+
+    def test_simulate_success_exit_code(self, capsys):
+        code = main(["simulate", "-n", "12", "-a", "1.4", "-r", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "achieved rate" in out
+
+    def test_exact(self, capsys):
+        code = main(["exact", "-n", "7", "-a", "1.7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimal cost" in out and "machine 0" in out
+
+    def test_exact_homogeneous(self, capsys):
+        code = main(["exact", "-n", "6", "-a", "1.5", "--homogeneous"])
+        assert code == 0
+        assert "optimal cost" in capsys.readouterr().out
+
+    def test_exact_budget_exhausted(self, capsys):
+        code = main(["exact", "-n", "14", "-a", "1.8",
+                     "--node-budget", "10"])
+        assert code == 1
+        assert "gave up" in capsys.readouterr().out
+
+    def test_bounds(self, capsys):
+        code = main(["bounds", "-n", "20", "-a", "1.6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lower bound" in out and "compute-fractional" in out

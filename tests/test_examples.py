@@ -1,0 +1,36 @@
+"""Smoke tests: every example script must run cleanly as a subprocess.
+
+Examples double as the library's executable documentation, so breaking
+one is breaking the public API.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in SCRIPTS}
+    assert "quickstart.py" in names
+    assert len(SCRIPTS) >= 3  # deliverable: at least three examples
+
+
+@pytest.mark.parametrize(
+    "script", SCRIPTS, ids=lambda p: p.name
+)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} failed:\n{proc.stdout}\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{script.name} produced no output"

@@ -1,0 +1,177 @@
+"""End-to-end integration tests.
+
+The chain under test: methodology instance → placement heuristic →
+server selection → downgrade → five-constraint verification → analytic
+throughput → discrete-event simulation.  Every accepted allocation must
+be verified feasible AND sustain the target rate empirically.
+"""
+
+import math
+
+import pytest
+
+import repro
+from repro.core import (
+    HEURISTIC_ORDER,
+    allocate,
+    cost_lower_bound,
+    max_throughput,
+    solve_exact,
+    verify,
+)
+from repro.simulator import simulate_allocation
+
+
+SCENARIOS = [
+    # (n_operators, alpha, seed) spanning easy → tight regimes
+    (10, 0.9, 0),
+    (25, 1.4, 1),
+    (40, 1.6, 2),
+    (60, 1.7, 3),
+]
+
+
+@pytest.mark.parametrize("name", HEURISTIC_ORDER)
+@pytest.mark.parametrize("n,alpha,seed", SCENARIOS)
+class TestFullChain:
+    def test_allocation_verified_and_simulated(self, name, n, alpha, seed):
+        inst = repro.quick_instance(n, alpha=alpha, seed=seed)
+        try:
+            result = allocate(inst, name, rng=seed)
+        except repro.ReproError:
+            return  # infeasibility is a legal outcome in tight regimes
+        report = verify(result.allocation)
+        assert report.feasible, report.summary()
+        assert result.throughput.rho_max >= inst.rho * (1 - 1e-9)
+        sim = simulate_allocation(result.allocation, n_results=30)
+        assert sim.download_misses == 0
+        assert not sim.saturated
+        assert sim.achieved_rate >= inst.rho * 0.95
+
+
+class TestExactAgainstPipeline:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exact_solution_is_allocatable(self, seed):
+        """Exact solver blocks convert into a verified Allocation."""
+        from repro.core.exact import exact_download_feasible
+        from repro.core.mapping import Allocation
+        from repro.platform.resources import Processor
+
+        inst = repro.quick_instance(8, alpha=1.8, seed=seed)
+        sol = solve_exact(inst)
+        if not sol.feasible:
+            return
+        plan = exact_download_feasible(inst, sol.blocks)
+        assert plan is not None
+        processors = tuple(
+            Processor(uid=b, spec=sol.specs[b])
+            for b in range(len(sol.blocks))
+        )
+        assignment = {
+            i: b for b, ops in enumerate(sol.blocks) for i in ops
+        }
+        alloc = Allocation(
+            instance=inst,
+            processors=processors,
+            assignment=assignment,
+            downloads=plan,
+            provenance="exact",
+        )
+        report = verify(alloc)
+        assert report.feasible, report.summary()
+        assert alloc.cost == pytest.approx(sol.cost)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_lower_bound_exact_heuristic_sandwich(self, seed):
+        inst = repro.quick_instance(8, alpha=1.7, seed=seed)
+        lb = cost_lower_bound(inst)
+        sol = solve_exact(inst)
+        if not sol.feasible:
+            return
+        assert lb.value <= sol.cost + 1e-6
+        best_heuristic = math.inf
+        for name in HEURISTIC_ORDER:
+            try:
+                best_heuristic = min(
+                    best_heuristic, allocate(inst, name, rng=0).cost
+                )
+            except repro.ReproError:
+                continue
+        assert sol.cost <= best_heuristic + 1e-6
+
+
+class TestMultiApplication:
+    def test_shared_platform_cheaper_than_separate(self):
+        """Future-work S7: running two applications on one shared
+        platform never costs more than two dedicated platforms."""
+        from repro.apptree import combine_forest, random_tree
+        from repro.apptree.objects import ObjectCatalog
+        from repro.platform import NetworkModel, ServerFarm, dell_catalog
+        from repro.core import ProblemInstance
+
+        cat = ObjectCatalog.random(15, seed=4)
+        farm = ServerFarm.random(15, seed=4)
+        trees = [
+            random_tree(15, cat, alpha=1.5, seed=s) for s in (10, 11)
+        ]
+
+        def inst_for(tree):
+            return ProblemInstance(
+                tree=tree, farm=farm, catalog=dell_catalog(),
+                network=NetworkModel(), rho=1.0,
+            )
+
+        separate = sum(
+            allocate(inst_for(t), "subtree-bottom-up", rng=0).cost
+            for t in trees
+        )
+        combined = allocate(
+            inst_for(combine_forest(trees)), "subtree-bottom-up", rng=0
+        ).cost
+        assert combined <= separate + 1e-6
+
+    def test_combined_forest_simulates(self):
+        from repro.apptree import combine_forest, random_tree
+        from repro.apptree.objects import ObjectCatalog
+        from repro.platform import NetworkModel, ServerFarm, dell_catalog
+        from repro.core import ProblemInstance
+
+        cat = ObjectCatalog.random(15, seed=5)
+        farm = ServerFarm.random(15, seed=5)
+        trees = [random_tree(8, cat, alpha=1.2, seed=s) for s in (1, 2)]
+        inst = ProblemInstance(
+            tree=combine_forest(trees), farm=farm,
+            catalog=dell_catalog(), network=NetworkModel(), rho=1.0,
+        )
+        result = allocate(inst, "comp-greedy", rng=0)
+        sim = simulate_allocation(result.allocation, n_results=25)
+        assert not sim.saturated
+        assert sim.achieved_rate >= 0.95
+
+
+class TestMutationIntegration:
+    def test_rebalancing_never_hurts_on_chains(self):
+        """Future-work S6: Huffman rebalancing of a left-deep chain
+        reduces (or preserves) the platform cost in the compute-bound
+        regime."""
+        from repro.apptree import huffman_equivalent, left_deep_tree
+        from repro.apptree.objects import ObjectCatalog
+        from repro.platform import NetworkModel, ServerFarm, dell_catalog
+        from repro.core import ProblemInstance
+
+        cat = ObjectCatalog.random(15, seed=6)
+        farm = ServerFarm.random(15, seed=6)
+        chain = left_deep_tree(25, cat, alpha=1.6, seed=9)
+        rebal = huffman_equivalent(chain, alpha=1.6)
+
+        def cost_of(tree):
+            inst = ProblemInstance(
+                tree=tree, farm=farm, catalog=dell_catalog(),
+                network=NetworkModel(), rho=1.0,
+            )
+            try:
+                return allocate(inst, "subtree-bottom-up", rng=0).cost
+            except repro.ReproError:
+                return math.inf
+
+        assert cost_of(rebal) <= cost_of(chain) + 1e-6

@@ -1,0 +1,113 @@
+"""Tests for JSON serialisation round-trips."""
+
+import json
+
+import pytest
+
+import repro
+from repro.core import allocate, max_throughput, verify
+from repro.errors import ModelError
+from repro.io import (
+    FORMAT_VERSION,
+    allocation_from_dict,
+    allocation_to_dict,
+    dump_allocation,
+    dump_instance,
+    instance_from_dict,
+    instance_to_dict,
+    load_allocation,
+    load_instance,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return repro.quick_instance(18, alpha=1.5, seed=13)
+
+
+@pytest.fixture(scope="module")
+def result(instance):
+    return allocate(instance, "subtree-bottom-up", rng=2)
+
+
+class TestInstanceRoundTrip:
+    def test_dict_roundtrip_preserves_model(self, instance):
+        data = instance_to_dict(instance)
+        back = instance_from_dict(data)
+        assert back.rho == instance.rho
+        assert back.name == instance.name
+        assert len(back.tree) == len(instance.tree)
+        for i in instance.tree.operator_indices:
+            assert back.tree[i].work == pytest.approx(
+                instance.tree[i].work
+            )
+            assert back.tree[i].children == instance.tree[i].children
+            assert back.tree[i].leaves == instance.tree[i].leaves
+        for l in instance.farm.uids:
+            assert back.farm[l].objects == instance.farm[l].objects
+        assert len(back.catalog) == len(instance.catalog)
+        assert back.catalog.ops_per_ghz == instance.catalog.ops_per_ghz
+        assert (
+            back.network.processor_link_mbps
+            == instance.network.processor_link_mbps
+        )
+
+    def test_json_serialisable(self, instance):
+        text = json.dumps(instance_to_dict(instance))
+        back = instance_from_dict(json.loads(text))
+        assert len(back.tree) == len(instance.tree)
+
+    def test_file_roundtrip(self, instance, tmp_path):
+        path = tmp_path / "instance.json"
+        dump_instance(instance, path)
+        back = load_instance(path)
+        assert back.name == instance.name
+
+    def test_wrong_kind_rejected(self, instance):
+        data = instance_to_dict(instance)
+        data["kind"] = "something-else"
+        with pytest.raises(ModelError):
+            instance_from_dict(data)
+
+    def test_wrong_version_rejected(self, instance):
+        data = instance_to_dict(instance)
+        data["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(ModelError):
+            instance_from_dict(data)
+
+
+class TestAllocationRoundTrip:
+    def test_roundtrip_verifies_identically(self, result):
+        data = allocation_to_dict(result.allocation)
+        back = allocation_from_dict(data)
+        assert back.cost == pytest.approx(result.allocation.cost)
+        assert dict(back.assignment) == dict(result.allocation.assignment)
+        assert dict(back.downloads) == dict(result.allocation.downloads)
+        assert verify(back).feasible
+        assert max_throughput(back).rho_max == pytest.approx(
+            result.throughput.rho_max
+        )
+
+    def test_provenance_preserved(self, result):
+        back = allocation_from_dict(allocation_to_dict(result.allocation))
+        assert back.provenance == "subtree-bottom-up"
+
+    def test_file_roundtrip(self, result, tmp_path):
+        path = tmp_path / "alloc.json"
+        dump_allocation(result.allocation, path)
+        back = load_allocation(path)
+        assert back.cost == pytest.approx(result.allocation.cost)
+
+    def test_unknown_spec_rejected(self, result):
+        data = allocation_to_dict(result.allocation)
+        data["processors"][0]["speed_ghz"] = 99.0
+        with pytest.raises(ModelError):
+            allocation_from_dict(data)
+
+    def test_tampered_assignment_rejected(self, result):
+        """Structural validation still runs on deserialisation."""
+        data = allocation_to_dict(result.allocation)
+        first = next(iter(data["assignment"]))
+        del data["assignment"][first]
+        with pytest.raises(ModelError):
+            allocation_from_dict(data)

@@ -1,0 +1,111 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These fuzz the whole stack over randomized methodology instances and
+assert the library's global invariants:
+
+* any heuristic either raises a typed error or returns an allocation
+  that passes the independent five-constraint verifier;
+* the exact optimum is a lower bound on every heuristic and an upper
+  bound on the polynomial lower bound;
+* the downgrade phase is idempotent;
+* throughput analysis brackets verification exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro
+from repro.core import (
+    HEURISTIC_ORDER,
+    allocate,
+    cost_lower_bound,
+    max_throughput,
+    solve_exact,
+    verify,
+)
+from repro.errors import ReproError, SolverError
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+instances = st.builds(
+    repro.quick_instance,
+    st.integers(3, 18),
+    alpha=st.floats(0.5, 2.0),
+    seed=st.integers(0, 10_000),
+)
+
+
+class TestPipelineInvariants:
+    @given(inst=instances, h=st.sampled_from(HEURISTIC_ORDER),
+           rng=st.integers(0, 100))
+    @SLOW
+    def test_allocations_always_verified_or_typed_failure(self, inst, h, rng):
+        try:
+            result = allocate(inst, h, rng=rng)
+        except ReproError:
+            return
+        report = verify(result.allocation)
+        assert report.feasible, report.summary()
+
+    @given(inst=instances, h=st.sampled_from(HEURISTIC_ORDER))
+    @SLOW
+    def test_throughput_brackets_verification(self, inst, h):
+        try:
+            result = allocate(inst, h, rng=0)
+        except ReproError:
+            return
+        rho_star = result.throughput.rho_max
+        if math.isinf(rho_star):
+            return
+        assert verify(result.allocation, rho=rho_star * 0.99).feasible
+        assert not verify(result.allocation, rho=rho_star * 1.02).feasible
+
+    @given(inst=instances)
+    @SLOW
+    def test_downgrade_idempotent(self, inst):
+        """Allocating twice with downgrade produces identical cost (the
+        phase reaches a fixed point in one pass)."""
+        try:
+            a = allocate(inst, "comp-greedy", rng=1)
+            b = allocate(inst, "comp-greedy", rng=1)
+        except ReproError:
+            return
+        assert a.cost == pytest.approx(b.cost)
+
+
+class TestOptimalitySandwich:
+    @given(inst=st.builds(
+        repro.quick_instance,
+        st.integers(3, 9),
+        alpha=st.floats(1.0, 1.9),
+        seed=st.integers(0, 5_000),
+    ))
+    @SLOW
+    def test_lb_le_opt_le_heuristics(self, inst):
+        try:
+            sol = solve_exact(inst, node_budget=300_000)
+        except SolverError:
+            return
+        if not sol.feasible:
+            # then every heuristic must fail too (they cannot out-solve
+            # the exact search, which is complete)
+            for h in ("subtree-bottom-up", "comp-greedy"):
+                with pytest.raises(ReproError):
+                    allocate(inst, h, rng=0)
+            return
+        lb = cost_lower_bound(inst)
+        assert lb.value <= sol.cost + 1e-6
+        for h in HEURISTIC_ORDER:
+            try:
+                result = allocate(inst, h, rng=0)
+            except ReproError:
+                continue
+            assert sol.cost <= result.cost + 1e-6

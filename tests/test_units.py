@@ -1,0 +1,78 @@
+"""Unit-layer tests: conversions and calibration constants."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_gbps_to_mbps(self):
+        assert units.gbps_to_mbps(1.0) == 125.0
+        assert units.gbps_to_mbps(20.0) == 2500.0
+
+    def test_mbps_to_gbps_roundtrip(self):
+        for x in (0.5, 1.0, 7.25, 2500.0):
+            assert units.mbps_to_gbps(units.gbps_to_mbps(x)) == pytest.approx(x)
+
+    def test_gb_to_mb(self):
+        assert units.gb_to_mb(1.0) == 1000.0
+        assert units.gb_to_mb(10.0) == 10_000.0
+
+    def test_ghz_to_ops_uses_calibration(self):
+        assert units.ghz_to_ops(1.0) == units.OPS_PER_GHZ
+        assert units.ghz_to_ops(46.88) == pytest.approx(46.88 * units.OPS_PER_GHZ)
+
+
+class TestCalibration:
+    """The calibration constant must keep the paper's α thresholds."""
+
+    def test_ops_per_ghz_value(self):
+        assert units.OPS_PER_GHZ == 6000.0
+
+    def test_n60_cliff_position(self):
+        # mean small-object leaf mass at N=60 ≈ 61 × 17.5 MB
+        mass = 61 * 17.5
+        fastest = 46.88 * units.OPS_PER_GHZ
+        alpha_cliff = math.log(fastest) / math.log(mass)
+        assert 1.7 <= alpha_cliff <= 1.9  # paper: infeasible past ≈1.8
+
+    def test_n20_cliff_position(self):
+        mass = 21 * 17.5
+        fastest = 46.88 * units.OPS_PER_GHZ
+        alpha_cliff = math.log(fastest) / math.log(mass)
+        assert 2.0 <= alpha_cliff <= 2.3  # paper: infeasible past ≈2.2
+
+    def test_n60_first_threshold_cheapest_processor(self):
+        mass = 61 * 17.5
+        cheapest = 11.72 * units.OPS_PER_GHZ
+        alpha_rise = math.log(cheapest) / math.log(mass)
+        assert 1.5 <= alpha_rise <= 1.7  # paper: costs rise from ≈1.6
+
+
+class TestLinkConstants:
+    def test_default_link_is_1_gigabyte(self):
+        assert units.DEFAULT_LINK_BANDWIDTH_MBPS == 1000.0
+
+    def test_server_nic_is_10_gigabyte(self):
+        assert units.SERVER_NIC_BANDWIDTH_MBPS == 10_000.0
+
+    def test_large_object_downloads_fit_links(self):
+        # 450–530 MB objects every 2 s must fit a 1 GB/s link, otherwise
+        # the paper's large-object experiments would be trivially
+        # infeasible at any tree size.
+        worst = 530.0 / 2.0
+        assert worst < units.DEFAULT_LINK_BANDWIDTH_MBPS
+
+
+class TestFormatting:
+    def test_format_cost(self):
+        assert units.format_cost(7548) == "$7,548"
+        assert units.format_cost(18846.4) == "$18,846"
+
+    def test_format_bandwidth_small(self):
+        assert "MB/s" in units.format_bandwidth(125.0)
+
+    def test_format_bandwidth_large(self):
+        assert "GB/s" in units.format_bandwidth(2500.0)
