@@ -1,0 +1,51 @@
+"""Online re-allocation: serving a changing workload without re-solving.
+
+The one-shot solver answers "what platform should I buy for THIS
+workload?".  Real workloads move: traffic ramps through the day,
+refresh-rate QoS gets renegotiated, data servers churn, applications
+come and go.  This example replays a diurnal traffic cycle under three
+controllers and compares what each one spends and violates:
+
+* ``static``  — buy once for the morning load and hope;
+* ``resolve`` — hire a consultant every hour to redesign from scratch;
+* ``harvest`` — keep the running platform, patch what broke, harvest
+  what the lull freed up.
+
+Run:  python examples/dynamic_reallocation.py
+"""
+
+from repro.dynamic import diurnal_trace, replay
+
+# A day of traffic in 16 steps: ρ swings ±45 % around the mean.
+trace = diurnal_trace(seed=2009)
+print(f"trace '{trace.name}': {len(trace)} epochs")
+print(f"initial instance: {trace.initial.name}\n")
+
+results = {
+    policy: replay(trace, policy) for policy in ("static", "resolve", "harvest")
+}
+
+for policy, result in results.items():
+    print(result.summary())
+
+print("\nper-epoch detail for the harvest controller:")
+print(results["harvest"].table())
+
+saved = (
+    results["resolve"].cumulative_cost - results["harvest"].cumulative_cost
+)
+print(
+    f"\nharvest spends ${saved:,.0f} less than from-scratch re-solving"
+    f" ({saved / results['resolve'].cumulative_cost:.0%} of the resolve"
+    " bill) at identical feasibility:"
+    f" {results['harvest'].violation_epochs} violating epochs vs"
+    f" {results['resolve'].violation_epochs}."
+)
+
+# The static platform is cheapest — but look at what it costs in SLA:
+static = results["static"]
+print(
+    f"static spends ${static.cumulative_cost:,.0f} and violates its"
+    f" throughput target in {static.violation_epochs} of"
+    f" {static.n_epochs} epochs."
+)

@@ -1,11 +1,28 @@
-"""Setuptools shim.
+"""Setuptools packaging for the ``repro`` library.
 
-All project metadata lives in ``pyproject.toml``; this file exists so
-that editable installs work in offline environments whose setuptools
+Kept as a plain ``setup.py`` (rather than ``pyproject.toml``) so that
+editable installs work in offline environments whose setuptools
 predates the built-in ``bdist_wheel`` command (legacy
 ``pip install -e . --no-use-pep517`` path).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-streams",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Resource Allocation Strategies for"
+        " Constructive In-Network Stream Processing' (IPDPS 2009)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-streams = repro.cli:main",
+            "repro = repro.cli:main",
+        ],
+    },
+)

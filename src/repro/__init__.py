@@ -30,7 +30,7 @@ True
 
 from __future__ import annotations
 
-from . import apptree, core, platform
+from . import apptree, core, dynamic, platform
 from .apptree import ObjectCatalog, OperatorTree, random_tree
 from .core import (
     Allocation,

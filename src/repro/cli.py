@@ -19,6 +19,13 @@ Subcommands
     ILP model growth statistics.
 ``simulate``
     Allocate then validate in the discrete-event simulator.
+``dynamic``
+    Replay a changing workload trace (ρ ramps, diurnal cycles, object
+    frequency shifts, server churn, application arrival/departure)
+    under one or more online re-allocation policies (static / resolve /
+    harvest / trade), pricing every reconfiguration.
+
+Invoked with no subcommand, prints usage and exits 0.
 """
 
 from __future__ import annotations
@@ -40,7 +47,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p.add_argument("--version", action="version", version=__version__)
-    sub = p.add_subparsers(dest="command", required=True)
+    sub = p.add_subparsers(dest="command", required=False)
 
     sub.add_parser("table1", help="print the purchase catalog (Table 1)")
 
@@ -103,6 +110,27 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("-n", "--operators", type=int, default=30)
     pb.add_argument("-a", "--alpha", type=float, default=1.6)
     pb.add_argument("-s", "--seed", type=int, default=2009)
+
+    from .dynamic.policies import POLICY_ORDER
+    from .dynamic.traces import TRACE_ORDER
+
+    pd = sub.add_parser(
+        "dynamic",
+        help="replay a workload trace under re-allocation policies",
+    )
+    pd.add_argument("--trace", choices=TRACE_ORDER, default="ramp")
+    pd.add_argument(
+        "-P", "--policy", action="append", choices=POLICY_ORDER,
+        default=None,
+        help="policy name (repeatable; default: all four)",
+    )
+    pd.add_argument("-s", "--seed", type=int, default=2009)
+    pd.add_argument("--validate", action="store_true",
+                    help="validate every epoch in the simulator")
+    pd.add_argument("--table", action="store_true",
+                    help="print the per-epoch table per policy")
+    pd.add_argument("--json", type=str, default=None,
+                    help="write the replay results as JSON to this path")
     return p
 
 
@@ -268,8 +296,38 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    from .dynamic import POLICY_ORDER, make_trace, replay
+
+    trace = make_trace(args.trace, seed=args.seed)
+    print(
+        f"trace {args.trace}: {len(trace)} epochs,"
+        f" initial instance {trace.initial.name or repr(trace.initial)}"
+    )
+    names = args.policy or list(POLICY_ORDER)
+    results = []
+    for name in names:
+        result = replay(trace, name, validate=args.validate)
+        results.append(result)
+        print(result.summary())
+        if args.table:
+            print(result.table())
+    if args.json:
+        import json
+
+        payload = {r.policy: r.to_dict() for r in results}
+        with open(args.json, "w", encoding="utf8") as fh:
+            json.dump(payload, fh, sort_keys=True, indent=2)
+        print(f"\nJSON written to {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 0
     if args.command == "table1":
         return _cmd_table1()
     if args.command == "solve":
@@ -288,6 +346,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_exact(args)
     if args.command == "bounds":
         return _cmd_bounds(args)
+    if args.command == "dynamic":
+        return _cmd_dynamic(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

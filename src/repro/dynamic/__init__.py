@@ -1,0 +1,86 @@
+"""Dynamic re-allocation: workload traces, online policies, replay.
+
+The paper solves a *one-shot* operator-placement problem; its §6 future
+work points at workloads that change over time — throughput targets
+ramp, object refresh frequencies shift, servers churn, applications
+arrive and depart.  This subsystem turns the one-shot solver into an
+online system:
+
+* :mod:`repro.dynamic.traces` — deterministic workload-trace
+  generators: typed sequences of timestamped events mutating a
+  :class:`~repro.core.problem.ProblemInstance`;
+* :mod:`repro.dynamic.policies` — pluggable re-allocation policies
+  (``static`` / ``resolve`` / ``harvest`` / ``trade``) behind a
+  registry mirroring the heuristic registry;
+* :mod:`repro.dynamic.repair` — the incremental repair planner that
+  patches a running allocation instead of re-solving from scratch;
+* :mod:`repro.dynamic.replay` — the replay driver walking a trace,
+  invoking a policy per event, pricing reconfiguration, and optionally
+  validating every epoch in the steady-state simulator.
+"""
+
+from .policies import (
+    POLICY_FACTORIES,
+    POLICY_ORDER,
+    HarvestPolicy,
+    ReallocationPolicy,
+    ResolvePolicy,
+    StaticPolicy,
+    TradePolicy,
+    all_policies,
+    make_policy,
+)
+from .repair import RepairOutcome, match_operators, repair_allocation
+from .replay import (
+    DEFAULT_MIGRATION_COST,
+    DEFAULT_SALVAGE_FRACTION,
+    EpochRecord,
+    ReconfigDelta,
+    ReplayResult,
+    reconcile,
+    replay,
+)
+from .traces import (
+    TRACE_FACTORIES,
+    TRACE_ORDER,
+    TraceEvent,
+    WorkloadTrace,
+    churn_trace,
+    diurnal_trace,
+    frequency_shift_trace,
+    make_trace,
+    multi_app_trace,
+    ramp_trace,
+)
+
+__all__ = [
+    "DEFAULT_MIGRATION_COST",
+    "DEFAULT_SALVAGE_FRACTION",
+    "EpochRecord",
+    "HarvestPolicy",
+    "POLICY_FACTORIES",
+    "POLICY_ORDER",
+    "ReallocationPolicy",
+    "ReconfigDelta",
+    "RepairOutcome",
+    "ReplayResult",
+    "ResolvePolicy",
+    "StaticPolicy",
+    "TRACE_FACTORIES",
+    "TRACE_ORDER",
+    "TraceEvent",
+    "TradePolicy",
+    "WorkloadTrace",
+    "all_policies",
+    "churn_trace",
+    "diurnal_trace",
+    "frequency_shift_trace",
+    "make_policy",
+    "make_trace",
+    "match_operators",
+    "multi_app_trace",
+    "ramp_trace",
+    "reconcile",
+    "repair_allocation",
+    "replay",
+]

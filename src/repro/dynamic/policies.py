@@ -1,0 +1,232 @@
+"""Pluggable online re-allocation policies.
+
+A policy is invoked once per trace epoch with the mutated instance and
+the allocation currently running (``None`` at the initial epoch) and
+returns the allocation for the new epoch.  Four members, mirroring the
+static/harvest/trade split of production multi-tenant allocators:
+
+``static``
+    Allocate once, never re-plan.  Processor set and operator mapping
+    are frozen; only the download plan is re-routed when the farm moves
+    an object (re-pointing a subscription is not a migration).  The
+    baseline every adaptive policy must beat — and the policy that
+    *cannot* serve structural changes (application arrivals fail).
+``resolve``
+    Re-run a configured placement heuristic from scratch on every
+    change.  Always as feasible as the one-shot solver, but pays full
+    reconfiguration: the re-solved platform shares no processor
+    identity with the running one, so machines are re-bought/sold and
+    operators migrate wholesale.
+``harvest``
+    Incremental repair (:mod:`repro.dynamic.repair`): keep the running
+    platform, patch only violated constraints, then harvest slack —
+    consolidate, sell idle machines, downgrade over-provisioned ones.
+``trade``
+    Harvest plus a pairwise capacity exchange between concurrent
+    applications driven by per-app load estimates — surplus apps donate
+    processors to deficit apps before any new money is spent.
+
+``harvest`` and ``trade`` fall back to a from-scratch re-solve when
+local repair cannot restore feasibility (the replay driver prices that
+epoch like a ``resolve`` epoch and flags it), so the adaptive policies
+are never *less* feasible than ``resolve``.
+
+The registry mirrors :mod:`repro.core.heuristics.registry` so the CLI,
+experiment campaigns, and benchmarks refer to policies by name.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.mapping import Allocation
+from ..core.pipeline import allocate
+from ..core.problem import ProblemInstance
+from ..core.server_selection import ThreeLoopServerSelection
+from ..errors import AllocationError
+from .repair import match_operators, repair_allocation
+
+__all__ = [
+    "PolicyDecision",
+    "ReallocationPolicy",
+    "StaticPolicy",
+    "ResolvePolicy",
+    "HarvestPolicy",
+    "TradePolicy",
+    "POLICY_FACTORIES",
+    "POLICY_ORDER",
+    "make_policy",
+    "all_policies",
+]
+
+#: Heuristic used for initial epochs and from-scratch re-solves.
+DEFAULT_HEURISTIC = "subtree-bottom-up"
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """One epoch's outcome: the allocation plus how it was obtained."""
+
+    allocation: Allocation
+    #: "initial" | "keep" | "repair" | "resolve" | "fallback"
+    action: str
+
+
+class ReallocationPolicy(ABC):
+    """Strategy interface: react to one workload mutation."""
+
+    name: str = "abstract"
+
+    def __init__(self, heuristic: str = DEFAULT_HEURISTIC) -> None:
+        self.heuristic = heuristic
+
+    def initial(
+        self,
+        instance: ProblemInstance,
+        *,
+        rng: np.random.Generator | int | None = None,
+    ) -> PolicyDecision:
+        """Epoch 0: every policy bootstraps with the one-shot pipeline."""
+        result = allocate(instance, self.heuristic, rng=rng)
+        return PolicyDecision(allocation=result.allocation, action="initial")
+
+    @abstractmethod
+    def react(
+        self,
+        instance: ProblemInstance,
+        current: Allocation,
+        *,
+        rng: np.random.Generator | int | None = None,
+    ) -> PolicyDecision:
+        """Produce the next epoch's allocation, or raise
+        :class:`~repro.errors.AllocationError` when the policy cannot
+        serve the mutated instance."""
+
+
+class StaticPolicy(ReallocationPolicy):
+    """Never re-plan: frozen platform and mapping, re-routed downloads."""
+
+    name = "static"
+
+    def react(
+        self,
+        instance: ProblemInstance,
+        current: Allocation,
+        *,
+        rng: np.random.Generator | int | None = None,
+    ) -> PolicyDecision:
+        omatch = match_operators(current.instance.tree, instance.tree)
+        assignment = {
+            omatch[i]: u
+            for i, u in current.assignment.items()
+            if i in omatch
+        }
+        uncovered = set(instance.tree.operator_indices) - set(assignment)
+        # virtual glue (w = δ = 0, e.g. after an application departure
+        # re-glues the forest) loads nothing: parking it on the first
+        # frozen machine is bookkeeping, not a re-plan.
+        anchor = min(p.uid for p in current.processors)
+        for i in sorted(uncovered):
+            op = instance.tree[i]
+            if op.work == 0.0 and op.output_mb == 0.0 and not op.leaves:
+                assignment[i] = anchor
+                uncovered.discard(i)
+        if uncovered:
+            raise AllocationError(
+                "static policy cannot map operators the frozen plan"
+                " does not cover"
+            )
+        downloads = ThreeLoopServerSelection().select(
+            instance, assignment, rng=rng
+        )
+        allocation = Allocation(
+            instance=instance,
+            processors=current.processors,
+            assignment=assignment,
+            downloads=downloads,
+            provenance="static",
+        )
+        return PolicyDecision(allocation=allocation, action="keep")
+
+
+class ResolvePolicy(ReallocationPolicy):
+    """Re-run the configured heuristic from scratch on every change."""
+
+    name = "resolve"
+
+    def react(
+        self,
+        instance: ProblemInstance,
+        current: Allocation,
+        *,
+        rng: np.random.Generator | int | None = None,
+    ) -> PolicyDecision:
+        result = allocate(instance, self.heuristic, rng=rng)
+        return PolicyDecision(allocation=result.allocation, action="resolve")
+
+
+class _RepairBase(ReallocationPolicy):
+    """Shared react() for the two incremental strategies."""
+
+    strategy: str = "harvest"
+
+    def react(
+        self,
+        instance: ProblemInstance,
+        current: Allocation,
+        *,
+        rng: np.random.Generator | int | None = None,
+    ) -> PolicyDecision:
+        try:
+            outcome = repair_allocation(
+                instance, current, strategy=self.strategy, rng=rng
+            )
+        except AllocationError:
+            result = allocate(instance, self.heuristic, rng=rng)
+            return PolicyDecision(
+                allocation=result.allocation, action="fallback"
+            )
+        return PolicyDecision(allocation=outcome.allocation, action="repair")
+
+
+class HarvestPolicy(_RepairBase):
+    """Patch violations in place, then harvest exposed slack."""
+
+    name = "harvest"
+    strategy = "harvest"
+
+
+class TradePolicy(_RepairBase):
+    """Harvest plus pairwise inter-application capacity exchange."""
+
+    name = "trade"
+    strategy = "trade"
+
+
+POLICY_FACTORIES: dict[str, Callable[[], ReallocationPolicy]] = {
+    StaticPolicy.name: StaticPolicy,
+    ResolvePolicy.name: ResolvePolicy,
+    HarvestPolicy.name: HarvestPolicy,
+    TradePolicy.name: TradePolicy,
+}
+
+#: Canonical report/plot order: baselines first, adaptive policies last.
+POLICY_ORDER: tuple[str, ...] = ("static", "resolve", "harvest", "trade")
+
+
+def make_policy(name: str, **kwargs) -> ReallocationPolicy:
+    """Instantiate a policy by name."""
+    try:
+        return POLICY_FACTORIES[name](**kwargs)
+    except KeyError:
+        known = ", ".join(sorted(POLICY_FACTORIES))
+        raise KeyError(f"unknown policy {name!r}; known: {known}") from None
+
+
+def all_policies() -> list[ReallocationPolicy]:
+    """Fresh instances of all four policies, in report order."""
+    return [make_policy(name) for name in POLICY_ORDER]

@@ -1,0 +1,474 @@
+"""Incremental repair: patch a running allocation after a mutation.
+
+Given the previous epoch's :class:`~repro.core.mapping.Allocation` and
+the mutated :class:`~repro.core.problem.ProblemInstance`, the planner
+keeps as much of the running system as possible instead of re-solving
+from scratch:
+
+1. carry the old operator→processor mapping over (operators matched by
+   unique name when available, by index otherwise);
+2. place operators the old mapping does not cover (application
+   arrivals) onto existing slack, buying only as a last resort;
+3. re-check only what Eq. 1–5 actually constrain: per-processor
+   compute/NIC overloads are cleared by an in-place catalog upgrade or
+   by migrating the largest offending operator; processor-link
+   overloads by colocating a cut edge;
+4. re-run the three-loop server selection for the download plan (farm
+   churn invalidates sources; re-routing a download is not a
+   migration — no operator state moves);
+5. *harvest* the slack the mutation exposed: empty lightly-loaded
+   processors onto the remaining slack, sell machines left idle, and
+   downgrade every survivor to the cheapest sufficient configuration.
+
+The *trade* strategy adds a pairwise exchange pre-pass for concurrent
+applications: per-app load estimates (via
+:func:`~repro.core.loads.standalone_requirement`) identify
+over-provisioned donors, whose processors are vacated and handed to
+under-provisioned apps before any money is spent.
+
+The returned allocation is always re-verified against Eq. 1–5; an
+unrepairable epoch raises :class:`~repro.errors.AllocationError` so the
+caller can fall back (the replay driver then re-solves from scratch and
+prices the full reconfiguration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..apptree.multi import VIRTUAL_NAME
+from ..apptree.tree import OperatorTree
+from ..core.constraints import RELATIVE_TOLERANCE, verify
+from ..core.loads import LoadTracker, standalone_requirement
+from ..core.mapping import Allocation
+from ..core.problem import ProblemInstance
+from ..core.server_selection import ThreeLoopServerSelection
+from ..errors import AllocationError, PlacementError
+from ..platform.resources import Processor
+
+__all__ = ["RepairOutcome", "match_operators", "repair_allocation"]
+
+_TOL = 1 + RELATIVE_TOLERANCE
+
+
+def match_operators(
+    old_tree: OperatorTree, new_tree: OperatorTree
+) -> dict[int, int]:
+    """Map old operator indices to new ones across an instance mutation.
+
+    Operators with globally unique non-empty names (the multi-app
+    traces name them ``app.n<i>``) are matched by name, surviving the
+    forest re-indexing of arrivals/departures.  Unnamed trees (ρ,
+    frequency, and farm mutations keep the tree structure) are matched
+    by index.  Virtual glue operators are never matched — they carry no
+    load, so re-placing them is free.
+    """
+
+    def unique_names(tree: OperatorTree) -> dict[str, int]:
+        seen: dict[str, list[int]] = {}
+        for op in tree:
+            if op.name and op.name != VIRTUAL_NAME:
+                seen.setdefault(op.name, []).append(op.index)
+        return {n: ix[0] for n, ix in seen.items() if len(ix) == 1}
+
+    old_names = unique_names(old_tree)
+    new_names = unique_names(new_tree)
+    if old_names or new_names:
+        return {
+            old_names[n]: new_names[n]
+            for n in old_names.keys() & new_names.keys()
+        }
+    return {i: i for i in range(min(len(old_tree), len(new_tree)))}
+
+
+@dataclass(frozen=True)
+class RepairOutcome:
+    """A repaired allocation plus a summary of what the repair did."""
+
+    allocation: Allocation
+    strategy: str
+    n_placed: int  # operators the old mapping did not cover
+    n_moved: int  # operators migrated to clear violations / harvest
+    n_upgrades: int  # in-place spec upgrades
+    n_downgrades: int  # in-place spec downgrades (harvest)
+    n_purchases: int
+    n_decommissions: int
+
+
+class _Repairer:
+    """One repair invocation's mutable working state."""
+
+    def __init__(
+        self,
+        instance: ProblemInstance,
+        previous: Allocation,
+        *,
+        strategy: str,
+    ) -> None:
+        self.instance = instance
+        self.strategy = strategy
+        self.catalog = instance.catalog
+        self.tree = instance.tree
+        self.tracker = LoadTracker(instance)
+        self.procs: dict[int, Processor] = dict(previous.processor_map)
+        self._next_uid = max(self.procs, default=-1) + 1
+        self.n_placed = 0
+        self.n_moved = 0
+        self.n_upgrades = 0
+        self.n_downgrades = 0
+        self.n_purchases = 0
+        self.n_decommissions = 0
+
+        omatch = match_operators(previous.instance.tree, self.tree)
+        valid = set(self.tree.operator_indices)
+        for old_i, u in previous.assignment.items():
+            new_i = omatch.get(old_i)
+            if new_i is not None and new_i in valid:
+                self.tracker.assign(new_i, u)
+
+        # per-app operator groups (trade strategy); name "app.n<i>" →
+        # "app", everything else pools into one anonymous application.
+        groups: dict[str, set[int]] = {}
+        for op in self.tree:
+            if op.name == VIRTUAL_NAME:
+                continue
+            app = op.name.split(".", 1)[0] if "." in op.name else "_app"
+            groups.setdefault(app, set()).add(op.index)
+        self.apps = groups
+
+    # -- primitive ops --------------------------------------------------
+    def _buy_for(self, work: float, bw: float) -> int:
+        spec = self.catalog.cheapest_satisfying(work, bw)
+        if spec is None:
+            raise PlacementError(
+                f"repair: no catalog configuration can host a load of"
+                f" {work:.4g} ops/s and {bw:.4g} MB/s"
+            )
+        uid = self._next_uid
+        self._next_uid += 1
+        self.procs[uid] = Processor(uid=uid, spec=spec)
+        self.n_purchases += 1
+        return uid
+
+    def _fits_on(self, i: int, u: int) -> bool:
+        p = self.procs[u]
+        return self.tracker.would_fit(i, u, p.speed_ops, p.nic_mbps)
+
+    def _slack(self, u: int) -> float:
+        return self.procs[u].speed_ops - self.tracker.compute_load(u)
+
+    def _owner_app(self, u: int) -> str | None:
+        """The application owning most of the work mapped on ``u``."""
+        by_app: dict[str, float] = {}
+        for i in self.tracker.operators_on(u):
+            for app, ops in self.apps.items():
+                if i in ops:
+                    by_app[app] = by_app.get(app, 0.0) + self.tree[i].work
+                    break
+        if not by_app:
+            return None
+        return max(sorted(by_app), key=lambda a: by_app[a])
+
+    def _candidates(self, i: int, exclude: int | None = None) -> list[int]:
+        """Target processors for (re)placing operator ``i``, best first.
+
+        Harvest fills the *tightest* fitting slack (bin-packing keeps
+        machines releasable); trade prefers slack held by *other*
+        applications — the pairwise exchange direction.
+        """
+        uids = [u for u in self.procs if u != exclude]
+        if self.strategy == "trade":
+            my_app = next(
+                (a for a, ops in self.apps.items() if i in ops), None
+            )
+            return sorted(
+                uids,
+                key=lambda u: (
+                    0 if self._owner_app(u) not in (None, my_app) else 1,
+                    -self._slack(u),
+                    u,
+                ),
+            )
+        return sorted(uids, key=lambda u: (self._slack(u), u))
+
+    # -- repair phases --------------------------------------------------
+    def place_new_operators(self) -> None:
+        """Phase 2: cover operators the carried mapping missed."""
+        for i in self.tree.bottom_up():
+            if i in self.tracker.assignment:
+                continue
+            placed = False
+            for u in self._candidates(i):
+                if self._fits_on(i, u):
+                    self.tracker.assign(i, u)
+                    placed = True
+                    break
+            if not placed:
+                work, bw = standalone_requirement(self.instance, [i])
+                u = self._buy_for(work, bw)
+                self.tracker.assign(i, u)
+            self.n_placed += 1
+
+    def clear_processor_violations(self) -> None:
+        """Phase 3a: Eq. 1–2 per processor — upgrade in place, else
+        migrate the largest offending operator."""
+        budget = 4 * len(self.tree) + 16
+        while budget > 0:
+            budget -= 1
+            victim = None
+            for u in sorted(self.procs):
+                p = self.procs[u]
+                if (
+                    self.tracker.compute_load(u) > p.speed_ops * _TOL
+                    or self.tracker.nic_load(u) > p.nic_mbps * _TOL
+                ):
+                    victim = u
+                    break
+            if victim is None:
+                return
+            u = victim
+            spec = self.catalog.cheapest_satisfying(
+                self.tracker.compute_load(u), self.tracker.nic_load(u)
+            )
+            if spec is not None and spec != self.procs[u].spec:
+                if spec.cost > self.procs[u].spec.cost:
+                    self.n_upgrades += 1
+                self.procs[u] = Processor(uid=u, spec=spec)
+                continue
+            # no configuration holds the whole group: shed load
+            ops = sorted(
+                self.tracker.operators_on(u),
+                key=lambda i: (-self.tree[i].work, i),
+            )
+            shed = False
+            for i in ops:
+                self.tracker.unassign(i)
+                for v in self._candidates(i, exclude=u):
+                    if self._fits_on(i, v):
+                        self.tracker.assign(i, v)
+                        self.n_moved += 1
+                        shed = True
+                        break
+                if shed:
+                    break
+                self.tracker.assign(i, u)  # roll back
+            if not shed:
+                # nothing fits elsewhere: buy for the largest operator
+                i = ops[0]
+                self.tracker.unassign(i)
+                work, bw = standalone_requirement(self.instance, [i])
+                v = self._buy_for(work, bw)
+                self.tracker.assign(i, v)
+                self.n_moved += 1
+        raise AllocationError(
+            "repair: processor-violation budget exhausted"
+        )
+
+    def clear_link_violations(self) -> None:
+        """Phase 3b: Eq. 5 — colocate the heaviest cut edge of each
+        overloaded processor pair."""
+        bp = self.instance.network.processor_link_mbps
+        for _ in range(len(self.tree)):
+            over = [
+                (pair, load)
+                for pair, load in self.tracker.pair_loads.items()
+                if load > bp * _TOL
+            ]
+            if not over:
+                return
+            (u, v), _load = max(over, key=lambda pl: pl[1])
+            moved = False
+            edges = sorted(
+                (
+                    (self.tree.comm_volume(e.child, e.parent), e.child,
+                     e.parent)
+                    for e in self.tree.edges
+                    if {self.tracker.processor_of(e.child),
+                        self.tracker.processor_of(e.parent)} == {u, v}
+                ),
+                reverse=True,
+            )
+            for _vol, child, parent in edges:
+                cu = self.tracker.processor_of(child)
+                pu = self.tracker.processor_of(parent)
+                for i, home, target in ((child, cu, pu), (parent, pu, cu)):
+                    self.tracker.unassign(i)
+                    if self._fits_on(i, target):
+                        self.tracker.assign(i, target)
+                        self.n_moved += 1
+                        moved = True
+                        break
+                    self.tracker.assign(i, home)
+                if moved:
+                    break
+            if not moved:
+                raise AllocationError(
+                    f"repair: link P{u}<->P{v} stays overloaded"
+                )
+
+    def trade_capacity(self) -> None:
+        """Trade pre-pass: vacate one donor processor per deficit app.
+
+        Per-app requirements come from the Eq. 1 load estimate
+        (:func:`standalone_requirement`); an app whose owned processors
+        cannot carry its work *takes* a machine from the app with the
+        most surplus by having the donor's operators migrate onto the
+        donor app's remaining slack.
+        """
+        if len(self.apps) < 2:
+            return
+        need: dict[str, float] = {}
+        for app, ops in self.apps.items():
+            work, _bw = standalone_requirement(self.instance, ops)
+            owned = sum(
+                self.procs[u].speed_ops
+                for u in self.procs
+                if self._owner_app(u) == app
+            )
+            need[app] = work - owned  # >0: deficit, <0: surplus
+        takers = sorted(
+            (a for a in need if need[a] > 0), key=lambda a: -need[a]
+        )
+        for taker in takers:
+            donors = sorted(
+                (a for a in need if need[a] < 0), key=lambda a: need[a]
+            )
+            for donor in donors:
+                handed = self._vacate_one(donor)
+                if handed:
+                    need[donor] += self.procs[handed].speed_ops
+                    need[taker] -= self.procs[handed].speed_ops
+                    break
+
+    def _vacate_one(self, app: str) -> int | None:
+        """Move all operators off ``app``'s lightest processor onto its
+        other machines; returns the vacated uid, or ``None``."""
+        owned = [u for u in self.procs if self._owner_app(u) == app]
+        if len(owned) < 2:
+            return None
+        lightest = min(owned, key=lambda u: (self.tracker.compute_load(u), u))
+        ops = list(self.tracker.operators_on(lightest))
+        placed: list[tuple[int, int]] = []
+        for i in ops:
+            self.tracker.unassign(i)
+            ok = False
+            for v in sorted(
+                (u for u in owned if u != lightest),
+                key=lambda u: (self._slack(u), u),
+            ):
+                if self._fits_on(i, v):
+                    self.tracker.assign(i, v)
+                    placed.append((i, v))
+                    ok = True
+                    break
+            if not ok:
+                self.tracker.assign(i, lightest)
+                for j, _v in placed:  # roll the whole vacation back
+                    self.tracker.move(j, lightest)
+                return None
+        self.n_moved += len(placed)
+        return lightest
+
+    def harvest_slack(self) -> None:
+        """Phase 5: consolidate, sell idle machines, downgrade the rest."""
+        # consolidate: repeatedly try to empty the lightest-loaded
+        # machine onto the others' slack.
+        for _ in range(len(self.procs)):
+            loaded = [
+                u for u in self.procs if self.tracker.operators_on(u)
+            ]
+            if len(loaded) < 2:
+                break
+            lightest = min(
+                loaded, key=lambda u: (self.tracker.compute_load(u), u)
+            )
+            ops = list(self.tracker.operators_on(lightest))
+            placed: list[int] = []
+            for i in ops:
+                self.tracker.unassign(i)
+                ok = False
+                for v in self._candidates(i, exclude=lightest):
+                    if self.tracker.operators_on(v) and self._fits_on(i, v):
+                        self.tracker.assign(i, v)
+                        placed.append(i)
+                        ok = True
+                        break
+                if not ok:
+                    self.tracker.assign(i, lightest)
+                    for j in placed:
+                        self.tracker.move(j, lightest)
+                    placed = []
+                    break
+            if not placed:
+                break
+            self.n_moved += len(placed)
+        # sell empties, downgrade survivors to cheapest sufficient spec
+        for u in sorted(self.procs):
+            if not self.tracker.operators_on(u):
+                del self.procs[u]
+                self.n_decommissions += 1
+                continue
+            spec = self.catalog.cheapest_satisfying(
+                self.tracker.compute_load(u), self.tracker.nic_load(u)
+            )
+            if spec is not None and spec.cost < self.procs[u].spec.cost:
+                self.procs[u] = Processor(uid=u, spec=spec)
+                self.n_downgrades += 1
+
+    # -- driver ---------------------------------------------------------
+    def run(self, rng: np.random.Generator | int | None) -> RepairOutcome:
+        self.place_new_operators()
+        if self.strategy == "trade":
+            self.trade_capacity()
+        self.clear_processor_violations()
+        self.clear_link_violations()
+        self.harvest_slack()
+        downloads = ThreeLoopServerSelection().select(
+            self.instance, self.tracker.assignment, rng=rng
+        )
+        allocation = Allocation(
+            instance=self.instance,
+            processors=tuple(
+                self.procs[u] for u in sorted(self.procs)
+            ),
+            assignment=dict(self.tracker.assignment),
+            downloads=downloads,
+            provenance=f"repair-{self.strategy}",
+        )
+        report = verify(allocation)
+        if not report.feasible:
+            raise AllocationError(
+                f"repair ({self.strategy}) left violations:"
+                f" {report.summary()}",
+                detail=report,
+            )
+        return RepairOutcome(
+            allocation=allocation,
+            strategy=self.strategy,
+            n_placed=self.n_placed,
+            n_moved=self.n_moved,
+            n_upgrades=self.n_upgrades,
+            n_downgrades=self.n_downgrades,
+            n_purchases=self.n_purchases,
+            n_decommissions=self.n_decommissions,
+        )
+
+
+def repair_allocation(
+    instance: ProblemInstance,
+    previous: Allocation,
+    *,
+    strategy: str = "harvest",
+    rng: np.random.Generator | int | None = None,
+) -> RepairOutcome:
+    """Patch ``previous`` into a feasible allocation of ``instance``.
+
+    Raises :class:`~repro.errors.AllocationError` (or a phase subclass)
+    when local patching cannot restore feasibility — callers fall back
+    to a from-scratch re-solve and price it accordingly.
+    """
+    if strategy not in ("harvest", "trade"):
+        raise ValueError(f"unknown repair strategy {strategy!r}")
+    return _Repairer(instance, previous, strategy=strategy).run(rng)

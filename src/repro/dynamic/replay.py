@@ -1,0 +1,346 @@
+"""Replay driver: walk a trace, invoke a policy, price reconfiguration.
+
+:func:`replay` runs one :class:`~repro.dynamic.traces.WorkloadTrace`
+under one :class:`~repro.dynamic.policies.ReallocationPolicy` and
+returns a :class:`ReplayResult` time series.  Each epoch is priced by
+*reconciling* the previous platform with the new one:
+
+* processors are matched by uid first, then leftover uids pair up by
+  identical spec (so a from-scratch re-solver that happens to rebuild
+  the same machines is not charged for renumbering them);
+* unmatched new machines are purchased at full catalog cost; unmatched
+  old machines are decommissioned for a salvage refund
+  (``salvage_fraction`` × cost — constructive hardware resells below
+  list price, rented capacity refunds unused commitment);
+* a machine re-specced in place is a trade-in: upgrades pay the cost
+  difference, downgrades refund the salvage fraction of it;
+* every operator whose (matched) processor changed is one migration at
+  ``migration_cost`` — state transfer, draining, and the throughput
+  blip of moving a running operator.
+
+Cumulative platform cost is therefore  *initial purchase + Σ epoch
+reconfiguration*, the quantity the policy-comparison experiments plot.
+
+Each epoch's allocation is re-verified against Eq. 1–5 (violations are
+*data* here, not errors — the ``static`` baseline is expected to
+violate once the workload drifts), and optionally validated end-to-end
+in the steady-state simulator under the reserved flow policy, counting
+throughput violations and download-deadline misses.
+
+Determinism: given the same trace (same seed) and policy, the whole
+:class:`ReplayResult` — including its JSON rendering — is bit-identical
+across runs; the test suite asserts this.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from ..core.constraints import verify
+from ..core.mapping import Allocation
+from ..errors import AllocationError
+from ..rng import derive_seed
+from .policies import ReallocationPolicy, make_policy
+from .repair import match_operators
+from .traces import WorkloadTrace
+
+__all__ = [
+    "DEFAULT_MIGRATION_COST",
+    "DEFAULT_SALVAGE_FRACTION",
+    "EpochRecord",
+    "ReconfigDelta",
+    "ReplayResult",
+    "reconcile",
+    "replay",
+]
+
+#: $ per migrated operator: drain, state transfer, warm-up.
+DEFAULT_MIGRATION_COST: float = 150.0
+#: Fraction of list price recovered when a machine is decommissioned.
+DEFAULT_SALVAGE_FRACTION: float = 0.5
+
+
+@dataclass(frozen=True)
+class ReconfigDelta:
+    """Priced difference between two consecutive platforms."""
+
+    purchase_cost: float
+    salvage_credit: float
+    migration_cost: float
+    n_migrations: int
+    n_purchases: int
+    n_decommissions: int
+    n_respecs: int
+
+    @property
+    def total(self) -> float:
+        return self.purchase_cost - self.salvage_credit + self.migration_cost
+
+
+def reconcile(
+    old: Allocation,
+    new: Allocation,
+    *,
+    migration_cost: float = DEFAULT_MIGRATION_COST,
+    salvage_fraction: float = DEFAULT_SALVAGE_FRACTION,
+) -> ReconfigDelta:
+    """Price the reconfiguration turning platform ``old`` into ``new``."""
+    old_procs = old.processor_map
+    new_procs = new.processor_map
+
+    # -- processor identity: uid match, then spec match ------------------
+    uid_map: dict[int, int] = {}  # old uid -> new uid
+    purchase = salvage = 0.0
+    n_respecs = 0
+    for u in sorted(set(old_procs) & set(new_procs)):
+        uid_map[u] = u
+        delta = new_procs[u].cost - old_procs[u].cost
+        if delta > 0:
+            purchase += delta
+            n_respecs += 1
+        elif delta < 0:
+            salvage += salvage_fraction * (-delta)
+            n_respecs += 1
+    old_only = [u for u in sorted(old_procs) if u not in new_procs]
+    new_only = [v for v in sorted(new_procs) if v not in old_procs]
+    by_spec: dict[object, list[int]] = {}
+    for u in old_only:
+        by_spec.setdefault(old_procs[u].spec, []).append(u)
+    unmatched_new: list[int] = []
+    for v in new_only:
+        pool = by_spec.get(new_procs[v].spec)
+        if pool:
+            uid_map[pool.pop(0)] = v
+        else:
+            unmatched_new.append(v)
+    unmatched_old = [u for pool in by_spec.values() for u in pool]
+    purchase += sum(new_procs[v].cost for v in unmatched_new)
+    salvage += salvage_fraction * sum(
+        old_procs[u].cost for u in unmatched_old
+    )
+
+    # -- migrations: matched operators whose machine changed -------------
+    omatch = match_operators(old.instance.tree, new.instance.tree)
+    n_migrations = 0
+    for i_old, i_new in omatch.items():
+        u_old = old.assignment.get(i_old)
+        u_new = new.assignment.get(i_new)
+        if u_old is None or u_new is None:
+            continue
+        if uid_map.get(u_old) != u_new:
+            n_migrations += 1
+
+    return ReconfigDelta(
+        purchase_cost=purchase,
+        salvage_credit=salvage,
+        migration_cost=migration_cost * n_migrations,
+        n_migrations=n_migrations,
+        n_purchases=len(unmatched_new),
+        n_decommissions=len(unmatched_old),
+        n_respecs=n_respecs,
+    )
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One epoch of a replay's time series (plain JSON-able values)."""
+
+    epoch: int
+    time: float
+    label: str
+    action: str  # policy action, or "failed" when no allocation exists
+    feasible: bool  # policy produced an allocation for this epoch
+    n_violations: int  # Eq. 1-5 violations of the epoch's allocation
+    platform_cost: float
+    purchase_cost: float
+    salvage_credit: float
+    migration_cost: float
+    n_migrations: int
+    n_purchases: int
+    n_decommissions: int
+    n_respecs: int
+    n_processors: int
+    #: Simulator validation (``None`` unless ``validate=True``):
+    sim_ok: bool | None = None
+    sim_misses: int | None = None
+    sim_achieved: float | None = None
+
+    @property
+    def reconfig_cost(self) -> float:
+        return self.purchase_cost - self.salvage_credit + self.migration_cost
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Cost/violation time series of one (trace, policy) replay."""
+
+    trace: str
+    seed: int
+    policy: str
+    records: tuple[EpochRecord, ...] = field(default_factory=tuple)
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.records)
+
+    @property
+    def cumulative_cost(self) -> float:
+        """Initial purchase + all subsequent reconfiguration."""
+        return sum(r.reconfig_cost for r in self.records)
+
+    @property
+    def violation_epochs(self) -> int:
+        """Epochs whose allocation violates Eq. 1–5 (or has none)."""
+        return sum(
+            1 for r in self.records if not r.feasible or r.n_violations
+        )
+
+    @property
+    def sim_violation_epochs(self) -> int:
+        """Simulator-verified throughput violations on feasible epochs."""
+        return sum(1 for r in self.records if r.sim_ok is False)
+
+    @property
+    def total_migrations(self) -> int:
+        return sum(r.n_migrations for r in self.records)
+
+    def to_dict(self) -> dict:
+        return {
+            "trace": self.trace,
+            "seed": self.seed,
+            "policy": self.policy,
+            "cumulative_cost": self.cumulative_cost,
+            "violation_epochs": self.violation_epochs,
+            "sim_violation_epochs": self.sim_violation_epochs,
+            "total_migrations": self.total_migrations,
+            "records": [asdict(r) for r in self.records],
+        }
+
+    def to_json(self) -> str:
+        """Stable JSON rendering (byte-identical for identical replays)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    def summary(self) -> str:
+        return (
+            f"{self.policy:>8s} on {self.trace}: "
+            f"${self.cumulative_cost:,.0f} cumulative, "
+            f"{self.violation_epochs}/{self.n_epochs} violating epochs, "
+            f"{self.total_migrations} migrations"
+        )
+
+    def table(self) -> str:
+        """Per-epoch text table for the CLI."""
+        lines = [
+            f"{'ep':>3} {'t':>5} {'event':<22} {'action':<9}"
+            f" {'platform':>10} {'reconfig':>9} {'mig':>4} {'spec':>5}"
+            f" {'viol':>4}"
+            + ("  sim" if any(r.sim_ok is not None for r in self.records)
+               else "")
+        ]
+        for r in self.records:
+            sim = ""
+            if r.sim_ok is not None:
+                sim = "   ok" if r.sim_ok else " FAIL"
+            lines.append(
+                f"{r.epoch:>3} {r.time:>5.1f} {r.label[:22]:<22}"
+                f" {r.action:<9} {r.platform_cost:>10,.0f}"
+                f" {r.reconfig_cost:>9,.0f} {r.n_migrations:>4}"
+                f" {r.n_respecs:>5}"
+                f" {r.n_violations if r.feasible else '-':>4}{sim}"
+            )
+        return "\n".join(lines)
+
+
+def replay(
+    trace: WorkloadTrace,
+    policy: ReallocationPolicy | str,
+    *,
+    validate: bool = False,
+    n_results: int = 30,
+    migration_cost: float = DEFAULT_MIGRATION_COST,
+    salvage_fraction: float = DEFAULT_SALVAGE_FRACTION,
+) -> ReplayResult:
+    """Walk ``trace`` under ``policy`` and return the priced series.
+
+    A policy failure (e.g. ``static`` facing an application arrival, or
+    the initial solve of an infeasible epoch) records a ``failed``
+    epoch and keeps the previous allocation running — the system does
+    not stop because the controller has no answer.
+    """
+    if isinstance(policy, str):
+        policy = make_policy(policy)
+    records: list[EpochRecord] = []
+    current: Allocation | None = None
+    for epoch, (time, label, instance) in enumerate(trace.epochs()):
+        rng = derive_seed(trace.seed, "replay", policy.name, epoch)
+        try:
+            if current is None:
+                decision = policy.initial(instance, rng=rng)
+            else:
+                decision = policy.react(instance, current, rng=rng)
+        except AllocationError:
+            prev_cost = current.cost if current is not None else 0.0
+            n_procs = current.n_processors if current is not None else 0
+            records.append(
+                EpochRecord(
+                    epoch=epoch, time=time, label=label, action="failed",
+                    feasible=False, n_violations=0,
+                    platform_cost=prev_cost, purchase_cost=0.0,
+                    salvage_credit=0.0, migration_cost=0.0,
+                    n_migrations=0, n_purchases=0, n_decommissions=0,
+                    n_respecs=0, n_processors=n_procs,
+                )
+            )
+            continue
+
+        alloc = decision.allocation
+        if current is None:
+            delta = ReconfigDelta(
+                purchase_cost=alloc.cost, salvage_credit=0.0,
+                migration_cost=0.0, n_migrations=0,
+                n_purchases=alloc.n_processors, n_decommissions=0,
+                n_respecs=0,
+            )
+        else:
+            delta = reconcile(
+                current, alloc,
+                migration_cost=migration_cost,
+                salvage_fraction=salvage_fraction,
+            )
+        report = verify(alloc)
+
+        sim_ok = sim_misses = sim_achieved = None
+        if validate and report.feasible:
+            from ..simulator import simulate_allocation, sustains_target
+
+            sim = simulate_allocation(alloc, n_results=n_results)
+            sim_misses = sim.download_misses
+            sim_achieved = sim.achieved_rate
+            sim_ok = sustains_target(sim, instance.rho)
+
+        records.append(
+            EpochRecord(
+                epoch=epoch, time=time, label=label,
+                action=decision.action, feasible=True,
+                n_violations=len(report.violations),
+                platform_cost=alloc.cost,
+                purchase_cost=delta.purchase_cost,
+                salvage_credit=delta.salvage_credit,
+                migration_cost=delta.migration_cost,
+                n_migrations=delta.n_migrations,
+                n_purchases=delta.n_purchases,
+                n_decommissions=delta.n_decommissions,
+                n_respecs=delta.n_respecs,
+                n_processors=alloc.n_processors,
+                sim_ok=sim_ok, sim_misses=sim_misses,
+                sim_achieved=sim_achieved,
+            )
+        )
+        current = alloc
+    return ReplayResult(
+        trace=trace.name,
+        seed=trace.seed,
+        policy=policy.name,
+        records=tuple(records),
+    )

@@ -1,0 +1,122 @@
+"""Policy-comparison campaign for the dynamic re-allocation subsystem.
+
+Extends the §5 campaign machinery to the online setting of
+:mod:`repro.dynamic`: for one trace family, replay several seeded trace
+instances under every re-allocation policy and aggregate cumulative
+cost, violating epochs, and migration counts — the dynamic analogue of
+the static cost-vs-N sweeps.
+
+The interesting comparisons this surfaces:
+
+* ``static`` is cheapest but violates as soon as the workload drifts
+  past its frozen platform — the cost/SLA trade-off in one row;
+* ``resolve`` never violates but keeps re-buying and migrating;
+* ``harvest``/``trade`` match ``resolve`` on violations at a fraction
+  of its reconfiguration spend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dynamic.policies import POLICY_ORDER
+from ..dynamic.replay import ReplayResult, replay
+from ..dynamic.traces import make_trace
+from ..rng import derive_seed
+
+__all__ = ["PolicyCell", "DynamicComparison", "policy_comparison"]
+
+
+@dataclass(frozen=True)
+class PolicyCell:
+    """One policy's aggregate over all replayed trace instances."""
+
+    policy: str
+    n_traces: int
+    mean_cost: float
+    mean_violation_epochs: float
+    mean_sim_violation_epochs: float
+    mean_migrations: float
+    results: tuple[ReplayResult, ...]
+
+
+@dataclass(frozen=True)
+class DynamicComparison:
+    """Outcome of one trace-family policy comparison."""
+
+    trace: str
+    n_instances: int
+    master_seed: int
+    cells: tuple[PolicyCell, ...]
+
+    def cell(self, policy: str) -> PolicyCell:
+        for c in self.cells:
+            if c.policy == policy:
+                return c
+        raise KeyError(policy)
+
+    def render(self) -> str:
+        lines = [
+            f"dynamic policy comparison — trace '{self.trace}',"
+            f" {self.n_instances} instances, seed {self.master_seed}",
+            f"{'policy':>8} {'mean cost':>12} {'viol epochs':>12}"
+            f" {'sim viol':>9} {'migrations':>11}",
+        ]
+        for c in self.cells:
+            lines.append(
+                f"{c.policy:>8} {c.mean_cost:>12,.0f}"
+                f" {c.mean_violation_epochs:>12.2f}"
+                f" {c.mean_sim_violation_epochs:>9.2f}"
+                f" {c.mean_migrations:>11.2f}"
+            )
+        return "\n".join(lines)
+
+
+def policy_comparison(
+    trace: str = "churn",
+    *,
+    policies: tuple[str, ...] = POLICY_ORDER,
+    n_instances: int = 3,
+    master_seed: int = 2009,
+    validate: bool = False,
+    **trace_kwargs,
+) -> DynamicComparison:
+    """Replay ``n_instances`` seeded traces of one family under every
+    policy and aggregate the resulting series."""
+    traces = [
+        make_trace(
+            trace,
+            seed=derive_seed(master_seed, "dynamic", trace, i),
+            **trace_kwargs,
+        )
+        for i in range(n_instances)
+    ]
+    cells = []
+    for name in policies:
+        results = tuple(
+            replay(t, name, validate=validate) for t in traces
+        )
+        n = len(results)
+        cells.append(
+            PolicyCell(
+                policy=name,
+                n_traces=n,
+                mean_cost=sum(r.cumulative_cost for r in results) / n,
+                mean_violation_epochs=(
+                    sum(r.violation_epochs for r in results) / n
+                ),
+                mean_sim_violation_epochs=(
+                    sum(r.sim_violation_epochs for r in results) / n
+                ),
+                mean_migrations=(
+                    sum(r.total_migrations for r in results) / n
+                ),
+                results=results,
+            )
+        )
+    return DynamicComparison(
+        trace=trace,
+        n_instances=n_instances,
+        master_seed=master_seed,
+        cells=tuple(cells),
+    )

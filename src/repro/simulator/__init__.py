@@ -11,9 +11,11 @@ from .events import (
 )
 from .flows import CapacityConstraint, FlowSpec, max_min_rates
 from .measure import (
+    SUSTAIN_FRACTION,
     ThroughputProbe,
     measured_max_throughput,
     simulate_allocation,
+    sustains_target,
 )
 
 __all__ = [
@@ -23,6 +25,7 @@ __all__ = [
     "Event",
     "EventQueue",
     "FlowSpec",
+    "SUSTAIN_FRACTION",
     "SimulationResult",
     "SourceRelease",
     "SteadyStateSimulator",
@@ -31,4 +34,5 @@ __all__ = [
     "max_min_rates",
     "measured_max_throughput",
     "simulate_allocation",
+    "sustains_target",
 ]

@@ -20,10 +20,28 @@ from ..core.throughput import max_throughput
 from .engine import SimulationResult, SteadyStateSimulator
 
 __all__ = [
+    "SUSTAIN_FRACTION",
     "simulate_allocation",
     "measured_max_throughput",
+    "sustains_target",
     "ThroughputProbe",
 ]
+
+#: Fraction of the offered rate a run must achieve to count as
+#: sustaining it (absorbs warm-up transients over short runs).
+SUSTAIN_FRACTION: float = 0.98
+
+
+def sustains_target(result: SimulationResult, rho: float) -> bool:
+    """The SLA-acceptance predicate shared by the throughput bisection
+    and the dynamic replay validation: a run sustains target ``rho``
+    when it neither saturated nor missed a download deadline and
+    achieved at least :data:`SUSTAIN_FRACTION` of the target."""
+    return (
+        not result.saturated
+        and result.download_misses == 0
+        and result.achieved_rate >= rho * SUSTAIN_FRACTION
+    )
 
 
 def simulate_allocation(
@@ -64,11 +82,7 @@ def _sustains(allocation: Allocation, rho: float, n_results: int) -> bool:
     res = simulate_allocation(
         allocation, offered_rate=rho, n_results=n_results
     )
-    return (
-        not res.saturated
-        and res.download_misses == 0
-        and res.achieved_rate >= rho * 0.98
-    )
+    return sustains_target(res, rho)
 
 
 def measured_max_throughput(

@@ -1,0 +1,88 @@
+"""Incremental repair planner: operator matching and local patching."""
+
+import pytest
+
+from repro.apptree.generators import random_tree
+from repro.apptree.multi import combine_forest
+from repro.apptree.objects import ObjectCatalog
+from repro.core import allocate, verify
+from repro.dynamic import make_trace, match_operators, repair_allocation
+from repro.dynamic.traces import _named_tree
+
+
+class TestMatchOperators:
+    def test_identity_for_unnamed_identical_trees(self):
+        catalog = ObjectCatalog.random(5, seed=1)
+        tree = random_tree(6, catalog, alpha=1.0, seed=1)
+        assert match_operators(tree, tree) == {
+            i: i for i in range(len(tree))
+        }
+
+    def test_named_operators_survive_forest_reindexing(self):
+        catalog = ObjectCatalog.random(5, seed=1)
+        a = _named_tree(random_tree(4, catalog, alpha=1.0, seed=1), "a")
+        b = _named_tree(random_tree(4, catalog, alpha=1.0, seed=2), "b")
+        c = _named_tree(random_tree(4, catalog, alpha=1.0, seed=3), "c")
+        before = combine_forest([a, b])
+        after = combine_forest([b, c])  # a departs, c arrives
+        omatch = match_operators(before, after)
+        # every matched pair carries the same operator (same name)
+        assert omatch
+        for i_old, i_new in omatch.items():
+            assert before[i_old].name == after[i_new].name
+            assert before[i_old].name.startswith("b.")
+
+    def test_virtual_glue_is_never_matched(self):
+        catalog = ObjectCatalog.random(5, seed=1)
+        trees = [
+            _named_tree(random_tree(3, catalog, alpha=1.0, seed=s), f"t{s}")
+            for s in range(3)
+        ]
+        forest = combine_forest(trees)
+        omatch = match_operators(forest, forest)
+        from repro.apptree.multi import VIRTUAL_NAME
+
+        for i in omatch:
+            assert forest[i].name != VIRTUAL_NAME
+
+
+class TestRepairOnTraces:
+    @pytest.mark.parametrize("trace_name", ["churn", "freq-shift"])
+    def test_repairs_every_epoch_of_a_trace(self, trace_name):
+        trace = make_trace(trace_name, seed=17, n_operators=10, n_epochs=4)
+        epochs = list(trace.epochs())
+        current = allocate(
+            epochs[0][2], "subtree-bottom-up", rng=0
+        ).allocation
+        for _t, _label, inst in epochs[1:]:
+            outcome = repair_allocation(inst, current, strategy="harvest")
+            assert verify(outcome.allocation).feasible
+            current = outcome.allocation
+
+    def test_repair_reports_its_actions(self):
+        trace = make_trace("ramp", seed=17, n_operators=20, n_epochs=4)
+        epochs = list(trace.epochs())
+        current = allocate(
+            epochs[0][2], "subtree-bottom-up", rng=0
+        ).allocation
+        # climb to the peak: some upgrade or purchase must be recorded
+        acted = False
+        for _t, _label, inst in epochs[1:]:
+            outcome = repair_allocation(inst, current, strategy="harvest")
+            acted = acted or (
+                outcome.n_upgrades + outcome.n_purchases + outcome.n_moved
+                > 0
+            )
+            current = outcome.allocation
+        assert acted
+
+    def test_trade_handles_multi_app_arrivals(self):
+        trace = make_trace("multi-app", seed=17, n_operators=5, n_epochs=4)
+        epochs = list(trace.epochs())
+        current = allocate(
+            epochs[0][2], "subtree-bottom-up", rng=0
+        ).allocation
+        for _t, _label, inst in epochs[1:]:
+            outcome = repair_allocation(inst, current, strategy="trade")
+            assert verify(outcome.allocation).feasible
+            current = outcome.allocation

@@ -1,0 +1,108 @@
+"""Replay driver: pricing, reconciliation, and byte-level determinism."""
+
+import pytest
+
+from repro.dynamic import make_trace, reconcile, replay
+from repro.dynamic.replay import DEFAULT_SALVAGE_FRACTION
+
+
+class TestReconcile:
+    def test_identical_platforms_cost_nothing(self):
+        trace = make_trace("ramp", seed=3, n_operators=8, n_epochs=2)
+        from repro.core import allocate
+
+        alloc = allocate(trace.initial, "subtree-bottom-up", rng=0).allocation
+        delta = reconcile(alloc, alloc)
+        assert delta.total == 0.0
+        assert delta.n_migrations == 0
+        assert delta.n_purchases == delta.n_decommissions == 0
+
+    def test_renumbered_identical_platform_is_free(self):
+        """A re-solve that rebuilds the same machines under new uids
+        must not be charged for the renumbering."""
+        from repro.core import allocate
+        from repro.core.mapping import Allocation
+        from repro.platform.resources import Processor
+
+        trace = make_trace("ramp", seed=3, n_operators=8, n_epochs=2)
+        alloc = allocate(trace.initial, "subtree-bottom-up", rng=0).allocation
+        shift = 100
+        renumbered = Allocation(
+            instance=alloc.instance,
+            processors=tuple(
+                Processor(uid=p.uid + shift, spec=p.spec)
+                for p in alloc.processors
+            ),
+            assignment={i: u + shift for i, u in alloc.assignment.items()},
+            downloads={
+                (u + shift, k): l
+                for (u, k), l in alloc.downloads.items()
+            },
+        )
+        delta = reconcile(alloc, renumbered)
+        assert delta.purchase_cost == 0.0
+        assert delta.salvage_credit == 0.0
+        assert delta.n_migrations == 0
+
+
+class TestPricing:
+    def test_initial_epoch_charges_full_platform(self):
+        trace = make_trace("ramp", seed=3, n_operators=8, n_epochs=2)
+        result = replay(trace, "static")
+        first = result.records[0]
+        assert first.purchase_cost == first.platform_cost
+        assert first.salvage_credit == 0.0
+        assert first.n_migrations == 0
+
+    def test_cumulative_cost_sums_epoch_reconfig(self):
+        trace = make_trace("ramp", seed=3, n_operators=8, n_epochs=3)
+        result = replay(trace, "harvest")
+        assert result.cumulative_cost == pytest.approx(
+            sum(r.reconfig_cost for r in result.records)
+        )
+
+    def test_salvage_refunds_half_by_default(self):
+        assert DEFAULT_SALVAGE_FRACTION == 0.5
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("policy", ["static", "resolve", "harvest"])
+    def test_same_seed_yields_byte_identical_replay(self, policy):
+        kw = dict(n_operators=8, n_epochs=4)
+        a = replay(make_trace("churn", seed=99, **kw), policy)
+        b = replay(make_trace("churn", seed=99, **kw), policy)
+        assert a.to_json() == b.to_json()
+
+    def test_different_seeds_differ(self):
+        kw = dict(n_operators=8, n_epochs=4)
+        a = replay(make_trace("churn", seed=1, **kw), "harvest")
+        b = replay(make_trace("churn", seed=2, **kw), "harvest")
+        assert a.to_json() != b.to_json()
+
+    def test_validated_replay_is_deterministic(self):
+        kw = dict(n_operators=6, n_epochs=2)
+        a = replay(make_trace("ramp", seed=5, **kw), "harvest",
+                   validate=True, n_results=10)
+        b = replay(make_trace("ramp", seed=5, **kw), "harvest",
+                   validate=True, n_results=10)
+        assert a.to_json() == b.to_json()
+        assert a.sim_violation_epochs == 0
+
+
+class TestFailureHandling:
+    def test_failed_epoch_keeps_previous_allocation(self):
+        """multi-app arrivals break the static policy: the failed epoch
+        is recorded and the previous platform keeps running.  A
+        departure *before* any arrival only drops load, so the frozen
+        plan still serves it (seed 0: app0 departs first)."""
+        trace = make_trace("multi-app", seed=0, n_operators=5, n_epochs=4)
+        assert "departs" in trace.events[0].label
+        result = replay(trace, "static")
+        assert result.records[1].action == "keep"  # pure departure: OK
+        failed = [r for r in result.records if r.action == "failed"]
+        assert failed  # every epoch after the first arrival
+        assert "arrives" in failed[0].label
+        for r in failed:
+            assert not r.feasible
+            assert r.reconfig_cost == 0.0
+        assert result.violation_epochs >= len(failed)

@@ -11,9 +11,10 @@ class TestParser:
             build_parser().parse_args(["--version"])
         assert exc.value.code == 0
 
-    def test_command_required(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args([])
+    def test_no_args_prints_usage_and_exits_zero(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "usage:" in out and "dynamic" in out
 
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
@@ -99,6 +100,27 @@ class TestCommands:
                      "--node-budget", "10"])
         assert code == 1
         assert "gave up" in capsys.readouterr().out
+
+    def test_dynamic_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dynamic", "-P", "nope"])
+
+    def test_dynamic_replay(self, tmp_path, capsys):
+        json_path = tmp_path / "replay.json"
+        code = main([
+            "dynamic", "--trace", "ramp", "-P", "harvest",
+            "-s", "7", "--table", "--json", str(json_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "harvest on ramp" in out
+        assert "cumulative" in out
+        assert json_path.exists()
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert "harvest" in payload
+        assert payload["harvest"]["records"]
 
     def test_bounds(self, capsys):
         code = main(["bounds", "-n", "20", "-a", "1.6"])
