@@ -15,19 +15,30 @@ Expected shape:
   the steady-state simulator (reserved flow policy): zero throughput
   violations, zero download-deadline misses.
 
+Since the service API landed, the |traces| × |policies| campaign also
+exercises the parallel execution path: the same batch of
+:class:`repro.api.ReplayRequest` objects runs once serially and once
+through ``ParallelExecutor(workers=4)``.  The two runs must be
+bit-identical (asserted on the JSON rendering), and the wall-clock
+ratio is recorded — on a ≥ 4-core machine the parallel leg is
+asserted ≥ 1.5× faster (the ROADMAP's "scale the replay loop" item);
+on smaller machines the measured ratio is still recorded honestly.
+
 Besides the usual text artefact, this bench writes a machine-readable
 ``BENCH_dynamic.json`` at the repository root (policy → cumulative
-cost, violation epochs, wall time) so future optimisation work has a
-perf trajectory to compare against.
+cost, violation epochs, wall time, plus the parallel-execution record)
+so future optimisation work has a perf trajectory to compare against.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import time
 
-from repro.dynamic import POLICY_ORDER, make_trace, replay
+from repro.api import ParallelExecutor, ReplayRequest, replay, replay_many
+from repro.dynamic import POLICY_ORDER, make_trace
 
 from conftest import SEED, write_artefact
 
@@ -35,21 +46,52 @@ TRACES = ("ramp", "churn", "multi-app")
 #: The churn trace carries the headline assertion, so it alone pays for
 #: per-epoch simulator validation.
 VALIDATED_TRACE = "churn"
+#: Worker count for the parallel leg of the campaign.
+WORKERS = 4
 
 BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_dynamic.json"
 
 
+def _requests() -> list[ReplayRequest]:
+    return [
+        ReplayRequest(
+            trace=make_trace(trace_name, seed=SEED),
+            policy=policy,
+            validate=trace_name == VALIDATED_TRACE,
+        )
+        for trace_name in TRACES
+        for policy in POLICY_ORDER
+    ]
+
+
 def regenerate():
+    # -- serial leg: one timed replay per (trace, policy) ---------------
+    serial_results = []
+    serial_walls = []
+    serial_start = time.perf_counter()
+    for request in _requests():
+        start = time.perf_counter()
+        serial_results.append(replay(request))
+        serial_walls.append(time.perf_counter() - start)
+    serial_s = time.perf_counter() - serial_start
+
+    # -- parallel leg: same batch through the process pool --------------
+    parallel_start = time.perf_counter()
+    parallel_results = replay_many(
+        _requests(), executor=ParallelExecutor(workers=WORKERS)
+    )
+    parallel_s = time.perf_counter() - parallel_start
+
+    identical = [r.to_json() for r in serial_results] == [
+        r.to_json() for r in parallel_results
+    ]
+
     data: dict[str, dict[str, dict]] = {}
+    flat = iter(zip(serial_results, serial_walls))
     for trace_name in TRACES:
-        trace = make_trace(trace_name, seed=SEED)
         per_policy: dict[str, dict] = {}
         for policy in POLICY_ORDER:
-            start = time.perf_counter()
-            result = replay(
-                trace, policy, validate=trace_name == VALIDATED_TRACE
-            )
-            wall = time.perf_counter() - start
+            result, wall = next(flat)
             per_policy[policy] = {
                 "cumulative_cost": result.cumulative_cost,
                 "violation_epochs": result.violation_epochs,
@@ -59,11 +101,23 @@ def regenerate():
                 "wall_time_s": round(wall, 4),
             }
         data[trace_name] = per_policy
-    return data
+
+    parallel_record = {
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+        "n_replays": len(serial_results),
+        "serial_wall_s": round(serial_s, 4),
+        "parallel_wall_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 4) if parallel_s else None,
+        "bit_identical": identical,
+    }
+    return data, parallel_record
 
 
 def test_dynamic_reallocation(benchmark, artefact_dir):
-    data = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    data, parallel_record = benchmark.pedantic(
+        regenerate, rounds=1, iterations=1
+    )
 
     lines = []
     for trace_name, per_policy in data.items():
@@ -78,9 +132,25 @@ def test_dynamic_reallocation(benchmark, artefact_dir):
                 f" {row['violation_epochs']:>5} {row['sim_violation_epochs']:>9}"
                 f" {row['total_migrations']:>5} {row['wall_time_s']:>8.2f}"
             )
+    lines.append(
+        f"parallel path ({parallel_record['workers']} workers,"
+        f" {parallel_record['cpu_count']} cores):"
+        f" serial {parallel_record['serial_wall_s']:.1f}s ->"
+        f" parallel {parallel_record['parallel_wall_s']:.1f}s,"
+        f" speedup {parallel_record['speedup']:.2f}x,"
+        f" bit-identical {parallel_record['bit_identical']}"
+    )
     write_artefact(artefact_dir, "dynamic_reallocation", "\n".join(lines))
     BENCH_JSON.write_text(
-        json.dumps({"seed": SEED, "traces": data}, sort_keys=True, indent=2)
+        json.dumps(
+            {
+                "seed": SEED,
+                "traces": data,
+                "parallel_execution": parallel_record,
+            },
+            sort_keys=True,
+            indent=2,
+        )
         + "\n",
         encoding="utf8",
     )
@@ -106,4 +176,16 @@ def test_dynamic_reallocation(benchmark, artefact_dir):
         churn["harvest"]["total_migrations"]
         <= churn["resolve"]["total_migrations"]
     )
+
+    # -- the parallel-execution claims ---------------------------------
+    assert parallel_record["bit_identical"], (
+        "parallel replay diverged from the serial run"
+    )
+    cores = parallel_record["cpu_count"] or 1
+    if cores >= 4:
+        assert parallel_record["speedup"] >= 1.5, (
+            f"parallel path only {parallel_record['speedup']:.2f}x faster"
+            f" on {cores} cores"
+        )
     benchmark.extra_info["data"] = data
+    benchmark.extra_info["parallel_execution"] = parallel_record

@@ -11,41 +11,63 @@ controllers and compares what each one spends and violates:
 * ``harvest`` — keep the running platform, patch what broke, harvest
   what the lull freed up.
 
+The three replays are independent, so they go through
+``repro.api.replay_many`` as one batch — raise ``executor=`` to fan
+them out over worker processes (results are bit-identical).
+
 Run:  python examples/dynamic_reallocation.py
 """
 
-from repro.dynamic import diurnal_trace, replay
+from repro.api import ReplayRequest, replay_many
+from repro.dynamic import diurnal_trace
 
-# A day of traffic in 16 steps: ρ swings ±45 % around the mean.
-trace = diurnal_trace(seed=2009)
-print(f"trace '{trace.name}': {len(trace)} epochs")
-print(f"initial instance: {trace.initial.name}\n")
+POLICIES = ("static", "resolve", "harvest")
 
-results = {
-    policy: replay(trace, policy) for policy in ("static", "resolve", "harvest")
-}
 
-for policy, result in results.items():
-    print(result.summary())
+def main() -> None:
+    # A day of traffic in 16 steps: ρ swings ±45 % around the mean.
+    trace = diurnal_trace(seed=2009)
+    print(f"trace '{trace.name}': {len(trace)} epochs")
+    print(f"initial instance: {trace.initial.name}\n")
 
-print("\nper-epoch detail for the harvest controller:")
-print(results["harvest"].table())
+    results = dict(
+        zip(
+            POLICIES,
+            replay_many(
+                [ReplayRequest(trace=trace, policy=p) for p in POLICIES],
+                executor=2,
+            ),
+        )
+    )
 
-saved = (
-    results["resolve"].cumulative_cost - results["harvest"].cumulative_cost
-)
-print(
-    f"\nharvest spends ${saved:,.0f} less than from-scratch re-solving"
-    f" ({saved / results['resolve'].cumulative_cost:.0%} of the resolve"
-    " bill) at identical feasibility:"
-    f" {results['harvest'].violation_epochs} violating epochs vs"
-    f" {results['resolve'].violation_epochs}."
-)
+    for policy, result in results.items():
+        print(result.summary())
 
-# The static platform is cheapest — but look at what it costs in SLA:
-static = results["static"]
-print(
-    f"static spends ${static.cumulative_cost:,.0f} and violates its"
-    f" throughput target in {static.violation_epochs} of"
-    f" {static.n_epochs} epochs."
-)
+    print("\nper-epoch detail for the harvest controller:")
+    print(results["harvest"].table())
+
+    saved = (
+        results["resolve"].cumulative_cost
+        - results["harvest"].cumulative_cost
+    )
+    print(
+        f"\nharvest spends ${saved:,.0f} less than from-scratch re-solving"
+        f" ({saved / results['resolve'].cumulative_cost:.0%} of the resolve"
+        " bill) at identical feasibility:"
+        f" {results['harvest'].violation_epochs} violating epochs vs"
+        f" {results['resolve'].violation_epochs}."
+    )
+
+    # The static platform is cheapest — but look at what it costs in SLA:
+    static = results["static"]
+    print(
+        f"static spends ${static.cumulative_cost:,.0f} and violates its"
+        f" throughput target in {static.violation_epochs} of"
+        f" {static.n_epochs} epochs."
+    )
+
+
+# the process-pool backend re-imports this module in its workers, so
+# the work must live behind the __main__ guard (spawn start method)
+if __name__ == "__main__":
+    main()

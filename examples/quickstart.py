@@ -6,7 +6,9 @@ This walks the full public API surface in ~60 lines:
 1. draw a paper-methodology problem instance (random binary operator
    tree over 15 basic-object types, 6 data servers, Dell catalog);
 2. run the six placement heuristics of §4.1 through the complete
-   pipeline (placement → server selection → downgrade → verification);
+   pipeline (placement → server selection → downgrade → verification)
+   as one typed batch via the service API — pass ``executor=N`` to
+   :func:`repro.api.solve_many` to fan them out over N processes;
 3. compare costs against the polynomial lower bound;
 4. validate the winner empirically in the discrete-event simulator.
 
@@ -16,6 +18,7 @@ Run:  python examples/quickstart.py
 from __future__ import annotations
 
 import repro
+from repro.api import SolveRequest, solve_many
 from repro.core import HEURISTIC_ORDER, cost_lower_bound
 from repro.simulator import simulate_allocation
 from repro.units import format_cost
@@ -34,13 +37,18 @@ def main() -> None:
     print(f"  servers: {len(instance.farm)},"
           f" catalog: {len(instance.catalog)} configurations\n")
 
-    # 2. all six heuristics
+    # 2. all six heuristics, as one request batch through the service
+    #    API (solve_many(requests, executor=4) runs them in parallel)
+    requests = [
+        SolveRequest(instance=instance, strategy=name, seed=42)
+        for name in HEURISTIC_ORDER
+    ]
     results = {}
-    for name in HEURISTIC_ORDER:
-        try:
-            results[name] = repro.allocate(instance, name, rng=42)
-        except repro.ReproError as err:
-            print(f"  {name:22s} infeasible: {err}")
+    for name, solved in zip(HEURISTIC_ORDER, solve_many(requests)):
+        if solved.ok:
+            results[name] = solved.result
+        else:
+            print(f"  {name:22s} infeasible: {solved.failure_summary()}")
     for name, result in sorted(results.items(), key=lambda kv: kv[1].cost):
         print(
             f"  {name:22s} {format_cost(result.cost):>10}"

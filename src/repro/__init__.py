@@ -17,26 +17,40 @@ The library builds, from scratch, everything the paper describes:
   validating that purchased platforms actually sustain the target
   throughput;
 * :mod:`repro.experiments` — the full §5 simulation campaign behind
-  every figure/table, re-runnable via ``python -m repro``.
+  every figure/table, re-runnable via ``python -m repro``;
+* :mod:`repro.api` — the service-grade front door: typed
+  :class:`~repro.api.SolveRequest`/:class:`~repro.api.SolveResult`
+  objects, one namespaced strategy registry, and pluggable serial /
+  process-pool execution backends.
 
 Quickstart
 ----------
->>> from repro import quick_instance, allocate
->>> inst = quick_instance(n_operators=20, seed=7)
->>> result = allocate(inst, "subtree-bottom-up")
->>> result.cost > 0
+>>> from repro.api import InstanceSpec, SolveRequest, solve
+>>> result = solve(SolveRequest(spec=InstanceSpec(n_operators=20, seed=7)))
+>>> result.ok and result.cost > 0
 True
+
+Batches fan out over worker processes (results are bit-identical to
+the serial run)::
+
+    from repro.api import solve_many
+
+    batch = [SolveRequest(spec=InstanceSpec(seed=s), seed=s)
+             for s in range(32)]
+    results = solve_many(batch, executor=4)   # --jobs 4 on the CLI
+
+The legacy free functions (``repro.allocate``, ``repro.allocate_best``,
+``repro.dynamic.replay``) still work and forward to the API unchanged.
 """
 
 from __future__ import annotations
 
-from . import apptree, core, dynamic, platform
+from . import api, apptree, core, dynamic, platform
 from .apptree import ObjectCatalog, OperatorTree, random_tree
 from .core import (
     Allocation,
     AllocationResult,
     ProblemInstance,
-    allocate,
     all_heuristics,
     make_heuristic,
     max_throughput,
@@ -52,7 +66,7 @@ from .errors import (
 )
 from .platform import Catalog, NetworkModel, ServerFarm, dell_catalog
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Allocation",
@@ -71,6 +85,8 @@ __all__ = [
     "ServerSelectionError",
     "all_heuristics",
     "allocate",
+    "allocate_best",
+    "api",
     "dell_catalog",
     "make_heuristic",
     "max_throughput",
@@ -105,4 +121,73 @@ def quick_instance(
         tree=tree, farm=farm, catalog=dell_catalog(),
         network=NetworkModel(), rho=1.0,
         name=f"quick(n={n_operators}, alpha={alpha}, seed={seed})",
+    )
+
+
+def allocate(
+    instance: ProblemInstance,
+    heuristic,
+    *,
+    server_strategy=None,
+    downgrade: bool = True,
+    refine: bool | str = False,
+    rng=None,
+) -> AllocationResult:
+    """Deprecated one-shot entry point; forwards to :func:`repro.api.solve`.
+
+    Same signature, return type, and exceptions as the original free
+    function (one ``DeprecationWarning`` per process).  New code
+    should build a :class:`repro.api.SolveRequest`.
+    """
+    from ._deprecation import warn_once
+
+    warn_once("repro.allocate()", "repro.api.solve(SolveRequest)")
+    typed = (
+        isinstance(heuristic, str)
+        and server_strategy is None
+        and (rng is None or isinstance(rng, int))
+    )
+    if typed:
+        from .api import SolveRequest, solve
+
+        sr = solve(
+            SolveRequest(
+                instance=instance, strategy=heuristic,
+                downgrade=downgrade, refine=refine, seed=rng,
+            )
+        )
+        sr.raise_for_failure()
+        return sr.result
+    # heuristic/server objects and live generators cannot be expressed
+    # as service data; run the engine the request path wraps
+    from .core.pipeline import allocate as _engine
+
+    return _engine(
+        instance, heuristic, server_strategy=server_strategy,
+        downgrade=downgrade, refine=refine, rng=rng,
+    )
+
+
+def allocate_best(
+    instance: ProblemInstance,
+    heuristics=None,
+    *,
+    downgrade: bool = True,
+    refine: bool | str = False,
+    rng=None,
+    executor=None,
+) -> AllocationResult:
+    """Deprecated portfolio entry point; forwards to
+    :func:`repro.api.solve` with ``portfolio=`` (via
+    :func:`repro.core.pipeline.allocate_best`).  Pass ``executor=`` to
+    fan portfolio members out over worker processes."""
+    from ._deprecation import warn_once
+    from .core.pipeline import allocate_best as _best
+
+    warn_once(
+        "repro.allocate_best()", "repro.api.solve(SolveRequest(portfolio=…))"
+    )
+    return _best(
+        instance, heuristics, downgrade=downgrade, refine=refine,
+        rng=rng, executor=executor,
     )

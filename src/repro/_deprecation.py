@@ -1,0 +1,28 @@
+"""One-shot deprecation warnings for the legacy free-function API.
+
+The legacy entry points (``repro.allocate``, ``repro.allocate_best``,
+``repro.dynamic.replay``) forward to :mod:`repro.api` unchanged.  Each
+warns exactly once per process — enough for a migration nudge, no
+spam in test suites or tight campaign loops.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_once"]
+
+_warned: set[str] = set()
+
+
+def warn_once(legacy: str, replacement: str) -> None:
+    """Emit one ``DeprecationWarning`` per legacy entry point."""
+    if legacy in _warned:
+        return
+    _warned.add(legacy)
+    warnings.warn(
+        f"{legacy} is deprecated; use {replacement} instead"
+        " (the legacy call forwards there unchanged)",
+        DeprecationWarning,
+        stacklevel=3,
+    )

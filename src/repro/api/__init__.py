@@ -1,0 +1,84 @@
+"""Service-grade solver API: the single front door to the library.
+
+Three layers:
+
+* **Typed requests/results** (:mod:`repro.api.requests`) —
+  :class:`SolveRequest` → :class:`SolveResult`,
+  :class:`ReplayRequest`, :class:`SweepRequest`: every computation as
+  plain picklable data with provenance on the way out.
+* **One strategy registry** (:mod:`repro.api.registry`) — namespaced
+  lookup (``placement:`` / ``server:`` / ``policy:`` / ``refine:``)
+  with a :func:`register` decorator, subsuming the legacy heuristic
+  factories, the dynamic policy registry, and the hard-coded
+  placement→server pairing.
+* **Pluggable execution** (:mod:`repro.api.executors`) —
+  :class:`SerialExecutor` / :class:`ParallelExecutor` behind the
+  :class:`Executor` protocol, with per-task seed derivation so results
+  are bit-identical regardless of backend.
+
+Quickstart::
+
+    from repro.api import InstanceSpec, SolveRequest, solve, solve_many
+
+    result = solve(SolveRequest(spec=InstanceSpec(n_operators=30,
+                                                  alpha=1.5, seed=7)))
+    print(result.cost, result.heuristic)
+
+    batch = [SolveRequest(spec=InstanceSpec(seed=s), seed=s)
+             for s in range(32)]
+    results = solve_many(batch, executor=4)   # 4 worker processes
+"""
+
+from .executors import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    get_executor,
+)
+from .registry import (
+    NAMESPACES,
+    UnknownStrategyError,
+    default_server_for,
+    make,
+    names,
+    parse,
+    register,
+    resolve,
+    set_server_pairing,
+)
+from .requests import (
+    FailureRecord,
+    InstanceSpec,
+    ReplayRequest,
+    SolveRequest,
+    SolveResult,
+    SweepRequest,
+)
+from .service import replay, replay_many, solve, solve_many, sweep
+
+__all__ = [
+    "Executor",
+    "FailureRecord",
+    "InstanceSpec",
+    "NAMESPACES",
+    "ParallelExecutor",
+    "ReplayRequest",
+    "SerialExecutor",
+    "SolveRequest",
+    "SolveResult",
+    "SweepRequest",
+    "UnknownStrategyError",
+    "default_server_for",
+    "get_executor",
+    "make",
+    "names",
+    "parse",
+    "register",
+    "replay",
+    "replay_many",
+    "resolve",
+    "set_server_pairing",
+    "solve",
+    "solve_many",
+    "sweep",
+]

@@ -1,0 +1,124 @@
+"""Pluggable execution backends for batch solving and replay.
+
+The service APIs (:func:`repro.api.solve_many`,
+:func:`repro.api.replay_many`, the sweep runner, the parallel
+portfolio) are written against the tiny :class:`Executor` protocol —
+an order-preserving ``map`` — so the *what* (tasks) is decoupled from
+the *how* (serial loop vs. process pool).  Two backends ship:
+
+* :class:`SerialExecutor` — a plain loop; zero overhead, the default;
+* :class:`ParallelExecutor` — a ``concurrent.futures``
+  ``ProcessPoolExecutor``; one Python process per worker, sidestepping
+  the GIL for the CPU-bound allocation pipeline.
+
+Determinism contract
+--------------------
+Results must be **bit-identical whichever backend runs them**.  That
+holds because no task reads shared mutable state: every stochastic
+decision flows from a per-task seed derived *at request-build time*
+with :func:`repro.rng.derive_seed` (never from a generator shared
+across tasks, whose draw order would depend on scheduling).  Task
+functions submitted to :class:`ParallelExecutor` must be module-level
+(picklable) and return picklable values; strategies travel *by
+registry name* and are re-resolved inside the worker — so strategies
+registered downstream must be registered at import time of a module
+the worker can import too (see :func:`repro.api.registry.register`
+for the start-method caveat).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Protocol, Sequence, TypeVar, runtime_checkable
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "get_executor",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Order-preserving batch runner."""
+
+    #: Backend label recorded in result provenance.
+    name: str
+    #: Worker count (1 for serial backends).
+    jobs: int
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item, returning results in input
+        order.  Exceptions raised by ``fn`` propagate to the caller."""
+        ...
+
+
+class SerialExecutor:
+    """Run every task inline, in order, in this process."""
+
+    name = "serial"
+    jobs = 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ParallelExecutor:
+    """Fan tasks out over a ``ProcessPoolExecutor``.
+
+    ``workers=None`` sizes the pool to the machine
+    (``os.cpu_count()``).  Batches smaller than two tasks — and pools
+    sized to one worker — fall back to the serial path so trivial
+    batches never pay process start-up.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, workers: int | None = None):
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.jobs = workers if workers is not None else (os.cpu_count() or 1)
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        tasks: Sequence[T] = list(items)
+        if self.jobs <= 1 or len(tasks) <= 1:
+            return [fn(item) for item in tasks]
+        n_workers = min(self.jobs, len(tasks))
+        # a few chunks per worker amortises IPC without serialising the
+        # tail behind one oversized chunk
+        chunksize = max(1, len(tasks) // (n_workers * 4))
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            return list(pool.map(fn, tasks, chunksize=chunksize))
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(workers={self.jobs})"
+
+
+def get_executor(jobs: "int | Executor | None") -> Executor:
+    """Normalise a ``jobs=`` argument into an executor.
+
+    ``None``/``0``/``1`` → :class:`SerialExecutor`; ``N > 1`` →
+    :class:`ParallelExecutor` with ``N`` workers; an existing executor
+    passes through unchanged.
+    """
+    if jobs is None:
+        return SerialExecutor()
+    if isinstance(jobs, int):
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
+        if jobs <= 1:
+            return SerialExecutor()
+        return ParallelExecutor(workers=jobs)
+    if isinstance(jobs, Executor):
+        return jobs
+    raise TypeError(
+        f"jobs must be an int, an Executor, or None; got {jobs!r}"
+    )

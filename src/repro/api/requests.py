@@ -1,0 +1,336 @@
+"""Typed request/result objects — the service boundary of the library.
+
+A request captures *everything* that determines a computation (inputs,
+strategy names, seed, flags) as plain, picklable data, so the same
+request object can be solved inline, shipped to a worker process, or
+logged and replayed later.  A result wraps the underlying engine
+output with provenance (backend, seed, timing) and structured failure
+records instead of raised exceptions — a batch of 10k solves where 3 %
+of instances are infeasible is a *result*, not a crash.
+
+Four shapes:
+
+* :class:`SolveRequest` → :class:`SolveResult` — one-shot allocation
+  (single strategy or a portfolio);
+* :class:`ReplayRequest` — one (trace, policy) dynamic replay, the
+  unit the parallel policy-comparison campaign fans out over;
+* :class:`SweepRequest` — a whole figure campaign (instances ×
+  heuristics grid), materialised as data.
+
+Strategy fields accept bare names (``"subtree-bottom-up"``) or
+namespace-qualified references (``"placement:subtree-bottom-up"``) —
+see :mod:`repro.api.registry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from ..core.pipeline import AllocationResult
+from ..core.problem import ProblemInstance
+from ..dynamic.replay import (
+    DEFAULT_MIGRATION_COST,
+    DEFAULT_SALVAGE_FRACTION,
+)
+from ..dynamic.traces import WorkloadTrace
+from . import registry
+
+if TYPE_CHECKING:  # avoids a module cycle with repro.experiments
+    from ..experiments.config import ExperimentConfig
+
+__all__ = [
+    "FailureRecord",
+    "InstanceSpec",
+    "ReplayRequest",
+    "SolveRequest",
+    "SolveResult",
+    "SweepRequest",
+]
+
+
+def _check_ref(ref: str, expected_namespace: str) -> None:
+    """Validate a strategy reference for one request field: it must
+    resolve, and a qualified ref must live in the expected namespace
+    (``strategy="policy:static"`` is a field mix-up, not a lookup)."""
+    namespace, name = registry.parse(ref, expected_namespace)
+    if namespace != expected_namespace:
+        raise ValueError(
+            f"strategy reference {ref!r} names a {namespace} strategy,"
+            f" but this field takes {expected_namespace} strategies"
+        )
+    registry.resolve(namespace, name)
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """A paper-methodology random instance, by recipe instead of value.
+
+    Building the instance in the worker instead of pickling it over
+    keeps batch requests tiny; :meth:`build` is deterministic in the
+    spec, so a spec *is* its instance for reproducibility purposes.
+    """
+
+    n_operators: int = 20
+    alpha: float = 0.9
+    seed: int = 0
+    n_object_types: int = 15
+    rho: float = 1.0
+
+    def build(self) -> ProblemInstance:
+        from .. import quick_instance
+
+        instance = quick_instance(
+            self.n_operators,
+            alpha=self.alpha,
+            seed=self.seed,
+            n_object_types=self.n_object_types,
+        )
+        if self.rho != 1.0:
+            from dataclasses import replace
+
+            instance = replace(instance, rho=self.rho)
+        return instance
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One strategy's failure inside a solve, as data."""
+
+    strategy: str
+    stage: str  # "placement" | "server-selection" | ... | "time-budget"
+    error_type: str  # exception class name from repro.errors
+    message: str
+    #: The engine exception's ``detail`` payload, when it survives
+    #: pickling (diagnostics the legacy API attached to the exception).
+    detail: object | None = None
+
+    def to_exception(self) -> Exception:
+        """Rebuild a raisable exception (for the legacy shims, which
+        must raise where the old free functions raised)."""
+        from .. import errors
+
+        cls = getattr(errors, self.error_type, None)
+        if not (isinstance(cls, type) and issubclass(cls, Exception)):
+            cls = errors.AllocationError
+        if issubclass(cls, errors.AllocationError):
+            return cls(self.message, detail=self.detail)
+        return cls(self.message)
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """Everything needed to produce one allocation.
+
+    Exactly one of ``instance`` / ``spec`` must be given.  When
+    ``portfolio`` is set it overrides ``strategy``: all members run
+    (fanned out in parallel when the executor allows) and the cheapest
+    feasible result wins, ties broken by member order.
+    """
+
+    instance: ProblemInstance | None = None
+    spec: InstanceSpec | None = None
+    strategy: str = "subtree-bottom-up"
+    portfolio: tuple[str, ...] | None = None
+    server: str | None = None  # None → registry.default_server_for
+    downgrade: bool = True
+    #: ``True`` inserts the default "local-search" refinement phase; a
+    #: string picks a strategy from the registry's ``refine`` namespace.
+    refine: bool | str = False
+    #: ``None`` draws fresh OS entropy; the drawn value is recorded in
+    #: ``SolveResult.seed`` so the run stays replayable either way.
+    seed: int | None = None
+    #: Soft wall-clock budget for the whole request: portfolio members
+    #: not *started* before it expires are recorded as "time-budget"
+    #: failures.  Best-effort — enforcement granularity is one member —
+    #: and inherently timing-dependent, so budgeted requests are
+    #: excluded from the bit-identical serial/parallel guarantee.
+    time_budget_s: float | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if (self.instance is None) == (self.spec is None):
+            raise ValueError(
+                "exactly one of instance= or spec= must be given"
+            )
+        if self.portfolio is not None:
+            members = tuple(self.portfolio)
+            if not members:
+                raise ValueError("portfolio must name at least one strategy")
+            object.__setattr__(self, "portfolio", members)
+        # fail fast on typos (with per-namespace suggestions) instead of
+        # deep inside a worker process
+        for ref in self.strategies:
+            _check_ref(ref, "placement")
+        if self.server is not None:
+            _check_ref(self.server, "server")
+        if isinstance(self.refine, str):
+            _check_ref(self.refine, "refine")
+
+    @property
+    def strategies(self) -> tuple[str, ...]:
+        """The placement strategies this request will try, in order."""
+        return self.portfolio if self.portfolio else (self.strategy,)
+
+    def resolve_instance(self) -> ProblemInstance:
+        return self.instance if self.instance is not None else self.spec.build()
+
+    def describe(self) -> str:
+        target = (
+            self.instance.name or "<instance>"
+            if self.instance is not None
+            else f"spec(n={self.spec.n_operators}, alpha={self.spec.alpha},"
+                 f" seed={self.spec.seed})"
+        )
+        return f"solve[{'|'.join(self.strategies)}] on {target}"
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """A solve outcome with provenance: the winning
+    :class:`~repro.core.pipeline.AllocationResult` (or ``None``),
+    per-strategy failure records, timing, backend, and effective
+    seed."""
+
+    request: SolveRequest
+    result: AllocationResult | None
+    failures: tuple[FailureRecord, ...] = ()
+    elapsed_s: float = 0.0
+    backend: str = "serial"
+    seed: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    @property
+    def allocation(self):
+        return self.result.allocation if self.result else None
+
+    @property
+    def cost(self) -> float:
+        if self.result is None:
+            raise ValueError(f"request failed: {self.failure_summary()}")
+        return self.result.cost
+
+    @property
+    def n_processors(self) -> int | None:
+        return self.result.n_processors if self.result else None
+
+    @property
+    def heuristic(self) -> str | None:
+        """Name of the winning placement strategy."""
+        return self.result.heuristic if self.result else None
+
+    def failure_summary(self) -> str:
+        return "; ".join(
+            f"{f.strategy}: {f.message}" for f in self.failures
+        ) or "no failures recorded"
+
+    def raise_for_failure(self) -> None:
+        """Raise the (reconstructed) engine exception on failure.
+
+        With a single failure the original exception type/message is
+        rebuilt; a fully failed portfolio raises
+        :class:`~repro.errors.PlacementError` with the per-member
+        breakdown, mirroring the legacy ``allocate_best``.
+        """
+        if self.ok:
+            return
+        if len(self.failures) == 1 and self.request.portfolio is None:
+            raise self.failures[0].to_exception()
+        from ..errors import PlacementError
+
+        detail = {f.strategy: f.message for f in self.failures}
+        raise PlacementError(
+            "every portfolio member failed: "
+            + "; ".join(f"{k}: {v}" for k, v in detail.items()),
+            detail=detail,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-able summary (no allocation dump)."""
+        return {
+            "ok": self.ok,
+            "cost": self.result.cost if self.ok else None,
+            "n_processors": self.n_processors,
+            "heuristic": self.heuristic,
+            "server_strategy": (
+                self.result.server_strategy if self.ok else None
+            ),
+            "elapsed_s": self.elapsed_s,
+            "backend": self.backend,
+            "seed": self.seed,
+            "label": self.request.label,
+            "failures": [
+                {
+                    "strategy": f.strategy,
+                    "stage": f.stage,
+                    "error_type": f.error_type,
+                    "message": f.message,
+                }
+                for f in self.failures
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class ReplayRequest:
+    """One (trace, policy) dynamic replay — the parallel unit of the
+    policy-comparison campaign."""
+
+    trace: str | WorkloadTrace = "ramp"
+    policy: str = "harvest"
+    #: Trace seed, used only when ``trace`` is a family name.
+    seed: int = 2009
+    validate: bool = False
+    n_results: int = 30
+    migration_cost: float = DEFAULT_MIGRATION_COST
+    salvage_fraction: float = DEFAULT_SALVAGE_FRACTION
+
+    def __post_init__(self) -> None:
+        _check_ref(self.policy, "policy")
+
+    def resolve_trace(self) -> WorkloadTrace:
+        if isinstance(self.trace, WorkloadTrace):
+            return self.trace
+        from ..dynamic.traces import make_trace
+
+        return make_trace(self.trace, seed=self.seed)
+
+    def describe(self) -> str:
+        name = (
+            self.trace if isinstance(self.trace, str) else self.trace.name
+        )
+        return f"replay[{self.policy}] on {name}"
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """A figure campaign as data: sweep points × heuristics over
+    seeded instance populations."""
+
+    name: str
+    parameter: str
+    x_values: tuple[float, ...]
+    configs: Mapping[float, "ExperimentConfig"]
+    heuristics: tuple[str, ...] = ()
+
+    @classmethod
+    def from_config_fn(
+        cls,
+        name: str,
+        parameter: str,
+        x_values: Sequence[float],
+        config_for,
+        heuristics: Sequence[str] = (),
+    ) -> "SweepRequest":
+        """Materialise the legacy ``config_for`` callable form."""
+        xs = tuple(float(x) for x in x_values)
+        return cls(
+            name=name,
+            parameter=parameter,
+            x_values=xs,
+            configs={x: config_for(x) for x in xs},
+            heuristics=tuple(heuristics),
+        )

@@ -25,6 +25,11 @@ Subcommands
     under one or more online re-allocation policies (static / resolve /
     harvest / trade), pricing every reconfiguration.
 
+``solve``, ``figure``, and ``dynamic`` accept ``--jobs N`` to fan
+their independent work items (heuristics, campaign grid cells,
+policies) out over ``N`` worker processes via :mod:`repro.api`;
+results are bit-identical to the serial run.
+
 Invoked with no subcommand, prints usage and exits 0.
 """
 
@@ -61,6 +66,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument("--describe", action="store_true",
                     help="print the full allocation, not just the cost")
+    ps.add_argument("-j", "--jobs", type=int, default=1,
+                    help="worker processes (heuristics run in parallel)")
 
     pf = sub.add_parser("figure", help="re-run a §5 figure campaign")
     pf.add_argument("figure_id", choices=sorted(
@@ -71,6 +78,8 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("-s", "--seed", type=int, default=2009)
     pf.add_argument("--csv", type=str, default=None,
                     help="also write CSV to this path")
+    pf.add_argument("-j", "--jobs", type=int, default=1,
+                    help="worker processes for the campaign grid")
 
     po = sub.add_parser("optimal", help="heuristics vs exact optimum")
     po.add_argument("-n", "--operators", type=int, default=12)
@@ -125,6 +134,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="policy name (repeatable; default: all four)",
     )
     pd.add_argument("-s", "--seed", type=int, default=2009)
+    pd.add_argument("-j", "--jobs", type=int, default=1,
+                    help="worker processes (policies replay in parallel)")
     pd.add_argument("--validate", action="store_true",
                     help="validate every epoch in the simulator")
     pd.add_argument("--table", action="store_true",
@@ -143,8 +154,8 @@ def _cmd_table1() -> int:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     from . import quick_instance
-    from .core import HEURISTIC_ORDER, allocate
-    from .errors import ReproError
+    from .api import SolveRequest, solve_many
+    from .core import HEURISTIC_ORDER
 
     inst = quick_instance(
         args.operators, alpha=args.alpha, seed=args.seed
@@ -152,12 +163,17 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"instance: {inst.name} ({len(inst.tree)} operators,"
           f" {len(inst.tree.used_objects)} objects in use)")
     names = args.heuristic or list(HEURISTIC_ORDER)
-    for name in names:
-        try:
-            result = allocate(inst, name, rng=args.seed)
-        except ReproError as err:
-            print(f"{name:22s} FAILED ({type(err).__name__}): {err}")
+    requests = [
+        SolveRequest(instance=inst, strategy=name, seed=args.seed)
+        for name in names
+    ]
+    for name, sr in zip(names, solve_many(requests, executor=args.jobs)):
+        if not sr.ok:
+            for failure in sr.failures:
+                print(f"{name:22s} FAILED ({failure.error_type}):"
+                      f" {failure.message}")
             continue
+        result = sr.result
         print(
             f"{name:22s} ${result.cost:>10,.0f}"
             f"  {result.n_processors:>3} processors"
@@ -178,7 +194,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     )
 
     fn = FIGURE_REGISTRY[args.figure_id]
-    sweep = fn(n_instances=args.instances, master_seed=args.seed)
+    sweep = fn(n_instances=args.instances, master_seed=args.seed,
+               executor=args.jobs)
     print(format_sweep_table(sweep))
     print(ranking_summary(sweep))
     if args.csv:
@@ -244,7 +261,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f" {sim.offered_rate:.4f}/s, {sim.download_misses} download"
         f" deadline misses, {sim.n_events} events"
     )
-    return 0 if not sim.saturated and sim.download_misses == 0 else 1
+    reasons = []
+    if sim.saturated:
+        reasons.append(
+            f"platform saturated: achieved rate {sim.achieved_rate:.4f}/s"
+            f" fell behind the offered {sim.offered_rate:.4f}/s"
+        )
+    if sim.download_misses:
+        reasons.append(
+            f"{sim.download_misses} object download(s) missed their"
+            " freshness deadline"
+        )
+    if reasons:
+        print("FAILED: " + "; ".join(reasons))
+        return 1
+    print("OK: platform sustains the target throughput")
+    return 0
 
 
 def _cmd_exact(args: argparse.Namespace) -> int:
@@ -297,7 +329,8 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
 
 
 def _cmd_dynamic(args: argparse.Namespace) -> int:
-    from .dynamic import POLICY_ORDER, make_trace, replay
+    from .api import ReplayRequest, replay_many
+    from .dynamic import POLICY_ORDER, make_trace
 
     trace = make_trace(args.trace, seed=args.seed)
     print(
@@ -305,10 +338,12 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
         f" initial instance {trace.initial.name or repr(trace.initial)}"
     )
     names = args.policy or list(POLICY_ORDER)
-    results = []
-    for name in names:
-        result = replay(trace, name, validate=args.validate)
-        results.append(result)
+    requests = [
+        ReplayRequest(trace=trace, policy=name, validate=args.validate)
+        for name in names
+    ]
+    results = replay_many(requests, executor=args.jobs)
+    for result in results:
         print(result.summary())
         if args.table:
             print(result.table())

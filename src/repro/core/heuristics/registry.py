@@ -1,9 +1,13 @@
 """Name → heuristic registry.
 
 The experiment campaigns, CLI, and benchmark harness all refer to
-heuristics by their paper names; this registry is the single source of
-truth (and of the canonical plotting/report order, which follows the
-paper's figure legends).
+heuristics by their paper names.  Since the service API landed,
+lookups are delegated to the unified namespaced registry
+(:mod:`repro.api.registry`, ``placement`` namespace), which seeds
+itself from :data:`HEURISTIC_FACTORIES` below — so strategies added
+downstream via ``repro.api.register("placement", ...)`` resolve here
+too.  :data:`HEURISTIC_ORDER` remains the canonical plotting/report
+order, following the paper's figure legends.
 """
 
 from __future__ import annotations
@@ -46,12 +50,11 @@ HEURISTIC_ORDER: tuple[str, ...] = (
 
 
 def make_heuristic(name: str) -> PlacementHeuristic:
-    """Instantiate a heuristic by its paper name."""
-    try:
-        return HEURISTIC_FACTORIES[name]()
-    except KeyError:
-        known = ", ".join(sorted(HEURISTIC_FACTORIES))
-        raise KeyError(f"unknown heuristic {name!r}; known: {known}") from None
+    """Instantiate a heuristic by its paper name (or any placement
+    strategy registered through :func:`repro.api.register`)."""
+    from ...api import registry as unified
+
+    return unified.make("placement", name)
 
 
 def all_heuristics() -> list[PlacementHeuristic]:

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import AllocationError, PlacementError
+from ..errors import AllocationError
 from ..rng import make_rng
 from .constraints import verify
 from .downgrade import downgrade_processors
@@ -30,11 +30,7 @@ from .heuristics.base import PlacementHeuristic
 from .heuristics.registry import HEURISTIC_ORDER, make_heuristic
 from .mapping import Allocation
 from .problem import ProblemInstance
-from .server_selection import (
-    RandomServerSelection,
-    ServerSelection,
-    ThreeLoopServerSelection,
-)
+from .server_selection import ServerSelection
 from .throughput import ThroughputAnalysis, max_throughput
 
 __all__ = [
@@ -69,10 +65,16 @@ class AllocationResult:
 
 def default_server_selection(heuristic_name: str) -> ServerSelection:
     """The paper's pairing: Random placement → random selection,
-    everything else → the three-loop strategy (§4.2)."""
-    if heuristic_name == "random":
-        return RandomServerSelection()
-    return ThreeLoopServerSelection()
+    everything else → the three-loop strategy (§4.2).
+
+    Delegates to the unified registry
+    (:func:`repro.api.registry.default_server_for`), so placements
+    registered downstream with an explicit ``server=`` pairing are
+    honoured here too.
+    """
+    from ..api import registry as unified
+
+    return unified.make("server", unified.default_server_for(heuristic_name))
 
 
 def allocate_best(
@@ -82,6 +84,7 @@ def allocate_best(
     downgrade: bool = True,
     refine: bool = False,
     rng: np.random.Generator | int | None = None,
+    executor=None,
 ) -> AllocationResult:
     """Portfolio allocation: run several heuristics, keep the cheapest.
 
@@ -92,34 +95,31 @@ def allocate_best(
     heuristics") — made executable.  Defaults to all six §4.1
     heuristics; raises :class:`PlacementError` only when *every* member
     fails.
+
+    Since the service API landed this is a thin wrapper over
+    :func:`repro.api.solve` with ``portfolio=``; pass ``executor=`` (a
+    worker count or :class:`repro.api.Executor`) to fan the members
+    out in parallel — results are bit-identical to the serial run.
     """
-    from ..rng import derive_seed
+    from ..api import SolveRequest, solve
 
     names = (
-        list(heuristics) if heuristics is not None
-        else list(HEURISTIC_ORDER)
+        tuple(heuristics) if heuristics is not None
+        else tuple(HEURISTIC_ORDER)
     )
+    # the original free function drew the portfolio base seed from its
+    # rng argument like this; SolveRequest.seed IS that base seed, so
+    # forwarding stays bit-identical for int, None, and Generator rng
     base_seed = int(make_rng(rng).integers(0, 2**31 - 1))
-    best: AllocationResult | None = None
-    failures: dict[str, str] = {}
-    for name in names:
-        try:
-            result = allocate(
-                instance, name, downgrade=downgrade, refine=refine,
-                rng=derive_seed(base_seed, "portfolio", name),
-            )
-        except AllocationError as err:
-            failures[name] = str(err)
-            continue
-        if best is None or result.cost < best.cost - 1e-9:
-            best = result
-    if best is None:
-        raise PlacementError(
-            "every portfolio member failed: "
-            + "; ".join(f"{k}: {v}" for k, v in failures.items()),
-            detail=failures,
-        )
-    return best
+    sr = solve(
+        SolveRequest(
+            instance=instance, portfolio=names,
+            downgrade=downgrade, refine=refine, seed=base_seed,
+        ),
+        executor=executor,
+    )
+    sr.raise_for_failure()
+    return sr.result
 
 
 def allocate(
@@ -128,7 +128,7 @@ def allocate(
     *,
     server_strategy: ServerSelection | None = None,
     downgrade: bool = True,
-    refine: bool = False,
+    refine: bool | str = False,
     rng: np.random.Generator | int | None = None,
 ) -> AllocationResult:
     """Run the full pipeline and return a verified allocation.
@@ -136,7 +136,9 @@ def allocate(
     ``refine=True`` inserts the local-search phase (an extension over
     the paper's pipeline; see
     :mod:`repro.core.heuristics.local_search`) between placement and
-    server selection.
+    server selection; a string selects a refinement strategy from the
+    unified registry's ``refine`` namespace instead of the default
+    ``local-search``.
 
     Raises
     ------
@@ -157,9 +159,12 @@ def allocate(
     outcome = heuristic.place(instance, rng=gen)
     refinement = None
     if refine:
-        from .heuristics.local_search import refine_placement
+        from ..api import registry as unified
 
-        refinement = refine_placement(instance, outcome)
+        refiner = unified.make(
+            "refine", refine if isinstance(refine, str) else "local-search"
+        )
+        refinement = refiner(instance, outcome)
     downloads = server_strategy.select(
         instance, outcome.tracker.assignment, rng=gen
     )

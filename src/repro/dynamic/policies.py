@@ -31,8 +31,10 @@ local repair cannot restore feasibility (the replay driver prices that
 epoch like a ``resolve`` epoch and flags it), so the adaptive policies
 are never *less* feasible than ``resolve``.
 
-The registry mirrors :mod:`repro.core.heuristics.registry` so the CLI,
-experiment campaigns, and benchmarks refer to policies by name.
+Policies are looked up by name through the unified strategy registry
+(:mod:`repro.api.registry`, ``policy`` namespace), which seeds itself
+from :data:`POLICY_FACTORIES` below; the CLI, experiment campaigns,
+and benchmarks all resolve names the same way.
 """
 
 from __future__ import annotations
@@ -219,12 +221,11 @@ POLICY_ORDER: tuple[str, ...] = ("static", "resolve", "harvest", "trade")
 
 
 def make_policy(name: str, **kwargs) -> ReallocationPolicy:
-    """Instantiate a policy by name."""
-    try:
-        return POLICY_FACTORIES[name](**kwargs)
-    except KeyError:
-        known = ", ".join(sorted(POLICY_FACTORIES))
-        raise KeyError(f"unknown policy {name!r}; known: {known}") from None
+    """Instantiate a policy by name (or any policy registered through
+    :func:`repro.api.register` under the ``policy`` namespace)."""
+    from ..api import registry as unified
+
+    return unified.make("policy", name, **kwargs)
 
 
 def all_policies() -> list[ReallocationPolicy]:

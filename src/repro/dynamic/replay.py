@@ -261,6 +261,44 @@ def replay(
     migration_cost: float = DEFAULT_MIGRATION_COST,
     salvage_fraction: float = DEFAULT_SALVAGE_FRACTION,
 ) -> ReplayResult:
+    """Deprecated free-function form of the replay driver.
+
+    Forwards unchanged to :func:`repro.api.replay` (one
+    ``DeprecationWarning`` per process); new code should build a
+    :class:`repro.api.ReplayRequest` — and use
+    :func:`repro.api.replay_many` to fan independent (trace, policy)
+    replays out over worker processes.
+    """
+    from .._deprecation import warn_once
+    from ..api import ReplayRequest, replay as api_replay
+
+    warn_once("repro.dynamic.replay()", "repro.api.replay(ReplayRequest)")
+    if isinstance(policy, ReallocationPolicy):
+        # ad-hoc policy objects bypass the registry; run the engine
+        # directly (they cannot travel to worker processes anyway)
+        return _replay_engine(
+            trace, policy, validate=validate, n_results=n_results,
+            migration_cost=migration_cost,
+            salvage_fraction=salvage_fraction,
+        )
+    return api_replay(
+        ReplayRequest(
+            trace=trace, policy=policy, validate=validate,
+            n_results=n_results, migration_cost=migration_cost,
+            salvage_fraction=salvage_fraction,
+        )
+    )
+
+
+def _replay_engine(
+    trace: WorkloadTrace,
+    policy: ReallocationPolicy | str,
+    *,
+    validate: bool = False,
+    n_results: int = 30,
+    migration_cost: float = DEFAULT_MIGRATION_COST,
+    salvage_fraction: float = DEFAULT_SALVAGE_FRACTION,
+) -> ReplayResult:
     """Walk ``trace`` under ``policy`` and return the priced series.
 
     A policy failure (e.g. ``static`` facing an application arrival, or

@@ -19,8 +19,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api.requests import ReplayRequest
+from ..api.service import replay_many
 from ..dynamic.policies import POLICY_ORDER
-from ..dynamic.replay import ReplayResult, replay
+from ..dynamic.replay import ReplayResult
 from ..dynamic.traces import make_trace
 from ..rng import derive_seed
 
@@ -79,10 +81,18 @@ def policy_comparison(
     n_instances: int = 3,
     master_seed: int = 2009,
     validate: bool = False,
+    executor=None,
     **trace_kwargs,
 ) -> DynamicComparison:
     """Replay ``n_instances`` seeded traces of one family under every
-    policy and aggregate the resulting series."""
+    policy and aggregate the resulting series.
+
+    The |policies| × |traces| replays are independent, so they fan out
+    over ``executor`` (worker count or :class:`repro.api.Executor`) —
+    the ROADMAP's "scale the replay loop" item.  Each replay derives
+    its epoch seeds from its own trace seed, so the aggregate is
+    bit-identical whichever backend runs it.
+    """
     traces = [
         make_trace(
             trace,
@@ -91,11 +101,15 @@ def policy_comparison(
         )
         for i in range(n_instances)
     ]
+    requests = [
+        ReplayRequest(trace=t, policy=name, validate=validate)
+        for name in policies
+        for t in traces
+    ]
+    flat = replay_many(requests, executor=executor)
     cells = []
-    for name in policies:
-        results = tuple(
-            replay(t, name, validate=validate) for t in traces
-        )
+    for p, name in enumerate(policies):
+        results = tuple(flat[p * len(traces):(p + 1) * len(traces)])
         n = len(results)
         cells.append(
             PolicyCell(

@@ -74,6 +74,7 @@ def fig2a(
     *,
     n_instances: int = 10,
     master_seed: int = 2009,
+    executor=None,
 ) -> SweepResult:
     """Figure 2(a): α = 0.9, high frequency, small objects.
 
@@ -90,6 +91,7 @@ def fig2a(
             master_seed=master_seed, ops_per_ghz=DENSE_OPS_PER_GHZ,
             link_mbps=2500.0,
         ),
+        executor=executor,
     )
 
 
@@ -98,6 +100,7 @@ def fig2b(
     *,
     n_instances: int = 10,
     master_seed: int = 2009,
+    executor=None,
 ) -> SweepResult:
     """Figure 2(b): α = 1.7 — cost grows with N and "for trees with
     more than 80 operators, almost no feasible mapping can be found"."""
@@ -107,6 +110,7 @@ def fig2b(
             n_operators=int(n), alpha=1.7, n_instances=n_instances,
             master_seed=master_seed,
         ),
+        executor=executor,
     )
 
 
@@ -116,6 +120,7 @@ def fig3(
     n_operators: int = 60,
     n_instances: int = 10,
     master_seed: int = 2009,
+    executor=None,
 ) -> SweepResult:
     """Figure 3: N = 60, α sweep — flat until ≈1.6, rising, infeasible
     past ≈1.8 (thresholds 1.7/2.2 for N = 20, see :func:`fig3_n20`)."""
@@ -125,6 +130,7 @@ def fig3(
             n_operators=n_operators, alpha=float(a),
             n_instances=n_instances, master_seed=master_seed,
         ),
+        executor=executor,
     )
 
 
@@ -133,11 +139,12 @@ def fig3_n20(
     *,
     n_instances: int = 10,
     master_seed: int = 2009,
+    executor=None,
 ) -> SweepResult:
     """§5 text: the N = 20 thresholds sit higher (≈1.7 and ≈2.2)."""
     return fig3(
         alpha_values, n_operators=20, n_instances=n_instances,
-        master_seed=master_seed,
+        master_seed=master_seed, executor=executor,
     )
 
 
@@ -147,6 +154,7 @@ def large_objects(
     alpha: float = 1.1,
     n_instances: int = 10,
     master_seed: int = 2009,
+    executor=None,
 ) -> SweepResult:
     """§5 text: large objects (450–530 MB) — "no feasible solution can
     be found as soon as the trees exceed 45 nodes"; Subtree-Bottom-Up
@@ -166,6 +174,7 @@ def large_objects(
             n_operators=int(n), alpha=alpha, n_instances=n_instances,
             master_seed=master_seed, fat_nics=True,
         ),
+        executor=executor,
     )
 
 
@@ -176,6 +185,7 @@ def replication_sweep(
     alpha: float = 1.5,
     n_instances: int = 10,
     master_seed: int = 2009,
+    executor=None,
 ) -> SweepResult:
     """§5 closing remark: "the level of replication of basic objects on
     servers may matter for application trees with specific structures
@@ -193,6 +203,7 @@ def replication_sweep(
             replication_probability=float(p),
             n_instances=n_instances, master_seed=master_seed,
         ),
+        executor=executor,
     )
 
 
@@ -203,6 +214,7 @@ def rate_sweep(
     alpha: float = 1.5,
     n_instances: int = 10,
     master_seed: int = 2009,
+    executor=None,
 ) -> SweepResult:
     """§5: influence of download rates — "frequencies smaller than
     1/10 s have no further influence on the solution"."""
@@ -212,6 +224,7 @@ def rate_sweep(
             n_operators=n_operators, alpha=alpha, frequency_hz=float(f),
             n_instances=n_instances, master_seed=master_seed,
         ),
+        executor=executor,
     )
 
 

@@ -7,14 +7,22 @@ one such column; :func:`run_sweep` a whole figure.  Failures are
 recorded per phase (placement / server-selection), mirroring the
 paper's discussion of *where* heuristics fail (e.g. Subtree-Bottom-Up
 failing in server selection on large objects).
+
+Both runners accept ``executor=`` (a worker count or
+:class:`repro.api.Executor`): the (instance, heuristic) grid is
+embarrassingly parallel, every cell's seed is derived up front with
+:func:`repro.rng.derive_seed`, and results are grouped back in input
+order — so a parallel campaign is bit-identical to the serial one.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Mapping, Sequence
 
+from ..api.executors import get_executor
 from ..core.heuristics.registry import HEURISTIC_ORDER, make_heuristic
 from ..core.pipeline import allocate
 from ..core.problem import ProblemInstance
@@ -145,24 +153,61 @@ def run_instance(
     )
 
 
+@lru_cache(maxsize=256)
+def _cached_instance(config: ExperimentConfig, index: int) -> ProblemInstance:
+    """Instance generation is deterministic in (config, index), so
+    tasks ship the small config instead of pickling the instance once
+    per heuristic; each process (parent or pool worker) rebuilds an
+    instance at most once and reuses it across its heuristic cells."""
+    return make_instance(config, index)
+
+
+def _run_cell_task(task: tuple[ExperimentConfig, int, str, int]) -> InstanceOutcome:
+    """One (instance, heuristic) grid cell — module-level so the
+    process-pool backend can pickle it."""
+    config, index, name, seed = task
+    return run_instance(
+        _cached_instance(config, index), name,
+        seed=seed, instance_index=index,
+    )
+
+
+def _cell_tasks(
+    config: ExperimentConfig,
+    heuristics: Sequence[str],
+) -> list[tuple[ExperimentConfig, int, str, int]]:
+    """Flatten one sweep point into tasks, heuristic-major (the legacy
+    serial execution order), with per-cell seeds derived up front."""
+    return [
+        (config, i, name, derive_seed(config.master_seed, "run", name, i))
+        for name in heuristics
+        for i in range(config.n_instances)
+    ]
+
+
+def _group_cells(
+    heuristics: Sequence[str],
+    n_instances: int,
+    outcomes: Sequence[InstanceOutcome],
+) -> dict[str, CellResult]:
+    """Fold the flat outcome list back into per-heuristic cells."""
+    out: dict[str, CellResult] = {}
+    for h, name in enumerate(heuristics):
+        chunk = outcomes[h * n_instances:(h + 1) * n_instances]
+        out[name] = CellResult(heuristic=name, outcomes=tuple(chunk))
+    return out
+
+
 def run_point(
     config: ExperimentConfig,
     heuristics: Sequence[str] = HEURISTIC_ORDER,
+    *,
+    executor=None,
 ) -> dict[str, CellResult]:
     """Run every heuristic over the configured instance population."""
-    out: dict[str, CellResult] = {}
-    instances = [
-        make_instance(config, i) for i in range(config.n_instances)
-    ]
-    for name in heuristics:
-        outcomes = []
-        for i, inst in enumerate(instances):
-            seed = derive_seed(config.master_seed, "run", name, i)
-            outcomes.append(
-                run_instance(inst, name, seed=seed, instance_index=i)
-            )
-        out[name] = CellResult(heuristic=name, outcomes=tuple(outcomes))
-    return out
+    executor = get_executor(executor)
+    outcomes = executor.map(_run_cell_task, _cell_tasks(config, heuristics))
+    return _group_cells(heuristics, config.n_instances, outcomes)
 
 
 def run_sweep(
@@ -171,14 +216,30 @@ def run_sweep(
     x_values: Sequence[float],
     config_for: Callable[[float], ExperimentConfig],
     heuristics: Sequence[str] = HEURISTIC_ORDER,
+    *,
+    executor=None,
 ) -> SweepResult:
-    """Run a full parameter sweep (one paper figure)."""
-    cells: dict[tuple[float, str], CellResult] = {}
+    """Run a full parameter sweep (one paper figure).
+
+    The whole instances × heuristics × sweep-points grid is flattened
+    into one task list so a parallel executor keeps every worker busy
+    across sweep points, not just within one.
+    """
+    executor = get_executor(executor)
     configs: dict[float, ExperimentConfig] = {}
+    tasks: list[tuple[ExperimentConfig, int, str, int]] = []
+    spans: list[tuple[float, int, int]] = []  # (x, start, n_instances)
     for x in x_values:
         config = config_for(x)
         configs[x] = config
-        for hname, cell in run_point(config, heuristics).items():
+        spans.append((x, len(tasks), config.n_instances))
+        tasks.extend(_cell_tasks(config, heuristics))
+    outcomes = executor.map(_run_cell_task, tasks)
+    cells: dict[tuple[float, str], CellResult] = {}
+    for x, start, n_instances in spans:
+        chunk = outcomes[start:start + n_instances * len(heuristics)]
+        for hname, cell in _group_cells(heuristics, n_instances,
+                                        chunk).items():
             cells[(x, hname)] = cell
     return SweepResult(
         name=name,

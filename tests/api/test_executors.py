@@ -1,0 +1,108 @@
+"""Executor backends: serial vs. process-pool determinism.
+
+The contract asserted here is the headline guarantee of the service
+API: the same request batch produces *byte-identical* results (costs,
+assignments, downloads, failure records) whichever backend runs it.
+"""
+
+import pytest
+
+from repro.api import (
+    Executor,
+    InstanceSpec,
+    ParallelExecutor,
+    SerialExecutor,
+    SolveRequest,
+    get_executor,
+    solve_many,
+)
+
+
+def _result_fingerprint(sr):
+    """Every observable output of one solve, as plain comparable data."""
+    if not sr.ok:
+        return ("failed", sr.failures)
+    alloc = sr.result.allocation
+    return (
+        sr.result.cost,
+        sr.result.heuristic,
+        sr.result.server_strategy,
+        tuple(sorted(alloc.assignment.items())),
+        tuple(sorted((u, k, s) for (u, k), s in alloc.downloads.items())),
+        tuple(p.spec for p in alloc.processors),
+        sr.failures,
+    )
+
+
+class TestGetExecutor:
+    def test_none_and_small_jobs_are_serial(self):
+        assert isinstance(get_executor(None), SerialExecutor)
+        assert isinstance(get_executor(0), SerialExecutor)
+        assert isinstance(get_executor(1), SerialExecutor)
+
+    def test_jobs_count_builds_parallel(self):
+        ex = get_executor(3)
+        assert isinstance(ex, ParallelExecutor)
+        assert ex.jobs == 3
+
+    def test_executor_passthrough(self):
+        ex = ParallelExecutor(workers=2)
+        assert get_executor(ex) is ex
+
+    def test_protocol_runtime_checkable(self):
+        assert isinstance(SerialExecutor(), Executor)
+        assert isinstance(ParallelExecutor(workers=2), Executor)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(TypeError):
+            get_executor("four")
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=0)
+        with pytest.raises(ValueError):
+            get_executor(-4)
+
+
+class TestDeterminism:
+    def test_serial_and_parallel_solve_many_bit_identical(self):
+        """The satellite requirement: same batch through SerialExecutor
+        and ParallelExecutor(workers=2) → byte-identical costs,
+        assignments, and failure records."""
+        requests = [
+            # feasible instances across two strategies …
+            SolveRequest(
+                spec=InstanceSpec(n_operators=10, alpha=1.2, seed=s),
+                strategy=strategy,
+                seed=s,
+            )
+            for s in (0, 1)
+            for strategy in ("subtree-bottom-up", "random")
+        ] + [
+            # … plus an infeasible one so failure records cross too
+            SolveRequest(
+                spec=InstanceSpec(n_operators=25, alpha=2.9, seed=1),
+                strategy="comp-greedy",
+                seed=0,
+            )
+        ]
+        serial = solve_many(requests, executor=SerialExecutor())
+        parallel = solve_many(
+            requests, executor=ParallelExecutor(workers=2)
+        )
+        assert [r.backend for r in serial] == ["serial"] * len(requests)
+        assert [r.backend for r in parallel] == (
+            ["process-pool"] * len(requests)
+        )
+        for s, p in zip(serial, parallel):
+            assert _result_fingerprint(s) == _result_fingerprint(p)
+
+    def test_parallel_map_preserves_order(self):
+        ex = ParallelExecutor(workers=2)
+        assert ex.map(_square, [3, 1, 2, 5, 4]) == [9, 1, 4, 25, 16]
+
+    def test_parallel_single_task_falls_back_inline(self):
+        ex = ParallelExecutor(workers=2)
+        assert ex.map(_square, [7]) == [49]
+
+
+def _square(x):
+    return x * x

@@ -1,0 +1,134 @@
+"""Tests for the unified namespaced strategy registry."""
+
+import pytest
+
+from repro.api import registry
+from repro.api.registry import UnknownStrategyError
+from repro.core.heuristics.base import PlacementHeuristic
+from repro.core.heuristics.registry import HEURISTIC_ORDER, make_heuristic
+from repro.dynamic.policies import POLICY_ORDER, make_policy
+
+
+class TestBuiltins:
+    def test_all_namespaces_populated(self):
+        assert set(registry.NAMESPACES) == {
+            "placement", "server", "policy", "refine"
+        }
+        assert registry.names("placement")[:6] == HEURISTIC_ORDER
+        assert set(registry.names("server")) == {"random", "three-loop"}
+        assert registry.names("policy")[:4] == POLICY_ORDER
+        assert "local-search" in registry.names("refine")
+
+    @pytest.mark.parametrize("name", HEURISTIC_ORDER)
+    def test_make_placement(self, name):
+        assert registry.make("placement", name).name == name
+
+    def test_make_accepts_qualified_reference(self):
+        h = registry.make("placement", "placement:subtree-bottom-up")
+        assert h.name == "subtree-bottom-up"
+
+    def test_qualified_reference_wrong_namespace_rejected(self):
+        with pytest.raises(ValueError, match="belongs to namespace"):
+            registry.make("placement", "policy:harvest")
+
+    def test_refine_strategy_is_callable(self):
+        assert callable(registry.make("refine", "local-search"))
+
+    def test_default_server_pairing(self):
+        assert registry.default_server_for("random") == "random"
+        assert registry.default_server_for("subtree-bottom-up") == "three-loop"
+        # unknown placements get the safe default, not an error
+        assert registry.default_server_for("not-registered") == "three-loop"
+
+
+class TestErrors:
+    def test_unknown_name_lists_namespace_strategies(self):
+        with pytest.raises(UnknownStrategyError) as exc:
+            registry.resolve("placement", "simulated-annealing")
+        msg = str(exc.value)
+        assert "unknown placement" in msg
+        for name in HEURISTIC_ORDER:
+            assert name in msg
+        # policy names must NOT leak into a placement error
+        assert "harvest" not in msg
+
+    def test_close_match_suggestion(self):
+        with pytest.raises(UnknownStrategyError) as exc:
+            registry.resolve("placement", "subtree")
+        assert "did you mean 'subtree-bottom-up'?" in str(exc.value)
+
+    def test_policy_suggestion(self):
+        with pytest.raises(UnknownStrategyError) as exc:
+            registry.resolve("policy", "harvset")
+        assert "did you mean 'harvest'?" in str(exc.value)
+
+    def test_is_a_keyerror_for_legacy_callers(self):
+        with pytest.raises(KeyError):
+            registry.resolve("policy", "nope")
+
+    def test_message_readable_without_close_match(self):
+        with pytest.raises(UnknownStrategyError) as exc:
+            registry.resolve("placement", "zzzqq")
+        assert "(valid placement strategies:" in str(exc.value)
+
+    def test_error_survives_pickling(self):
+        """Worker processes send lookup failures back through pickle —
+        a non-picklable exception would crash the whole pool."""
+        import pickle
+
+        err = UnknownStrategyError("placement", "zzz", ("a", "b"))
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, UnknownStrategyError)
+        assert str(clone) == str(err)
+        assert clone.known == ("a", "b")
+
+    def test_unknown_namespace_rejected(self):
+        with pytest.raises(ValueError, match="unknown namespace"):
+            registry.names("placements")
+
+    def test_legacy_make_heuristic_routes_through_registry(self):
+        with pytest.raises(KeyError) as exc:
+            make_heuristic("subtree")
+        assert "did you mean 'subtree-bottom-up'?" in str(exc.value)
+
+    def test_legacy_make_policy_routes_through_registry(self):
+        with pytest.raises(KeyError) as exc:
+            make_policy("harvset")
+        assert "did you mean 'harvest'?" in str(exc.value)
+
+    def test_parse(self):
+        assert registry.parse("policy:harvest") == ("policy", "harvest")
+        assert registry.parse("harvest", "policy") == ("policy", "harvest")
+        with pytest.raises(ValueError):
+            registry.parse("nonsense:harvest")
+
+
+class _ToyPlacement(PlacementHeuristic):
+    name = "toy-registry-test"
+
+    def place(self, instance, *, rng=None):  # pragma: no cover
+        raise NotImplementedError
+
+
+class TestRegister:
+    def test_register_and_resolve_downstream_strategy(self):
+        registry.register("placement", server="random")(_ToyPlacement)
+        try:
+            assert "toy-registry-test" in registry.names("placement")
+            # visible through the legacy factory too
+            assert isinstance(
+                make_heuristic("toy-registry-test"), _ToyPlacement
+            )
+            # the explicit pairing is honoured
+            assert registry.default_server_for("toy-registry-test") == "random"
+        finally:
+            registry._REGISTRY["placement"].pop("toy-registry-test")
+            registry._SERVER_PAIRING.pop("toy-registry-test")
+
+    def test_register_requires_a_name(self):
+        with pytest.raises(ValueError, match="name"):
+            registry.register("refine")(lambda: None)
+
+    def test_register_pairing_only_for_placement(self):
+        with pytest.raises(ValueError, match="placement"):
+            registry.register("policy", "x", server="random")(_ToyPlacement)

@@ -1,0 +1,169 @@
+"""Tests for the typed request/result objects."""
+
+import pickle
+
+import pytest
+
+import repro
+from repro.api import (
+    FailureRecord,
+    InstanceSpec,
+    ReplayRequest,
+    SolveRequest,
+    UnknownStrategyError,
+    solve,
+)
+from repro.errors import PlacementError, ServerSelectionError
+
+
+class TestInstanceSpec:
+    def test_build_matches_quick_instance(self):
+        spec = InstanceSpec(n_operators=14, alpha=1.3, seed=5)
+        built = spec.build()
+        direct = repro.quick_instance(14, alpha=1.3, seed=5)
+        assert built.name == direct.name
+        assert built.tree.total_work == direct.tree.total_work
+
+    def test_rho_override(self):
+        assert InstanceSpec(n_operators=8, rho=2.5).build().rho == 2.5
+
+    def test_build_is_deterministic(self):
+        spec = InstanceSpec(n_operators=10, seed=9)
+        assert spec.build().tree.total_work == spec.build().tree.total_work
+
+
+class TestSolveRequest:
+    def test_requires_exactly_one_input(self, micro_instance):
+        with pytest.raises(ValueError, match="exactly one"):
+            SolveRequest()
+        with pytest.raises(ValueError, match="exactly one"):
+            SolveRequest(instance=micro_instance, spec=InstanceSpec())
+
+    def test_unknown_strategy_fails_fast_with_suggestion(
+        self, micro_instance
+    ):
+        with pytest.raises(UnknownStrategyError) as exc:
+            SolveRequest(instance=micro_instance, strategy="subtree")
+        assert "did you mean 'subtree-bottom-up'?" in str(exc.value)
+
+    def test_unknown_server_fails_fast(self, micro_instance):
+        with pytest.raises(UnknownStrategyError):
+            SolveRequest(instance=micro_instance, server="three-lop")
+
+    def test_wrong_namespace_reference_rejected(self, micro_instance):
+        """'server:random' resolves fine — in the wrong namespace for
+        the strategy field, which is a field mix-up, not a typo."""
+        with pytest.raises(ValueError, match="takes placement"):
+            SolveRequest(instance=micro_instance, strategy="server:random")
+        with pytest.raises(ValueError, match="takes server"):
+            SolveRequest(
+                instance=micro_instance, server="placement:random"
+            )
+        from repro.api import ReplayRequest
+
+        with pytest.raises(ValueError, match="takes policy"):
+            ReplayRequest(trace="ramp", policy="placement:random")
+
+    def test_unknown_refine_strategy_fails_fast(self, micro_instance):
+        with pytest.raises(UnknownStrategyError) as exc:
+            SolveRequest(instance=micro_instance, refine="local-serach")
+        assert "did you mean 'local-search'?" in str(exc.value)
+
+    def test_empty_portfolio_rejected(self, micro_instance):
+        with pytest.raises(ValueError, match="portfolio"):
+            SolveRequest(instance=micro_instance, portfolio=())
+
+    def test_portfolio_list_coerced_to_tuple(self, micro_instance):
+        req = SolveRequest(
+            instance=micro_instance, portfolio=["random", "comp-greedy"]
+        )
+        assert req.portfolio == ("random", "comp-greedy")
+        assert req.strategies == ("random", "comp-greedy")
+
+    def test_namespaced_strategy_accepted(self, micro_instance):
+        req = SolveRequest(
+            instance=micro_instance,
+            strategy="placement:subtree-bottom-up",
+            server="server:three-loop",
+        )
+        assert req.strategies == ("placement:subtree-bottom-up",)
+
+    def test_request_is_picklable(self):
+        req = SolveRequest(spec=InstanceSpec(n_operators=8), seed=3)
+        assert pickle.loads(pickle.dumps(req)) == req
+
+    def test_describe(self):
+        req = SolveRequest(spec=InstanceSpec(n_operators=8, seed=2))
+        assert "solve[subtree-bottom-up]" in req.describe()
+        assert "n=8" in req.describe()
+
+
+class TestSolveResult:
+    def test_ok_result_properties(self):
+        sr = solve(
+            SolveRequest(
+                spec=InstanceSpec(n_operators=10, alpha=1.2, seed=4), seed=4
+            )
+        )
+        assert sr.ok
+        assert sr.cost > 0
+        assert sr.n_processors >= 1
+        assert sr.heuristic == "subtree-bottom-up"
+        assert sr.backend == "serial"
+        d = sr.to_dict()
+        assert d["ok"] and d["cost"] == sr.cost
+        assert d["failures"] == []
+        sr.raise_for_failure()  # no-op on success
+
+    def test_failed_result_raises_original_type(self):
+        record = FailureRecord(
+            strategy="comp-greedy", stage="placement",
+            error_type="PlacementError", message="boom",
+        )
+        assert isinstance(record.to_exception(), PlacementError)
+        record2 = FailureRecord(
+            strategy="x", stage="server-selection",
+            error_type="ServerSelectionError", message="boom",
+        )
+        assert isinstance(record2.to_exception(), ServerSelectionError)
+
+    def test_unknown_error_type_falls_back(self):
+        record = FailureRecord(
+            strategy="x", stage="?", error_type="NoSuchError", message="m"
+        )
+        from repro.errors import AllocationError
+
+        assert isinstance(record.to_exception(), AllocationError)
+
+    def test_cost_on_failure_raises(self):
+        sr = solve(
+            SolveRequest(
+                spec=InstanceSpec(n_operators=25, alpha=2.9, seed=1),
+                strategy="comp-greedy",
+                seed=0,
+            )
+        )
+        if sr.ok:  # pragma: no cover - depends on the seeded instance
+            pytest.skip("instance unexpectedly feasible")
+        assert not sr.ok
+        assert sr.failures[0].stage == "placement"
+        with pytest.raises(ValueError, match="request failed"):
+            sr.cost
+
+
+class TestReplayRequest:
+    def test_unknown_policy_fails_fast(self):
+        with pytest.raises(UnknownStrategyError) as exc:
+            ReplayRequest(trace="ramp", policy="harvset")
+        assert "did you mean 'harvest'?" in str(exc.value)
+
+    def test_resolve_trace_by_name(self):
+        req = ReplayRequest(trace="ramp", policy="static", seed=7)
+        trace = req.resolve_trace()
+        assert trace.name == "ramp" and trace.seed == 7
+
+    def test_resolve_trace_passthrough(self):
+        from repro.dynamic import make_trace
+
+        trace = make_trace("ramp", seed=3)
+        assert ReplayRequest(trace=trace).resolve_trace() is trace

@@ -1,0 +1,129 @@
+"""Deprecation shims: the legacy free functions forward to the API
+unchanged — equivalent results, one DeprecationWarning per process."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import _deprecation
+from repro.core import allocate as engine_allocate
+from repro.core.pipeline import allocate_best as engine_allocate_best
+from repro.errors import PlacementError
+
+
+@pytest.fixture
+def fresh_warnings(monkeypatch):
+    """Reset the warn-once bookkeeping so each test observes first-call
+    behaviour."""
+    monkeypatch.setattr(_deprecation, "_warned", set())
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return repro.quick_instance(12, alpha=1.4, seed=6)
+
+
+class TestAllocateShim:
+    def test_forwards_equivalently(self, inst):
+        legacy = engine_allocate(inst, "subtree-bottom-up", rng=4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shimmed = repro.allocate(inst, "subtree-bottom-up", rng=4)
+        assert shimmed.cost == legacy.cost
+        assert shimmed.heuristic == legacy.heuristic
+        assert shimmed.allocation.assignment == legacy.allocation.assignment
+        assert shimmed.allocation.downloads == legacy.allocation.downloads
+
+    def test_raises_engine_exception_types_with_detail(self):
+        bad = repro.quick_instance(25, alpha=2.9, seed=1)
+        try:
+            engine_allocate(bad, "comp-greedy", rng=0)
+        except repro.ReproError as err:
+            expected_type, expected_detail = type(err), err.detail
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(expected_type) as exc:
+                repro.allocate(bad, "comp-greedy", rng=0)
+        assert exc.value.detail == expected_detail
+
+    def test_object_arguments_still_supported(self, inst):
+        from repro.core import ThreeLoopServerSelection
+        from repro.core.heuristics import CompGreedyPlacement
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            result = repro.allocate(
+                inst, CompGreedyPlacement(),
+                server_strategy=ThreeLoopServerSelection(), rng=1,
+            )
+        assert result.cost > 0
+
+    def test_warns_once_per_process(self, inst, fresh_warnings):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            repro.allocate(inst, "subtree-bottom-up", rng=4)
+            repro.allocate(inst, "comp-greedy", rng=4)
+        dep = [w for w in caught if w.category is DeprecationWarning]
+        assert len(dep) == 1
+        assert "repro.api.solve" in str(dep[0].message)
+
+
+class TestAllocateBestShim:
+    def test_forwards_equivalently(self, inst):
+        legacy = engine_allocate_best(inst, rng=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shimmed = repro.allocate_best(inst, rng=2)
+        assert shimmed.cost == legacy.cost
+        assert shimmed.heuristic == legacy.heuristic
+        assert shimmed.allocation.assignment == legacy.allocation.assignment
+
+    def test_all_members_failing_raises_breakdown(self):
+        bad = repro.quick_instance(25, alpha=2.9, seed=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(PlacementError) as exc:
+                repro.allocate_best(bad, rng=0)
+        assert "subtree-bottom-up" in str(exc.value)
+
+    def test_warns_once(self, inst, fresh_warnings):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            repro.allocate_best(inst, heuristics=("random",), rng=1)
+            repro.allocate_best(inst, heuristics=("random",), rng=1)
+        dep = [w for w in caught if w.category is DeprecationWarning]
+        assert len(dep) == 1
+
+
+class TestReplayShim:
+    def test_forwards_equivalently(self):
+        from repro.api import ReplayRequest, replay as api_replay
+        from repro.dynamic import make_trace, replay as legacy_replay
+
+        trace = make_trace("ramp", seed=5)
+        via_api = api_replay(ReplayRequest(trace=trace, policy="static"))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shimmed = legacy_replay(trace, "static")
+        assert shimmed.to_json() == via_api.to_json()
+
+    def test_policy_objects_still_supported(self):
+        from repro.dynamic import StaticPolicy, make_trace, replay
+
+        trace = make_trace("ramp", seed=5)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            result = replay(trace, StaticPolicy())
+        assert result.policy == "static"
+
+    def test_warns_once(self, fresh_warnings):
+        from repro.dynamic import make_trace, replay
+
+        trace = make_trace("ramp", seed=5)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            replay(trace, "static")
+            replay(trace, "static")
+        dep = [w for w in caught if w.category is DeprecationWarning]
+        assert len(dep) == 1

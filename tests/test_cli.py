@@ -83,6 +83,43 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "achieved rate" in out
+        assert "OK: platform sustains" in out
+
+    @staticmethod
+    def _fake_sim(monkeypatch, *, saturated=False, download_misses=0):
+        from types import SimpleNamespace
+
+        import repro.simulator
+
+        def fake(allocation, n_results=50, **kwargs):
+            return SimpleNamespace(
+                n_root_results=n_results,
+                achieved_rate=0.5 if saturated else 1.0,
+                offered_rate=1.0,
+                download_misses=download_misses,
+                n_events=100,
+                saturated=saturated,
+            )
+
+        monkeypatch.setattr(repro.simulator, "simulate_allocation", fake)
+
+    def test_simulate_saturated_explains_failure(self, monkeypatch, capsys):
+        self._fake_sim(monkeypatch, saturated=True)
+        code = main(["simulate", "-n", "12", "-a", "1.4", "-r", "20"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILED: platform saturated" in out
+        assert "fell behind the offered" in out
+
+    def test_simulate_download_miss_explains_failure(
+        self, monkeypatch, capsys
+    ):
+        self._fake_sim(monkeypatch, download_misses=3)
+        code = main(["simulate", "-n", "12", "-a", "1.4", "-r", "20"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILED:" in out
+        assert "3 object download(s) missed their freshness deadline" in out
 
     def test_exact(self, capsys):
         code = main(["exact", "-n", "7", "-a", "1.7"])
@@ -121,6 +158,23 @@ class TestCommands:
         payload = json.loads(json_path.read_text())
         assert "harvest" in payload
         assert payload["harvest"]["records"]
+
+    def test_solve_jobs_matches_serial_output(self, capsys):
+        argv = ["solve", "-n", "10", "-a", "1.2", "-s", "3"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
+    def test_dynamic_jobs_matches_serial_output(self, capsys):
+        argv = ["dynamic", "--trace", "ramp", "-P", "static",
+                "-P", "harvest", "-s", "7"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
 
     def test_bounds(self, capsys):
         code = main(["bounds", "-n", "20", "-a", "1.6"])
