@@ -145,6 +145,9 @@ def test_dynamic_reallocation(benchmark, artefact_dir):
         json.dumps(
             {
                 "seed": SEED,
+                #: validation runs on the incremental max-min kernel;
+                #: bench_simulator.py races it against the naive oracle.
+                "sim_kernel": "incremental",
                 "traces": data,
                 "parallel_execution": parallel_record,
             },

@@ -1,30 +1,211 @@
-"""Model-validation benchmark — the §2 steady-state model, executed.
+"""Model-validation + kernel benchmark — the §2 steady-state model,
+executed, and executed *fast*.
 
-Not a paper figure but the reproduction's own closing of the loop: for
-allocations produced by the pipeline, the analytic maximum throughput
-(Eq. 1–5 inverted) must match what the discrete-event simulator
-actually measures; and the engine itself must be fast enough to be a
-practical validator (thousands of events per second).
+Two jobs:
+
+1. **Agreement** (unchanged from the seed): the analytic maximum
+   throughput (Eq. 1–5 inverted) must match what the discrete-event
+   simulator measures on pipeline-produced allocations.
+2. **Kernel race**: the incremental max-min kernel (persistent
+   :class:`~repro.simulator.flows.FlowNetwork`, component-scoped
+   refills, reserved-policy fast path, lazily-cancelled transfer
+   events) against the ``naive`` reference oracle that rebuilds the
+   flow table and globally recomputes rates on every flow event.  The
+   two must be **bit-identical** — asserted on the full
+   :class:`~repro.dynamic.replay.ReplayResult` JSON — and the
+   incremental kernel must cut ≥3× off the wall time of the
+   simulator-validated churn replay (the campaign that motivated the
+   rewrite: ``BENCH_dynamic.json`` showed validation dominating every
+   simulator-checked policy loop).
+
+Besides the usual text artefact this bench writes a machine-readable
+``BENCH_sim.json`` at the repository root (events/sec per kernel, wall
+time per validated trace, per-policy speedups on churn) so future
+optimisation work has a perf trajectory to compare against.
+
+Run directly for the CI smoke check::
+
+    python benchmarks/bench_simulator.py --quick
+
+which races one policy, asserts bit-identical kernels, and (on ≥4-core
+machines, like the other timing gates) asserts the speedup.
 """
 
 from __future__ import annotations
 
+import json
 import math
+import os
+import pathlib
+import time
 
 import repro
+from repro.api import ReplayRequest, replay
 from repro.core import allocate
-from repro.simulator import (
-    SteadyStateSimulator,
-    measured_max_throughput,
-    simulate_allocation,
-)
+from repro.dynamic import POLICY_ORDER, make_trace
+from repro.simulator import measured_max_throughput, simulate_allocation
 
 from conftest import SEED, write_artefact
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+#: The churn trace is the one the dynamic campaign validates per epoch,
+#: so it carries the headline speedup claim.
+RACE_TRACE = "churn"
+#: Secondary validated traces: wall time per trace, harvest policy.
+EXTRA_TRACES = ("ramp", "multi-app")
+#: Required wall-time reduction of the incremental kernel on the
+#: simulator-validated churn policy loop.
+MIN_SPEEDUP = 3.0
 
 
 def make_alloc():
     inst = repro.quick_instance(25, alpha=1.6, seed=SEED)
     return allocate(inst, "subtree-bottom-up", rng=1).allocation
+
+
+def _timed_replay(trace_name: str, policy: str, kernel: str):
+    request = ReplayRequest(
+        trace=make_trace(trace_name, seed=SEED),
+        policy=policy,
+        validate=True,
+        sim_kernel=kernel,
+    )
+    start = time.perf_counter()
+    result = replay(request)
+    return result, time.perf_counter() - start
+
+
+def _event_rates(alloc) -> dict:
+    """Raw engine throughput: dispatched events per second per kernel,
+    under both flow policies (reserved hits the O(1) fast path,
+    elastic exercises component-scoped filling)."""
+    out: dict[str, dict] = {}
+    for flow_policy in ("reserved", "elastic"):
+        per_kernel = {}
+        results = {}
+        for kernel in ("incremental", "naive"):
+            start = time.perf_counter()
+            res = simulate_allocation(
+                alloc, n_results=120, flow_policy=flow_policy,
+                kernel=kernel,
+            )
+            wall = time.perf_counter() - start
+            results[kernel] = res
+            per_kernel[kernel] = {
+                "n_events": res.n_events,
+                "wall_s": round(wall, 4),
+                "events_per_s": round(res.n_events / wall) if wall else None,
+            }
+        assert results["incremental"] == results["naive"], (
+            f"kernel divergence in {flow_policy} event-rate run"
+        )
+        out[flow_policy] = per_kernel
+    return out
+
+
+def _kernel_race(policies, traces) -> dict:
+    """Race incremental vs naive on validated replays; assert
+    bit-identical results throughout."""
+    race: dict[str, dict] = {}
+    for trace_name, policy in (
+        [(RACE_TRACE, p) for p in policies]
+        + [(t, "harvest") for t in traces]
+    ):
+        r_inc, t_inc = _timed_replay(trace_name, policy, "incremental")
+        r_naive, t_naive = _timed_replay(trace_name, policy, "naive")
+        identical = r_inc.to_json() == r_naive.to_json()
+        assert identical, (
+            f"incremental kernel diverged from the reference oracle on"
+            f" {trace_name}/{policy}"
+        )
+        race[f"{trace_name}/{policy}"] = {
+            "incremental_wall_s": round(t_inc, 4),
+            "naive_wall_s": round(t_naive, 4),
+            "speedup": round(t_naive / t_inc, 4) if t_inc else None,
+            "bit_identical": identical,
+            "n_epochs": r_inc.n_epochs,
+            "sim_violation_epochs": r_inc.sim_violation_epochs,
+        }
+    return race
+
+
+def regenerate():
+    alloc = make_alloc()
+    event_rates = _event_rates(alloc)
+    race = _kernel_race(POLICY_ORDER, EXTRA_TRACES)
+    churn_rows = [
+        row for key, row in race.items()
+        if key.startswith(f"{RACE_TRACE}/")
+    ]
+    summary = {
+        "churn_incremental_wall_s": round(
+            sum(r["incremental_wall_s"] for r in churn_rows), 4
+        ),
+        "churn_naive_wall_s": round(
+            sum(r["naive_wall_s"] for r in churn_rows), 4
+        ),
+    }
+    summary["churn_speedup"] = round(
+        summary["churn_naive_wall_s"] / summary["churn_incremental_wall_s"],
+        4,
+    )
+    return {
+        "seed": SEED,
+        "event_rates": event_rates,
+        "validated_replays": race,
+        "summary": summary,
+    }
+
+
+def test_incremental_kernel(benchmark, artefact_dir):
+    data = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    lines = ["engine event rates (events/sec):"]
+    for flow_policy, per_kernel in data["event_rates"].items():
+        for kernel, row in per_kernel.items():
+            lines.append(
+                f"  {flow_policy:>8} {kernel:>11}:"
+                f" {row['events_per_s']:>9,} ev/s"
+                f" ({row['n_events']} events, {row['wall_s']:.3f}s)"
+            )
+    lines.append("simulator-validated replays (bit-identical kernels):")
+    lines.append(
+        f"  {'trace/policy':<18} {'incremental':>12} {'naive':>9}"
+        f" {'speedup':>8}"
+    )
+    for key, row in data["validated_replays"].items():
+        lines.append(
+            f"  {key:<18} {row['incremental_wall_s']:>11.3f}s"
+            f" {row['naive_wall_s']:>8.3f}s {row['speedup']:>7.2f}x"
+        )
+    s = data["summary"]
+    lines.append(
+        f"churn policy loop: {s['churn_naive_wall_s']:.2f}s ->"
+        f" {s['churn_incremental_wall_s']:.2f}s"
+        f" ({s['churn_speedup']:.2f}x)"
+    )
+    write_artefact(artefact_dir, "simulator_kernels", "\n".join(lines))
+    BENCH_JSON.write_text(
+        json.dumps(data, sort_keys=True, indent=2) + "\n",
+        encoding="utf8",
+    )
+
+    # -- the headline claims -------------------------------------------
+    # bit-identity is asserted inside regenerate(); the validated churn
+    # campaign must also stay clean and get ≥3× faster end to end.
+    # (ramp peaks sit a hair under the 0.98 sustain fraction with the
+    # 30-result window — recorded honestly, asserted only on churn.)
+    for key, row in data["validated_replays"].items():
+        assert row["bit_identical"]
+        if key.startswith(f"{RACE_TRACE}/"):
+            assert row["sim_violation_epochs"] == 0
+    assert data["summary"]["churn_speedup"] >= MIN_SPEEDUP, (
+        f"incremental kernel only"
+        f" {data['summary']['churn_speedup']:.2f}x faster on the"
+        f" validated churn loop (need ≥{MIN_SPEEDUP}x)"
+    )
+    benchmark.extra_info["data"] = data
 
 
 def test_simulator_throughput_agreement(benchmark, artefact_dir):
@@ -48,14 +229,39 @@ def test_simulator_throughput_agreement(benchmark, artefact_dir):
     benchmark.extra_info["measured"] = result.measured
 
 
-def test_simulator_event_rate(benchmark):
-    """Raw engine speed: events processed per second of wall clock."""
-    alloc = make_alloc()
+def main(quick: bool) -> int:
+    """Script entry point: ``--quick`` is the CI smoke mode — one
+    policy, correctness always asserted, the timing claim only on
+    machines with enough cores to time reliably (matching the parallel
+    campaign gates)."""
+    if quick:
+        r_inc, t_inc = _timed_replay(RACE_TRACE, "harvest", "incremental")
+        r_naive, t_naive = _timed_replay(RACE_TRACE, "harvest", "naive")
+        identical = r_inc.to_json() == r_naive.to_json()
+        speedup = t_naive / t_inc if t_inc else float("inf")
+        print(
+            f"churn/harvest validated replay: incremental {t_inc:.3f}s,"
+            f" naive {t_naive:.3f}s, speedup {speedup:.2f}x,"
+            f" bit-identical {identical}"
+        )
+        if not identical:
+            print("FAIL: incremental kernel diverged from the oracle")
+            return 1
+        cores = os.cpu_count() or 1
+        if cores >= 4 and speedup < MIN_SPEEDUP:
+            print(f"FAIL: speedup below {MIN_SPEEDUP}x on {cores} cores")
+            return 1
+        return 0
+    data = regenerate()
+    BENCH_JSON.write_text(
+        json.dumps(data, sort_keys=True, indent=2) + "\n",
+        encoding="utf8",
+    )
+    print(json.dumps(data["summary"], indent=2))
+    return 0
 
-    def run():
-        sim = SteadyStateSimulator(alloc, n_results=80)
-        return sim.run()
 
-    result = benchmark(run)
-    assert result.n_root_results == 80
-    assert result.download_misses == 0
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main(quick="--quick" in sys.argv[1:]))

@@ -287,9 +287,21 @@ class ReplayRequest:
     n_results: int = 30
     migration_cost: float = DEFAULT_MIGRATION_COST
     salvage_fraction: float = DEFAULT_SALVAGE_FRACTION
+    #: Max-min kernel for ``validate=True`` simulator runs:
+    #: ``"incremental"`` (default) or the ``"naive"`` reference oracle
+    #: (the two are bit-identical; the benchmarks race them).
+    sim_kernel: str = "incremental"
 
     def __post_init__(self) -> None:
         _check_ref(self.policy, "policy")
+        # mirrors repro.simulator.engine.FLOW_KERNELS (cross-checked in
+        # tests) — importing the simulator here would drag the whole
+        # engine into every request construction, validated or not
+        if self.sim_kernel not in ("incremental", "naive"):
+            raise ValueError(
+                f"unknown sim_kernel {self.sim_kernel!r};"
+                f" expected one of ('incremental', 'naive')"
+            )
 
     def resolve_trace(self) -> WorkloadTrace:
         if isinstance(self.trace, WorkloadTrace):

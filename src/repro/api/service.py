@@ -237,6 +237,7 @@ def _replay_task(request: ReplayRequest) -> ReplayResult:
         n_results=request.n_results,
         migration_cost=request.migration_cost,
         salvage_fraction=request.salvage_fraction,
+        sim_kernel=request.sim_kernel,
     )
 
 

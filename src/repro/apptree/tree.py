@@ -148,6 +148,14 @@ class OperatorTree:
             k: tuple(sorted(v)) for k, v in users.items()
         }
 
+        # Deduplicated per-operator leaf tuples (ascending).  Load
+        # accounting needs "distinct objects of operator i" in every
+        # assign/unassign and feasibility probe; building ``set(leaf(i))``
+        # there puts a set construction in the heuristics' inner loops.
+        self._unique_leaves: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(set(op.leaves))) for op in operators
+        )
+
         self._edges: tuple[TreeEdge, ...] = tuple(
             TreeEdge(child=c, parent=op.index,
                      volume_mb=self._operators[c].output_mb)
@@ -198,6 +206,11 @@ class OperatorTree:
         """``Leaf(i)`` — object indices operator ``i`` must download."""
         return self._operators[i].leaves
 
+    def unique_leaf(self, i: int) -> tuple[int, ...]:
+        """``Leaf(i)`` deduplicated (distinct objects, ascending) —
+        cached, so hot loops avoid rebuilding ``set(leaf(i))``."""
+        return self._unique_leaves[i]
+
     def children(self, i: int) -> tuple[int, ...]:
         """``Ch(i)`` — operator children of node ``i``."""
         return self._operators[i].children
@@ -211,7 +224,7 @@ class OperatorTree:
         """``Leaf(I) = ∪_{i∈I} Leaf(i)`` (distinct objects of a group)."""
         out: set[int] = set()
         for i in indices:
-            out.update(self._operators[i].leaves)
+            out.update(self._unique_leaves[i])
         return out
 
     def children_set(self, indices: Iterable[int]) -> set[int]:

@@ -104,7 +104,13 @@ def verify(alloc: Allocation, *, rho: float | None = None) -> ConstraintReport:
             )
 
         group = set(ops)
-        downloads = sum(inst.rate(k) for (k, _l) in alloc.dl(u))
+        # distinct objects downloaded on u — structural validation
+        # guarantees the download plan covers exactly Leaf(ā(u)), so the
+        # cached per-operator leaf tuples give the same set without
+        # scanning the whole plan per processor.
+        downloads = sum(
+            inst.rate(k) for k in sorted(tree.leaf_set(group))
+        )
         # children of u's operators mapped elsewhere send δ_j to u
         incoming = sum(
             rho * tree[j].output_mb

@@ -80,7 +80,7 @@ class _Refiner:
 
     def links_ok(self, uids: tuple[int, ...]) -> bool:
         tol = 1 + 1e-9
-        for pair, load in self.tracker.pair_loads.items():
+        for pair, load in self.tracker.iter_pair_loads():
             if (pair[0] in uids or pair[1] in uids) and load > self.bp * tol:
                 return False
         return True

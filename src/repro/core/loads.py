@@ -11,6 +11,15 @@ maintains every constraint-relevant aggregate under
   + cut-edge traffic in both directions                          (Eq. 2),
 * per-processor-pair cut traffic                                 (Eq. 5).
 
+Throughput-scaled aggregates are stored *ρ-free* (``Σ w_i``, ``Σ δ``)
+and multiplied by ρ at query time — matching the verifier's
+``ρ·Σ`` formula term for term and, more importantly, making a target
+throughput change an O(1) :meth:`LoadTracker.rebind` instead of a full
+rebuild.  The dynamic replay loop leans on this: between epochs whose
+mutation leaves the tree and object rates untouched (ρ drift, farm
+churn), the repair planner re-binds and reuses the previous epoch's
+tracker instead of replaying every assignment.
+
 Server-side loads (Eq. 3–4) depend on the *server selection* phase and
 are tracked separately by :class:`DownloadPlan` in
 :mod:`repro.core.server_selection`.
@@ -26,7 +35,7 @@ purchase.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable, Mapping
+from typing import Iterable, Iterator, Mapping
 
 from ..errors import ModelError
 from .problem import ProblemInstance
@@ -46,16 +55,18 @@ class LoadTracker:
         self.tree = instance.tree
         self.rho = instance.rho
         self.assignment: dict[int, int] = {}
-        # per-processor aggregates
-        self._compute: dict[int, float] = defaultdict(float)
-        self._comm: dict[int, float] = defaultdict(float)
+        # per-processor aggregates (ρ-free where ρ scales the term)
+        self._work: dict[int, float] = defaultdict(float)
+        self._comm_mb: dict[int, float] = defaultdict(float)
         self._dl_rate: dict[int, float] = defaultdict(float)
         # (uid -> object -> #operators on uid needing it)
         self._dl_counts: dict[int, dict[int, int]] = defaultdict(
             lambda: defaultdict(int)
         )
-        # cut traffic per unordered processor pair
-        self._pair_load: dict[tuple[int, int], float] = defaultdict(float)
+        # cut traffic volume (MB per result) per unordered processor pair
+        self._pair_mb: dict[tuple[int, int], float] = defaultdict(float)
+        # reverse index: uid -> operators currently mapped there
+        self._ops_on: dict[int, set[int]] = defaultdict(set)
 
     # ------------------------------------------------------------------
     # mutation
@@ -67,27 +78,27 @@ class LoadTracker:
                 f"operator n{i} is already mapped; unassign it first"
             )
         tree = self.tree
-        rho = self.rho
         self.assignment[i] = u
-        self._compute[u] += rho * tree[i].work
+        self._ops_on[u].add(i)
+        self._work[u] += tree[i].work
 
         counts = self._dl_counts[u]
-        for k in set(tree.leaf(i)):
+        for k in tree.unique_leaf(i):
             if counts[k] == 0:
                 self._dl_rate[u] += self.instance.rate(k)
             counts[k] += 1
 
         for j in tree.neighbors(i):
-            vol = rho * tree.comm_volume(i, j)
+            vol = tree.comm_volume(i, j)
             v = self.assignment.get(j)
             if v is None:
-                self._comm[u] += vol  # pessimistic: neighbour unmapped
+                self._comm_mb[u] += vol  # pessimistic: neighbour unmapped
             elif v == u:
                 # edge was pessimistically charged to v==u; now internal
-                self._comm[u] -= vol
+                self._comm_mb[u] -= vol
             else:
-                self._comm[u] += vol  # v's side was already charged
-                self._pair_load[_pair(u, v)] += vol
+                self._comm_mb[u] += vol  # v's side was already charged
+                self._pair_mb[_pair(u, v)] += vol
 
     def unassign(self, i: int) -> int:
         """Remove operator ``i`` from the mapping; returns its old uid."""
@@ -96,35 +107,69 @@ class LoadTracker:
         except KeyError:
             raise ModelError(f"operator n{i} is not mapped")
         tree = self.tree
-        rho = self.rho
-        self._compute[u] -= rho * tree[i].work
+        self._ops_on[u].discard(i)
+        self._work[u] -= tree[i].work
 
         counts = self._dl_counts[u]
-        for k in set(tree.leaf(i)):
+        for k in tree.unique_leaf(i):
             counts[k] -= 1
             if counts[k] == 0:
                 self._dl_rate[u] -= self.instance.rate(k)
                 del counts[k]
 
         for j in tree.neighbors(i):
-            vol = rho * tree.comm_volume(i, j)
+            vol = tree.comm_volume(i, j)
             v = self.assignment.get(j)
             if v is None:
-                self._comm[u] -= vol
+                self._comm_mb[u] -= vol
             elif v == u:
-                self._comm[u] += vol  # edge back to pessimistic on v's side
+                self._comm_mb[u] += vol  # edge back to pessimistic on v's side
             else:
-                self._comm[u] -= vol
+                self._comm_mb[u] -= vol
                 pair = _pair(u, v)
-                self._pair_load[pair] -= vol
-                if self._pair_load[pair] <= 1e-12:
-                    del self._pair_load[pair]
+                self._pair_mb[pair] -= vol
+                if self._pair_mb[pair] <= 1e-12:
+                    del self._pair_mb[pair]
         return u
 
     def move(self, i: int, u: int) -> None:
         """Reassign operator ``i`` to processor ``u``."""
         self.unassign(i)
         self.assign(i, u)
+
+    def rebind(self, instance: ProblemInstance) -> bool:
+        """Adopt a mutated instance without replaying the assignment.
+
+        Valid exactly when every stored aggregate is unchanged by the
+        mutation: the operator tree must be structurally identical
+        (same operator records) and the object catalog must carry the
+        same sizes and refresh rates.  ρ and the server farm may differ
+        freely — ρ is applied at query time and the farm never enters
+        processor-side accounting.  Returns ``False`` (tracker
+        untouched) when the delta is anything else; callers then
+        rebuild.
+        """
+        old = self.instance
+        if instance.tree is not old.tree:
+            new_tree, old_tree = instance.tree, old.tree
+            if (
+                len(new_tree) != len(old_tree)
+                or any(
+                    new_tree[i] != old_tree[i]
+                    for i in range(len(old_tree))
+                )
+            ):
+                return False
+            new_cat, old_cat = new_tree.catalog, old_tree.catalog
+            if new_cat is not old_cat:
+                if len(new_cat) != len(old_cat) or any(
+                    new_cat[k] != old_cat[k] for k in range(len(old_cat))
+                ):
+                    return False
+        self.instance = instance
+        self.tree = instance.tree
+        self.rho = instance.rho
+        return True
 
     # ------------------------------------------------------------------
     # queries
@@ -134,11 +179,12 @@ class LoadTracker:
 
     def operators_on(self, u: int) -> tuple[int, ...]:
         """``ā(u)`` — operators currently mapped on ``u`` (ascending)."""
-        return tuple(sorted(i for i, v in self.assignment.items() if v == u))
+        ops = self._ops_on.get(u)
+        return tuple(sorted(ops)) if ops else ()
 
     def compute_load(self, u: int) -> float:
         """``ρ·Σ_{i∈ā(u)} w_i`` in operations/second (Eq. 1 LHS × s_u)."""
-        return self._compute.get(u, 0.0)
+        return self.rho * self._work.get(u, 0.0)
 
     def download_rate(self, u: int) -> float:
         """Σ of ``rate_k`` over *distinct* objects needed on ``u``."""
@@ -146,7 +192,7 @@ class LoadTracker:
 
     def comm_rate(self, u: int) -> float:
         """Cut-edge traffic (in+out) charged to ``u``'s NIC, MB/s."""
-        return self._comm.get(u, 0.0)
+        return self.rho * self._comm_mb.get(u, 0.0)
 
     def nic_load(self, u: int) -> float:
         """Eq. 2 LHS: downloads + inter-processor traffic, MB/s."""
@@ -158,18 +204,25 @@ class LoadTracker:
 
     def pair_load(self, u: int, v: int) -> float:
         """Eq. 5 LHS for the unordered pair ``{u, v}``, MB/s."""
-        return self._pair_load.get(_pair(u, v), 0.0)
+        return self.rho * self._pair_mb.get(_pair(u, v), 0.0)
 
     def pairs_touching(self, u: int) -> list[tuple[int, int]]:
-        return [p for p in self._pair_load if u in p]
+        return [p for p in self._pair_mb if u in p]
+
+    def iter_pair_loads(self) -> Iterator[tuple[tuple[int, int], float]]:
+        """Lazily yield ``(pair, Eq. 5 load)`` — the allocation-free way
+        to scan pair loads in heuristic inner loops."""
+        rho = self.rho
+        for p, mb in self._pair_mb.items():
+            yield p, rho * mb
 
     @property
     def pair_loads(self) -> Mapping[tuple[int, int], float]:
-        return self._pair_load
+        return {p: self.rho * mb for p, mb in self._pair_mb.items()}
 
     @property
     def used_uids(self) -> tuple[int, ...]:
-        return tuple(sorted({*self.assignment.values()}))
+        return tuple(sorted(u for u, ops in self._ops_on.items() if ops))
 
     def is_complete(self) -> bool:
         return len(self.assignment) == len(self.tree)
@@ -181,13 +234,14 @@ class LoadTracker:
         """Do ``u``'s current aggregates fit the given capacities and do
         all links touching ``u`` respect the uniform ``bp``?"""
         tol = 1 + 1e-9
-        if self._compute.get(u, 0.0) > speed_ops * tol:
+        if self.compute_load(u) > speed_ops * tol:
             return False
         if self.nic_load(u) > nic_mbps * tol:
             return False
         bp = self.instance.network.processor_link_mbps
-        for p, load in self._pair_load.items():
-            if u in p and load > bp * tol:
+        rho = self.rho
+        for p, mb in self._pair_mb.items():
+            if u in p and rho * mb > bp * tol:
                 return False
         return True
 

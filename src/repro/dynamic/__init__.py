@@ -30,7 +30,12 @@ from .policies import (
     all_policies,
     make_policy,
 )
-from .repair import RepairOutcome, match_operators, repair_allocation
+from .repair import (
+    RepairCarry,
+    RepairOutcome,
+    match_operators,
+    repair_allocation,
+)
 from .replay import (
     DEFAULT_MIGRATION_COST,
     DEFAULT_SALVAGE_FRACTION,
@@ -62,6 +67,7 @@ __all__ = [
     "POLICY_ORDER",
     "ReallocationPolicy",
     "ReconfigDelta",
+    "RepairCarry",
     "RepairOutcome",
     "ReplayResult",
     "ResolvePolicy",

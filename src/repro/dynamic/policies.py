@@ -172,9 +172,21 @@ class ResolvePolicy(ReallocationPolicy):
 
 
 class _RepairBase(ReallocationPolicy):
-    """Shared react() for the two incremental strategies."""
+    """Shared react() for the two incremental strategies.
+
+    The policy object lives for the whole replay, so it carries the
+    repair planner's :class:`~repro.dynamic.repair.RepairCarry` from
+    epoch to epoch: consecutive repairs of the same running platform
+    reuse the load-tracker state instead of rebuilding it from the full
+    assignment (the carry is dropped whenever a fallback re-solve
+    replaces the platform wholesale).
+    """
 
     strategy: str = "harvest"
+
+    def __init__(self, heuristic: str = DEFAULT_HEURISTIC) -> None:
+        super().__init__(heuristic)
+        self._carry = None
 
     def react(
         self,
@@ -185,13 +197,16 @@ class _RepairBase(ReallocationPolicy):
     ) -> PolicyDecision:
         try:
             outcome = repair_allocation(
-                instance, current, strategy=self.strategy, rng=rng
+                instance, current, strategy=self.strategy, rng=rng,
+                carry=self._carry,
             )
         except AllocationError:
+            self._carry = None  # repair mutated the carried tracker
             result = allocate(instance, self.heuristic, rng=rng)
             return PolicyDecision(
                 allocation=result.allocation, action="fallback"
             )
+        self._carry = outcome.carry
         return PolicyDecision(allocation=outcome.allocation, action="repair")
 
 

@@ -48,7 +48,12 @@ from ..core.server_selection import ThreeLoopServerSelection
 from ..errors import AllocationError, PlacementError
 from ..platform.resources import Processor
 
-__all__ = ["RepairOutcome", "match_operators", "repair_allocation"]
+__all__ = [
+    "RepairCarry",
+    "RepairOutcome",
+    "match_operators",
+    "repair_allocation",
+]
 
 _TOL = 1 + RELATIVE_TOLERANCE
 
@@ -83,6 +88,39 @@ def match_operators(
     return {i: i for i in range(min(len(old_tree), len(new_tree)))}
 
 
+@dataclass
+class RepairCarry:
+    """Cross-epoch cache: the load tracker of the last successful repair
+    and the allocation whose assignment it holds.
+
+    The replay loop repairs the *same* platform epoch after epoch, so
+    rebuilding the tracker from the full assignment every time repeats
+    work the previous repair already did.  A carry is adopted (consumed)
+    only when it provably still describes the input: the ``previous``
+    allocation is the very object the carry was built from and
+    :meth:`~repro.core.loads.LoadTracker.rebind` accepts the mutated
+    instance (ρ drift and farm churn qualify; tree or object-rate
+    changes force a rebuild).
+    """
+
+    tracker: LoadTracker | None
+    allocation: Allocation
+
+    def adopt(
+        self, instance: ProblemInstance, previous: Allocation
+    ) -> LoadTracker | None:
+        """Hand over the tracker when it matches, else ``None``.  A carry
+        is single-use: repair mutates the tracker in place, so it can
+        never be adopted twice."""
+        tracker = self.tracker
+        if tracker is None or self.allocation is not previous:
+            return None
+        if not tracker.rebind(instance):
+            return None
+        self.tracker = None
+        return tracker
+
+
 @dataclass(frozen=True)
 class RepairOutcome:
     """A repaired allocation plus a summary of what the repair did."""
@@ -95,6 +133,10 @@ class RepairOutcome:
     n_downgrades: int  # in-place spec downgrades (harvest)
     n_purchases: int
     n_decommissions: int
+    #: Tracker cache for the next epoch's repair of this allocation.
+    carry: RepairCarry | None = None
+    #: Whether this repair started from a carried tracker.
+    reused_tracker: bool = False
 
 
 class _Repairer:
@@ -106,12 +148,12 @@ class _Repairer:
         previous: Allocation,
         *,
         strategy: str,
+        carry: RepairCarry | None = None,
     ) -> None:
         self.instance = instance
         self.strategy = strategy
         self.catalog = instance.catalog
         self.tree = instance.tree
-        self.tracker = LoadTracker(instance)
         self.procs: dict[int, Processor] = dict(previous.processor_map)
         self._next_uid = max(self.procs, default=-1) + 1
         self.n_placed = 0
@@ -121,12 +163,20 @@ class _Repairer:
         self.n_purchases = 0
         self.n_decommissions = 0
 
-        omatch = match_operators(previous.instance.tree, self.tree)
-        valid = set(self.tree.operator_indices)
-        for old_i, u in previous.assignment.items():
-            new_i = omatch.get(old_i)
-            if new_i is not None and new_i in valid:
-                self.tracker.assign(new_i, u)
+        tracker = carry.adopt(instance, previous) if carry else None
+        self.reused_tracker = tracker is not None
+        if tracker is not None:
+            # the carried tracker already holds previous.assignment on a
+            # compatible tree; only the epoch delta remains to apply.
+            self.tracker = tracker
+        else:
+            self.tracker = LoadTracker(instance)
+            omatch = match_operators(previous.instance.tree, self.tree)
+            valid = set(self.tree.operator_indices)
+            for old_i, u in previous.assignment.items():
+                new_i = omatch.get(old_i)
+                if new_i is not None and new_i in valid:
+                    self.tracker.assign(new_i, u)
 
         # per-app operator groups (trade strategy); name "app.n<i>" →
         # "app", everything else pools into one anonymous application.
@@ -273,7 +323,7 @@ class _Repairer:
         for _ in range(len(self.tree)):
             over = [
                 (pair, load)
-                for pair, load in self.tracker.pair_loads.items()
+                for pair, load in self.tracker.iter_pair_loads()
                 if load > bp * _TOL
             ]
             if not over:
@@ -453,6 +503,8 @@ class _Repairer:
             n_downgrades=self.n_downgrades,
             n_purchases=self.n_purchases,
             n_decommissions=self.n_decommissions,
+            carry=RepairCarry(tracker=self.tracker, allocation=allocation),
+            reused_tracker=self.reused_tracker,
         )
 
 
@@ -462,8 +514,14 @@ def repair_allocation(
     *,
     strategy: str = "harvest",
     rng: np.random.Generator | int | None = None,
+    carry: RepairCarry | None = None,
 ) -> RepairOutcome:
     """Patch ``previous`` into a feasible allocation of ``instance``.
+
+    ``carry`` (the previous epoch's :attr:`RepairOutcome.carry`) lets
+    the planner reuse the load-tracker state it built last time instead
+    of replaying the full assignment; it is validated before adoption
+    and silently ignored when the epoch delta invalidates it.
 
     Raises :class:`~repro.errors.AllocationError` (or a phase subclass)
     when local patching cannot restore feasibility — callers fall back
@@ -471,4 +529,6 @@ def repair_allocation(
     """
     if strategy not in ("harvest", "trade"):
         raise ValueError(f"unknown repair strategy {strategy!r}")
-    return _Repairer(instance, previous, strategy=strategy).run(rng)
+    return _Repairer(
+        instance, previous, strategy=strategy, carry=carry
+    ).run(rng)

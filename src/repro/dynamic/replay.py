@@ -298,6 +298,7 @@ def _replay_engine(
     n_results: int = 30,
     migration_cost: float = DEFAULT_MIGRATION_COST,
     salvage_fraction: float = DEFAULT_SALVAGE_FRACTION,
+    sim_kernel: str = "incremental",
 ) -> ReplayResult:
     """Walk ``trace`` under ``policy`` and return the priced series.
 
@@ -352,7 +353,9 @@ def _replay_engine(
         if validate and report.feasible:
             from ..simulator import simulate_allocation, sustains_target
 
-            sim = simulate_allocation(alloc, n_results=n_results)
+            sim = simulate_allocation(
+                alloc, n_results=n_results, kernel=sim_kernel
+            )
             sim_misses = sim.download_misses
             sim_achieved = sim.achieved_rate
             sim_ok = sustains_target(sim, instance.rho)

@@ -1,6 +1,11 @@
 """Steady-state discrete-event simulation of purchased platforms."""
 
-from .engine import SimulationResult, SteadyStateSimulator
+from .engine import (
+    FLOW_KERNELS,
+    SimulationResult,
+    SteadyStateSimulator,
+    flow_kernel,
+)
 from .events import (
     ComputeFinished,
     DownloadLaunch,
@@ -9,7 +14,7 @@ from .events import (
     SourceRelease,
     TransferFinished,
 )
-from .flows import CapacityConstraint, FlowSpec, max_min_rates
+from .flows import CapacityConstraint, FlowNetwork, FlowSpec, max_min_rates
 from .measure import (
     SUSTAIN_FRACTION,
     ThroughputProbe,
@@ -24,6 +29,8 @@ __all__ = [
     "DownloadLaunch",
     "Event",
     "EventQueue",
+    "FLOW_KERNELS",
+    "FlowNetwork",
     "FlowSpec",
     "SUSTAIN_FRACTION",
     "SimulationResult",
@@ -31,6 +38,7 @@ __all__ = [
     "SteadyStateSimulator",
     "ThroughputProbe",
     "TransferFinished",
+    "flow_kernel",
     "max_min_rates",
     "measured_max_throughput",
     "simulate_allocation",

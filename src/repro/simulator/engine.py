@@ -33,6 +33,20 @@ inflating caps (which would oversubscribe NICs the downgrade phase
 sized exactly).  ``elastic`` removes the caps, letting transfers grab
 spare bandwidth — more realistic, used by the simulator benchmarks.
 
+Flow kernel
+-----------
+``incremental`` (default) keeps a persistent
+:class:`~repro.simulator.flows.FlowNetwork` across flow events and
+recomputes progressive filling only over the connected component the
+changed flow touches; under ``reserved`` on a feasible allocation every
+flow start/finish is O(degree) — no filling pass at all.  ``naive`` is
+the reference oracle: it rebuilds the flow table and globally recomputes
+max-min rates from scratch on every event, like the pre-incremental
+engine.  Both kernels reschedule only flows whose *rate actually
+changed*, so they run the same event sequence and produce **bit
+identical** :class:`SimulationResult`\\ s — the equivalence tests and
+``benchmarks/bench_simulator.py`` assert exactly that.
+
 The integration tests drive both directions: feasible allocations must
 achieve the offered rate with zero misses; offering well above the
 analytic maximum must visibly saturate.
@@ -41,8 +55,9 @@ analytic maximum must visibly saturate.
 from __future__ import annotations
 
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Literal, Mapping
+from typing import Iterator, Literal, Mapping
 
 from ..core.mapping import Allocation
 from ..errors import ModelError
@@ -53,14 +68,43 @@ from .events import (
     SourceRelease,
     TransferFinished,
 )
-from .flows import CapacityConstraint, FlowSpec, max_min_rates
+from .flows import CapacityConstraint, FlowNetwork, FlowSpec, max_min_rates
 
-__all__ = ["SteadyStateSimulator", "SimulationResult"]
+__all__ = [
+    "FLOW_KERNELS",
+    "SteadyStateSimulator",
+    "SimulationResult",
+    "flow_kernel",
+]
 
 _EPS = 1e-9
 #: Residual volume (MB) below which an in-flight refresh counts as
 #: complete when its deadline arrives (floating-point tie grace).
 _DEADLINE_GRACE_MB = 1e-6
+
+FLOW_KERNELS = ("incremental", "naive")
+
+#: Process-wide default kernel; see :func:`flow_kernel`.
+_default_kernel: str = "incremental"
+
+
+@contextmanager
+def flow_kernel(kernel: str) -> Iterator[None]:
+    """Temporarily change the default flow kernel for simulators built
+    inside the ``with`` block (oracle cross-checks, benchmarks)::
+
+        with flow_kernel("naive"):
+            result = simulate_allocation(alloc)
+    """
+    global _default_kernel
+    if kernel not in FLOW_KERNELS:
+        raise ModelError(f"unknown flow kernel {kernel!r}")
+    previous = _default_kernel
+    _default_kernel = kernel
+    try:
+        yield
+    finally:
+        _default_kernel = previous
 
 
 @dataclass
@@ -71,8 +115,10 @@ class _Flow:
     kind: Literal["edge", "download"]
     payload: tuple
     volume_total: float = 0.0
-    version: int = 0
     rate: float = 0.0
+    #: Volume moved since the flow started, flushed to the per-constraint
+    #: transfer totals when the flow ends (or at the end of the run).
+    moved: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -126,6 +172,7 @@ class SteadyStateSimulator:
         flow_policy: Literal["reserved", "elastic"] = "reserved",
         time_limit: float | None = None,
         max_events: int = 2_000_000,
+        kernel: Literal["incremental", "naive"] | None = None,
     ) -> None:
         self.alloc = allocation
         self.inst = allocation.instance
@@ -139,6 +186,9 @@ class SteadyStateSimulator:
             raise ModelError("n_results must be positive")
         self.n_results = n_results
         self.flow_policy = flow_policy
+        self.kernel = _default_kernel if kernel is None else kernel
+        if self.kernel not in FLOW_KERNELS:
+            raise ModelError(f"unknown flow kernel {self.kernel!r}")
         # default horizon: generous multiple of the ideal makespan
         self.time_limit = (
             time_limit
@@ -152,6 +202,7 @@ class SteadyStateSimulator:
 
         # ---- static flow constraint table -----------------------------
         self.constraints: dict[object, CapacityConstraint] = {}
+        self.net = FlowNetwork()
         for u, p in self.procs.items():
             self._add_constraint(("nic", "P", u), p.nic_mbps)
         for l in self.inst.farm.uids:
@@ -185,6 +236,7 @@ class SteadyStateSimulator:
     # ------------------------------------------------------------------
     def _add_constraint(self, cid: object, capacity: float) -> None:
         self.constraints[cid] = CapacityConstraint(cid, capacity)
+        self.net.add_constraint(cid, capacity)
 
     def _edge_constraints(self, u: int, v: int) -> tuple[object, ...]:
         key = ("plink", min(u, v), max(u, v))
@@ -209,17 +261,25 @@ class SteadyStateSimulator:
         dt = now - self._last_settle
         if dt > 0:
             for f in self.flows.values():
-                if f.rate > 0:
+                if f.rate > 0 and f.volume_left > 0:
                     moved = min(f.volume_left, f.rate * dt)
                     f.volume_left -= moved
-                    for cid in f.constraints:
-                        self.transferred[cid] = (
-                            self.transferred.get(cid, 0.0) + moved
-                        )
+                    f.moved += moved
         self._last_settle = now
 
-    def _reallocate(self) -> None:
-        """Recompute max-min rates and (re)schedule completions."""
+    def _flush_transferred(self, f: _Flow) -> None:
+        if f.moved:
+            for cid in f.constraints:
+                self.transferred[cid] = (
+                    self.transferred.get(cid, 0.0) + f.moved
+                )
+            f.moved = 0.0
+
+    def _naive_recompute(self) -> dict[object, float]:
+        """Reference kernel: rebuild the flow table and globally recompute
+        max-min rates from scratch, exactly like the pre-incremental
+        engine; only the rates that differ from the current ones are
+        reported (so both kernels schedule the same events)."""
         specs = [
             FlowSpec(key, f.constraints, f.cap)
             for key, f in self.flows.items()
@@ -228,17 +288,27 @@ class SteadyStateSimulator:
         rates = max_min_rates(
             specs, [self.constraints[cid] for cid in used]
         )
+        return {
+            key: rate
+            for key, rate in rates.items()
+            if rate != self.flows[key].rate
+        }
+
+    def _apply_rate_changes(self, changed: Mapping[object, float]) -> None:
+        """Adopt new rates and (re)schedule completions for exactly the
+        flows whose rate moved; everyone else's scheduled event stands."""
         now = self.queue.now
-        for key, f in self.flows.items():
-            f.rate = rates[key]
-            f.version += 1
+        for key in sorted(changed):
+            f = self.flows[key]
+            f.rate = changed[key]
             if f.volume_left <= _EPS:
-                self.queue.push(now, TransferFinished((key, f.version)))
+                self.queue.push(now, TransferFinished(key), key=key)
             elif f.rate > _EPS:
                 eta = now + f.volume_left / f.rate
-                self.queue.push(eta, TransferFinished((key, f.version)))
-            # rate 0: flow is stalled; it will be rescheduled by the next
-            # reallocation that gives it bandwidth.
+                self.queue.push(eta, TransferFinished(key), key=key)
+            else:
+                # stalled: no completion until a reallocation revives it
+                self.queue.cancel(key)
 
     def _start_flow(
         self,
@@ -258,12 +328,27 @@ class SteadyStateSimulator:
             payload=payload,
             volume_total=volume,
         )
-        self._reallocate()
+        f = self.flows[key]
+        if self.kernel == "incremental":
+            changed = self.net.add_flow(key, constraints, f.cap)
+        else:
+            changed = self._naive_recompute()
+        self._apply_rate_changes(changed)
+        if key not in changed and f.volume_left <= _EPS:
+            # zero-volume transfer at rate 0 (e.g. a δ=0 glue edge):
+            # complete immediately, there is nothing to drain.
+            self.queue.push(self.queue.now, TransferFinished(key), key=key)
 
     def _finish_flow(self, key: object) -> _Flow:
         self._settle()
         flow = self.flows.pop(key)
-        self._reallocate()
+        self._flush_transferred(flow)
+        self.queue.cancel(key)
+        if self.kernel == "incremental":
+            changed = self.net.remove_flow(key)
+        else:
+            changed = self._naive_recompute()
+        self._apply_rate_changes(changed)
         return flow
 
     # ------------------------------------------------------------------
@@ -333,13 +418,18 @@ class SteadyStateSimulator:
         self._maybe_enqueue(ev.operator, ev.t + 1)
 
     def _on_transfer_finished(self, ev: TransferFinished) -> None:
-        key, version = ev.flow_key
+        key = ev.flow_key
         flow = self.flows.get(key)
-        if flow is None or flow.version != version:
-            return  # stale schedule from an older rate allocation
+        if flow is None:
+            return  # defensive: the flow was already closed
         self._settle()
         if flow.volume_left > _EPS:
-            return  # rate changed since; a fresher event is queued
+            # float drift left a residual at the scheduled completion
+            # instant: drain the remainder (superseding this event's key)
+            if flow.rate > _EPS:
+                eta = self.queue.now + flow.volume_left / flow.rate
+                self.queue.push(eta, TransferFinished(key), key=key)
+            return
         flow = self._finish_flow(key)
         if flow.kind == "edge":
             op, t = flow.payload
@@ -414,6 +504,9 @@ class SteadyStateSimulator:
                 self._on_download_launch(event)
             else:  # pragma: no cover - defensive
                 raise ModelError(f"unknown event {event!r}")
+
+        for f in self.flows.values():  # account still-active transfers
+            self._flush_transferred(f)
 
         comps = tuple(self.root_completions)
         achieved = 0.0

@@ -6,14 +6,22 @@ The engine (:mod:`repro.simulator.engine`) is a *fluid-flow* DES: the
 only event kinds are discrete state changes (a compute step or network
 transfer finishing, a periodic source/download release); between
 events, transfer progress is linear at the current max-min rates.
+
+Lazy cancellation: events pushed with a ``key`` are *cancellable* —
+pushing another event under the same key supersedes the old one, and
+:meth:`EventQueue.cancel` kills the live one.  Dead entries stay in the
+heap (removing from a heap interior is O(n)) and are silently dropped
+when they surface at the top, so a superseded ``TransferFinished`` is
+never popped, dispatched, and discarded by the caller: it simply never
+comes out.  ``len``/``bool``/``peek_time`` all see only live events.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Iterator
+from dataclasses import dataclass
+from typing import Hashable
 
 __all__ = [
     "Event",
@@ -51,8 +59,9 @@ class ComputeFinished(Event):
 @dataclass(frozen=True, slots=True)
 class TransferFinished(Event):
     """A fluid flow drained.  ``flow_key`` identifies it in the engine's
-    active-flow table.  Scheduled lazily: the engine validates that the
-    flow is still alive and still due at this time."""
+    active-flow table.  Scheduled under the flow key, so a reallocation
+    that changes the flow's rate supersedes the stale completion in the
+    queue itself."""
 
     flow_key: object
 
@@ -68,30 +77,62 @@ class DownloadLaunch(Event):
 
 
 class EventQueue:
-    """Heap-ordered future event list with deterministic tie-breaking."""
+    """Heap-ordered future event list with deterministic tie-breaking
+    and lazy (tombstone-free) cancellation of keyed events."""
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: list[tuple[float, int, Hashable | None, Event]] = []
         self._seq = itertools.count()
         self.now = 0.0
+        #: key → seq of the one live entry scheduled under that key.
+        self._live: dict[Hashable, int] = {}
+        self._n_dead = 0
 
-    def push(self, when: float, event: Event) -> None:
+    def push(
+        self, when: float, event: Event, *, key: Hashable | None = None
+    ) -> None:
         if when < self.now - 1e-9:
             raise ValueError(
                 f"cannot schedule event in the past ({when} < {self.now})"
             )
-        heapq.heappush(self._heap, (when, next(self._seq), event))
+        seq = next(self._seq)
+        if key is not None:
+            if key in self._live:
+                self._n_dead += 1  # supersede: old entry is now dead
+            self._live[key] = seq
+        heapq.heappush(self._heap, (when, seq, key, event))
+
+    def cancel(self, key: Hashable) -> bool:
+        """Kill the live event under ``key`` (no-op if none). Returns
+        whether an event was cancelled."""
+        if self._live.pop(key, None) is None:
+            return False
+        self._n_dead += 1
+        return True
+
+    def _prune(self) -> None:
+        heap = self._heap
+        while heap:
+            _when, seq, key, _event = heap[0]
+            if key is None or self._live.get(key) == seq:
+                return
+            heapq.heappop(heap)
+            self._n_dead -= 1
 
     def pop(self) -> tuple[float, Event]:
-        when, _seq, event = heapq.heappop(self._heap)
+        self._prune()
+        when, _seq, key, event = heapq.heappop(self._heap)
+        if key is not None:
+            del self._live[key]
         self.now = when
         return when, event
 
     def peek_time(self) -> float | None:
+        self._prune()
         return self._heap[0][0] if self._heap else None
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._heap) - self._n_dead
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return len(self) > 0

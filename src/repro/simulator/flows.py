@@ -16,6 +16,30 @@ Per-flow caps model basic-object refresh streams, which must sustain
 ``rate_k`` but should not exceed it (downloading *faster* than the
 refresh frequency is useless).
 
+Incremental kernel
+------------------
+Max-min fairness decomposes over the connected components of the
+flow/constraint bipartite graph: a flow's rate depends only on flows it
+(transitively) shares a constraint with.  :class:`FlowNetwork` exploits
+this: it keeps persistent constraint→member indices and per-flow rates
+across flow arrivals/departures, and on each change re-runs progressive
+filling only over the affected component(s), leaving every other flow's
+rate untouched.  Two exact shortcuts make the common cases cheap:
+
+* **all-caps grant** — when every flow of a component is capped and no
+  constraint is oversubscribed by the cap total (``Σ caps ≤ capacity``),
+  the max-min allocation is provably *exactly* the caps, so filling is
+  skipped and the caps are returned verbatim;
+* **reserved fast path** — when *no* constraint anywhere is
+  oversubscribed (the steady state of the simulator's ``reserved`` flow
+  policy on a feasible allocation), adding or removing a capped flow is
+  O(degree): the new flow gets its cap and nobody else moves.
+
+Both shortcuts are decision rules shared with the from-scratch
+recompute (:func:`max_min_rates`), so the incremental path is
+*bit-identical* to a full recompute — the engine's two kernels
+cross-check exactly on this property.
+
 This module is deliberately independent of the rest of the simulator:
 constraints are abstract (capacity, member flows), so the unit tests
 can exercise textbook max-min examples directly.
@@ -23,10 +47,12 @@ can exercise textbook max-min examples directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Iterable, Mapping, Sequence
 
-__all__ = ["FlowSpec", "CapacityConstraint", "max_min_rates"]
+__all__ = ["FlowSpec", "CapacityConstraint", "FlowNetwork", "max_min_rates"]
+
+_NO_CONSTRAINT_MSG = "uncapped flow crosses no capacity constraint"
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,29 +73,28 @@ class CapacityConstraint:
     capacity: float
 
 
-def max_min_rates(
-    flows: Sequence[FlowSpec],
-    constraints: Iterable[CapacityConstraint],
-    *,
-    epsilon: float = 1e-12,
+def _progressive_fill(
+    flows: Sequence[tuple[Hashable, tuple[Hashable, ...], float | None]],
+    cap_left: dict[Hashable, float],
+    epsilon: float,
 ) -> dict[Hashable, float]:
-    """Progressive-filling max-min fair allocation.
+    """Textbook progressive filling over one flow set.
 
-    Returns flow_id → rate (MB/s).  Flows through an unknown constraint
-    id raise ``KeyError`` — that is a wiring bug, not a runtime
-    condition.  A flow crossing a zero-capacity constraint gets rate 0.
+    ``flows`` are ``(flow_id, constraint_ids, cap)`` triples;
+    ``cap_left`` is consumed in place.  Every float it produces depends
+    only on the *values* involved, not on dict/set iteration order, so
+    two calls over the same component always agree bit-for-bit.
     """
-    cap_left: dict[Hashable, float] = {
-        c.constraint_id: float(c.capacity) for c in constraints
-    }
     members: dict[Hashable, set[Hashable]] = {cid: set() for cid in cap_left}
-    for f in flows:
-        for cid in f.constraints:
-            members[cid].add(f.flow_id)  # KeyError = wiring bug
+    for fid, cids, _cap in flows:
+        for cid in cids:
+            members[cid].add(fid)  # KeyError = wiring bug
 
-    rates: dict[Hashable, float] = {f.flow_id: 0.0 for f in flows}
-    caps: dict[Hashable, float | None] = {f.flow_id: f.cap for f in flows}
-    active: set[Hashable] = {f.flow_id for f in flows}
+    rates: dict[Hashable, float] = {fid: 0.0 for fid, _c, _cap in flows}
+    caps: dict[Hashable, float | None] = {
+        fid: cap for fid, _c, cap in flows
+    }
+    active: set[Hashable] = set(rates)
 
     # flows through saturated-from-the-start constraints
     for cid, left in cap_left.items():
@@ -98,9 +123,7 @@ def max_min_rates(
         if increment is None and cap_binding is None:
             # flows crossing no constraint and uncapped: unbounded demand
             # is meaningless here; freeze them at +inf? — treat as bug.
-            raise ValueError(
-                "uncapped flow crosses no capacity constraint"
-            )
+            raise ValueError(_NO_CONSTRAINT_MSG)
         step = min(x for x in (increment, cap_binding) if x is not None)
         step = max(step, 0.0)
 
@@ -124,3 +147,248 @@ def max_min_rates(
         active -= frozen
 
     return rates
+
+
+class FlowNetwork:
+    """Persistent max-min state: constraints, member indices, rates.
+
+    The engine's hot path.  :meth:`add_flow` / :meth:`remove_flow`
+    update the indices and return **only the rates that changed**, so
+    the caller can leave every other flow's scheduled completion event
+    untouched.  :meth:`recompute_all` refills every component from
+    scratch — the reference ("naive") kernel — and returns the same
+    changed-rate mapping; the two paths agree bit-for-bit because every
+    component is always filled by the same arithmetic on the same
+    inputs.
+    """
+
+    def __init__(self, *, epsilon: float = 1e-12) -> None:
+        self.epsilon = epsilon
+        self._capacity: dict[Hashable, float] = {}
+        #: cid → ordered member set (dict-as-set keeps insertion order,
+        #: so cap sums are always accumulated in flow-arrival order).
+        self._members: dict[Hashable, dict[Hashable, None]] = {}
+        self._constraints_of: dict[Hashable, tuple[Hashable, ...]] = {}
+        self._cap_of: dict[Hashable, float | None] = {}
+        self._rate: dict[Hashable, float] = {}
+        #: Σ of member caps per constraint, recomputed freshly from the
+        #: member list on every membership change (no running-total
+        #: drift — the all-caps grant decision must be reproducible).
+        self._cap_sum: dict[Hashable, float] = {}
+        self._n_uncapped: dict[Hashable, int] = {}
+        #: Constraints that block the all-caps grant: non-empty with an
+        #: uncapped member or with ``Σ caps > capacity``.
+        self._bad: set[Hashable] = set()
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def add_constraint(self, cid: Hashable, capacity: float) -> None:
+        self._capacity[cid] = float(capacity)
+        self._members.setdefault(cid, {})
+        self._cap_sum.setdefault(cid, 0.0)
+        self._n_uncapped.setdefault(cid, 0)
+
+    def __contains__(self, cid: Hashable) -> bool:
+        return cid in self._capacity
+
+    @property
+    def rates(self) -> Mapping[Hashable, float]:
+        """Current rate of every registered flow (read-only view)."""
+        return self._rate
+
+    def rate(self, fid: Hashable) -> float:
+        return self._rate[fid]
+
+    def __len__(self) -> int:
+        return len(self._constraints_of)
+
+    # ------------------------------------------------------------------
+    # membership bookkeeping
+    # ------------------------------------------------------------------
+    def _refresh_constraint(self, cid: Hashable) -> None:
+        """Recompute a constraint's cap aggregate from its member list."""
+        members = self._members[cid]
+        cap_sum = 0.0
+        n_uncapped = 0
+        for fid in members:
+            c = self._cap_of[fid]
+            if c is None:
+                n_uncapped += 1
+            else:
+                cap_sum += c
+        self._cap_sum[cid] = cap_sum
+        self._n_uncapped[cid] = n_uncapped
+        if members and (n_uncapped or cap_sum > self._capacity[cid]):
+            self._bad.add(cid)
+        else:
+            self._bad.discard(cid)
+
+    def _register(
+        self,
+        fid: Hashable,
+        constraints: tuple[Hashable, ...],
+        cap: float | None,
+    ) -> None:
+        if fid in self._constraints_of:
+            raise ValueError(f"flow {fid!r} is already registered")
+        if cap is None and not constraints:
+            raise ValueError(_NO_CONSTRAINT_MSG)
+        for cid in constraints:
+            self._members[cid][fid] = None  # KeyError = wiring bug
+        self._constraints_of[fid] = tuple(constraints)
+        self._cap_of[fid] = cap
+        self._rate[fid] = 0.0
+        for cid in set(constraints):
+            self._refresh_constraint(cid)
+
+    def _unregister(self, fid: Hashable) -> tuple[Hashable, ...]:
+        constraints = self._constraints_of.pop(fid)
+        del self._cap_of[fid]
+        del self._rate[fid]
+        for cid in set(constraints):
+            del self._members[cid][fid]
+            self._refresh_constraint(cid)
+        return constraints
+
+    # ------------------------------------------------------------------
+    # component-scoped refill
+    # ------------------------------------------------------------------
+    def _component(
+        self, seed: Hashable, visited: set[Hashable]
+    ) -> tuple[list[Hashable], list[Hashable]]:
+        """Flows and constraints transitively connected to flow ``seed``."""
+        comp_f: list[Hashable] = []
+        comp_c: list[Hashable] = []
+        seen_c: set[Hashable] = set()
+        stack = [seed]
+        visited.add(seed)
+        while stack:
+            fid = stack.pop()
+            comp_f.append(fid)
+            for cid in self._constraints_of[fid]:
+                if cid in seen_c:
+                    continue
+                seen_c.add(cid)
+                comp_c.append(cid)
+                for other in self._members[cid]:
+                    if other not in visited:
+                        visited.add(other)
+                        stack.append(other)
+        return comp_f, comp_c
+
+    def _fill(
+        self, comp_f: Sequence[Hashable], comp_c: Sequence[Hashable]
+    ) -> dict[Hashable, float]:
+        """Refill one component; returns the flows whose rate changed."""
+        cap_of = self._cap_of
+        if all(cid not in self._bad for cid in comp_c) and all(
+            cap_of[fid] is not None for fid in comp_f
+        ):
+            # all-caps grant: Σ caps fits every constraint, so max-min
+            # rates are exactly the caps (see module docstring).
+            new = {fid: cap_of[fid] for fid in comp_f}
+        else:
+            new = _progressive_fill(
+                [
+                    (fid, self._constraints_of[fid], cap_of[fid])
+                    for fid in comp_f
+                ],
+                {cid: self._capacity[cid] for cid in comp_c},
+                self.epsilon,
+            )
+        changed: dict[Hashable, float] = {}
+        rate = self._rate
+        for fid, r in new.items():
+            if rate[fid] != r:
+                rate[fid] = r
+                changed[fid] = r
+        return changed
+
+    def _refill_components(
+        self, seeds: Iterable[Hashable]
+    ) -> dict[Hashable, float]:
+        changed: dict[Hashable, float] = {}
+        visited: set[Hashable] = set()
+        for seed in seeds:
+            if seed in visited:
+                continue
+            comp_f, comp_c = self._component(seed, visited)
+            changed.update(self._fill(comp_f, comp_c))
+        return changed
+
+    # ------------------------------------------------------------------
+    # the incremental API
+    # ------------------------------------------------------------------
+    def add_flow(
+        self,
+        fid: Hashable,
+        constraints: tuple[Hashable, ...],
+        cap: float | None = None,
+    ) -> dict[Hashable, float]:
+        """Register a flow; returns every flow whose rate changed."""
+        self._register(fid, constraints, cap)
+        if not self._bad and cap is not None:
+            # reserved fast path: every component (including this one)
+            # is all-caps-feasible, so rates are the caps and adding a
+            # cap-fitting flow moves nobody else.
+            self._rate[fid] = cap
+            return {fid: cap} if cap != 0.0 else {}
+        return self._refill_components([fid])
+
+    def remove_flow(self, fid: Hashable) -> dict[Hashable, float]:
+        """Drop a flow; returns every *surviving* flow whose rate changed."""
+        was_clean = not self._bad
+        constraints = self._unregister(fid)
+        if was_clean:
+            # everyone already sits at their cap; freed capacity is
+            # unusable headroom, so no rate moves.
+            return {}
+        seeds = [
+            other
+            for cid in constraints
+            for other in self._members.get(cid, ())
+        ]
+        return self._refill_components(seeds)
+
+    def recompute_all(self) -> dict[Hashable, float]:
+        """Refill every component from scratch (the reference kernel)."""
+        return self._refill_components(self._constraints_of)
+
+
+def max_min_rates(
+    flows: Sequence[FlowSpec],
+    constraints: Iterable[CapacityConstraint],
+    *,
+    epsilon: float = 1e-12,
+    decompose: bool = True,
+) -> dict[Hashable, float]:
+    """Progressive-filling max-min fair allocation, from scratch.
+
+    Returns flow_id → rate (MB/s).  Flows through an unknown constraint
+    id raise ``KeyError`` — that is a wiring bug, not a runtime
+    condition.  A flow crossing a zero-capacity constraint gets rate 0.
+
+    ``decompose=True`` (default) fills each connected component of the
+    flow/constraint graph independently — the arithmetic the
+    incremental :class:`FlowNetwork` reproduces bit-for-bit.
+    ``decompose=False`` runs one global filling pass over everything
+    (the pre-incremental reference; kept for the equivalence tests —
+    the two differ only by float rounding of the step sequence).
+    """
+    if not decompose:
+        cap_left = {
+            c.constraint_id: float(c.capacity) for c in constraints
+        }
+        return _progressive_fill(
+            [(f.flow_id, f.constraints, f.cap) for f in flows],
+            cap_left,
+            epsilon,
+        )
+    net = FlowNetwork(epsilon=epsilon)
+    for c in constraints:
+        net.add_constraint(c.constraint_id, c.capacity)
+    for f in flows:
+        net._register(f.flow_id, f.constraints, f.cap)
+    net.recompute_all()
+    return dict(net.rates)

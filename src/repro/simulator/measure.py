@@ -50,13 +50,20 @@ def simulate_allocation(
     offered_rate: float | None = None,
     n_results: int = 50,
     flow_policy: str = "reserved",
+    kernel: str | None = None,
 ) -> SimulationResult:
-    """One steady-state run (defaults to the instance's target ρ)."""
+    """One steady-state run (defaults to the instance's target ρ).
+
+    ``kernel`` picks the max-min implementation (``"incremental"`` /
+    ``"naive"``); ``None`` uses the process default, controllable with
+    :func:`~repro.simulator.engine.flow_kernel`.
+    """
     sim = SteadyStateSimulator(
         allocation,
         offered_rate=offered_rate,
         n_results=n_results,
         flow_policy=flow_policy,  # type: ignore[arg-type]
+        kernel=kernel,  # type: ignore[arg-type]
     )
     return sim.run()
 

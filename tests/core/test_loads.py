@@ -223,3 +223,89 @@ class TestTrackerMatchesVerifier:
             assert load == pytest.approx(tr.compute_load(u), rel=1e-9)
             nic, _cap = report.nic_loads[u]
             assert nic == pytest.approx(tr.nic_load(u), rel=1e-9)
+
+
+class TestRebind:
+    """O(1) adoption of a mutated instance: valid for ρ/farm deltas,
+    refused when the tree or object rates change."""
+
+    def test_rho_change_rescales_queries(self, micro_instance, tracker):
+        import dataclasses
+
+        tracker.assign(0, 0)
+        tracker.assign(1, 1)
+        base_compute = tracker.compute_load(0)
+        base_pair = tracker.pair_load(0, 1)
+        doubled = dataclasses.replace(
+            micro_instance, rho=2 * micro_instance.rho
+        )
+        assert tracker.rebind(doubled)
+        assert tracker.instance is doubled
+        assert tracker.compute_load(0) == pytest.approx(2 * base_compute)
+        assert tracker.pair_load(0, 1) == pytest.approx(2 * base_pair)
+        # download rates are ρ-independent
+        assert tracker.download_rate(0) == pytest.approx(
+            tracker.download_rate(0)
+        )
+
+    def test_rebound_tracker_equals_rebuilt(self, micro_instance):
+        import dataclasses
+
+        tr = LoadTracker(micro_instance)
+        for i in micro_instance.tree.operator_indices:
+            tr.assign(i, i % 2)
+        mutated = dataclasses.replace(micro_instance, rho=3.5)
+        assert tr.rebind(mutated)
+        fresh = LoadTracker(mutated)
+        for i, u in tr.assignment.items():
+            fresh.assign(i, u)
+        for u in (0, 1):
+            assert tr.compute_load(u) == pytest.approx(
+                fresh.compute_load(u)
+            )
+            assert tr.nic_load(u) == pytest.approx(fresh.nic_load(u))
+        assert dict(tr.pair_loads) == pytest.approx(
+            dict(fresh.pair_loads)
+        )
+
+    def test_tree_change_refused(self, micro_instance, micro_catalog):
+        import dataclasses
+
+        from ..conftest import build_chain_tree
+
+        tracker = LoadTracker(micro_instance)
+        other = dataclasses.replace(
+            micro_instance,
+            tree=build_chain_tree(micro_catalog, 3),
+        )
+        assert not tracker.rebind(other)
+        assert tracker.instance is micro_instance  # untouched
+
+    def test_object_rate_change_refused(self, micro_instance):
+        import dataclasses
+
+        from ..conftest import build_catalog, build_pair_tree
+
+        tracker = LoadTracker(micro_instance)
+        # same shape, different refresh frequency → different rate_k
+        fast_cat = build_catalog([5.0, 8.0], frequency=2.0)
+        other = dataclasses.replace(
+            micro_instance, tree=build_pair_tree(fast_cat)
+        )
+        assert not tracker.rebind(other)
+
+
+class TestReverseIndex:
+    def test_index_tracks_moves(self, micro_instance):
+        tr = LoadTracker(micro_instance)
+        tr.assign(0, 4)
+        tr.assign(1, 4)
+        tr.assign(2, 9)
+        assert tr.operators_on(4) == (0, 1)
+        assert tr.used_uids == (4, 9)
+        tr.move(1, 9)
+        assert tr.operators_on(4) == (0,)
+        assert tr.operators_on(9) == (1, 2)
+        tr.unassign(0)
+        assert tr.operators_on(4) == ()
+        assert tr.used_uids == (9,)

@@ -86,3 +86,83 @@ class TestRepairOnTraces:
             outcome = repair_allocation(inst, current, strategy="trade")
             assert verify(outcome.allocation).feasible
             current = outcome.allocation
+
+
+class TestRepairCarry:
+    """Cross-epoch tracker reuse: valid for ρ/farm deltas, refused (and
+    harmless) otherwise, and equivalent to rebuilding."""
+
+    def test_carry_reused_on_churn_epochs(self):
+        trace = make_trace("churn", seed=17, n_operators=10, n_epochs=4)
+        epochs = list(trace.epochs())
+        current = allocate(
+            epochs[0][2], "subtree-bottom-up", rng=0
+        ).allocation
+        carry = None
+        reused = []
+        for _t, _label, inst in epochs[1:]:
+            outcome = repair_allocation(
+                inst, current, strategy="harvest", carry=carry
+            )
+            assert verify(outcome.allocation).feasible
+            reused.append(outcome.reused_tracker)
+            carry = outcome.carry
+            current = outcome.allocation
+        # churn mutates only farm + ρ, so every epoch after the first
+        # repair adopts the previous tracker
+        assert reused[0] is False
+        assert all(reused[1:])
+
+    def test_carry_refused_on_frequency_shift(self):
+        trace = make_trace("freq-shift", seed=17, n_operators=10,
+                           n_epochs=3)
+        epochs = list(trace.epochs())
+        current = allocate(
+            epochs[0][2], "subtree-bottom-up", rng=0
+        ).allocation
+        carry = None
+        for _t, _label, inst in epochs[1:]:
+            outcome = repair_allocation(
+                inst, current, strategy="harvest", carry=carry
+            )
+            # object refresh rates changed: tracker must be rebuilt
+            assert outcome.reused_tracker is False
+            carry = outcome.carry
+            current = outcome.allocation
+
+    def test_stale_carry_ignored(self):
+        trace = make_trace("churn", seed=23, n_operators=8, n_epochs=3)
+        epochs = list(trace.epochs())
+        current = allocate(
+            epochs[0][2], "subtree-bottom-up", rng=0
+        ).allocation
+        first = repair_allocation(
+            epochs[1][2], current, strategy="harvest"
+        )
+        # hand epoch 1's carry to a repair of the *original* allocation:
+        # it describes first.allocation, not current → rebuilt
+        outcome = repair_allocation(
+            epochs[2][2], current, strategy="harvest", carry=first.carry
+        )
+        assert outcome.reused_tracker is False
+        assert verify(outcome.allocation).feasible
+
+    def test_carry_is_single_use(self):
+        trace = make_trace("churn", seed=23, n_operators=8, n_epochs=3)
+        epochs = list(trace.epochs())
+        current = allocate(
+            epochs[0][2], "subtree-bottom-up", rng=0
+        ).allocation
+        first = repair_allocation(epochs[1][2], current,
+                                  strategy="harvest")
+        second = repair_allocation(
+            epochs[2][2], first.allocation, strategy="harvest",
+            carry=first.carry,
+        )
+        assert second.reused_tracker is True
+        # the same carry cannot be adopted again
+        third = repair_allocation(
+            epochs[2][2], first.allocation, strategy="harvest",
+            carry=first.carry,
+        )
+        assert third.reused_tracker is False

@@ -56,6 +56,55 @@ class TestEventQueue:
         assert len(q) == 1  # peek does not pop
 
 
+class TestLazyCancellation:
+    def test_superseded_event_never_pops(self):
+        q = EventQueue()
+        q.push(5.0, TransferFinished("f"), key="f")
+        q.push(2.0, TransferFinished("f"), key="f")  # supersedes
+        assert len(q) == 1
+        when, ev = q.pop()
+        assert when == 2.0 and ev.flow_key == "f"
+        assert not q  # the dead 5.0 entry is gone, not pending
+
+    def test_cancel_drops_event(self):
+        q = EventQueue()
+        q.push(1.0, TransferFinished("f"), key="f")
+        q.push(2.0, SourceRelease(0, 1))
+        assert q.cancel("f")
+        assert not q.cancel("f")  # idempotent
+        assert len(q) == 1
+        assert q.peek_time() == 2.0  # dead head pruned by peek
+        _, ev = q.pop()
+        assert isinstance(ev, SourceRelease)
+
+    def test_cancel_unknown_key_is_noop(self):
+        q = EventQueue()
+        assert not q.cancel("ghost")
+
+    def test_key_reusable_after_pop(self):
+        q = EventQueue()
+        q.push(1.0, TransferFinished("f"), key="f")
+        q.pop()
+        q.push(2.0, TransferFinished("f"), key="f")
+        assert len(q) == 1
+        assert q.pop()[0] == 2.0
+
+    def test_len_and_bool_count_live_only(self):
+        q = EventQueue()
+        q.push(1.0, TransferFinished("a"), key="a")
+        q.push(2.0, TransferFinished("b"), key="b")
+        q.cancel("a")
+        q.cancel("b")
+        assert len(q) == 0 and not q
+        assert q.peek_time() is None
+
+    def test_unkeyed_events_unaffected(self):
+        q = EventQueue()
+        q.push(1.0, SourceRelease(0, 1))
+        q.push(1.0, SourceRelease(0, 2))
+        assert len(q) == 2  # no supersede without a key
+
+
 class TestEventTypes:
     def test_events_are_frozen(self):
         ev = SourceRelease(1, 2)

@@ -3,7 +3,12 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.simulator.flows import CapacityConstraint, FlowSpec, max_min_rates
+from repro.simulator.flows import (
+    CapacityConstraint,
+    FlowNetwork,
+    FlowSpec,
+    max_min_rates,
+)
 
 
 def solve(flows, caps):
@@ -111,6 +116,149 @@ class TestBoundedMultiPort:
         assert rates["a"] == pytest.approx(30.0)
         assert rates["b"] == pytest.approx(40.0)
         assert rates["c"] == pytest.approx(50.0)
+
+
+def _random_scenario(rng, n_flows, n_constraints):
+    """Constraints (some zero-capacity, some saturated-from-start by a
+    tiny cap) and flows (mixed capped/elastic)."""
+    caps = {}
+    for j in range(n_constraints):
+        r = rng.random()
+        if r < 0.15:
+            caps[f"c{j}"] = 0.0  # saturated from the start
+        elif r < 0.3:
+            caps[f"c{j}"] = float(rng.uniform(0.1, 2.0))  # tight
+        else:
+            caps[f"c{j}"] = float(rng.uniform(5, 100.0))
+    flows = []
+    for i in range(n_flows):
+        member = tuple(
+            f"c{j}" for j in range(n_constraints) if rng.random() < 0.45
+        )
+        if not member:
+            member = (f"c{int(rng.integers(0, n_constraints))}",)
+        cap = float(rng.uniform(0.2, 30)) if rng.random() < 0.6 else None
+        flows.append((f"f{i}", member, cap))
+    return flows, caps
+
+
+class TestFlowNetworkIncremental:
+    """The incremental kernel must equal a from-scratch recompute
+    *bit for bit* after any add/remove sequence, and agree with the
+    pre-incremental single-pass filling up to float rounding."""
+
+    @given(
+        n_flows=st.integers(1, 10),
+        n_constraints=st.integers(1, 5),
+        seed=st.integers(0, 2000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_random_add_remove_sequences(
+        self, n_flows, n_constraints, seed
+    ):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        flows, caps = _random_scenario(rng, n_flows, n_constraints)
+
+        net = FlowNetwork()
+        for cid, c in caps.items():
+            net.add_constraint(cid, c)
+        alive: dict[str, tuple] = {}
+        # interleave arrivals with random departures
+        for fid, member, cap in flows:
+            net.add_flow(fid, member, cap)
+            alive[fid] = (member, cap)
+            if alive and rng.random() < 0.35:
+                victim = sorted(alive)[int(rng.integers(0, len(alive)))]
+                net.remove_flow(victim)
+                del alive[victim]
+            self._assert_matches(net, alive, caps)
+
+        # drain everything, checking after each removal
+        for fid in sorted(alive):
+            net.remove_flow(fid)
+            del alive[fid]
+            self._assert_matches(net, alive, caps)
+
+    @staticmethod
+    def _assert_matches(net, alive, caps):
+        specs = [
+            FlowSpec(fid, member, cap)
+            for fid, (member, cap) in alive.items()
+        ]
+        constraints = [
+            CapacityConstraint(cid, c) for cid, c in caps.items()
+        ]
+        # bit-identical to the decomposed from-scratch recompute …
+        fresh = max_min_rates(specs, constraints)
+        assert dict(net.rates) == fresh
+        # … and equal to the legacy global filling up to rounding
+        legacy = max_min_rates(specs, constraints, decompose=False)
+        assert set(legacy) == set(fresh)
+        for fid, rate in legacy.items():
+            assert fresh[fid] == pytest.approx(rate, abs=1e-7)
+
+    def test_reserved_fast_path_grants_exact_caps(self):
+        """Feasible cap totals: every arrival/departure is the O(1) path
+        and rates are exactly (not approximately) the caps."""
+        net = FlowNetwork()
+        for cid, c in {"n1": 70.0, "n2": 80.0, "l12": 30.0}.items():
+            net.add_constraint(cid, c)
+        assert net.add_flow("a", ("n1", "l12", "n2"), 30.0) == {"a": 30.0}
+        assert net.add_flow("b", ("n1",), 40.0) == {"b": 40.0}
+        # removal frees capacity nobody can use: no rate changes
+        assert net.remove_flow("a") == {}
+        assert dict(net.rates) == {"b": 40.0}
+
+    def test_oversubscription_leaves_fast_path(self):
+        net = FlowNetwork()
+        net.add_constraint("L", 10.0)
+        net.add_flow("a", ("L",), 8.0)
+        changed = net.add_flow("b", ("L",), 8.0)  # 16 > 10: refill
+        assert set(changed) >= {"b"}
+        assert net.rate("a") + net.rate("b") <= 10.0 * (1 + 1e-9)
+        # removing one flow re-grants the survivor its full cap
+        changed = net.remove_flow("b")
+        assert changed == {"a": 8.0}
+
+    def test_elastic_flows_share_component(self):
+        net = FlowNetwork()
+        net.add_constraint("L", 9.0)
+        net.add_flow("a", ("L",), None)
+        net.add_flow("b", ("L",), None)
+        net.add_flow("c", ("L",), None)
+        assert all(
+            r == pytest.approx(3.0) for r in net.rates.values()
+        )
+
+    def test_unconstrained_uncapped_rejected(self):
+        net = FlowNetwork()
+        with pytest.raises(ValueError):
+            net.add_flow("a", (), None)
+
+    def test_unknown_constraint_is_wiring_bug(self):
+        net = FlowNetwork()
+        with pytest.raises(KeyError):
+            net.add_flow("a", ("nope",), 1.0)
+
+    def test_duplicate_flow_rejected(self):
+        net = FlowNetwork()
+        net.add_constraint("L", 5.0)
+        net.add_flow("a", ("L",), 1.0)
+        with pytest.raises(ValueError):
+            net.add_flow("a", ("L",), 1.0)
+
+    def test_zero_capacity_starves_component_only(self):
+        """A zero-capacity constraint freezes its flows at 0 without
+        touching a disjoint component."""
+        net = FlowNetwork()
+        net.add_constraint("Z", 0.0)
+        net.add_constraint("L", 10.0)
+        net.add_flow("starved", ("Z",), None)
+        changed = net.add_flow("fine", ("L",), None)
+        assert net.rate("starved") == 0.0
+        assert changed == {"fine": 10.0}
 
 
 class TestProperties:
