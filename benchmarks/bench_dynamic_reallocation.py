@@ -145,6 +145,10 @@ def test_dynamic_reallocation(benchmark, artefact_dir):
         json.dumps(
             {
                 "seed": SEED,
+                # the ≥4-core-gated speedup assertion below is only
+                # interpretable if the artifact says what ran where
+                "cpu_count": os.cpu_count(),
+                "backend": "serial+process-pool",
                 #: validation runs on the incremental max-min kernel;
                 #: bench_simulator.py races it against the naive oracle.
                 "sim_kernel": "incremental",

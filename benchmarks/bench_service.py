@@ -1,0 +1,203 @@
+"""Allocation-service benchmark: sustained throughput + queue latency.
+
+The service subsystem's perf artefact: three tenants (one carrying a
+fair-share weight of 2) push a mixed-size batch of solve requests
+through the in-process :class:`~repro.service.ServiceClient`; the
+bench records sustained request throughput and the queue-wait /
+service-time percentiles the broker's metrics expose, into a
+machine-readable ``BENCH_service.json`` at the repository root.
+
+Like every ≥4-core-gated record in this repo, the artefact embeds
+``os.cpu_count()`` and the executor backend name so the numbers are
+interpretable without knowing which machine produced them (this
+container's CPU count explains a ~1× process-pool "speedup" exactly
+the way BENCH_dynamic.json's does).
+
+Correctness rides along: every service result must be bit-identical
+(fingerprint including the effective seed) to calling
+:func:`repro.api.solve` directly, and the run must finish with zero
+rejections — the quotas are sized for the offered load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.api import InstanceSpec, SolveRequest, solve
+from repro.service import ServiceClient, TenantConfig
+
+from conftest import SEED, write_artefact
+
+BENCH_JSON = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_service.json"
+)
+
+#: Requests per tenant (3 tenants → 3× this in total).
+REQUESTS_PER_TENANT = 15
+#: Concurrent requests in execution.
+MAX_IN_FLIGHT = 4
+
+TENANTS = (
+    TenantConfig("gold", weight=2),
+    TenantConfig("silver", weight=1),
+    TenantConfig("bronze", weight=1),
+)
+
+
+def _fingerprint(sr):
+    if not sr.ok:
+        return ("failed", sr.failures, sr.seed)
+    alloc = sr.result.allocation
+    return (
+        sr.result.cost,
+        sr.result.heuristic,
+        tuple(sorted(alloc.assignment.items())),
+        tuple(sorted((u, k, s) for (u, k), s in alloc.downloads.items())),
+        sr.seed,
+    )
+
+
+def _requests() -> list[tuple[str, SolveRequest]]:
+    out = []
+    for t_index, tenant in enumerate(TENANTS):
+        for i in range(REQUESTS_PER_TENANT):
+            seed = SEED + 97 * t_index + i
+            out.append(
+                (
+                    tenant.name,
+                    SolveRequest(
+                        spec=InstanceSpec(
+                            n_operators=8 + (i % 3) * 4,
+                            alpha=1.2,
+                            seed=seed,
+                        ),
+                        seed=seed,
+                        label=f"{tenant.name}-{i}",
+                    ),
+                )
+            )
+    return out
+
+
+def regenerate() -> dict:
+    batch = _requests()
+    direct = {
+        request.label: _fingerprint(solve(request))
+        for _, request in batch
+    }
+
+    with ServiceClient(
+        tenants=TENANTS, max_in_flight=MAX_IN_FLIGHT
+    ) as client:
+        start = time.perf_counter()
+        pending = [
+            (request.label,
+             client.submit(request, tenant=tenant, priority=i % 3))
+            for i, (tenant, request) in enumerate(batch)
+        ]
+        via_service = {
+            label: _fingerprint(handle.result(timeout=600))
+            for label, handle in pending
+        }
+        wall_s = time.perf_counter() - start
+        stats = client.stats()
+        backend = client.service.executor.name
+        jobs = client.service.executor.jobs
+
+    service_block = stats["service"]
+    totals = stats["totals"]
+    data = {
+        "seed": SEED,
+        "cpu_count": os.cpu_count(),
+        "backend": backend,
+        "jobs": jobs,
+        "max_in_flight": MAX_IN_FLIGHT,
+        "n_tenants": len(TENANTS),
+        "n_requests": len(batch),
+        "wall_s": round(wall_s, 4),
+        "throughput_rps": round(len(batch) / wall_s, 2),
+        "queue_wait_s": service_block.get("queue_wait_s"),
+        "rejected": totals["rejected"],
+        "expired": totals["expired"],
+        "bit_identical": via_service == direct,
+        "per_tenant": {
+            t.name: {
+                "completed": stats["tenants"][t.name]["completed"],
+                "weight": t.weight,
+                "queue_wait_s": stats["tenants"][t.name].get(
+                    "queue_wait_s"
+                ),
+                "service_time_s": stats["tenants"][t.name].get(
+                    "service_time_s"
+                ),
+            }
+            for t in TENANTS
+        },
+    }
+    return data
+
+
+def test_service_throughput(benchmark, artefact_dir):
+    data = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    queue_wait = data["queue_wait_s"]
+    lines = [
+        f"allocation service: {data['n_requests']} requests from"
+        f" {data['n_tenants']} tenants",
+        f"  backend {data['backend']} (jobs {data['jobs']},"
+        f" max_in_flight {data['max_in_flight']},"
+        f" cpu_count {data['cpu_count']})",
+        f"  sustained throughput: {data['throughput_rps']:.2f} req/s"
+        f" ({data['wall_s']:.2f}s wall)",
+        f"  queue wait: p50 {queue_wait['p50']*1e3:.1f}ms"
+        f"  p99 {queue_wait['p99']*1e3:.1f}ms"
+        f"  max {queue_wait['max']*1e3:.1f}ms",
+        f"  rejected {data['rejected']}, expired {data['expired']},"
+        f" bit-identical {data['bit_identical']}",
+    ]
+    for name, row in data["per_tenant"].items():
+        lines.append(
+            f"  tenant {name:>7} (weight {row['weight']}):"
+            f" {row['completed']} completed"
+        )
+    write_artefact(artefact_dir, "service_throughput", "\n".join(lines))
+    BENCH_JSON.write_text(
+        json.dumps(data, sort_keys=True, indent=2) + "\n",
+        encoding="utf8",
+    )
+
+    # -- the headline claims -------------------------------------------
+    assert data["bit_identical"], (
+        "service results diverged from direct solve() calls"
+    )
+    assert data["rejected"] == 0 and data["expired"] == 0
+    assert data["throughput_rps"] > 0
+    for name, row in data["per_tenant"].items():
+        assert row["completed"] == REQUESTS_PER_TENANT, (
+            f"tenant {name} starved:"
+            f" {row['completed']}/{REQUESTS_PER_TENANT}"
+        )
+    benchmark.extra_info["data"] = data
+
+
+def main() -> int:
+    data = regenerate()
+    BENCH_JSON.write_text(
+        json.dumps(data, sort_keys=True, indent=2) + "\n",
+        encoding="utf8",
+    )
+    print(json.dumps(
+        {k: v for k, v in data.items() if k != "per_tenant"},
+        indent=2, sort_keys=True,
+    ))
+    if not data["bit_identical"] or data["rejected"]:
+        print("FAIL: divergence or rejections in the service run")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

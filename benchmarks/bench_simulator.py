@@ -152,6 +152,11 @@ def regenerate():
     )
     return {
         "seed": SEED,
+        # the ≥4-core-gated speedup assertion in --quick mode is only
+        # interpretable if the artifact says what ran where; the race
+        # itself is single-process
+        "cpu_count": os.cpu_count(),
+        "backend": "serial",
         "event_rates": event_rates,
         "validated_replays": race,
         "summary": summary,

@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""CI smoke check for the allocation service.
+
+Starts ``repro serve`` as a real subprocess (free port), submits a
+small solve portfolio from three fake tenants over HTTP, and asserts:
+
+* every response is bit-identical — at wire granularity — to calling
+  :func:`repro.api.solve` directly (cost, winning heuristic, effective
+  seed, processor count, failure records; timing/backend provenance
+  excluded);
+* ``/stats`` reports zero rejections and all requests completed.
+
+Exits non-zero on any mismatch.  Run from the repository root::
+
+    python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import InstanceSpec, SolveRequest, solve  # noqa: E402
+from repro.service import HttpServiceClient, ServiceError  # noqa: E402
+
+TENANTS = ("acme", "globex", "initech")
+#: Wire-level fields that must match a direct solve exactly.
+COMPARED_FIELDS = (
+    "ok", "cost", "n_processors", "heuristic", "server_strategy",
+    "seed", "failures",
+)
+
+
+def _requests() -> list[tuple[str, SolveRequest]]:
+    out = []
+    for t_index, tenant in enumerate(TENANTS):
+        for i in range(3):
+            seed = 41 * (t_index + 1) + i
+            out.append(
+                (
+                    tenant,
+                    SolveRequest(
+                        spec=InstanceSpec(
+                            n_operators=8 + 2 * i, alpha=1.2, seed=seed
+                        ),
+                        portfolio=("subtree-bottom-up", "random"),
+                        seed=seed,
+                        label=f"{tenant}-{i}",
+                    ),
+                )
+            )
+    return out
+
+
+def _wire_view(result_dict: dict) -> dict:
+    return {k: result_dict[k] for k in COMPARED_FIELDS}
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src")
+        + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    try:
+        line = proc.stdout.readline()
+        match = re.search(r"http://[\w.\-]+:(\d+)", line)
+        if not match:
+            print(f"FAIL: could not parse service address from {line!r}")
+            return 1
+        client = HttpServiceClient(
+            f"http://127.0.0.1:{match.group(1)}", timeout=120.0
+        )
+        for _ in range(100):  # wait for the socket to really answer
+            try:
+                client.health()
+                break
+            except (ServiceError, OSError):
+                time.sleep(0.1)
+        else:
+            print("FAIL: service never became healthy")
+            return 1
+
+        batch = _requests()
+        mismatches = []
+        for tenant, request in batch:
+            response = client.submit(request, tenant=tenant,
+                                     priority=TENANTS.index(tenant))
+            got = _wire_view(response["result"])
+            want = _wire_view(solve(request).to_dict())
+            if got != want:
+                mismatches.append((request.label, got, want))
+
+        stats = client.stats()
+        totals = stats["totals"]
+        print(
+            f"submitted {len(batch)} requests from {len(TENANTS)}"
+            f" tenants: {totals['completed']} completed,"
+            f" {totals['rejected']} rejected,"
+            f" {len(mismatches)} mismatches"
+        )
+        for label, got, want in mismatches:
+            print(f"  MISMATCH {label}: service={got} direct={want}")
+        if mismatches:
+            print("FAIL: service results diverged from direct solve()")
+            return 1
+        if totals["rejected"] != 0 or totals["expired"] != 0:
+            print("FAIL: /stats reports rejections on an in-quota load")
+            return 1
+        if totals["completed"] != len(batch):
+            print(
+                f"FAIL: only {totals['completed']}/{len(batch)} completed"
+            )
+            return 1
+        for tenant in TENANTS:
+            n = stats["tenants"][tenant]["completed"]
+            if n != 3:
+                print(f"FAIL: tenant {tenant} completed {n}/3")
+                return 1
+        print("OK: service smoke passed")
+        return 0
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

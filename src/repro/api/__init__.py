@@ -55,6 +55,11 @@ from .requests import (
     SweepRequest,
 )
 from .service import replay, replay_many, solve, solve_many, sweep
+from .wire import (
+    WireFormatError,
+    request_from_wire,
+    request_to_wire,
+)
 
 __all__ = [
     "Executor",
@@ -68,6 +73,7 @@ __all__ = [
     "SolveResult",
     "SweepRequest",
     "UnknownStrategyError",
+    "WireFormatError",
     "default_server_for",
     "get_executor",
     "make",
@@ -76,6 +82,8 @@ __all__ = [
     "register",
     "replay",
     "replay_many",
+    "request_from_wire",
+    "request_to_wire",
     "resolve",
     "set_server_pairing",
     "solve",

@@ -44,7 +44,6 @@ the factory modules eagerly here would create import cycles with
 
 from __future__ import annotations
 
-import difflib
 import threading
 from typing import Callable
 
@@ -82,13 +81,12 @@ class UnknownStrategyError(KeyError):
     """
 
     def __init__(self, namespace: str, name: str, known: tuple[str, ...]):
+        from ..errors import did_you_mean
+
         self.namespace = namespace
         self.name = name
         self.known = tuple(known)
-        hint = ""
-        close = difflib.get_close_matches(name, known, n=1, cutoff=0.5)
-        if close:
-            hint = f"; did you mean {close[0]!r}?"
+        hint = did_you_mean(name, known)
         message = (
             f"unknown {namespace} {name!r}{hint} (valid {namespace}"
             f" strategies: {', '.join(known)})"

@@ -291,6 +291,11 @@ class ReplayRequest:
     #: ``"incremental"`` (default) or the ``"naive"`` reference oracle
     #: (the two are bit-identical; the benchmarks race them).
     sim_kernel: str = "incremental"
+    #: Warm-up-aware validation: extend each validated epoch's run by
+    #: the pipeline-fill transient and measure the achieved rate only
+    #: past it (see :func:`repro.dynamic.replay.pipeline_warmup_results`).
+    #: Default off — the legacy fixed window.
+    sim_warmup: bool = False
 
     def __post_init__(self) -> None:
         _check_ref(self.policy, "policy")

@@ -238,6 +238,7 @@ def _replay_task(request: ReplayRequest) -> ReplayResult:
         migration_cost=request.migration_cost,
         salvage_fraction=request.salvage_fraction,
         sim_kernel=request.sim_kernel,
+        sim_warmup=request.sim_warmup,
     )
 
 

@@ -24,6 +24,13 @@ Subcommands
     frequency shifts, server churn, application arrival/departure)
     under one or more online re-allocation policies (static / resolve /
     harvest / trade), pricing every reconfiguration.
+``serve``
+    Run the standing multi-tenant allocation service: JSON-over-HTTP
+    front door with per-tenant quotas, priorities, and fair-share
+    scheduling (see :mod:`repro.service`).
+``submit``
+    Submit one solve request to a running ``serve`` instance (or print
+    its ``/stats`` with ``--stats``).
 
 ``solve``, ``figure``, and ``dynamic`` accept ``--jobs N`` to fan
 their independent work items (heuristics, campaign grid cells,
@@ -142,6 +149,49 @@ def build_parser() -> argparse.ArgumentParser:
                     help="print the per-epoch table per policy")
     pd.add_argument("--json", type=str, default=None,
                     help="write the replay results as JSON to this path")
+
+    pv = sub.add_parser(
+        "serve",
+        help="run the multi-tenant allocation service (HTTP front door)",
+    )
+    pv.add_argument("--host", default="127.0.0.1")
+    pv.add_argument("--port", type=int, default=8642,
+                    help="TCP port (0 picks a free one)")
+    pv.add_argument("-j", "--jobs", type=int, default=1,
+                    help="executor backend: 1 = serial, N = process pool")
+    pv.add_argument("--max-in-flight", type=int, default=None,
+                    help="concurrent requests in execution"
+                         " (default: --jobs)")
+    pv.add_argument("--queue-depth", type=int, default=256,
+                    help="global queued-request bound")
+    pv.add_argument(
+        "--tenant", action="append", default=None, metavar="SPEC",
+        help="register a tenant: NAME[,weight=W,rate=R,burst=B,"
+             "max_in_flight=M,max_queued=Q] (repeatable)",
+    )
+    pv.add_argument("--no-auto-register", action="store_true",
+                    help="reject tenants not named by --tenant")
+
+    pu = sub.add_parser(
+        "submit", help="submit one solve request to a running service"
+    )
+    pu.add_argument("--url", default="http://127.0.0.1:8642")
+    pu.add_argument("--tenant", default="default")
+    pu.add_argument("--priority", type=int, default=0)
+    pu.add_argument("--deadline", type=float, default=None, metavar="S",
+                    help="soft queueing deadline in seconds")
+    pu.add_argument("-n", "--operators", type=int, default=30)
+    pu.add_argument("-a", "--alpha", type=float, default=1.5)
+    pu.add_argument("-s", "--seed", type=int, default=2009)
+    pu.add_argument(
+        "-H", "--heuristic", action="append", default=None,
+        help="heuristic name (repeatable → portfolio; default:"
+             " subtree-bottom-up)",
+    )
+    pu.add_argument("--file", type=str, default=None,
+                    help="submit this wire-format JSON request instead")
+    pu.add_argument("--stats", action="store_true",
+                    help="print the service /stats snapshot and exit")
     return p
 
 
@@ -357,6 +407,132 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import (
+        AllocationService,
+        ServiceHTTPServer,
+        parse_tenant_spec,
+    )
+
+    try:
+        tenants = tuple(
+            parse_tenant_spec(spec) for spec in (args.tenant or ())
+        )
+    except ValueError as err:
+        print(f"bad --tenant: {err}", file=sys.stderr)
+        return 2
+    service = AllocationService(
+        tenants=tenants,
+        auto_register=not args.no_auto_register,
+        jobs=args.jobs,
+        max_in_flight=args.max_in_flight,
+        max_queue_depth=args.queue_depth,
+    )
+
+    async def _serve() -> None:
+        server = ServiceHTTPServer(
+            service, host=args.host, port=args.port
+        )
+        await server.start()
+        print(
+            f"repro allocation service listening on"
+            f" http://{args.host}:{server.port}"
+            f" (backend {service.executor.name}, jobs"
+            f" {service.executor.jobs}, {len(tenants)} configured"
+            f" tenant(s))",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("service stopped")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+    from http.client import HTTPException
+
+    from .api import (
+        InstanceSpec,
+        SolveRequest,
+        WireFormatError,
+        request_from_wire,
+    )
+    from .service import HttpServiceClient, ServiceError
+
+    client = HttpServiceClient(args.url)
+    if args.file:
+        # read/decode before touching the network, so a bad file is
+        # reported as a bad file — not as an unreachable service
+        try:
+            with open(args.file, encoding="utf8") as fh:
+                request = request_from_wire(json.load(fh))
+        except OSError as err:
+            print(f"cannot read {args.file}: {err}", file=sys.stderr)
+            return 2
+        except (WireFormatError, json.JSONDecodeError) as err:
+            print(f"bad request file {args.file}: {err}", file=sys.stderr)
+            return 2
+    try:
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if not args.file:
+            heuristics = args.heuristic or None
+            request = SolveRequest(
+                spec=InstanceSpec(
+                    n_operators=args.operators, alpha=args.alpha,
+                    seed=args.seed,
+                ),
+                strategy=(heuristics or ["subtree-bottom-up"])[0],
+                portfolio=(
+                    tuple(heuristics)
+                    if heuristics and len(heuristics) > 1 else None
+                ),
+                seed=args.seed,
+            )
+        response = client.submit(
+            request, tenant=args.tenant, priority=args.priority,
+            deadline_s=args.deadline,
+        )
+    except ServiceError as err:
+        label = "rejected" if err.rejected else f"HTTP {err.status}"
+        print(f"{label}: {err}", file=sys.stderr)
+        return 1
+    except (OSError, HTTPException) as err:
+        # refused, DNS failure, timeout, not-actually-HTTP, ...
+        print(f"cannot reach {args.url}:"
+              f" {err or type(err).__name__}", file=sys.stderr)
+        return 1
+    result = response.get("result", {})
+    if response.get("kind") == "solve":
+        if result.get("ok"):
+            print(
+                f"ticket #{response['ticket']}: ${result['cost']:,.0f}"
+                f" with {result['heuristic']}"
+                f" ({result['n_processors']} processors,"
+                f" seed {result['seed']})"
+            )
+        else:
+            failures = "; ".join(
+                f"{f['strategy']}: {f['message']}"
+                for f in result.get("failures", ())
+            )
+            print(f"ticket #{response['ticket']} failed: {failures}")
+            return 1
+    else:
+        print(json.dumps(response, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -383,6 +559,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bounds(args)
     if args.command == "dynamic":
         return _cmd_dynamic(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -21,7 +21,10 @@ The hierarchy::
 
 from __future__ import annotations
 
+from typing import Iterable
+
 __all__ = [
+    "did_you_mean",
     "ReproError",
     "ModelError",
     "TreeStructureError",
@@ -33,6 +36,19 @@ __all__ = [
     "InfeasibleError",
     "SolverError",
 ]
+
+
+def did_you_mean(name: str, options: Iterable[str]) -> str:
+    """``"; did you mean 'x'?"`` for the closest match, or ``""``.
+
+    The one implementation of the suggestion hint every lookup error in
+    the library appends (strategy registry, wire decoding, tenant
+    specs) — wording and cutoff stay consistent by construction.
+    """
+    import difflib
+
+    close = difflib.get_close_matches(name, list(options), n=1, cutoff=0.5)
+    return f"; did you mean {close[0]!r}?" if close else ""
 
 
 class ReproError(Exception):

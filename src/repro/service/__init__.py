@@ -1,0 +1,79 @@
+"""Multi-tenant allocation service over the solver API.
+
+The standing, stdlib-only (asyncio) layer that turns the library into
+a traffic-serving system: many tenants submit the typed requests of
+:mod:`repro.api` concurrently; the service admits or reject-fasts them
+against per-tenant quotas (concurrency, queue depth, token-bucket
+rate), schedules the admitted ones with strict priorities and
+weighted-fair round-robin across tenants, executes them on the
+existing executor backends, and exposes per-tenant counters and
+latency percentiles.
+
+Pieces (one module each):
+
+* :mod:`~repro.service.tenants` — :class:`TenantConfig` quotas,
+  :class:`TokenBucket`, the :class:`TenantRegistry`;
+* :mod:`~repro.service.queueing` — the priority + weighted-fair-share
+  :class:`FairQueue` (pure data structure);
+* :mod:`~repro.service.metrics` — counters and latency percentiles;
+* :mod:`~repro.service.broker` — :class:`AllocationService` itself
+  (admission, dispatch, execution, ``snapshot()``);
+* :mod:`~repro.service.http` — the JSON-over-HTTP front door
+  (``repro serve``);
+* :mod:`~repro.service.client` — the in-process :class:`ServiceClient`
+  and the stdlib :class:`HttpServiceClient` (``repro submit``).
+
+Quickstart (in-process)::
+
+    from repro.api import InstanceSpec, SolveRequest
+    from repro.service import ServiceClient, TenantConfig
+
+    with ServiceClient(
+        tenants=(TenantConfig("acme", weight=2),), jobs=2
+    ) as client:
+        result = client.solve(
+            SolveRequest(spec=InstanceSpec(n_operators=20), seed=7),
+            tenant="acme", priority=1,
+        )
+
+Over HTTP: ``repro serve --port 8642`` on one side,
+``repro submit --url http://host:8642 -n 20 --seed 7`` (or
+:class:`HttpServiceClient`) on the other.
+"""
+
+from .broker import AdmissionRejected, AllocationService, Ticket
+from .client import (
+    HttpServiceClient,
+    PendingResult,
+    ServiceClient,
+    ServiceError,
+)
+from .http import ServiceHTTPServer
+from .metrics import LatencySeries, TenantMetrics, percentile
+from .queueing import FairQueue, QueuedTicket
+from .tenants import (
+    TenantConfig,
+    TenantRegistry,
+    TokenBucket,
+    parse_tenant_spec,
+)
+
+__all__ = [
+    "AdmissionRejected",
+    "AllocationService",
+    "FairQueue",
+    "HttpServiceClient",
+    "LatencySeries",
+    "PendingResult",
+    "QueuedTicket",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "TenantConfig",
+    "TenantMetrics",
+    "TenantRegistry",
+    "Ticket",
+    "TokenBucket",
+    "parse_tenant_spec",
+    "percentile",
+]

@@ -1,0 +1,489 @@
+"""The allocation service: admission control + async request broker.
+
+:class:`AllocationService` is the standing, multi-tenant front end
+over the solver API.  It accepts the typed requests
+(:class:`~repro.api.requests.SolveRequest` /
+:class:`~repro.api.requests.ReplayRequest` /
+:class:`~repro.api.requests.SweepRequest`) from many tenants
+concurrently and schedules them onto the existing executor backends:
+
+* **admission control** is synchronous and reject-fast: unknown tenant
+  (closed registry), token-bucket rate limit, per-tenant queue quota,
+  global queue bound — each rejection raises :class:`AdmissionRejected`
+  carrying a structured :class:`~repro.api.requests.FailureRecord`
+  (stage ``"rate-limit"``, ``"queue-full"``, ...) instead of an opaque
+  error string;
+* **scheduling** is the :class:`~repro.service.queueing.FairQueue`:
+  strict priority classes, weighted round-robin across tenants within
+  a class (no starvation), FIFO per tenant, lazy cancellation;
+* **soft deadlines**: a request whose ``deadline_s`` budget expired
+  while it queued is dropped at dispatch time with a ``"deadline"``
+  failure — the solver never burns cycles on an answer nobody is
+  waiting for;
+* **execution** runs outside the event loop — in a worker thread for
+  the serial backend, in a persistent ``ProcessPoolExecutor`` sized
+  like the :class:`~repro.api.executors.ParallelExecutor` backend for
+  ``jobs > 1`` — bounded by ``max_in_flight`` concurrent requests.
+
+Determinism: the service adds no entropy.  A seeded request produces
+the *same* :class:`~repro.api.requests.SolveResult` (allocation,
+failure records, effective seed — everything except wall-clock
+timing) as calling :func:`repro.api.solve` directly, whichever
+backend executes it; ``tests/service/test_client.py`` asserts this
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable
+
+from ..api.executors import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    get_executor,
+)
+from ..api.requests import (
+    FailureRecord,
+    ReplayRequest,
+    SolveRequest,
+    SweepRequest,
+)
+from .metrics import summarize
+from .queueing import FairQueue, QueuedTicket
+from .tenants import TenantConfig, TenantRegistry, TenantState
+
+__all__ = [
+    "AdmissionRejected",
+    "AllocationService",
+    "Ticket",
+    "execute_request",
+]
+
+class AdmissionRejected(Exception):
+    """A request was refused at the door; ``record`` says why."""
+
+    def __init__(self, record: FailureRecord):
+        super().__init__(record.message)
+        self.record = record
+
+
+def _rejection(tenant: str, stage: str, message: str,
+               detail: dict | None = None) -> AdmissionRejected:
+    return AdmissionRejected(
+        FailureRecord(
+            strategy=f"tenant:{tenant}",
+            stage=stage,
+            error_type="AdmissionError",
+            message=message,
+            detail=detail,
+        )
+    )
+
+
+def execute_request(request):
+    """Run one typed request to completion (module-level so it pickles
+    into pool workers).  Inner execution is always the serial backend:
+    request-level parallelism is the service's job, and keeping the
+    leaf serial is what makes results bit-identical to a direct
+    :func:`repro.api.solve` call."""
+    from ..api import replay, solve, sweep
+
+    if isinstance(request, SolveRequest):
+        return solve(request)
+    if isinstance(request, ReplayRequest):
+        return replay(request)
+    if isinstance(request, SweepRequest):
+        return sweep(request)
+    raise TypeError(
+        f"cannot execute {type(request).__name__}: expected SolveRequest,"
+        f" ReplayRequest, or SweepRequest"
+    )
+
+
+@dataclass(eq=False)
+class Ticket:
+    """Broker-side handle of one admitted request."""
+
+    id: int
+    tenant: str
+    priority: int
+    request: object
+    enqueued_at: float
+    deadline: float | None
+    future: asyncio.Future
+    queued: QueuedTicket
+
+    @property
+    def done(self) -> bool:
+        return self.future.done()
+
+
+class AllocationService:
+    """Standing multi-tenant allocation service (asyncio, stdlib-only).
+
+    Lifecycle: ``await start()`` → ``await submit(...)`` /
+    ``await result(ticket)`` → ``await aclose()``.  All methods must
+    run on the service's event loop; the synchronous facades live in
+    :mod:`repro.service.client`.
+    """
+
+    def __init__(
+        self,
+        *,
+        tenants: "tuple[TenantConfig, ...] | list[TenantConfig]" = (),
+        default_tenant: TenantConfig | None = None,
+        auto_register: bool = True,
+        jobs: "int | Executor | None" = None,
+        max_in_flight: int | None = None,
+        max_queue_depth: int = 256,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.executor = get_executor(jobs)
+        self.registry = TenantRegistry(
+            tenants,
+            default=default_tenant,
+            auto_register=auto_register,
+            clock=clock,
+        )
+        self.max_in_flight = (
+            max_in_flight if max_in_flight is not None else self.executor.jobs
+        )
+        if self.max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}"
+            )
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        self.max_queue_depth = max_queue_depth
+        self._clock = clock
+        self.queue = FairQueue(weight_of=self._weight_of)
+        self._tickets: dict[int, Ticket] = {}
+        self._ids = itertools.count(1)
+        self._in_flight = 0
+        self._pool: ProcessPoolExecutor | None = None
+        self._wakeup: asyncio.Event | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._running_tasks: set[asyncio.Task] = set()
+        self._closing = False
+        self._started_at: float | None = None
+        #: Rejections with no tenant state to charge them to (unknown
+        #: tenant on a closed registry, submits while not running) —
+        #: without this, /stats shows zero rejects while a locked-down
+        #: service turns away all traffic.
+        self._unattributed_rejections: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._dispatcher is not None
+
+    async def start(self) -> None:
+        if self.started:
+            return
+        self._closing = False
+        self._wakeup = asyncio.Event()
+        if isinstance(self.executor, ParallelExecutor):
+            # the standard parallel backend gets a *persistent* pool
+            # (its own map() would cold-start one per request); custom
+            # executors run through their map() in _run instead
+            self._pool = ProcessPoolExecutor(max_workers=self.executor.jobs)
+        self._dispatcher = asyncio.get_running_loop().create_task(
+            self._dispatch_loop()
+        )
+        self._started_at = self._clock()
+
+    async def aclose(self) -> None:
+        """Stop accepting work, cancel everything queued, wait for
+        in-flight requests, and shut the pool down."""
+        if not self.started:
+            return
+        self._closing = True
+        for ticket in list(self._tickets.values()):
+            if not ticket.done:
+                self.cancel(ticket)
+        self._wakeup.set()
+        await self._dispatcher
+        self._dispatcher = None
+        if self._running_tasks:
+            await asyncio.gather(
+                *self._running_tasks, return_exceptions=True
+            )
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    def _count_unattributed(self, stage: str) -> None:
+        self._unattributed_rejections[stage] = (
+            self._unattributed_rejections.get(stage, 0) + 1
+        )
+
+    def _weight_of(self, tenant: str) -> int:
+        state = self.registry.get(tenant)
+        return state.config.weight if state is not None else 1
+
+    def _admit(self, tenant: str) -> TenantState:
+        """All rejection paths; capacity checks precede the (stateful)
+        token bucket so a capacity bounce costs no token."""
+        state = self.registry.get(tenant)
+        if state is None:
+            self._count_unattributed("unknown-tenant")
+            raise _rejection(
+                tenant, "unknown-tenant",
+                f"tenant {tenant!r} is not registered (the registry is"
+                f" closed to new tenants, or the auto-registration cap"
+                f" was reached)",
+            )
+        config = state.config
+        if state.n_queued >= config.max_queued:
+            state.metrics.record_rejection("queue-full")
+            raise _rejection(
+                tenant, "queue-full",
+                f"tenant {tenant!r} already has {state.n_queued} requests"
+                f" queued (quota {config.max_queued})",
+                detail={"queued": state.n_queued,
+                        "max_queued": config.max_queued},
+            )
+        if len(self.queue) >= self.max_queue_depth:
+            state.metrics.record_rejection("service-queue-full")
+            raise _rejection(
+                tenant, "service-queue-full",
+                f"service queue is full ({len(self.queue)} of"
+                f" {self.max_queue_depth})",
+                detail={"queued": len(self.queue),
+                        "max_queue_depth": self.max_queue_depth},
+            )
+        # the bucket is charged *last*: a request bounced for queue
+        # capacity (possibly other tenants' congestion) must not also
+        # burn one of this tenant's rate-limit tokens
+        if state.bucket is not None and not state.bucket.try_take():
+            state.metrics.record_rejection("rate-limit")
+            raise _rejection(
+                tenant, "rate-limit",
+                f"tenant {tenant!r} exceeded its rate limit"
+                f" ({config.rate_per_s:g}/s, burst {config.burst})",
+                detail={"rate_per_s": config.rate_per_s,
+                        "burst": config.burst},
+            )
+        return state
+
+    async def submit(
+        self,
+        request,
+        *,
+        tenant: str = "default",
+        priority: int = 0,
+        deadline_s: float | None = None,
+    ) -> Ticket:
+        """Admit one request; returns a :class:`Ticket` whose
+        ``future`` resolves to the result.  Raises
+        :class:`AdmissionRejected` (with the structured record) when a
+        quota says no."""
+        if self._closing or not self.started:
+            self._count_unattributed("not-running")
+            raise _rejection(
+                tenant, "not-running",
+                "the service is not accepting requests",
+            )
+        state = self._admit(tenant)
+        now = self._clock()
+        ticket_id = next(self._ids)
+        queued = QueuedTicket(
+            id=ticket_id, tenant=tenant, priority=priority, payload=request
+        )
+        ticket = Ticket(
+            id=ticket_id,
+            tenant=tenant,
+            priority=priority,
+            request=request,
+            enqueued_at=now,
+            deadline=None if deadline_s is None else now + deadline_s,
+            future=asyncio.get_running_loop().create_future(),
+            queued=queued,
+        )
+        queued.context = ticket
+        self._tickets[ticket_id] = ticket
+        self.queue.push(queued)
+        state.n_queued += 1
+        state.metrics.admitted += 1
+        self._wakeup.set()
+        return ticket
+
+    async def result(self, ticket: Ticket):
+        """Await one admitted request's outcome."""
+        return await ticket.future
+
+    def cancel(self, ticket: "Ticket | int") -> bool:
+        """Cancel a queued request (lazy, like the simulator's event
+        queue).  Returns ``False`` when the ticket is unknown, already
+        finished, or already executing — in-flight solves are not
+        interrupted."""
+        if isinstance(ticket, int):
+            ticket = self._tickets.get(ticket)
+            if ticket is None:
+                return False
+        if ticket.done or not self.queue.cancel(ticket.queued):
+            return False
+        state = self.registry.get(ticket.tenant)
+        state.n_queued -= 1
+        state.metrics.cancelled += 1
+        ticket.future.cancel()
+        self._tickets.pop(ticket.id, None)
+        return True
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def _eligible(self, tenant: str) -> bool:
+        state = self.registry.get(tenant)
+        return (
+            state is not None
+            and state.n_in_flight < state.config.max_in_flight
+        )
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            await self._wakeup.wait()
+            self._wakeup.clear()
+            if self._closing:
+                return
+            self._pump()
+
+    def _pump(self) -> None:
+        """Move tickets from the queue into execution while global and
+        per-tenant concurrency allow."""
+        while self._in_flight < self.max_in_flight:
+            queued = self.queue.pop(eligible=self._eligible)
+            if queued is None:
+                return
+            ticket: Ticket = queued.context
+            state = self.registry.get(ticket.tenant)
+            state.n_queued -= 1
+            now = self._clock()
+            if ticket.deadline is not None and now > ticket.deadline:
+                state.metrics.expired += 1
+                self._tickets.pop(ticket.id, None)
+                ticket.future.set_exception(
+                    _rejection(
+                        ticket.tenant, "deadline",
+                        f"request #{ticket.id} spent"
+                        f" {now - ticket.enqueued_at:.3f}s in queue,"
+                        f" past its deadline — dropped unstarted",
+                        detail={"queue_wait_s": now - ticket.enqueued_at},
+                    )
+                )
+                continue
+            state.metrics.queue_wait.record(now - ticket.enqueued_at)
+            self._in_flight += 1
+            state.n_in_flight += 1
+            task = asyncio.get_running_loop().create_task(
+                self._run(ticket, state)
+            )
+            self._running_tasks.add(task)
+            task.add_done_callback(self._running_tasks.discard)
+
+    async def _run(self, ticket: Ticket, state: TenantState) -> None:
+        start = self._clock()
+        try:
+            if self._pool is not None:
+                result = await asyncio.get_running_loop().run_in_executor(
+                    self._pool, execute_request, ticket.request
+                )
+            elif isinstance(self.executor, SerialExecutor):
+                result = await asyncio.to_thread(
+                    execute_request, ticket.request
+                )
+            else:
+                # custom Executor backend (e.g. a future distributed
+                # one): route the request through its map() off-loop
+                result = (
+                    await asyncio.to_thread(
+                        self.executor.map, execute_request,
+                        [ticket.request],
+                    )
+                )[0]
+        except BaseException as err:  # noqa: BLE001 — relayed, not hidden
+            state.metrics.failed += 1
+            if not ticket.future.done():
+                ticket.future.set_exception(err)
+        else:
+            state.metrics.completed += 1
+            if getattr(result, "ok", True) is False:
+                # a completed solve whose every strategy failed — the
+                # result carries the records; count it for /stats
+                state.metrics.failed += 1
+            state.metrics.service_time.record(self._clock() - start)
+            if not ticket.future.done():
+                ticket.future.set_result(result)
+        finally:
+            self._in_flight -= 1
+            state.n_in_flight -= 1
+            self._tickets.pop(ticket.id, None)
+            self._wakeup.set()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-able service + per-tenant state for ``/stats``."""
+        tenants = self.registry.snapshot()
+        totals = {
+            "admitted": 0, "completed": 0, "failed": 0,
+            "cancelled": 0, "expired": 0, "rejected": 0,
+        }
+        # cross-tenant aggregate: concatenate every tenant's retained
+        # window (re-recording into a second capped series would keep
+        # only the last tenants' samples)
+        all_waits: list[float] = []
+        waits_total = 0
+        for state in self.registry:
+            m = state.metrics
+            totals["admitted"] += m.admitted
+            totals["completed"] += m.completed
+            totals["failed"] += m.failed
+            totals["cancelled"] += m.cancelled
+            totals["expired"] += m.expired
+            totals["rejected"] += m.n_rejected
+            all_waits.extend(m.queue_wait.values)
+            waits_total += m.queue_wait.total_recorded
+        totals["rejected"] += sum(self._unattributed_rejections.values())
+        out = {
+            "service": {
+                "backend": self.executor.name,
+                "jobs": self.executor.jobs,
+                "max_in_flight": self.max_in_flight,
+                "max_queue_depth": self.max_queue_depth,
+                "queued": len(self.queue),
+                "in_flight": self._in_flight,
+                "uptime_s": (
+                    round(self._clock() - self._started_at, 3)
+                    if self._started_at is not None
+                    else None
+                ),
+            },
+            "totals": totals,
+            "unattributed_rejections": dict(
+                sorted(self._unattributed_rejections.items())
+            ),
+            "tenants": tenants,
+        }
+        queue_wait = summarize(all_waits, waits_total)
+        if queue_wait is not None:
+            out["service"]["queue_wait_s"] = queue_wait
+        return out

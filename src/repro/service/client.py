@@ -1,0 +1,262 @@
+"""Clients of the allocation service.
+
+Two of them, sharing request/response vocabulary:
+
+* :class:`ServiceClient` — **in-process**: hosts the
+  :class:`~repro.service.broker.AllocationService` on a background
+  event-loop thread and exposes a synchronous facade.  This is what
+  tests, benchmarks, and embedded callers use — results come back as
+  the real typed objects (:class:`~repro.api.requests.SolveResult`,
+  :class:`~repro.dynamic.replay.ReplayResult`), not wire dicts, so
+  bit-identity with direct :func:`repro.api.solve` calls is assertable
+  object-for-object.
+* :class:`HttpServiceClient` — **over the network**: a stdlib
+  ``http.client`` wrapper over the JSON routes of
+  :mod:`repro.service.http`, used by ``repro submit`` and the CI smoke
+  check.  Responses are the wire-level dicts.
+
+Both raise :class:`~repro.service.broker.AdmissionRejected` (in-process)
+or :class:`ServiceError` with the structured failure payload (HTTP)
+when admission control says no.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+import urllib.parse
+from typing import Any
+
+from ..api.wire import request_to_wire
+from .broker import AllocationService, Ticket
+
+__all__ = ["HttpServiceClient", "PendingResult", "ServiceClient",
+           "ServiceError"]
+
+
+class PendingResult:
+    """Handle to one in-flight in-process submission."""
+
+    def __init__(self, client: "ServiceClient", ticket: Ticket,
+                 future) -> None:
+        self._client = client
+        self.ticket = ticket
+        self._future = future  # concurrent.futures.Future
+
+    @property
+    def ticket_id(self) -> int:
+        return self.ticket.id
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self, timeout: float | None = None):
+        """Block for the outcome.  Raises
+        :class:`~repro.service.broker.AdmissionRejected` when the
+        request's soft deadline expired in queue, and
+        ``concurrent.futures.CancelledError`` when it was cancelled."""
+        return self._future.result(timeout)
+
+    def cancel(self) -> bool:
+        """Cancel while still queued (lazy; running solves finish)."""
+        return self._client._call(
+            self._client._cancel_on_loop(self.ticket)
+        )
+
+
+class ServiceClient:
+    """Synchronous facade over an event-loop-threaded service.
+
+    Usable as a context manager::
+
+        with ServiceClient(jobs=2) as client:
+            result = client.solve(request, tenant="acme")
+    """
+
+    def __init__(self, service: AllocationService | None = None,
+                 **service_kwargs) -> None:
+        if service is not None and service_kwargs:
+            raise ValueError(
+                "pass either a pre-built service or its kwargs, not both"
+            )
+        self.service = service or AllocationService(**service_kwargs)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "ServiceClient":
+        if self._loop is not None:
+            return self
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-service",
+            daemon=True,
+        )
+        self._thread.start()
+        self._call(self.service.start())
+        return self
+
+    def close(self) -> None:
+        if self._loop is None:
+            return
+        self._call(self.service.aclose())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _call(self, coro):
+        if self._loop is None:
+            coro.close()
+            raise RuntimeError(
+                "ServiceClient is not started (use it as a context"
+                " manager, or call start())"
+            )
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    async def _cancel_on_loop(self, ticket: Ticket) -> bool:
+        return self.service.cancel(ticket)
+
+    # -- requests -------------------------------------------------------
+
+    def submit(
+        self,
+        request,
+        *,
+        tenant: str = "default",
+        priority: int = 0,
+        deadline_s: float | None = None,
+    ) -> PendingResult:
+        """Admit one request without waiting for it.  Raises
+        :class:`~repro.service.broker.AdmissionRejected` immediately
+        when a quota refuses it."""
+        ticket = self._call(
+            self.service.submit(
+                request, tenant=tenant, priority=priority,
+                deadline_s=deadline_s,
+            )
+        )
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.result(ticket), self._loop
+        )
+        return PendingResult(self, ticket, future)
+
+    def solve(self, request, *, tenant: str = "default",
+              priority: int = 0, deadline_s: float | None = None,
+              timeout: float | None = None):
+        """Submit and block for the typed result."""
+        return self.submit(
+            request, tenant=tenant, priority=priority,
+            deadline_s=deadline_s,
+        ).result(timeout)
+
+    def stats(self) -> dict:
+        return self._call(self._snapshot_on_loop())
+
+    async def _snapshot_on_loop(self) -> dict:
+        return self.service.snapshot()
+
+
+class ServiceError(Exception):
+    """A non-200 HTTP response; ``payload`` holds the structured body
+    (including the failure record on 429s)."""
+
+    def __init__(self, status: int, payload: dict):
+        super().__init__(
+            payload.get("error", f"service returned HTTP {status}")
+        )
+        self.status = status
+        self.payload = payload
+
+    @property
+    def rejected(self) -> bool:
+        return self.status == 429
+
+
+class HttpServiceClient:
+    """Stdlib HTTP client for a remote ``repro serve`` instance."""
+
+    def __init__(self, url: str = "http://127.0.0.1:8642",
+                 timeout: float = 600.0) -> None:
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(
+                f"only http:// service URLs are supported, got {url!r}"
+            )
+        netloc = parsed.netloc or parsed.path  # tolerate "host:port"
+        host, _, port = netloc.partition(":")
+        self.host = host or "127.0.0.1"
+        self.port = int(port) if port else 8642
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 payload: "dict | None" = None) -> dict:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                data = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                data = {"error": raw.decode("utf8", "replace")}
+            if response.status != 200:
+                raise ServiceError(response.status, data)
+            return data
+        finally:
+            conn.close()
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def register_tenant(self, name: str, **config: Any) -> dict:
+        return self._request(
+            "POST", "/v1/tenants", {"name": name, **config}
+        )
+
+    def cancel(self, ticket: int) -> bool:
+        return bool(
+            self._request("POST", "/v1/cancel", {"ticket": ticket})
+            .get("cancelled", False)
+        )
+
+    def submit(
+        self,
+        request,
+        *,
+        tenant: str = "default",
+        priority: int = 0,
+        deadline_s: float | None = None,
+    ) -> dict:
+        """Submit a typed request; blocks until the service answers.
+        Returns the wire-level response dict (``{"kind", "ticket",
+        "result": {...}}``)."""
+        payload: dict = {
+            "tenant": tenant,
+            "priority": priority,
+            "request": request_to_wire(request),
+        }
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        return self._request("POST", "/v1/submit", payload)

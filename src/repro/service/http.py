@@ -1,0 +1,330 @@
+"""JSON-over-HTTP front door (pure ``asyncio.start_server``, no deps).
+
+A deliberately small HTTP/1.1 implementation — request line, headers,
+``Content-Length`` body, ``Connection: close`` — because the service
+needs exactly five routes and zero framework:
+
+========  ==============  ==================================================
+method    path            body → response
+========  ==============  ==================================================
+GET       /healthz        → ``{"ok": true}``
+GET       /stats          → the service snapshot (per-tenant counters,
+                            queue-wait/solve-latency percentiles)
+POST      /v1/submit      ``{"tenant", "priority", "deadline_s",
+                            "request": <wire>}`` → the completed result
+                            (the connection is held open while the
+                            request queues and solves)
+POST      /v1/cancel      ``{"ticket": id}`` → ``{"cancelled": bool}``
+POST      /v1/tenants     a :class:`~repro.service.tenants.TenantConfig`
+                            as JSON → registers/reconfigures a tenant
+========  ==============  ==================================================
+
+Request payloads ride the :mod:`repro.api.wire` format; malformed
+bodies are 400s with the wire error message, admission rejections are
+429s carrying the structured failure record, so a client can tell "you
+typo'd a field" from "slow down" without parsing prose.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+from typing import Any, Mapping
+
+from ..api.requests import ReplayRequest, SolveRequest, SweepRequest
+from ..api.wire import (
+    WireFormatError,
+    _reject_unknown,
+    request_from_wire,
+)
+from .broker import AdmissionRejected, AllocationService
+from .tenants import TenantConfig
+
+__all__ = ["ServiceHTTPServer"]
+
+#: Largest accepted request body (a full ProblemInstance is ~100 KB;
+#: this bound is about refusing absurdity, not capacity planning).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+_SUBMIT_FIELDS = ("tenant", "priority", "deadline_s", "request")
+
+
+class _HTTPError(Exception):
+    def __init__(self, status: int, payload: dict):
+        super().__init__(payload.get("error", _STATUS_TEXT.get(status)))
+        self.status = status
+        self.payload = payload
+
+
+def _bad(message: str) -> _HTTPError:
+    return _HTTPError(400, {"error": message})
+
+
+def _check_fields(
+    data: Mapping[str, Any], allowed: tuple[str, ...], what: str
+) -> None:
+    """Unknown-field rejection with the wire layer's did-you-mean
+    messages, translated to a 400."""
+    try:
+        _reject_unknown(data, allowed, what)
+    except WireFormatError as err:
+        raise _bad(str(err)) from err
+
+
+def _coerce(value: Any, kind, what: str):
+    """Numeric coercion whose failure is the client's fault (400)."""
+    try:
+        return kind(value)
+    except (TypeError, ValueError) as err:
+        raise _bad(f"bad {what}: {err}") from err
+
+
+def _result_payload(request, result) -> dict:
+    """Encode a completed request's result for the wire."""
+    if isinstance(request, SolveRequest):
+        return {"kind": "solve", "result": result.to_dict()}
+    if isinstance(request, ReplayRequest):
+        return {"kind": "replay", "result": result.to_dict()}
+    if isinstance(request, SweepRequest):
+        from ..experiments.report import sweep_to_csv
+
+        return {
+            "kind": "sweep",
+            "result": {
+                "name": result.name,
+                "parameter": result.parameter,
+                "x_values": list(result.x_values),
+                "heuristics": list(result.heuristics),
+                "csv": sweep_to_csv(result),
+            },
+        }
+    raise _HTTPError(500, {"error": f"unencodable result for {request!r}"})
+
+
+class ServiceHTTPServer:
+    """Bind an :class:`~repro.service.broker.AllocationService` to a
+    TCP port.  ``port=0`` picks a free port; read it back from
+    :attr:`port` after :meth:`start`."""
+
+    def __init__(
+        self,
+        service: AllocationService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        read_timeout: float = 30.0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        #: Budget for *reading* one request (line + headers + body); a
+        #: client that connects and stalls must not pin a handler
+        #: forever.  Processing time is unbounded by design — submit
+        #: holds the connection while the request queues and solves.
+        self.read_timeout = read_timeout
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.aclose()
+
+    # ------------------------------------------------------------------
+    # protocol plumbing
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, raw = await asyncio.wait_for(
+                    self._read_request(reader), self.read_timeout
+                )
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                    ConnectionError):
+                status, payload = 408, {
+                    "error": "timed out (or disconnected) while reading"
+                             " the request"
+                }
+            else:
+                status, payload = await self._route(method, path, raw)
+        except _HTTPError as err:
+            status, payload = err.status, err.payload
+        except Exception as err:  # noqa: BLE001 — a 500, not a crash
+            status, payload = 500, {"error": f"{type(err).__name__}: {err}"}
+        try:
+            body = json.dumps(payload, sort_keys=True).encode("utf8")
+            head = (
+                f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode("ascii")
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass  # client went away mid-response
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        """Read one request off the socket: (method, path, body)."""
+        request_line = (await reader.readline()).decode("latin1").strip()
+        if not request_line:
+            raise _bad("empty request")
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _bad(f"malformed request line {request_line!r}")
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = _coerce(
+            headers.get("content-length", "0") or "0", int,
+            "Content-Length header",
+        )
+        if length > MAX_BODY_BYTES:
+            raise _HTTPError(
+                413,
+                {"error": f"body of {length} bytes exceeds the"
+                          f" {MAX_BODY_BYTES}-byte limit"},
+            )
+        raw = await reader.readexactly(length) if length else b""
+        return method, path, raw
+
+    def _json_body(self, raw: bytes, what: str) -> dict:
+        if not raw:
+            raise _bad(f"{what} needs a JSON body")
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as err:
+            raise _bad(f"invalid JSON body: {err}") from err
+        if not isinstance(data, dict):
+            raise _bad(f"{what} body must be a JSON object")
+        return data
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+
+    async def _route(
+        self, method: str, path: str, raw: bytes
+    ) -> tuple[int, dict]:
+        if path == "/healthz" and method == "GET":
+            return 200, {"ok": True}
+        if path == "/stats" and method == "GET":
+            return 200, self.service.snapshot()
+        if path == "/v1/submit" and method == "POST":
+            return await self._submit(raw)
+        if path == "/v1/cancel" and method == "POST":
+            body = self._json_body(raw, "cancel")
+            _check_fields(body, ("ticket",), "cancel body")
+            if "ticket" not in body:
+                raise _bad("cancel body needs a 'ticket' id")
+            return 200, {
+                "cancelled": self.service.cancel(
+                    _coerce(body["ticket"], int, "'ticket' id")
+                )
+            }
+        if path == "/v1/tenants" and method == "POST":
+            body = self._json_body(raw, "tenant registration")
+            fields = tuple(
+                f.name for f in dataclasses.fields(TenantConfig)
+            )
+            _check_fields(body, fields, "tenant registration")
+            if "name" not in body:
+                raise _bad("tenant registration needs a 'name'")
+            try:
+                config = TenantConfig(**body)
+            except (TypeError, ValueError) as err:
+                raise _bad(f"bad tenant config: {err}") from err
+            self.service.registry.register(config)
+            return 200, {"registered": config.name}
+        known = (
+            "GET /healthz, GET /stats, POST /v1/submit,"
+            " POST /v1/cancel, POST /v1/tenants"
+        )
+        if path in ("/healthz", "/stats", "/v1/submit", "/v1/cancel",
+                    "/v1/tenants"):
+            return 405, {"error": f"wrong method for {path}"
+                                  f" (routes: {known})"}
+        return 404, {"error": f"no route {method} {path}"
+                              f" (routes: {known})"}
+
+    async def _submit(self, raw: bytes) -> tuple[int, dict]:
+        body = self._json_body(raw, "submit")
+        _check_fields(body, _SUBMIT_FIELDS, "submit body")
+        if "request" not in body:
+            raise _bad("submit body needs a 'request' payload")
+        try:
+            request = request_from_wire(body["request"])
+        except WireFormatError as err:
+            raise _bad(str(err)) from err
+        tenant = body.get("tenant", "default")
+        priority = _coerce(body.get("priority", 0), int, "'priority'")
+        deadline_s = body.get("deadline_s")
+        if deadline_s is not None:
+            deadline_s = _coerce(deadline_s, float, "'deadline_s'")
+        try:
+            ticket = await self.service.submit(
+                request,
+                tenant=tenant,
+                priority=priority,
+                deadline_s=deadline_s,
+            )
+        except AdmissionRejected as err:
+            return 429, {
+                "error": str(err),
+                "failure": dataclasses.asdict(err.record),
+            }
+        try:
+            result = await self.service.result(ticket)
+        except AdmissionRejected as err:  # soft deadline expired in queue
+            return 429, {
+                "error": str(err),
+                "failure": dataclasses.asdict(err.record),
+                "ticket": ticket.id,
+            }
+        except asyncio.CancelledError:
+            if ticket.future.cancelled():  # cancelled server-side
+                return 200, {"ticket": ticket.id, "tenant": tenant,
+                             "cancelled": True}
+            raise  # the handler itself was cancelled — propagate
+        payload = _result_payload(request, result)
+        payload["ticket"] = ticket.id
+        payload["tenant"] = tenant
+        return 200, payload

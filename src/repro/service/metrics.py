@@ -1,0 +1,156 @@
+"""Service observability: counters and latency percentiles.
+
+Two small pieces, shared by the broker and the ``/stats`` endpoint:
+
+* :class:`LatencySeries` — sliding-window series of durations with
+  percentile summaries (p50/p90/p99, linear interpolation — the same
+  convention as ``numpy.percentile(..., method="linear")`` without
+  needing numpy at serve time);
+* :class:`TenantMetrics` — one tenant's admitted/rejected/completed
+  counters plus queue-wait and service-time series.
+
+Everything here is plain synchronous state mutated only from the
+service's event-loop thread; ``snapshot()`` renders JSON-able dicts
+for ``/stats`` and ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = [
+    "LatencySeries",
+    "TenantMetrics",
+    "percentile",
+    "summarize",
+]
+
+
+def percentile(values: "list[float] | tuple[float, ...]", q: float) -> float:
+    """Linear-interpolation percentile of ``values`` (``q`` in 0–100).
+
+    Raises ``ValueError`` on an empty series — callers decide how to
+    render "no data yet" (the snapshots simply omit the block).
+    """
+    if not values:
+        raise ValueError("percentile of an empty series")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * (q / 100.0)
+    lo = int(pos)
+    frac = pos - lo
+    if lo + 1 >= len(ordered):
+        return ordered[-1]
+    return ordered[lo] * (1.0 - frac) + ordered[lo + 1] * frac
+
+
+#: Samples a series retains for percentiles; a standing service must
+#: not grow one float per request forever.
+DEFAULT_WINDOW = 4096
+
+
+class LatencySeries:
+    """Sliding-window duration series with percentile summaries.
+
+    Keeps the most recent ``window`` samples (a standing service's
+    memory and ``/stats`` sort cost stay bounded) while counting every
+    sample ever recorded; ``summary()`` reports both.
+    """
+
+    __slots__ = ("_values", "_total")
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._values: deque[float] = deque(maxlen=window)
+        self._total = 0
+
+    def record(self, seconds: float) -> None:
+        self._values.append(float(seconds))
+        self._total += 1
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def total_recorded(self) -> int:
+        return self._total
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        return tuple(self._values)
+
+    def summary(self, digits: int = 6) -> dict | None:
+        """``{count, window, mean, p50, p90, p99, max}`` (percentiles
+        over the retained window, ``count`` over the whole lifetime) or
+        ``None`` when nothing was recorded yet."""
+        return summarize(list(self._values), self._total, digits)
+
+
+def summarize(
+    window: list[float], total: int, digits: int = 6
+) -> dict | None:
+    """Percentile summary of a sample window (``total`` = lifetime
+    sample count the window was drawn from), or ``None`` when empty.
+    Shared by :class:`LatencySeries` and cross-tenant aggregates."""
+    if not window:
+        return None
+    return {
+        "count": total,
+        "window": len(window),
+        "mean": round(sum(window) / len(window), digits),
+        "p50": round(percentile(window, 50.0), digits),
+        "p90": round(percentile(window, 90.0), digits),
+        "p99": round(percentile(window, 99.0), digits),
+        "max": round(max(window), digits),
+    }
+
+
+@dataclass
+class TenantMetrics:
+    """One tenant's service counters.
+
+    ``rejected`` is broken down by admission-failure stage (the
+    :class:`~repro.api.requests.FailureRecord` ``stage`` field:
+    ``"rate-limit"``, ``"queue-full"``, ...) so ``/stats`` shows *why*
+    a tenant is being pushed back, not just how hard.
+    """
+
+    admitted: int = 0
+    completed: int = 0
+    #: Completed requests whose SolveResult carried no winning result.
+    failed: int = 0
+    cancelled: int = 0
+    expired: int = 0
+    rejected: dict[str, int] = field(default_factory=dict)
+    queue_wait: LatencySeries = field(default_factory=LatencySeries)
+    service_time: LatencySeries = field(default_factory=LatencySeries)
+
+    @property
+    def n_rejected(self) -> int:
+        return sum(self.rejected.values())
+
+    def record_rejection(self, stage: str) -> None:
+        self.rejected[stage] = self.rejected.get(stage, 0) + 1
+
+    def snapshot(self) -> dict:
+        out: dict = {
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "expired": self.expired,
+            "rejected": dict(sorted(self.rejected.items())),
+            "n_rejected": self.n_rejected,
+        }
+        queue_wait = self.queue_wait.summary()
+        if queue_wait is not None:
+            out["queue_wait_s"] = queue_wait
+        service_time = self.service_time.summary()
+        if service_time is not None:
+            out["service_time_s"] = service_time
+        return out

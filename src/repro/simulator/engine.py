@@ -173,6 +173,7 @@ class SteadyStateSimulator:
         time_limit: float | None = None,
         max_events: int = 2_000_000,
         kernel: Literal["incremental", "naive"] | None = None,
+        warmup_results: int = 0,
     ) -> None:
         self.alloc = allocation
         self.inst = allocation.instance
@@ -185,6 +186,11 @@ class SteadyStateSimulator:
         if n_results <= 0:
             raise ModelError("n_results must be positive")
         self.n_results = n_results
+        if warmup_results < 0:
+            raise ModelError("warmup_results must be >= 0")
+        #: Minimum completions excluded from the achieved-rate window
+        #: (0 keeps the historical drop-first-third behaviour exactly).
+        self.warmup_results = warmup_results
         self.flow_policy = flow_policy
         self.kernel = _default_kernel if kernel is None else kernel
         if self.kernel not in FLOW_KERNELS:
@@ -511,8 +517,16 @@ class SteadyStateSimulator:
         comps = tuple(self.root_completions)
         achieved = 0.0
         if len(comps) >= 2:
-            # steady-state window: drop the first third (pipeline fill)
+            # steady-state window: drop the first third (pipeline fill);
+            # a warm-up floor widens the skip when the fill transient is
+            # known to outlast a third of the run (deep pipelines under
+            # short validation windows), clamped so at least the last
+            # two completions always remain measurable
             start = len(comps) // 3
+            if self.warmup_results:
+                start = min(
+                    max(start, self.warmup_results), len(comps) - 2
+                )
             span = comps[-1] - comps[start]
             if span > 0:
                 achieved = (len(comps) - 1 - start) / span

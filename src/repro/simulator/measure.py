@@ -51,12 +51,15 @@ def simulate_allocation(
     n_results: int = 50,
     flow_policy: str = "reserved",
     kernel: str | None = None,
+    warmup_results: int = 0,
 ) -> SimulationResult:
     """One steady-state run (defaults to the instance's target ρ).
 
     ``kernel`` picks the max-min implementation (``"incremental"`` /
     ``"naive"``); ``None`` uses the process default, controllable with
-    :func:`~repro.simulator.engine.flow_kernel`.
+    :func:`~repro.simulator.engine.flow_kernel`.  ``warmup_results``
+    floors how many leading completions the achieved-rate window skips
+    (0 keeps the historical drop-first-third window).
     """
     sim = SteadyStateSimulator(
         allocation,
@@ -64,6 +67,7 @@ def simulate_allocation(
         n_results=n_results,
         flow_policy=flow_policy,  # type: ignore[arg-type]
         kernel=kernel,  # type: ignore[arg-type]
+        warmup_results=warmup_results,
     )
     return sim.run()
 

@@ -1,0 +1,183 @@
+"""Wire-format round trips: requests ⇄ JSON dicts, losslessly.
+
+Property-style: requests are drawn from seeded generators across the
+whole field space, pushed through ``json.dumps``/``loads`` (so tuples
+really do become lists and come back), and must equal the original.
+Unknown fields are rejected with a close-match suggestion at every
+nesting level.
+"""
+
+import dataclasses
+import json
+import random
+
+import pytest
+
+from repro import quick_instance
+from repro.api import (
+    InstanceSpec,
+    ReplayRequest,
+    SolveRequest,
+    SweepRequest,
+    WireFormatError,
+    request_from_wire,
+    request_to_wire,
+)
+from repro.api.wire import WIRE_VERSION
+from repro.dynamic import make_trace
+from repro.io import instance_to_dict
+
+
+def _json_round(wire: dict) -> dict:
+    """Force a real serialization boundary."""
+    return json.loads(json.dumps(wire))
+
+
+def _random_solve_request(rng: random.Random) -> SolveRequest:
+    strategies = ("subtree-bottom-up", "random", "comp-greedy")
+    portfolio = (
+        tuple(rng.sample(strategies, rng.randint(1, 3)))
+        if rng.random() < 0.5 else None
+    )
+    return SolveRequest(
+        spec=InstanceSpec(
+            n_operators=rng.randint(5, 40),
+            alpha=rng.choice((0.9, 1.2, 1.7)),
+            seed=rng.randint(0, 999),
+            rho=rng.choice((1.0, 0.5)),
+        ),
+        strategy=rng.choice(strategies),
+        portfolio=portfolio,
+        server=rng.choice((None, "three-loop", "random")),
+        downgrade=rng.random() < 0.5,
+        refine=rng.choice((False, True, "local-search")),
+        seed=rng.choice((None, rng.randint(0, 2**31 - 1))),
+        time_budget_s=rng.choice((None, 1.5)),
+        label=rng.choice(("", "run-42")),
+    )
+
+
+def _random_replay_request(rng: random.Random) -> ReplayRequest:
+    return ReplayRequest(
+        trace=rng.choice(("ramp", "diurnal", "churn", "multi-app")),
+        policy=rng.choice(("static", "resolve", "harvest", "trade")),
+        seed=rng.randint(0, 999),
+        validate=rng.random() < 0.5,
+        n_results=rng.choice((10, 30)),
+        migration_cost=rng.choice((150.0, 25.0)),
+        salvage_fraction=rng.choice((0.5, 0.1)),
+        sim_kernel=rng.choice(("incremental", "naive")),
+        sim_warmup=rng.random() < 0.5,
+    )
+
+
+class TestSolveRoundTrip:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_spec_requests_round_trip_exactly(self, seed):
+        request = _random_solve_request(random.Random(seed))
+        assert request_from_wire(
+            _json_round(request_to_wire(request))
+        ) == request
+
+    def test_instance_request_round_trips_structurally(self):
+        instance = quick_instance(8, alpha=1.2, seed=5)
+        request = SolveRequest(instance=instance, seed=9, label="full")
+        back = request_from_wire(_json_round(request_to_wire(request)))
+        # ProblemInstance equality is identity-based; compare the
+        # canonical dict rendering plus every scalar field instead
+        assert instance_to_dict(back.instance) == instance_to_dict(instance)
+        for field in dataclasses.fields(SolveRequest):
+            if field.name == "instance":
+                continue
+            assert getattr(back, field.name) == getattr(request, field.name)
+
+    def test_kind_tag_present(self):
+        wire = request_to_wire(
+            SolveRequest(spec=InstanceSpec(seed=1))
+        )
+        assert wire["kind"] == "solve"
+        assert wire["version"] == WIRE_VERSION
+
+
+class TestReplayRoundTrip:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_round_trips_exactly(self, seed):
+        request = _random_replay_request(random.Random(seed))
+        assert request_from_wire(
+            _json_round(request_to_wire(request))
+        ) == request
+
+    def test_in_memory_trace_rejected_with_guidance(self):
+        request = ReplayRequest(trace=make_trace("ramp", seed=3))
+        with pytest.raises(WireFormatError, match="family name"):
+            request_to_wire(request)
+
+
+class TestSweepRoundTrip:
+    def test_round_trips_exactly(self):
+        from repro.experiments.config import small_high
+
+        request = SweepRequest.from_config_fn(
+            "fig3", "alpha", (0.9, 1.3, 1.7),
+            lambda a: small_high(alpha=a, n_instances=2),
+            heuristics=("subtree-bottom-up", "random"),
+        )
+        back = request_from_wire(_json_round(request_to_wire(request)))
+        assert back == request
+        assert isinstance(back.x_values, tuple)
+        assert all(
+            isinstance(c.size_range_mb, tuple)
+            for c in back.configs.values()
+        )
+
+
+class TestRejection:
+    def test_unknown_top_level_field_suggested(self):
+        wire = request_to_wire(SolveRequest(spec=InstanceSpec(seed=1)))
+        wire["portfolo"] = ["random"]
+        with pytest.raises(WireFormatError, match="did you mean 'portfolio'"):
+            request_from_wire(wire)
+
+    def test_unknown_spec_field_suggested(self):
+        wire = request_to_wire(SolveRequest(spec=InstanceSpec(seed=1)))
+        wire["spec"]["n_operator"] = 9
+        with pytest.raises(
+            WireFormatError, match="did you mean 'n_operators'"
+        ):
+            request_from_wire(wire)
+
+    def test_unknown_replay_field_suggested(self):
+        wire = request_to_wire(ReplayRequest(trace="ramp"))
+        wire["polcy"] = "harvest"
+        with pytest.raises(WireFormatError, match="did you mean 'policy'"):
+            request_from_wire(wire)
+
+    def test_unknown_kind_suggested(self):
+        with pytest.raises(WireFormatError, match="did you mean 'solve'"):
+            request_from_wire({"kind": "solv"})
+
+    def test_missing_kind(self):
+        with pytest.raises(WireFormatError, match="'kind'"):
+            request_from_wire({"strategy": "random"})
+
+    def test_non_object_payload(self):
+        with pytest.raises(WireFormatError, match="JSON object"):
+            request_from_wire([1, 2, 3])
+
+    def test_future_version_rejected(self):
+        wire = request_to_wire(SolveRequest(spec=InstanceSpec(seed=1)))
+        wire["version"] = WIRE_VERSION + 1
+        with pytest.raises(WireFormatError, match="wire version"):
+            request_from_wire(wire)
+
+    def test_bad_strategy_name_is_a_wire_error(self):
+        wire = request_to_wire(SolveRequest(spec=InstanceSpec(seed=1)))
+        wire["strategy"] = "subtree"  # registry typo → decode-time 400
+        with pytest.raises(WireFormatError, match="subtree-bottom-up"):
+            request_from_wire(wire)
+
+    def test_exclusive_instance_spec_violation(self):
+        wire = request_to_wire(SolveRequest(spec=InstanceSpec(seed=1)))
+        wire["spec"] = None
+        with pytest.raises(WireFormatError, match="exactly one"):
+            request_from_wire(wire)

@@ -1,0 +1,184 @@
+"""End-to-end in-process service tests — the issue's acceptance bar.
+
+Three tenants push mixed-priority requests through the broker; every
+result must be bit-identical (provenance seed included) to calling
+:func:`repro.api.solve` directly, on both the serial and the
+process-pool backend.  A quota-exceeding tenant is rejected with a
+structured record while the other tenants' requests all complete —
+per-tenant completion counts assert nobody starved.
+"""
+
+import pytest
+
+from repro.api import InstanceSpec, ReplayRequest, SolveRequest, solve
+from repro.api import replay as api_replay
+from repro.service import (
+    AdmissionRejected,
+    ServiceClient,
+    TenantConfig,
+)
+
+
+def _fingerprint(sr):
+    """Every observable output of one solve (same convention as
+    tests/api/test_executors.py), plus the effective seed."""
+    if not sr.ok:
+        return ("failed", sr.failures, sr.seed)
+    alloc = sr.result.allocation
+    return (
+        sr.result.cost,
+        sr.result.heuristic,
+        sr.result.server_strategy,
+        tuple(sorted(alloc.assignment.items())),
+        tuple(sorted((u, k, s) for (u, k), s in alloc.downloads.items())),
+        tuple(p.spec for p in alloc.processors),
+        sr.failures,
+        sr.seed,
+    )
+
+
+def _tenant_requests() -> dict[str, list[tuple[SolveRequest, int]]]:
+    """3 tenants × mixed priorities, including a portfolio and an
+    infeasible instance (failure records must round-trip too)."""
+    return {
+        "alpha": [
+            (SolveRequest(spec=InstanceSpec(n_operators=8, seed=1),
+                          seed=1, label="a1"), 0),
+            (SolveRequest(spec=InstanceSpec(n_operators=10, alpha=1.2,
+                                            seed=2),
+                          portfolio=("subtree-bottom-up", "random"),
+                          seed=2, label="a2"), 5),
+        ],
+        "beta": [
+            (SolveRequest(spec=InstanceSpec(n_operators=12, alpha=1.4,
+                                            seed=3),
+                          seed=3, label="b1"), 2),
+            (SolveRequest(spec=InstanceSpec(n_operators=8, alpha=3.5,
+                                            seed=4),
+                          seed=4, label="b2-infeasible"), 0),
+        ],
+        "gamma": [
+            (SolveRequest(spec=InstanceSpec(n_operators=9, seed=5),
+                          strategy="comp-greedy", seed=5,
+                          label="g1"), 1),
+        ],
+    }
+
+
+class TestBitIdenticalToDirectSolve:
+    @pytest.mark.parametrize("jobs,backend", [(1, "serial"),
+                                              (2, "process-pool")])
+    def test_three_tenants_mixed_priorities(self, jobs, backend):
+        requests = _tenant_requests()
+        direct = {
+            request.label: _fingerprint(solve(request))
+            for batch in requests.values()
+            for request, _ in batch
+        }
+        with ServiceClient(jobs=jobs, max_in_flight=2) as client:
+            assert client.service.executor.name == backend
+            pending = [
+                (request.label,
+                 client.submit(request, tenant=tenant, priority=priority))
+                for tenant, batch in requests.items()
+                for request, priority in batch
+            ]
+            via_service = {
+                label: _fingerprint(handle.result(timeout=300))
+                for label, handle in pending
+            }
+            stats = client.stats()
+        assert via_service == direct
+        assert stats["totals"]["completed"] == 5
+        assert stats["totals"]["rejected"] == 0
+        # the infeasible instance is a *completed* request whose result
+        # carries failure records — not a service failure
+        assert stats["tenants"]["beta"]["completed"] == 2
+
+    def test_replay_request_identical_to_direct(self):
+        request = ReplayRequest(trace="multi-app", policy="harvest",
+                                seed=7, n_results=10)
+        direct = api_replay(request)
+        with ServiceClient() as client:
+            via_service = client.solve(request, tenant="dyn")
+        # ReplayResult is plain frozen data — exact equality holds
+        assert via_service == direct
+        assert via_service.to_json() == direct.to_json()
+
+
+class TestQuotaIsolation:
+    def test_rate_limited_tenant_rejected_others_unstarved(self):
+        """The no-starvation acceptance check: 'greedy' burns its
+        2-request budget and gets structured rejections, while 'polite'
+        and 'modest' complete every request."""
+        requests = {
+            tenant: [
+                SolveRequest(spec=InstanceSpec(n_operators=7, seed=s),
+                             seed=s, label=f"{tenant}-{s}")
+                for s in range(3)
+            ]
+            for tenant in ("greedy", "polite", "modest")
+        }
+        rejections = []
+        with ServiceClient(
+            tenants=(TenantConfig("greedy", rate_per_s=0.0, burst=2),),
+            max_in_flight=1,
+        ) as client:
+            pending = []
+            for tenant, batch in requests.items():
+                for request in batch:
+                    try:
+                        pending.append(
+                            client.submit(request, tenant=tenant)
+                        )
+                    except AdmissionRejected as err:
+                        rejections.append(err.record)
+            results = [p.result(timeout=300) for p in pending]
+            stats = client.stats()
+
+        assert len(rejections) == 1  # greedy's third request
+        record = rejections[0]
+        assert record.stage == "rate-limit"
+        assert record.error_type == "AdmissionError"
+        assert record.strategy == "tenant:greedy"
+        assert all(r.ok for r in results)
+        per_tenant = {
+            name: stats["tenants"][name]["completed"]
+            for name in requests
+        }
+        assert per_tenant == {"greedy": 2, "polite": 3, "modest": 3}
+        assert stats["tenants"]["greedy"]["rejected"] == {"rate-limit": 1}
+        assert stats["tenants"]["polite"]["n_rejected"] == 0
+        assert stats["tenants"]["modest"]["n_rejected"] == 0
+
+
+class TestClientLifecycle:
+    def test_unstarted_client_raises(self):
+        client = ServiceClient()
+        with pytest.raises(RuntimeError, match="not started"):
+            client.stats()
+
+    def test_close_is_idempotent(self):
+        client = ServiceClient().start()
+        client.close()
+        client.close()
+
+    def test_pending_cancel_while_queued(self):
+        slow = SolveRequest(
+            spec=InstanceSpec(n_operators=25, alpha=1.5, seed=11),
+            portfolio=("subtree-bottom-up", "comp-greedy",
+                       "comm-greedy", "random"),
+            seed=11,
+        )
+        quick = SolveRequest(spec=InstanceSpec(n_operators=6, seed=1),
+                             seed=1)
+        with ServiceClient(max_in_flight=1) as client:
+            first = client.submit(slow)
+            victim = client.submit(quick)
+            cancelled = victim.cancel()
+            if cancelled:  # queued long enough to be cancellable
+                import concurrent.futures
+
+                with pytest.raises(concurrent.futures.CancelledError):
+                    victim.result(timeout=60)
+            assert first.result(timeout=300).ok

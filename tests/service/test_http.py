@@ -1,0 +1,186 @@
+"""The HTTP front door, end to end over a real localhost socket."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.api import InstanceSpec, ReplayRequest, SolveRequest, solve
+from repro.service import (
+    AllocationService,
+    HttpServiceClient,
+    ServiceError,
+    ServiceHTTPServer,
+    TenantConfig,
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One shared service + HTTP server on a free port, hosted on a
+    background event-loop thread."""
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    http_server = ServiceHTTPServer(
+        AllocationService(
+            tenants=(TenantConfig("limited", rate_per_s=0.0, burst=1),),
+        ),
+        port=0,
+    )
+    asyncio.run_coroutine_threadsafe(http_server.start(), loop).result(30)
+    yield http_server
+    asyncio.run_coroutine_threadsafe(http_server.aclose(), loop).result(30)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=10)
+
+
+@pytest.fixture()
+def client(server):
+    return HttpServiceClient(f"http://127.0.0.1:{server.port}")
+
+
+class TestRoutes:
+    def test_healthz(self, client):
+        assert client.health() == {"ok": True}
+
+    def test_submit_solve_matches_direct(self, client):
+        request = SolveRequest(
+            spec=InstanceSpec(n_operators=10, alpha=1.2, seed=3), seed=3
+        )
+        response = client.submit(request, tenant="acme", priority=2)
+        direct = solve(request)
+        assert response["kind"] == "solve"
+        assert response["tenant"] == "acme"
+        body = response["result"]
+        assert body["ok"] is True
+        assert body["cost"] == direct.cost
+        assert body["seed"] == direct.seed
+        assert body["heuristic"] == direct.heuristic
+        assert body["n_processors"] == direct.n_processors
+
+    def test_submit_replay(self, client):
+        request = ReplayRequest(trace="multi-app", policy="harvest",
+                                seed=7, n_results=10)
+        response = client.submit(request, tenant="dyn")
+        from repro.api import replay as api_replay
+
+        assert response["kind"] == "replay"
+        assert response["result"] == api_replay(request).to_dict()
+
+    def test_stats_reflect_traffic(self, client):
+        stats = client.stats()
+        assert stats["service"]["backend"] == "serial"
+        assert stats["totals"]["admitted"] >= 1
+        assert "acme" in stats["tenants"]
+
+    def test_register_tenant(self, client):
+        assert client.register_tenant(
+            "newbie", weight=2, max_queued=5
+        ) == {"registered": "newbie"}
+        stats = client.stats()
+        assert stats["tenants"]["newbie"]["weight"] == 2
+
+    def test_cancel_unknown_ticket(self, client):
+        assert client.cancel(991199) is False
+
+
+class TestErrors:
+    def test_rate_limited_tenant_gets_429_with_record(self, client):
+        request = SolveRequest(spec=InstanceSpec(n_operators=6, seed=1),
+                               seed=1)
+        client.submit(request, tenant="limited")  # burns the only token
+        with pytest.raises(ServiceError) as exc_info:
+            client.submit(request, tenant="limited")
+        err = exc_info.value
+        assert err.rejected
+        assert err.status == 429
+        assert err.payload["failure"]["stage"] == "rate-limit"
+        assert err.payload["failure"]["error_type"] == "AdmissionError"
+
+    def test_unknown_route_404_lists_routes(self, client):
+        with pytest.raises(ServiceError) as exc_info:
+            client._request("GET", "/nope")
+        assert exc_info.value.status == 404
+        assert "/v1/submit" in exc_info.value.payload["error"]
+
+    def test_wrong_method_405(self, client):
+        with pytest.raises(ServiceError) as exc_info:
+            client._request("GET", "/v1/submit")
+        assert exc_info.value.status == 405
+
+    def test_bad_wire_payload_400(self, client):
+        with pytest.raises(ServiceError) as exc_info:
+            client._request(
+                "POST", "/v1/submit",
+                {"request": {"kind": "solve", "spec": {"seed": 1},
+                             "strategi": "random"}},
+            )
+        err = exc_info.value
+        assert err.status == 400
+        assert "did you mean 'strategy'" in err.payload["error"]
+
+    def test_unknown_submit_field_400(self, client):
+        with pytest.raises(ServiceError) as exc_info:
+            client._request(
+                "POST", "/v1/submit",
+                {"tennant": "x",
+                 "request": {"kind": "solve", "spec": {"seed": 1}}},
+            )
+        assert "did you mean 'tenant'" in exc_info.value.payload["error"]
+
+    def test_missing_request_field_400(self, client):
+        with pytest.raises(ServiceError) as exc_info:
+            client._request("POST", "/v1/submit", {"tenant": "x"})
+        assert exc_info.value.status == 400
+
+    def test_invalid_json_400(self, client):
+        import http.client as hc
+
+        conn = hc.HTTPConnection(client.host, client.port, timeout=30)
+        try:
+            conn.request(
+                "POST", "/v1/submit", body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 400
+        finally:
+            conn.close()
+
+    def test_bad_tenant_config_400(self, client):
+        with pytest.raises(ServiceError) as exc_info:
+            client.register_tenant("x", weight=0)
+        assert exc_info.value.status == 400
+        with pytest.raises(ServiceError) as exc_info:
+            client.register_tenant("y", wieght=2)
+        assert "did you mean 'weight'" in exc_info.value.payload["error"]
+
+
+class TestReadTimeout:
+    def test_stalled_client_gets_408_and_frees_the_handler(self):
+        """A connection that never finishes sending its request must
+        be answered (408) and released, not pinned forever."""
+        import socket
+
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        server = ServiceHTTPServer(
+            AllocationService(), port=0, read_timeout=0.3
+        )
+        asyncio.run_coroutine_threadsafe(server.start(), loop).result(30)
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=10
+            ) as sock:
+                sock.sendall(b"POST /v1/submit HTTP/1.1\r\n")  # ...stall
+                sock.settimeout(10)
+                response = sock.recv(4096)
+            assert b"408" in response.split(b"\r\n", 1)[0]
+        finally:
+            asyncio.run_coroutine_threadsafe(
+                server.aclose(), loop
+            ).result(30)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=10)

@@ -1,0 +1,65 @@
+"""Percentiles and counter snapshots."""
+
+import pytest
+
+from repro.service.metrics import LatencySeries, TenantMetrics, percentile
+
+
+class TestPercentile:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+    def test_single_value(self):
+        assert percentile([3.5], 99.0) == 3.5
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == 2.5
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 5.0
+
+    def test_matches_numpy_linear(self):
+        np = pytest.importorskip("numpy")
+        values = [0.3, 1.2, 0.01, 7.5, 2.2, 2.2, 0.9]
+        for q in (10, 50, 90, 99):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+
+class TestLatencySeries:
+    def test_empty_summary_is_none(self):
+        assert LatencySeries().summary() is None
+
+    def test_summary_fields(self):
+        series = LatencySeries()
+        for v in (0.1, 0.2, 0.3, 0.4):
+            series.record(v)
+        summary = series.summary()
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(0.25)
+        assert summary["p50"] == pytest.approx(0.25)
+        assert summary["max"] == pytest.approx(0.4)
+
+
+class TestTenantMetrics:
+    def test_rejection_breakdown(self):
+        metrics = TenantMetrics()
+        metrics.record_rejection("rate-limit")
+        metrics.record_rejection("rate-limit")
+        metrics.record_rejection("queue-full")
+        assert metrics.n_rejected == 3
+        snap = metrics.snapshot()
+        assert snap["rejected"] == {"queue-full": 1, "rate-limit": 2}
+
+    def test_snapshot_omits_empty_series(self):
+        snap = TenantMetrics().snapshot()
+        assert "queue_wait_s" not in snap
+        assert "service_time_s" not in snap

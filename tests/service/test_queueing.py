@@ -1,0 +1,208 @@
+"""FairQueue invariants: priorities, fairness, FIFO, lazy cancellation.
+
+These are the scheduling guarantees the broker builds on, tested as a
+pure data structure — no event loop anywhere.
+"""
+
+from repro.service.queueing import FairQueue, QueuedTicket
+
+WEIGHTS = {}
+
+
+def _weight(tenant: str) -> int:
+    return WEIGHTS.get(tenant, 1)
+
+
+def make_queue() -> FairQueue:
+    WEIGHTS.clear()
+    return FairQueue(weight_of=_weight)
+
+
+_ids = iter(range(1, 100000))
+
+
+def push(q: FairQueue, tenant: str, priority: int = 0,
+         payload=None) -> QueuedTicket:
+    ticket = QueuedTicket(
+        id=next(_ids), tenant=tenant, priority=priority, payload=payload
+    )
+    q.push(ticket)
+    return ticket
+
+
+def drain(q: FairQueue, eligible=None) -> list[QueuedTicket]:
+    out = []
+    while True:
+        ticket = q.pop(eligible=eligible)
+        if ticket is None:
+            return out
+        out.append(ticket)
+
+
+class TestPriorities:
+    def test_higher_priority_always_first(self):
+        q = make_queue()
+        low = push(q, "a", priority=0)
+        high = push(q, "a", priority=5)
+        mid = push(q, "b", priority=2)
+        assert [t.id for t in drain(q)] == [high.id, mid.id, low.id]
+
+    def test_fifo_within_tenant_and_class(self):
+        q = make_queue()
+        first = push(q, "a")
+        second = push(q, "a")
+        third = push(q, "a")
+        assert [t.id for t in drain(q)] == [first.id, second.id, third.id]
+
+    def test_priority_beats_arrival_order(self):
+        q = make_queue()
+        early = push(q, "a", priority=0)
+        late = push(q, "a", priority=1)
+        assert q.pop().id == late.id
+        assert q.pop().id == early.id
+
+
+class TestFairness:
+    def test_equal_weights_alternate(self):
+        q = make_queue()
+        for _ in range(3):
+            push(q, "heavy")
+        for _ in range(3):
+            push(q, "light")
+        tenants = [t.tenant for t in drain(q)]
+        assert tenants == ["heavy", "light"] * 3
+
+    def test_flooding_tenant_cannot_starve_others(self):
+        """The no-starvation assertion of the issue: one tenant floods
+        100 requests; another tenant's 3 requests still come out once
+        per rotation, not after the flood."""
+        q = make_queue()
+        for _ in range(100):
+            push(q, "flood")
+        for _ in range(3):
+            push(q, "meek")
+        order = [t.tenant for t in drain(q)]
+        # meek's requests appear at positions 1, 3, 5 (every other pop)
+        assert [i for i, t in enumerate(order) if t == "meek"] == [1, 3, 5]
+
+    def test_weights_shape_the_ratio(self):
+        WEIGHTS_BACKUP = dict(WEIGHTS)
+        q = make_queue()
+        WEIGHTS.update({"gold": 3, "bronze": 1})
+        for _ in range(9):
+            push(q, "gold")
+        for _ in range(3):
+            push(q, "bronze")
+        order = [t.tenant for t in drain(q)]
+        # per rotation: three gold, one bronze
+        assert order == ["gold", "gold", "gold", "bronze"] * 3
+        WEIGHTS.clear()
+        WEIGHTS.update(WEIGHTS_BACKUP)
+
+    def test_idle_tenant_share_is_redistributed(self):
+        q = make_queue()
+        push(q, "a")
+        push(q, "a")
+        push(q, "a")
+        # b never submits; a gets every slot, no idling
+        assert [t.tenant for t in drain(q)] == ["a", "a", "a"]
+
+
+class TestEligibility:
+    def test_ineligible_tenant_is_passed_over_not_dropped(self):
+        q = make_queue()
+        blocked = push(q, "busy")
+        free = push(q, "idle")
+        assert q.pop(eligible=lambda t: t != "busy").id == free.id
+        # once eligible again, the passed-over ticket dequeues
+        assert q.pop().id == blocked.id
+
+    def test_nothing_eligible_returns_none_without_losing_tickets(self):
+        q = make_queue()
+        push(q, "a")
+        push(q, "b")
+        assert q.pop(eligible=lambda t: False) is None
+        assert len(q) == 2
+        assert len(drain(q)) == 2
+
+
+class TestLazyCancellation:
+    def test_cancelled_ticket_never_pops(self):
+        q = make_queue()
+        keep = push(q, "a")
+        drop = push(q, "a")
+        last = push(q, "a")
+        assert q.cancel(drop)
+        assert [t.id for t in drain(q)] == [keep.id, last.id]
+
+    def test_cancel_is_idempotent_and_guards_popped(self):
+        q = make_queue()
+        ticket = push(q, "a")
+        assert q.cancel(ticket)
+        assert not q.cancel(ticket)  # already cancelled
+        fresh = push(q, "a")
+        popped = q.pop()
+        assert popped.id == fresh.id
+        assert not q.cancel(popped)  # already handed out
+        assert len(q) == 0
+
+    def test_live_count_excludes_cancelled(self):
+        q = make_queue()
+        a = push(q, "a")
+        push(q, "a")
+        assert len(q) == 2
+        q.cancel(a)
+        assert len(q) == 1
+        assert [t.cancelled for t in q.live_tickets()] == [False]
+
+
+class TestPruning:
+    """Client-controlled tenant names and priority ints must not
+    accumulate: drained lanes and priority classes are removed."""
+
+    def test_drained_lanes_and_classes_are_pruned(self):
+        q = make_queue()
+        for tenant in ("ghost-a", "ghost-b"):
+            for priority in (0, 3, 7):
+                push(q, tenant, priority=priority)
+        assert len(drain(q)) == 6
+        assert q._classes == {}
+        assert q._priorities == []
+
+    def test_cancelled_only_lanes_are_pruned_on_pop(self):
+        q = make_queue()
+        doomed = push(q, "ghost", priority=2)
+        q.cancel(doomed)
+        keep = push(q, "real", priority=0)
+        assert q.pop().id == keep.id
+        assert q.pop() is None
+        assert q._classes == {}
+
+    def test_returning_tenant_rejoins_cleanly(self):
+        q = make_queue()
+        push(q, "a")
+        push(q, "b")
+        assert len(drain(q)) == 2
+        again = push(q, "a")
+        assert q.pop().id == again.id
+
+    def test_cancel_sheds_payload_and_prunes_lane_edges(self):
+        """A submit+cancel loop while nothing pops (all worker slots
+        busy) must not retain requests: edge tombstones go at cancel
+        time, interior ones become payload-free stubs."""
+        q = make_queue()
+        survivor = push(q, "t", payload="keep-me")
+        doomed = [push(q, "t", payload=f"big-{i}") for i in range(50)]
+        for ticket in doomed:
+            q.cancel(ticket)
+        # all 50 were at the back edge → physically removed
+        lane = q._classes[0].lanes["t"]
+        assert list(lane) == [survivor]
+        assert all(t.payload is None for t in doomed)
+        # an interior tombstone (live on both sides) is kept as a stub
+        mid = push(q, "t", payload="mid")
+        tail = push(q, "t", payload="tail")
+        q.cancel(mid)
+        assert list(lane) == [survivor, mid, tail]
+        assert mid.payload is None
+        assert [t.id for t in drain(q)] == [survivor.id, tail.id]

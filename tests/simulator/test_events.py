@@ -105,6 +105,50 @@ class TestLazyCancellation:
         assert len(q) == 2  # no supersede without a key
 
 
+class TestCancelRescheduleCycles:
+    """The invariant the service's validated replays lean on (PR 3):
+    however many times a key is cancelled and rescheduled, exactly the
+    *last-scheduled* event under that key ever dispatches."""
+
+    def test_cancel_then_reschedule_twice_dispatches_only_the_last(self):
+        q = EventQueue()
+        q.push(5.0, TransferFinished(("f", "v1")), key="f")
+        # cycle 1: cancel, reschedule
+        assert q.cancel("f")
+        q.push(3.0, TransferFinished(("f", "v2")), key="f")
+        # cycle 2: cancel, reschedule again
+        assert q.cancel("f")
+        q.push(4.0, TransferFinished(("f", "v3")), key="f")
+        assert len(q) == 1  # three heap entries, one live
+        when, event = q.pop()
+        assert (when, event.flow_key) == (4.0, ("f", "v3"))
+        assert not q  # both dead entries pruned silently, never popped
+
+    def test_supersede_then_cancel_then_reschedule(self):
+        q = EventQueue()
+        q.push(5.0, TransferFinished(("f", "v1")), key="f")
+        q.push(2.0, TransferFinished(("f", "v2")), key="f")  # supersede
+        assert q.cancel("f")
+        assert not q
+        q.push(6.0, TransferFinished(("f", "v3")), key="f")
+        assert len(q) == 1
+        drained = []
+        while q:
+            drained.append(q.pop())
+        assert drained == [(6.0, TransferFinished(("f", "v3")))]
+
+    def test_interleaved_keys_keep_independent_cycles(self):
+        q = EventQueue()
+        q.push(1.0, TransferFinished(("a", 1)), key="a")
+        q.push(2.0, TransferFinished(("b", 1)), key="b")
+        q.cancel("a")
+        q.push(3.0, TransferFinished(("a", 2)), key="a")
+        q.cancel("b")
+        q.push(1.5, TransferFinished(("b", 2)), key="b")
+        order = [q.pop()[1].flow_key for _ in range(2)]
+        assert order == [("b", 2), ("a", 2)]
+
+
 class TestEventTypes:
     def test_events_are_frozen(self):
         ev = SourceRelease(1, 2)

@@ -181,3 +181,71 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "lower bound" in out and "compute-fractional" in out
+
+
+class TestServiceCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8642
+        assert args.jobs == 1
+        assert args.tenant is None
+        assert not args.no_auto_register
+
+    def test_serve_parser_tenants_repeatable(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--tenant", "a,weight=2",
+             "--tenant", "b,rate=5,burst=2", "--no-auto-register"]
+        )
+        assert args.tenant == ["a,weight=2", "b,rate=5,burst=2"]
+        assert args.no_auto_register
+
+    def test_serve_bad_tenant_spec_exits_2(self, capsys):
+        assert main(["serve", "--tenant", "a,wieght=2"]) == 2
+        assert "did you mean 'weight'" in capsys.readouterr().err
+
+    def test_submit_parser_defaults(self):
+        args = build_parser().parse_args(["submit"])
+        assert args.url == "http://127.0.0.1:8642"
+        assert args.tenant == "default"
+        assert args.priority == 0
+        assert args.deadline is None
+
+    def test_submit_unreachable_service_exits_1(self, capsys):
+        # a port from the TEST-NET range nobody listens on
+        assert main(
+            ["submit", "--url", "http://127.0.0.1:9", "-n", "6"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "cannot reach" in err or "HTTP" in err
+
+    def test_submit_stats_against_live_service(self, capsys):
+        """serve + submit round trip, fully in-process: the HTTP server
+        runs on a background loop thread, the CLI submit talks to it."""
+        import asyncio
+        import threading
+
+        from repro.service import AllocationService, ServiceHTTPServer
+
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        server = ServiceHTTPServer(AllocationService(), port=0)
+        asyncio.run_coroutine_threadsafe(server.start(), loop).result(30)
+        url = f"http://127.0.0.1:{server.port}"
+        try:
+            assert main(
+                ["submit", "--url", url, "-n", "8", "-s", "3",
+                 "--tenant", "cli"]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "ticket #" in out and "$" in out
+            assert main(["submit", "--url", url, "--stats"]) == 0
+            stats_out = capsys.readouterr().out
+            assert '"cli"' in stats_out
+        finally:
+            asyncio.run_coroutine_threadsafe(
+                server.aclose(), loop
+            ).result(30)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=10)
