@@ -66,6 +66,25 @@ def main() -> None:
         f" {static.n_epochs} epochs."
     )
 
+    # Price moves by *displaced state* instead of a flat fee: each
+    # migration now costs $/MB of subtree leaf mass, so the repair
+    # planner refuses consolidations whose state bill exceeds the
+    # salvage credit they earn (see README "Pricing reconfiguration").
+    from repro.api import replay
+
+    sized = replay(
+        ReplayRequest(
+            trace=trace, policy="harvest",
+            migration_model="state-size",
+        )
+    )
+    print(
+        f"\nunder state-size pricing harvest displaces"
+        f" {sized.total_state_moved_mb:,.0f} MB of operator state"
+        f" ({sized.total_heavy_migrations} heavy moves,"
+        f" ${sized.cumulative_cost:,.0f} cumulative)."
+    )
+
 
 # the process-pool backend re-imports this module in its workers, so
 # the work must live behind the __main__ guard (spawn start method)

@@ -12,6 +12,7 @@ subsumes all three behind one namespaced lookup::
     make("server", "three-loop")             # a ServerSelection
     make("policy", "harvest")                # a ReallocationPolicy
     make("refine", "local-search")           # the refinement callable
+    make("migration", "state-size")          # a MigrationCostModel
 
 Strategy *references* may also be written fully qualified —
 ``"placement:subtree-bottom-up"`` — which :func:`parse` splits; the
@@ -59,8 +60,10 @@ __all__ = [
     "set_server_pairing",
 ]
 
-#: The four strategy kinds of the allocation service.
-NAMESPACES: tuple[str, ...] = ("placement", "server", "policy", "refine")
+#: The five strategy kinds of the allocation service.
+NAMESPACES: tuple[str, ...] = (
+    "placement", "server", "policy", "refine", "migration"
+)
 
 _REGISTRY: dict[str, dict[str, Callable]] = {ns: {} for ns in NAMESPACES}
 #: placement name → server-selection name (the paper's §4.2 pairing);
@@ -148,6 +151,15 @@ def _bootstrap() -> None:
         _REGISTRY["refine"].setdefault(
             "local-search", lambda: refine_placement
         )
+        from ..dynamic.transition import MIGRATION_MODELS, MigrationCostModel
+
+        for model_name in MIGRATION_MODELS:
+            _REGISTRY["migration"].setdefault(
+                model_name,
+                (lambda _n: lambda **kw: MigrationCostModel(name=_n, **kw))(
+                    model_name
+                ),
+            )
         # the paper's §4.2 pairing: Random placement → random selection.
         _SERVER_PAIRING.setdefault("random", "random")
         _bootstrapped = True

@@ -31,6 +31,7 @@ from ..core.pipeline import AllocationResult
 from ..core.problem import ProblemInstance
 from ..dynamic.replay import (
     DEFAULT_MIGRATION_COST,
+    DEFAULT_MIGRATION_COST_PER_MB,
     DEFAULT_SALVAGE_FRACTION,
 )
 from ..dynamic.traces import WorkloadTrace
@@ -296,9 +297,23 @@ class ReplayRequest:
     #: past it (see :func:`repro.dynamic.replay.pipeline_warmup_results`).
     #: Default off — the legacy fixed window.
     sim_warmup: bool = False
+    #: Migration-cost model (``migration`` registry namespace):
+    #: ``"flat"`` charges ``migration_cost`` per moved operator
+    #: (bit-identical to the legacy pricing); ``"state-size"`` charges
+    #: ``migration_cost_per_mb`` per MB of displaced operator state
+    #: (subtree leaf mass) — moving the root costs the application,
+    #: moving a leaf costs almost nothing.
+    migration_model: str = "flat"
+    migration_cost_per_mb: float = DEFAULT_MIGRATION_COST_PER_MB
+    #: Simulate each reallocation *transition* (drain + state-transfer
+    #: flows injected into the elastic flow network) and attach the
+    #: measured throughput dip / drain time / SLA-violation seconds to
+    #: the epoch as a TransitionRecord.  Default off.
+    sim_transitions: bool = False
 
     def __post_init__(self) -> None:
         _check_ref(self.policy, "policy")
+        _check_ref(self.migration_model, "migration")
         # mirrors repro.simulator.engine.FLOW_KERNELS (cross-checked in
         # tests) — importing the simulator here would drag the whole
         # engine into every request construction, validated or not

@@ -239,6 +239,9 @@ def _replay_task(request: ReplayRequest) -> ReplayResult:
         salvage_fraction=request.salvage_fraction,
         sim_kernel=request.sim_kernel,
         sim_warmup=request.sim_warmup,
+        migration_model=request.migration_model,
+        migration_cost_per_mb=request.migration_cost_per_mb,
+        sim_transitions=request.sim_transitions,
     )
 
 

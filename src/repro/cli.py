@@ -23,7 +23,11 @@ Subcommands
     Replay a changing workload trace (ρ ramps, diurnal cycles, object
     frequency shifts, server churn, application arrival/departure)
     under one or more online re-allocation policies (static / resolve /
-    harvest / trade), pricing every reconfiguration.
+    harvest / trade), pricing every reconfiguration.  Migration
+    pricing is selectable (``--migration-model state-size`` charges by
+    displaced operator state instead of a flat fee) and
+    ``--transitions`` simulates each reallocation's drain +
+    state-transfer traffic, reporting the mid-transition SLA dip.
 ``serve``
     Run the standing multi-tenant allocation service: JSON-over-HTTP
     front door with per-tenant quotas, priorities, and fair-share
@@ -145,6 +149,19 @@ def build_parser() -> argparse.ArgumentParser:
                     help="worker processes (policies replay in parallel)")
     pd.add_argument("--validate", action="store_true",
                     help="validate every epoch in the simulator")
+    pd.add_argument("--no-warmup", action="store_true",
+                    help="validate with the legacy fixed measurement"
+                         " window instead of the warm-up-aware one")
+    pd.add_argument("--migration-model",
+                    choices=("flat", "state-size"), default="flat",
+                    help="migration pricing: flat $/operator (default)"
+                         " or state-size $/MB of subtree leaf mass")
+    pd.add_argument("--migration-cost-per-mb", type=float, default=None,
+                    metavar="USD",
+                    help="$ per MB of displaced state (state-size model)")
+    pd.add_argument("--transitions", action="store_true",
+                    help="simulate each reallocation transition (drain +"
+                         " state-transfer flows) and report the SLA dip")
     pd.add_argument("--table", action="store_true",
                     help="print the per-epoch table per policy")
     pd.add_argument("--json", type=str, default=None,
@@ -380,7 +397,11 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
 
 def _cmd_dynamic(args: argparse.Namespace) -> int:
     from .api import ReplayRequest, replay_many
-    from .dynamic import POLICY_ORDER, make_trace
+    from .dynamic import (
+        DEFAULT_MIGRATION_COST_PER_MB,
+        POLICY_ORDER,
+        make_trace,
+    )
 
     trace = make_trace(args.trace, seed=args.seed)
     print(
@@ -388,13 +409,43 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
         f" initial instance {trace.initial.name or repr(trace.initial)}"
     )
     names = args.policy or list(POLICY_ORDER)
+    per_mb = (
+        args.migration_cost_per_mb
+        if args.migration_cost_per_mb is not None
+        else DEFAULT_MIGRATION_COST_PER_MB
+    )
     requests = [
-        ReplayRequest(trace=trace, policy=name, validate=args.validate)
+        ReplayRequest(
+            trace=trace, policy=name, validate=args.validate,
+            sim_warmup=args.validate and not args.no_warmup,
+            migration_model=args.migration_model,
+            migration_cost_per_mb=per_mb,
+            sim_transitions=args.transitions,
+        )
         for name in names
     ]
     results = replay_many(requests, executor=args.jobs)
     for result in results:
         print(result.summary())
+        if args.migration_model != "flat":
+            print(
+                f"         state moved"
+                f" {result.total_state_moved_mb:,.0f} MB"
+                f" ({result.total_heavy_migrations} heavy moves)"
+            )
+        if args.transitions:
+            dips = [
+                r.transition for r in result.records
+                if r.transition is not None
+            ]
+            if dips:
+                worst = max(t.throughput_dip for t in dips)
+                sla = sum(t.sla_violation_s for t in dips)
+                print(
+                    f"         {len(dips)} simulated transition(s):"
+                    f" worst dip {worst:.1%},"
+                    f" {sla:.2f}s below SLA in total"
+                )
         if args.table:
             print(result.table())
     if args.json:

@@ -16,7 +16,11 @@ online system:
   patches a running allocation instead of re-solving from scratch;
 * :mod:`repro.dynamic.replay` — the replay driver walking a trace,
   invoking a policy per event, pricing reconfiguration, and optionally
-  validating every epoch in the steady-state simulator.
+  validating every epoch in the steady-state simulator;
+* :mod:`repro.dynamic.transition` — migration-cost models (flat vs
+  state-size) and the reconfiguration transition simulator that
+  injects drain + state-transfer flows to measure mid-transition SLA
+  dips.
 """
 
 from .policies import (
@@ -40,10 +44,23 @@ from .replay import (
     DEFAULT_MIGRATION_COST,
     DEFAULT_SALVAGE_FRACTION,
     EpochRecord,
+    ReconcilePlan,
     ReconfigDelta,
     ReplayResult,
     reconcile,
+    reconcile_plan,
     replay,
+)
+from .transition import (
+    DEFAULT_MIGRATION_COST_PER_MB,
+    HEAVY_STATE_FRACTION,
+    MIGRATION_MODELS,
+    MigrationCostModel,
+    MigrationMove,
+    MigrationPricing,
+    TransitionRecord,
+    make_migration_model,
+    simulate_transition,
 )
 from .traces import (
     TRACE_FACTORIES,
@@ -60,12 +77,19 @@ from .traces import (
 
 __all__ = [
     "DEFAULT_MIGRATION_COST",
+    "DEFAULT_MIGRATION_COST_PER_MB",
     "DEFAULT_SALVAGE_FRACTION",
     "EpochRecord",
+    "HEAVY_STATE_FRACTION",
     "HarvestPolicy",
+    "MIGRATION_MODELS",
+    "MigrationCostModel",
+    "MigrationMove",
+    "MigrationPricing",
     "POLICY_FACTORIES",
     "POLICY_ORDER",
     "ReallocationPolicy",
+    "ReconcilePlan",
     "ReconfigDelta",
     "RepairCarry",
     "RepairOutcome",
@@ -76,17 +100,21 @@ __all__ = [
     "TRACE_ORDER",
     "TraceEvent",
     "TradePolicy",
+    "TransitionRecord",
     "WorkloadTrace",
     "all_policies",
     "churn_trace",
     "diurnal_trace",
     "frequency_shift_trace",
+    "make_migration_model",
     "make_policy",
     "make_trace",
     "match_operators",
     "multi_app_trace",
     "ramp_trace",
     "reconcile",
+    "reconcile_plan",
     "repair_allocation",
     "replay",
+    "simulate_transition",
 ]

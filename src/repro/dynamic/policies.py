@@ -96,6 +96,13 @@ class ReallocationPolicy(ABC):
         result = allocate(instance, self.heuristic, rng=rng)
         return PolicyDecision(allocation=result.allocation, action="initial")
 
+    def configure_pricing(self, pricing) -> None:
+        """Hand the policy a
+        :class:`~repro.dynamic.transition.MigrationPricing` so it can
+        weigh moves against money.  The default is to ignore it —
+        ``static`` never moves and ``resolve`` re-plans wholesale; the
+        repair-based policies override this."""
+
     @abstractmethod
     def react(
         self,
@@ -187,6 +194,10 @@ class _RepairBase(ReallocationPolicy):
     def __init__(self, heuristic: str = DEFAULT_HEURISTIC) -> None:
         super().__init__(heuristic)
         self._carry = None
+        self._pricing = None
+
+    def configure_pricing(self, pricing) -> None:
+        self._pricing = pricing
 
     def react(
         self,
@@ -198,7 +209,7 @@ class _RepairBase(ReallocationPolicy):
         try:
             outcome = repair_allocation(
                 instance, current, strategy=self.strategy, rng=rng,
-                carry=self._carry,
+                carry=self._carry, pricing=self._pricing,
             )
         except AllocationError:
             self._carry = None  # repair mutated the carried tracker

@@ -35,6 +35,7 @@ prices the full reconfiguration).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -47,6 +48,9 @@ from ..core.problem import ProblemInstance
 from ..core.server_selection import ThreeLoopServerSelection
 from ..errors import AllocationError, PlacementError
 from ..platform.resources import Processor
+
+if TYPE_CHECKING:  # transition imports nothing from repair; type-only
+    from .transition import MigrationPricing
 
 __all__ = [
     "RepairCarry",
@@ -137,6 +141,10 @@ class RepairOutcome:
     carry: RepairCarry | None = None
     #: Whether this repair started from a carried tracker.
     reused_tracker: bool = False
+    #: Machines whose consolidation/trade vacation was refused because
+    #: the migration bill exceeded the money the move would recover
+    #: (only nonzero when the planner was handed migration prices).
+    n_refused_moves: int = 0
 
 
 class _Repairer:
@@ -149,6 +157,7 @@ class _Repairer:
         *,
         strategy: str,
         carry: RepairCarry | None = None,
+        pricing: "MigrationPricing | None" = None,
     ) -> None:
         self.instance = instance
         self.strategy = strategy
@@ -156,6 +165,8 @@ class _Repairer:
         self.tree = instance.tree
         self.procs: dict[int, Processor] = dict(previous.processor_map)
         self._next_uid = max(self.procs, default=-1) + 1
+        self.pricing = pricing
+        self.refused_uids: set[int] = set()
         self.n_placed = 0
         self.n_moved = 0
         self.n_upgrades = 0
@@ -208,6 +219,19 @@ class _Repairer:
 
     def _slack(self, u: int) -> float:
         return self.procs[u].speed_ops - self.tracker.compute_load(u)
+
+    def _move_price(self, i: int) -> float:
+        """$ to migrate operator ``i`` (0 when no pricing was given —
+        the planner then behaves exactly like the unpriced legacy)."""
+        if self.pricing is None:
+            return 0.0
+        return self.pricing.price(self.tree, i)
+
+    def _vacate_price(self, u: int) -> float:
+        """$ to migrate everything off machine ``u``."""
+        return sum(
+            self._move_price(i) for i in self.tracker.operators_on(u)
+        )
 
     def _owner_app(self, u: int) -> str | None:
         """The application owning most of the work mapped on ``u``."""
@@ -287,11 +311,23 @@ class _Repairer:
                     self.n_upgrades += 1
                 self.procs[u] = Processor(uid=u, spec=spec)
                 continue
-            # no configuration holds the whole group: shed load
-            ops = sorted(
-                self.tracker.operators_on(u),
-                key=lambda i: (-self.tree[i].work, i),
-            )
+            # no configuration holds the whole group: shed load.  With
+            # migration prices on the table, prefer shedding the
+            # cheapest-state operator that restores feasibility instead
+            # of blindly moving the largest — heavy-state operators
+            # (subtree roots) stay put unless nothing else helps.
+            if self.pricing is not None:
+                ops = sorted(
+                    self.tracker.operators_on(u),
+                    key=lambda i: (
+                        self._move_price(i), -self.tree[i].work, i
+                    ),
+                )
+            else:
+                ops = sorted(
+                    self.tracker.operators_on(u),
+                    key=lambda i: (-self.tree[i].work, i),
+                )
             shed = False
             for i in ops:
                 self.tracker.unassign(i)
@@ -399,6 +435,13 @@ class _Repairer:
         if len(owned) < 2:
             return None
         lightest = min(owned, key=lambda u: (self.tracker.compute_load(u), u))
+        if self.pricing is not None:
+            # handing the machine over spares the taker a purchase of
+            # its spec — if migrating the donor's operators costs more
+            # than that, the exchange is a loss and the donor keeps it.
+            if self._vacate_price(lightest) > self.procs[lightest].spec.cost:
+                self.refused_uids.add(lightest)
+                return None
         ops = list(self.tracker.operators_on(lightest))
         placed: list[tuple[int, int]] = []
         for i in ops:
@@ -424,16 +467,35 @@ class _Repairer:
     def harvest_slack(self) -> None:
         """Phase 5: consolidate, sell idle machines, downgrade the rest."""
         # consolidate: repeatedly try to empty the lightest-loaded
-        # machine onto the others' slack.
+        # machine onto the others' slack.  With migration prices, the
+        # candidate must also be *economic*: emptying it earns the
+        # salvage credit of the sale, so a machine whose operators cost
+        # more to move than the credit recovers is left alone (the
+        # cheapest economic machine by load order is tried instead).
         for _ in range(len(self.procs)):
             loaded = [
                 u for u in self.procs if self.tracker.operators_on(u)
             ]
             if len(loaded) < 2:
                 break
-            lightest = min(
+            by_load = sorted(
                 loaded, key=lambda u: (self.tracker.compute_load(u), u)
             )
+            if self.pricing is None:
+                lightest = by_load[0]
+            else:
+                lightest = None
+                for u in by_load:
+                    credit = (
+                        self.pricing.salvage_fraction
+                        * self.procs[u].spec.cost
+                    )
+                    if self._vacate_price(u) <= credit:
+                        lightest = u
+                        break
+                    self.refused_uids.add(u)
+                if lightest is None:
+                    break
             ops = list(self.tracker.operators_on(lightest))
             placed: list[int] = []
             for i in ops:
@@ -505,6 +567,7 @@ class _Repairer:
             n_decommissions=self.n_decommissions,
             carry=RepairCarry(tracker=self.tracker, allocation=allocation),
             reused_tracker=self.reused_tracker,
+            n_refused_moves=len(self.refused_uids),
         )
 
 
@@ -515,6 +578,7 @@ def repair_allocation(
     strategy: str = "harvest",
     rng: np.random.Generator | int | None = None,
     carry: RepairCarry | None = None,
+    pricing: "MigrationPricing | None" = None,
 ) -> RepairOutcome:
     """Patch ``previous`` into a feasible allocation of ``instance``.
 
@@ -523,6 +587,14 @@ def repair_allocation(
     of replaying the full assignment; it is validated before adoption
     and silently ignored when the epoch delta invalidates it.
 
+    ``pricing`` (a :class:`~repro.dynamic.transition.MigrationPricing`)
+    makes the planner migration-cost-aware: slack harvesting and trade
+    exchanges refuse machines whose operators cost more to move than
+    the move recovers, and overload shedding prefers light-state
+    operators.  ``None`` (the default) reproduces the unpriced legacy
+    behaviour bit-for-bit — feasibility repairs themselves are never
+    refused, only discretionary economisation moves.
+
     Raises :class:`~repro.errors.AllocationError` (or a phase subclass)
     when local patching cannot restore feasibility — callers fall back
     to a from-scratch re-solve and price it accordingly.
@@ -530,5 +602,5 @@ def repair_allocation(
     if strategy not in ("harvest", "trade"):
         raise ValueError(f"unknown repair strategy {strategy!r}")
     return _Repairer(
-        instance, previous, strategy=strategy, carry=carry
+        instance, previous, strategy=strategy, carry=carry, pricing=pricing
     ).run(rng)

@@ -13,13 +13,31 @@ returns a :class:`ReplayResult` time series.  Each epoch is priced by
   (``salvage_fraction`` × cost — constructive hardware resells below
   list price, rented capacity refunds unused commitment);
 * a machine re-specced in place is a trade-in: upgrades pay the cost
-  difference, downgrades refund the salvage fraction of it;
-* every operator whose (matched) processor changed is one migration at
-  ``migration_cost`` — state transfer, draining, and the throughput
-  blip of moving a running operator.
+  difference, downgrades refund the salvage fraction of it (an
+  in-place re-spec moves no operator state, so it never counts as a
+  migration);
+* every operator whose (matched) processor changed is one migration,
+  priced by the configured
+  :class:`~repro.dynamic.transition.MigrationCostModel`: ``flat``
+  charges ``migration_cost`` per operator (the legacy pricing, default)
+  while ``state-size`` charges ``migration_cost_per_mb × state_mb(i)``
+  with the state derived from subtree leaf mass — moving the root
+  displaces the whole application's state, moving a leaf almost none.
+
+Leftover machines of equal spec are paired to *maximise preserved
+operator assignments* (an exact max-weight matching per spec pool), so
+two interchangeable machines whose operators swapped homes in the
+re-solve are recognised as renamed rather than billed as migrations.
 
 Cumulative platform cost is therefore  *initial purchase + Σ epoch
 reconfiguration*, the quantity the policy-comparison experiments plot.
+
+With ``sim_transitions=True`` each reallocation step is additionally
+*executed*: the step's drain + state-transfer flows are injected into
+the steady-state simulator (elastic policy, batched per step) and the
+measured throughput dip, drain time, and SLA-violation seconds land in
+the epoch's :class:`~repro.dynamic.transition.TransitionRecord` — the
+mid-transition behaviour steady-state validation cannot see.
 
 Each epoch's allocation is re-verified against Eq. 1–5 (violations are
 *data* here, not errors — the ``static`` baseline is expected to
@@ -44,22 +62,30 @@ from ..rng import derive_seed
 from .policies import ReallocationPolicy, make_policy
 from .repair import match_operators
 from .traces import WorkloadTrace
+from .transition import (
+    DEFAULT_MIGRATION_COST,
+    DEFAULT_MIGRATION_COST_PER_MB,
+    DEFAULT_SALVAGE_FRACTION,
+    MigrationCostModel,
+    MigrationMove,
+    MigrationPricing,
+    TransitionRecord,
+    simulate_transition,
+)
 
 __all__ = [
     "DEFAULT_MIGRATION_COST",
+    "DEFAULT_MIGRATION_COST_PER_MB",
     "DEFAULT_SALVAGE_FRACTION",
     "EpochRecord",
+    "ReconcilePlan",
     "ReconfigDelta",
     "ReplayResult",
     "pipeline_warmup_results",
     "reconcile",
+    "reconcile_plan",
     "replay",
 ]
-
-#: $ per migrated operator: drain, state transfer, warm-up.
-DEFAULT_MIGRATION_COST: float = 150.0
-#: Fraction of list price recovered when a machine is decommissioned.
-DEFAULT_SALVAGE_FRACTION: float = 0.5
 
 #: Pipeline depths the fill transient is allowed to persist for before
 #: the warm-up-aware window starts measuring (empirically the ramp
@@ -91,18 +117,170 @@ class ReconfigDelta:
         return self.purchase_cost - self.salvage_credit + self.migration_cost
 
 
-def reconcile(
+#: Exact-pairing size limit per spec pool: beyond this many *relevant*
+#: machines on the smaller side, the matching falls back to a greedy
+#: heaviest-edge pass (pools this large never occur in practice).
+_PAIRING_EXACT_LIMIT = 16
+
+
+def _max_weight_pairs(
+    a_side: list[int], b_side: list[int], weight: dict[tuple[int, int], int]
+) -> dict[int, int]:
+    """Deterministic maximum-weight bipartite matching of two small
+    machine pools, weights = preserved operator assignments.  Exact
+    (bitmask DP over the smaller side) up to
+    :data:`_PAIRING_EXACT_LIMIT`, greedy heaviest-edge beyond."""
+    transposed = len(b_side) > len(a_side)
+    if transposed:
+        a_side, b_side = b_side, a_side
+        weight = {(b, a): w for (a, b), w in weight.items()}
+    if len(b_side) > _PAIRING_EXACT_LIMIT:
+        edges = sorted(
+            ((a, b) for a in a_side for b in b_side
+             if weight.get((a, b), 0) > 0),
+            key=lambda ab: (-weight[ab], ab),
+        )
+        pairs: dict[int, int] = {}
+        used_b: set[int] = set()
+        for a, b in edges:
+            if a not in pairs and b not in used_b:
+                pairs[a] = b
+                used_b.add(b)
+        return ({v: u for u, v in pairs.items()} if transposed else pairs)
+
+    from functools import lru_cache
+
+    @lru_cache(maxsize=None)
+    def best(i: int, mask: int) -> int:
+        if i == len(a_side):
+            return 0
+        score = best(i + 1, mask)  # a_side[i] pairs with a 0-weight slot
+        for j, b in enumerate(b_side):
+            if mask & (1 << j):
+                continue
+            w = weight.get((a_side[i], b), 0)
+            if w > 0:
+                score = max(score, w + best(i + 1, mask | (1 << j)))
+        return score
+
+    pairs = {}
+    mask = 0
+    for i, a in enumerate(a_side):
+        target = best(i, mask)
+        chosen = None
+        for j, b in enumerate(b_side):
+            if mask & (1 << j):
+                continue
+            w = weight.get((a, b), 0)
+            if w > 0 and w + best(i + 1, mask | (1 << j)) == target:
+                chosen = (j, b)
+                break
+        if chosen is not None:
+            pairs[a] = chosen[1]
+            mask |= 1 << chosen[0]
+    return ({v: u for u, v in pairs.items()} if transposed else pairs)
+
+
+def _pair_spec_pool(
+    old_pool: list[int],
+    new_pool: list[int],
+    weight: dict[tuple[int, int], int],
+) -> dict[int, int]:
+    """Pair as many equal-spec leftover machines as possible, choosing
+    the pairing that preserves the most operator assignments.
+
+    The legacy pairing popped both pools in ascending-uid order, which
+    could pair a decommissioned machine with a purchased one that none
+    of its operators moved to — billing migrations a different same-spec
+    pairing avoids entirely.  Machines carrying no preserved operators
+    are interchangeable, so they zip in ascending order exactly like
+    before (same pair count, same money — pairing same-spec machines is
+    always free either way).
+    """
+    n_pairs = min(len(old_pool), len(new_pool))
+    rel_old = [
+        u for u in old_pool
+        if any(weight.get((u, v), 0) for v in new_pool)
+    ]
+    rel_new = [
+        v for v in new_pool
+        if any(weight.get((u, v), 0) for u in old_pool)
+    ]
+    pairs: dict[int, int] = {}
+    if rel_old and rel_new:
+        pairs = _max_weight_pairs(rel_old, rel_new, weight)
+    rest_old = [u for u in old_pool if u not in pairs]
+    used_new = set(pairs.values())
+    rest_new = [v for v in new_pool if v not in used_new]
+    for u, v in zip(rest_old, rest_new):
+        if len(pairs) >= n_pairs:
+            break
+        pairs[u] = v
+    return pairs
+
+
+@dataclass(frozen=True)
+class ReconcilePlan:
+    """The structural diff between two consecutive platforms, before
+    any migration-cost model is applied: machine identity, money for
+    hardware, and the full list of operator moves with their displaced
+    state — everything :meth:`price` and the transition simulator
+    need."""
+
+    uid_map: dict  # old uid -> new uid (matched machines)
+    moves: tuple[MigrationMove, ...]
+    purchase_cost: float
+    salvage_credit: float
+    n_purchases: int
+    n_decommissions: int
+    n_respecs: int
+    #: Whole-application state (old-tree root leaf mass, MB) — the
+    #: denominator for the *heavy operator* classification.
+    total_state_mb: float
+
+    @property
+    def state_moved_mb(self) -> float:
+        return sum(m.state_mb for m in self.moves)
+
+    @property
+    def n_heavy_moves(self) -> int:
+        return sum(1 for m in self.moves if m.heavy(self.total_state_mb))
+
+    def price(self, model: MigrationCostModel) -> ReconfigDelta:
+        """Apply a migration-cost model to the plan's moves."""
+        if getattr(model, "name", None) == "flat":
+            # multiply, don't sum: repeated float addition of a price
+            # like 0.1 drifts off `price × n`, and the flat model is
+            # contractually bit-identical to the legacy pricing
+            migration = model.cost_per_migration * len(self.moves)
+        else:
+            migration = sum(
+                (model.price_state(m.state_mb) for m in self.moves), 0.0
+            )
+        return ReconfigDelta(
+            purchase_cost=self.purchase_cost,
+            salvage_credit=self.salvage_credit,
+            migration_cost=migration,
+            n_migrations=len(self.moves),
+            n_purchases=self.n_purchases,
+            n_decommissions=self.n_decommissions,
+            n_respecs=self.n_respecs,
+        )
+
+
+def reconcile_plan(
     old: Allocation,
     new: Allocation,
     *,
-    migration_cost: float = DEFAULT_MIGRATION_COST,
     salvage_fraction: float = DEFAULT_SALVAGE_FRACTION,
-) -> ReconfigDelta:
-    """Price the reconfiguration turning platform ``old`` into ``new``."""
+) -> ReconcilePlan:
+    """Reconcile machine identity between ``old`` and ``new`` and list
+    every operator migration (with displaced state), unpriced."""
     old_procs = old.processor_map
     new_procs = new.processor_map
+    omatch = match_operators(old.instance.tree, new.instance.tree)
 
-    # -- processor identity: uid match, then spec match ------------------
+    # -- processor identity: uid match first -----------------------------
     uid_map: dict[int, int] = {}  # old uid -> new uid
     purchase = salvage = 0.0
     n_respecs = 0
@@ -117,42 +295,90 @@ def reconcile(
             n_respecs += 1
     old_only = [u for u in sorted(old_procs) if u not in new_procs]
     new_only = [v for v in sorted(new_procs) if v not in old_procs]
-    by_spec: dict[object, list[int]] = {}
+
+    # -- leftover machines: pair equal specs, preserving assignments ----
+    old_only_set = set(old_only)
+    new_only_set = set(new_only)
+    weight: dict[tuple[int, int], int] = {}
+    for i_old, i_new in omatch.items():
+        u = old.assignment.get(i_old)
+        v = new.assignment.get(i_new)
+        if (
+            u in old_only_set
+            and v in new_only_set
+            and old_procs[u].spec == new_procs[v].spec
+        ):
+            weight[u, v] = weight.get((u, v), 0) + 1
+    by_spec_old: dict[object, list[int]] = {}
     for u in old_only:
-        by_spec.setdefault(old_procs[u].spec, []).append(u)
-    unmatched_new: list[int] = []
+        by_spec_old.setdefault(old_procs[u].spec, []).append(u)
+    by_spec_new: dict[object, list[int]] = {}
     for v in new_only:
-        pool = by_spec.get(new_procs[v].spec)
-        if pool:
-            uid_map[pool.pop(0)] = v
-        else:
-            unmatched_new.append(v)
-    unmatched_old = [u for pool in by_spec.values() for u in pool]
+        by_spec_new.setdefault(new_procs[v].spec, []).append(v)
+    for spec, old_pool in by_spec_old.items():
+        new_pool = by_spec_new.get(spec)
+        if new_pool:
+            uid_map.update(_pair_spec_pool(old_pool, new_pool, weight))
+    paired_new = set(uid_map.values())
+    unmatched_new = [v for v in new_only if v not in paired_new]
+    unmatched_old = [u for u in old_only if u not in uid_map]
     purchase += sum(new_procs[v].cost for v in unmatched_new)
     salvage += salvage_fraction * sum(
         old_procs[u].cost for u in unmatched_old
     )
 
     # -- migrations: matched operators whose machine changed -------------
-    omatch = match_operators(old.instance.tree, new.instance.tree)
-    n_migrations = 0
-    for i_old, i_new in omatch.items():
+    old_tree = old.instance.tree
+    moves: list[MigrationMove] = []
+    for i_old, i_new in sorted(omatch.items()):
         u_old = old.assignment.get(i_old)
         u_new = new.assignment.get(i_new)
         if u_old is None or u_new is None:
             continue
         if uid_map.get(u_old) != u_new:
-            n_migrations += 1
+            moves.append(
+                MigrationMove(
+                    old_index=i_old,
+                    new_index=i_new,
+                    from_uid=u_old,
+                    to_uid=u_new,
+                    state_mb=old_tree.leaf_mass(i_old),
+                    drain_mb=old_tree[i_old].output_mb,
+                )
+            )
 
-    return ReconfigDelta(
+    return ReconcilePlan(
+        uid_map=uid_map,
+        moves=tuple(moves),
         purchase_cost=purchase,
         salvage_credit=salvage,
-        migration_cost=migration_cost * n_migrations,
-        n_migrations=n_migrations,
         n_purchases=len(unmatched_new),
         n_decommissions=len(unmatched_old),
         n_respecs=n_respecs,
+        total_state_mb=old_tree.leaf_mass(old_tree.root),
     )
+
+
+def reconcile(
+    old: Allocation,
+    new: Allocation,
+    *,
+    migration_cost: float = DEFAULT_MIGRATION_COST,
+    salvage_fraction: float = DEFAULT_SALVAGE_FRACTION,
+    model: MigrationCostModel | None = None,
+) -> ReconfigDelta:
+    """Price the reconfiguration turning platform ``old`` into ``new``.
+
+    ``model`` selects the migration-cost model; ``None`` keeps the
+    legacy flat pricing at ``migration_cost`` $/operator.
+    """
+    if model is None:
+        model = MigrationCostModel(
+            name="flat", cost_per_migration=migration_cost
+        )
+    return reconcile_plan(
+        old, new, salvage_fraction=salvage_fraction
+    ).price(model)
 
 
 @dataclass(frozen=True)
@@ -178,6 +404,14 @@ class EpochRecord:
     sim_ok: bool | None = None
     sim_misses: int | None = None
     sim_achieved: float | None = None
+    #: State-size pricing extras (``None`` under the ``flat`` model —
+    #: the keys are then omitted from the JSON rendering, keeping flat
+    #: replays bit-identical to the pre-model output):
+    state_moved_mb: float | None = None
+    n_heavy_migrations: int | None = None
+    #: Transition simulation (``None`` unless ``sim_transitions=True``
+    #: and this epoch actually moved operators):
+    transition: TransitionRecord | None = None
 
     @property
     def reconfig_cost(self) -> float:
@@ -192,6 +426,7 @@ class ReplayResult:
     seed: int
     policy: str
     records: tuple[EpochRecord, ...] = field(default_factory=tuple)
+    migration_model: str = "flat"
 
     @property
     def n_epochs(self) -> int:
@@ -218,8 +453,43 @@ class ReplayResult:
     def total_migrations(self) -> int:
         return sum(r.n_migrations for r in self.records)
 
+    @property
+    def total_state_moved_mb(self) -> float:
+        """State displaced across the whole replay (state-size model)."""
+        return sum(
+            r.state_moved_mb for r in self.records
+            if r.state_moved_mb is not None
+        )
+
+    @property
+    def total_heavy_migrations(self) -> int:
+        """Heavy-operator moves across the replay (state-size model)."""
+        return sum(
+            r.n_heavy_migrations for r in self.records
+            if r.n_heavy_migrations is not None
+        )
+
+    @property
+    def transition_violation_epochs(self) -> int:
+        """Transitions whose simulated drain dipped below the SLA."""
+        return sum(
+            1 for r in self.records
+            if r.transition is not None and not r.transition.ok
+        )
+
     def to_dict(self) -> dict:
-        return {
+        # optional-feature keys are omitted at their defaults so a
+        # flat-model, transition-off replay renders bit-identically to
+        # the pre-transition-engine output
+        records = []
+        for r in self.records:
+            d = asdict(r)
+            for key in ("state_moved_mb", "n_heavy_migrations",
+                        "transition"):
+                if d[key] is None:
+                    del d[key]
+            records.append(d)
+        out = {
             "trace": self.trace,
             "seed": self.seed,
             "policy": self.policy,
@@ -227,8 +497,13 @@ class ReplayResult:
             "violation_epochs": self.violation_epochs,
             "sim_violation_epochs": self.sim_violation_epochs,
             "total_migrations": self.total_migrations,
-            "records": [asdict(r) for r in self.records],
+            "records": records,
         }
+        if self.migration_model != "flat":
+            out["migration_model"] = self.migration_model
+            out["total_state_moved_mb"] = self.total_state_moved_mb
+            out["total_heavy_migrations"] = self.total_heavy_migrations
+        return out
 
     def to_json(self) -> str:
         """Stable JSON rendering (byte-identical for identical replays)."""
@@ -244,23 +519,37 @@ class ReplayResult:
 
     def table(self) -> str:
         """Per-epoch text table for the CLI."""
+        with_sim = any(r.sim_ok is not None for r in self.records)
+        with_transition = any(
+            r.transition is not None for r in self.records
+        )
         lines = [
             f"{'ep':>3} {'t':>5} {'event':<22} {'action':<9}"
             f" {'platform':>10} {'reconfig':>9} {'mig':>4} {'spec':>5}"
             f" {'viol':>4}"
-            + ("  sim" if any(r.sim_ok is not None for r in self.records)
-               else "")
+            + ("  sim" if with_sim else "")
+            + (f" {'dip':>6} {'drain':>7}" if with_transition else "")
         ]
         for r in self.records:
             sim = ""
             if r.sim_ok is not None:
                 sim = "   ok" if r.sim_ok else " FAIL"
+            transition = ""
+            if with_transition:
+                if r.transition is not None:
+                    transition = (
+                        f" {r.transition.throughput_dip:>6.1%}"
+                        f" {r.transition.drain_s:>6.2f}s"
+                    )
+                else:
+                    transition = f" {'-':>6} {'-':>7}"
             lines.append(
                 f"{r.epoch:>3} {r.time:>5.1f} {r.label[:22]:<22}"
                 f" {r.action:<9} {r.platform_cost:>10,.0f}"
                 f" {r.reconfig_cost:>9,.0f} {r.n_migrations:>4}"
                 f" {r.n_respecs:>5}"
                 f" {r.n_violations if r.feasible else '-':>4}{sim}"
+                f"{transition}"
             )
         return "\n".join(lines)
 
@@ -313,6 +602,9 @@ def _replay_engine(
     salvage_fraction: float = DEFAULT_SALVAGE_FRACTION,
     sim_kernel: str = "incremental",
     sim_warmup: bool = False,
+    migration_model: str = "flat",
+    migration_cost_per_mb: float = DEFAULT_MIGRATION_COST_PER_MB,
+    sim_transitions: bool = False,
 ) -> ReplayResult:
     """Walk ``trace`` under ``policy`` and return the priced series.
 
@@ -332,9 +624,42 @@ def _replay_engine(
     from genuine SLA misses; an overloaded platform still fails
     because its *steady* rate is below target.  Default off — the
     legacy fixed-window measurement is bit-identical to PR 3.
+
+    ``migration_model`` selects how moves are priced (``"flat"``:
+    ``migration_cost`` $/operator, bit-identical to the legacy
+    pricing; ``"state-size"``: ``migration_cost_per_mb`` $/MB of
+    subtree leaf mass).  Under ``state-size`` the repair-based
+    policies are handed the prices too, so harvest/trade refuse moves
+    whose migration bill exceeds the money the move would recover.
+
+    ``sim_transitions=True`` additionally executes every reallocation
+    step in the simulator — drain + state-transfer flows injected into
+    the elastic flow network — and attaches the measured
+    :class:`~repro.dynamic.transition.TransitionRecord` to the epoch.
     """
     if isinstance(policy, str):
         policy = make_policy(policy)
+    # resolve the model through the registry, so qualified refs
+    # ("migration:state-size") and custom-registered models work the
+    # same way they do for policies and placements
+    from ..api import registry as _registry
+
+    _, model_name = _registry.parse(migration_model, "migration")
+    if model_name == "flat":
+        model = MigrationCostModel(
+            name="flat", cost_per_migration=migration_cost
+        )
+    elif model_name == "state-size":
+        model = MigrationCostModel(
+            name="state-size", cost_per_mb=migration_cost_per_mb
+        )
+    else:
+        model = _registry.make("migration", model_name)
+    state_keyed = model.name != "flat"
+    if state_keyed:
+        policy.configure_pricing(
+            MigrationPricing(model=model, salvage_fraction=salvage_fraction)
+        )
     records: list[EpochRecord] = []
     current: Allocation | None = None
     for epoch, (time, label, instance) in enumerate(trace.epochs()):
@@ -355,11 +680,14 @@ def _replay_engine(
                     salvage_credit=0.0, migration_cost=0.0,
                     n_migrations=0, n_purchases=0, n_decommissions=0,
                     n_respecs=0, n_processors=n_procs,
+                    state_moved_mb=0.0 if state_keyed else None,
+                    n_heavy_migrations=0 if state_keyed else None,
                 )
             )
             continue
 
         alloc = decision.allocation
+        plan = None
         if current is None:
             delta = ReconfigDelta(
                 purchase_cost=alloc.cost, salvage_credit=0.0,
@@ -368,11 +696,10 @@ def _replay_engine(
                 n_respecs=0,
             )
         else:
-            delta = reconcile(
-                current, alloc,
-                migration_cost=migration_cost,
-                salvage_fraction=salvage_fraction,
+            plan = reconcile_plan(
+                current, alloc, salvage_fraction=salvage_fraction
             )
+            delta = plan.price(model)
         report = verify(alloc)
 
         sim_ok = sim_misses = sim_achieved = None
@@ -387,6 +714,13 @@ def _replay_engine(
             sim_misses = sim.download_misses
             sim_achieved = sim.achieved_rate
             sim_ok = sustains_target(sim, instance.rho)
+
+        transition = None
+        if sim_transitions and plan is not None and plan.moves:
+            transition = simulate_transition(
+                current, alloc, plan.moves, plan.uid_map,
+                n_results=n_results, kernel=sim_kernel,
+            )
 
         records.append(
             EpochRecord(
@@ -404,6 +738,15 @@ def _replay_engine(
                 n_processors=alloc.n_processors,
                 sim_ok=sim_ok, sim_misses=sim_misses,
                 sim_achieved=sim_achieved,
+                state_moved_mb=(
+                    (plan.state_moved_mb if plan else 0.0)
+                    if state_keyed else None
+                ),
+                n_heavy_migrations=(
+                    (plan.n_heavy_moves if plan else 0)
+                    if state_keyed else None
+                ),
+                transition=transition,
             )
         )
         current = alloc
@@ -412,4 +755,5 @@ def _replay_engine(
         seed=trace.seed,
         policy=policy.name,
         records=tuple(records),
+        migration_model=model.name,
     )

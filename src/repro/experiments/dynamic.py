@@ -13,6 +13,13 @@ The interesting comparisons this surfaces:
 * ``resolve`` never violates but keeps re-buying and migrating;
 * ``harvest``/``trade`` match ``resolve`` on violations at a fraction
   of its reconfiguration spend.
+
+:func:`migration_scale_sweep` adds the state-size-pricing campaign the
+ROADMAP's migration-cost item asked for: replay one trace family under
+``migration_model="state-size"`` at increasing ``$/MB`` scales and
+watch harvest/trade *stop daring to move heavy operators* — the
+high-leaf-mass subtree roots whose displaced state dwarfs the money a
+consolidation or trade would recover.
 """
 
 from __future__ import annotations
@@ -24,9 +31,17 @@ from ..api.service import replay_many
 from ..dynamic.policies import POLICY_ORDER
 from ..dynamic.replay import ReplayResult
 from ..dynamic.traces import make_trace
+from ..dynamic.transition import DEFAULT_MIGRATION_COST_PER_MB
 from ..rng import derive_seed
 
-__all__ = ["PolicyCell", "DynamicComparison", "policy_comparison"]
+__all__ = [
+    "PolicyCell",
+    "DynamicComparison",
+    "MigrationScaleCell",
+    "MigrationScaleSweep",
+    "migration_scale_sweep",
+    "policy_comparison",
+]
 
 
 @dataclass(frozen=True)
@@ -81,6 +96,7 @@ def policy_comparison(
     n_instances: int = 3,
     master_seed: int = 2009,
     validate: bool = False,
+    sim_warmup: bool = True,
     executor=None,
     **trace_kwargs,
 ) -> DynamicComparison:
@@ -92,6 +108,12 @@ def policy_comparison(
     the ROADMAP's "scale the replay loop" item.  Each replay derives
     its epoch seeds from its own trace seed, so the aggregate is
     bit-identical whichever backend runs it.
+
+    Validated campaigns measure with the warm-up-aware window by
+    default (``sim_warmup=True``): pipeline-fill transients fall
+    outside the measured span, so only genuine overloads count as
+    simulator violations (pass ``sim_warmup=False`` for the legacy
+    fixed window).  Irrelevant when ``validate=False``.
     """
     traces = [
         make_trace(
@@ -102,7 +124,10 @@ def policy_comparison(
         for i in range(n_instances)
     ]
     requests = [
-        ReplayRequest(trace=t, policy=name, validate=validate)
+        ReplayRequest(
+            trace=t, policy=name, validate=validate,
+            sim_warmup=validate and sim_warmup,
+        )
         for name in policies
         for t in traces
     ]
@@ -132,5 +157,105 @@ def policy_comparison(
         trace=trace,
         n_instances=n_instances,
         master_seed=master_seed,
+        cells=tuple(cells),
+    )
+
+
+@dataclass(frozen=True)
+class MigrationScaleCell:
+    """One (policy, $/MB scale) point of the migration-cost sweep."""
+
+    policy: str
+    scale: float
+    cost_per_mb: float
+    total_migrations: int
+    heavy_migrations: int
+    state_moved_mb: float
+    cumulative_cost: float
+    violation_epochs: int
+    result: ReplayResult
+
+
+@dataclass(frozen=True)
+class MigrationScaleSweep:
+    """Outcome of one migration-cost-scale sweep (state-size model)."""
+
+    trace: str
+    seed: int
+    scales: tuple[float, ...]
+    cells: tuple[MigrationScaleCell, ...]
+
+    def series(self, policy: str) -> tuple[MigrationScaleCell, ...]:
+        return tuple(c for c in self.cells if c.policy == policy)
+
+    def render(self) -> str:
+        lines = [
+            f"migration-cost-scale sweep — trace '{self.trace}', seed"
+            f" {self.seed}, state-size pricing",
+            f"{'policy':>8} {'x scale':>8} {'$/MB':>8} {'migs':>5}"
+            f" {'heavy':>6} {'state MB':>9} {'cum cost':>12} {'viol':>5}",
+        ]
+        for c in self.cells:
+            lines.append(
+                f"{c.policy:>8} {c.scale:>8.2f} {c.cost_per_mb:>8.3f}"
+                f" {c.total_migrations:>5} {c.heavy_migrations:>6}"
+                f" {c.state_moved_mb:>9,.0f} {c.cumulative_cost:>12,.0f}"
+                f" {c.violation_epochs:>5}"
+            )
+        return "\n".join(lines)
+
+
+def migration_scale_sweep(
+    trace: str = "ramp",
+    *,
+    policies: tuple[str, ...] = ("harvest", "trade"),
+    scales: tuple[float, ...] = (0.25, 1.0, 4.0, 16.0, 64.0),
+    base_cost_per_mb: float = DEFAULT_MIGRATION_COST_PER_MB,
+    seed: int = 2009,
+    executor=None,
+    **trace_kwargs,
+) -> MigrationScaleSweep:
+    """Replay one trace under state-size pricing at increasing $/MB.
+
+    The sweep the ROADMAP's migration-cost item asked for: as the
+    price of displaced state grows, the repair-based policies'
+    economics gates (see
+    :func:`repro.dynamic.repair.repair_allocation`) refuse ever more
+    consolidations and trades, so the heavy (high-leaf-mass) operators
+    stop moving — on the ramp family, heavy moves fall monotonically
+    and strictly between the cheapest and the most expensive scale.
+    The replays are independent and fan out over ``executor``.
+    """
+    t = make_trace(trace, seed=seed, **trace_kwargs)
+    requests = [
+        ReplayRequest(
+            trace=t, policy=policy,
+            migration_model="state-size",
+            migration_cost_per_mb=base_cost_per_mb * scale,
+        )
+        for policy in policies
+        for scale in scales
+    ]
+    flat = replay_many(requests, executor=executor)
+    cells = []
+    for j, request in enumerate(requests):
+        result = flat[j]
+        cells.append(
+            MigrationScaleCell(
+                policy=request.policy,
+                scale=request.migration_cost_per_mb / base_cost_per_mb,
+                cost_per_mb=request.migration_cost_per_mb,
+                total_migrations=result.total_migrations,
+                heavy_migrations=result.total_heavy_migrations,
+                state_moved_mb=result.total_state_moved_mb,
+                cumulative_cost=result.cumulative_cost,
+                violation_epochs=result.violation_epochs,
+                result=result,
+            )
+        )
+    return MigrationScaleSweep(
+        trace=trace,
+        seed=seed,
+        scales=tuple(scales),
         cells=tuple(cells),
     )

@@ -2,6 +2,7 @@
 
 from .engine import (
     FLOW_KERNELS,
+    InjectedFlow,
     SimulationResult,
     SteadyStateSimulator,
     flow_kernel,
@@ -32,6 +33,7 @@ __all__ = [
     "FLOW_KERNELS",
     "FlowNetwork",
     "FlowSpec",
+    "InjectedFlow",
     "SUSTAIN_FRACTION",
     "SimulationResult",
     "SourceRelease",

@@ -72,6 +72,7 @@ from .flows import CapacityConstraint, FlowNetwork, FlowSpec, max_min_rates
 
 __all__ = [
     "FLOW_KERNELS",
+    "InjectedFlow",
     "SteadyStateSimulator",
     "SimulationResult",
     "flow_kernel",
@@ -107,12 +108,34 @@ def flow_kernel(kernel: str) -> Iterator[None]:
         _default_kernel = previous
 
 
+@dataclass(frozen=True)
+class InjectedFlow:
+    """One exogenous transfer injected into the run at ``t = 0``.
+
+    The reconfiguration transition simulator
+    (:func:`repro.dynamic.transition.simulate_transition`) uses these
+    to model drain + state-transfer traffic: the flows share NICs and
+    links with the steady workload under the configured flow policy,
+    so the run's completion gaps expose the mid-transition throughput
+    dip.  ``constraints`` may name capacities the allocation itself
+    does not use (e.g. the NIC of a decommissioned machine) — declare
+    them via the simulator's ``extra_constraints``.
+    """
+
+    key: object
+    volume_mb: float
+    constraints: tuple[object, ...]
+    #: Optional rate cap, honoured (like every flow cap) only under the
+    #: ``reserved`` flow policy; ``None`` shares bandwidth elastically.
+    cap: float | None = None
+
+
 @dataclass
 class _Flow:
     volume_left: float
     constraints: tuple[object, ...]
     cap: float | None
-    kind: Literal["edge", "download"]
+    kind: Literal["edge", "download", "injected"]
     payload: tuple
     volume_total: float = 0.0
     rate: float = 0.0
@@ -141,6 +164,8 @@ class SimulationResult:
     nic_utilization: Mapping[object, float] = field(default_factory=dict)
     #: End-to-end latency (source release → root completion) per result.
     latencies: tuple[float, ...] = ()
+    #: Completion time of each injected flow that finished in-run.
+    injected_finish: Mapping[object, float] = field(default_factory=dict)
 
     @property
     def efficiency(self) -> float:
@@ -174,6 +199,8 @@ class SteadyStateSimulator:
         max_events: int = 2_000_000,
         kernel: Literal["incremental", "naive"] | None = None,
         warmup_results: int = 0,
+        inject: "tuple[InjectedFlow, ...]" = (),
+        extra_constraints: Mapping[object, float] | None = None,
     ) -> None:
         self.alloc = allocation
         self.inst = allocation.instance
@@ -213,6 +240,13 @@ class SteadyStateSimulator:
             self._add_constraint(("nic", "P", u), p.nic_mbps)
         for l in self.inst.farm.uids:
             self._add_constraint(("nic", "S", l), self.inst.farm[l].nic_mbps)
+        for cid, capacity in (extra_constraints or {}).items():
+            if cid not in self.constraints:
+                self._add_constraint(cid, capacity)
+        self.inject = tuple(inject)
+        seen_keys = {f.key for f in self.inject}
+        if len(seen_keys) != len(self.inject):
+            raise ModelError("injected flow keys must be unique")
 
         # ---- dynamic state ---------------------------------------------
         self.queue = EventQueue()
@@ -232,6 +266,8 @@ class SteadyStateSimulator:
         self.n_events = 0
         self.cpu_busy: dict[int, float] = {u: 0.0 for u in self.procs}
         self.transferred: dict[object, float] = {}
+        self.injected_finish: dict[object, float] = {}
+        self._injected_left: set[object] = set()
 
         self.source_ops = tuple(
             i for i in self.tree.operator_indices if not self.tree.children(i)
@@ -357,6 +393,41 @@ class SteadyStateSimulator:
         self._apply_rate_changes(changed)
         return flow
 
+    def _start_injected(self) -> None:
+        """Launch every injected transfer at ``t = 0`` as one batch:
+        all flows register first, then the affected components refill
+        once (``FlowNetwork.add_flows``) — the reallocation step's flow
+        churn costs a single filling pass instead of one per flow.
+        The naive kernel mirrors this with one global recompute."""
+        if not self.inject:
+            return
+        self._settle()
+        batch = []
+        for spec in self.inject:
+            cap = spec.cap if self.flow_policy == "reserved" else None
+            self.flows[spec.key] = _Flow(
+                volume_left=spec.volume_mb,
+                constraints=spec.constraints,
+                cap=cap,
+                kind="injected",
+                payload=(),
+                volume_total=spec.volume_mb,
+            )
+            self._injected_left.add(spec.key)
+            batch.append((spec.key, spec.constraints, cap))
+        if self.kernel == "incremental":
+            changed = self.net.add_flows(batch)
+        else:
+            changed = self._naive_recompute()
+        self._apply_rate_changes(changed)
+        for spec in self.inject:
+            flow = self.flows[spec.key]
+            if spec.key not in changed and flow.volume_left <= _EPS:
+                self.queue.push(
+                    self.queue.now, TransferFinished(spec.key),
+                    key=spec.key,
+                )
+
     # ------------------------------------------------------------------
     # CPU / pipeline
     # ------------------------------------------------------------------
@@ -440,6 +511,9 @@ class SteadyStateSimulator:
         if flow.kind == "edge":
             op, t = flow.payload
             self._deliver(op, t)
+        elif flow.kind == "injected":
+            self.injected_finish[key] = self.queue.now
+            self._injected_left.discard(key)
         # download completions need no action: freshness bookkeeping is
         # done at launch time.
 
@@ -486,10 +560,18 @@ class SteadyStateSimulator:
         # periodic downloads
         for (u, k) in self.alloc.downloads:
             self.queue.push(0.0, DownloadLaunch(u, k, 0))
+        # exogenous drain / state-transfer flows, batched at t = 0
+        self._start_injected()
 
         saturated = False
         while self.queue:
-            if len(self.root_completions) >= self.n_results:
+            # a run with injected transfers keeps going until they all
+            # drain (or the horizon trips), so the transition simulator
+            # always observes the full drain time
+            if (
+                len(self.root_completions) >= self.n_results
+                and not self._injected_left
+            ):
                 break
             when = self.queue.peek_time()
             if when is not None and when > self.time_limit:
@@ -558,4 +640,5 @@ class SteadyStateSimulator:
             cpu_utilization=cpu_util,
             nic_utilization=nic_util,
             latencies=latencies,
+            injected_finish=dict(self.injected_finish),
         )

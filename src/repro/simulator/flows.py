@@ -336,6 +336,38 @@ class FlowNetwork:
             return {fid: cap} if cap != 0.0 else {}
         return self._refill_components([fid])
 
+    def add_flows(
+        self,
+        batch: Sequence[tuple[Hashable, tuple[Hashable, ...], float | None]],
+    ) -> dict[Hashable, float]:
+        """Register a batch of ``(fid, constraints, cap)`` flows, then
+        refill the affected components **once**.
+
+        This is the transition simulator's injection path: a
+        reallocation step starts one drain + one state-transfer flow
+        per migrated operator, and under the elastic policy every one
+        of them lands in the same big component — registering them all
+        before a single component refill replaces ``len(batch)``
+        refills with one, exactly as the ROADMAP prescribed for the
+        elastic component-refill path.  The resulting rates are
+        identical to adding the flows one at a time (each refill is
+        deterministic in the final membership), just cheaper.
+        """
+        if not batch:
+            return {}
+        for fid, constraints, cap in batch:
+            self._register(fid, constraints, cap)
+        if not self._bad and all(cap is not None for _f, _c, cap in batch):
+            # reserved fast path, batch form: every component stays
+            # all-caps-feasible, so each new flow gets exactly its cap.
+            changed: dict[Hashable, float] = {}
+            for fid, _constraints, cap in batch:
+                self._rate[fid] = cap
+                if cap != 0.0:
+                    changed[fid] = cap
+            return changed
+        return self._refill_components([fid for fid, _c, _cap in batch])
+
     def remove_flow(self, fid: Hashable) -> dict[Hashable, float]:
         """Drop a flow; returns every *surviving* flow whose rate changed."""
         was_clean = not self._bad

@@ -12,12 +12,19 @@ from repro.dynamic.policies import POLICY_ORDER, make_policy
 class TestBuiltins:
     def test_all_namespaces_populated(self):
         assert set(registry.NAMESPACES) == {
-            "placement", "server", "policy", "refine"
+            "placement", "server", "policy", "refine", "migration"
         }
         assert registry.names("placement")[:6] == HEURISTIC_ORDER
         assert set(registry.names("server")) == {"random", "three-loop"}
         assert registry.names("policy")[:4] == POLICY_ORDER
         assert "local-search" in registry.names("refine")
+        assert set(registry.names("migration")) == {"flat", "state-size"}
+
+    def test_make_migration_model(self):
+        model = registry.make("migration", "state-size")
+        assert model.name == "state-size"
+        flat = registry.make("migration", "flat", cost_per_migration=9.0)
+        assert flat.price_state(123.0) == 9.0
 
     @pytest.mark.parametrize("name", HEURISTIC_ORDER)
     def test_make_placement(self, name):

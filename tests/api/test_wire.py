@@ -68,6 +68,9 @@ def _random_replay_request(rng: random.Random) -> ReplayRequest:
         salvage_fraction=rng.choice((0.5, 0.1)),
         sim_kernel=rng.choice(("incremental", "naive")),
         sim_warmup=rng.random() < 0.5,
+        migration_model=rng.choice(("flat", "state-size")),
+        migration_cost_per_mb=rng.choice((1.25, 0.4)),
+        sim_transitions=rng.random() < 0.5,
     )
 
 

@@ -69,3 +69,29 @@ class TestFailureAnalysis:
         assert "1.7" in text
         assert "2.6" not in text.split("frontier")[1] or True
         assert "subtree-bottom-up" in text
+
+
+class TestMigrationScaleSweep:
+    def test_sweep_shape_and_gating(self):
+        """Two-point sweep on the ramp family: the expensive end moves
+        strictly fewer heavy operators and less state, renders as a
+        table, and never trades feasibility for money."""
+        from repro.experiments import migration_scale_sweep
+
+        sweep = migration_scale_sweep(
+            "ramp", policies=("harvest",), scales=(0.25, 64.0),
+            seed=2009,
+        )
+        cells = sweep.series("harvest")
+        assert [c.scale for c in cells] == [0.25, 64.0]
+        cheap, dear = cells
+        assert dear.heavy_migrations < cheap.heavy_migrations
+        assert dear.state_moved_mb < cheap.state_moved_mb
+        assert cheap.violation_epochs == dear.violation_epochs == 0
+        rendered = sweep.render()
+        assert "state-size pricing" in rendered
+        assert "harvest" in rendered
+        # every cell's replay really ran under the state-size model
+        assert all(
+            c.result.migration_model == "state-size" for c in cells
+        )

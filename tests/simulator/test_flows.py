@@ -310,3 +310,57 @@ class TestProperties:
                 if used >= caps[cid] * (1 - 1e-6):
                     saturated = True
             assert saturated, f"{fid} is neither capped nor blocked"
+
+
+class TestBatchedAdd:
+    """``add_flows``: one component refill for a whole injection batch,
+    bit-identical to adding the flows one at a time."""
+
+    def _networks(self, caps):
+        a, b = FlowNetwork(), FlowNetwork()
+        for cid, cap in caps.items():
+            a.add_constraint(cid, cap)
+            b.add_constraint(cid, cap)
+        return a, b
+
+    def test_batch_matches_sequential_rates(self):
+        caps = {"L1": 10.0, "L2": 6.0, "L3": 4.0}
+        batch = [
+            ("a", ("L1", "L2"), None),
+            ("b", ("L2", "L3"), None),
+            ("c", ("L1",), 2.5),
+            ("d", ("L3",), None),
+        ]
+        one, many = self._networks(caps)
+        for fid, cs, cap in batch:
+            one.add_flow(fid, cs, cap)
+        many.add_flows(batch)
+        assert dict(one.rates) == dict(many.rates)
+
+    def test_batch_changed_set_covers_new_flows(self):
+        caps = {"L": 8.0}
+        net, _ = self._networks(caps)
+        net.add_flow("old", ("L",), None)
+        changed = net.add_flows(
+            [("x", ("L",), None), ("y", ("L",), None)]
+        )
+        # the pre-existing flow shares the saturated link, so it moved
+        assert set(changed) == {"old", "x", "y"}
+        assert net.rate("old") == pytest.approx(8.0 / 3)
+
+    def test_batch_reserved_fast_path(self):
+        """All-caps batch into a clean network: rates are the caps and
+        nothing else moves."""
+        caps = {"L": 100.0}
+        net, _ = self._networks(caps)
+        net.add_flow("steady", ("L",), 10.0)
+        changed = net.add_flows(
+            [("i1", ("L",), 5.0), ("i2", ("L",), 0.0)]
+        )
+        assert changed == {"i1": 5.0}  # zero-cap flow reported like add_flow
+        assert net.rate("steady") == 10.0
+        assert net.rate("i2") == 0.0
+
+    def test_empty_batch_is_a_noop(self):
+        net, _ = self._networks({"L": 1.0})
+        assert net.add_flows([]) == {}

@@ -106,3 +106,90 @@ class TestReplayEquivalence:
         for kernel in FLOW_KERNELS:
             ReplayRequest(trace="ramp", sim_kernel=kernel)  # must not raise
         assert FLOW_KERNELS == ("incremental", "naive")
+
+
+@pytest.fixture(scope="module")
+def multi_alloc():
+    """A platform with ≥ 2 machines, so injected transfers have two
+    distinct NIC endpoints to contend on."""
+    inst = repro.quick_instance(40, alpha=1.8, seed=3)
+    a = allocate(inst, "subtree-bottom-up", rng=1).allocation
+    assert a.n_processors >= 2
+    return a
+
+
+class TestInjectedFlowEquivalence:
+    """Exogenous drain/state-transfer injection (the transition
+    simulator's path) must stay bit-identical across kernels and keep
+    the run alive until every injected flow drains."""
+
+    def _inject(self, multi_alloc):
+        from repro.simulator import InjectedFlow
+
+        uids = sorted(multi_alloc.processor_map)
+        if len(uids) < 2:
+            pytest.skip("needs a multi-machine platform")
+        u, v = uids[0], uids[1]
+        link = ("xlink", u, v)
+        return (
+            InjectedFlow(
+                key=("xfer", 0), volume_mb=200.0,
+                constraints=(("nic", "P", u), ("nic", "P", v), link),
+            ),
+            InjectedFlow(
+                key=("xdrain", 0), volume_mb=5.0,
+                constraints=(("nic", "P", u), ("nic", "P", v), link),
+            ),
+        ), {link: multi_alloc.instance.network.processor_link_mbps}
+
+    @pytest.mark.parametrize("flow_policy", ["elastic", "reserved"])
+    def test_kernels_match_with_injection(self, multi_alloc, flow_policy):
+        inject, extra = self._inject(multi_alloc)
+
+        def run(kernel):
+            return SteadyStateSimulator(
+                multi_alloc, n_results=25, flow_policy=flow_policy,
+                kernel=kernel, inject=inject, extra_constraints=extra,
+            ).run()
+
+        a, b = run("incremental"), run("naive")
+        assert a == b
+        assert set(a.injected_finish) == {("xfer", 0), ("xdrain", 0)}
+        assert all(t > 0.0 for t in a.injected_finish.values())
+
+    def test_run_outlives_results_until_drained(self, multi_alloc):
+        """A huge injected transfer finishes after the n-th result; the
+        run must keep going until it drains (bounded by the horizon)."""
+        inject, extra = self._inject(multi_alloc)
+        big = (inject[0].__class__(
+            key=("xfer", 0), volume_mb=5000.0,
+            constraints=inject[0].constraints,
+        ),)
+        sim = SteadyStateSimulator(
+            multi_alloc, n_results=5, flow_policy="elastic",
+            inject=big, extra_constraints=extra,
+        )
+        res = sim.run()
+        assert res.n_root_results >= 5
+        if ("xfer", 0) in res.injected_finish:
+            assert (
+                res.injected_finish[("xfer", 0)]
+                >= res.root_completions[4]
+            )
+
+    def test_duplicate_injected_keys_rejected(self, multi_alloc):
+        from repro.simulator import InjectedFlow
+
+        inject, extra = self._inject(multi_alloc)
+        dup = (inject[0], InjectedFlow(
+            key=("xfer", 0), volume_mb=1.0,
+            constraints=inject[0].constraints,
+        ))
+        with pytest.raises(ModelError, match="unique"):
+            SteadyStateSimulator(
+                multi_alloc, inject=dup, extra_constraints=extra
+            )
+
+    def test_no_injection_field_defaults_empty(self, multi_alloc):
+        res = simulate_allocation(multi_alloc, n_results=10)
+        assert res.injected_finish == {}

@@ -249,3 +249,49 @@ class TestServiceCommands:
             ).result(30)
             loop.call_soon_threadsafe(loop.stop)
             thread.join(timeout=10)
+
+
+class TestDynamicTransitionFlags:
+    def test_dynamic_state_size_model(self, capsys):
+        code = main([
+            "dynamic", "--trace", "ramp", "-P", "harvest", "-s", "7",
+            "--migration-model", "state-size",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "state moved" in out
+        assert "heavy moves" in out
+
+    def test_dynamic_transitions_reported(self, capsys):
+        code = main([
+            "dynamic", "--trace", "churn", "-P", "resolve", "-s", "2009",
+            "--transitions", "--table",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulated transition(s)" in out
+        assert "worst dip" in out
+        assert "drain" in out  # the per-epoch table's transition column
+
+    def test_dynamic_flat_output_has_no_transition_noise(self, capsys):
+        code = main([
+            "dynamic", "--trace", "ramp", "-P", "harvest", "-s", "7",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "state moved" not in out
+        assert "transition" not in out
+
+    def test_migration_model_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["dynamic", "--migration-model", "per-op"]
+            )
+
+    def test_validate_warmup_flags_parse(self):
+        args = build_parser().parse_args(
+            ["dynamic", "--validate", "--no-warmup"]
+        )
+        assert args.validate and args.no_warmup
+        args = build_parser().parse_args(["dynamic", "--validate"])
+        assert not args.no_warmup
