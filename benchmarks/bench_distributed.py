@@ -1,0 +1,224 @@
+"""Distributed-executor benchmark: fleet throughput vs the serial loop.
+
+The task-queue fabric's perf artefact: one seeded solve campaign runs
+three ways — :class:`~repro.api.SerialExecutor`, a 1-worker fleet,
+and a 4-worker fleet (in-process workers driven over real TCP
+sockets) — recording tasks/s for each into a machine-readable
+``BENCH_distributed.json`` at the repository root.
+
+The worker **topology is a top-level field** of the artefact
+(``topologies``: worker count + backend name per run), alongside
+``cpu_count``, so the numbers are interpretable without knowing which
+machine produced them: on this container's single core a 4-worker
+fleet adds only socket/pickle overhead, and the ≥1.5× speedup
+assertion is gated on ≥4 cores exactly like the repo's other timing
+gates.
+
+Correctness always rides along, ungated: every fleet result must be
+bit-identical to the serial run, with zero lost or poisoned tasks.
+
+Run the CI smoke mode from the repository root::
+
+    python benchmarks/bench_distributed.py --quick
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import threading
+import time
+
+from repro.api import FailureRecord, InstanceSpec, SolveRequest, solve_many
+from repro.distributed import DistributedExecutor, Worker
+
+from conftest import SEED, write_artefact
+
+BENCH_JSON = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "BENCH_distributed.json"
+)
+
+#: Campaign size (kept small: every task is a full solve pipeline).
+N_TASKS = 18
+#: Fleet sizes raced against the serial loop.
+FLEET_SIZES = (1, 4)
+#: Speedup the 4-worker fleet must show — on ≥4 cores only.
+MIN_SPEEDUP = 1.5
+
+
+def _requests() -> list[SolveRequest]:
+    return [
+        SolveRequest(
+            spec=InstanceSpec(
+                n_operators=8 + (i % 3) * 2, alpha=1.3, seed=SEED + i
+            ),
+            seed=SEED + i,
+        )
+        for i in range(N_TASKS)
+    ]
+
+
+def _fingerprint(sr) -> tuple:
+    if not sr.ok:
+        return ("failed", sr.failures, sr.seed)
+    alloc = sr.result.allocation
+    return (
+        sr.result.cost,
+        sr.result.heuristic,
+        tuple(sorted(alloc.assignment.items())),
+        sr.seed,
+    )
+
+
+def _run_fleet(requests, n_workers: int) -> dict:
+    """Time one campaign over an ``n_workers`` in-thread fleet."""
+    executor = DistributedExecutor(port=0)
+    workers = [
+        Worker("127.0.0.1", executor.coordinator.port,
+               name=f"bench-w{i}")
+        for i in range(n_workers)
+    ]
+    threads = [
+        threading.Thread(target=w.run, daemon=True) for w in workers
+    ]
+    try:
+        for t in threads:
+            t.start()
+        assert executor.wait_for_workers(n_workers, timeout=60)
+        start = time.perf_counter()
+        results = solve_many(requests, executor=executor)
+        wall_s = time.perf_counter() - start
+        stats = executor.stats()
+    finally:
+        executor.close()
+        for t in threads:
+            t.join(timeout=10)
+    return {
+        "backend": "distributed",
+        "n_workers": n_workers,
+        "wall_s": round(wall_s, 4),
+        "tasks_per_s": round(len(requests) / wall_s, 2),
+        "poisoned": stats["poisoned"],
+        "requeued": stats["requeued"],
+        "lost": sum(
+            1 for r in results if isinstance(r, FailureRecord)
+        ),
+        "fingerprints": [_fingerprint(r) for r in results],
+    }
+
+
+def regenerate() -> dict:
+    requests = _requests()
+
+    start = time.perf_counter()
+    serial_results = solve_many(requests)
+    serial_wall = time.perf_counter() - start
+    serial_prints = [_fingerprint(r) for r in serial_results]
+
+    runs = {"serial": {
+        "backend": "serial",
+        "n_workers": 0,
+        "wall_s": round(serial_wall, 4),
+        "tasks_per_s": round(len(requests) / serial_wall, 2),
+    }}
+    topologies = [{"name": "serial", "backend": "serial", "n_workers": 0}]
+    bit_identical = True
+    for n_workers in FLEET_SIZES:
+        run = _run_fleet(requests, n_workers)
+        bit_identical &= run.pop("fingerprints") == serial_prints
+        bit_identical &= run["lost"] == 0 and run["poisoned"] == 0
+        name = f"fleet-{n_workers}"
+        runs[name] = run
+        topologies.append({
+            "name": name,
+            "backend": run["backend"],
+            "n_workers": n_workers,
+        })
+
+    fleet = runs[f"fleet-{max(FLEET_SIZES)}"]
+    return {
+        "seed": SEED,
+        "cpu_count": os.cpu_count(),
+        "n_tasks": N_TASKS,
+        # the worker topology, top-level: what ran where
+        "topologies": topologies,
+        "runs": runs,
+        "bit_identical": bit_identical,
+        "speedup_vs_serial": round(
+            fleet["tasks_per_s"] / runs["serial"]["tasks_per_s"], 3
+        ),
+    }
+
+
+def _check(data: dict) -> list[str]:
+    """The claims; timing is gated on ≥4 cores, correctness never."""
+    problems = []
+    if not data["bit_identical"]:
+        problems.append(
+            "fleet results diverged from SerialExecutor (or tasks"
+            " were lost/poisoned)"
+        )
+    cores = data["cpu_count"] or 1
+    if cores >= 4 and data["speedup_vs_serial"] < MIN_SPEEDUP:
+        problems.append(
+            f"4-worker fleet managed only"
+            f" {data['speedup_vs_serial']}x on {cores} cores"
+            f" (floor {MIN_SPEEDUP}x)"
+        )
+    return problems
+
+
+def _render(data: dict) -> str:
+    lines = [
+        f"distributed executor: {data['n_tasks']} solve tasks"
+        f" (cpu_count {data['cpu_count']})",
+    ]
+    for name, run in data["runs"].items():
+        lines.append(
+            f"  {name:>8}: {run['tasks_per_s']:6.2f} tasks/s"
+            f" ({run['wall_s']:.2f}s wall, backend {run['backend']},"
+            f" {run['n_workers']} workers)"
+        )
+    lines.append(
+        f"  speedup vs serial: {data['speedup_vs_serial']}x"
+        f" (gate ≥{MIN_SPEEDUP}x on ≥4 cores),"
+        f" bit-identical {data['bit_identical']}"
+    )
+    return "\n".join(lines)
+
+
+def test_distributed_throughput(benchmark, artefact_dir):
+    data = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    write_artefact(
+        artefact_dir, "distributed_throughput", _render(data)
+    )
+    BENCH_JSON.write_text(
+        json.dumps(data, sort_keys=True, indent=2) + "\n",
+        encoding="utf8",
+    )
+    problems = _check(data)
+    assert not problems, "; ".join(problems)
+    benchmark.extra_info["data"] = data
+
+
+def main(quick: bool) -> int:
+    data = regenerate()
+    BENCH_JSON.write_text(
+        json.dumps(data, sort_keys=True, indent=2) + "\n",
+        encoding="utf8",
+    )
+    print(_render(data))
+    problems = _check(data)
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    if not problems:
+        print("OK: distributed benchmark"
+              + (" (quick)" if quick else ""))
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(quick="--quick" in sys.argv[1:]))

@@ -125,6 +125,9 @@ def regenerate() -> dict:
         "bit_identical": via_service == direct,
         "per_tenant": {
             t.name: {
+                # each row names the executor backend that served it,
+                # so rows stay interpretable when merged across runs
+                "backend": backend,
                 "completed": stats["tenants"][t.name]["completed"],
                 "weight": t.weight,
                 "queue_wait_s": stats["tenants"][t.name].get(

@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""CI smoke check for the distributed task-queue executor.
+
+Starts an in-process coordinator plus **two real** ``repro worker``
+subprocesses, fans a seeded solve campaign over them, and asserts:
+
+* every result is bit-identical to :class:`~repro.api.SerialExecutor`
+  (cost, winning heuristic, effective seed, assignment, failures);
+* zero tasks were lost or poisoned — ``completed`` equals
+  ``submitted`` in the coordinator's counters;
+* both workers actually did work, and a SIGTERM'd worker drains
+  gracefully (``departed``, not ``evicted``).
+
+Exits non-zero on any violation.  Run from the repository root::
+
+    python scripts/distributed_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import (  # noqa: E402
+    FailureRecord,
+    InstanceSpec,
+    SolveRequest,
+    solve_many,
+)
+from repro.distributed import DistributedExecutor  # noqa: E402
+
+N_WORKERS = 2
+N_REQUESTS = 16
+
+
+def _spawn_worker(port: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src")
+        + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker",
+         "--connect", f"127.0.0.1:{port}"],
+        env=env,
+        cwd=str(REPO_ROOT),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _fingerprint(sr) -> tuple:
+    if not sr.ok:
+        return ("failed", sr.failures)
+    alloc = sr.result.allocation
+    return (
+        sr.result.cost,
+        sr.result.heuristic,
+        sr.seed,
+        tuple(sorted(alloc.assignment.items())),
+        sr.failures,
+    )
+
+
+def main() -> int:
+    requests = [
+        SolveRequest(
+            spec=InstanceSpec(n_operators=8 + (s % 3) * 2, alpha=1.3,
+                              seed=s),
+            seed=s,
+        )
+        for s in range(N_REQUESTS)
+    ]
+    serial = solve_many(requests)
+
+    executor = DistributedExecutor(port=0)
+    procs = [
+        _spawn_worker(executor.coordinator.port) for _ in range(N_WORKERS)
+    ]
+    try:
+        if not executor.wait_for_workers(N_WORKERS, timeout=60):
+            print("FAIL: workers never registered")
+            for proc in procs:
+                proc.kill()
+                print(proc.communicate(timeout=10)[1])
+            return 1
+        distributed = solve_many(requests, executor=executor)
+        stats = executor.stats()
+
+        lost = sum(1 for r in distributed if isinstance(r, FailureRecord))
+        mismatches = [
+            i for i, (d, s) in enumerate(zip(distributed, serial))
+            if _fingerprint(d) != _fingerprint(s)
+        ]
+        shares = {
+            name: w["completed"] for name, w in stats["workers"].items()
+        }
+        print(
+            f"{N_REQUESTS} tasks over {N_WORKERS} workers:"
+            f" completed={stats['completed']}"
+            f" poisoned={stats['poisoned']} requeued={stats['requeued']}"
+            f" shares={shares} mismatches={len(mismatches)}"
+        )
+        if mismatches:
+            print(f"FAIL: results diverged from serial at {mismatches}")
+            return 1
+        if lost or stats["poisoned"]:
+            print("FAIL: tasks were lost or poisoned on a healthy fleet")
+            return 1
+        if stats["completed"] != stats["submitted"] != N_REQUESTS:
+            print("FAIL: completed/submitted counters disagree")
+            return 1
+        if any(done == 0 for done in shares.values()):
+            print("FAIL: a worker sat idle through the whole campaign")
+            return 1
+
+        # graceful drain: SIGTERM one worker, it must depart cleanly
+        procs[0].send_signal(signal.SIGTERM)
+        stdout, stderr = procs[0].communicate(timeout=60)
+        if procs[0].returncode != 0:
+            print(f"FAIL: SIGTERM'd worker exited dirty:\n{stderr}")
+            return 1
+        deadline = time.monotonic() + 30
+        while executor.stats()["departed"] < 1:
+            if time.monotonic() > deadline:
+                print("FAIL: drained worker never deregistered")
+                return 1
+            time.sleep(0.05)
+        if executor.stats()["evicted"] != 0:
+            print("FAIL: graceful drain was counted as an eviction")
+            return 1
+        print("OK: distributed smoke passed"
+              " (bit-identical, zero lost tasks, clean drain)")
+        return 0
+    finally:
+        executor.close()
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,12 +4,18 @@ The service APIs (:func:`repro.api.solve_many`,
 :func:`repro.api.replay_many`, the sweep runner, the parallel
 portfolio) are written against the tiny :class:`Executor` protocol —
 an order-preserving ``map`` — so the *what* (tasks) is decoupled from
-the *how* (serial loop vs. process pool).  Two backends ship:
+the *how* (serial loop vs. process pool vs. worker fleet).  Three
+backends ship:
 
 * :class:`SerialExecutor` — a plain loop; zero overhead, the default;
 * :class:`ParallelExecutor` — a ``concurrent.futures``
   ``ProcessPoolExecutor``; one Python process per worker, sidestepping
-  the GIL for the CPU-bound allocation pipeline.
+  the GIL for the CPU-bound allocation pipeline;
+* :class:`~repro.distributed.DistributedExecutor` (via
+  ``get_executor("remote:HOST:PORT")``) — a TCP coordinator fanning
+  tasks out to ``repro worker`` processes on any machine, with
+  heartbeat eviction, requeue-on-death, and poisoned-task records
+  (see :mod:`repro.distributed`).
 
 Determinism contract
 --------------------
@@ -102,12 +108,15 @@ class ParallelExecutor:
         return f"ParallelExecutor(workers={self.jobs})"
 
 
-def get_executor(jobs: "int | Executor | None") -> Executor:
+def get_executor(jobs: "int | str | Executor | None") -> Executor:
     """Normalise a ``jobs=`` argument into an executor.
 
     ``None``/``0``/``1`` → :class:`SerialExecutor`; ``N > 1`` →
-    :class:`ParallelExecutor` with ``N`` workers; an existing executor
-    passes through unchanged.
+    :class:`ParallelExecutor` with ``N`` workers;
+    ``"remote:HOST:PORT"`` → a
+    :class:`~repro.distributed.DistributedExecutor` coordinator bound
+    to that address, serving tasks to ``repro worker`` processes; an
+    existing executor passes through unchanged.
     """
     if jobs is None:
         return SerialExecutor()
@@ -117,8 +126,15 @@ def get_executor(jobs: "int | Executor | None") -> Executor:
         if jobs <= 1:
             return SerialExecutor()
         return ParallelExecutor(workers=jobs)
+    if isinstance(jobs, str) and jobs.startswith("remote:"):
+        # lazy: the distributed package imports the service layer,
+        # importing it here unconditionally would cycle
+        from ..distributed import DistributedExecutor
+
+        return DistributedExecutor.from_spec(jobs)
     if isinstance(jobs, Executor):
         return jobs
     raise TypeError(
-        f"jobs must be an int, an Executor, or None; got {jobs!r}"
+        f"jobs must be an int, 'remote:HOST:PORT', an Executor, or"
+        f" None; got {jobs!r}"
     )

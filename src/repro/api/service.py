@@ -222,7 +222,13 @@ def solve_many(
     results = executor.map(_solve_task, list(requests))
     if executor.name == "serial":
         return results
-    return [_dc_replace(r, backend=executor.name) for r in results]
+    return [
+        # a distributed backend resolves a poisoned task's slot to a
+        # bare FailureRecord — only real results carry provenance
+        _dc_replace(r, backend=executor.name)
+        if isinstance(r, SolveResult) else r
+        for r in results
+    ]
 
 
 # ----------------------------------------------------------------------

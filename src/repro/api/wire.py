@@ -40,15 +40,23 @@ Notes on non-scalar fields:
 from __future__ import annotations
 
 import dataclasses
+import json
+import struct
 from typing import Any, Mapping
 
 from .requests import InstanceSpec, ReplayRequest, SolveRequest, SweepRequest
 
 __all__ = [
+    "FrameError",
+    "MAX_FRAME_BYTES",
     "WIRE_VERSION",
     "WireFormatError",
+    "decode_frame",
+    "encode_frame",
+    "recv_frame",
     "request_from_wire",
     "request_to_wire",
+    "send_frame",
 ]
 
 #: Bumped on incompatible wire changes; servers reject newer payloads.
@@ -309,3 +317,88 @@ def _build(cls, kwargs: dict, what: str):
         raise
     except (TypeError, ValueError, KeyError) as err:
         raise WireFormatError(f"bad {what}: {err}") from err
+
+
+# ----------------------------------------------------------------------
+# length-prefixed JSON frames (the distributed subsystem's transport)
+# ----------------------------------------------------------------------
+
+#: Largest accepted frame body.  Problem instances are ~100 KB on the
+#: wire; this bound refuses absurdity (and garbage length prefixes from
+#: a non-protocol peer), it is not capacity planning.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")  # 4-byte big-endian unsigned length
+
+
+class FrameError(WireFormatError):
+    """A TCP frame could not be read or decoded: mid-frame EOF, an
+    oversized or garbage length prefix, or a non-JSON body."""
+
+
+def encode_frame(payload: Mapping[str, Any]) -> bytes:
+    """Serialise one message as ``<4-byte length><JSON utf-8 body>``."""
+    body = json.dumps(payload, sort_keys=True).encode("utf8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(body)} bytes exceeds the"
+            f" {MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> dict:
+    """Decode one frame *body* (the length prefix already stripped)."""
+    try:
+        payload = json.loads(body.decode("utf8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise FrameError(f"frame body is not JSON: {err}") from err
+    if not isinstance(payload, dict):
+        raise FrameError(
+            f"frame body must be a JSON object,"
+            f" got {type(payload).__name__}"
+        )
+    return payload
+
+
+def send_frame(sock, payload: Mapping[str, Any]) -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_frame(payload))
+
+
+def _recv_exact(sock, n: int, *, at_boundary: bool) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if at_boundary and remaining == n:
+                return None  # clean EOF between frames
+            raise FrameError(
+                f"connection closed mid-frame"
+                f" ({n - remaining} of {n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock) -> dict | None:
+    """Read one frame from a blocking socket.
+
+    Returns ``None`` on a clean EOF at a frame boundary (the peer hung
+    up between messages); raises :class:`FrameError` on mid-frame EOF,
+    an oversized length, or a non-JSON body.
+    """
+    header = _recv_exact(sock, _LENGTH.size, at_boundary=True)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame length {length} exceeds the"
+            f" {MAX_FRAME_BYTES}-byte limit (is the peer speaking the"
+            f" frame protocol?)"
+        )
+    body = _recv_exact(sock, length, at_boundary=False) if length else b""
+    return decode_frame(body)

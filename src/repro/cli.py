@@ -35,11 +35,19 @@ Subcommands
 ``submit``
     Submit one solve request to a running ``serve`` instance (or print
     its ``/stats`` with ``--stats``).
+``worker``
+    Join a distributed solve fleet: connect to a coordinator
+    (``repro worker --connect HOST:PORT``), pull tasks, heartbeat, and
+    stream results back (see :mod:`repro.distributed`).  SIGTERM
+    drains gracefully — in-flight work finishes before the worker
+    deregisters.
 
-``solve``, ``figure``, and ``dynamic`` accept ``--jobs N`` to fan
-their independent work items (heuristics, campaign grid cells,
-policies) out over ``N`` worker processes via :mod:`repro.api`;
-results are bit-identical to the serial run.
+``solve``, ``figure``, ``dynamic``, and ``serve`` accept ``--jobs N``
+to fan their independent work items (heuristics, campaign grid cells,
+policies) out over ``N`` worker processes via :mod:`repro.api`, or
+``--jobs remote:HOST:PORT`` to bind a coordinator on that address and
+fan out over ``repro worker`` processes instead; results are
+bit-identical to the serial run either way.
 
 Invoked with no subcommand, prints usage and exits 0.
 """
@@ -52,6 +60,46 @@ import sys
 from . import __version__
 
 __all__ = ["main", "build_parser"]
+
+
+def _jobs_arg(value: str) -> "int | str":
+    """``--jobs`` parser: a worker count, or ``remote:HOST:PORT``."""
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    if value.startswith("remote:"):
+        return value
+    raise argparse.ArgumentTypeError(
+        f"expected a worker count or remote:HOST:PORT, got {value!r}"
+    )
+
+_JOBS_HELP_SUFFIX = ", or remote:HOST:PORT to coordinate repro workers"
+
+
+def _open_executor(jobs: "int | str"):
+    """Materialise a ``--jobs`` value.  For remote specs, announce the
+    coordinator address and block until a worker joins (the campaign
+    cannot start without one)."""
+    from .api.executors import get_executor
+
+    executor = get_executor(jobs)
+    if isinstance(jobs, str):
+        print(
+            f"coordinator listening on {executor.address} — waiting for"
+            f" workers (start some with:"
+            f" repro worker --connect {executor.address})",
+            flush=True,
+        )
+        executor.wait_for_workers(1)
+        print(f"{executor.jobs} worker(s) connected", flush=True)
+    return executor
+
+
+def _close_executor(executor) -> None:
+    close = getattr(executor, "close", None)
+    if close is not None:
+        close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,8 +125,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument("--describe", action="store_true",
                     help="print the full allocation, not just the cost")
-    ps.add_argument("-j", "--jobs", type=int, default=1,
-                    help="worker processes (heuristics run in parallel)")
+    ps.add_argument("-j", "--jobs", type=_jobs_arg, default=1,
+                    help="worker processes (heuristics run in parallel)"
+                         + _JOBS_HELP_SUFFIX)
 
     pf = sub.add_parser("figure", help="re-run a §5 figure campaign")
     pf.add_argument("figure_id", choices=sorted(
@@ -89,8 +138,9 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("-s", "--seed", type=int, default=2009)
     pf.add_argument("--csv", type=str, default=None,
                     help="also write CSV to this path")
-    pf.add_argument("-j", "--jobs", type=int, default=1,
-                    help="worker processes for the campaign grid")
+    pf.add_argument("-j", "--jobs", type=_jobs_arg, default=1,
+                    help="worker processes for the campaign grid"
+                         + _JOBS_HELP_SUFFIX)
 
     po = sub.add_parser("optimal", help="heuristics vs exact optimum")
     po.add_argument("-n", "--operators", type=int, default=12)
@@ -145,8 +195,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="policy name (repeatable; default: all four)",
     )
     pd.add_argument("-s", "--seed", type=int, default=2009)
-    pd.add_argument("-j", "--jobs", type=int, default=1,
-                    help="worker processes (policies replay in parallel)")
+    pd.add_argument("-j", "--jobs", type=_jobs_arg, default=1,
+                    help="worker processes (policies replay in parallel)"
+                         + _JOBS_HELP_SUFFIX)
     pd.add_argument("--validate", action="store_true",
                     help="validate every epoch in the simulator")
     pd.add_argument("--no-warmup", action="store_true",
@@ -174,8 +225,9 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--host", default="127.0.0.1")
     pv.add_argument("--port", type=int, default=8642,
                     help="TCP port (0 picks a free one)")
-    pv.add_argument("-j", "--jobs", type=int, default=1,
-                    help="executor backend: 1 = serial, N = process pool")
+    pv.add_argument("-j", "--jobs", type=_jobs_arg, default=1,
+                    help="executor backend: 1 = serial, N = process pool"
+                         + _JOBS_HELP_SUFFIX)
     pv.add_argument("--max-in-flight", type=int, default=None,
                     help="concurrent requests in execution"
                          " (default: --jobs)")
@@ -209,6 +261,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="submit this wire-format JSON request instead")
     pu.add_argument("--stats", action="store_true",
                     help="print the service /stats snapshot and exit")
+    pu.add_argument("--async", dest="async_mode", action="store_true",
+                    help="submit asynchronously (202 + ticket) and poll"
+                         " /v1/result/<id> until done")
+
+    pw = sub.add_parser(
+        "worker",
+        help="join a distributed solve fleet (repro.distributed)",
+    )
+    pw.add_argument("--connect", required=True, metavar="HOST:PORT",
+                    help="coordinator address to register with")
+    pw.add_argument("--name", default=None,
+                    help="worker name (default: worker-<pid>)")
+    pw.add_argument("--window", type=int, default=2,
+                    help="max tasks in flight on this worker")
+    pw.add_argument("--max-tasks", type=int, default=None,
+                    help="drain gracefully after this many tasks")
     return p
 
 
@@ -234,7 +302,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         SolveRequest(instance=inst, strategy=name, seed=args.seed)
         for name in names
     ]
-    for name, sr in zip(names, solve_many(requests, executor=args.jobs)):
+    executor = _open_executor(args.jobs)
+    try:
+        results = solve_many(requests, executor=executor)
+    finally:
+        _close_executor(executor)
+    for name, sr in zip(names, results):
         if not sr.ok:
             for failure in sr.failures:
                 print(f"{name:22s} FAILED ({failure.error_type}):"
@@ -261,8 +334,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     )
 
     fn = FIGURE_REGISTRY[args.figure_id]
-    sweep = fn(n_instances=args.instances, master_seed=args.seed,
-               executor=args.jobs)
+    executor = _open_executor(args.jobs)
+    try:
+        sweep = fn(n_instances=args.instances, master_seed=args.seed,
+                   executor=executor)
+    finally:
+        _close_executor(executor)
     print(format_sweep_table(sweep))
     print(ranking_summary(sweep))
     if args.csv:
@@ -424,7 +501,11 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
         )
         for name in names
     ]
-    results = replay_many(requests, executor=args.jobs)
+    executor = _open_executor(args.jobs)
+    try:
+        results = replay_many(requests, executor=executor)
+    finally:
+        _close_executor(executor)
     for result in results:
         print(result.summary())
         if args.migration_model != "flat":
@@ -474,10 +555,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as err:
         print(f"bad --tenant: {err}", file=sys.stderr)
         return 2
+    executor = _open_executor(args.jobs)
     service = AllocationService(
         tenants=tenants,
         auto_register=not args.no_auto_register,
-        jobs=args.jobs,
+        jobs=executor,
         max_in_flight=args.max_in_flight,
         max_queue_depth=args.queue_depth,
     )
@@ -504,6 +586,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("service stopped")
+    finally:
+        _close_executor(executor)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .distributed import run_worker
+
+    host, sep, port_text = args.connect.rpartition(":")
+    if not sep or not host:
+        print(f"bad --connect {args.connect!r}: expected HOST:PORT",
+              file=sys.stderr)
+        return 2
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"bad --connect port {port_text!r}: expected an integer",
+              file=sys.stderr)
+        return 2
+    try:
+        n_done = run_worker(
+            host, port,
+            name=args.name,
+            window=args.window,
+            max_tasks=args.max_tasks,
+            install_signal_handlers=True,
+        )
+    except (ConnectionError, OSError) as err:
+        print(f"worker error: {err}", file=sys.stderr)
+        return 1
+    print(f"worker done: {n_done} task(s) executed", flush=True)
     return 0
 
 
@@ -550,10 +663,27 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 ),
                 seed=args.seed,
             )
-        response = client.submit(
-            request, tenant=args.tenant, priority=args.priority,
-            deadline_s=args.deadline,
-        )
+        if args.async_mode:
+            pending = client.submit_async(
+                request, tenant=args.tenant, priority=args.priority,
+                deadline_s=args.deadline,
+            )
+            print(f"ticket #{pending['ticket']} accepted (202) —"
+                  f" polling {pending['poll']}", flush=True)
+            response = client.wait(pending["ticket"])
+            if response.get("status") != "done":
+                print(
+                    f"ticket #{pending['ticket']}"
+                    f" {response.get('status')}:"
+                    f" {response.get('error', 'no result')}",
+                    file=sys.stderr,
+                )
+                return 1
+        else:
+            response = client.submit(
+                request, tenant=args.tenant, priority=args.priority,
+                deadline_s=args.deadline,
+            )
     except ServiceError as err:
         label = "rejected" if err.rejected else f"HTTP {err.status}"
         print(f"{label}: {err}", file=sys.stderr)
@@ -612,6 +742,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_dynamic(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "submit":
         return _cmd_submit(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -1,0 +1,52 @@
+"""Distributed task-queue executor: a multi-worker solve fabric.
+
+The first multi-host backend behind the
+:class:`~repro.api.Executor` protocol.  A :class:`Coordinator` owns a
+TCP socket; :class:`Worker` processes (``repro worker --connect
+HOST:PORT``) register over length-prefixed JSON frames
+(:mod:`repro.api.wire`), pull tasks under a bounded per-worker
+in-flight window, heartbeat, and stream results back.
+:class:`DistributedExecutor` wraps the coordinator as a drop-in
+executor, so everything that takes ``executor=`` / ``jobs=`` —
+:func:`repro.api.solve_many`, :func:`~repro.api.replay_many`,
+:func:`~repro.api.sweep`, :class:`~repro.service.AllocationService`,
+and the CLI's ``--jobs remote:HOST:PORT`` — fans out over the fleet.
+
+Fault tolerance: dead or heartbeat-silent workers are evicted and
+their in-flight tasks requeued; task-level failures retry on distinct
+workers with capped exponential backoff; a task that fails everywhere
+resolves to a structured ``stage="poisoned"``
+:class:`~repro.api.FailureRecord` instead of hanging; draining
+workers finish their in-flight work before deregistering.  Results
+are bit-identical to :class:`~repro.api.SerialExecutor` throughout —
+per-task seeds make placement irrelevant.
+
+Quickstart (one box, three processes)::
+
+    # terminal 1 — a campaign that waits for workers
+    from repro.api import InstanceSpec, SolveRequest, solve_many
+    from repro.distributed import DistributedExecutor
+
+    with DistributedExecutor(port=8653) as ex:
+        ex.wait_for_workers(2, timeout=60)
+        results = solve_many(
+            [SolveRequest(spec=InstanceSpec(seed=s), seed=s)
+             for s in range(32)],
+            executor=ex,
+        )
+
+    # terminals 2+3
+    #   repro worker --connect 127.0.0.1:8653
+"""
+
+from .coordinator import Coordinator, DistributedExecutor
+from .protocol import PROTOCOL_VERSION
+from .worker import Worker, run_worker
+
+__all__ = [
+    "Coordinator",
+    "DistributedExecutor",
+    "PROTOCOL_VERSION",
+    "Worker",
+    "run_worker",
+]

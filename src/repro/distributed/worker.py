@@ -1,0 +1,258 @@
+"""The worker: pulls tasks from a coordinator, executes, streams back.
+
+A worker is deliberately dumb — connect, register, loop: receive a
+task frame, run ``fn(item)``, send the result (or a structured
+``task-error`` if the function raised).  Parallelism comes from
+running *many* worker processes, each with a small in-flight window
+the coordinator enforces; a worker itself executes strictly serially,
+which is what keeps distributed results bit-identical to
+:class:`~repro.api.SerialExecutor`.
+
+A background thread heartbeats at the interval the coordinator's
+welcome message dictates, so the coordinator can tell "slow solve" from
+"dead process" while the main thread is deep in an allocation.
+
+Graceful drain (:meth:`Worker.request_drain`, ``--max-tasks``, or
+SIGTERM on the CLI): the worker tells the coordinator to stop
+assigning, finishes every task already sent to it, says goodbye, and
+exits — zero requeues, zero lost work.  A SIGKILL'd worker, by
+contrast, is evicted coordinator-side and its in-flight tasks requeue
+onto the survivors.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Callable
+
+from ..api.wire import recv_frame, send_frame
+from .protocol import (
+    MSG_DRAIN,
+    MSG_GOODBYE,
+    MSG_HEARTBEAT,
+    MSG_REGISTER,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    MSG_TASK,
+    MSG_TASK_ERROR,
+    MSG_WELCOME,
+    PROTOCOL_VERSION,
+    decode_task,
+    describe_error,
+    encode_result,
+)
+
+__all__ = ["Worker", "run_worker"]
+
+
+class Worker:
+    """One serially-executing fleet member.
+
+    ``run()`` blocks until the coordinator shuts the worker down, the
+    connection drops, or a drain completes; it returns the number of
+    tasks executed.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        name: str | None = None,
+        window: int = 2,
+        max_tasks: int | None = None,
+        heartbeat_s: float | None = None,
+        connect_timeout_s: float = 10.0,
+        connect_retries: int = 20,
+        on_task: Callable[[int], None] | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.name = name or f"worker-{os.getpid()}"
+        self.window = max(1, window)
+        self.max_tasks = max_tasks
+        #: None → adopt the interval the coordinator's welcome dictates.
+        self.heartbeat_s = heartbeat_s
+        self.connect_timeout_s = connect_timeout_s
+        self.connect_retries = connect_retries
+        self.on_task = on_task
+        self.n_done = 0
+        self._sock: socket.socket | None = None
+        # reentrant: request_drain may fire from a signal handler while
+        # the main thread is inside _send — an RLock turns that into
+        # "drain frame follows the in-progress frame" instead of a
+        # self-deadlock
+        self._send_lock = threading.RLock()
+        self._drain_sent = False
+        self._stop_heartbeat = threading.Event()
+
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        """Dial the coordinator, retrying briefly — workers routinely
+        start before the coordinator's socket is up."""
+        last: OSError | None = None
+        for attempt in range(max(1, self.connect_retries)):
+            try:
+                return socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout_s
+                )
+            except OSError as err:
+                last = err
+                time.sleep(min(0.05 * 2 ** attempt, 1.0))
+        raise ConnectionError(
+            f"could not reach coordinator at {self.host}:{self.port}:"
+            f" {last}"
+        )
+
+    def _send(self, payload: dict) -> None:
+        with self._send_lock:
+            send_frame(self._sock, payload)
+
+    def request_drain(self) -> None:
+        """Ask the coordinator to stop assigning work (thread- and
+        signal-safe; idempotent).  The run loop finishes everything
+        already assigned, then exits cleanly."""
+        with self._send_lock:
+            if self._drain_sent or self._sock is None:
+                return
+            self._drain_sent = True
+            try:
+                send_frame(self._sock, {"type": MSG_DRAIN})
+            except OSError:
+                pass  # the run loop will notice the dead socket
+
+    def _heartbeat_loop(self, interval: float) -> None:
+        while not self._stop_heartbeat.wait(interval):
+            try:
+                self._send({"type": MSG_HEARTBEAT})
+            except OSError:
+                return
+
+    def _execute(self, msg: dict) -> None:
+        task_id = msg.get("task")
+        try:
+            fn, item = decode_task(msg.get("payload") or {})
+            value = fn(item)
+            out = {
+                "type": MSG_RESULT,
+                "task": task_id,
+                "payload": encode_result(value),
+            }
+        except Exception as err:  # noqa: BLE001 — shipped, not hidden
+            out = {
+                "type": MSG_TASK_ERROR,
+                "task": task_id,
+                "error": describe_error(err),
+            }
+        self._send(out)
+        self.n_done += 1
+        if self.on_task is not None:
+            self.on_task(self.n_done)
+        if self.max_tasks is not None and self.n_done >= self.max_tasks:
+            self.request_drain()
+
+    def run(self) -> int:
+        """Serve until shutdown/drain/disconnect; returns tasks done."""
+        sock = self._connect()
+        sock.settimeout(None)
+        self._sock = sock
+        heartbeat_thread: threading.Thread | None = None
+        try:
+            self._send({
+                "type": MSG_REGISTER,
+                "worker": self.name,
+                "pid": os.getpid(),
+                "window": self.window,
+                "protocol": PROTOCOL_VERSION,
+            })
+            sock.settimeout(self.connect_timeout_s)
+            welcome = recv_frame(sock)
+            sock.settimeout(None)
+            if welcome is None or welcome.get("type") != MSG_WELCOME:
+                raise ConnectionError(
+                    f"coordinator at {self.host}:{self.port} did not"
+                    f" welcome the registration (got {welcome!r})"
+                )
+            self.name = welcome.get("worker", self.name)
+            interval = self.heartbeat_s or float(
+                welcome.get("heartbeat_s") or 1.0
+            )
+            heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop, args=(interval,),
+                name=f"repro-worker-heartbeat-{self.name}", daemon=True,
+            )
+            heartbeat_thread.start()
+            while True:
+                try:
+                    msg = recv_frame(sock)
+                except (ValueError, OSError):
+                    break
+                if msg is None:
+                    break  # coordinator hung up
+                kind = msg.get("type")
+                if kind == MSG_TASK:
+                    self._execute(msg)
+                elif kind == MSG_DRAIN:
+                    # every task frame sent before this ack has already
+                    # been executed (frames are processed in order) —
+                    # safe to leave
+                    try:
+                        self._send({"type": MSG_GOODBYE})
+                    except OSError:
+                        pass
+                    break
+                elif kind == MSG_SHUTDOWN:
+                    break
+                # unknown types ignored: forward compatibility
+        finally:
+            self._stop_heartbeat.set()
+            if heartbeat_thread is not None:
+                heartbeat_thread.join(timeout=2.0)
+            with self._send_lock:
+                self._sock = None
+            try:
+                sock.close()
+            except OSError:
+                pass
+        return self.n_done
+
+
+def run_worker(
+    host: str,
+    port: int,
+    *,
+    name: str | None = None,
+    window: int = 2,
+    max_tasks: int | None = None,
+    install_signal_handlers: bool = False,
+) -> int:
+    """Run one worker to completion (the ``repro worker`` entry point).
+
+    With ``install_signal_handlers=True``, SIGTERM/SIGINT trigger a
+    graceful drain (finish in-flight work, deregister) instead of
+    killing the process mid-task; a second signal exits hard.
+    """
+    worker = Worker(
+        host, port, name=name, window=window, max_tasks=max_tasks
+    )
+    if install_signal_handlers:
+        import signal
+
+        seen = {"count": 0}
+
+        def _drain(signum, frame):  # pragma: no cover — signal path
+            seen["count"] += 1
+            if seen["count"] > 1:
+                raise SystemExit(1)
+            worker.request_drain()
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                signal.signal(sig, _drain)
+            except (ValueError, OSError):  # non-main thread / platform
+                pass
+    return worker.run()

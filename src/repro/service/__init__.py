@@ -41,7 +41,12 @@ Over HTTP: ``repro serve --port 8642`` on one side,
 :class:`HttpServiceClient`) on the other.
 """
 
-from .broker import AdmissionRejected, AllocationService, Ticket
+from .broker import (
+    AdmissionRejected,
+    AllocationService,
+    Ticket,
+    request_cache_key,
+)
 from .client import (
     HttpServiceClient,
     PendingResult,
@@ -76,4 +81,5 @@ __all__ = [
     "TokenBucket",
     "parse_tenant_spec",
     "percentile",
+    "request_cache_key",
 ]

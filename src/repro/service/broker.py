@@ -23,7 +23,14 @@ concurrently and schedules them onto the existing executor backends:
 * **execution** runs outside the event loop — in a worker thread for
   the serial backend, in a persistent ``ProcessPoolExecutor`` sized
   like the :class:`~repro.api.executors.ParallelExecutor` backend for
-  ``jobs > 1`` — bounded by ``max_in_flight`` concurrent requests.
+  ``jobs > 1``, or through a custom executor's ``map()`` (e.g. a
+  :class:`~repro.distributed.DistributedExecutor` fleet) — bounded by
+  ``max_in_flight`` concurrent requests;
+* **result caching**: completed results for *deterministic* requests
+  (explicit seed, no time budget, wire-serialisable — see
+  :func:`request_cache_key`) land in a bounded LRU; a repeat submit is
+  answered at the door without touching the solver.  Hit/miss counts
+  surface under ``service.cache`` in ``/stats``.
 
 Determinism: the service adds no entropy.  A seeded request produces
 the *same* :class:`~repro.api.requests.SolveResult` (allocation,
@@ -37,9 +44,11 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import json
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from ..api.executors import (
@@ -63,6 +72,7 @@ __all__ = [
     "AllocationService",
     "Ticket",
     "execute_request",
+    "request_cache_key",
 ]
 
 class AdmissionRejected(Exception):
@@ -106,6 +116,37 @@ def execute_request(request):
     )
 
 
+def request_cache_key(request) -> "str | None":
+    """Canonical cache key for a request, or ``None`` when the result
+    must not be cached.
+
+    Cacheable means *deterministically reproducible from the request
+    alone*: an explicitly seeded request with no wall-clock coupling.
+    ``None`` is returned for
+
+    * a :class:`SolveRequest` without a seed (the service would draw
+      fresh entropy per call — two submits are *meant* to differ);
+    * any ``time_budget_s`` (which member hits the budget depends on
+      machine speed, not the request);
+    * requests that don't round-trip through the wire codec (e.g. an
+      in-memory :class:`~repro.dynamic.WorkloadTrace`) — without a
+      canonical serialisation there is no sound key.
+    """
+    from ..api.wire import WireFormatError, request_to_wire
+
+    if isinstance(request, SolveRequest):
+        if request.seed is None or request.time_budget_s is not None:
+            return None
+    try:
+        wire = request_to_wire(request)
+    except (WireFormatError, TypeError):
+        return None
+    try:
+        return json.dumps(wire, sort_keys=True)
+    except (TypeError, ValueError):
+        return None
+
+
 @dataclass(eq=False)
 class Ticket:
     """Broker-side handle of one admitted request."""
@@ -118,6 +159,8 @@ class Ticket:
     deadline: float | None
     future: asyncio.Future
     queued: QueuedTicket
+    #: set when the result should populate the cache on completion
+    cache_key: "str | None" = field(default=None)
 
     @property
     def done(self) -> bool:
@@ -139,9 +182,10 @@ class AllocationService:
         tenants: "tuple[TenantConfig, ...] | list[TenantConfig]" = (),
         default_tenant: TenantConfig | None = None,
         auto_register: bool = True,
-        jobs: "int | Executor | None" = None,
+        jobs: "int | str | Executor | None" = None,
         max_in_flight: int | None = None,
         max_queue_depth: int = 256,
+        cache_size: int = 128,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.executor = get_executor(jobs)
@@ -163,6 +207,18 @@ class AllocationService:
                 f"max_queue_depth must be >= 1, got {max_queue_depth}"
             )
         self.max_queue_depth = max_queue_depth
+        if cache_size < 0:
+            raise ValueError(
+                f"cache_size must be >= 0, got {cache_size}"
+            )
+        #: bounded LRU of completed results for seeded (deterministic)
+        #: requests; 0 disables.  Sound because a cacheable request's
+        #: result is a pure function of the request (see
+        #: :func:`request_cache_key`).
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[str, object]" = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
         self._clock = clock
         self.queue = FairQueue(weight_of=self._weight_of)
         self._tickets: dict[int, Ticket] = {}
@@ -316,6 +372,21 @@ class AllocationService:
             queued=queued,
         )
         queued.context = ticket
+        key = (
+            request_cache_key(request) if self.cache_size > 0 else None
+        )
+        if key is not None and key in self._cache:
+            # resolved at the door: admission (quota, rate limit) was
+            # still charged, but the solver never runs
+            self._cache.move_to_end(key)
+            self._cache_hits += 1
+            state.metrics.admitted += 1
+            state.metrics.completed += 1
+            ticket.future.set_result(self._cache[key])
+            return ticket
+        if key is not None:
+            self._cache_misses += 1
+            ticket.cache_key = key
         self._tickets[ticket_id] = ticket
         self.queue.push(queued)
         state.n_queued += 1
@@ -428,6 +499,13 @@ class AllocationService:
                 # result carries the records; count it for /stats
                 state.metrics.failed += 1
             state.metrics.service_time.record(self._clock() - start)
+            if ticket.cache_key is not None and self.cache_size > 0:
+                # failed-but-deterministic results cache too: the same
+                # seeded request will fail the same way every time
+                self._cache[ticket.cache_key] = result
+                self._cache.move_to_end(ticket.cache_key)
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
             if not ticket.future.done():
                 ticket.future.set_result(result)
         finally:
@@ -471,6 +549,12 @@ class AllocationService:
                 "max_queue_depth": self.max_queue_depth,
                 "queued": len(self.queue),
                 "in_flight": self._in_flight,
+                "cache": {
+                    "capacity": self.cache_size,
+                    "size": len(self._cache),
+                    "hits": self._cache_hits,
+                    "misses": self._cache_misses,
+                },
                 "uptime_s": (
                     round(self._clock() - self._started_at, 3)
                     if self._started_at is not None

@@ -26,6 +26,7 @@ import asyncio
 import http.client
 import json
 import threading
+import time
 import urllib.parse
 from typing import Any
 
@@ -218,7 +219,7 @@ class HttpServiceClient:
                 data = json.loads(raw) if raw else {}
             except json.JSONDecodeError:
                 data = {"error": raw.decode("utf8", "replace")}
-            if response.status != 200:
+            if response.status not in (200, 202):
                 raise ServiceError(response.status, data)
             return data
         finally:
@@ -260,3 +261,47 @@ class HttpServiceClient:
         if deadline_s is not None:
             payload["deadline_s"] = deadline_s
         return self._request("POST", "/v1/submit", payload)
+
+    def submit_async(
+        self,
+        request,
+        *,
+        tenant: str = "default",
+        priority: int = 0,
+        deadline_s: float | None = None,
+    ) -> dict:
+        """Submit without holding the connection: returns the 202
+        ticket dict (``{"ticket", "status": "pending", "poll"}``)
+        immediately.  Poll with :meth:`result` or block with
+        :meth:`wait`."""
+        payload: dict = {
+            "tenant": tenant,
+            "priority": priority,
+            "request": request_to_wire(request),
+        }
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        return self._request("POST", "/v1/submit?mode=async", payload)
+
+    def result(self, ticket: int) -> dict:
+        """One poll of an async ticket: the state dict whose
+        ``status`` is ``pending``/``done``/``failed``/``cancelled``.
+        Raises :class:`ServiceError` (404) for unknown tickets."""
+        return self._request("GET", f"/v1/result/{int(ticket)}")
+
+    def wait(self, ticket: int, *, timeout: float = 600.0,
+             poll_s: float = 0.05) -> dict:
+        """Poll an async ticket until it leaves ``pending``; returns
+        the final state dict.  Raises :class:`TimeoutError` when the
+        budget runs out first."""
+        deadline = time.monotonic() + timeout
+        while True:
+            state = self.result(ticket)
+            if state.get("status") != "pending":
+                return state
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"async ticket #{ticket} still pending after"
+                    f" {timeout:g}s"
+                )
+            time.sleep(poll_s)

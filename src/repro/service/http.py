@@ -4,25 +4,41 @@ A deliberately small HTTP/1.1 implementation — request line, headers,
 ``Content-Length`` body, ``Connection: close`` — because the service
 needs exactly five routes and zero framework:
 
-========  ==============  ==================================================
-method    path            body → response
-========  ==============  ==================================================
-GET       /healthz        → ``{"ok": true}``
-GET       /stats          → the service snapshot (per-tenant counters,
-                            queue-wait/solve-latency percentiles)
-POST      /v1/submit      ``{"tenant", "priority", "deadline_s",
-                            "request": <wire>}`` → the completed result
-                            (the connection is held open while the
-                            request queues and solves)
-POST      /v1/cancel      ``{"ticket": id}`` → ``{"cancelled": bool}``
-POST      /v1/tenants     a :class:`~repro.service.tenants.TenantConfig`
-                            as JSON → registers/reconfigures a tenant
-========  ==============  ==================================================
+========  ================  ================================================
+method    path              body → response
+========  ================  ================================================
+GET       /healthz          → ``{"ok": true}``
+GET       /stats            → the service snapshot (per-tenant counters,
+                              queue-wait/solve-latency percentiles,
+                              result-cache hit rates)
+POST      /v1/submit        ``{"tenant", "priority", "deadline_s",
+                              "request": <wire>}`` → the completed result
+                              (the connection is held open while the
+                              request queues and solves)
+POST      /v1/submit        with ``?mode=async``: → **202** with
+                              ``{"ticket", "status": "pending",
+                              "poll": "/v1/result/<id>"}`` — the
+                              connection is released immediately and the
+                              result is fetched by polling
+POST      /v1/cancel        ``{"ticket": id}`` → ``{"cancelled": bool}``
+GET       /v1/result/<id>   → the async ticket's state: ``status`` is
+                              ``pending`` | ``done`` | ``failed`` |
+                              ``cancelled``, with the result payload
+                              inline once done; 404 for unknown (or
+                              long-since-evicted) tickets
+POST      /v1/tenants       a :class:`~repro.service.tenants.TenantConfig`
+                              as JSON → registers/reconfigures a tenant
+========  ================  ================================================
 
 Request payloads ride the :mod:`repro.api.wire` format; malformed
 bodies are 400s with the wire error message, admission rejections are
 429s carrying the structured failure record, so a client can tell "you
 typo'd a field" from "slow down" without parsing prose.
+
+Async tickets are kept in memory: pending ones for as long as they
+run, finished ones until :data:`MAX_ASYNC_RESULTS` newer ones have
+finished (bounded eviction — a poller that sleeps for a week gets a
+404, not an unbounded server).
 """
 
 from __future__ import annotations
@@ -30,6 +46,8 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import json
+import urllib.parse
+from collections import OrderedDict
 from typing import Any, Mapping
 
 from ..api.requests import ReplayRequest, SolveRequest, SweepRequest
@@ -46,6 +64,10 @@ __all__ = ["ServiceHTTPServer"]
 #: Largest accepted request body (a full ProblemInstance is ~100 KB;
 #: this bound is about refusing absurdity, not capacity planning).
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Finished async tickets retained for ``GET /v1/result/<id>`` before
+#: the oldest are evicted (pending tickets are never evicted).
+MAX_ASYNC_RESULTS = 1024
 
 _STATUS_TEXT = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
@@ -131,6 +153,9 @@ class ServiceHTTPServer:
         #: holds the connection while the request queues and solves.
         self.read_timeout = read_timeout
         self._server: asyncio.AbstractServer | None = None
+        #: async-submit ticket states, insertion-ordered for eviction
+        self._async: "OrderedDict[int, dict]" = OrderedDict()
+        self._async_tasks: set[asyncio.Task] = set()
 
     async def start(self) -> None:
         await self.service.start()
@@ -151,6 +176,10 @@ class ServiceHTTPServer:
             await self._server.wait_closed()
             self._server = None
         await self.service.aclose()
+        if self._async_tasks:  # settle pending async tickets
+            await asyncio.gather(
+                *self._async_tasks, return_exceptions=True
+            )
 
     # ------------------------------------------------------------------
     # protocol plumbing
@@ -244,12 +273,16 @@ class ServiceHTTPServer:
     async def _route(
         self, method: str, path: str, raw: bytes
     ) -> tuple[int, dict]:
+        path, _, query_text = path.partition("?")
+        query = urllib.parse.parse_qs(query_text)
         if path == "/healthz" and method == "GET":
             return 200, {"ok": True}
         if path == "/stats" and method == "GET":
             return 200, self.service.snapshot()
         if path == "/v1/submit" and method == "POST":
-            return await self._submit(raw)
+            return await self._submit(raw, query)
+        if path.startswith("/v1/result/") and method == "GET":
+            return self._poll(path[len("/v1/result/"):])
         if path == "/v1/cancel" and method == "POST":
             body = self._json_body(raw, "cancel")
             _check_fields(body, ("ticket",), "cancel body")
@@ -275,8 +308,8 @@ class ServiceHTTPServer:
             self.service.registry.register(config)
             return 200, {"registered": config.name}
         known = (
-            "GET /healthz, GET /stats, POST /v1/submit,"
-            " POST /v1/cancel, POST /v1/tenants"
+            "GET /healthz, GET /stats, POST /v1/submit[?mode=async],"
+            " GET /v1/result/<id>, POST /v1/cancel, POST /v1/tenants"
         )
         if path in ("/healthz", "/stats", "/v1/submit", "/v1/cancel",
                     "/v1/tenants"):
@@ -285,7 +318,14 @@ class ServiceHTTPServer:
         return 404, {"error": f"no route {method} {path}"
                               f" (routes: {known})"}
 
-    async def _submit(self, raw: bytes) -> tuple[int, dict]:
+    async def _submit(
+        self, raw: bytes, query: Mapping[str, list]
+    ) -> tuple[int, dict]:
+        mode = (query.get("mode") or ["sync"])[-1]
+        if mode not in ("sync", "async"):
+            raise _bad(
+                f"unknown submit mode {mode!r} (use 'sync' or 'async')"
+            )
         body = self._json_body(raw, "submit")
         _check_fields(body, _SUBMIT_FIELDS, "submit body")
         if "request" not in body:
@@ -311,6 +351,8 @@ class ServiceHTTPServer:
                 "error": str(err),
                 "failure": dataclasses.asdict(err.record),
             }
+        if mode == "async":
+            return self._submit_async(ticket, request, tenant)
         try:
             result = await self.service.result(ticket)
         except AdmissionRejected as err:  # soft deadline expired in queue
@@ -328,3 +370,76 @@ class ServiceHTTPServer:
         payload["ticket"] = ticket.id
         payload["tenant"] = tenant
         return 200, payload
+
+    # ------------------------------------------------------------------
+    # async-submit tickets
+    # ------------------------------------------------------------------
+
+    def _submit_async(self, ticket, request, tenant: str) -> tuple[int, dict]:
+        """Detach an admitted ticket: record it as pending, resolve it
+        in a background task, and release the connection with a 202."""
+        self._async[ticket.id] = {
+            "ticket": ticket.id, "tenant": tenant, "status": "pending",
+        }
+        task = asyncio.get_running_loop().create_task(
+            self._await_result(ticket, request, tenant)
+        )
+        self._async_tasks.add(task)
+        task.add_done_callback(self._async_tasks.discard)
+        return 202, {
+            "ticket": ticket.id,
+            "tenant": tenant,
+            "status": "pending",
+            "poll": f"/v1/result/{ticket.id}",
+        }
+
+    async def _await_result(self, ticket, request, tenant: str) -> None:
+        try:
+            result = await self.service.result(ticket)
+        except AdmissionRejected as err:  # soft deadline expired in queue
+            record = {
+                "status": "failed",
+                "error": str(err),
+                "failure": dataclasses.asdict(err.record),
+            }
+        except asyncio.CancelledError:
+            if not ticket.future.cancelled():
+                raise  # this task was cancelled, not the ticket
+            record = {"status": "cancelled"}
+        except Exception as err:  # noqa: BLE001 — relayed to the poller
+            record = {
+                "status": "failed",
+                "error": f"{type(err).__name__}: {err}",
+            }
+        else:
+            record = {"status": "done", **_result_payload(request, result)}
+        record["ticket"] = ticket.id
+        record["tenant"] = tenant
+        self._async[ticket.id] = record
+        self._async.move_to_end(ticket.id)
+        self._evict_async()
+
+    def _evict_async(self) -> None:
+        finished = [
+            tid for tid, rec in self._async.items()
+            if rec["status"] != "pending"
+        ]
+        excess = len(finished) - MAX_ASYNC_RESULTS
+        if excess > 0:
+            for tid in finished[:excess]:
+                del self._async[tid]
+
+    def _poll(self, ticket_text: str) -> tuple[int, dict]:
+        try:
+            ticket_id = int(ticket_text)
+        except ValueError:
+            raise _bad(
+                f"bad ticket id {ticket_text!r}: expected an integer"
+            ) from None
+        record = self._async.get(ticket_id)
+        if record is None:
+            return 404, {
+                "error": f"no async ticket #{ticket_id} (unknown,"
+                         f" submitted without mode=async, or evicted)"
+            }
+        return 200, record

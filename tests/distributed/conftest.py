@@ -1,0 +1,51 @@
+"""Fixtures for the distributed fabric: in-thread worker fleets.
+
+Workers normally run as separate processes, but the protocol is plain
+sockets — a :class:`~repro.distributed.Worker` driven by a thread in
+this process exercises the identical code path (frames, codecs,
+scheduling, drain) orders of magnitude faster, and lets test-module
+functions travel through the pickle codec by reference.  The
+process-level path (``python -m repro worker``, SIGKILL mid-campaign)
+is covered by ``test_faults.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+import pytest
+
+from repro.distributed import DistributedExecutor, Worker
+
+
+@contextmanager
+def _thread_fleet(n=2, coordinator=None, worker=None):
+    coordinator_kwargs = dict(coordinator or {})
+    worker_kwargs = dict(worker or {})
+    executor = DistributedExecutor(port=0, **coordinator_kwargs)
+    workers: list[Worker] = []
+    threads: list[threading.Thread] = []
+    try:
+        port = executor.coordinator.port
+        for i in range(n):
+            w = Worker("127.0.0.1", port, name=f"w{i}", **worker_kwargs)
+            t = threading.Thread(
+                target=w.run, name=f"test-worker-{i}", daemon=True
+            )
+            t.start()
+            workers.append(w)
+            threads.append(t)
+        assert executor.wait_for_workers(n, timeout=30)
+        yield executor, workers
+    finally:
+        executor.close()
+        for t in threads:
+            t.join(timeout=10)
+
+
+@pytest.fixture
+def fleet():
+    """``with fleet(n=2) as (executor, workers): ...`` — an executor
+    plus ``n`` in-thread workers, torn down afterwards."""
+    return _thread_fleet

@@ -1,0 +1,188 @@
+"""DistributedExecutor as a drop-in backend: bit-identical results.
+
+The headline contract (same as ``tests/api/test_executors.py`` for
+the process pool): a batch produces byte-identical results whichever
+backend runs it — here, a TCP worker fleet.
+"""
+
+import threading
+
+import pytest
+
+from repro.api import (
+    InstanceSpec,
+    ReplayRequest,
+    SolveRequest,
+    get_executor,
+    replay_many,
+    solve_many,
+)
+from repro.distributed import DistributedExecutor
+
+
+def _square(x):
+    return x * x
+
+
+def _result_fingerprint(sr):
+    """Every observable output of one solve, as plain comparable data."""
+    if not sr.ok:
+        return ("failed", sr.failures)
+    alloc = sr.result.allocation
+    return (
+        sr.result.cost,
+        sr.result.heuristic,
+        sr.result.server_strategy,
+        tuple(sorted(alloc.assignment.items())),
+        tuple(sorted((u, k, s) for (u, k), s in alloc.downloads.items())),
+        tuple(p.spec for p in alloc.processors),
+        sr.failures,
+        sr.seed,
+    )
+
+
+class TestSpec:
+    def test_from_spec_port_only(self):
+        ex = DistributedExecutor.from_spec("remote:0")
+        try:
+            assert ex.coordinator.host == "127.0.0.1"
+            assert ex.coordinator.port > 0  # bound a real port
+        finally:
+            ex.close()
+
+    def test_from_spec_host_and_port(self):
+        ex = DistributedExecutor.from_spec("remote:127.0.0.1:0")
+        try:
+            assert ex.address == f"127.0.0.1:{ex.coordinator.port}"
+        finally:
+            ex.close()
+
+    def test_from_spec_bad_port(self):
+        with pytest.raises(ValueError):
+            DistributedExecutor.from_spec("remote:example.com:http")
+
+    def test_get_executor_remote(self):
+        ex = get_executor("remote:0")
+        try:
+            assert isinstance(ex, DistributedExecutor)
+            assert ex.name == "distributed"
+            assert ex.jobs == 1  # floor: no workers yet
+        finally:
+            ex.close()
+
+    def test_get_executor_other_strings_still_rejected(self):
+        with pytest.raises(TypeError):
+            get_executor("four")
+
+
+class TestMap:
+    def test_plain_function_map(self, fleet):
+        with fleet(2) as (executor, _workers):
+            assert executor.map(_square, range(20)) == [
+                x * x for x in range(20)
+            ]
+
+    def test_empty_batch(self, fleet):
+        with fleet(1) as (executor, _workers):
+            assert executor.map(_square, []) == []
+
+    def test_solve_many_bit_identical(self, fleet):
+        requests = [
+            SolveRequest(
+                spec=InstanceSpec(n_operators=10, alpha=1.4, seed=s),
+                seed=s,
+            )
+            for s in range(8)
+        ]
+        serial = solve_many(requests)
+        with fleet(2) as (executor, _workers):
+            distributed = solve_many(requests, executor=executor)
+        assert [r.backend for r in distributed] == ["distributed"] * 8
+        assert [_result_fingerprint(r) for r in distributed] == [
+            _result_fingerprint(r) for r in serial
+        ]
+
+    def test_replay_many_bit_identical(self, fleet):
+        requests = [
+            ReplayRequest(trace="multi-app", policy=policy, seed=9,
+                          n_results=20)
+            for policy in ("static", "harvest")
+        ]
+        serial = replay_many(requests)
+        with fleet(2) as (executor, _workers):
+            distributed = replay_many(requests, executor=executor)
+        assert [r.to_dict() for r in distributed] == [
+            r.to_dict() for r in serial
+        ]
+
+    def test_concurrent_batches_share_the_fleet(self, fleet):
+        """Many map() calls in flight at once (the AllocationService
+        pattern) — each gets its own ordered results."""
+        with fleet(2) as (executor, _workers):
+            outputs: dict[int, list] = {}
+
+            def run_batch(k):
+                outputs[k] = executor.map(
+                    _square, range(k * 10, k * 10 + 10)
+                )
+
+            threads = [
+                threading.Thread(target=run_batch, args=(k,))
+                for k in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert outputs == {
+                k: [x * x for x in range(k * 10, k * 10 + 10)]
+                for k in range(4)
+            }
+
+    def test_stats_counters(self, fleet):
+        with fleet(2) as (executor, _workers):
+            executor.map(_square, range(6))
+            stats = executor.stats()
+            assert stats["submitted"] == 6
+            assert stats["completed"] == 6
+            assert stats["pending"] == 0
+            assert stats["in_flight"] == 0
+            assert stats["n_workers"] == 2
+            assert stats["registered"] == 2
+            assert sorted(stats["workers"]) == ["w0", "w1"]
+            assert (
+                sum(w["completed"] for w in stats["workers"].values())
+                == 6
+            )
+            assert executor.jobs == 2
+
+    def test_closed_coordinator_rejects_submit(self, fleet):
+        with fleet(1) as (executor, _workers):
+            pass
+        with pytest.raises(RuntimeError):
+            executor.map(_square, [1])
+
+
+class TestServiceIntegration:
+    def test_allocation_service_over_fleet(self, fleet):
+        """AllocationService(jobs=<distributed executor>) routes
+        requests through the fleet and stays bit-identical to a direct
+        solve."""
+        from repro.api import solve
+        from repro.service import ServiceClient
+
+        request = SolveRequest(
+            spec=InstanceSpec(n_operators=10, seed=6), seed=6
+        )
+        direct = solve(request)
+        with fleet(2) as (executor, _workers):
+            with ServiceClient(jobs=executor) as client:
+                result = client.solve(request, timeout=120)
+                stats = client.stats()
+        assert stats["service"]["backend"] == "distributed"
+        assert result.result.cost == direct.result.cost
+        assert result.seed == direct.seed
+        assert (
+            result.result.allocation.assignment
+            == direct.result.allocation.assignment
+        )

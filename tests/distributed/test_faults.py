@@ -1,0 +1,293 @@
+"""Fault tolerance: the campaigns that must survive a misbehaving fleet.
+
+The required guarantees, each exercised end to end:
+
+* a worker SIGKILL'd mid-campaign (real subprocess, real TCP) costs
+  nothing — its in-flight tasks requeue and the results stay
+  bit-identical to the serial backend;
+* a worker that stops heartbeating is evicted and its tasks requeue;
+* a task that fails on every worker resolves to a structured
+  ``stage="poisoned"`` FailureRecord instead of hanging the batch;
+* a worker draining via ``--max-tasks`` deregisters gracefully with
+  zero requeues.
+"""
+
+import os
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.api import FailureRecord, InstanceSpec, SolveRequest, solve_many
+from repro.api.wire import recv_frame, send_frame
+from repro.distributed import Coordinator, DistributedExecutor, Worker
+from repro.distributed.protocol import (
+    MSG_REGISTER,
+    MSG_WELCOME,
+    PROTOCOL_VERSION,
+)
+
+from .test_executor import _result_fingerprint
+
+SRC_DIR = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+
+def _square(x):
+    return x * x
+
+
+def _slow_square(x):
+    time.sleep(0.01)
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise RuntimeError(f"bad item {x}")
+    return x * x
+
+
+def _spawn_worker_process(port: int, *extra: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker",
+         "--connect", f"127.0.0.1:{port}", *extra],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+class TestWorkerKilledMidCampaign:
+    def test_sigkill_requeues_and_stays_bit_identical(self):
+        """The acceptance test of the fabric: two real worker
+        processes, one SIGKILL'd while the campaign runs — every task
+        completes and the results match SerialExecutor byte for
+        byte."""
+        requests = [
+            SolveRequest(
+                spec=InstanceSpec(n_operators=8, alpha=1.4, seed=s),
+                seed=s,
+            )
+            for s in range(24)
+        ]
+        serial = solve_many(requests)
+
+        executor = DistributedExecutor(port=0)
+        port = executor.coordinator.port
+        procs = [_spawn_worker_process(port) for _ in range(2)]
+        try:
+            assert executor.wait_for_workers(2, timeout=60), (
+                "workers never registered:\n"
+                + "\n".join(p.communicate(timeout=10)[1] for p in procs)
+            )
+            outcome: dict = {}
+
+            def run_campaign():
+                outcome["results"] = solve_many(
+                    requests, executor=executor
+                )
+
+            campaign = threading.Thread(target=run_campaign, daemon=True)
+            campaign.start()
+
+            # let the fleet make some progress, then pull the plug on
+            # one worker — hard (SIGKILL: no drain, no goodbye)
+            deadline = time.monotonic() + 120
+            while executor.stats()["completed"] < 3:
+                assert time.monotonic() < deadline, "campaign stalled"
+                assert campaign.is_alive()
+                time.sleep(0.01)
+            procs[0].kill()
+            procs[0].wait(timeout=30)
+
+            campaign.join(timeout=300)
+            assert not campaign.is_alive(), "campaign never finished"
+        finally:
+            executor.close()
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.terminate()
+                try:
+                    proc.wait(timeout=30)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    proc.kill()
+                    proc.wait(timeout=10)
+
+        results = outcome["results"]
+        assert all(not isinstance(r, FailureRecord) for r in results), (
+            "a kill must requeue, never poison"
+        )
+        assert [_result_fingerprint(r) for r in results] == [
+            _result_fingerprint(r) for r in serial
+        ]
+        stats = executor.stats()
+        assert stats["evicted"] == 1
+        assert stats["completed"] == len(requests)
+
+
+class TestHeartbeatEviction:
+    def test_silent_worker_is_evicted_and_tasks_requeue(self):
+        """A registered connection that never heartbeats (a wedged
+        process: socket alive, nothing flowing) is evicted after the
+        timeout and its booked tasks land on a live worker."""
+        coordinator = Coordinator(
+            port=0, heartbeat_s=0.05, heartbeat_timeout_s=0.3
+        ).start()
+        silent = socket.create_connection(
+            ("127.0.0.1", coordinator.port), timeout=10
+        )
+        live_worker = None
+        live_thread = None
+        try:
+            send_frame(silent, {
+                "type": MSG_REGISTER, "worker": "silent", "pid": 0,
+                "window": 2, "protocol": PROTOCOL_VERSION,
+            })
+            silent.settimeout(10)
+            welcome = recv_frame(silent)
+            assert welcome["type"] == MSG_WELCOME
+            assert coordinator.wait_for_workers(1, timeout=10)
+
+            outcome: dict = {}
+
+            def run_batch():
+                outcome["results"] = coordinator.submit(
+                    _square, range(8)
+                )
+
+            batch = threading.Thread(target=run_batch, daemon=True)
+            batch.start()
+
+            # tasks get booked onto "silent" (the only worker), which
+            # executes nothing; eviction must fire and a late-joining
+            # live worker must pick the requeued tasks up
+            deadline = time.monotonic() + 30
+            while coordinator.stats()["evicted"] < 1:
+                assert time.monotonic() < deadline, "never evicted"
+                time.sleep(0.01)
+
+            live_worker = Worker(
+                "127.0.0.1", coordinator.port, name="live"
+            )
+            live_thread = threading.Thread(
+                target=live_worker.run, daemon=True
+            )
+            live_thread.start()
+            batch.join(timeout=60)
+            assert not batch.is_alive(), "batch hung after eviction"
+            assert outcome["results"] == [x * x for x in range(8)]
+            stats = coordinator.stats()
+            assert stats["evicted"] == 1
+            assert stats["requeued"] >= 1
+            assert "silent" not in stats["workers"]
+        finally:
+            silent.close()
+            coordinator.close()
+            if live_thread is not None:
+                live_thread.join(timeout=10)
+
+
+class TestPoisonedTask:
+    def test_task_failing_everywhere_resolves_to_failure_record(
+        self, fleet
+    ):
+        with fleet(2) as (executor, _workers):
+            results = executor.map(_fail_on_three, range(6))
+            stats = executor.stats()
+
+        poisoned = results[3]
+        assert isinstance(poisoned, FailureRecord)
+        assert poisoned.stage == "poisoned"
+        assert poisoned.error_type == "RuntimeError"
+        assert "bad item 3" in poisoned.message
+        assert sorted(poisoned.detail["workers"]) == ["w0", "w1"]
+        # the healthy slots are untouched
+        assert [r for i, r in enumerate(results) if i != 3] == [
+            x * x for x in range(6) if x != 3
+        ]
+        assert stats["poisoned"] == 1
+        assert stats["retried"] >= 1
+        assert stats["completed"] == 5
+
+    def test_poison_after_attempt_cap(self, fleet):
+        """With plenty of workers, the attempt cap (not the
+        everyone-failed rule) poisons the task."""
+        with fleet(
+            3, coordinator={"poison_after": 2, "retry_backoff_s": 0.01}
+        ) as (executor, _workers):
+            results = executor.map(_fail_on_three, [3])
+            stats = executor.stats()
+        assert isinstance(results[0], FailureRecord)
+        assert results[0].detail["attempts"] == 2
+        assert stats["poisoned"] == 1
+
+
+class TestGracefulDrain:
+    def test_max_tasks_drains_without_requeues(self):
+        executor = DistributedExecutor(port=0)
+        port = executor.coordinator.port
+        drainer = Worker(
+            "127.0.0.1", port, name="drainer", max_tasks=3
+        )
+        stayer = Worker("127.0.0.1", port, name="stayer")
+        threads = [
+            threading.Thread(target=w.run, daemon=True)
+            for w in (drainer, stayer)
+        ]
+        try:
+            for t in threads:
+                t.start()
+            assert executor.wait_for_workers(2, timeout=30)
+            results = executor.map(_slow_square, range(20))
+            assert results == [x * x for x in range(20)]
+            threads[0].join(timeout=30)  # drainer exits by itself
+            assert not threads[0].is_alive()
+            assert drainer.n_done >= 3
+            stats = executor.stats()
+            assert stats["departed"] == 1
+            assert stats["evicted"] == 0
+            assert stats["requeued"] == 0
+            assert stats["completed"] == 20
+            assert stats["n_workers"] == 1
+            assert "drainer" not in stats["workers"]
+        finally:
+            executor.close()
+            for t in threads:
+                t.join(timeout=10)
+
+    def test_cli_worker_drains_on_sigterm(self):
+        """``repro worker`` under SIGTERM finishes in-flight work and
+        deregisters (the deploy-time path for rolling restarts)."""
+        executor = DistributedExecutor(port=0)
+        proc = _spawn_worker_process(executor.coordinator.port)
+        try:
+            assert executor.wait_for_workers(1, timeout=60)
+            assert executor.map(_square, range(4)) == [
+                x * x for x in range(4)
+            ]
+            proc.send_signal(signal.SIGTERM)
+            stdout, stderr = proc.communicate(timeout=60)
+            assert proc.returncode == 0, stderr
+            assert "4 task(s) executed" in stdout
+            deadline = time.monotonic() + 30
+            while executor.stats()["departed"] < 1:
+                assert time.monotonic() < deadline, (
+                    "graceful departure never registered"
+                )
+                time.sleep(0.01)
+            assert executor.stats()["evicted"] == 0
+        finally:
+            executor.close()
+            if proc.poll() is None:  # pragma: no cover — cleanup
+                proc.kill()
+                proc.wait(timeout=10)

@@ -1,0 +1,198 @@
+"""Frames and codecs: the wire vocabulary of the task-queue fabric."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.api import InstanceSpec, SolveRequest
+from repro.api.wire import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    WireFormatError,
+    decode_frame,
+    encode_frame,
+    recv_frame,
+    request_to_wire,
+    send_frame,
+)
+from repro.api.service import _replay_task, _solve_task
+from repro.distributed.protocol import (
+    decode_result,
+    decode_task,
+    describe_error,
+    encode_result,
+    encode_task,
+)
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestFrames:
+    def test_roundtrip(self):
+        payload = {"type": "task", "task": 7, "nested": {"a": [1, 2]}}
+        raw = encode_frame(payload)
+        length = struct.unpack(">I", raw[:4])[0]
+        assert length == len(raw) - 4
+        assert decode_frame(raw[4:]) == payload
+
+    def test_send_recv_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, {"type": "one"})
+            send_frame(a, {"type": "two", "n": 3})
+            assert recv_frame(b) == {"type": "one"}
+            assert recv_frame(b) == {"type": "two", "n": 3}
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_is_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_mid_frame_eof_raises(self):
+        a, b = socket.socketpair()
+        try:
+            raw = encode_frame({"type": "task"})
+            a.sendall(raw[: len(raw) - 2])  # truncated body
+            a.close()
+            with pytest.raises(FrameError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversize_frame_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(FrameError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+        with pytest.raises(FrameError):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(FrameError):
+            decode_frame(b"[1, 2, 3]")
+        with pytest.raises(FrameError):
+            decode_frame(b"not json")
+
+    def test_frame_error_is_wire_error(self):
+        assert issubclass(FrameError, WireFormatError)
+
+    def test_interleaved_senders_never_tear_frames(self):
+        """Many threads writing framed messages through one lock-free
+        sendall each — frames must come out whole (sendall is atomic
+        per call for these sizes, the locks in the fabric guard the
+        *composition*, asserted here as a regression canary)."""
+        a, b = socket.socketpair()
+        n_threads, n_each = 4, 25
+        lock = threading.Lock()
+
+        def pump(tag):
+            for i in range(n_each):
+                with lock:
+                    send_frame(a, {"tag": tag, "i": i})
+
+        threads = [
+            threading.Thread(target=pump, args=(t,))
+            for t in range(n_threads)
+        ]
+        try:
+            for t in threads:
+                t.start()
+            seen = set()
+            for _ in range(n_threads * n_each):
+                msg = recv_frame(b)
+                seen.add((msg["tag"], msg["i"]))
+            assert len(seen) == n_threads * n_each
+        finally:
+            for t in threads:
+                t.join()
+            a.close()
+            b.close()
+
+
+class TestTaskCodec:
+    def test_known_fn_travels_by_name(self):
+        request = SolveRequest(
+            spec=InstanceSpec(n_operators=10, seed=4), seed=4
+        )
+        payload = encode_task(_solve_task, request)
+        assert payload["codec"] == "wire"
+        assert payload["fn"] == "solve-task"
+        fn, item = decode_task(payload)
+        assert fn is _solve_task
+        assert request_to_wire(item) == request_to_wire(request)
+
+    def test_replay_task_known(self):
+        from repro.api import ReplayRequest
+
+        request = ReplayRequest(trace="multi-app", policy="static",
+                                seed=5, n_results=10)
+        payload = encode_task(_replay_task, request)
+        assert payload["codec"] == "wire"
+        assert payload["fn"] == "replay-task"
+
+    def test_unknown_fn_falls_back_to_pickle(self):
+        payload = encode_task(_double, 21)
+        assert payload["codec"] == "pickle"
+        fn, item = decode_task(payload)
+        assert fn(item) == 42
+
+    def test_unwirable_item_falls_back_to_pickle(self):
+        """A known fn whose item can't ride the wire codec (in-memory
+        trace) still travels — via pickle."""
+        from repro.api import ReplayRequest
+        from repro.dynamic import make_trace
+
+        request = ReplayRequest(
+            trace=make_trace("multi-app", seed=5), policy="static"
+        )
+        payload = encode_task(_replay_task, request)
+        assert payload["codec"] == "pickle"
+        fn, item = decode_task(payload)
+        assert fn is _replay_task
+        assert item.policy == "static"
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(FrameError):
+            decode_task({"codec": "carrier-pigeon"})
+        with pytest.raises(FrameError):
+            decode_task({"codec": "wire", "fn": "no-such-task"})
+        with pytest.raises(FrameError):
+            decode_result({"codec": "carrier-pigeon"})
+
+
+class TestResultCodec:
+    def test_typed_roundtrip(self):
+        request = SolveRequest(
+            spec=InstanceSpec(n_operators=8, seed=2), seed=2
+        )
+        value = _solve_task(request)
+        out = decode_result(encode_result(value))
+        assert out.ok == value.ok
+        assert out.result.cost == value.result.cost
+        assert out.seed == value.seed
+
+
+class TestDescribeError:
+    def test_fields(self):
+        try:
+            raise ValueError("boom")
+        except ValueError as err:
+            info = describe_error(err)
+        assert info["type"] == "ValueError"
+        assert info["message"] == "boom"
+        assert "ValueError: boom" in info["traceback"]
