@@ -1,0 +1,283 @@
+"""Market-economy benchmark: bid-priced overload + auction determinism.
+
+Three claims, one artefact (``BENCH_market.json``):
+
+1. **Overload SLA** — an overloaded single-executor service (queue
+   bound 3) floods with bronze work; a gold tenant bidding for queue
+   slots still completes everything (meets its SLA) while bronze work
+   is preempted — and every preempted bronze request is credited the
+   winning bid, so the economy conserves money.
+2. **Auction determinism** — the proportional-fairness price search
+   (``pricing:proportional``) produces bit-identical prices, shares,
+   and payments across repeated runs for the same seed, and converges
+   in bounded rounds.
+3. **Budgets-off identity** — with no budgets, bids, or tiers
+   configured, the replay JSON and tenant snapshots contain none of
+   the market keys: the economy is invisible until priced in, keeping
+   every legacy artefact bit-identical.
+
+Run standalone (``python benchmarks/bench_market.py [--quick]``) or
+under pytest-benchmark (``pytest benchmarks/bench_market.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+from repro.api import InstanceSpec, ReplayRequest, SolveRequest
+from repro.api import replay as api_replay
+from repro.market import PriceSearchAuction
+from repro.service import AdmissionRejected, ServiceClient, TenantConfig
+
+from conftest import SEED, write_artefact
+
+BENCH_JSON = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_market.json"
+)
+
+#: Queue bound — small on purpose: overload is the point.
+MAX_QUEUE_DEPTH = 3
+#: Gold's offered price per queue slot during overload.
+GOLD_BID = 25.0
+
+TENANTS = (
+    TenantConfig("gold", tier="gold", budget=10_000.0,
+                 admission_price=1.0),
+    TenantConfig("bronze", tier="bronze", max_queued=16),
+)
+
+
+def _solve_request(label: str, n_operators: int, seed: int) -> SolveRequest:
+    return SolveRequest(
+        spec=InstanceSpec(
+            n_operators=n_operators, alpha=1.3, seed=seed
+        ),
+        seed=seed,
+        label=label,
+    )
+
+
+def _overload_run(n_bronze: int, n_gold: int) -> dict:
+    """Flood with bronze, bid in with gold; tally outcomes."""
+    outcomes = {
+        "bronze_completed": 0,
+        "bronze_preempted": 0,
+        "bronze_rejected": 0,
+        "gold_completed": 0,
+        "gold_wait_s_max": 0.0,
+    }
+    with ServiceClient(
+        tenants=TENANTS,
+        auto_register=False,
+        max_in_flight=1,
+        max_queue_depth=MAX_QUEUE_DEPTH,
+    ) as client:
+        bronze = []
+        for i in range(n_bronze):
+            try:
+                bronze.append(client.submit(
+                    _solve_request(f"bronze-{i}", 40, SEED + i),
+                    tenant="bronze",
+                ))
+            except AdmissionRejected:
+                outcomes["bronze_rejected"] += 1
+        gold = []
+        for i in range(n_gold):
+            start = time.perf_counter()
+            handle = client.submit(
+                _solve_request(f"gold-{i}", 10, SEED + 1000 + i),
+                tenant="gold", bid=GOLD_BID,
+            )
+            result = handle.result(timeout=600)
+            wait = time.perf_counter() - start
+            outcomes["gold_wait_s_max"] = max(
+                outcomes["gold_wait_s_max"], wait
+            )
+            if result.ok:
+                outcomes["gold_completed"] += 1
+            gold.append(handle)
+        for handle in bronze:
+            try:
+                if handle.result(timeout=600).ok:
+                    outcomes["bronze_completed"] += 1
+            except AdmissionRejected as err:
+                record = err.record
+                if record.stage == "preempted":
+                    outcomes["bronze_preempted"] += 1
+                else:
+                    outcomes["bronze_rejected"] += 1
+        stats = client.stats()
+    tenants = stats["tenants"]
+    totals = stats["totals"]
+    outcomes["gold_spent"] = tenants["gold"].get(
+        "account", {}
+    ).get("spent", 0.0)
+    outcomes["bronze_earned"] = tenants["bronze"].get(
+        "account", {}
+    ).get("earned", 0.0)
+    outcomes["preempted_total"] = totals.get("preempted", 0)
+    outcomes["spent_total"] = totals.get("spent", 0.0)
+    return outcomes
+
+
+def _auction_block(rounds: int) -> dict:
+    """Determinism + convergence timing of the price search."""
+    supply = {f"m{j}": 1.0 for j in range(6)}
+    demands = {
+        f"app{i}": {
+            f"m{j}": 1.0 + ((i * 7 + j * 3) % 5)
+            for j in range(6)
+        }
+        for i in range(4)
+    }
+    budgets = {f"app{i}": 100.0 * (i + 1) for i in range(4)}
+    auction = PriceSearchAuction()
+
+    def run():
+        return auction.run(supply, demands, budgets, seed=SEED)
+
+    reference = run()
+    deterministic = all(
+        run().to_dict() == reference.to_dict() for _ in range(rounds)
+    )
+    start = time.perf_counter()
+    for _ in range(rounds):
+        run()
+    elapsed = time.perf_counter() - start
+    return {
+        "deterministic": deterministic,
+        "converged": reference.converged,
+        "n_rounds": reference.n_rounds,
+        "runs_timed": rounds,
+        "mean_run_ms": round(elapsed / rounds * 1e3, 3),
+        "prices": dict(reference.prices),
+    }
+
+
+def _budgets_off_block() -> dict:
+    """No budgets anywhere → no market keys anywhere."""
+    rendered = api_replay(
+        ReplayRequest(trace="ramp", policy="trade", seed=SEED)
+    ).to_json()
+    clean_replay = (
+        '"market"' not in rendered and '"rent"' not in rendered
+    )
+    with ServiceClient(tenants=(TenantConfig("plain"),)) as client:
+        snapshot = json.dumps(client.stats(), sort_keys=True)
+    clean_service = all(
+        key not in snapshot
+        for key in ('"tier"', '"account"', '"spent"', '"preempted"')
+    )
+    return {
+        "replay_has_no_market_keys": clean_replay,
+        "snapshot_has_no_market_keys": clean_service,
+    }
+
+
+def regenerate(quick: bool = False) -> dict:
+    n_bronze = 5 if quick else 8
+    n_gold = 1 if quick else 2
+    auction_rounds = 3 if quick else 25
+    start = time.perf_counter()
+    overload = _overload_run(n_bronze, n_gold)
+    auction = _auction_block(auction_rounds)
+    budgets_off = _budgets_off_block()
+    wall_s = time.perf_counter() - start
+    return {
+        "seed": SEED,
+        "cpu_count": os.cpu_count(),
+        "quick": quick,
+        "wall_s": round(wall_s, 3),
+        "max_queue_depth": MAX_QUEUE_DEPTH,
+        "gold_bid": GOLD_BID,
+        "n_bronze": n_bronze,
+        "n_gold": n_gold,
+        "overload": overload,
+        "auction": auction,
+        "budgets_off": budgets_off,
+    }
+
+
+def _assert_claims(data: dict) -> None:
+    overload = data["overload"]
+    # gold meets its SLA: every gold request completed, despite the
+    # full queue — the bid preempted or beat the bronze backlog
+    assert overload["gold_completed"] == data["n_gold"], overload
+    # bronze degrades: at least one queued bronze request lost its
+    # slot to the bid
+    assert overload["bronze_preempted"] >= 1, overload
+    # conservation: every preemption credited the victim the full bid
+    assert abs(
+        overload["bronze_earned"]
+        - data["gold_bid"] * overload["bronze_preempted"]
+    ) < 1e-6, overload
+    # gold paid for what it took: bids + admission prices
+    assert overload["gold_spent"] >= data["gold_bid"] * (
+        overload["bronze_preempted"]
+    ), overload
+    auction = data["auction"]
+    assert auction["deterministic"], auction
+    assert auction["converged"], auction
+    budgets_off = data["budgets_off"]
+    assert budgets_off["replay_has_no_market_keys"], budgets_off
+    assert budgets_off["snapshot_has_no_market_keys"], budgets_off
+
+
+def _render(data: dict) -> str:
+    overload = data["overload"]
+    auction = data["auction"]
+    return "\n".join([
+        f"market economy: overload + auction (seed {data['seed']},"
+        f" queue depth {data['max_queue_depth']})",
+        f"  gold (bid ${data['gold_bid']:.0f}):"
+        f" {overload['gold_completed']}/{data['n_gold']} completed,"
+        f" max wait {overload['gold_wait_s_max']:.2f}s,"
+        f" spent ${overload['gold_spent']:.2f}",
+        f"  bronze: {overload['bronze_completed']} completed,"
+        f" {overload['bronze_preempted']} preempted"
+        f" (credited ${overload['bronze_earned']:.2f}),"
+        f" {overload['bronze_rejected']} rejected",
+        f"  auction: deterministic={auction['deterministic']}"
+        f" converged={auction['converged']}"
+        f" rounds={auction['n_rounds']}"
+        f" mean {auction['mean_run_ms']:.2f}ms",
+        f"  budgets-off identity:"
+        f" replay={data['budgets_off']['replay_has_no_market_keys']}"
+        f" service={data['budgets_off']['snapshot_has_no_market_keys']}",
+    ])
+
+
+def test_market_economy(benchmark, artefact_dir):
+    data = benchmark.pedantic(
+        regenerate, args=(False,), rounds=1, iterations=1
+    )
+    write_artefact(artefact_dir, "market_economy", _render(data))
+    BENCH_JSON.write_text(
+        json.dumps(data, sort_keys=True, indent=2) + "\n",
+        encoding="utf8",
+    )
+    _assert_claims(data)
+    benchmark.extra_info["data"] = data
+
+
+def main(quick: bool) -> int:
+    data = regenerate(quick)
+    BENCH_JSON.write_text(
+        json.dumps(data, sort_keys=True, indent=2) + "\n",
+        encoding="utf8",
+    )
+    print(_render(data))
+    try:
+        _assert_claims(data)
+    except AssertionError as err:
+        print(f"FAIL: {err}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(quick="--quick" in sys.argv[1:]))

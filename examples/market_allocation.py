@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Market-based allocation: budgets, tiers, and bid-priced admission.
+
+The allocation service treats capacity as an economy.  Tenants carry
+SLA tiers (bronze < standard < silver < gold) and optional budgets;
+during overload a higher-tier tenant can *bid* for a queue slot, the
+cheapest lower-tier queued request is preempted, and the victim is
+credited the full bid — money moves, it never disappears.
+
+This example runs the whole story over a real HTTP socket:
+
+1. start the service (one executor slot, queue bound 3 — a deliberately
+   overloadable platform) with a ``gold`` tenant (budget $1000, $1
+   admission price) and a ``bronze`` tenant;
+2. bronze floods the queue;
+3. gold submits with ``bid=25`` — watch a bronze request lose its slot
+   and bronze's account receive the $25 compensation;
+4. read the economy off ``/stats``: tiers, budgets, spend, preemption
+   counters.
+
+Run:  python examples/market_allocation.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.api import InstanceSpec, SolveRequest
+from repro.service import (
+    AllocationService,
+    HttpServiceClient,
+    ServiceError,
+    ServiceHTTPServer,
+    TenantConfig,
+)
+
+TENANTS = (
+    TenantConfig("gold", tier="gold", budget=1000.0,
+                 admission_price=1.0),
+    TenantConfig("bronze", tier="bronze", max_queued=16),
+)
+
+
+def _request(label: str, n_operators: int, seed: int) -> SolveRequest:
+    return SolveRequest(
+        spec=InstanceSpec(n_operators=n_operators, alpha=1.3, seed=seed),
+        seed=seed,
+        label=label,
+    )
+
+
+def main() -> None:
+    # -- 1: an overloadable platform behind a real socket --------------
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    server = ServiceHTTPServer(
+        AllocationService(
+            tenants=TENANTS,
+            auto_register=False,
+            max_in_flight=1,
+            max_queue_depth=3,
+        ),
+        port=0,
+    )
+    asyncio.run_coroutine_threadsafe(server.start(), loop).result(30)
+    client = HttpServiceClient(f"http://127.0.0.1:{server.port}")
+    print(f"service listening on http://127.0.0.1:{server.port}")
+
+    try:
+        # -- 2: bronze floods the queue --------------------------------
+        bronze_tickets = []
+        for i in range(6):
+            try:
+                pending = client.submit_async(
+                    _request(f"bronze-{i}", 40, 300 + i),
+                    tenant="bronze",
+                )
+                bronze_tickets.append(pending["ticket"])
+                print(f"bronze-{i}: queued as ticket"
+                      f" #{pending['ticket']}")
+            except ServiceError as err:
+                failure = err.payload.get("failure") or {}
+                print(f"bronze-{i}: rejected at the door"
+                      f" ({failure.get('stage', '?')})")
+
+        # -- 3: gold outbids its way in --------------------------------
+        response = client.submit(
+            _request("gold-0", 10, 900), tenant="gold", bid=25.0
+        )
+        result = response["result"]
+        print(
+            f"\ngold-0 (bid $25): ${result['cost']:,.0f} with"
+            f" {result['heuristic']} — served despite the full queue"
+        )
+
+        outcomes = {"done": 0, "preempted": 0}
+        for ticket in bronze_tickets:
+            state = client.wait(ticket, timeout=600)
+            if state["status"] == "done":
+                outcomes["done"] += 1
+            else:
+                stage = (state.get("failure") or {}).get("stage")
+                if stage == "preempted":
+                    outcomes["preempted"] += 1
+                    detail = (state.get("failure") or {}).get(
+                        "detail", {}
+                    )
+                    print(
+                        f"bronze ticket #{ticket}: preempted by"
+                        f" {detail.get('preempted_by')} — credited"
+                        f" ${detail.get('compensation', 0):.0f}"
+                    )
+        print(
+            f"bronze: {outcomes['done']} completed,"
+            f" {outcomes['preempted']} preempted"
+        )
+
+        # -- 4: the economy in /stats ----------------------------------
+        stats = client.stats()
+        print("\nthe economy, per /stats:")
+        for name in ("gold", "bronze"):
+            row = stats["tenants"][name]
+            account = row.get("account", {})
+            parts = [f"tier {row.get('tier', 'standard')}"]
+            if "budget" in account:
+                parts.append(
+                    f"balance ${account.get('balance', 0):,.0f}"
+                    f" of ${account['budget']:,.0f}"
+                )
+            parts.append(f"spent ${account.get('spent', 0):,.2f}")
+            parts.append(f"earned ${account.get('earned', 0):,.2f}")
+            if row.get("preemptions"):
+                parts.append(f"{row['preemptions']} preemption(s) won")
+            if row.get("preempted"):
+                parts.append(f"{row['preempted']} preempted")
+            print(f"  {name:>7}: " + ", ".join(parts))
+        totals = stats["totals"]
+        print(
+            f"  platform: {totals.get('preempted', 0)} preemption(s),"
+            f" ${totals.get('spent', 0.0):,.2f} total spend"
+        )
+    finally:
+        asyncio.run_coroutine_threadsafe(server.aclose(), loop).result(30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+
+
+if __name__ == "__main__":
+    main()

@@ -132,7 +132,36 @@ def main() -> int:
             if n != 3:
                 print(f"FAIL: tenant {tenant} completed {n}/3")
                 return 1
-        print("OK: service smoke passed")
+
+        # market economy over HTTP: a budgeted gold tenant's account
+        # (budget, spend) must surface in /stats after one priced
+        # admission
+        client.register_tenant(
+            "premium", tier="gold", budget=500.0, admission_price=2.0
+        )
+        request = SolveRequest(
+            spec=InstanceSpec(n_operators=8, alpha=1.2, seed=7),
+            seed=7, label="premium-0",
+        )
+        client.submit(request, tenant="premium", bid=5.0)
+        stats = client.stats()
+        premium = stats["tenants"].get("premium", {})
+        account = premium.get("account") or {}
+        if premium.get("tier") != "gold":
+            print(f"FAIL: premium tier missing from /stats: {premium}")
+            return 1
+        if account.get("budget") != 500.0:
+            print(f"FAIL: premium budget missing from /stats: {account}")
+            return 1
+        spent = account.get("spent", 0.0)
+        if abs(spent - 2.0) > 1e-9:  # admission price; no preemption
+            print(f"FAIL: premium spend {spent} != 2.0 in /stats")
+            return 1
+        if abs(stats["totals"].get("spent", 0.0) - 2.0) > 1e-9:
+            print(f"FAIL: totals.spent {stats['totals'].get('spent')}"
+                  f" != 2.0")
+            return 1
+        print("OK: service smoke passed (incl. budgeted tenant)")
         return 0
     finally:
         proc.terminate()

@@ -13,6 +13,7 @@ subsumes all three behind one namespaced lookup::
     make("policy", "harvest")                # a ReallocationPolicy
     make("refine", "local-search")           # the refinement callable
     make("migration", "state-size")          # a MigrationCostModel
+    make("pricing", "proportional")          # a price-search auction
 
 Strategy *references* may also be written fully qualified —
 ``"placement:subtree-bottom-up"`` — which :func:`parse` splits; the
@@ -60,9 +61,9 @@ __all__ = [
     "set_server_pairing",
 ]
 
-#: The five strategy kinds of the allocation service.
+#: The six strategy kinds of the allocation service.
 NAMESPACES: tuple[str, ...] = (
-    "placement", "server", "policy", "refine", "migration"
+    "placement", "server", "policy", "refine", "migration", "pricing"
 )
 
 _REGISTRY: dict[str, dict[str, Callable]] = {ns: {} for ns in NAMESPACES}
@@ -160,6 +161,10 @@ def _bootstrap() -> None:
                     model_name
                 ),
             )
+        from ..market.auction import PRICING_FACTORIES
+
+        for name, factory in PRICING_FACTORIES.items():
+            _REGISTRY["pricing"].setdefault(name, factory)
         # the paper's §4.2 pairing: Random placement → random selection.
         _SERVER_PAIRING.setdefault("random", "random")
         _bootstrapped = True

@@ -148,6 +148,11 @@ class SolveRequest:
     #: excluded from the bit-identical serial/parallel guarantee.
     time_budget_s: float | None = None
     label: str = ""
+    #: Price offered for a queue slot when submitted to an overloaded
+    #: allocation service: a higher-SLA-tier tenant's bid can preempt
+    #: queued lower-tier work (the victim is credited the bid).  Inert
+    #: outside the service — the solver itself never reads it.
+    bid: float | None = None
 
     def __post_init__(self) -> None:
         if (self.instance is None) == (self.spec is None):
@@ -167,6 +172,8 @@ class SolveRequest:
             _check_ref(self.server, "server")
         if isinstance(self.refine, str):
             _check_ref(self.refine, "refine")
+        if self.bid is not None and self.bid < 0:
+            raise ValueError(f"bid must be >= 0, got {self.bid}")
 
     @property
     def strategies(self) -> tuple[str, ...]:
@@ -310,10 +317,35 @@ class ReplayRequest:
     #: measured throughput dip / drain time / SLA-violation seconds to
     #: the epoch as a TransitionRecord.  Default off.
     sim_transitions: bool = False
+    #: Pricing scheme for contended machines (``pricing`` registry
+    #: namespace, e.g. ``"proportional"``), consulted by market-aware
+    #: policies.  ``None`` keeps the pre-market replay bit-identical.
+    pricing: str | None = None
+    #: Per-application budgets for the market settlement, as
+    #: ``(app, budget)`` pairs (a mapping is accepted and normalised).
+    #: ``None`` → every app settles on an unlimited account.
+    tenant_budgets: "tuple[tuple[str, float], ...] | None" = None
 
     def __post_init__(self) -> None:
         _check_ref(self.policy, "policy")
         _check_ref(self.migration_model, "migration")
+        if self.pricing is not None:
+            _check_ref(self.pricing, "pricing")
+        if self.tenant_budgets is not None:
+            pairs = (
+                self.tenant_budgets.items()
+                if isinstance(self.tenant_budgets, Mapping)
+                else self.tenant_budgets
+            )
+            normalised = tuple(
+                sorted((str(app), float(budget)) for app, budget in pairs)
+            )
+            for app, budget in normalised:
+                if budget < 0:
+                    raise ValueError(
+                        f"budget of {app!r} must be >= 0, got {budget}"
+                    )
+            object.__setattr__(self, "tenant_budgets", normalised)
         # mirrors repro.simulator.engine.FLOW_KERNELS (cross-checked in
         # tests) — importing the simulator here would drag the whole
         # engine into every request construction, validated or not

@@ -248,6 +248,8 @@ def _replay_task(request: ReplayRequest) -> ReplayResult:
         migration_model=request.migration_model,
         migration_cost_per_mb=request.migration_cost_per_mb,
         sim_transitions=request.sim_transitions,
+        pricing=request.pricing,
+        tenant_budgets=request.tenant_budgets,
     )
 
 

@@ -139,6 +139,7 @@ def solve_request_to_wire(request: SolveRequest) -> dict:
         "seed": request.seed,
         "time_budget_s": request.time_budget_s,
         "label": request.label,
+        "bid": request.bid,
     }
 
 

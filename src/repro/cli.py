@@ -190,7 +190,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pd.add_argument("--trace", choices=TRACE_ORDER, default="ramp")
     pd.add_argument(
-        "-P", "--policy", action="append", choices=POLICY_ORDER,
+        "-P", "--policy", action="append",
+        choices=POLICY_ORDER + ("market",),
         default=None,
         help="policy name (repeatable; default: all four)",
     )
@@ -213,6 +214,14 @@ def build_parser() -> argparse.ArgumentParser:
     pd.add_argument("--transitions", action="store_true",
                     help="simulate each reallocation transition (drain +"
                          " state-transfer flows) and report the SLA dip")
+    pd.add_argument("--budget", action="append", default=None,
+                    metavar="APP=USD",
+                    help="per-application budget for the market policy"
+                         " (repeatable, e.g. --budget app0=50000)")
+    pd.add_argument("--pricing", default=None,
+                    choices=("proportional", "fixed"),
+                    help="auction mechanism for contended machines"
+                         " (market policy; default proportional)")
     pd.add_argument("--table", action="store_true",
                     help="print the per-epoch table per policy")
     pd.add_argument("--json", type=str, default=None,
@@ -236,7 +245,8 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument(
         "--tenant", action="append", default=None, metavar="SPEC",
         help="register a tenant: NAME[,weight=W,rate=R,burst=B,"
-             "max_in_flight=M,max_queued=Q] (repeatable)",
+             "max_in_flight=M,max_queued=Q,tier=gold|silver|standard|"
+             "bronze,budget=USD,refill=USD/s,price=USD] (repeatable)",
     )
     pv.add_argument("--no-auto-register", action="store_true",
                     help="reject tenants not named by --tenant")
@@ -249,6 +259,10 @@ def build_parser() -> argparse.ArgumentParser:
     pu.add_argument("--priority", type=int, default=0)
     pu.add_argument("--deadline", type=float, default=None, metavar="S",
                     help="soft queueing deadline in seconds")
+    pu.add_argument("--bid", type=float, default=None, metavar="USD",
+                    help="price offered for a queue slot during"
+                         " overload (may preempt lower-tier work;"
+                         " the victim is credited)")
     pu.add_argument("-n", "--operators", type=int, default=30)
     pu.add_argument("-a", "--alpha", type=float, default=1.5)
     pu.add_argument("-s", "--seed", type=int, default=2009)
@@ -277,6 +291,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="max tasks in flight on this worker")
     pw.add_argument("--max-tasks", type=int, default=None,
                     help="drain gracefully after this many tasks")
+    pw.add_argument("--secret", default=None,
+                    help="shared secret for the mutual HMAC handshake"
+                         " (default: the REPRO_SECRET environment"
+                         " variable; unauthenticated coordinators are"
+                         " refused when set)")
     return p
 
 
@@ -491,6 +510,23 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
         if args.migration_cost_per_mb is not None
         else DEFAULT_MIGRATION_COST_PER_MB
     )
+    budgets = None
+    if args.budget:
+        budgets = {}
+        for spec in args.budget:
+            app, sep, amount = spec.partition("=")
+            if not sep or not app:
+                print(f"bad --budget {spec!r}: expected APP=USD",
+                      file=sys.stderr)
+                return 2
+            try:
+                budgets[app] = float(amount)
+            except ValueError:
+                print(f"bad --budget amount {amount!r}: expected a"
+                      f" number", file=sys.stderr)
+                return 2
+        if "market" not in names:
+            names.append("market")
     requests = [
         ReplayRequest(
             trace=trace, policy=name, validate=args.validate,
@@ -498,6 +534,8 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
             migration_model=args.migration_model,
             migration_cost_per_mb=per_mb,
             sim_transitions=args.transitions,
+            pricing=args.pricing,
+            tenant_budgets=budgets,
         )
         for name in names
     ]
@@ -527,6 +565,18 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
                     f" worst dip {worst:.1%},"
                     f" {sla:.2f}s below SLA in total"
                 )
+        if result.market is not None:
+            for app, account in sorted(
+                result.market.get("tenants", {}).items()
+            ):
+                spent = account.get("spent", 0.0)
+                line = f"         {app}: spent ${spent:,.0f}"
+                if "budget" in account:
+                    line += (
+                        f" of ${account['budget']:,.0f} budget"
+                        f" (balance ${account.get('balance', 0.0):,.0f})"
+                    )
+                print(line)
         if args.table:
             print(result.table())
     if args.json:
@@ -592,8 +642,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    import os
+
     from .distributed import run_worker
 
+    secret = args.secret or os.environ.get("REPRO_SECRET") or None
     host, sep, port_text = args.connect.rpartition(":")
     if not sep or not host:
         print(f"bad --connect {args.connect!r}: expected HOST:PORT",
@@ -612,6 +665,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             window=args.window,
             max_tasks=args.max_tasks,
             install_signal_handlers=True,
+            secret=secret,
         )
     except (ConnectionError, OSError) as err:
         print(f"worker error: {err}", file=sys.stderr)
@@ -666,7 +720,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         if args.async_mode:
             pending = client.submit_async(
                 request, tenant=args.tenant, priority=args.priority,
-                deadline_s=args.deadline,
+                deadline_s=args.deadline, bid=args.bid,
             )
             print(f"ticket #{pending['ticket']} accepted (202) —"
                   f" polling {pending['poll']}", flush=True)
@@ -682,7 +736,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         else:
             response = client.submit(
                 request, tenant=args.tenant, priority=args.priority,
-                deadline_s=args.deadline,
+                deadline_s=args.deadline, bid=args.bid,
             )
     except ServiceError as err:
         label = "rejected" if err.rejected else f"HTTP {err.status}"

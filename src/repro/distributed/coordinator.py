@@ -40,6 +40,7 @@ remote:HOST:PORT``) builds one.
 from __future__ import annotations
 
 import itertools
+import os
 import socket
 import threading
 import time
@@ -50,6 +51,8 @@ from typing import Any, Callable, Iterable
 from ..api.requests import FailureRecord
 from ..api.wire import recv_frame, send_frame
 from .protocol import (
+    MSG_AUTH,
+    MSG_CHALLENGE,
     MSG_DRAIN,
     MSG_GOODBYE,
     MSG_HEARTBEAT,
@@ -60,8 +63,10 @@ from .protocol import (
     MSG_TASK_ERROR,
     MSG_WELCOME,
     PROTOCOL_VERSION,
+    auth_mac,
     decode_result,
     encode_task,
+    macs_equal,
 )
 
 __all__ = ["Coordinator", "DistributedExecutor"]
@@ -151,6 +156,7 @@ class Coordinator:
         retry_backoff_s: float = 0.05,
         retry_backoff_max_s: float = 2.0,
         handshake_timeout_s: float = 10.0,
+        secret: str | None = None,
     ) -> None:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
@@ -172,6 +178,9 @@ class Coordinator:
         self.retry_backoff_s = retry_backoff_s
         self.retry_backoff_max_s = retry_backoff_max_s
         self.handshake_timeout_s = handshake_timeout_s
+        #: Shared secret for the mutual HMAC handshake; ``None`` keeps
+        #: the legacy open registration (private-network deployments).
+        self.secret = secret or None
 
         self._cond = threading.Condition()
         self._workers: dict[str, _WorkerConn] = {}
@@ -435,6 +444,7 @@ class Coordinator:
             ).start()
 
     def _handshake(self, sock: socket.socket) -> None:
+        welcome_mac: str | None = None
         try:
             sock.settimeout(self.handshake_timeout_s)
             msg = recv_frame(sock)
@@ -445,6 +455,33 @@ class Coordinator:
             ):
                 _close_sock(sock)
                 return
+            if self.secret is not None:
+                # challenge-response before the worker is admitted —
+                # an unauthenticated peer never gets past this point,
+                # so nothing it sends ever reaches a pickle decoder
+                worker_nonce = str(msg.get("nonce") or "")
+                if not worker_nonce:
+                    _close_sock(sock)
+                    return
+                my_nonce = os.urandom(16).hex()
+                send_frame(
+                    sock, {"type": MSG_CHALLENGE, "nonce": my_nonce}
+                )
+                answer = recv_frame(sock)
+                if (
+                    answer is None
+                    or answer.get("type") != MSG_AUTH
+                    or not macs_equal(
+                        answer.get("mac"),
+                        auth_mac(self.secret, "worker",
+                                 worker_nonce, my_nonce),
+                    )
+                ):
+                    _close_sock(sock)
+                    return
+                welcome_mac = auth_mac(
+                    self.secret, "coordinator", my_nonce, worker_nonce
+                )
             sock.settimeout(None)
         except (ValueError, OSError):
             _close_sock(sock)
@@ -472,13 +509,16 @@ class Coordinator:
             self._workers[name] = conn
             self._n_registered += 1
             self._cond.notify_all()
+        welcome = {
+            "type": MSG_WELCOME,
+            "worker": name,
+            "heartbeat_s": self.heartbeat_s,
+        }
+        if welcome_mac is not None:
+            welcome["mac"] = welcome_mac
         try:
             with conn.send_lock:
-                send_frame(sock, {
-                    "type": MSG_WELCOME,
-                    "worker": name,
-                    "heartbeat_s": self.heartbeat_s,
-                })
+                send_frame(sock, welcome)
         except OSError:
             self._evict(conn, "send-failed")
             return
@@ -661,7 +701,15 @@ class DistributedExecutor:
     def from_spec(cls, spec: str, **coordinator_options
                   ) -> "DistributedExecutor":
         """Build from a ``remote:HOST:PORT`` / ``remote:PORT`` string
-        (the CLI's ``--jobs`` syntax)."""
+        (the CLI's ``--jobs`` syntax).  When the ``REPRO_SECRET``
+        environment variable is set and no explicit ``secret`` option
+        is passed, the handshake secret defaults to it — so
+        ``--jobs remote:...`` picks up the same secret the workers
+        were launched with."""
+        if "secret" not in coordinator_options:
+            coordinator_options["secret"] = (
+                os.environ.get("REPRO_SECRET") or None
+            )
         body = spec[len("remote:"):] if spec.startswith("remote:") else spec
         host, _, port_text = body.rpartition(":")
         host = host or "127.0.0.1"

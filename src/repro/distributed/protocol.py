@@ -26,12 +26,22 @@ asserted on the full typed result objects, not on a lossy JSON view.
 Trust boundary: like :class:`~repro.api.executors.ParallelExecutor`
 (whose pool workers unpickle whatever the parent sends), the fabric
 assumes coordinator and workers trust each other — run it on a
-private network, not the open internet.
+private network, not the open internet.  A shared secret
+(``Coordinator(secret=...)`` / ``repro worker --secret``, or the
+``REPRO_SECRET`` environment variable) adds a mutual HMAC-SHA256
+handshake on top: the coordinator challenges each registering worker
+and refuses the connection on a bad or missing MAC *before* any task
+frame — and therefore before any pickle payload — is exchanged, and
+the worker likewise verifies the coordinator's counter-MAC before it
+will execute anything.  The secret authenticates the peer; it does
+not encrypt the stream — pair it with a private network or tunnel.
 """
 
 from __future__ import annotations
 
 import base64
+import hashlib
+import hmac as _hmac
 import pickle
 import traceback as _traceback
 from typing import Any, Callable
@@ -39,6 +49,8 @@ from typing import Any, Callable
 from ..api.wire import FrameError, WireFormatError, request_to_wire
 
 __all__ = [
+    "MSG_AUTH",
+    "MSG_CHALLENGE",
     "MSG_DRAIN",
     "MSG_GOODBYE",
     "MSG_HEARTBEAT",
@@ -49,29 +61,54 @@ __all__ = [
     "MSG_TASK_ERROR",
     "MSG_WELCOME",
     "PROTOCOL_VERSION",
+    "auth_mac",
     "decode_result",
     "decode_task",
     "describe_error",
     "encode_result",
     "encode_task",
+    "macs_equal",
 ]
 
 PROTOCOL_VERSION = 1
 
 # worker → coordinator
-MSG_REGISTER = "register"      # {"worker", "pid", "window", "protocol"}
+MSG_REGISTER = "register"      # {"worker", "pid", "window", "protocol",
+                               #  "nonce" when a secret is configured}
+MSG_AUTH = "auth"              # {"mac": HMAC(secret, worker‖nonces)}
 MSG_HEARTBEAT = "heartbeat"    # liveness (any frame refreshes it too)
 MSG_RESULT = "result"          # {"task": id, "payload": <result codec>}
 MSG_TASK_ERROR = "task-error"  # {"task": id, "error": describe_error()}
 MSG_GOODBYE = "goodbye"        # drained; deregister me
 # coordinator → worker
-MSG_WELCOME = "welcome"        # {"worker", "heartbeat_s"}
+MSG_CHALLENGE = "challenge"    # {"nonce"} — sent only with a secret
+MSG_WELCOME = "welcome"        # {"worker", "heartbeat_s",
+                               #  "mac" when a secret is configured}
 MSG_TASK = "task"              # {"task": id, "payload": <task codec>}
 MSG_SHUTDOWN = "shutdown"      # stop now (coordinator is closing)
 # both directions
 MSG_DRAIN = "drain"            # worker→coord: stop assigning to me;
                                # coord→worker: no more tasks follow —
                                # finish what you have and say goodbye
+
+
+def auth_mac(secret: str, *parts: str) -> str:
+    """HMAC-SHA256 over NUL-joined ``parts``, hex-encoded.
+
+    Both handshake directions use it with a role tag as the first
+    part (``"worker"`` / ``"coordinator"``) followed by the two
+    nonces, so a transcript replayed in the other direction — or
+    against a different session's nonces — never verifies.
+    """
+    message = b"\x00".join(p.encode("utf8") for p in parts)
+    return _hmac.new(
+        secret.encode("utf8"), message, hashlib.sha256
+    ).hexdigest()
+
+
+def macs_equal(provided: "str | None", expected: str) -> bool:
+    """Constant-time MAC comparison tolerant of absent/odd inputs."""
+    return _hmac.compare_digest(str(provided or ""), expected)
 
 
 def _wire_task_fns() -> dict[str, Callable]:

@@ -30,6 +30,8 @@ from typing import Callable
 
 from ..api.wire import recv_frame, send_frame
 from .protocol import (
+    MSG_AUTH,
+    MSG_CHALLENGE,
     MSG_DRAIN,
     MSG_GOODBYE,
     MSG_HEARTBEAT,
@@ -40,9 +42,11 @@ from .protocol import (
     MSG_TASK_ERROR,
     MSG_WELCOME,
     PROTOCOL_VERSION,
+    auth_mac,
     decode_task,
     describe_error,
     encode_result,
+    macs_equal,
 )
 
 __all__ = ["Worker", "run_worker"]
@@ -68,6 +72,7 @@ class Worker:
         connect_timeout_s: float = 10.0,
         connect_retries: int = 20,
         on_task: Callable[[int], None] | None = None,
+        secret: str | None = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -79,6 +84,12 @@ class Worker:
         self.connect_timeout_s = connect_timeout_s
         self.connect_retries = connect_retries
         self.on_task = on_task
+        #: Shared secret for the mutual HMAC handshake.  When set, the
+        #: worker both proves itself to the coordinator and *requires*
+        #: the coordinator to prove itself back before executing any
+        #: task — a worker with a secret never runs work from an
+        #: unauthenticated peer.
+        self.secret = secret or None
         self.n_done = 0
         self._sock: socket.socket | None = None
         # reentrant: request_drain may fire from a signal handler while
@@ -162,15 +173,46 @@ class Worker:
         self._sock = sock
         heartbeat_thread: threading.Thread | None = None
         try:
-            self._send({
+            register = {
                 "type": MSG_REGISTER,
                 "worker": self.name,
                 "pid": os.getpid(),
                 "window": self.window,
                 "protocol": PROTOCOL_VERSION,
-            })
+            }
+            my_nonce = ""
+            if self.secret is not None:
+                my_nonce = os.urandom(16).hex()
+                register["nonce"] = my_nonce
+            self._send(register)
             sock.settimeout(self.connect_timeout_s)
             welcome = recv_frame(sock)
+            if self.secret is not None:
+                # a coordinator that skips the challenge (no secret,
+                # or a different one) is refused — never take work
+                # from a peer that cannot prove the shared secret
+                if welcome is None or welcome.get("type") != MSG_CHALLENGE:
+                    raise ConnectionError(
+                        f"coordinator at {self.host}:{self.port} did"
+                        f" not challenge the registration — it is not"
+                        f" configured with this worker's secret"
+                    )
+                their_nonce = str(welcome.get("nonce") or "")
+                self._send({
+                    "type": MSG_AUTH,
+                    "mac": auth_mac(self.secret, "worker",
+                                    my_nonce, their_nonce),
+                })
+                welcome = recv_frame(sock)
+                if welcome is not None and not macs_equal(
+                    welcome.get("mac"),
+                    auth_mac(self.secret, "coordinator",
+                             their_nonce, my_nonce),
+                ):
+                    raise ConnectionError(
+                        f"coordinator at {self.host}:{self.port} failed"
+                        f" mutual authentication (bad welcome MAC)"
+                    )
             sock.settimeout(None)
             if welcome is None or welcome.get("type") != MSG_WELCOME:
                 raise ConnectionError(
@@ -229,15 +271,19 @@ def run_worker(
     window: int = 2,
     max_tasks: int | None = None,
     install_signal_handlers: bool = False,
+    secret: str | None = None,
 ) -> int:
     """Run one worker to completion (the ``repro worker`` entry point).
 
     With ``install_signal_handlers=True``, SIGTERM/SIGINT trigger a
     graceful drain (finish in-flight work, deregister) instead of
     killing the process mid-task; a second signal exits hard.
+    ``secret`` enables the mutual HMAC handshake (see
+    :mod:`repro.distributed.protocol`).
     """
     worker = Worker(
-        host, port, name=name, window=window, max_tasks=max_tasks
+        host, port, name=name, window=window, max_tasks=max_tasks,
+        secret=secret,
     )
     if install_signal_handlers:
         import signal

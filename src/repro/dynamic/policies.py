@@ -59,6 +59,7 @@ __all__ = [
     "ResolvePolicy",
     "HarvestPolicy",
     "TradePolicy",
+    "MarketPolicy",
     "POLICY_FACTORIES",
     "POLICY_ORDER",
     "make_policy",
@@ -102,6 +103,39 @@ class ReallocationPolicy(ABC):
         weigh moves against money.  The default is to ignore it —
         ``static`` never moves and ``resolve`` re-plans wholesale; the
         repair-based policies override this."""
+
+    def configure_market(
+        self,
+        budgets: "dict[str, float] | None",
+        pricing: "str | None",
+        *,
+        seed: int = 0,
+    ) -> None:
+        """Hand the policy per-application budgets and a ``pricing``
+        registry reference for contended-machine price search.  The
+        default ignores it — only market-aware policies settle."""
+
+    def settle(
+        self,
+        *,
+        epoch: int,
+        prev,
+        allocation: Allocation,
+        plan,
+        model,
+        salvage_fraction: float,
+    ) -> "dict | None":
+        """Per-epoch economic settlement: charge this epoch's
+        purchases, salvage, and migrations to the owning applications'
+        accounts and price contended machines.  Returns the epoch's
+        market record, or ``None`` (the default — non-market policies
+        keep replay output bit-identical)."""
+        return None
+
+    def market_summary(self) -> "dict | None":
+        """End-of-replay account totals, or ``None`` when the policy
+        ran no economy."""
+        return None
 
     @abstractmethod
     def react(
@@ -235,11 +269,272 @@ class TradePolicy(_RepairBase):
     strategy = "trade"
 
 
+class MarketPolicy(_RepairBase):
+    """Trade-style repair plus a per-application economy.
+
+    Allocation decisions are exactly the ``trade`` policy's (same
+    repair planner, same fallback), so the cost/violation series stays
+    comparable; what this policy adds is *settlement*: every epoch's
+    purchases, salvage refunds, and migration bills are charged to the
+    owning application's :class:`~repro.market.accounts.Account` (apps
+    are identified by the ``"<app>."`` prefix multi-app traces put on
+    operator names), and machines hosting several applications are
+    priced by a deterministic price-search auction from the
+    ``pricing:`` registry namespace (CEEI / proportional fairness by
+    default).  The auction's congestion rents are account-side only —
+    they never alter the platform-cost series, so the replay's cost
+    columns remain directly comparable with the other policies.
+
+    Budgets are scorecards here, not gates: an application that
+    overruns its budget goes negative (the overdraft is counted) —
+    refusing to pay for a machine the repair planner already bought
+    would corrupt the running platform.
+    """
+
+    name = "market"
+    strategy = "trade"
+
+    def __init__(
+        self,
+        heuristic: str = DEFAULT_HEURISTIC,
+        *,
+        budgets: "dict[str, float] | None" = None,
+        pricing: "str | None" = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(heuristic)
+        self._budgets: dict[str, float] = dict(budgets or {})
+        self._pricing_ref = pricing
+        self._market_seed = seed
+        self._auction = None
+        self._accounts: dict = {}
+
+    def configure_market(
+        self,
+        budgets: "dict[str, float] | None",
+        pricing: "str | None",
+        *,
+        seed: int = 0,
+    ) -> None:
+        if budgets is not None:
+            self._budgets = dict(budgets)
+        if pricing is not None:
+            self._pricing_ref = pricing
+        self._market_seed = seed
+        self._auction = None
+        self._accounts = {}
+
+    # -- settlement helpers ---------------------------------------------
+
+    def _mechanism(self):
+        # NB: ``self._pricing`` is taken — _RepairBase uses it for the
+        # migration-cost schedule — so the auction lives on _auction
+        if self._auction is None:
+            from ..market.auction import make_pricing
+
+            self._auction = make_pricing(
+                self._pricing_ref or "proportional"
+            )
+        return self._auction
+
+    def _account(self, app: str):
+        account = self._accounts.get(app)
+        if account is None:
+            from ..market.accounts import Account
+
+            account = self._accounts[app] = Account(
+                self._budgets.get(app)
+            )
+        return account
+
+    @staticmethod
+    def _owner(tree, index: int) -> str:
+        """Application owning one operator: the name prefix multi-app
+        traces assign (``"app1.n7"`` → ``"app1"``); single-app trees
+        settle on one account named after the tree."""
+        name = tree[index].name or ""
+        if "." in name:
+            return name.split(".", 1)[0]
+        return tree.name or "app"
+
+    def _machine_loads(self, alloc: Allocation) -> "dict[int, dict[str, float]]":
+        """uid → app → hosted work (operator count as tie-breaker mass
+        for zero-work glue operators)."""
+        tree = alloc.instance.tree
+        loads: dict[int, dict[str, float]] = {}
+        for i, uid in sorted(alloc.assignment.items()):
+            app = self._owner(tree, i)
+            per_app = loads.setdefault(uid, {})
+            per_app[app] = per_app.get(app, 0.0) + max(
+                tree[i].work, 1e-9
+            )
+        return loads
+
+    def _split_machine(
+        self, charges: "dict[str, dict[str, float]]", kind: str,
+        hosted: "dict[str, float] | None", amount: float,
+    ) -> None:
+        """Split one machine's bill/refund across its hosting apps,
+        proportional to hosted work."""
+        if not hosted or amount == 0.0:
+            return
+        total = sum(hosted.values())
+        for app in sorted(hosted):
+            share = amount * hosted[app] / total
+            row = charges.setdefault(app, {})
+            row[kind] = row.get(kind, 0.0) + share
+
+    def settle(
+        self,
+        *,
+        epoch: int,
+        prev,
+        allocation: Allocation,
+        plan,
+        model,
+        salvage_fraction: float,
+    ) -> "dict | None":
+        from ..rng import derive_seed
+
+        new_loads = self._machine_loads(allocation)
+        new_procs = allocation.processor_map
+        charges: dict[str, dict[str, float]] = {}
+
+        if plan is None:
+            # initial epoch: the whole platform is purchased
+            for uid in sorted(new_procs):
+                self._split_machine(
+                    charges, "purchase", new_loads.get(uid),
+                    new_procs[uid].cost,
+                )
+        else:
+            old_loads = self._machine_loads(prev)
+            old_procs = prev.processor_map
+            matched_new = set(plan.uid_map.values())
+            # purchased machines bill the apps they now host
+            for uid in sorted(new_procs):
+                if uid not in matched_new and uid not in old_procs:
+                    self._split_machine(
+                        charges, "purchase", new_loads.get(uid),
+                        new_procs[uid].cost,
+                    )
+            # decommissioned machines refund their former hosts
+            for uid in sorted(old_procs):
+                if uid not in plan.uid_map and uid not in new_procs:
+                    self._split_machine(
+                        charges, "salvage", old_loads.get(uid),
+                        salvage_fraction * old_procs[uid].cost,
+                    )
+            # in-place re-specs: upgrades bill, downgrades refund
+            for uid in sorted(set(old_procs) & set(new_procs)):
+                diff = new_procs[uid].cost - old_procs[uid].cost
+                if diff > 0:
+                    self._split_machine(
+                        charges, "purchase", new_loads.get(uid), diff
+                    )
+                elif diff < 0:
+                    self._split_machine(
+                        charges, "salvage", old_loads.get(uid),
+                        salvage_fraction * (-diff),
+                    )
+            # migrations bill the owner of the moved operator
+            old_tree = prev.instance.tree
+            for move in plan.moves:
+                app = self._owner(old_tree, move.old_index)
+                if getattr(model, "name", None) == "flat":
+                    price = model.cost_per_migration
+                else:
+                    price = model.price_state(move.state_mb)
+                row = charges.setdefault(app, {})
+                row["migration"] = row.get("migration", 0.0) + price
+
+        # -- contended machines: seeded price-search auction -----------
+        contended = {
+            uid: per_app
+            for uid, per_app in sorted(new_loads.items())
+            if len(per_app) > 1
+        }
+        auction_block = None
+        prices: dict[str, float] = {}
+        if contended:
+            demands: dict[str, dict[str, float]] = {}
+            for uid, per_app in contended.items():
+                for app, work in per_app.items():
+                    demands.setdefault(app, {})[str(uid)] = work
+            funds = {}
+            for app in sorted(demands):
+                account = self._account(app)
+                # bid mass is the app's contended work — so rents stay
+                # on the scale of the contention, not the treasury —
+                # capped by what a budgeted account still has
+                notional = sum(demands[app].values())
+                if account.unlimited or account.balance <= 0:
+                    funds[app] = notional
+                else:
+                    funds[app] = min(account.balance, notional)
+            result = self._mechanism().run(
+                {str(uid): 1.0 for uid in contended},
+                demands,
+                funds,
+                seed=derive_seed(self._market_seed, "market", epoch),
+            )
+            prices = {m: round(p, 9) for m, p in result.prices}
+            auction_block = {
+                "n_rounds": result.n_rounds,
+                "converged": result.converged,
+            }
+            for app, paid in result.payments:
+                if paid > 0:
+                    row = charges.setdefault(app, {})
+                    row["rent"] = row.get("rent", 0.0) + paid
+
+        # -- apply to accounts ------------------------------------------
+        record_charges: dict[str, dict[str, float]] = {}
+        balances: dict[str, float] = {}
+        for app in sorted(charges):
+            account = self._account(app)
+            row = charges[app]
+            out_row = {}
+            for kind in ("purchase", "migration", "rent"):
+                amount = round(row.get(kind, 0.0), 6)
+                if amount:
+                    account.charge(amount, kind, force=True)
+                    out_row[kind] = amount
+            refund = round(row.get("salvage", 0.0), 6)
+            if refund:
+                account.credit(refund, "salvage")
+                out_row["salvage"] = refund
+            if out_row:
+                record_charges[app] = out_row
+            if not account.unlimited:
+                balances[app] = round(account.balance, 6)
+        out: dict = {"charges": record_charges}
+        if balances:
+            out["balances"] = balances
+        if prices:
+            out["prices"] = prices
+        if auction_block is not None:
+            out["auction"] = auction_block
+        return out
+
+    def market_summary(self) -> "dict | None":
+        if not self._accounts:
+            return None
+        return {
+            "pricing": (self._pricing_ref or "proportional"),
+            "tenants": {
+                app: account.snapshot()
+                for app, account in sorted(self._accounts.items())
+            },
+        }
+
+
 POLICY_FACTORIES: dict[str, Callable[[], ReallocationPolicy]] = {
     StaticPolicy.name: StaticPolicy,
     ResolvePolicy.name: ResolvePolicy,
     HarvestPolicy.name: HarvestPolicy,
     TradePolicy.name: TradePolicy,
+    MarketPolicy.name: MarketPolicy,
 }
 
 #: Canonical report/plot order: baselines first, adaptive policies last.

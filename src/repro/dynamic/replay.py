@@ -412,6 +412,10 @@ class EpochRecord:
     #: Transition simulation (``None`` unless ``sim_transitions=True``
     #: and this epoch actually moved operators):
     transition: TransitionRecord | None = None
+    #: Market settlement (``None`` unless the policy runs an economy —
+    #: the key is omitted from JSON so non-market replays stay
+    #: bit-identical):
+    market: dict | None = None
 
     @property
     def reconfig_cost(self) -> float:
@@ -427,6 +431,9 @@ class ReplayResult:
     policy: str
     records: tuple[EpochRecord, ...] = field(default_factory=tuple)
     migration_model: str = "flat"
+    #: End-of-replay economy summary (``None`` unless the policy runs
+    #: a market — see :class:`~repro.dynamic.policies.MarketPolicy`):
+    market: dict | None = None
 
     @property
     def n_epochs(self) -> int:
@@ -485,7 +492,7 @@ class ReplayResult:
         for r in self.records:
             d = asdict(r)
             for key in ("state_moved_mb", "n_heavy_migrations",
-                        "transition"):
+                        "transition", "market"):
                 if d[key] is None:
                     del d[key]
             records.append(d)
@@ -503,6 +510,8 @@ class ReplayResult:
             out["migration_model"] = self.migration_model
             out["total_state_moved_mb"] = self.total_state_moved_mb
             out["total_heavy_migrations"] = self.total_heavy_migrations
+        if self.market is not None:
+            out["market"] = self.market
         return out
 
     def to_json(self) -> str:
@@ -605,6 +614,8 @@ def _replay_engine(
     migration_model: str = "flat",
     migration_cost_per_mb: float = DEFAULT_MIGRATION_COST_PER_MB,
     sim_transitions: bool = False,
+    pricing: "str | None" = None,
+    tenant_budgets=None,
 ) -> ReplayResult:
     """Walk ``trace`` under ``policy`` and return the priced series.
 
@@ -636,6 +647,14 @@ def _replay_engine(
     step in the simulator — drain + state-transfer flows injected into
     the elastic flow network — and attaches the measured
     :class:`~repro.dynamic.transition.TransitionRecord` to the epoch.
+
+    ``pricing``/``tenant_budgets`` parameterise market-aware policies
+    (currently :class:`~repro.dynamic.policies.MarketPolicy`): the
+    pricing mechanism reference (``pricing:`` namespace) and per-app
+    budgets forwarded through
+    :meth:`~repro.dynamic.policies.ReallocationPolicy.configure_market`.
+    Policies without an economy ignore both, and all outputs stay
+    bit-identical when they are left unset.
     """
     if isinstance(policy, str):
         policy = make_policy(policy)
@@ -660,6 +679,10 @@ def _replay_engine(
         policy.configure_pricing(
             MigrationPricing(model=model, salvage_fraction=salvage_fraction)
         )
+    policy.configure_market(
+        dict(tenant_budgets) if tenant_budgets else None,
+        pricing, seed=trace.seed,
+    )
     records: list[EpochRecord] = []
     current: Allocation | None = None
     for epoch, (time, label, instance) in enumerate(trace.epochs()):
@@ -722,6 +745,11 @@ def _replay_engine(
                 n_results=n_results, kernel=sim_kernel,
             )
 
+        market = policy.settle(
+            epoch=epoch, prev=current, allocation=alloc, plan=plan,
+            model=model, salvage_fraction=salvage_fraction,
+        )
+
         records.append(
             EpochRecord(
                 epoch=epoch, time=time, label=label,
@@ -747,6 +775,7 @@ def _replay_engine(
                     if state_keyed else None
                 ),
                 transition=transition,
+                market=market,
             )
         )
         current = alloc
@@ -756,4 +785,5 @@ def _replay_engine(
         policy=policy.name,
         records=tuple(records),
         migration_model=model.name,
+        market=policy.market_summary(),
     )

@@ -55,6 +55,24 @@ class PolicyCell:
     mean_sim_violation_epochs: float
     mean_migrations: float
     results: tuple[ReplayResult, ...]
+    #: Served (non-violating) epochs per $1000 spent — platform spend
+    #: for ordinary policies, full market spend (purchases + rent +
+    #: migrations) for the ``market`` policy.
+    mean_utility_per_kdollar: float | None = None
+
+
+def _utility_per_kdollar(result: ReplayResult) -> float:
+    """Non-violating epochs bought per $1000 of total spend."""
+    served = result.n_epochs - result.violation_epochs
+    spend = result.cumulative_cost
+    if result.market is not None:
+        spend = sum(
+            account.get("spent", 0.0)
+            for account in result.market.get("tenants", {}).values()
+        ) or spend
+    if spend <= 0:
+        return 0.0
+    return served / (spend / 1000.0)
 
 
 @dataclass(frozen=True)
@@ -73,19 +91,27 @@ class DynamicComparison:
         raise KeyError(policy)
 
     def render(self) -> str:
+        with_utility = any(
+            c.mean_utility_per_kdollar is not None for c in self.cells
+        )
         lines = [
             f"dynamic policy comparison — trace '{self.trace}',"
             f" {self.n_instances} instances, seed {self.master_seed}",
             f"{'policy':>8} {'mean cost':>12} {'viol epochs':>12}"
-            f" {'sim viol':>9} {'migrations':>11}",
+            f" {'sim viol':>9} {'migrations':>11}"
+            + (f" {'epochs/$k':>10}" if with_utility else ""),
         ]
         for c in self.cells:
-            lines.append(
+            line = (
                 f"{c.policy:>8} {c.mean_cost:>12,.0f}"
                 f" {c.mean_violation_epochs:>12.2f}"
                 f" {c.mean_sim_violation_epochs:>9.2f}"
                 f" {c.mean_migrations:>11.2f}"
             )
+            if with_utility:
+                u = c.mean_utility_per_kdollar
+                line += f" {u:>10.3f}" if u is not None else " " * 11
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -97,6 +123,8 @@ def policy_comparison(
     master_seed: int = 2009,
     validate: bool = False,
     sim_warmup: bool = True,
+    pricing: "str | None" = None,
+    tenant_budgets: "dict[str, float] | None" = None,
     executor=None,
     **trace_kwargs,
 ) -> DynamicComparison:
@@ -114,6 +142,14 @@ def policy_comparison(
     outside the measured span, so only genuine overloads count as
     simulator violations (pass ``sim_warmup=False`` for the legacy
     fixed window).  Irrelevant when ``validate=False``.
+
+    ``pricing``/``tenant_budgets`` parameterise market-aware policies
+    (add ``"market"`` to ``policies`` to use them); every cell also
+    carries ``mean_utility_per_kdollar`` — non-violating epochs bought
+    per $1000, scored against full market spend for the ``market``
+    policy and platform spend for the rest — so economies are
+    comparable with the classic policies on one utility-per-dollar
+    axis.
     """
     traces = [
         make_trace(
@@ -127,6 +163,7 @@ def policy_comparison(
         ReplayRequest(
             trace=t, policy=name, validate=validate,
             sim_warmup=validate and sim_warmup,
+            pricing=pricing, tenant_budgets=tenant_budgets,
         )
         for name in policies
         for t in traces
@@ -151,6 +188,9 @@ def policy_comparison(
                     sum(r.total_migrations for r in results) / n
                 ),
                 results=results,
+                mean_utility_per_kdollar=(
+                    sum(_utility_per_kdollar(r) for r in results) / n
+                ),
             )
         )
     return DynamicComparison(

@@ -1,0 +1,43 @@
+"""Market-based allocation economy.
+
+One currency for everything the platform sells: machine purchases,
+salvage refunds, and migration bills (PR 5's
+:mod:`repro.dynamic.migration` pricing) on the replay side, and
+admission slots / preemption compensation on the service side.
+
+Pieces:
+
+* :class:`~repro.market.accounts.Account` — a per-tenant budget with a
+  signed spend ledger and an optional refill policy.  Attached to
+  :class:`~repro.service.tenants.TenantConfig` (service) and to each
+  application of a multi-app trace (replay).
+* :class:`~repro.market.auction.PriceSearchAuction` — a deterministic
+  proportional-response price search for contended machines (a Fisher
+  market whose fixed point is the CEEI / proportional-fairness
+  equilibrium), exposed under the ``pricing:`` registry namespace.
+
+Everything is opt-in: with budgets unset (``None`` → infinite) and no
+bids, the service admits exactly as before and replay outputs are
+bit-identical — the economy only *adds* keys, and only when charged.
+"""
+
+from __future__ import annotations
+
+from .accounts import Account, LedgerEntry
+from .auction import (
+    AuctionResult,
+    FixedPricing,
+    PriceSearchAuction,
+    PRICING_FACTORIES,
+    make_pricing,
+)
+
+__all__ = [
+    "Account",
+    "AuctionResult",
+    "FixedPricing",
+    "LedgerEntry",
+    "PRICING_FACTORIES",
+    "PriceSearchAuction",
+    "make_pricing",
+]

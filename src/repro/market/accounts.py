@@ -1,0 +1,186 @@
+"""Per-tenant budget accounts with a signed spend ledger.
+
+An :class:`Account` is the unit of billing everywhere the economy
+reaches: service admission charges, preemption bids and compensation,
+and (on the replay side) purchases, salvage, and migration bills.
+
+Design points:
+
+* ``budget=None`` means **unlimited** — the account still tracks spend
+  and earnings (so ``/stats`` can surface them) but never refuses a
+  charge.  This is the default, and it is what keeps every pre-market
+  code path behaviourally identical.
+* Charges are *refused*, not clamped: ``charge()`` returns ``False``
+  and mutates nothing when the balance cannot cover the amount.  The
+  replay settlement uses ``force=True`` instead — there the account is
+  a scorecard (overdrafts are counted, not prevented), because refusing
+  to pay for a machine the policy already bought would corrupt the
+  platform state.
+* Refill is explicit virtual time (``advance(dt)``), or lazy wall-clock
+  when a ``clock`` is supplied — the service passes the registry clock,
+  replay drives epochs by hand.  Balance never refills above the
+  configured budget.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque
+
+__all__ = ["Account", "LedgerEntry"]
+
+#: Ledger entries kept per account (older entries are dropped; the
+#: running totals are exact regardless).
+LEDGER_WINDOW = 256
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One signed movement: ``amount`` < 0 is a debit, > 0 a credit;
+    ``balance`` is the balance *after* applying it (``inf`` when the
+    account is unlimited)."""
+
+    kind: str
+    amount: float
+    balance: float
+    detail: str = ""
+
+
+class Account:
+    """A budget, a balance, and a bounded ledger.
+
+    Parameters
+    ----------
+    budget:
+        Starting balance and refill ceiling.  ``None`` → unlimited.
+    refill_per_s:
+        Currency credited back per (virtual or wall-clock) second, up
+        to ``budget``.  Requires a finite budget.
+    clock:
+        Optional monotonic clock; when given, every operation first
+        applies the refill accrued since the last one (the
+        ``TokenBucket`` idiom).  Leave unset for replay, where time is
+        advanced explicitly via :meth:`advance`.
+    """
+
+    def __init__(
+        self,
+        budget: float | None = None,
+        *,
+        refill_per_s: float | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if budget is not None and budget < 0:
+            raise ValueError(f"budget must be >= 0, got {budget}")
+        if refill_per_s is not None:
+            if refill_per_s < 0:
+                raise ValueError(
+                    f"refill_per_s must be >= 0, got {refill_per_s}"
+                )
+            if budget is None:
+                raise ValueError(
+                    "refill_per_s without a finite budget is meaningless"
+                )
+        self.budget = budget
+        self.refill_per_s = refill_per_s
+        self._balance = float("inf") if budget is None else float(budget)
+        self._clock = clock
+        self._last = clock() if clock is not None else 0.0
+        self.spent = 0.0  # sum of debits (positive number)
+        self.earned = 0.0  # sum of credits (positive number)
+        self.overdrafts = 0  # forced charges the balance couldn't cover
+        self.ledger: Deque[LedgerEntry] = deque(maxlen=LEDGER_WINDOW)
+
+    # -- time -----------------------------------------------------------
+
+    def _refill(self, dt: float) -> None:
+        if not self.refill_per_s or dt <= 0 or self.budget is None:
+            return
+        self._balance = min(
+            float(self.budget), self._balance + self.refill_per_s * dt
+        )
+
+    def _tick(self) -> None:
+        if self._clock is None:
+            return
+        now = self._clock()
+        self._refill(now - self._last)
+        self._last = now
+
+    def advance(self, dt: float) -> None:
+        """Advance virtual time by ``dt`` seconds (refill accrual)."""
+        self._refill(dt)
+
+    # -- balance --------------------------------------------------------
+
+    @property
+    def unlimited(self) -> bool:
+        return self.budget is None
+
+    @property
+    def balance(self) -> float:
+        self._tick()
+        return self._balance
+
+    def can_afford(self, amount: float) -> bool:
+        return self.balance >= amount - 1e-12
+
+    def charge(self, amount: float, kind: str, detail: str = "",
+               *, force: bool = False) -> bool:
+        """Debit ``amount``.  Returns ``False`` (and changes nothing)
+        when the balance cannot cover it, unless ``force`` — then the
+        balance goes negative and the overdraft is counted."""
+        if amount < 0:
+            raise ValueError(f"charge amount must be >= 0, got {amount}")
+        affordable = self.can_afford(amount)
+        if not affordable:
+            if not force:
+                return False
+            self.overdrafts += 1
+        if not self.unlimited:
+            self._balance -= amount
+        self.spent += amount
+        self.ledger.append(
+            LedgerEntry(kind, -amount, self._balance, detail)
+        )
+        return True
+
+    def credit(self, amount: float, kind: str, detail: str = "") -> None:
+        """Credit ``amount`` (e.g. salvage refund, preemption
+        compensation).  Credits may exceed the configured budget —
+        compensation is real money, not refill."""
+        if amount < 0:
+            raise ValueError(f"credit amount must be >= 0, got {amount}")
+        self._tick()
+        if not self.unlimited:
+            self._balance += amount
+        self.earned += amount
+        self.ledger.append(
+            LedgerEntry(kind, amount, self._balance, detail)
+        )
+
+    # -- reporting ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready view; ``balance`` is omitted for unlimited
+        accounts (it is not a number JSON can hold)."""
+        out: dict = {
+            "spent": round(self.spent, 6),
+            "earned": round(self.earned, 6),
+        }
+        if not self.unlimited:
+            out["budget"] = self.budget
+            out["balance"] = round(self.balance, 6)
+        if self.refill_per_s:
+            out["refill_per_s"] = self.refill_per_s
+        if self.overdrafts:
+            out["overdrafts"] = self.overdrafts
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap = "inf" if self.unlimited else f"{self.budget:g}"
+        return (
+            f"Account(balance={self._balance:g}, budget={cap},"
+            f" spent={self.spent:g}, earned={self.earned:g})"
+        )

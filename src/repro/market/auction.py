@@ -1,0 +1,283 @@
+"""Deterministic price search for contended machines.
+
+:class:`PriceSearchAuction` clears a *Fisher market*: each bidder
+(tenant / application) brings a budget and a linear utility over the
+contended machines, and the auction finds per-machine prices at which
+every bidder's budget-optimal spending exactly exhausts supply.  The
+fixed point is the Eisenberg–Gale / CEEI equilibrium — the
+proportional-fairness outcome the multi-app INRIA report (RR-6864)
+analyses, and the same family as Spirit's PTAS price search.
+
+The solver is **proportional response dynamics** (Wu & Zhang 2007):
+
+* each bidder splits its budget over machines as spending ``s[i][m]``;
+* the price of a machine is the total spending on it,
+  ``p[m] = Σ_i s[i][m]``;
+* each bidder receives the share it paid for,
+  ``x[i][m] = s[i][m] / p[m] · supply[m]``;
+* next round it re-splits its budget proportional to the *utility
+  received* per machine: ``s'[i][m] ∝ u[i][m] · x[i][m]``.
+
+For linear utilities this converges to the CEEI equilibrium.  The
+iteration is pure arithmetic over sorted keys — no RNG in the dynamics
+— so results are bit-reproducible; the ``seed`` only breaks exact
+symmetric ties via a deterministic ~1e-9 perturbation of the initial
+split (without it, identically-configured bidders stay identical, which
+is *also* the equilibrium, but downstream consumers of "who paid what"
+deserve a documented tie-break rather than an accidental one).
+
+Both schemes here are registered under the ``pricing:`` namespace of
+the unified registry, next to ``migration:``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..rng import derive_seed
+
+__all__ = [
+    "AuctionResult",
+    "FixedPricing",
+    "PRICING_FACTORIES",
+    "PriceSearchAuction",
+    "make_pricing",
+]
+
+
+@dataclass(frozen=True)
+class AuctionResult:
+    """Cleared market: sorted, tuple-typed, hence hashable and
+    JSON-friendly.  ``shares`` holds ``(bidder, machine, fraction)``
+    rows — the fraction of the machine's supply the bidder won;
+    ``payments`` the currency each bidder owes."""
+
+    prices: tuple[tuple[str, float], ...]
+    shares: tuple[tuple[str, str, float], ...]
+    payments: tuple[tuple[str, float], ...]
+    n_rounds: int
+    converged: bool
+    max_rel_change: float
+
+    def price_of(self, machine: Any) -> float:
+        key = str(machine)
+        for name, price in self.prices:
+            if name == key:
+                return price
+        raise KeyError(machine)
+
+    def payment_of(self, bidder: str) -> float:
+        for name, paid in self.payments:
+            if name == bidder:
+                return paid
+        return 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "prices": {m: round(p, 9) for m, p in self.prices},
+            "payments": {b: round(p, 9) for b, p in self.payments},
+            "n_rounds": self.n_rounds,
+            "converged": self.converged,
+        }
+
+
+def _validated(
+    supply: Mapping[Any, float],
+    demands: Mapping[str, Mapping[Any, float]],
+    budgets: Mapping[str, float],
+):
+    machines = sorted((str(m) for m in supply), )
+    if len(machines) != len(supply):
+        raise ValueError("machine keys collide after str() normalisation")
+    cap = {str(m): float(c) for m, c in supply.items()}
+    for m, c in cap.items():
+        if c <= 0:
+            raise ValueError(f"supply of {m!r} must be > 0, got {c}")
+    util: dict[str, dict[str, float]] = {}
+    for bidder in sorted(demands):
+        row = {
+            str(m): float(u)
+            for m, u in demands[bidder].items()
+            if str(m) in cap and u > 0
+        }
+        if row:
+            util[bidder] = row
+    active = []
+    for bidder in sorted(util):
+        b = float(budgets.get(bidder, 0.0))
+        if b > 0:
+            active.append((bidder, b))
+    return machines, cap, util, dict(active)
+
+
+class PriceSearchAuction:
+    """Proportional-response CEEI price search.
+
+    ``tolerance`` bounds the max relative change of any bidder's
+    per-machine spending between rounds; ``max_rounds`` caps the
+    iteration (the result records whether it converged).
+    """
+
+    name = "proportional"
+
+    def __init__(self, *, max_rounds: int = 500,
+                 tolerance: float = 1e-9) -> None:
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        if tolerance <= 0:
+            raise ValueError(f"tolerance must be > 0, got {tolerance}")
+        self.max_rounds = max_rounds
+        self.tolerance = tolerance
+
+    def run(
+        self,
+        supply: Mapping[Any, float],
+        demands: Mapping[str, Mapping[Any, float]],
+        budgets: Mapping[str, float],
+        *,
+        seed: int = 0,
+    ) -> AuctionResult:
+        machines, cap, util, funds = _validated(supply, demands, budgets)
+        bidders = sorted(b for b in funds if b in util)
+        if not bidders or not machines:
+            return AuctionResult((), (), (), 0, True, 0.0)
+
+        # initial split: budget proportional to utility weight, with a
+        # seeded deterministic tie-break perturbation (see module doc)
+        spend: dict[str, dict[str, float]] = {}
+        for bidder in bidders:
+            row = util[bidder]
+            tie = random.Random(derive_seed(seed, "auction", bidder))
+            jitter = {
+                m: 1.0 + 1e-9 * tie.random() for m in sorted(row)
+            }
+            total = sum(row[m] * jitter[m] for m in sorted(row))
+            spend[bidder] = {
+                m: funds[bidder] * row[m] * jitter[m] / total
+                for m in sorted(row)
+            }
+
+        n_rounds = 0
+        max_rel = float("inf")
+        for n_rounds in range(1, self.max_rounds + 1):
+            prices = {
+                m: sum(spend[b].get(m, 0.0) for b in bidders)
+                for m in machines
+            }
+            max_rel = 0.0
+            new_spend: dict[str, dict[str, float]] = {}
+            for bidder in bidders:
+                row = util[bidder]
+                received = {
+                    m: (spend[bidder][m] / prices[m]) * cap[m]
+                    for m in sorted(row)
+                    if prices[m] > 0
+                }
+                value = sum(row[m] * x for m, x in received.items())
+                if value <= 0:
+                    new_spend[bidder] = dict(spend[bidder])
+                    continue
+                budget = funds[bidder]
+                new_row = {
+                    m: budget * row[m] * received[m] / value
+                    for m in sorted(received)
+                }
+                for m in sorted(row):
+                    old = spend[bidder].get(m, 0.0)
+                    new = new_row.get(m, 0.0)
+                    max_rel = max(
+                        max_rel, abs(new - old) / max(budget, 1e-30)
+                    )
+                new_spend[bidder] = new_row
+            spend = new_spend
+            if max_rel < self.tolerance:
+                break
+        converged = max_rel < self.tolerance
+
+        prices = {
+            m: sum(spend[b].get(m, 0.0) for b in bidders)
+            for m in machines
+        }
+        shares = []
+        payments = {b: 0.0 for b in bidders}
+        for bidder in bidders:
+            for m in sorted(spend[bidder]):
+                paid = spend[bidder][m]
+                if paid <= 0 or prices[m] <= 0:
+                    continue
+                shares.append((bidder, m, paid / prices[m]))
+                payments[bidder] += paid
+        return AuctionResult(
+            prices=tuple(sorted(prices.items())),
+            shares=tuple(shares),
+            payments=tuple(sorted(payments.items())),
+            n_rounds=n_rounds,
+            converged=converged,
+            max_rel_change=max_rel,
+        )
+
+
+class FixedPricing:
+    """Posted-price baseline: every contended machine costs
+    ``price_per_unit × supply``, split between bidders proportional to
+    their demand weight.  No search, no budgets consulted — the
+    null-hypothesis scheme the auction is compared against."""
+
+    name = "fixed"
+
+    def __init__(self, *, price_per_unit: float = 1.0) -> None:
+        if price_per_unit < 0:
+            raise ValueError(
+                f"price_per_unit must be >= 0, got {price_per_unit}"
+            )
+        self.price_per_unit = price_per_unit
+
+    def run(
+        self,
+        supply: Mapping[Any, float],
+        demands: Mapping[str, Mapping[Any, float]],
+        budgets: Mapping[str, float],
+        *,
+        seed: int = 0,
+    ) -> AuctionResult:
+        machines, cap, util, _funds = _validated(supply, demands, budgets)
+        bidders = sorted(util)
+        prices = {m: self.price_per_unit * cap[m] for m in machines}
+        shares = []
+        payments = {b: 0.0 for b in bidders}
+        for m in machines:
+            weights = {
+                b: util[b][m] for b in bidders if m in util[b]
+            }
+            total = sum(weights.values())
+            if total <= 0:
+                continue
+            for b in sorted(weights):
+                frac = weights[b] / total
+                shares.append((b, m, frac))
+                payments[b] += frac * prices[m]
+        return AuctionResult(
+            prices=tuple(sorted(prices.items())),
+            shares=tuple(shares),
+            payments=tuple(sorted(payments.items())),
+            n_rounds=0,
+            converged=True,
+            max_rel_change=0.0,
+        )
+
+
+#: Factories for the unified registry's ``pricing:`` namespace.
+PRICING_FACTORIES = {
+    PriceSearchAuction.name: PriceSearchAuction,
+    FixedPricing.name: FixedPricing,
+}
+
+
+def make_pricing(name: str, **kwargs):
+    """Build a pricing scheme via the unified registry (accepts
+    ``pricing:``-prefixed refs)."""
+    from ..api import registry as unified
+
+    return unified.make("pricing", name, **kwargs)

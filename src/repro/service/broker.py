@@ -65,7 +65,7 @@ from ..api.requests import (
 )
 from .metrics import summarize
 from .queueing import FairQueue, QueuedTicket
-from .tenants import TenantConfig, TenantRegistry, TenantState
+from .tenants import TenantConfig, TenantRegistry, TenantState, tier_rank
 
 __all__ = [
     "AdmissionRejected",
@@ -292,9 +292,72 @@ class AllocationService:
         state = self.registry.get(tenant)
         return state.config.weight if state is not None else 1
 
-    def _admit(self, tenant: str) -> TenantState:
+    def _try_preempt(self, state: TenantState, bid: float | None) -> bool:
+        """During overload, a positive ``bid`` from a higher SLA tier
+        may evict one queued request of a *strictly lower* tier: the
+        bidder pays the bid, the victim's account is credited it
+        (compensation), and the victim's future fails with a structured
+        ``"preempted"`` record.  Returns ``True`` when a slot was
+        freed."""
+        if bid is None or bid <= 0:
+            return False
+        my_rank = tier_rank(state.config.tier)
+        cost = bid + state.config.admission_price
+        if state.account is not None and not state.account.can_afford(cost):
+            return False  # can't pay the bid — no eviction
+        victim_ticket: "Ticket | None" = None
+        victim_key = None
+        for queued in self.queue.live_tickets():
+            other = self.registry.get(queued.tenant)
+            if other is None or queued.context is None:
+                continue
+            rank = tier_rank(other.config.tier)
+            if rank >= my_rank:
+                continue
+            # lowest tier first, then lowest priority, then the most
+            # recently enqueued (maximum stability for old work)
+            key = (rank, queued.priority, -queued.id)
+            if victim_key is None or key < victim_key:
+                victim_key = key
+                victim_ticket = queued.context
+        if victim_ticket is None:
+            return False
+        # capture state BEFORE cancel(): the queue nulls .context
+        victim_state = self.registry.get(victim_ticket.tenant)
+        if not self.queue.cancel(victim_ticket.queued):
+            return False
+        victim_state.n_queued -= 1
+        victim_state.metrics.preempted += 1
+        victim_state.ensure_account().credit(
+            bid, "preemption-credit",
+            detail=f"evicted by {state.name} (ticket #{victim_ticket.id})",
+        )
+        self._tickets.pop(victim_ticket.id, None)
+        victim_ticket.future.set_exception(
+            _rejection(
+                victim_ticket.tenant, "preempted",
+                f"request #{victim_ticket.id} was preempted by a"
+                f" higher-tier bid from {state.name!r}; the account of"
+                f" {victim_ticket.tenant!r} was credited"
+                f" {bid:g} in compensation",
+                detail={"preempted_by": state.name,
+                        "compensation": bid},
+            )
+        )
+        state.metrics.preemptions += 1
+        state.ensure_account().charge(
+            bid, "preemption-bid",
+            detail=f"evicted {victim_ticket.tenant}"
+                   f" (ticket #{victim_ticket.id})",
+        )
+        return True
+
+    def _admit(self, tenant: str,
+               bid: float | None = None) -> TenantState:
         """All rejection paths; capacity checks precede the (stateful)
-        token bucket so a capacity bounce costs no token."""
+        token bucket so a capacity bounce costs no token, and the
+        admission charge lands last of all — only admitted requests
+        (including cache hits, which resolve *after* this) pay."""
         state = self.registry.get(tenant)
         if state is None:
             self._count_unattributed("unknown-tenant")
@@ -314,7 +377,10 @@ class AllocationService:
                 detail={"queued": state.n_queued,
                         "max_queued": config.max_queued},
             )
-        if len(self.queue) >= self.max_queue_depth:
+        if (
+            len(self.queue) >= self.max_queue_depth
+            and not self._try_preempt(state, bid)
+        ):
             state.metrics.record_rejection("service-queue-full")
             raise _rejection(
                 tenant, "service-queue-full",
@@ -322,6 +388,23 @@ class AllocationService:
                 f" {self.max_queue_depth})",
                 detail={"queued": len(self.queue),
                         "max_queue_depth": self.max_queue_depth},
+            )
+        # a broke tenant is bounced before the (stateful) token bucket
+        # — an unaffordable request must not also burn a token
+        price = config.admission_price
+        if (
+            price > 0
+            and state.account is not None
+            and not state.account.can_afford(price)
+        ):
+            state.metrics.record_rejection("insufficient-funds")
+            raise _rejection(
+                tenant, "insufficient-funds",
+                f"tenant {tenant!r} cannot afford the admission price"
+                f" ({price:g}; balance"
+                f" {state.account.balance:g})",
+                detail={"admission_price": price,
+                        "balance": round(state.account.balance, 6)},
             )
         # the bucket is charged *last*: a request bounced for queue
         # capacity (possibly other tenants' congestion) must not also
@@ -335,6 +418,10 @@ class AllocationService:
                 detail={"rate_per_s": config.rate_per_s,
                         "burst": config.burst},
             )
+        if price > 0:
+            # every admitted request pays the door fee — including the
+            # ones a cache hit resolves without running the solver
+            state.ensure_account().charge(price, "admission")
         return state
 
     async def submit(
@@ -344,18 +431,27 @@ class AllocationService:
         tenant: str = "default",
         priority: int = 0,
         deadline_s: float | None = None,
+        bid: float | None = None,
     ) -> Ticket:
         """Admit one request; returns a :class:`Ticket` whose
         ``future`` resolves to the result.  Raises
         :class:`AdmissionRejected` (with the structured record) when a
-        quota says no."""
+        quota says no.
+
+        ``bid`` is the price this tenant offers for a queue slot under
+        overload: when the service queue is full, a positive bid from a
+        higher SLA tier preempts one queued lower-tier request (see
+        :meth:`_try_preempt`).  With capacity free, a bid costs
+        nothing."""
+        if bid is None:
+            bid = getattr(request, "bid", None)
         if self._closing or not self.started:
             self._count_unattributed("not-running")
             raise _rejection(
                 tenant, "not-running",
                 "the service is not accepting requests",
             )
-        state = self._admit(tenant)
+        state = self._admit(tenant, bid)
         now = self._clock()
         ticket_id = next(self._ids)
         queued = QueuedTicket(
@@ -530,6 +626,8 @@ class AllocationService:
         # only the last tenants' samples)
         all_waits: list[float] = []
         waits_total = 0
+        preempted = 0
+        spent = 0.0
         for state in self.registry:
             m = state.metrics
             totals["admitted"] += m.admitted
@@ -538,9 +636,18 @@ class AllocationService:
             totals["cancelled"] += m.cancelled
             totals["expired"] += m.expired
             totals["rejected"] += m.n_rejected
+            preempted += m.preempted
+            if state.account is not None:
+                spent += state.account.spent
             all_waits.extend(m.queue_wait.values)
             waits_total += m.queue_wait.total_recorded
         totals["rejected"] += sum(self._unattributed_rejections.values())
+        # economy totals only appear once money moved — pre-market
+        # /stats payloads stay byte-identical
+        if preempted:
+            totals["preempted"] = preempted
+        if spent:
+            totals["spent"] = round(spent, 6)
         out = {
             "service": {
                 "backend": self.executor.name,

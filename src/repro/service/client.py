@@ -138,14 +138,16 @@ class ServiceClient:
         tenant: str = "default",
         priority: int = 0,
         deadline_s: float | None = None,
+        bid: float | None = None,
     ) -> PendingResult:
         """Admit one request without waiting for it.  Raises
         :class:`~repro.service.broker.AdmissionRejected` immediately
-        when a quota refuses it."""
+        when a quota refuses it.  ``bid`` offers a price for a queue
+        slot during overload (see the broker's preemption rules)."""
         ticket = self._call(
             self.service.submit(
                 request, tenant=tenant, priority=priority,
-                deadline_s=deadline_s,
+                deadline_s=deadline_s, bid=bid,
             )
         )
         future = asyncio.run_coroutine_threadsafe(
@@ -155,11 +157,11 @@ class ServiceClient:
 
     def solve(self, request, *, tenant: str = "default",
               priority: int = 0, deadline_s: float | None = None,
-              timeout: float | None = None):
+              bid: float | None = None, timeout: float | None = None):
         """Submit and block for the typed result."""
         return self.submit(
             request, tenant=tenant, priority=priority,
-            deadline_s=deadline_s,
+            deadline_s=deadline_s, bid=bid,
         ).result(timeout)
 
     def stats(self) -> dict:
@@ -242,17 +244,14 @@ class HttpServiceClient:
             .get("cancelled", False)
         )
 
-    def submit(
+    def _submit_payload(
         self,
         request,
-        *,
-        tenant: str = "default",
-        priority: int = 0,
-        deadline_s: float | None = None,
+        tenant: str,
+        priority: int,
+        deadline_s: float | None,
+        bid: float | None,
     ) -> dict:
-        """Submit a typed request; blocks until the service answers.
-        Returns the wire-level response dict (``{"kind", "ticket",
-        "result": {...}}``)."""
         payload: dict = {
             "tenant": tenant,
             "priority": priority,
@@ -260,7 +259,27 @@ class HttpServiceClient:
         }
         if deadline_s is not None:
             payload["deadline_s"] = deadline_s
-        return self._request("POST", "/v1/submit", payload)
+        if bid is not None:
+            payload["bid"] = bid
+        return payload
+
+    def submit(
+        self,
+        request,
+        *,
+        tenant: str = "default",
+        priority: int = 0,
+        deadline_s: float | None = None,
+        bid: float | None = None,
+    ) -> dict:
+        """Submit a typed request; blocks until the service answers.
+        Returns the wire-level response dict (``{"kind", "ticket",
+        "result": {...}}``)."""
+        return self._request(
+            "POST", "/v1/submit",
+            self._submit_payload(request, tenant, priority, deadline_s,
+                                 bid),
+        )
 
     def submit_async(
         self,
@@ -269,19 +288,17 @@ class HttpServiceClient:
         tenant: str = "default",
         priority: int = 0,
         deadline_s: float | None = None,
+        bid: float | None = None,
     ) -> dict:
         """Submit without holding the connection: returns the 202
         ticket dict (``{"ticket", "status": "pending", "poll"}``)
         immediately.  Poll with :meth:`result` or block with
         :meth:`wait`."""
-        payload: dict = {
-            "tenant": tenant,
-            "priority": priority,
-            "request": request_to_wire(request),
-        }
-        if deadline_s is not None:
-            payload["deadline_s"] = deadline_s
-        return self._request("POST", "/v1/submit?mode=async", payload)
+        return self._request(
+            "POST", "/v1/submit?mode=async",
+            self._submit_payload(request, tenant, priority, deadline_s,
+                                 bid),
+        )
 
     def result(self, ticket: int) -> dict:
         """One poll of an async ticket: the state dict whose

@@ -76,7 +76,7 @@ _STATUS_TEXT = {
     500: "Internal Server Error", 503: "Service Unavailable",
 }
 
-_SUBMIT_FIELDS = ("tenant", "priority", "deadline_s", "request")
+_SUBMIT_FIELDS = ("tenant", "priority", "deadline_s", "bid", "request")
 
 
 class _HTTPError(Exception):
@@ -339,12 +339,16 @@ class ServiceHTTPServer:
         deadline_s = body.get("deadline_s")
         if deadline_s is not None:
             deadline_s = _coerce(deadline_s, float, "'deadline_s'")
+        bid = body.get("bid")
+        if bid is not None:
+            bid = _coerce(bid, float, "'bid'")
         try:
             ticket = await self.service.submit(
                 request,
                 tenant=tenant,
                 priority=priority,
                 deadline_s=deadline_s,
+                bid=bid,
             )
         except AdmissionRejected as err:
             return 429, {

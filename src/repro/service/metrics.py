@@ -126,6 +126,10 @@ class TenantMetrics:
     failed: int = 0
     cancelled: int = 0
     expired: int = 0
+    #: Queued requests of THIS tenant evicted by a higher-tier bid.
+    preempted: int = 0
+    #: Successful bid preemptions THIS tenant paid for.
+    preemptions: int = 0
     rejected: dict[str, int] = field(default_factory=dict)
     queue_wait: LatencySeries = field(default_factory=LatencySeries)
     service_time: LatencySeries = field(default_factory=LatencySeries)
@@ -147,6 +151,12 @@ class TenantMetrics:
             "rejected": dict(sorted(self.rejected.items())),
             "n_rejected": self.n_rejected,
         }
+        # market counters only appear once bidding happens, keeping
+        # pre-market snapshots byte-identical
+        if self.preempted:
+            out["preempted"] = self.preempted
+        if self.preemptions:
+            out["preemptions"] = self.preemptions
         queue_wait = self.queue_wait.summary()
         if queue_wait is not None:
             out["queue_wait_s"] = queue_wait

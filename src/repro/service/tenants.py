@@ -21,15 +21,28 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterator
 
+from ..market.accounts import Account
 from .metrics import TenantMetrics
 
 __all__ = [
+    "TIER_RANK",
     "TenantConfig",
     "TenantRegistry",
     "TenantState",
     "TokenBucket",
     "parse_tenant_spec",
+    "tier_rank",
 ]
+
+#: SLA tiers, by preemption seniority.  "standard" and "silver" are the
+#: same rank — "silver" exists so specs read naturally next to gold and
+#: bronze.  A bidder can only preempt queued work of a *strictly lower*
+#: rank.
+TIER_RANK = {"bronze": 0, "standard": 1, "silver": 1, "gold": 2}
+
+
+def tier_rank(tier: str) -> int:
+    return TIER_RANK[tier]
 
 
 @dataclass(frozen=True)
@@ -53,6 +66,19 @@ class TenantConfig:
     rate_per_s: float | None = None
     #: Token-bucket capacity (burst size) when rate limiting is on.
     burst: int = 8
+    #: SLA tier (``bronze`` < ``standard``/``silver`` < ``gold``): a
+    #: bidding tenant can preempt queued work of strictly lower tiers
+    #: during overload.  Purely ordinal — no other behaviour changes.
+    tier: str = "standard"
+    #: Starting balance of the tenant's account.  ``None`` (default)
+    #: means unlimited: spend is tracked but never refused, and no
+    #: ``account`` block appears in snapshots unless money moves.
+    budget: float | None = None
+    #: Currency credited back per second, up to ``budget``.
+    refill_per_s: float | None = None
+    #: Price charged per admitted request (cache hits included — the
+    #: door fee, not the compute fee).  ``0.0`` disables billing.
+    admission_price: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -73,6 +99,29 @@ class TenantConfig:
             )
         if self.burst < 1:
             raise ValueError(f"burst must be >= 1, got {self.burst}")
+        if self.tier not in TIER_RANK:
+            raise ValueError(
+                f"unknown tier {self.tier!r}"
+                f" (valid tiers: {', '.join(sorted(TIER_RANK))})"
+            )
+        if self.budget is not None and self.budget < 0:
+            raise ValueError(
+                f"budget must be >= 0, got {self.budget}"
+            )
+        if self.refill_per_s is not None:
+            if self.refill_per_s < 0:
+                raise ValueError(
+                    f"refill_per_s must be >= 0, got {self.refill_per_s}"
+                )
+            if self.budget is None:
+                raise ValueError(
+                    "refill_per_s requires a finite budget"
+                )
+        if self.admission_price < 0:
+            raise ValueError(
+                f"admission_price must be >= 0, got"
+                f" {self.admission_price}"
+            )
 
 
 class TokenBucket:
@@ -130,10 +179,21 @@ class TenantState:
     n_queued: int = 0
     #: Requests currently being executed (broker-maintained).
     n_in_flight: int = 0
+    #: Budget account; ``None`` until the tenant is configured with a
+    #: budget/price, or until money first moves (preemption credits
+    #: create unlimited accounts on demand via :meth:`ensure_account`).
+    account: Account | None = None
 
     @property
     def name(self) -> str:
         return self.config.name
+
+    def ensure_account(self) -> Account:
+        """The tenant's account, creating an unlimited one on first
+        use — so compensation can land even for unbudgeted tenants."""
+        if self.account is None:
+            self.account = Account()
+        return self.account
 
 
 class TenantRegistry:
@@ -165,10 +225,20 @@ class TenantRegistry:
         for config in configs:
             self.register(config)
 
+    def _build_account(self, config: TenantConfig) -> Account | None:
+        if config.budget is None:
+            return None
+        return Account(
+            config.budget,
+            refill_per_s=config.refill_per_s,
+            clock=self._clock,
+        )
+
     def register(self, config: TenantConfig) -> TenantState:
         """Add or reconfigure a tenant.  Reconfiguring keeps live
         counters and metrics but rebuilds the token bucket (new quota,
-        fresh burst)."""
+        fresh burst); the account survives unless its budget terms
+        changed (a new budget is a new contract — fresh balance)."""
         existing = self._tenants.get(config.name)
         bucket = (
             TokenBucket(config.rate_per_s, config.burst, clock=self._clock)
@@ -176,10 +246,18 @@ class TenantRegistry:
             else None
         )
         if existing is not None:
+            old = existing.config
+            if (old.budget, old.refill_per_s) != (
+                config.budget, config.refill_per_s
+            ):
+                existing.account = self._build_account(config)
             existing.config = config
             existing.bucket = bucket
             return existing
-        state = TenantState(config=config, bucket=bucket)
+        state = TenantState(
+            config=config, bucket=bucket,
+            account=self._build_account(config),
+        )
         self._tenants[config.name] = state
         return state
 
@@ -210,7 +288,7 @@ class TenantRegistry:
         out = {}
         for state in self:
             config = state.config
-            out[config.name] = {
+            row = {
                 "weight": config.weight,
                 "max_in_flight": config.max_in_flight,
                 "max_queued": config.max_queued,
@@ -220,6 +298,15 @@ class TenantRegistry:
                 "in_flight": state.n_in_flight,
                 **state.metrics.snapshot(),
             }
+            # market keys appear only when the economy is in play, so
+            # pre-market snapshots stay byte-identical
+            if config.tier != "standard":
+                row["tier"] = config.tier
+            if config.admission_price:
+                row["admission_price"] = config.admission_price
+            if state.account is not None:
+                row["account"] = state.account.snapshot()
+            out[config.name] = row
         return out
 
 
@@ -228,15 +315,28 @@ def parse_tenant_spec(spec: str) -> TenantConfig:
 
     ``"name"`` or ``"name,key=value,..."`` with keys ``weight``,
     ``max_in_flight``, ``max_queued``, ``rate`` (alias of
-    ``rate_per_s``), and ``burst``::
+    ``rate_per_s``), ``burst``, ``tier``, ``budget``, ``refill``
+    (alias of ``refill_per_s``), and ``price`` (alias of
+    ``admission_price``)::
 
         parse_tenant_spec("acme,weight=2,rate=10,burst=4")
+        parse_tenant_spec("gold,tier=gold,budget=100,price=1")
     """
     name, _, rest = spec.partition(",")
     kwargs: dict[str, object] = {}
-    aliases = {"rate": "rate_per_s"}
+    aliases = {
+        "rate": "rate_per_s",
+        "refill": "refill_per_s",
+        "price": "admission_price",
+    }
     int_keys = {"weight", "max_in_flight", "max_queued", "burst"}
-    valid = sorted(int_keys | {"rate", "rate_per_s"})
+    float_keys = {
+        "rate_per_s", "budget", "refill_per_s", "admission_price"
+    }
+    str_keys = {"tier"}
+    valid = sorted(
+        int_keys | float_keys | str_keys | set(aliases)
+    )
     if rest:
         for item in rest.split(","):
             key, eq, value = item.partition("=")
@@ -247,7 +347,7 @@ def parse_tenant_spec(spec: str) -> TenantConfig:
                     f" (expected key=value)"
                 )
             key = aliases.get(key, key)
-            if key not in int_keys and key != "rate_per_s":
+            if key not in int_keys | float_keys | str_keys:
                 from ..errors import did_you_mean
 
                 raise ValueError(
@@ -256,7 +356,9 @@ def parse_tenant_spec(spec: str) -> TenantConfig:
                 )
             try:
                 kwargs[key] = (
-                    int(value) if key in int_keys else float(value)
+                    int(value) if key in int_keys
+                    else value.strip() if key in str_keys
+                    else float(value)
                 )
             except ValueError:
                 raise ValueError(

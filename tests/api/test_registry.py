@@ -12,13 +12,15 @@ from repro.dynamic.policies import POLICY_ORDER, make_policy
 class TestBuiltins:
     def test_all_namespaces_populated(self):
         assert set(registry.NAMESPACES) == {
-            "placement", "server", "policy", "refine", "migration"
+            "placement", "server", "policy", "refine", "migration",
+            "pricing",
         }
         assert registry.names("placement")[:6] == HEURISTIC_ORDER
         assert set(registry.names("server")) == {"random", "three-loop"}
         assert registry.names("policy")[:4] == POLICY_ORDER
         assert "local-search" in registry.names("refine")
         assert set(registry.names("migration")) == {"flat", "state-size"}
+        assert set(registry.names("pricing")) == {"proportional", "fixed"}
 
     def test_make_migration_model(self):
         model = registry.make("migration", "state-size")

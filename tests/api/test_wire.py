@@ -54,6 +54,7 @@ def _random_solve_request(rng: random.Random) -> SolveRequest:
         seed=rng.choice((None, rng.randint(0, 2**31 - 1))),
         time_budget_s=rng.choice((None, 1.5)),
         label=rng.choice(("", "run-42")),
+        bid=rng.choice((None, 0.0, 12.5)),
     )
 
 
@@ -71,6 +72,10 @@ def _random_replay_request(rng: random.Random) -> ReplayRequest:
         migration_model=rng.choice(("flat", "state-size")),
         migration_cost_per_mb=rng.choice((1.25, 0.4)),
         sim_transitions=rng.random() < 0.5,
+        pricing=rng.choice((None, "proportional", "pricing:fixed")),
+        tenant_budgets=rng.choice(
+            (None, (("app0", 100.0), ("app1", 50.0)))
+        ),
     )
 
 
@@ -115,6 +120,26 @@ class TestReplayRoundTrip:
         with pytest.raises(WireFormatError, match="family name"):
             request_to_wire(request)
 
+    def test_market_fields_round_trip(self):
+        # budgets arrive as a mapping, are normalised to sorted pairs,
+        # become nested lists over JSON, and must come back as the same
+        # normalised tuple-of-tuples
+        request = ReplayRequest(
+            trace="multi-app", policy="market", seed=9,
+            pricing="proportional",
+            tenant_budgets={"app1": 50.0, "app0": 100.0},
+        )
+        back = request_from_wire(_json_round(request_to_wire(request)))
+        assert back == request
+        assert back.tenant_budgets == (("app0", 100.0), ("app1", 50.0))
+
+    def test_bid_round_trips_on_solve(self):
+        request = SolveRequest(
+            spec=InstanceSpec(seed=1), seed=1, bid=7.5
+        )
+        back = request_from_wire(_json_round(request_to_wire(request)))
+        assert back.bid == 7.5
+
 
 class TestSweepRoundTrip:
     def test_round_trips_exactly(self):
@@ -153,6 +178,26 @@ class TestRejection:
         wire = request_to_wire(ReplayRequest(trace="ramp"))
         wire["polcy"] = "harvest"
         with pytest.raises(WireFormatError, match="did you mean 'policy'"):
+            request_from_wire(wire)
+
+    def test_unknown_market_field_suggested(self):
+        wire = request_to_wire(ReplayRequest(trace="ramp"))
+        wire["tenant_budget"] = [["app0", 1.0]]
+        with pytest.raises(
+            WireFormatError, match="did you mean 'tenant_budgets'"
+        ):
+            request_from_wire(wire)
+
+    def test_misspelled_bid_suggested(self):
+        wire = request_to_wire(SolveRequest(spec=InstanceSpec(seed=1)))
+        wire["bidd"] = 3.0
+        with pytest.raises(WireFormatError, match="did you mean 'bid'"):
+            request_from_wire(wire)
+
+    def test_negative_bid_is_a_wire_error(self):
+        wire = request_to_wire(SolveRequest(spec=InstanceSpec(seed=1)))
+        wire["bid"] = -1.0
+        with pytest.raises(WireFormatError, match="bid"):
             request_from_wire(wire)
 
     def test_unknown_kind_suggested(self):

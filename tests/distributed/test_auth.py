@@ -1,0 +1,269 @@
+"""Mutual HMAC handshake between coordinator and workers.
+
+The matrix: matching secrets work; a missing or wrong secret on
+either side refuses the connection *during the handshake* — before a
+single task (and therefore a single pickle payload) crosses the
+socket — and the open legacy protocol stays byte-compatible when no
+secret is configured anywhere.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.api.wire import recv_frame, send_frame
+from repro.distributed import Coordinator, Worker
+from repro.distributed.protocol import (
+    MSG_AUTH,
+    MSG_CHALLENGE,
+    MSG_REGISTER,
+    MSG_WELCOME,
+    PROTOCOL_VERSION,
+    auth_mac,
+    macs_equal,
+)
+
+from .conftest import _thread_fleet
+
+
+def _double(x):
+    return x * 2
+
+
+class TestMacPrimitive:
+    def test_deterministic_and_part_sensitive(self):
+        a = auth_mac("s3cret", "worker", "n1", "n2")
+        assert a == auth_mac("s3cret", "worker", "n1", "n2")
+        assert a != auth_mac("s3cret", "coordinator", "n1", "n2")
+        assert a != auth_mac("s3cret", "worker", "n2", "n1")
+        assert a != auth_mac("other", "worker", "n1", "n2")
+
+    def test_join_is_unambiguous(self):
+        # NUL-joined parts: ("ab", "c") must not collide with ("a", "bc")
+        assert auth_mac("s", "ab", "c") != auth_mac("s", "a", "bc")
+
+    def test_macs_equal_tolerates_none(self):
+        expected = auth_mac("s", "x")
+        assert macs_equal(expected, expected)
+        assert not macs_equal(None, expected)
+        assert not macs_equal("", expected)
+        assert not macs_equal("deadbeef", expected)
+
+
+class TestMatchingSecrets:
+    def test_fleet_executes_tasks(self, fleet):
+        with fleet(
+            n=2,
+            coordinator={"secret": "hunter2"},
+            worker={"secret": "hunter2"},
+        ) as (executor, _workers):
+            assert executor.map(_double, [1, 2, 3]) == [2, 4, 6]
+
+    def test_no_secret_anywhere_still_works(self, fleet):
+        with fleet(n=1) as (executor, _workers):
+            assert executor.map(_double, [5]) == [10]
+
+
+class TestRefusals:
+    def _coordinator(self, **kwargs) -> Coordinator:
+        return Coordinator("127.0.0.1", 0, **kwargs).start()
+
+    def test_secretless_worker_refused_by_secured_coordinator(self):
+        with self._coordinator(secret="hunter2") as coordinator:
+            worker = Worker(
+                "127.0.0.1", coordinator.port, connect_retries=1
+            )
+            # the coordinator closes the socket instead of welcoming
+            with pytest.raises(ConnectionError):
+                worker.run()
+            assert coordinator.n_workers == 0
+
+    def test_wrong_secret_refused(self):
+        with self._coordinator(secret="hunter2") as coordinator:
+            worker = Worker(
+                "127.0.0.1", coordinator.port,
+                secret="wrong", connect_retries=1,
+            )
+            with pytest.raises(ConnectionError):
+                worker.run()
+            assert coordinator.n_workers == 0
+
+    def test_secured_worker_refuses_open_coordinator(self):
+        with self._coordinator() as coordinator:
+            worker = Worker(
+                "127.0.0.1", coordinator.port,
+                secret="hunter2", connect_retries=1,
+            )
+            with pytest.raises(ConnectionError, match="did not challenge"):
+                worker.run()
+            # the worker hung up before completing registration
+            deadline = time.monotonic() + 5
+            while coordinator.n_workers and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert coordinator.n_workers == 0
+
+    def test_forged_mac_rejected_before_any_task(self):
+        """Hand-rolled client sending a garbage AUTH never registers —
+        and never receives a task frame it could feed to pickle."""
+        with self._coordinator(secret="hunter2") as coordinator:
+            sock = socket.create_connection(
+                ("127.0.0.1", coordinator.port), timeout=5
+            )
+            try:
+                sock.settimeout(5)
+                send_frame(sock, {
+                    "type": MSG_REGISTER,
+                    "worker": "mallory",
+                    "pid": 1,
+                    "window": 1,
+                    "protocol": PROTOCOL_VERSION,
+                    "nonce": "aa" * 16,
+                })
+                challenge = recv_frame(sock)
+                assert challenge["type"] == MSG_CHALLENGE
+                send_frame(sock, {"type": MSG_AUTH, "mac": "ff" * 32})
+                # connection is closed with no WELCOME
+                assert recv_frame(sock) is None
+            finally:
+                sock.close()
+            assert coordinator.n_workers == 0
+
+    def test_replayed_mac_from_other_session_rejected(self):
+        """A sniffed worker MAC is useless against fresh nonces."""
+        secret = "hunter2"
+        sniffed = auth_mac(secret, "worker", "aa" * 16, "bb" * 16)
+        with self._coordinator(secret=secret) as coordinator:
+            sock = socket.create_connection(
+                ("127.0.0.1", coordinator.port), timeout=5
+            )
+            try:
+                sock.settimeout(5)
+                send_frame(sock, {
+                    "type": MSG_REGISTER,
+                    "worker": "mallory",
+                    "pid": 1,
+                    "window": 1,
+                    "protocol": PROTOCOL_VERSION,
+                    "nonce": "aa" * 16,
+                })
+                challenge = recv_frame(sock)
+                assert challenge["type"] == MSG_CHALLENGE
+                # the coordinator's nonce is fresh, so the replay fails
+                send_frame(sock, {"type": MSG_AUTH, "mac": sniffed})
+                assert recv_frame(sock) is None
+            finally:
+                sock.close()
+            assert coordinator.n_workers == 0
+
+    def test_register_without_nonce_refused(self):
+        with self._coordinator(secret="hunter2") as coordinator:
+            sock = socket.create_connection(
+                ("127.0.0.1", coordinator.port), timeout=5
+            )
+            try:
+                sock.settimeout(5)
+                send_frame(sock, {
+                    "type": MSG_REGISTER,
+                    "worker": "w",
+                    "pid": 1,
+                    "window": 1,
+                    "protocol": PROTOCOL_VERSION,
+                })
+                assert recv_frame(sock) is None
+            finally:
+                sock.close()
+            assert coordinator.n_workers == 0
+
+
+class TestWelcomeMac:
+    def test_welcome_carries_valid_counter_mac(self):
+        """Drive the worker side by hand and check the coordinator's
+        proof verifies against the real transcript nonces."""
+        secret = "hunter2"
+        with Coordinator("127.0.0.1", 0, secret=secret).start() as coord:
+            sock = socket.create_connection(
+                ("127.0.0.1", coord.port), timeout=5
+            )
+            try:
+                sock.settimeout(5)
+                my_nonce = "cd" * 16
+                send_frame(sock, {
+                    "type": MSG_REGISTER,
+                    "worker": "w",
+                    "pid": 1,
+                    "window": 1,
+                    "protocol": PROTOCOL_VERSION,
+                    "nonce": my_nonce,
+                })
+                challenge = recv_frame(sock)
+                their_nonce = challenge["nonce"]
+                send_frame(sock, {
+                    "type": MSG_AUTH,
+                    "mac": auth_mac(secret, "worker",
+                                    my_nonce, their_nonce),
+                })
+                welcome = recv_frame(sock)
+                assert welcome["type"] == MSG_WELCOME
+                assert macs_equal(
+                    welcome["mac"],
+                    auth_mac(secret, "coordinator",
+                             their_nonce, my_nonce),
+                )
+            finally:
+                sock.close()
+
+
+class TestEnvDefault:
+    def test_from_spec_reads_repro_secret(self, monkeypatch):
+        from repro.distributed import DistributedExecutor
+
+        monkeypatch.setenv("REPRO_SECRET", "envsecret")
+        executor = DistributedExecutor.from_spec("remote:127.0.0.1:0")
+        try:
+            assert executor.coordinator.secret == "envsecret"
+        finally:
+            executor.close()
+
+    def test_explicit_secret_beats_env(self, monkeypatch):
+        from repro.distributed import DistributedExecutor
+
+        monkeypatch.setenv("REPRO_SECRET", "envsecret")
+        executor = DistributedExecutor.from_spec(
+            "remote:127.0.0.1:0", secret="explicit"
+        )
+        try:
+            assert executor.coordinator.secret == "explicit"
+        finally:
+            executor.close()
+
+
+def test_secured_fleet_with_threads():
+    """End-to-end: secured coordinator + two secured in-thread workers
+    run a real batch."""
+    executor = None
+    threads = []
+    try:
+        from repro.distributed import DistributedExecutor
+
+        executor = DistributedExecutor(port=0, secret="tok")
+        for i in range(2):
+            w = Worker(
+                "127.0.0.1", executor.coordinator.port,
+                name=f"sw{i}", secret="tok",
+            )
+            t = threading.Thread(target=w.run, daemon=True)
+            t.start()
+            threads.append(t)
+        assert executor.wait_for_workers(2, timeout=30)
+        assert executor.map(_double, list(range(6))) == [
+            0, 2, 4, 6, 8, 10,
+        ]
+    finally:
+        if executor is not None:
+            executor.close()
+        for t in threads:
+            t.join(timeout=10)

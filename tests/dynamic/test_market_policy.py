@@ -1,0 +1,150 @@
+"""The ``market`` replay policy: settlement without behaviour change.
+
+MarketPolicy allocates exactly like ``trade`` — the economy is a
+*scorecard* layered on top: purchases/salvage/migrations are charged
+to the owning application's account and contended machines are priced
+by the seeded auction.  Three invariants are pinned here:
+
+* the platform cost series (and the allocations behind it) are
+  bit-identical to ``trade`` — auction rents never leak into costs;
+* the whole settlement is deterministic given the trace seed;
+* with no market policy in play, replay output carries **no** market
+  keys anywhere (the budgets-off bit-identity contract).
+"""
+
+import json
+
+import pytest
+
+from repro.api import ReplayRequest, replay
+
+BUDGETS = {"app0": 50_000.0, "app1": 25_000.0}
+
+
+def _market_request(seed=11, **kw):
+    return ReplayRequest(
+        trace="multi-app", policy="market", seed=seed,
+        pricing="proportional", tenant_budgets=BUDGETS, **kw,
+    )
+
+
+class TestSettlement:
+    def test_deterministic_given_seed(self):
+        a = replay(_market_request()).to_dict()
+        b = replay(_market_request()).to_dict()
+        assert a == b
+
+    def test_epochs_carry_settlement_and_summary(self):
+        result = replay(_market_request())
+        settled = [r.market for r in result.records if r.market]
+        assert settled, "no epoch produced a settlement"
+        charged_apps = set()
+        for market in settled:
+            for app, rows in market.get("charges", {}).items():
+                charged_apps.add(app)
+                for kind, amount in rows.items():
+                    assert kind in {"purchase", "migration", "rent",
+                                    "salvage"}
+                    assert amount > 0  # zero rows are skipped
+        assert charged_apps  # somebody paid for something
+        summary = result.market
+        assert summary is not None
+        assert summary["pricing"] == "proportional"
+        spent = sum(
+            row["spent"] for row in summary["tenants"].values()
+        )
+        assert spent > 0
+
+    def test_budgeted_tenants_show_balances(self):
+        result = replay(_market_request())
+        tenants = result.market["tenants"]
+        for app, budget in BUDGETS.items():
+            assert tenants[app]["budget"] == budget
+            assert "balance" in tenants[app]
+
+    def test_auction_prices_deterministic_and_converged(self):
+        a = replay(_market_request())
+        b = replay(_market_request())
+        priced = [
+            r.market for r in a.records
+            if r.market and "prices" in r.market
+        ]
+        assert priced, "multi-app trace never contended a machine"
+        for ra, rb in zip(a.records, b.records):
+            if ra.market and "prices" in ra.market:
+                assert ra.market["prices"] == rb.market["prices"]
+                assert ra.market["auction"]["converged"]
+
+    def test_settlement_round_trips_through_json(self):
+        result = replay(_market_request())
+        assert json.loads(result.to_json())["market"] == result.market
+
+
+class TestAllocationsMatchTrade:
+    def test_cost_series_bit_identical_to_trade(self):
+        market = replay(_market_request())
+        trade = replay(
+            ReplayRequest(trace="multi-app", policy="trade", seed=11)
+        )
+        assert len(market.records) == len(trade.records)
+        for m, t in zip(market.records, trade.records):
+            assert m.platform_cost == t.platform_cost
+            assert m.migration_cost == t.migration_cost
+            assert m.n_migrations == t.n_migrations
+            assert m.n_processors == t.n_processors
+        assert market.cumulative_cost == trade.cumulative_cost
+
+    def test_market_keys_are_the_only_difference(self):
+        market = replay(_market_request()).to_dict()
+        trade = replay(
+            ReplayRequest(trace="multi-app", policy="trade", seed=11)
+        ).to_dict()
+        market.pop("market")
+        for epoch in market["records"]:
+            epoch.pop("market", None)
+        assert market["policy"] == "market"
+        market["policy"] = "trade"
+        assert market == trade
+
+
+class TestBudgetsOffBitIdentity:
+    @pytest.mark.parametrize("policy", ["static", "harvest", "trade"])
+    def test_no_market_keys_anywhere(self, policy):
+        result = replay(
+            ReplayRequest(trace="churn", policy=policy, seed=4)
+        )
+        assert result.market is None
+        assert all(r.market is None for r in result.records)
+        assert '"market"' not in result.to_json()
+
+    def test_bare_market_policy_still_settles_unlimited(self):
+        # no budgets, no pricing: accounts are unlimited scorecards,
+        # seeded from the trace seed — output still deterministic
+        request = ReplayRequest(trace="multi-app", policy="market",
+                                seed=5)
+        a = replay(request).to_dict()
+        b = replay(request).to_dict()
+        assert a == b
+        summary = a["market"]
+        assert summary["pricing"] == "proportional"
+        for row in summary["tenants"].values():
+            assert "budget" not in row  # unlimited → no balance keys
+
+
+class TestRequestValidation:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            ReplayRequest(trace="ramp", policy="market",
+                          tenant_budgets={"app0": -1.0})
+
+    def test_unknown_pricing_rejected(self):
+        with pytest.raises((KeyError, ValueError)):
+            ReplayRequest(trace="ramp", policy="market",
+                          pricing="dutch")
+
+    def test_budget_mapping_normalised_sorted(self):
+        request = ReplayRequest(
+            trace="ramp", policy="market",
+            tenant_budgets={"b": 2.0, "a": 1.0},
+        )
+        assert request.tenant_budgets == (("a", 1.0), ("b", 2.0))

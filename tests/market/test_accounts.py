@@ -1,0 +1,129 @@
+"""Account semantics: budgets, refusal vs force, refill, snapshots.
+
+The account is the unit of billing for the whole economy (service
+admission, preemption bids, replay settlement), so its edge behaviour
+— unlimited accounts, overdrafts, refill ceilings, snapshot key
+absence — is pinned here, away from any broker or replay machinery.
+"""
+
+import pytest
+
+from repro.market.accounts import LEDGER_WINDOW, Account
+
+
+class TestUnlimitedAccount:
+    def test_default_is_unlimited(self):
+        account = Account()
+        assert account.unlimited
+        assert account.balance == float("inf")
+
+    def test_charges_never_refused_but_tracked(self):
+        account = Account()
+        assert account.charge(1e9, "admission")
+        assert account.spent == 1e9
+        assert account.overdrafts == 0
+        assert account.balance == float("inf")
+
+    def test_snapshot_has_no_budget_or_balance_keys(self):
+        # JSON cannot hold inf — and pre-market consumers must not see
+        # new keys appear on accounts nobody configured
+        account = Account()
+        account.charge(3.0, "admission")
+        account.credit(1.0, "compensation")
+        assert account.snapshot() == {"spent": 3.0, "earned": 1.0}
+
+
+class TestBudgetedAccount:
+    def test_charge_within_budget(self):
+        account = Account(10.0)
+        assert account.charge(4.0, "admission")
+        assert account.balance == pytest.approx(6.0)
+        assert account.spent == pytest.approx(4.0)
+
+    def test_refusal_mutates_nothing(self):
+        account = Account(3.0)
+        assert not account.charge(5.0, "admission")
+        assert account.balance == pytest.approx(3.0)
+        assert account.spent == 0.0
+        assert account.overdrafts == 0
+        assert len(account.ledger) == 0
+
+    def test_force_goes_negative_and_counts_overdraft(self):
+        # replay settlement: the account is a scorecard, not a gate
+        account = Account(3.0)
+        assert account.charge(5.0, "purchase", force=True)
+        assert account.balance == pytest.approx(-2.0)
+        assert account.overdrafts == 1
+
+    def test_credit_may_exceed_budget(self):
+        # compensation is real money, not refill — no ceiling
+        account = Account(10.0)
+        account.credit(25.0, "preemption-credit")
+        assert account.balance == pytest.approx(35.0)
+        assert account.earned == pytest.approx(25.0)
+
+    def test_can_afford_with_tolerance(self):
+        account = Account(1.0)
+        assert account.can_afford(1.0)
+        assert not account.can_afford(1.0 + 1e-6)
+
+
+class TestRefill:
+    def test_advance_refills_up_to_budget(self):
+        account = Account(10.0, refill_per_s=2.0)
+        account.charge(6.0, "admission")
+        account.advance(2.0)
+        assert account.balance == pytest.approx(8.0)
+        account.advance(100.0)  # ceiling, not overflow
+        assert account.balance == pytest.approx(10.0)
+
+    def test_lazy_clock_refill(self):
+        now = [0.0]
+        account = Account(10.0, refill_per_s=1.0, clock=lambda: now[0])
+        account.charge(5.0, "admission")
+        now[0] = 3.0
+        assert account.balance == pytest.approx(8.0)
+
+    def test_refill_requires_finite_budget(self):
+        with pytest.raises(ValueError, match="finite budget"):
+            Account(refill_per_s=1.0)
+
+
+class TestValidationAndLedger:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            Account(-1.0)
+
+    def test_negative_amounts_rejected(self):
+        account = Account(5.0)
+        with pytest.raises(ValueError, match="charge"):
+            account.charge(-1.0, "admission")
+        with pytest.raises(ValueError, match="credit"):
+            account.credit(-1.0, "compensation")
+
+    def test_ledger_window_is_bounded_totals_exact(self):
+        account = Account()
+        for _ in range(LEDGER_WINDOW + 50):
+            account.charge(1.0, "admission")
+        assert len(account.ledger) == LEDGER_WINDOW
+        assert account.spent == pytest.approx(LEDGER_WINDOW + 50)
+
+    def test_ledger_entries_are_signed(self):
+        account = Account(10.0)
+        account.charge(2.0, "admission", "door")
+        account.credit(1.0, "compensation")
+        debit, credit = account.ledger
+        assert (debit.kind, debit.amount, debit.detail) == (
+            "admission", -2.0, "door"
+        )
+        assert (credit.kind, credit.amount) == ("compensation", 1.0)
+        assert credit.balance == pytest.approx(9.0)
+
+    def test_snapshot_optional_keys(self):
+        account = Account(10.0, refill_per_s=0.5)
+        account.charge(12.0, "purchase", force=True)
+        snap = account.snapshot()
+        assert snap["budget"] == 10.0
+        assert snap["refill_per_s"] == 0.5
+        assert snap["overdrafts"] == 1
+        assert snap["balance"] == pytest.approx(-2.0)

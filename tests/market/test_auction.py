@@ -1,0 +1,146 @@
+"""Price-search auction: determinism, fairness, and the fixed baseline.
+
+The proportional-response dynamics are pure arithmetic over sorted
+keys, so results must be bit-reproducible for a given seed; the CEEI
+fixed point has known closed forms for simple markets (one machine:
+price = total budget, shares proportional to budgets) that pin the
+economics without re-deriving the solver.
+"""
+
+import pytest
+
+from repro.market.auction import (
+    AuctionResult,
+    FixedPricing,
+    PriceSearchAuction,
+    make_pricing,
+)
+
+SUPPLY = {"m0": 1.0, "m1": 1.0, "m2": 2.0}
+DEMANDS = {
+    "app0": {"m0": 4.0, "m1": 1.0},
+    "app1": {"m0": 1.0, "m1": 2.0, "m2": 3.0},
+    "app2": {"m2": 5.0},
+}
+BUDGETS = {"app0": 100.0, "app1": 50.0, "app2": 25.0}
+
+
+class TestDeterminism:
+    def test_same_seed_is_bit_identical(self):
+        auction = PriceSearchAuction()
+        a = auction.run(SUPPLY, DEMANDS, BUDGETS, seed=7)
+        b = auction.run(SUPPLY, DEMANDS, BUDGETS, seed=7)
+        assert a == b  # frozen dataclass: full tuple equality
+
+    def test_converges_and_records_it(self):
+        result = PriceSearchAuction().run(SUPPLY, DEMANDS, BUDGETS, seed=7)
+        assert result.converged
+        assert result.n_rounds >= 1
+        assert result.max_rel_change < 1e-9
+
+    def test_seed_only_perturbs_ties(self):
+        # different seeds land on the same equilibrium (within the
+        # ~1e-9 tie-break perturbation scale)
+        a = PriceSearchAuction().run(SUPPLY, DEMANDS, BUDGETS, seed=1)
+        b = PriceSearchAuction().run(SUPPLY, DEMANDS, BUDGETS, seed=2)
+        for (ma, pa), (mb, pb) in zip(a.prices, b.prices):
+            assert ma == mb
+            assert pa == pytest.approx(pb, abs=1e-5)
+
+
+class TestEquilibrium:
+    def test_single_machine_price_is_total_budget(self):
+        # one contended machine: everyone spends their whole budget on
+        # it, so the clearing price is the budget sum and shares are
+        # budget-proportional (the CEEI closed form)
+        result = PriceSearchAuction().run(
+            {"m": 1.0},
+            {"a": {"m": 1.0}, "b": {"m": 3.0}},
+            {"a": 30.0, "b": 10.0},
+            seed=0,
+        )
+        assert result.price_of("m") == pytest.approx(40.0)
+        shares = {b: frac for b, m, frac in result.shares}
+        assert shares["a"] == pytest.approx(0.75)
+        assert shares["b"] == pytest.approx(0.25)
+
+    def test_budgets_are_exhausted(self):
+        result = PriceSearchAuction().run(SUPPLY, DEMANDS, BUDGETS, seed=7)
+        for bidder, paid in result.payments:
+            assert paid == pytest.approx(BUDGETS[bidder])
+        total_paid = sum(paid for _, paid in result.payments)
+        total_priced = sum(price for _, price in result.prices)
+        assert total_paid == pytest.approx(total_priced)
+
+    def test_machine_shares_sum_to_one(self):
+        result = PriceSearchAuction().run(SUPPLY, DEMANDS, BUDGETS, seed=7)
+        per_machine: dict = {}
+        for _, machine, frac in result.shares:
+            per_machine[machine] = per_machine.get(machine, 0.0) + frac
+        for machine, total in per_machine.items():
+            assert total == pytest.approx(1.0), machine
+
+
+class TestDegenerateInputs:
+    def test_empty_market_is_trivially_converged(self):
+        assert PriceSearchAuction().run({}, {}, {}) == AuctionResult(
+            (), (), (), 0, True, 0.0
+        )
+
+    def test_zero_budget_bidders_are_excluded(self):
+        result = PriceSearchAuction().run(
+            {"m": 1.0},
+            {"a": {"m": 1.0}, "b": {"m": 1.0}},
+            {"a": 10.0, "b": 0.0},
+            seed=0,
+        )
+        assert result.payment_of("b") == 0.0
+        assert result.price_of("m") == pytest.approx(10.0)
+
+    def test_nonpositive_supply_rejected(self):
+        with pytest.raises(ValueError, match="supply"):
+            PriceSearchAuction().run({"m": 0.0}, {"a": {"m": 1.0}},
+                                     {"a": 1.0})
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="max_rounds"):
+            PriceSearchAuction(max_rounds=0)
+        with pytest.raises(ValueError, match="tolerance"):
+            PriceSearchAuction(tolerance=0.0)
+
+    def test_price_of_unknown_machine_raises(self):
+        result = PriceSearchAuction().run({"m": 1.0}, {"a": {"m": 1.0}},
+                                          {"a": 1.0})
+        with pytest.raises(KeyError):
+            result.price_of("nope")
+
+
+class TestFixedPricing:
+    def test_posted_prices_ignore_budgets(self):
+        result = FixedPricing(price_per_unit=2.0).run(
+            {"m": 3.0},
+            {"a": {"m": 1.0}, "b": {"m": 3.0}},
+            {"a": 1e9, "b": 0.0},  # budgets not consulted
+        )
+        assert result.price_of("m") == pytest.approx(6.0)
+        assert result.payment_of("a") == pytest.approx(1.5)
+        assert result.payment_of("b") == pytest.approx(4.5)
+        assert result.converged
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError, match="price_per_unit"):
+            FixedPricing(price_per_unit=-1.0)
+
+
+class TestRegistry:
+    def test_make_pricing_bare_and_qualified(self):
+        assert isinstance(make_pricing("proportional"), PriceSearchAuction)
+        assert isinstance(make_pricing("pricing:fixed"), FixedPricing)
+
+    def test_make_pricing_forwards_kwargs(self):
+        auction = make_pricing("proportional", max_rounds=7)
+        assert auction.max_rounds == 7
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises((KeyError, ValueError)):
+            make_pricing("dutch")
