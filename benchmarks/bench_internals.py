@@ -15,7 +15,12 @@ import itertools
 import repro
 from repro.core.loads import LoadTracker
 from repro.platform.catalog import dell_catalog
-from repro.simulator.flows import CapacityConstraint, FlowSpec, max_min_rates
+from repro.simulator.flows import (
+    CapacityConstraint,
+    FlowNetwork,
+    FlowSpec,
+    max_min_rates,
+)
 
 from conftest import SEED
 
@@ -94,3 +99,46 @@ def test_max_min_rates_scaling(benchmark):
 
     rates = benchmark(max_min_rates, flows, constraints)
     assert len(rates) == 60
+
+
+# -- progressive-fill kernels: python loop vs. numpy ------------------
+#
+# A single wide component whose flows carry distinct caps just under a
+# binding shared constraint — the many-round regime where progressive
+# filling freezes a few flows per round and the python loop's per-round
+# member rescans turn quadratic.  This is the shape the vectorized
+# kernel exists for (on few-round fills the O(edges) setup dominates
+# and the python loop is the right choice — hence the engine's
+# ``VECTORIZE_MIN_FLOWS`` gate).  The two tests are adjacent rows in
+# the benchmark table; the vectorized one asserts bit-identity against
+# the python loop, so the speed win can never drift from the
+# correctness contract.
+
+_FILL_FLOWS = 1536
+
+
+def _fill_network(vectorized: bool) -> FlowNetwork:
+    net = FlowNetwork(vectorized=vectorized, vector_min_flows=1)
+    caps = [1.0 + 0.001 * i for i in range(_FILL_FLOWS)]
+    net.add_constraint("nic", 0.6 * sum(caps))
+    for j in range(8):
+        net.add_constraint(("l", j), 1e9)
+    net.add_flows(
+        [(("f", i), ("nic", ("l", i % 8)), caps[i])
+         for i in range(_FILL_FLOWS)]
+    )
+    return net
+
+
+def test_progressive_fill_python_loop(benchmark):
+    """Reference python fill, many-round 1536-flow component."""
+    net = _fill_network(False)
+    rates = benchmark(net.recompute_all)
+    assert len(net.rates) == _FILL_FLOWS
+
+
+def test_progressive_fill_vectorized(benchmark):
+    """Same fill through the numpy kernel — and bit-identical."""
+    net = _fill_network(True)
+    benchmark(net.recompute_all)
+    assert dict(net.rates) == dict(_fill_network(False).rates)

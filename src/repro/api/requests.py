@@ -295,10 +295,11 @@ class ReplayRequest:
     n_results: int = 30
     migration_cost: float = DEFAULT_MIGRATION_COST
     salvage_fraction: float = DEFAULT_SALVAGE_FRACTION
-    #: Max-min kernel for ``validate=True`` simulator runs:
-    #: ``"incremental"`` (default) or the ``"naive"`` reference oracle
-    #: (the two are bit-identical; the benchmarks race them).
-    sim_kernel: str = "incremental"
+    #: Max-min kernel for ``validate=True`` simulator runs: ``"warm"``
+    #: (default; vectorized + warm-started refills), ``"vectorized"``,
+    #: ``"incremental"``, or the ``"naive"`` reference oracle (all four
+    #: are bit-identical; the benchmarks race them).
+    sim_kernel: str = "warm"
     #: Warm-up-aware validation: extend each validated epoch's run by
     #: the pipeline-fill transient and measure the achieved rate only
     #: past it (see :func:`repro.dynamic.replay.pipeline_warmup_results`).
@@ -349,10 +350,11 @@ class ReplayRequest:
         # mirrors repro.simulator.engine.FLOW_KERNELS (cross-checked in
         # tests) — importing the simulator here would drag the whole
         # engine into every request construction, validated or not
-        if self.sim_kernel not in ("incremental", "naive"):
+        if self.sim_kernel not in ("warm", "vectorized", "incremental",
+                                   "naive"):
             raise ValueError(
-                f"unknown sim_kernel {self.sim_kernel!r};"
-                f" expected one of ('incremental', 'naive')"
+                f"unknown sim_kernel {self.sim_kernel!r}; expected one"
+                f" of ('warm', 'vectorized', 'incremental', 'naive')"
             )
 
     def resolve_trace(self) -> WorkloadTrace:

@@ -204,6 +204,12 @@ def build_parser() -> argparse.ArgumentParser:
     pd.add_argument("--no-warmup", action="store_true",
                     help="validate with the legacy fixed measurement"
                          " window instead of the warm-up-aware one")
+    pd.add_argument("--sim-kernel", default="warm",
+                    choices=("warm", "vectorized", "incremental",
+                             "naive"),
+                    help="max-min flow kernel for validated epochs"
+                         " (all four are bit-identical; default warm,"
+                         " the fastest)")
     pd.add_argument("--migration-model",
                     choices=("flat", "state-size"), default="flat",
                     help="migration pricing: flat $/operator (default)"
@@ -531,6 +537,7 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
         ReplayRequest(
             trace=trace, policy=name, validate=args.validate,
             sim_warmup=args.validate and not args.no_warmup,
+            sim_kernel=args.sim_kernel,
             migration_model=args.migration_model,
             migration_cost_per_mb=per_mb,
             sim_transitions=args.transitions,

@@ -609,7 +609,7 @@ def _replay_engine(
     n_results: int = 30,
     migration_cost: float = DEFAULT_MIGRATION_COST,
     salvage_fraction: float = DEFAULT_SALVAGE_FRACTION,
-    sim_kernel: str = "incremental",
+    sim_kernel: str = "warm",
     sim_warmup: bool = False,
     migration_model: str = "flat",
     migration_cost_per_mb: float = DEFAULT_MIGRATION_COST_PER_MB,

@@ -225,7 +225,7 @@ def simulate_transition(
     uid_map: "dict[int, int]",
     *,
     n_results: int = 30,
-    kernel: str = "incremental",
+    kernel: str = "warm",
 ) -> TransitionRecord:
     """Execute one reallocation step's transition in the simulator.
 

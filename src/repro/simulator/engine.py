@@ -35,17 +35,30 @@ spare bandwidth — more realistic, used by the simulator benchmarks.
 
 Flow kernel
 -----------
-``incremental`` (default) keeps a persistent
-:class:`~repro.simulator.flows.FlowNetwork` across flow events and
-recomputes progressive filling only over the connected component the
-changed flow touches; under ``reserved`` on a feasible allocation every
-flow start/finish is O(degree) — no filling pass at all.  ``naive`` is
-the reference oracle: it rebuilds the flow table and globally recomputes
-max-min rates from scratch on every event, like the pre-incremental
-engine.  Both kernels reschedule only flows whose *rate actually
-changed*, so they run the same event sequence and produce **bit
-identical** :class:`SimulationResult`\\ s — the equivalence tests and
-``benchmarks/bench_simulator.py`` assert exactly that.
+Four kernels, fastest first, all producing **bit identical**
+:class:`SimulationResult`\\ s (asserted by the equivalence tests and
+``benchmarks/bench_simulator.py``):
+
+* ``warm`` (default) — the incremental component kernel plus numpy
+  filling for large components *and* warm-started refills: converged
+  fills are memoised by component structure, so the periodic flow
+  configurations a steady-state run cycles through are refilled once
+  and then replayed (see :mod:`repro.simulator.flows`).  Hits and
+  cold-fill fallbacks are counted in ``SimulationResult.warm_hits`` /
+  ``warm_fallbacks``.
+* ``vectorized`` — incremental + numpy filling, no memo; isolates the
+  vectorization win from the warm cache in benchmarks.
+* ``incremental`` — keeps a persistent
+  :class:`~repro.simulator.flows.FlowNetwork` across flow events and
+  recomputes progressive filling only over the connected component the
+  changed flow touches; under ``reserved`` on a feasible allocation
+  every flow start/finish is O(degree) — no filling pass at all.
+* ``naive`` — the reference oracle: rebuilds the flow table and
+  globally recomputes max-min rates from scratch on every event, like
+  the pre-incremental engine.
+
+Every kernel reschedules only flows whose *rate actually changed*, so
+they all run the same event sequence.
 
 The integration tests drive both directions: feasible allocations must
 achieve the offered rate with zero misses; offering well above the
@@ -83,10 +96,17 @@ _EPS = 1e-9
 #: complete when its deadline arrives (floating-point tie grace).
 _DEADLINE_GRACE_MB = 1e-6
 
-FLOW_KERNELS = ("incremental", "naive")
+FLOW_KERNELS = ("warm", "vectorized", "incremental", "naive")
 
 #: Process-wide default kernel; see :func:`flow_kernel`.
-_default_kernel: str = "incremental"
+_default_kernel: str = "warm"
+
+#: FlowNetwork feature flags per non-naive kernel.
+_KERNEL_NET_FLAGS: dict[str, dict[str, bool]] = {
+    "warm": {"vectorized": True, "warm": True},
+    "vectorized": {"vectorized": True},
+    "incremental": {},
+}
 
 
 @contextmanager
@@ -166,6 +186,15 @@ class SimulationResult:
     latencies: tuple[float, ...] = ()
     #: Completion time of each injected flow that finished in-run.
     injected_finish: Mapping[object, float] = field(default_factory=dict)
+    #: Provenance: which flow kernel produced this result.  Excluded
+    #: from equality so cross-kernel ``a == b`` bit-identity checks
+    #: compare only the physics.
+    kernel: str = field(default="", compare=False)
+    #: Warm-start outcomes (``warm`` kernel only; 0 otherwise): refills
+    #: served from a previously converged component structure vs. cold
+    #: fills.  Excluded from equality like ``kernel``.
+    warm_hits: int = field(default=0, compare=False)
+    warm_fallbacks: int = field(default=0, compare=False)
 
     @property
     def efficiency(self) -> float:
@@ -197,7 +226,7 @@ class SteadyStateSimulator:
         flow_policy: Literal["reserved", "elastic"] = "reserved",
         time_limit: float | None = None,
         max_events: int = 2_000_000,
-        kernel: Literal["incremental", "naive"] | None = None,
+        kernel: str | None = None,
         warmup_results: int = 0,
         inject: "tuple[InjectedFlow, ...]" = (),
         extra_constraints: Mapping[object, float] | None = None,
@@ -235,7 +264,12 @@ class SteadyStateSimulator:
 
         # ---- static flow constraint table -----------------------------
         self.constraints: dict[object, CapacityConstraint] = {}
-        self.net = FlowNetwork()
+        self.net = FlowNetwork(
+            **_KERNEL_NET_FLAGS.get(self.kernel, {})
+        )
+        #: True for every kernel that drives the persistent network
+        #: (everything but the from-scratch ``naive`` oracle).
+        self._use_net = self.kernel != "naive"
         for u, p in self.procs.items():
             self._add_constraint(("nic", "P", u), p.nic_mbps)
         for l in self.inst.farm.uids:
@@ -272,6 +306,31 @@ class SteadyStateSimulator:
         self.source_ops = tuple(
             i for i in self.tree.operator_indices if not self.tree.children(i)
         )
+
+        # ---- hot-loop lookup tables ------------------------------------
+        # The event handlers fire hundreds of thousands of times per
+        # run; these flatten the per-event attribute/method chains into
+        # dict lookups.  All values are computed once from the same
+        # operands the inline expressions used, so nothing observable
+        # changes (the per-op compute duration in particular is the
+        # identical IEEE division, done once instead of per event).
+        self._parent_of = {
+            i: self.tree.parent(i) for i in self.tree.operator_indices
+        }
+        self._n_children = {
+            i: len(self.tree.children(i))
+            for i in self.tree.operator_indices
+        }
+        self._op_uid = {
+            i: self.alloc.a(i) for i in self.tree.operator_indices
+        }
+        self._op_duration = {
+            i: (
+                self.tree[i].work / self.speed[self._op_uid[i]]
+                if self.tree[i].work else 0.0
+            )
+            for i in self.tree.operator_indices
+        }
 
     # ------------------------------------------------------------------
     # wiring helpers
@@ -371,7 +430,7 @@ class SteadyStateSimulator:
             volume_total=volume,
         )
         f = self.flows[key]
-        if self.kernel == "incremental":
+        if self._use_net:
             changed = self.net.add_flow(key, constraints, f.cap)
         else:
             changed = self._naive_recompute()
@@ -386,7 +445,7 @@ class SteadyStateSimulator:
         flow = self.flows.pop(key)
         self._flush_transferred(flow)
         self.queue.cancel(key)
-        if self.kernel == "incremental":
+        if self._use_net:
             changed = self.net.remove_flow(key)
         else:
             changed = self._naive_recompute()
@@ -415,7 +474,7 @@ class SteadyStateSimulator:
             )
             self._injected_left.add(spec.key)
             batch.append((spec.key, spec.constraints, cap))
-        if self.kernel == "incremental":
+        if self._use_net:
             changed = self.net.add_flows(batch)
         else:
             changed = self._naive_recompute()
@@ -436,7 +495,7 @@ class SteadyStateSimulator:
         its predecessor result is done (stream order)."""
         if (op, t) in self.queued or self.computed[op] != t - 1:
             return
-        n_children = len(self.tree.children(op))
+        n_children = self._n_children[op]
         if n_children:
             if self.arrivals[op].get(t, 0) < n_children:
                 return
@@ -444,7 +503,7 @@ class SteadyStateSimulator:
             if self.released.get(op, 0) < t:
                 return
         self.queued.add((op, t))
-        u = self.alloc.a(op)
+        u = self._op_uid[op]
         self.ready[u].append((op, t))
         self._maybe_start_cpu(u)
 
@@ -453,13 +512,13 @@ class SteadyStateSimulator:
             return
         op, t = self.ready[u].popleft()
         self.busy[u] = True
-        duration = self.tree[op].work / self.speed[u] if self.tree[op].work else 0.0
+        duration = self._op_duration[op]
         self.cpu_busy[u] += duration
         self.queue.push(self.queue.now + duration, ComputeFinished(u, op, t))
 
     def _deliver(self, op: int, t: int) -> None:
         """Result ``t`` of ``op`` reached its parent (or the outside)."""
-        parent = self.tree.parent(op)
+        parent = self._parent_of[op]
         if parent is None:
             self.root_completions.append(self.queue.now)
             return
@@ -478,9 +537,9 @@ class SteadyStateSimulator:
         self.busy[ev.uid] = False
         self._maybe_start_cpu(ev.uid)
         # output travels to the parent
-        parent = self.tree.parent(ev.operator)
-        if parent is not None and self.alloc.a(parent) != ev.uid:
-            v = self.alloc.a(parent)
+        parent = self._parent_of[ev.operator]
+        if parent is not None and self._op_uid[parent] != ev.uid:
+            v = self._op_uid[parent]
             self._start_flow(
                 key=("edge", ev.operator, ev.t),
                 volume=self.tree[ev.operator].output_mb,
@@ -563,35 +622,41 @@ class SteadyStateSimulator:
         # exogenous drain / state-transfer flows, batched at t = 0
         self._start_injected()
 
+        # exact-type dispatch (events are final classes): one dict hit
+        # replaces the isinstance chain on every dispatched event
+        handlers = {
+            SourceRelease: self._on_source_release,
+            ComputeFinished: self._on_compute_finished,
+            TransferFinished: self._on_transfer_finished,
+            DownloadLaunch: self._on_download_launch,
+        }
+        queue = self.queue
+        root_completions = self.root_completions
         saturated = False
-        while self.queue:
+        while True:
             # a run with injected transfers keeps going until they all
             # drain (or the horizon trips), so the transition simulator
             # always observes the full drain time
             if (
-                len(self.root_completions) >= self.n_results
+                len(root_completions) >= self.n_results
                 and not self._injected_left
             ):
                 break
-            when = self.queue.peek_time()
-            if when is not None and when > self.time_limit:
+            when = queue.peek_time()
+            if when is None:  # queue drained (peek prunes, like bool())
+                break
+            if when > self.time_limit:
                 saturated = True
                 break
             self.n_events += 1
             if self.n_events > self.max_events:
                 saturated = True
                 break
-            _, event = self.queue.pop()
-            if isinstance(event, SourceRelease):
-                self._on_source_release(event)
-            elif isinstance(event, ComputeFinished):
-                self._on_compute_finished(event)
-            elif isinstance(event, TransferFinished):
-                self._on_transfer_finished(event)
-            elif isinstance(event, DownloadLaunch):
-                self._on_download_launch(event)
-            else:  # pragma: no cover - defensive
+            _, event = queue.pop()
+            handler = handlers.get(type(event))
+            if handler is None:  # pragma: no cover - defensive
                 raise ModelError(f"unknown event {event!r}")
+            handler(event)
 
         for f in self.flows.values():  # account still-active transfers
             self._flush_transferred(f)
@@ -641,4 +706,7 @@ class SteadyStateSimulator:
             nic_utilization=nic_util,
             latencies=latencies,
             injected_finish=dict(self.injected_finish),
+            kernel=self.kernel,
+            warm_hits=self.net.warm_hits,
+            warm_fallbacks=self.net.warm_fallbacks,
         )

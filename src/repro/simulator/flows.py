@@ -37,8 +37,44 @@ rate untouched.  Two exact shortcuts make the common cases cheap:
 
 Both shortcuts are decision rules shared with the from-scratch
 recompute (:func:`max_min_rates`), so the incremental path is
-*bit-identical* to a full recompute — the engine's two kernels
-cross-check exactly on this property.
+*bit-identical* to a full recompute — the engine's kernels cross-check
+exactly on this property.
+
+Vectorized filling
+------------------
+:func:`_progressive_fill` runs each waterfilling round in O(active
+flows + constraints) pure Python — the per-constraint active-member
+counts live in the member sets themselves, so no round re-scans
+memberships.  :func:`_progressive_fill_vectorized` is the same
+arithmetic over numpy arrays (CSR constraint→flow incidence, masked
+per-round headroom/cap reductions): every float it produces comes from
+the identical sequence of IEEE-754 operations on the identical values
+(elementwise divisions, order-independent minima, uniform step adds —
+there is no reassociated summation anywhere), so the two
+implementations agree **bit for bit** on any input; the randomized
+component tests assert exactly that.  :class:`FlowNetwork` picks the
+numpy path for components of :data:`VECTORIZE_MIN_FLOWS` flows or more
+(below that, array set-up costs more than the rounds save).
+
+Warm-started refills
+--------------------
+With ``warm=True`` the network additionally memoises converged fills
+by **component structure** — the multiset of (constraint tuple, cap)
+flow shapes plus the (constraint, capacity) set.  A steady-state
+simulation cycles through a small set of flow configurations (periodic
+downloads, pipelined edge transfers), so after the first lap nearly
+every refill is served from previously converged rates instead of
+refilling from zero.  The fill arithmetic depends only on those
+structural values (never on flow identities or iteration order), so a
+structure hit replays *exactly* the rates a cold fill would compute —
+the warm path is bit-identical by construction.  A structure not seen
+before falls back to a cold fill; hits and fallbacks are counted
+(``warm_hits`` / ``warm_fallbacks``) and surfaced in
+:class:`~repro.simulator.engine.SimulationResult` so regressions stay
+attributable.  (A literal delta-redistribution from the previous rates
+cannot be bit-stable: progressive filling's float values depend on the
+full step sequence from zero, so any shortcut that *re-derives* them
+along a different arithmetic path diverges in the last ulp.)
 
 This module is deliberately independent of the rest of the simulator:
 constraints are abstract (capacity, member flows), so the unit tests
@@ -50,9 +86,30 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Mapping, Sequence
 
-__all__ = ["FlowSpec", "CapacityConstraint", "FlowNetwork", "max_min_rates"]
+import numpy as np
+
+__all__ = [
+    "FlowSpec",
+    "CapacityConstraint",
+    "FlowNetwork",
+    "VECTORIZE_MIN_FLOWS",
+    "max_min_rates",
+]
 
 _NO_CONSTRAINT_MSG = "uncapped flow crosses no capacity constraint"
+_STALL_MSG = (
+    "progressive filling stalled: a positive step froze no flow and no"
+    " binding constraint or cap could be identified"
+)
+
+#: Component size (flows) at which :class:`FlowNetwork` switches from
+#: the pure-Python filling loop to the numpy formulation.  Below this
+#: the array set-up dominates the rounds it saves; both paths are
+#: bit-identical, so the threshold is a pure performance knob.
+VECTORIZE_MIN_FLOWS = 48
+
+#: Converged-structure memo bound (entries) for warm-started networks.
+_WARM_CACHE_MAX = 4096
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,9 +141,16 @@ def _progressive_fill(
     ``cap_left`` is consumed in place.  Every float it produces depends
     only on the *values* involved, not on dict/set iteration order, so
     two calls over the same component always agree bit-for-bit.
+
+    The member sets hold only *active* flows (frozen flows are removed
+    from every constraint they cross), so each round's per-constraint
+    active counts are ``len(members[cid])`` instead of a membership
+    re-scan — O(flows + constraints) per round, same arithmetic.
     """
     members: dict[Hashable, set[Hashable]] = {cid: set() for cid in cap_left}
+    cons_of: dict[Hashable, tuple[Hashable, ...]] = {}
     for fid, cids, _cap in flows:
+        cons_of[fid] = cids
         for cid in cids:
             members[cid].add(fid)  # KeyError = wiring bug
 
@@ -96,57 +160,194 @@ def _progressive_fill(
     }
     active: set[Hashable] = set(rates)
 
+    def deactivate(frozen: set[Hashable]) -> None:
+        active.difference_update(frozen)
+        for fid in frozen:
+            for cid in cons_of[fid]:
+                members[cid].discard(fid)
+
     # flows through saturated-from-the-start constraints
+    dead: set[Hashable] = set()
     for cid, left in cap_left.items():
         if left <= epsilon:
-            for fid in members[cid]:
-                active.discard(fid)
+            dead |= members[cid]
+    if dead:
+        deactivate(dead)
 
     while active:
-        # headroom per active flow for each constraint hosting any
+        # headroom per active flow for each constraint hosting any;
+        # track the binding constraints for the numerical guard below
         increment = None
+        binding_cids: list[Hashable] = []
         for cid, left in cap_left.items():
-            n = sum(1 for fid in members[cid] if fid in active)
+            n = len(members[cid])
             if n == 0:
                 continue
             share = left / n
             if increment is None or share < increment:
                 increment = share
+                binding_cids = [cid]
+            elif share == increment:
+                binding_cids.append(cid)
         # individual caps may bind earlier
         cap_binding = None
+        binding_fids: list[Hashable] = []
         for fid in active:
             c = caps[fid]
             if c is not None:
                 room = c - rates[fid]
                 if cap_binding is None or room < cap_binding:
                     cap_binding = room
+                    binding_fids = [fid]
+                elif room == cap_binding:
+                    binding_fids.append(fid)
         if increment is None and cap_binding is None:
             # flows crossing no constraint and uncapped: unbounded demand
             # is meaningless here; freeze them at +inf? — treat as bug.
             raise ValueError(_NO_CONSTRAINT_MSG)
-        step = min(x for x in (increment, cap_binding) if x is not None)
-        step = max(step, 0.0)
+        step_raw = min(x for x in (increment, cap_binding) if x is not None)
+        step = max(step_raw, 0.0)
 
         for fid in active:
             rates[fid] += step
-        for cid in cap_left:
-            n = sum(1 for fid in members[cid] if fid in active)
-            cap_left[cid] -= step * n
+        for cid, left in cap_left.items():
+            cap_left[cid] = left - step * len(members[cid])
 
         frozen: set[Hashable] = set()
         for cid, left in cap_left.items():
             if left <= epsilon:
-                frozen |= {fid for fid in members[cid] if fid in active}
+                frozen |= members[cid]
         for fid in active:
             c = caps[fid]
             if c is not None and rates[fid] >= c - epsilon:
                 frozen.add(fid)
         if not frozen:
-            # numerical guard: freeze everything touched by the minimum
-            frozen = set(active)
-        active -= frozen
+            # numerical guard: float drift can leave the binding
+            # constraint's residual just above epsilon (left − (left/n)·n
+            # rounds up for large capacities).  Freeze exactly the flows
+            # the minimum step touched — freezing *everything* here
+            # would silently cut off flows whose own constraints still
+            # have headroom.
+            if increment is not None and increment == step_raw:
+                for cid in binding_cids:
+                    frozen |= members[cid]
+            if cap_binding is not None and cap_binding == step_raw:
+                frozen.update(binding_fids)
+            if not frozen:
+                raise ValueError(_STALL_MSG)
+        deactivate(frozen)
 
     return rates
+
+
+def _progressive_fill_vectorized(
+    flows: Sequence[tuple[Hashable, tuple[Hashable, ...], float | None]],
+    cap_left: dict[Hashable, float],
+    epsilon: float,
+) -> dict[Hashable, float]:
+    """Numpy formulation of :func:`_progressive_fill`.
+
+    Same rounds, same IEEE-754 operations, bit-identical results: the
+    per-round reductions are order-independent minima and elementwise
+    array ops; the only accumulations are each flow's own ``rate +=
+    step`` sequence (identical order) and the exact-integer member
+    counts.  ``cap_left`` is consumed in place, like the Python loop.
+    """
+    nf = len(flows)
+    cids = list(cap_left)
+    cindex = {cid: j for j, cid in enumerate(cids)}
+    nc = len(cids)
+
+    left = np.fromiter(
+        (cap_left[cid] for cid in cids), dtype=np.float64, count=nc
+    )
+    caps = np.fromiter(
+        (np.inf if cap is None else cap for _f, _c, cap in flows),
+        dtype=np.float64, count=nf,
+    )
+    has_cap = np.fromiter(
+        (cap is not None for _f, _c, cap in flows), dtype=bool, count=nf
+    )
+    # Incidence: one (flow, constraint) pair per edge, flows' duplicate
+    # constraint mentions deduplicated like the member sets.  Every use
+    # of the edge list is order-independent (exact-integer bincounts,
+    # boolean scatters), so the sorted order np.unique yields is as
+    # good as insertion order — and the dedup runs in C.
+    edge_keys = np.unique(np.fromiter(
+        (i * nc + cindex[cid]  # KeyError = wiring bug
+         for i, (_fid, fcids, _cap) in enumerate(flows) for cid in fcids),
+        dtype=np.int64,
+    ))
+    inc_f_arr = (edge_keys // nc).astype(np.intp)
+    inc_c_arr = (edge_keys % nc).astype(np.intp)
+
+    rates = np.zeros(nf)
+    active = np.ones(nf, dtype=bool)
+    n = np.bincount(inc_c_arr, minlength=nc)
+
+    def deactivate(frozen: "np.ndarray") -> None:
+        """Freeze ``frozen & active`` flows, updating member counts."""
+        newly = frozen & active
+        if not newly.any():
+            return
+        active[newly] = False
+        edge_mask = newly[inc_f_arr]
+        np.subtract(n, np.bincount(inc_c_arr[edge_mask], minlength=nc),
+                    out=n)
+
+    # flows through saturated-from-the-start constraints
+    sat = left <= epsilon
+    if sat.any():
+        dead = np.zeros(nf, dtype=bool)
+        dead[inc_f_arr[sat[inc_c_arr]]] = True
+        deactivate(dead)
+
+    n_float = np.zeros(nc)
+    while active.any():
+        np.copyto(n_float, n, casting="same_kind")
+        hosted = n > 0
+        if hosted.any():
+            shares = np.where(hosted, left / np.where(hosted, n_float, 1.0),
+                              np.inf)
+            increment = float(shares[hosted].min())
+        else:
+            shares = None
+            increment = None
+        rooms = caps - rates  # inf for uncapped flows
+        bound = active & has_cap
+        cap_binding = float(rooms[bound].min()) if bound.any() else None
+        if increment is None and cap_binding is None:
+            raise ValueError(_NO_CONSTRAINT_MSG)
+        step_raw = min(x for x in (increment, cap_binding) if x is not None)
+        step = max(step_raw, 0.0)
+
+        rates[active] += step
+        # constraints with no active member subtract step·0 = 0, the
+        # same no-op the Python loop performs
+        left -= step * n_float
+
+        frozen = np.zeros(nf, dtype=bool)
+        sat = left <= epsilon
+        if sat.any():
+            frozen[inc_f_arr[sat[inc_c_arr]]] = True
+            frozen &= active
+        frozen |= active & has_cap & (rates >= caps - epsilon)
+        if not frozen.any():
+            # numerical guard — mirror of the Python loop: freeze the
+            # minimum step's own participants, raise on a genuine stall
+            if increment is not None and increment == step_raw:
+                binding_c = hosted & (shares == increment)
+                frozen[inc_f_arr[binding_c[inc_c_arr]]] = True
+                frozen &= active
+            if cap_binding is not None and cap_binding == step_raw:
+                frozen |= bound & (rooms == cap_binding)
+            if not frozen.any():
+                raise ValueError(_STALL_MSG)
+        deactivate(frozen)
+
+    for j, cid in enumerate(cids):
+        cap_left[cid] = float(left[j])
+    return {spec[0]: float(rates[i]) for i, spec in enumerate(flows)}
 
 
 class FlowNetwork:
@@ -160,10 +361,35 @@ class FlowNetwork:
     changed-rate mapping; the two paths agree bit-for-bit because every
     component is always filled by the same arithmetic on the same
     inputs.
+
+    ``vectorized=True`` fills components of ``vector_min_flows`` flows
+    or more through the numpy formulation (bit-identical, see module
+    docstring); ``warm=True`` additionally memoises converged fills by
+    component structure (``warm_hits`` / ``warm_fallbacks`` count the
+    outcomes).
     """
 
-    def __init__(self, *, epsilon: float = 1e-12) -> None:
+    def __init__(
+        self,
+        *,
+        epsilon: float = 1e-12,
+        vectorized: bool = False,
+        warm: bool = False,
+        vector_min_flows: int | None = None,
+    ) -> None:
         self.epsilon = epsilon
+        self.vectorized = vectorized
+        self.warm = warm
+        self.vector_min_flows = (
+            VECTORIZE_MIN_FLOWS if vector_min_flows is None
+            else vector_min_flows
+        )
+        #: Warm-path outcome counters (only move when ``warm=True``):
+        #: a *hit* served converged rates for a previously seen
+        #: component structure; a *fallback* ran a cold fill.
+        self.warm_hits = 0
+        self.warm_fallbacks = 0
+        self._warm_rates: dict[object, dict] = {}
         self._capacity: dict[Hashable, float] = {}
         #: cid → ordered member set (dict-as-set keeps insertion order,
         #: so cap sums are always accumulated in flow-arrival order).
@@ -171,9 +397,12 @@ class FlowNetwork:
         self._constraints_of: dict[Hashable, tuple[Hashable, ...]] = {}
         self._cap_of: dict[Hashable, float | None] = {}
         self._rate: dict[Hashable, float] = {}
-        #: Σ of member caps per constraint, recomputed freshly from the
-        #: member list on every membership change (no running-total
-        #: drift — the all-caps grant decision must be reproducible).
+        #: Σ of member caps per constraint.  Arrivals append to the
+        #: member list's tail, so adding the new cap to the running
+        #: total is arithmetically identical to a fresh in-order resum;
+        #: removals re-sum the surviving members from scratch (no
+        #: running-total drift — the all-caps grant decision must be
+        #: reproducible against a freshly built network).
         self._cap_sum: dict[Hashable, float] = {}
         self._n_uncapped: dict[Hashable, int] = {}
         #: Constraints that block the all-caps grant: non-empty with an
@@ -224,6 +453,20 @@ class FlowNetwork:
         else:
             self._bad.discard(cid)
 
+    def _note_member_added(self, cid: Hashable, cap: float | None) -> None:
+        """O(1) aggregate update for a member appended to ``cid``'s
+        tail — ``cap_sum + cap`` equals the fresh in-order resum the
+        removal path performs, so the ``bad`` decision stays
+        reproducible."""
+        if cap is None:
+            self._n_uncapped[cid] += 1
+        else:
+            self._cap_sum[cid] += cap
+        if self._n_uncapped[cid] or self._cap_sum[cid] > self._capacity[cid]:
+            self._bad.add(cid)
+        else:
+            self._bad.discard(cid)
+
     def _register(
         self,
         fid: Hashable,
@@ -240,14 +483,33 @@ class FlowNetwork:
         self._cap_of[fid] = cap
         self._rate[fid] = 0.0
         for cid in set(constraints):
-            self._refresh_constraint(cid)
+            self._note_member_added(cid, cap)
 
     def _unregister(self, fid: Hashable) -> tuple[Hashable, ...]:
         constraints = self._constraints_of.pop(fid)
-        del self._cap_of[fid]
+        cap = self._cap_of.pop(fid)
         del self._rate[fid]
+        if cap is None:
+            # uncapped departure: the cap sum is untouched, so no
+            # resum is needed — only the uncapped count and the
+            # ``bad`` decision move (both exact integers/comparisons)
+            for cid in set(constraints):
+                members = self._members[cid]
+                del members[fid]
+                self._n_uncapped[cid] -= 1
+                if members and (
+                    self._n_uncapped[cid]
+                    or self._cap_sum[cid] > self._capacity[cid]
+                ):
+                    self._bad.add(cid)
+                else:
+                    self._bad.discard(cid)
+            return constraints
         for cid in set(constraints):
             del self._members[cid][fid]
+            # a capped departure re-sums the survivors from scratch:
+            # subtracting the cap from the running total would drift
+            # off the in-order sum a freshly built network computes
             self._refresh_constraint(cid)
         return constraints
 
@@ -277,6 +539,48 @@ class FlowNetwork:
                         stack.append(other)
         return comp_f, comp_c
 
+    def _component_structure(
+        self, comp_f: Sequence[Hashable], comp_c: Sequence[Hashable]
+    ) -> tuple[object, dict]:
+        """Canonical structural key of one component, plus the flow
+        grouping used to apply memoised rates.
+
+        Flows with the same (constraint tuple, cap) shape are
+        interchangeable — progressive filling gives them identical
+        rates in every round — so the structure is the *multiset* of
+        shapes plus the component's (constraint, capacity) pairs.
+        Frozensets make the key order-independent without sorting
+        heterogeneous ids.
+        """
+        groups: dict[tuple, list[Hashable]] = {}
+        for fid in comp_f:
+            shape = (self._constraints_of[fid], self._cap_of[fid])
+            groups.setdefault(shape, []).append(fid)
+        key = (
+            frozenset(
+                (shape, len(fids)) for shape, fids in groups.items()
+            ),
+            frozenset(
+                (cid, self._capacity[cid]) for cid in comp_c
+            ),
+        )
+        return key, groups
+
+    def _cold_fill(
+        self, comp_f: Sequence[Hashable], comp_c: Sequence[Hashable]
+    ) -> dict[Hashable, float]:
+        """Run progressive filling from zero over one component."""
+        triples = [
+            (fid, self._constraints_of[fid], self._cap_of[fid])
+            for fid in comp_f
+        ]
+        cap_left = {cid: self._capacity[cid] for cid in comp_c}
+        if self.vectorized and len(comp_f) >= self.vector_min_flows:
+            return _progressive_fill_vectorized(
+                triples, cap_left, self.epsilon
+            )
+        return _progressive_fill(triples, cap_left, self.epsilon)
+
     def _fill(
         self, comp_f: Sequence[Hashable], comp_c: Sequence[Hashable]
     ) -> dict[Hashable, float]:
@@ -288,15 +592,26 @@ class FlowNetwork:
             # all-caps grant: Σ caps fits every constraint, so max-min
             # rates are exactly the caps (see module docstring).
             new = {fid: cap_of[fid] for fid in comp_f}
+        elif self.warm:
+            key, groups = self._component_structure(comp_f, comp_c)
+            memo = self._warm_rates.get(key)
+            if memo is not None:
+                self.warm_hits += 1
+                new = {
+                    fid: memo[shape]
+                    for shape, fids in groups.items()
+                    for fid in fids
+                }
+            else:
+                self.warm_fallbacks += 1
+                new = self._cold_fill(comp_f, comp_c)
+                if len(self._warm_rates) >= _WARM_CACHE_MAX:
+                    self._warm_rates.pop(next(iter(self._warm_rates)))
+                self._warm_rates[key] = {
+                    shape: new[fids[0]] for shape, fids in groups.items()
+                }
         else:
-            new = _progressive_fill(
-                [
-                    (fid, self._constraints_of[fid], cap_of[fid])
-                    for fid in comp_f
-                ],
-                {cid: self._capacity[cid] for cid in comp_c},
-                self.epsilon,
-            )
+            new = self._cold_fill(comp_f, comp_c)
         changed: dict[Hashable, float] = {}
         rate = self._rate
         for fid, r in new.items():

@@ -242,3 +242,22 @@ class TestSweep:
             assert s.policy == p.policy
             assert s.mean_cost == p.mean_cost
             assert s.mean_migrations == p.mean_migrations
+
+    def test_policy_comparison_pipelined_validated_identical(self):
+        """Validated campaign through the process pool: the simulator
+        runs (warm kernel, worker processes) must render every replay
+        to byte-identical JSON vs. the serial order — the campaign
+        pipelining contract."""
+        from repro.experiments import policy_comparison
+
+        kwargs = dict(
+            policies=("static", "harvest"), n_instances=2,
+            master_seed=7, validate=True,
+        )
+        serial = policy_comparison("churn", **kwargs)
+        pipelined = policy_comparison("churn", executor=2, **kwargs)
+        for s, p in zip(serial.cells, pipelined.cells):
+            assert s.policy == p.policy
+            assert [r.to_json() for r in s.results] == [
+                r.to_json() for r in p.results
+            ]

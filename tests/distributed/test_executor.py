@@ -115,6 +115,28 @@ class TestMap:
             r.to_dict() for r in serial
         ]
 
+    def test_policy_comparison_pipelined_bit_identical(self, fleet):
+        """The campaign front door: a validated policy comparison's
+        trace×policy replays interleave across the fleet and the
+        aggregate must be byte-identical to the serial order (each
+        replay derives its epoch seeds from its own trace seed)."""
+        from repro.experiments import policy_comparison
+
+        kwargs = dict(
+            policies=("static", "harvest"), n_instances=2,
+            master_seed=7, validate=True,
+        )
+        serial = policy_comparison("churn", **kwargs)
+        with fleet(2) as (executor, _workers):
+            pipelined = policy_comparison(
+                "churn", executor=executor, **kwargs
+            )
+        for s, p in zip(serial.cells, pipelined.cells):
+            assert s.policy == p.policy
+            assert [r.to_json() for r in s.results] == [
+                r.to_json() for r in p.results
+            ]
+
     def test_concurrent_batches_share_the_fleet(self, fleet):
         """Many map() calls in flight at once (the AllocationService
         pattern) — each gets its own ordered results."""

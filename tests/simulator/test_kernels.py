@@ -1,12 +1,13 @@
-"""Incremental vs naive flow-kernel equivalence.
+"""Flow-kernel equivalence: warm / vectorized / incremental vs naive.
 
-The incremental max-min kernel (persistent :class:`FlowNetwork`,
-component-scoped refills, reserved fast path) must produce **bit
-identical** :class:`SimulationResult`\\ s to the ``naive`` reference
-oracle (flow table rebuilt + rates globally recomputed on every flow
-event) — on real pipeline allocations, at feasible and saturating
-offered rates, under both flow policies, and across whole
-simulator-validated dynamic replays on the seeded traces.
+Every accelerated max-min kernel (persistent :class:`FlowNetwork`,
+component-scoped refills, reserved fast path; plus numpy filling for
+``vectorized`` and structure-memoised refills for ``warm``) must
+produce **bit identical** :class:`SimulationResult`\\ s to the
+``naive`` reference oracle (flow table rebuilt + rates globally
+recomputed on every flow event) — on real pipeline allocations, at
+feasible and saturating offered rates, under both flow policies, and
+across whole simulator-validated dynamic replays on the seeded traces.
 """
 
 import pytest
@@ -15,10 +16,14 @@ import repro
 from repro.core import allocate
 from repro.errors import ModelError
 from repro.simulator import (
+    FLOW_KERNELS,
     SteadyStateSimulator,
     flow_kernel,
     simulate_allocation,
 )
+
+#: Every kernel that must match the ``naive`` oracle bit-for-bit.
+FAST_KERNELS = tuple(k for k in FLOW_KERNELS if k != "naive")
 
 
 @pytest.fixture(scope="module")
@@ -32,29 +37,47 @@ def _run(alloc, kernel, **kw):
 
 
 class TestBitIdentical:
+    @pytest.mark.parametrize("kernel", FAST_KERNELS)
     @pytest.mark.parametrize("flow_policy", ["reserved", "elastic"])
     @pytest.mark.parametrize("rate_mult", [1.0, 2.5])
-    def test_simulation_results_match(self, alloc, flow_policy, rate_mult):
+    def test_simulation_results_match(
+        self, alloc, kernel, flow_policy, rate_mult
+    ):
         rho = alloc.instance.rho * rate_mult
-        a = _run(alloc, "incremental", offered_rate=rho, n_results=30,
+        a = _run(alloc, kernel, offered_rate=rho, n_results=30,
                  flow_policy=flow_policy)
         b = _run(alloc, "naive", offered_rate=rho, n_results=30,
                  flow_policy=flow_policy)
-        # dataclass equality covers every field, floats compared exactly
+        # dataclass equality covers every physics field, floats compared
+        # exactly (kernel provenance / warm counters are compare=False)
         assert a == b
+        assert a.kernel == kernel and b.kernel == "naive"
 
-    def test_overloaded_run_matches(self, alloc):
+    @pytest.mark.parametrize("kernel", FAST_KERNELS)
+    def test_overloaded_run_matches(self, alloc, kernel):
         """Saturation branch: far past the analytic maximum the queue
-        backs up; both kernels must agree on the whole trajectory."""
+        backs up; all kernels must agree on the whole trajectory."""
         rho = alloc.instance.rho * 8.0
-        a = _run(alloc, "incremental", offered_rate=rho, n_results=25)
+        a = _run(alloc, kernel, offered_rate=rho, n_results=25)
         b = _run(alloc, "naive", offered_rate=rho, n_results=25)
         assert a == b
         assert a.saturated or a.achieved_rate < rho
 
-    def test_incremental_is_default(self, alloc):
+    def test_warm_is_default(self, alloc):
         sim = SteadyStateSimulator(alloc)
-        assert sim.kernel == "incremental"
+        assert sim.kernel == "warm"
+
+    def test_warm_counters_surface(self, alloc):
+        """An elastic run exercises real refills; the warm kernel must
+        report its cache outcomes, and only the warm kernel may."""
+        rho = alloc.instance.rho * 2.5
+        warm = _run(alloc, "warm", offered_rate=rho, n_results=30,
+                    flow_policy="elastic")
+        cold = _run(alloc, "incremental", offered_rate=rho, n_results=30,
+                    flow_policy="elastic")
+        assert warm.warm_hits + warm.warm_fallbacks > 0
+        assert warm.warm_hits > 0  # steady state cycles structures
+        assert cold.warm_hits == 0 and cold.warm_fallbacks == 0
 
     def test_unknown_kernel_rejected(self, alloc):
         with pytest.raises(ModelError):
@@ -63,7 +86,7 @@ class TestBitIdentical:
     def test_flow_kernel_context_manager(self, alloc):
         with flow_kernel("naive"):
             assert SteadyStateSimulator(alloc).kernel == "naive"
-        assert SteadyStateSimulator(alloc).kernel == "incremental"
+        assert SteadyStateSimulator(alloc).kernel == "warm"
         with pytest.raises(ModelError):
             with flow_kernel("magic"):
                 pass  # pragma: no cover
@@ -71,7 +94,7 @@ class TestBitIdentical:
 
 class TestReplayEquivalence:
     """Whole simulator-validated replays on the seeded dynamic traces
-    must render to byte-identical JSON under either kernel."""
+    must render to byte-identical JSON under every kernel."""
 
     @pytest.mark.parametrize("trace_name", ["churn", "multi-app"])
     def test_validated_replay_bit_identical(self, trace_name):
@@ -89,7 +112,9 @@ class TestReplayEquivalence:
                 )
             )
 
-        assert run("incremental").to_json() == run("naive").to_json()
+        oracle = run("naive").to_json()
+        for kernel in FAST_KERNELS:
+            assert run(kernel).to_json() == oracle
 
     def test_bad_kernel_rejected_at_request(self):
         from repro.api import ReplayRequest
@@ -101,11 +126,12 @@ class TestReplayEquivalence:
         """ReplayRequest hard-codes the kernel names to avoid importing
         the simulator on every construction; keep the mirror honest."""
         from repro.api import ReplayRequest
-        from repro.simulator import FLOW_KERNELS
 
         for kernel in FLOW_KERNELS:
             ReplayRequest(trace="ramp", sim_kernel=kernel)  # must not raise
-        assert FLOW_KERNELS == ("incremental", "naive")
+        assert FLOW_KERNELS == ("warm", "vectorized", "incremental",
+                                "naive")
+        assert ReplayRequest(trace="ramp").sim_kernel == "warm"
 
 
 @pytest.fixture(scope="module")
@@ -142,17 +168,20 @@ class TestInjectedFlowEquivalence:
             ),
         ), {link: multi_alloc.instance.network.processor_link_mbps}
 
+    @pytest.mark.parametrize("kernel", FAST_KERNELS)
     @pytest.mark.parametrize("flow_policy", ["elastic", "reserved"])
-    def test_kernels_match_with_injection(self, multi_alloc, flow_policy):
+    def test_kernels_match_with_injection(
+        self, multi_alloc, kernel, flow_policy
+    ):
         inject, extra = self._inject(multi_alloc)
 
-        def run(kernel):
+        def run(k):
             return SteadyStateSimulator(
                 multi_alloc, n_results=25, flow_policy=flow_policy,
-                kernel=kernel, inject=inject, extra_constraints=extra,
+                kernel=k, inject=inject, extra_constraints=extra,
             ).run()
 
-        a, b = run("incremental"), run("naive")
+        a, b = run(kernel), run("naive")
         assert a == b
         assert set(a.injected_finish) == {("xfer", 0), ("xdrain", 0)}
         assert all(t > 0.0 for t in a.injected_finish.values())
