@@ -23,8 +23,14 @@ Two jobs:
 Besides the usual text artefact this bench writes a machine-readable
 ``BENCH_sim.json`` at the repository root (events/sec per kernel with
 warm hit/fallback counters, wall time per validated trace, per-policy
-speedups on churn, the pipelined campaign wall) so future optimisation
-work has a perf trajectory to compare against.
+speedups on churn, the pipelined campaign wall, and the telemetry
+overhead ratio) so future optimisation work has a perf trajectory to
+compare against.
+
+The ``telemetry`` key carries the zero-cost contract of the unified
+telemetry layer: the warm churn replay with tracing enabled must stay
+bit-identical to the disabled run and within 2% of its wall time
+(min-of-N, interleaved) — the bench fails otherwise.
 
 Run directly for the CI smoke check::
 
@@ -72,6 +78,10 @@ MIN_PIPELINED_SPEEDUP = 20.0
 #: Worker processes for the pipelined campaign (≤4: the claim is
 #: per-4-cores, more would inflate it on big machines).
 PIPELINE_WORKERS = 4
+#: Telemetry must be free on the float path: warm churn replay wall
+#: time with tracing enabled may exceed the disabled run by at most 2%
+#: (min-of-N both ways), and results must stay bit-identical.
+TELEMETRY_MAX_OVERHEAD = 1.02
 
 
 def make_alloc():
@@ -207,11 +217,53 @@ def _pipelined_campaign(policies, serial_oracle=None) -> dict:
     }
 
 
+def _telemetry_overhead(rounds: int = 3) -> dict:
+    """The ISSUE 9 zero-cost contract, measured: the warm churn replay
+    with telemetry enabled vs :func:`repro.telemetry.set_enabled`\\ (False),
+    interleaved min-of-N so clock drift hits both sides equally.  Every
+    run — traced or not — must serialize to the same bytes; the wall
+    ratio is recorded and gated at ≤2% overhead."""
+    from repro.telemetry import set_enabled
+
+    oracle = None
+    walls = {True: [], False: []}
+    for _ in range(rounds):
+        for flag in (True, False):
+            set_enabled(flag)
+            try:
+                start = time.perf_counter()
+                result = replay(_request(RACE_TRACE, "harvest", "warm"))
+                walls[flag].append(time.perf_counter() - start)
+            finally:
+                set_enabled(True)
+            payload = result.to_json()
+            if oracle is None:
+                oracle = payload
+            assert payload == oracle, (
+                "telemetry toggling changed the replay result — the"
+                " observe-never-participate contract is broken"
+            )
+    wall_on, wall_off = min(walls[True]), min(walls[False])
+    return {
+        "trace": RACE_TRACE,
+        "policy": "harvest",
+        "kernel": "warm",
+        "rounds": rounds,
+        "wall_on_s": round(wall_on, 4),
+        "wall_off_s": round(wall_off, 4),
+        "overhead_ratio": (
+            round(wall_on / wall_off, 4) if wall_off else None
+        ),
+        "bit_identical": True,
+    }
+
+
 def regenerate():
     alloc = make_alloc()
     event_rates = _event_rates(alloc)
     race = _kernel_race(POLICY_ORDER, EXTRA_TRACES)
     pipelined = _pipelined_campaign(POLICY_ORDER)
+    telemetry = _telemetry_overhead()
     churn_rows = [
         row for key, row in race.items()
         if key.startswith(f"{RACE_TRACE}/")
@@ -250,6 +302,7 @@ def regenerate():
         "event_rates": event_rates,
         "validated_replays": race,
         "pipelined_campaign": pipelined,
+        "telemetry": telemetry,
         "summary": summary,
     }
 
@@ -293,6 +346,13 @@ def test_incremental_kernel(benchmark, artefact_dir):
         f" ({s['churn_pipelined_speedup']:.2f}x,"
         f" {p['workers']} workers, {p['backend']})"
     )
+    tel = data["telemetry"]
+    lines.append(
+        f"telemetry overhead ({tel['trace']}/{tel['policy']},"
+        f" {tel['kernel']} kernel, min of {tel['rounds']}):"
+        f" on {tel['wall_on_s']:.3f}s / off {tel['wall_off_s']:.3f}s"
+        f" = {tel['overhead_ratio']:.4f}x (bit-identical)"
+    )
     write_artefact(artefact_dir, "simulator_kernels", "\n".join(lines))
     BENCH_JSON.write_text(
         json.dumps(data, sort_keys=True, indent=2) + "\n",
@@ -310,6 +370,11 @@ def test_incremental_kernel(benchmark, artefact_dir):
             f"{key} shows sustain misses under the warm-up-aware window"
         )
     assert data["pipelined_campaign"]["bit_identical_to_serial"]
+    assert data["telemetry"]["bit_identical"]
+    assert data["telemetry"]["overhead_ratio"] <= TELEMETRY_MAX_OVERHEAD, (
+        f"telemetry costs {data['telemetry']['overhead_ratio']:.4f}x on"
+        f" the warm churn replay (budget ≤{TELEMETRY_MAX_OVERHEAD}x)"
+    )
     assert data["summary"]["churn_speedup"] >= MIN_SPEEDUP, (
         f"incremental kernel only"
         f" {data['summary']['churn_speedup']:.2f}x faster on the"
@@ -367,6 +432,18 @@ def main(quick: bool) -> int:
         )
         if not identical:
             print("FAIL: warm kernel diverged from the oracle")
+            return 1
+        tel = _telemetry_overhead()
+        print(
+            f"telemetry overhead: on {tel['wall_on_s']:.3f}s,"
+            f" off {tel['wall_off_s']:.3f}s,"
+            f" ratio {tel['overhead_ratio']:.4f}x, bit-identical"
+        )
+        if tel["overhead_ratio"] > TELEMETRY_MAX_OVERHEAD:
+            print(
+                f"FAIL: telemetry overhead {tel['overhead_ratio']:.4f}x"
+                f" exceeds {TELEMETRY_MAX_OVERHEAD}x budget"
+            )
             return 1
         cores = os.cpu_count() or 1
         if cores < 4:

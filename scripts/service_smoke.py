@@ -8,7 +8,9 @@ small solve portfolio from three fake tenants over HTTP, and asserts:
   :func:`repro.api.solve` directly (cost, winning heuristic, effective
   seed, processor count, failure records; timing/backend provenance
   excluded);
-* ``/stats`` reports zero rejections and all requests completed.
+* ``/stats`` reports zero rejections and all requests completed;
+* ``/metrics`` serves the key Prometheus families and every sample
+  line parses as ``name value``.
 
 Exits non-zero on any mismatch.  Run from the repository root::
 
@@ -161,6 +163,49 @@ def main() -> int:
             print(f"FAIL: totals.spent {stats['totals'].get('spent')}"
                   f" != 2.0")
             return 1
+        # observability over HTTP: the Prometheus scrape must carry the
+        # service's key families after real traffic, and every sample
+        # line must parse the way a scraper would parse it
+        metrics_text = client.metrics()
+        for family in (
+            "repro_service_requests_total",
+            "repro_service_queue_wait_seconds",
+            "repro_service_time_seconds",
+            "repro_service_queued",
+        ):
+            if f"# TYPE {family}" not in metrics_text:
+                print(f"FAIL: /metrics is missing family {family}")
+                return 1
+        n_samples = 0
+        for line in metrics_text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_part, _, value_part = line.rpartition(" ")
+            try:
+                float(value_part)
+            except ValueError:
+                print(f"FAIL: unparseable /metrics sample line {line!r}")
+                return 1
+            if not name_part:
+                print(f"FAIL: /metrics sample line without a name {line!r}")
+                return 1
+            n_samples += 1
+        if n_samples == 0:
+            print("FAIL: /metrics served no sample lines after traffic")
+            return 1
+        requests_total = sum(
+            float(line.rpartition(" ")[2])
+            for line in metrics_text.splitlines()
+            if line.startswith("repro_service_requests_total")
+        )
+        if requests_total < len(batch):
+            print(
+                f"FAIL: repro_service_requests_total {requests_total}"
+                f" < {len(batch)} submitted requests"
+            )
+            return 1
+        print(f"OK: /metrics scrape parseable ({n_samples} samples)")
+
         print("OK: service smoke passed (incl. budgeted tenant)")
         return 0
     finally:

@@ -24,7 +24,7 @@ see :mod:`repro.api.registry`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..core.pipeline import AllocationResult
@@ -153,6 +153,13 @@ class SolveRequest:
     #: queued lower-tier work (the victim is credited the bid).  Inert
     #: outside the service — the solver itself never reads it.
     bid: float | None = None
+    #: Telemetry correlation id (see :mod:`repro.telemetry`): spans
+    #: produced while this request travels broker → executor → worker
+    #: all carry it, so one submit stitches into one trace.  Excluded
+    #: from equality — two requests that compute the same thing *are*
+    #: the same request (cache keys, round-trip tests) regardless of
+    #: who is watching.
+    trace_id: str | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if (self.instance is None) == (self.spec is None):
@@ -257,8 +264,10 @@ class SolveResult:
         )
 
     def to_dict(self) -> dict:
-        """JSON-able summary (no allocation dump)."""
-        return {
+        """JSON-able summary (no allocation dump).  ``trace_id``
+        appears only on traced requests, keeping untraced output
+        byte-identical to the pre-telemetry format."""
+        out = {
             "ok": self.ok,
             "cost": self.result.cost if self.ok else None,
             "n_processors": self.n_processors,
@@ -280,6 +289,9 @@ class SolveResult:
                 for f in self.failures
             ],
         }
+        if self.request.trace_id is not None:
+            out["trace_id"] = self.request.trace_id
+        return out
 
 
 @dataclass(frozen=True)
@@ -326,6 +338,10 @@ class ReplayRequest:
     #: ``(app, budget)`` pairs (a mapping is accepted and normalised).
     #: ``None`` → every app settles on an unlimited account.
     tenant_budgets: "tuple[tuple[str, float], ...] | None" = None
+    #: Telemetry correlation id (same contract as
+    #: :attr:`SolveRequest.trace_id`: propagated, never computed with,
+    #: excluded from equality).
+    trace_id: str | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         _check_ref(self.policy, "policy")

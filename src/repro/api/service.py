@@ -25,6 +25,7 @@ from ..core.problem import ProblemInstance
 from ..dynamic.replay import ReplayResult, _replay_engine
 from ..errors import AllocationError, InfeasibleError
 from ..rng import derive_seed, make_rng
+from ..telemetry import span as _span
 from . import registry
 from .executors import Executor, get_executor
 from .requests import (
@@ -182,13 +183,20 @@ def _reduce_members(
 
 def _solve_task(request: SolveRequest) -> SolveResult:
     """Solve one request inline (the unit ``solve_many`` fans out)."""
-    start = time.perf_counter()
-    seed = _effective_seed(request)
-    outcomes = [_run_strategy(t) for t in _member_tasks(request, seed)]
-    return _reduce_members(
-        request, outcomes,
-        elapsed_s=time.perf_counter() - start, backend="serial", seed=seed,
-    )
+    with _span(
+        "api.solve", trace_id=request.trace_id,
+        strategies="|".join(request.strategies),
+    ) as sp:
+        start = time.perf_counter()
+        seed = _effective_seed(request)
+        outcomes = [_run_strategy(t) for t in _member_tasks(request, seed)]
+        result = _reduce_members(
+            request, outcomes,
+            elapsed_s=time.perf_counter() - start, backend="serial",
+            seed=seed,
+        )
+        sp.set("ok", result.ok).set("seed", seed)
+        return result
 
 
 def solve(
@@ -198,14 +206,20 @@ def solve(
 ) -> SolveResult:
     """Solve one request; portfolio members fan out over ``executor``."""
     executor = get_executor(executor)
-    start = time.perf_counter()
-    seed = _effective_seed(request)
-    outcomes = executor.map(_run_strategy, _member_tasks(request, seed))
-    return _reduce_members(
-        request, outcomes,
-        elapsed_s=time.perf_counter() - start, backend=executor.name,
-        seed=seed,
-    )
+    with _span(
+        "api.solve", trace_id=request.trace_id,
+        strategies="|".join(request.strategies), backend=executor.name,
+    ) as sp:
+        start = time.perf_counter()
+        seed = _effective_seed(request)
+        outcomes = executor.map(_run_strategy, _member_tasks(request, seed))
+        result = _reduce_members(
+            request, outcomes,
+            elapsed_s=time.perf_counter() - start, backend=executor.name,
+            seed=seed,
+        )
+        sp.set("ok", result.ok).set("seed", seed)
+        return result
 
 
 def solve_many(
@@ -236,21 +250,25 @@ def solve_many(
 # ----------------------------------------------------------------------
 
 def _replay_task(request: ReplayRequest) -> ReplayResult:
-    return _replay_engine(
-        request.resolve_trace(),
-        request.policy,
-        validate=request.validate,
-        n_results=request.n_results,
-        migration_cost=request.migration_cost,
-        salvage_fraction=request.salvage_fraction,
-        sim_kernel=request.sim_kernel,
-        sim_warmup=request.sim_warmup,
-        migration_model=request.migration_model,
-        migration_cost_per_mb=request.migration_cost_per_mb,
-        sim_transitions=request.sim_transitions,
-        pricing=request.pricing,
-        tenant_budgets=request.tenant_budgets,
-    )
+    with _span(
+        "api.replay", trace_id=request.trace_id,
+        policy=request.policy, kernel=request.sim_kernel,
+    ):
+        return _replay_engine(
+            request.resolve_trace(),
+            request.policy,
+            validate=request.validate,
+            n_results=request.n_results,
+            migration_cost=request.migration_cost,
+            salvage_fraction=request.salvage_fraction,
+            sim_kernel=request.sim_kernel,
+            sim_warmup=request.sim_warmup,
+            migration_model=request.migration_model,
+            migration_cost_per_mb=request.migration_cost_per_mb,
+            sim_transitions=request.sim_transitions,
+            pricing=request.pricing,
+            tenant_budgets=request.tenant_budgets,
+        )
 
 
 def replay(request: ReplayRequest) -> ReplayResult:

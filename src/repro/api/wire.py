@@ -140,6 +140,7 @@ def solve_request_to_wire(request: SolveRequest) -> dict:
         "time_budget_s": request.time_budget_s,
         "label": request.label,
         "bid": request.bid,
+        "trace_id": request.trace_id,
     }
 
 

@@ -41,6 +41,14 @@ Subcommands
     stream results back (see :mod:`repro.distributed`).  SIGTERM
     drains gracefully — in-flight work finishes before the worker
     deregisters.
+``trace``
+    Render one request's stitched span tree (``repro trace <id>``)
+    from a running service's ``/v1/trace/<id>`` route, or from a JSON
+    span dump with ``--file`` (see :mod:`repro.telemetry`).
+
+The global ``--log-level`` flag (or the ``REPRO_LOG`` environment
+variable, which spawned workers inherit) turns on structured stderr
+logging for the whole ``repro`` logger tree; the default is silent.
 
 ``solve``, ``figure``, ``dynamic``, and ``serve`` accept ``--jobs N``
 to fan their independent work items (heuristics, campaign grid cells,
@@ -111,6 +119,12 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p.add_argument("--version", action="version", version=__version__)
+    p.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="enable stderr logging for the repro logger tree (DEBUG,"
+             " INFO, WARNING, ERROR; default: the REPRO_LOG environment"
+             " variable, or silent)",
+    )
     sub = p.add_subparsers(dest="command", required=False)
 
     sub.add_parser("table1", help="print the purchase catalog (Table 1)")
@@ -284,6 +298,21 @@ def build_parser() -> argparse.ArgumentParser:
     pu.add_argument("--async", dest="async_mode", action="store_true",
                     help="submit asynchronously (202 + ticket) and poll"
                          " /v1/result/<id> until done")
+
+    pt = sub.add_parser(
+        "trace", help="render one request's stitched span tree"
+    )
+    pt.add_argument("trace_id", help="the telemetry trace id to render")
+    pt.add_argument("--url", default="http://127.0.0.1:8642",
+                    help="running service to fetch the trace from"
+                         " (GET /v1/trace/<id>)")
+    pt.add_argument("--file", type=str, default=None,
+                    help="read spans from this JSON dump instead of a"
+                         " service (a span list, or an object with a"
+                         " 'spans' key)")
+    pt.add_argument("--json", dest="as_json", action="store_true",
+                    help="print the raw span records as JSON instead"
+                         " of the indented tree")
 
     pw = sub.add_parser(
         "worker",
@@ -682,6 +711,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
+    import dataclasses
     import json
     from http.client import HTTPException
 
@@ -692,6 +722,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         request_from_wire,
     )
     from .service import HttpServiceClient, ServiceError
+    from .telemetry import new_trace_id
 
     client = HttpServiceClient(args.url)
     if args.file:
@@ -706,6 +737,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         except (WireFormatError, json.JSONDecodeError) as err:
             print(f"bad request file {args.file}: {err}", file=sys.stderr)
             return 2
+        # the submit entry point starts a trace unless the file brought
+        # its own correlation id (sweeps have no trace_id field)
+        if getattr(request, "trace_id", "absent") is None:
+            request = dataclasses.replace(
+                request, trace_id=new_trace_id()
+            )
     try:
         if args.stats:
             print(json.dumps(client.stats(), indent=2, sort_keys=True))
@@ -723,7 +760,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                     if heuristics and len(heuristics) > 1 else None
                 ),
                 seed=args.seed,
+                trace_id=new_trace_id(),
             )
+        trace_id = getattr(request, "trace_id", None)
+        if trace_id is not None:
+            print(f"trace {trace_id} (repro trace {trace_id}"
+                  f" --url {args.url})", flush=True)
         if args.async_mode:
             pending = client.submit_async(
                 request, tenant=args.tenant, priority=args.priority,
@@ -775,9 +817,66 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    from http.client import HTTPException
+
+    from .telemetry import render_trace, span_from_dict, span_to_dict
+
+    if args.file:
+        try:
+            with open(args.file, encoding="utf8") as fh:
+                data = json.load(fh)
+        except OSError as err:
+            print(f"cannot read {args.file}: {err}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as err:
+            print(f"bad span dump {args.file}: {err}", file=sys.stderr)
+            return 2
+        records = data.get("spans", ()) if isinstance(data, dict) else data
+        try:
+            spans = [span_from_dict(r) for r in records]
+        except (KeyError, TypeError, AttributeError) as err:
+            print(f"bad span dump {args.file}: {err}", file=sys.stderr)
+            return 2
+        spans = [s for s in spans if s.trace_id == args.trace_id]
+    else:
+        from .service import HttpServiceClient, ServiceError
+
+        client = HttpServiceClient(args.url)
+        try:
+            payload = client.trace(args.trace_id)
+        except ServiceError as err:
+            print(f"HTTP {err.status}: {err}", file=sys.stderr)
+            return 1
+        except (OSError, HTTPException) as err:
+            print(f"cannot reach {args.url}:"
+                  f" {err or type(err).__name__}", file=sys.stderr)
+            return 1
+        spans = [span_from_dict(r) for r in payload.get("spans", ())]
+    if not spans:
+        print(f"no spans recorded for trace {args.trace_id}",
+              file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(json.dumps(
+            [span_to_dict(s) for s in spans], indent=2, sort_keys=True
+        ))
+    else:
+        print(render_trace(spans))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        from .telemetry import configure_logging
+
+        configure_logging(args.log_level)
+    except ValueError as err:
+        print(f"bad --log-level: {err}", file=sys.stderr)
+        return 2
     if args.command is None:
         parser.print_help()
         return 0
@@ -807,6 +906,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_worker(args)
     if args.command == "submit":
         return _cmd_submit(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

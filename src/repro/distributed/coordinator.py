@@ -40,16 +40,20 @@ remote:HOST:PORT``) builds one.
 from __future__ import annotations
 
 import itertools
+import json
 import os
 import socket
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Iterable
 
 from ..api.requests import FailureRecord
 from ..api.wire import recv_frame, send_frame
+from ..telemetry import get_logger, get_registry, record_span
+from ..telemetry.trace import TRACE_STORE
 from .protocol import (
     MSG_AUTH,
     MSG_CHALLENGE,
@@ -70,6 +74,32 @@ from .protocol import (
 )
 
 __all__ = ["Coordinator", "DistributedExecutor"]
+
+_log = get_logger("distributed.coordinator")
+
+# Fleet-level registry twins of the stats() counters (stats() stays
+# authoritative for its JSON shape; these feed the stats port's
+# GET /metrics).
+_REG = get_registry()
+_M_TASKS = _REG.counter(
+    "repro_coord_tasks_total",
+    "Coordinator task events by outcome.",
+    ("outcome",),
+)
+_M_WORKER_EVENTS = _REG.counter(
+    "repro_coord_worker_events_total",
+    "Worker fleet membership events.",
+    ("event",),
+)
+_M_WORKERS = _REG.gauge(
+    "repro_coord_workers", "Workers currently registered."
+)
+_M_PENDING = _REG.gauge(
+    "repro_coord_pending", "Tasks waiting for a worker slot."
+)
+_M_IN_FLIGHT = _REG.gauge(
+    "repro_coord_in_flight", "Tasks currently on workers."
+)
 
 #: Sentinel for a result slot not yet filled.
 _UNSET = object()
@@ -105,6 +135,15 @@ class _Task:
     failed_workers: set = field(default_factory=set)
     not_before: float = 0.0
     last_error: dict | None = None
+    #: Telemetry correlation id lifted off the submitted item (when it
+    #: is a traced request) — travels in the task frame so the
+    #: worker's spans stitch into the submitter's trace.
+    trace_id: str | None = None
+    #: How many times this task was sent to *any* worker — unlike
+    #: ``attempts`` (function raised), this also counts re-dispatches
+    #: after an eviction (worker died), so the worker span's ``retry``
+    #: attribute covers SIGKILL requeues too.
+    dispatches: int = 0
 
 
 @dataclass(eq=False)
@@ -134,6 +173,54 @@ def _close_sock(sock: socket.socket) -> None:
         pass
 
 
+class _StatsServer:
+    """Tiny threaded HTTP listener for the distributed tier's
+    observability: ``GET /metrics`` (Prometheus text from the global
+    registry) and ``GET /stats`` (the coordinator's JSON counters).
+    Runs beside the task socket so scraping never competes with frame
+    traffic."""
+
+    def __init__(self, host: str, port: int,
+                 coordinator: "Coordinator") -> None:
+        stats_of = coordinator.stats
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 — http.server API
+                if self.path == "/metrics":
+                    body = get_registry().render().encode("utf8")
+                    ctype = "text/plain; version=0.0.4; charset=utf-8"
+                elif self.path == "/stats":
+                    body = json.dumps(
+                        stats_of(), indent=2, sort_keys=True
+                    ).encode("utf8")
+                    ctype = "application/json"
+                else:
+                    self.send_error(404, "unknown path (try /metrics)")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt, *args):  # scrapes are not news
+                _log.debug("stats %s", fmt % args)
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-coordinator-stats", daemon=True,
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+
 class Coordinator:
     """Accepts worker registrations and schedules task batches.
 
@@ -157,6 +244,7 @@ class Coordinator:
         retry_backoff_max_s: float = 2.0,
         handshake_timeout_s: float = 10.0,
         secret: str | None = None,
+        stats_port: int | None = None,
     ) -> None:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
@@ -181,6 +269,10 @@ class Coordinator:
         #: Shared secret for the mutual HMAC handshake; ``None`` keeps
         #: the legacy open registration (private-network deployments).
         self.secret = secret or None
+        #: ``None`` → no stats listener; ``0`` → pick a free port
+        #: (read :attr:`stats_port` back after :meth:`start`).
+        self.stats_port = stats_port
+        self._stats_server: "_StatsServer | None" = None
 
         self._cond = threading.Condition()
         self._workers: dict[str, _WorkerConn] = {}
@@ -237,6 +329,16 @@ class Coordinator:
             )
             thread.start()
             self._threads.append(thread)
+        if self.stats_port is not None:
+            self._stats_server = _StatsServer(
+                self.host, self.stats_port, self
+            )
+            self.stats_port = self._stats_server.port
+            _log.info(
+                "stats listener on http://%s:%d (/metrics, /stats)",
+                self.host, self.stats_port,
+            )
+        _REG.register_collector(self._collect_gauges)
         return self
 
     def close(self) -> None:
@@ -280,6 +382,19 @@ class Coordinator:
         for thread in self._threads:
             thread.join(timeout=5.0)
         self._threads.clear()
+        if self._stats_server is not None:
+            self._stats_server.close()
+            self._stats_server = None
+        _REG.unregister_collector(self._collect_gauges)
+
+    def _collect_gauges(self) -> None:
+        """Scrape-time refresh of the fleet level gauges."""
+        with self._cond:
+            _M_WORKERS.set(len(self._workers))
+            _M_PENDING.set(len(self._pending))
+            _M_IN_FLIGHT.set(sum(
+                len(w.in_flight) for w in self._workers.values()
+            ))
 
     def __enter__(self) -> "Coordinator":
         return self.start()
@@ -320,9 +435,11 @@ class Coordinator:
                         batch=batch,
                         payload=payload,
                         label=f"{label}[{index}]",
+                        trace_id=getattr(items[index], "trace_id", None),
                     )
                 )
             self._n_submitted += len(items)
+            _M_TASKS.labels(outcome="submitted").inc(len(items))
             self._cond.notify_all()
         batch.done.wait()
         return list(batch.slots)
@@ -370,6 +487,7 @@ class Coordinator:
                 candidates, key=lambda w: (len(w.in_flight), w.seq)
             )
             worker.in_flight[task.id] = task
+            task.dispatches += 1
             assignments.append((worker, task))
         self._pending = remaining
         return assignments
@@ -399,6 +517,13 @@ class Coordinator:
                     "task": task.id,
                     "payload": task.payload,
                 }
+                if task.trace_id is not None:
+                    # traced tasks carry the correlation id plus the
+                    # dispatch ordinal, so worker spans can stitch and
+                    # mark retries; untraced frames stay byte-identical
+                    # to the pre-telemetry protocol
+                    frame["trace"] = task.trace_id
+                    frame["dispatch"] = task.dispatches
                 try:
                     with worker.send_lock:
                         send_frame(worker.sock, frame)
@@ -409,6 +534,24 @@ class Coordinator:
         error = task.last_error or {}
         workers = sorted(task.failed_workers)
         self._n_poisoned += 1
+        _M_TASKS.labels(outcome="poisoned").inc()
+        _log.error(
+            "poisoned task %s (id %d, trace %s) after %d attempt(s) on"
+            " %s: %s",
+            task.label, task.id, task.trace_id, task.attempts,
+            ", ".join(workers) or "no workers",
+            error.get("message", "unknown error"),
+        )
+        # the terminal span of a poisoned trace: the submitter's
+        # `repro trace` shows *why* the slot resolved to a failure
+        record_span(
+            "task.poisoned", task.trace_id,
+            start=time.time(), duration_s=0.0,
+            status="error",
+            error=error.get("message", "unknown error"),
+            task=task.id, label=task.label,
+            attempts=task.attempts, workers=",".join(workers),
+        )
         task.batch.complete(
             task.index,
             FailureRecord(
@@ -509,6 +652,11 @@ class Coordinator:
             self._workers[name] = conn
             self._n_registered += 1
             self._cond.notify_all()
+        _M_WORKER_EVENTS.labels(event="registered").inc()
+        _log.info(
+            "registered worker %s (pid %s, window %d)",
+            name, conn.pid, conn.window,
+        )
         welcome = {
             "type": MSG_WELCOME,
             "worker": name,
@@ -570,6 +718,11 @@ class Coordinator:
                 return  # stale: task was requeued away from this worker
             conn.n_completed += 1
             self._n_completed += 1
+            _M_TASKS.labels(outcome="completed").inc()
+            if msg.get("spans"):
+                # the worker's spans, stitched into the local store so
+                # `repro trace` shows the remote execution leg too
+                TRACE_STORE.ingest(msg["spans"])
             task.batch.complete(task.index, value)
             self._cond.notify_all()
 
@@ -582,6 +735,8 @@ class Coordinator:
             task.attempts += 1
             task.failed_workers.add(conn.name)
             task.last_error = msg.get("error") or {}
+            if msg.get("spans"):
+                TRACE_STORE.ingest(msg["spans"])
             if task.attempts >= self.poison_after:
                 self._poison_locked(task)
             else:
@@ -591,6 +746,15 @@ class Coordinator:
                 )
                 task.not_before = time.monotonic() + backoff
                 self._n_retried += 1
+                _M_TASKS.labels(outcome="retried").inc()
+                _log.warning(
+                    "task %s (id %d, trace %s) raised on worker %s"
+                    " (attempt %d of %d): %s — retrying in %.3fs",
+                    task.label, task.id, task.trace_id, conn.name,
+                    task.attempts, self.poison_after,
+                    task.last_error.get("message", "unknown error"),
+                    backoff,
+                )
                 self._pending.append(task)
             self._cond.notify_all()
 
@@ -627,6 +791,27 @@ class Coordinator:
             else:
                 self._n_evicted += 1
             self._cond.notify_all()
+        # logs sit after the membership check on purpose: close()
+        # clears the worker table first, so a clean shutdown's
+        # reader-loop evictions stay silent
+        _M_WORKER_EVENTS.labels(
+            event="departed" if graceful else "evicted"
+        ).inc()
+        if requeued:
+            _M_TASKS.labels(outcome="requeued").inc(len(requeued))
+        log = _log.info if graceful else _log.warning
+        log(
+            "%s worker %s (%s): %d in-flight task(s) requeued%s",
+            "deregistered" if graceful else "evicted",
+            conn.name, reason, len(requeued),
+            (
+                " — " + ", ".join(
+                    f"{t.label} (id {t.id}, trace {t.trace_id})"
+                    for t in requeued
+                )
+                if requeued else ""
+            ),
+        )
         _close_sock(conn.sock)
 
     def _monitor_loop(self) -> None:
@@ -710,6 +895,16 @@ class DistributedExecutor:
             coordinator_options["secret"] = (
                 os.environ.get("REPRO_SECRET") or None
             )
+        if "stats_port" not in coordinator_options:
+            raw = os.environ.get("REPRO_COORD_STATS_PORT", "").strip()
+            if raw:
+                try:
+                    coordinator_options["stats_port"] = int(raw)
+                except ValueError:
+                    raise ValueError(
+                        f"REPRO_COORD_STATS_PORT must be an integer,"
+                        f" got {raw!r}"
+                    ) from None
         body = spec[len("remote:"):] if spec.startswith("remote:") else spec
         host, _, port_text = body.rpartition(":")
         host = host or "127.0.0.1"

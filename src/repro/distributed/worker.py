@@ -29,6 +29,8 @@ import time
 from typing import Callable
 
 from ..api.wire import recv_frame, send_frame
+from ..telemetry import get_logger, span, span_to_dict
+from ..telemetry.trace import TRACE_STORE
 from .protocol import (
     MSG_AUTH,
     MSG_CHALLENGE,
@@ -50,6 +52,8 @@ from .protocol import (
 )
 
 __all__ = ["Worker", "run_worker"]
+
+_log = get_logger("distributed.worker")
 
 
 class Worker:
@@ -145,9 +149,27 @@ class Worker:
 
     def _execute(self, msg: dict) -> None:
         task_id = msg.get("task")
+        trace_id = msg.get("trace")
+        captured: list = []
         try:
-            fn, item = decode_task(msg.get("payload") or {})
-            value = fn(item)
+            if trace_id is not None:
+                # traced task: wrap execution in a worker span and
+                # collect every span the task itself produces (e.g.
+                # api.solve), to ship back attached to the result —
+                # the coordinator stitches them into its store
+                attrs = {"worker": self.name, "task": task_id}
+                dispatch = int(msg.get("dispatch") or 1)
+                if dispatch > 1:
+                    attrs["retry"] = dispatch - 1
+                with TRACE_STORE.capture() as captured:
+                    with span(
+                        "worker.execute", trace_id=trace_id, **attrs
+                    ):
+                        fn, item = decode_task(msg.get("payload") or {})
+                        value = fn(item)
+            else:
+                fn, item = decode_task(msg.get("payload") or {})
+                value = fn(item)
             out = {
                 "type": MSG_RESULT,
                 "task": task_id,
@@ -159,6 +181,8 @@ class Worker:
                 "task": task_id,
                 "error": describe_error(err),
             }
+        if captured:
+            out["spans"] = [span_to_dict(s) for s in captured]
         self._send(out)
         self.n_done += 1
         if self.on_task is not None:
@@ -220,6 +244,10 @@ class Worker:
                     f" welcome the registration (got {welcome!r})"
                 )
             self.name = welcome.get("worker", self.name)
+            _log.info(
+                "worker %s registered with coordinator %s:%d",
+                self.name, self.host, self.port,
+            )
             interval = self.heartbeat_s or float(
                 welcome.get("heartbeat_s") or 1.0
             )
@@ -242,12 +270,20 @@ class Worker:
                     # every task frame sent before this ack has already
                     # been executed (frames are processed in order) —
                     # safe to leave
+                    _log.info(
+                        "worker %s drained after %d task(s)",
+                        self.name, self.n_done,
+                    )
                     try:
                         self._send({"type": MSG_GOODBYE})
                     except OSError:
                         pass
                     break
                 elif kind == MSG_SHUTDOWN:
+                    _log.info(
+                        "worker %s shut down by coordinator after"
+                        " %d task(s)", self.name, self.n_done,
+                    )
                     break
                 # unknown types ignored: forward compatibility
         finally:

@@ -48,7 +48,7 @@ import json
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _dc_replace
 from typing import Callable
 
 from ..api.executors import (
@@ -63,6 +63,7 @@ from ..api.requests import (
     SolveRequest,
     SweepRequest,
 )
+from ..telemetry import get_logger, get_registry, record_span
 from .metrics import summarize
 from .queueing import FairQueue, QueuedTicket
 from .tenants import TenantConfig, TenantRegistry, TenantState, tier_rank
@@ -74,6 +75,51 @@ __all__ = [
     "execute_request",
     "request_cache_key",
 ]
+
+_log = get_logger("service")
+
+# Registry-backed twins of the /stats counters (same recording sites;
+# TenantMetrics stays authoritative for /stats, whose payload must not
+# change — these feed GET /metrics).  Families are process-wide: every
+# AllocationService in the process records into the same series.
+_REG = get_registry()
+_M_REQUESTS = _REG.counter(
+    "repro_service_requests_total",
+    "Service requests by tenant and outcome.",
+    ("tenant", "outcome"),
+)
+_M_REJECTED = _REG.counter(
+    "repro_service_rejections_total",
+    "Admission rejections by stage.",
+    ("stage",),
+)
+_M_CACHE = _REG.counter(
+    "repro_service_cache_requests_total",
+    "Broker result-cache lookups by outcome.",
+    ("result",),
+)
+_M_PREEMPTIONS = _REG.counter(
+    "repro_service_preemptions_total",
+    "Bid-priced preemptions executed.",
+)
+_M_QUEUE_WAIT = _REG.histogram(
+    "repro_service_queue_wait_seconds",
+    "Queue wait per dispatched request.",
+)
+_M_SERVICE_TIME = _REG.histogram(
+    "repro_service_time_seconds",
+    "Execution time per completed request.",
+)
+_M_QUEUED = _REG.gauge(
+    "repro_service_queued", "Requests waiting in the fair queue."
+)
+_M_IN_FLIGHT = _REG.gauge(
+    "repro_service_in_flight", "Requests currently executing."
+)
+_M_CACHE_SIZE = _REG.gauge(
+    "repro_service_cache_entries", "Entries in the broker result cache."
+)
+
 
 class AdmissionRejected(Exception):
     """A request was refused at the door; ``record`` says why."""
@@ -141,6 +187,9 @@ def request_cache_key(request) -> "str | None":
         wire = request_to_wire(request)
     except (WireFormatError, TypeError):
         return None
+    # telemetry identity is not computational identity: the same
+    # seeded request resubmitted under a fresh trace_id must still hit
+    wire.pop("trace_id", None)
     try:
         return json.dumps(wire, sort_keys=True)
     except (TypeError, ValueError):
@@ -161,6 +210,9 @@ class Ticket:
     queued: QueuedTicket
     #: set when the result should populate the cache on completion
     cache_key: "str | None" = field(default=None)
+    #: wall-clock twin of ``enqueued_at`` (which is monotonic) — the
+    #: queue-wait span needs an epoch start time
+    enqueued_wall: float = field(default=0.0)
 
     @property
     def done(self) -> bool:
@@ -258,6 +310,7 @@ class AllocationService:
             self._dispatch_loop()
         )
         self._started_at = self._clock()
+        _REG.register_collector(self._collect_gauges)
 
     async def aclose(self) -> None:
         """Stop accepting work, cancel everything queued, wait for
@@ -278,6 +331,13 @@ class AllocationService:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        _REG.unregister_collector(self._collect_gauges)
+
+    def _collect_gauges(self) -> None:
+        """Scrape-time refresh of the level gauges (collector hook)."""
+        _M_QUEUED.set(len(self.queue))
+        _M_IN_FLIGHT.set(self._in_flight)
+        _M_CACHE_SIZE.set(len(self._cache))
 
     # ------------------------------------------------------------------
     # admission
@@ -349,6 +409,15 @@ class AllocationService:
             bid, "preemption-bid",
             detail=f"evicted {victim_ticket.tenant}"
                    f" (ticket #{victim_ticket.id})",
+        )
+        _M_PREEMPTIONS.inc()
+        _M_REJECTED.labels(stage="preempted").inc()
+        _M_REQUESTS.labels(
+            tenant=victim_ticket.tenant, outcome="preempted"
+        ).inc()
+        _log.info(
+            "preempted ticket #%d of %s for a bid of %g from %s",
+            victim_ticket.id, victim_ticket.tenant, bid, state.name,
         )
         return True
 
@@ -445,13 +514,26 @@ class AllocationService:
         nothing."""
         if bid is None:
             bid = getattr(request, "bid", None)
+        trace_id = getattr(request, "trace_id", None)
+        wall = time.time()
         if self._closing or not self.started:
             self._count_unattributed("not-running")
+            _M_REJECTED.labels(stage="not-running").inc()
             raise _rejection(
                 tenant, "not-running",
                 "the service is not accepting requests",
             )
-        state = self._admit(tenant, bid)
+        try:
+            state = self._admit(tenant, bid)
+        except AdmissionRejected as err:
+            _M_REJECTED.labels(stage=err.record.stage).inc()
+            record_span(
+                "service.admission", trace_id,
+                start=wall, duration_s=time.time() - wall,
+                status="error", error=err.record.message,
+                tenant=tenant, stage=err.record.stage,
+            )
+            raise
         now = self._clock()
         ticket_id = next(self._ids)
         queued = QueuedTicket(
@@ -466,6 +548,7 @@ class AllocationService:
             deadline=None if deadline_s is None else now + deadline_s,
             future=asyncio.get_running_loop().create_future(),
             queued=queued,
+            enqueued_wall=wall,
         )
         queued.context = ticket
         key = (
@@ -478,15 +561,41 @@ class AllocationService:
             self._cache_hits += 1
             state.metrics.admitted += 1
             state.metrics.completed += 1
-            ticket.future.set_result(self._cache[key])
+            _M_CACHE.labels(result="hit").inc()
+            _M_REQUESTS.labels(tenant=tenant, outcome="admitted").inc()
+            _M_REQUESTS.labels(tenant=tenant, outcome="completed").inc()
+            record_span(
+                "service.admission", trace_id,
+                start=wall, duration_s=time.time() - wall,
+                tenant=tenant, ticket=ticket_id, cache_hit=True,
+            )
+            cached = self._cache[key]
+            if (
+                hasattr(cached, "request")
+                and getattr(cached.request, "trace_id", None) != trace_id
+            ):
+                # the cached result answers *this* submission: rebind
+                # its request so provenance (the trace id rides there)
+                # reflects the submitter, not whoever warmed the cache
+                # — the requests are identical apart from trace_id,
+                # which the cache key deliberately ignores
+                cached = _dc_replace(cached, request=request)
+            ticket.future.set_result(cached)
             return ticket
         if key is not None:
             self._cache_misses += 1
+            _M_CACHE.labels(result="miss").inc()
             ticket.cache_key = key
         self._tickets[ticket_id] = ticket
         self.queue.push(queued)
         state.n_queued += 1
         state.metrics.admitted += 1
+        _M_REQUESTS.labels(tenant=tenant, outcome="admitted").inc()
+        record_span(
+            "service.admission", trace_id,
+            start=wall, duration_s=time.time() - wall,
+            tenant=tenant, ticket=ticket_id,
+        )
         self._wakeup.set()
         return ticket
 
@@ -508,6 +617,7 @@ class AllocationService:
         state = self.registry.get(ticket.tenant)
         state.n_queued -= 1
         state.metrics.cancelled += 1
+        _M_REQUESTS.labels(tenant=ticket.tenant, outcome="cancelled").inc()
         ticket.future.cancel()
         self._tickets.pop(ticket.id, None)
         return True
@@ -544,6 +654,18 @@ class AllocationService:
             now = self._clock()
             if ticket.deadline is not None and now > ticket.deadline:
                 state.metrics.expired += 1
+                _M_REQUESTS.labels(
+                    tenant=ticket.tenant, outcome="expired"
+                ).inc()
+                record_span(
+                    "service.queue", getattr(
+                        ticket.request, "trace_id", None
+                    ),
+                    start=ticket.enqueued_wall,
+                    duration_s=now - ticket.enqueued_at,
+                    status="error", error="deadline expired in queue",
+                    tenant=ticket.tenant, ticket=ticket.id,
+                )
                 self._tickets.pop(ticket.id, None)
                 ticket.future.set_exception(
                     _rejection(
@@ -556,6 +678,13 @@ class AllocationService:
                 )
                 continue
             state.metrics.queue_wait.record(now - ticket.enqueued_at)
+            _M_QUEUE_WAIT.observe(now - ticket.enqueued_at)
+            record_span(
+                "service.queue", getattr(ticket.request, "trace_id", None),
+                start=ticket.enqueued_wall,
+                duration_s=now - ticket.enqueued_at,
+                tenant=ticket.tenant, ticket=ticket.id,
+            )
             self._in_flight += 1
             state.n_in_flight += 1
             task = asyncio.get_running_loop().create_task(
@@ -566,6 +695,8 @@ class AllocationService:
 
     async def _run(self, ticket: Ticket, state: TenantState) -> None:
         start = self._clock()
+        wall = time.time()
+        trace_id = getattr(ticket.request, "trace_id", None)
         try:
             if self._pool is not None:
                 result = await asyncio.get_running_loop().run_in_executor(
@@ -586,15 +717,36 @@ class AllocationService:
                 )[0]
         except BaseException as err:  # noqa: BLE001 — relayed, not hidden
             state.metrics.failed += 1
+            _M_REQUESTS.labels(tenant=ticket.tenant, outcome="failed").inc()
+            record_span(
+                "service.execute", trace_id,
+                start=wall, duration_s=self._clock() - start,
+                status="error", error=f"{type(err).__name__}: {err}",
+                tenant=ticket.tenant, ticket=ticket.id,
+                backend=self.executor.name,
+            )
             if not ticket.future.done():
                 ticket.future.set_exception(err)
         else:
             state.metrics.completed += 1
+            _M_REQUESTS.labels(
+                tenant=ticket.tenant, outcome="completed"
+            ).inc()
             if getattr(result, "ok", True) is False:
                 # a completed solve whose every strategy failed — the
                 # result carries the records; count it for /stats
                 state.metrics.failed += 1
+                _M_REQUESTS.labels(
+                    tenant=ticket.tenant, outcome="failed"
+                ).inc()
             state.metrics.service_time.record(self._clock() - start)
+            _M_SERVICE_TIME.observe(self._clock() - start)
+            record_span(
+                "service.execute", trace_id,
+                start=wall, duration_s=self._clock() - start,
+                tenant=ticket.tenant, ticket=ticket.id,
+                backend=self.executor.name,
+            )
             if ticket.cache_key is not None and self.cache_size > 0:
                 # failed-but-deterministic results cache too: the same
                 # seeded request will fail the same way every time

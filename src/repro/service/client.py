@@ -233,6 +233,33 @@ class HttpServiceClient:
     def stats(self) -> dict:
         return self._request("GET", "/stats")
 
+    def metrics(self) -> str:
+        """``GET /metrics`` — the raw Prometheus text exposition (the
+        one route that is not JSON)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                try:
+                    data = json.loads(raw) if raw else {}
+                except json.JSONDecodeError:
+                    data = {"error": raw.decode("utf8", "replace")}
+                raise ServiceError(response.status, data)
+            return raw.decode("utf8")
+        finally:
+            conn.close()
+
+    def trace(self, trace_id: str) -> dict:
+        """``GET /v1/trace/<id>`` — ``{"trace_id", "spans": [...]}``.
+        Raises :class:`ServiceError` (404) for unknown trace ids."""
+        return self._request(
+            "GET", f"/v1/trace/{urllib.parse.quote(str(trace_id))}"
+        )
+
     def register_tenant(self, name: str, **config: Any) -> dict:
         return self._request(
             "POST", "/v1/tenants", {"name": name, **config}

@@ -2,7 +2,7 @@
 
 A deliberately small HTTP/1.1 implementation — request line, headers,
 ``Content-Length`` body, ``Connection: close`` — because the service
-needs exactly five routes and zero framework:
+needs a handful of routes and zero framework:
 
 ========  ================  ================================================
 method    path              body → response
@@ -28,6 +28,14 @@ GET       /v1/result/<id>   → the async ticket's state: ``status`` is
                               long-since-evicted) tickets
 POST      /v1/tenants       a :class:`~repro.service.tenants.TenantConfig`
                               as JSON → registers/reconfigures a tenant
+GET       /metrics          → the process-wide
+                              :mod:`repro.telemetry` registry in
+                              Prometheus text exposition format (the
+                              one non-JSON route)
+GET       /v1/trace/<id>    → ``{"trace_id", "spans": [...]}`` — every
+                              span of one trace from the in-process
+                              store (worker spans included once their
+                              results came back); 404 for unknown ids
 ========  ================  ================================================
 
 Request payloads ride the :mod:`repro.api.wire` format; malformed
@@ -56,6 +64,8 @@ from ..api.wire import (
     _reject_unknown,
     request_from_wire,
 )
+from ..telemetry import get_registry, span_to_dict
+from ..telemetry.trace import TRACE_STORE
 from .broker import AdmissionRejected, AllocationService
 from .tenants import TenantConfig
 
@@ -88,6 +98,16 @@ class _HTTPError(Exception):
 
 def _bad(message: str) -> _HTTPError:
     return _HTTPError(400, {"error": message})
+
+
+class _PlainText:
+    """Marker for the one route that is not JSON: ``/metrics`` serves
+    the Prometheus text exposition format verbatim."""
+
+    content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+    def __init__(self, text: str):
+        self.text = text
 
 
 def _check_fields(
@@ -206,10 +226,15 @@ class ServiceHTTPServer:
         except Exception as err:  # noqa: BLE001 — a 500, not a crash
             status, payload = 500, {"error": f"{type(err).__name__}: {err}"}
         try:
-            body = json.dumps(payload, sort_keys=True).encode("utf8")
+            if isinstance(payload, _PlainText):
+                body = payload.text.encode("utf8")
+                content_type = payload.content_type
+            else:
+                body = json.dumps(payload, sort_keys=True).encode("utf8")
+                content_type = "application/json"
             head = (
                 f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: close\r\n\r\n"
             ).encode("ascii")
@@ -279,6 +304,17 @@ class ServiceHTTPServer:
             return 200, {"ok": True}
         if path == "/stats" and method == "GET":
             return 200, self.service.snapshot()
+        if path == "/metrics" and method == "GET":
+            return 200, _PlainText(get_registry().render())
+        if path.startswith("/v1/trace/") and method == "GET":
+            trace_id = path[len("/v1/trace/"):]
+            spans = TRACE_STORE.get(trace_id)
+            if not spans:
+                return 404, {"error": f"no trace {trace_id!r}"}
+            return 200, {
+                "trace_id": trace_id,
+                "spans": [span_to_dict(s) for s in spans],
+            }
         if path == "/v1/submit" and method == "POST":
             return await self._submit(raw, query)
         if path.startswith("/v1/result/") and method == "GET":
@@ -308,11 +344,12 @@ class ServiceHTTPServer:
             self.service.registry.register(config)
             return 200, {"registered": config.name}
         known = (
-            "GET /healthz, GET /stats, POST /v1/submit[?mode=async],"
-            " GET /v1/result/<id>, POST /v1/cancel, POST /v1/tenants"
+            "GET /healthz, GET /stats, GET /metrics,"
+            " POST /v1/submit[?mode=async], GET /v1/result/<id>,"
+            " GET /v1/trace/<id>, POST /v1/cancel, POST /v1/tenants"
         )
-        if path in ("/healthz", "/stats", "/v1/submit", "/v1/cancel",
-                    "/v1/tenants"):
+        if path in ("/healthz", "/stats", "/metrics", "/v1/submit",
+                    "/v1/cancel", "/v1/tenants"):
             return 405, {"error": f"wrong method for {path}"
                                   f" (routes: {known})"}
         return 404, {"error": f"no route {method} {path}"

@@ -19,33 +19,17 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+# The single percentile implementation now lives in the telemetry
+# layer (histogram summaries share it); re-exported here so existing
+# imports — and the empty-series ValueError contract — keep working.
+from repro.telemetry.metrics import percentile
+
 __all__ = [
     "LatencySeries",
     "TenantMetrics",
     "percentile",
     "summarize",
 ]
-
-
-def percentile(values: "list[float] | tuple[float, ...]", q: float) -> float:
-    """Linear-interpolation percentile of ``values`` (``q`` in 0–100).
-
-    Raises ``ValueError`` on an empty series — callers decide how to
-    render "no data yet" (the snapshots simply omit the block).
-    """
-    if not values:
-        raise ValueError("percentile of an empty series")
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"q must be in [0, 100], got {q}")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    pos = (len(ordered) - 1) * (q / 100.0)
-    lo = int(pos)
-    frac = pos - lo
-    if lo + 1 >= len(ordered):
-        return ordered[-1]
-    return ordered[lo] * (1.0 - frac) + ordered[lo + 1] * frac
 
 
 #: Samples a series retains for percentiles; a standing service must

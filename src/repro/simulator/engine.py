@@ -74,6 +74,7 @@ from typing import Iterator, Literal, Mapping
 
 from ..core.mapping import Allocation
 from ..errors import ModelError
+from ..telemetry import get_registry
 from .events import (
     ComputeFinished,
     DownloadLaunch,
@@ -107,6 +108,25 @@ _KERNEL_NET_FLAGS: dict[str, dict[str, bool]] = {
     "vectorized": {"vectorized": True},
     "incremental": {},
 }
+
+# Run-level telemetry: a handful of counter bumps per *simulation*, not
+# per event, so the hot loop stays untouched (the <2% overhead budget
+# asserted by benchmarks/bench_simulator.py).
+_REG = get_registry()
+_M_SIM_RUNS = _REG.counter(
+    "repro_sim_runs_total", "Completed simulation runs", ("kernel",)
+)
+_M_SIM_EVENTS = _REG.counter(
+    "repro_sim_events_total", "Discrete events processed by the simulator"
+)
+_M_SIM_WARM_HITS = _REG.counter(
+    "repro_sim_warm_hits_total",
+    "Warm-cache refill hits (warm kernel)",
+)
+_M_SIM_WARM_FALLBACKS = _REG.counter(
+    "repro_sim_warm_fallbacks_total",
+    "Warm-cache misses that fell back to a cold fill (warm kernel)",
+)
 
 
 @contextmanager
@@ -693,6 +713,13 @@ class SteadyStateSimulator:
         latencies = tuple(
             comp - t / self.rho for t, comp in enumerate(comps)
         )
+        _M_SIM_RUNS.labels(kernel=self.kernel).inc()
+        if self.n_events:
+            _M_SIM_EVENTS.inc(self.n_events)
+        if self.net.warm_hits:
+            _M_SIM_WARM_HITS.inc(self.net.warm_hits)
+        if self.net.warm_fallbacks:
+            _M_SIM_WARM_FALLBACKS.inc(self.net.warm_fallbacks)
         return SimulationResult(
             offered_rate=self.rho,
             achieved_rate=achieved,

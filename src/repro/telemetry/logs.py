@@ -1,0 +1,73 @@
+"""Logging configuration for the ``repro`` logger tree.
+
+Every module in the package logs under the ``"repro"`` hierarchy
+(``repro.service``, ``repro.distributed``, ...).  Nothing is emitted
+until someone opts in: either ``repro --log-level INFO`` (any CLI
+command) or the ``REPRO_LOG`` environment variable (picked up by
+spawned workers, which inherit the environment but not the CLI flag).
+
+:func:`configure_logging` is idempotent — re-invoking it re-levels the
+existing handler instead of stacking duplicates, so tests and
+long-lived sessions can call it freely.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+__all__ = ["configure_logging", "get_logger"]
+
+_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+_HANDLER_TAG = "_repro_telemetry_handler"
+
+
+def _resolve_level(level: "str | int | None") -> "int | None":
+    if level is None:
+        level = os.environ.get("REPRO_LOG", "").strip() or None
+    if level is None:
+        return None
+    if isinstance(level, int):
+        return level
+    name = str(level).strip().upper()
+    resolved = logging.getLevelName(name)
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level: {level!r}")
+    return resolved
+
+
+def configure_logging(level: "str | int | None" = None) -> "int | None":
+    """Attach a stderr handler to the ``repro`` logger at ``level``.
+
+    ``level`` falls back to the ``REPRO_LOG`` environment variable;
+    when neither is set this is a no-op returning ``None`` (logging
+    stays dark, matching the library-silent default).  Returns the
+    numeric level that was applied.
+    """
+    resolved = _resolve_level(level)
+    if resolved is None:
+        return None
+    logger = logging.getLogger("repro")
+    handler = None
+    for existing in logger.handlers:
+        if getattr(existing, _HANDLER_TAG, False):
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        setattr(handler, _HANDLER_TAG, True)
+        logger.addHandler(handler)
+        logger.propagate = False
+    handler.setLevel(resolved)
+    logger.setLevel(resolved)
+    return resolved
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` tree (``get_logger("service")`` →
+    ``repro.service``)."""
+    if name.startswith("repro"):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")

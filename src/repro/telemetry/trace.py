@@ -1,0 +1,419 @@
+"""Structured tracing: spans, the bounded TraceStore, and trace ids.
+
+A **span** is one timed operation — name, trace id, parent link,
+start/duration, attributes, status — produced by the :func:`span`
+context manager and collected into the process-wide bounded
+:class:`TraceStore`.  A **trace** is every span sharing one
+``trace_id``: the id is generated at an entry point (``solve()``, the
+service's ``submit``, ``repro submit``), carried on the typed requests
+(``SolveRequest.trace_id`` / ``ReplayRequest.trace_id``, excluded from
+equality so bit-identity contracts are untouched), and propagated
+through the wire format and the distributed task frames — worker-side
+spans ship back attached to results, so one request's spans stitch
+across broker → executor → remote worker.
+
+Design constraints, in order:
+
+* **zero cost on the float path** — spans wrap coarse seams (a solve,
+  an epoch, a dispatch), never per-event simulator work; disabling
+  tracing (:func:`set_enabled`, or ``REPRO_TRACE=0``) reduces
+  :func:`span` to a null context manager and changes *no* computed
+  output either way (asserted in ``bench_simulator``);
+* **bounded memory** — the store keeps the most recent
+  ``max_traces`` traces, ``max_spans`` spans each, FIFO-evicted like
+  the service's async-ticket table;
+* **portable** — :func:`span_to_dict` / :func:`span_from_dict` are the
+  JSON wire form used by the result frames and ``repro trace --file``.
+
+Parent linkage rides a :class:`contextvars.ContextVar`, so nesting
+works across threads and asyncio tasks without explicit plumbing.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import logging
+import os
+import threading
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Span",
+    "TraceStore",
+    "current_span",
+    "enabled",
+    "new_trace_id",
+    "record_span",
+    "render_trace",
+    "set_enabled",
+    "span",
+    "span_from_dict",
+    "span_to_dict",
+]
+
+_log = logging.getLogger("repro.telemetry")
+
+#: Spans slower than this (seconds) are logged at WARNING level.
+#: ``None`` (the default, unless ``REPRO_SLOW_SPAN_S`` is set) disables
+#: the check — an unconfigured process must not spray stderr through
+#: logging's last-resort handler.
+_slow_span_s: "float | None" = None
+
+
+def _read_env() -> tuple[bool, "float | None"]:
+    flag = os.environ.get("REPRO_TRACE", "").strip().lower()
+    on = flag not in ("0", "off", "false", "no") if flag else True
+    raw = os.environ.get("REPRO_SLOW_SPAN_S", "").strip()
+    try:
+        slow = float(raw) if raw else None
+    except ValueError:
+        slow = None
+    return on, slow
+
+
+_enabled, _slow_span_s = _read_env()
+
+
+def enabled() -> bool:
+    """Whether :func:`span` records anything at all."""
+    return _enabled
+
+
+def set_enabled(on: bool) -> bool:
+    """Turn tracing on or off process-wide; returns the previous
+    state.  Off means :func:`span` yields a null span and the store is
+    untouched — computed results are bit-identical either way."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(on)
+    return previous
+
+
+def set_slow_span_threshold(seconds: "float | None") -> "float | None":
+    """Spans exceeding ``seconds`` log a WARNING; ``None`` disables.
+    Returns the previous threshold.  Also settable via the
+    ``REPRO_SLOW_SPAN_S`` environment variable."""
+    global _slow_span_s
+    previous = _slow_span_s
+    _slow_span_s = None if seconds is None else float(seconds)
+    return previous
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id.  OS entropy, not the seeded RNG —
+    generating one can never perturb a reproducible run."""
+    return os.urandom(8).hex()
+
+
+def _new_span_id() -> str:
+    return os.urandom(4).hex()
+
+
+@dataclass
+class Span:
+    """One timed operation inside a trace."""
+
+    name: str
+    trace_id: str
+    span_id: str = field(default_factory=_new_span_id)
+    parent_id: "str | None" = None
+    start: float = 0.0  # epoch seconds (time.time())
+    duration_s: float = 0.0
+    attributes: dict = field(default_factory=dict)
+    status: str = "ok"  # "ok" | "error"
+    error: "str | None" = None
+
+    def set(self, key: str, value: Any) -> "Span":
+        """Attach one attribute (chainable)."""
+        self.attributes[key] = value
+        return self
+
+
+class _NullSpan:
+    """What :func:`span` yields when tracing is off: same surface,
+    no recording.  ``trace_id`` passes through so callers that forward
+    it (e.g. into task frames) keep working."""
+
+    __slots__ = ("trace_id",)
+
+    def __init__(self, trace_id: "str | None") -> None:
+        self.trace_id = trace_id
+
+    def set(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+
+def span_to_dict(s: Span) -> dict:
+    """The JSON wire form (used by result frames and span dumps).
+    Default-valued optional fields are omitted, keeping frames lean."""
+    out: dict = {
+        "name": s.name,
+        "trace_id": s.trace_id,
+        "span_id": s.span_id,
+        "start": s.start,
+        "duration_s": s.duration_s,
+    }
+    if s.parent_id is not None:
+        out["parent_id"] = s.parent_id
+    if s.attributes:
+        out["attributes"] = dict(s.attributes)
+    if s.status != "ok":
+        out["status"] = s.status
+    if s.error is not None:
+        out["error"] = s.error
+    return out
+
+
+def span_from_dict(data: Mapping[str, Any]) -> Span:
+    """Inverse of :func:`span_to_dict` (tolerant of absent optionals)."""
+    return Span(
+        name=str(data.get("name", "")),
+        trace_id=str(data.get("trace_id", "")),
+        span_id=str(data.get("span_id") or _new_span_id()),
+        parent_id=data.get("parent_id"),
+        start=float(data.get("start", 0.0)),
+        duration_s=float(data.get("duration_s", 0.0)),
+        attributes=dict(data.get("attributes") or {}),
+        status=str(data.get("status", "ok")),
+        error=data.get("error"),
+    )
+
+
+class TraceStore:
+    """Bounded in-process span storage, keyed by trace id.
+
+    FIFO eviction of whole traces once ``max_traces`` is exceeded and
+    a per-trace span cap keep a standing service's memory flat no
+    matter how much traffic flows through.  Thread-safe — spans arrive
+    from the event loop, executor threads, and coordinator reader
+    threads alike.
+    """
+
+    def __init__(self, max_traces: int = 256,
+                 max_spans: int = 512) -> None:
+        if max_traces < 1:
+            raise ValueError(f"max_traces must be >= 1, got {max_traces}")
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+        self.max_traces = max_traces
+        self.max_spans = max_spans
+        self._traces: "OrderedDict[str, list[Span]]" = OrderedDict()
+        self._ids: "dict[str, set]" = {}  # trace_id → stored span ids
+        self._lock = threading.Lock()
+        self._captures: list[list[Span]] = []
+        self.n_dropped = 0
+
+    def add(self, s: Span) -> None:
+        with self._lock:
+            spans = self._traces.get(s.trace_id)
+            if spans is None:
+                spans = self._traces[s.trace_id] = []
+                self._ids[s.trace_id] = set()
+                while len(self._traces) > self.max_traces:
+                    evicted, _ = self._traces.popitem(last=False)
+                    self._ids.pop(evicted, None)
+                    self.n_dropped += 1
+            seen = self._ids.get(s.trace_id)
+            if seen is not None and s.span_id in seen:
+                # idempotent: a span shipped back from an in-process
+                # worker (thread fleets share this store) is already
+                # here — ingesting it again must not duplicate it
+                return
+            for sink in self._captures:
+                sink.append(s)
+            if len(spans) < self.max_spans:
+                spans.append(s)
+                if seen is not None:
+                    seen.add(s.span_id)
+            else:
+                self.n_dropped += 1
+
+    def ingest(self, dicts: Iterable[Mapping[str, Any]]) -> int:
+        """Add spans shipped from another process (wire dicts);
+        returns how many were stored."""
+        n = 0
+        for data in dicts:
+            try:
+                self.add(span_from_dict(data))
+                n += 1
+            except (TypeError, ValueError):
+                continue  # a malformed span must not break ingestion
+        return n
+
+    def get(self, trace_id: str) -> "list[Span]":
+        with self._lock:
+            return list(self._traces.get(trace_id, ()))
+
+    def trace_ids(self) -> "list[str]":
+        with self._lock:
+            return list(self._traces)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+            self._ids.clear()
+            self.n_dropped = 0
+
+    @contextmanager
+    def capture(self):
+        """Collect every span finishing during the block (on top of
+        normal storage) — how a worker gathers the spans of the task
+        it just ran to ship them back with the result."""
+        sink: list[Span] = []
+        with self._lock:
+            self._captures.append(sink)
+        try:
+            yield sink
+        finally:
+            with self._lock:
+                # remove by identity: list.remove compares by ==, and
+                # two concurrent *empty* sinks are equal — it would
+                # pull the other thread's sink out from under it
+                for i, existing in enumerate(self._captures):
+                    if existing is sink:
+                        del self._captures[i]
+                        break
+
+
+#: The process-wide store every :func:`span` lands in.
+TRACE_STORE = TraceStore()
+
+_current: "contextvars.ContextVar[Span | None]" = contextvars.ContextVar(
+    "repro_current_span", default=None
+)
+
+
+def current_span() -> "Span | None":
+    """The innermost live span of this context, or ``None``."""
+    return _current.get()
+
+
+@contextmanager
+def span(name: str, *, trace_id: "str | None" = None,
+         store: "TraceStore | None" = None, **attributes):
+    """Time a block as one span.
+
+    The trace id resolves in order: explicit ``trace_id`` → the
+    enclosing span's → a fresh one (this block is a trace root).
+    Exceptions propagate unchanged; they mark the span
+    ``status="error"`` on the way through.  With tracing disabled the
+    block runs untouched and a :class:`_NullSpan` is yielded.
+    """
+    if not _enabled:
+        yield _NullSpan(trace_id)
+        return
+    parent = _current.get()
+    if trace_id is None:
+        trace_id = parent.trace_id if parent is not None else new_trace_id()
+    s = Span(
+        name=name,
+        trace_id=trace_id,
+        parent_id=(
+            parent.span_id
+            if parent is not None and parent.trace_id == trace_id
+            else None
+        ),
+        start=time.time(),
+        attributes=dict(attributes),
+    )
+    token = _current.set(s)
+    t0 = time.perf_counter()
+    try:
+        yield s
+    except BaseException as err:
+        s.status = "error"
+        s.error = f"{type(err).__name__}: {err}"
+        raise
+    finally:
+        s.duration_s = time.perf_counter() - t0
+        _current.reset(token)
+        # explicit None check: an *empty* TraceStore is falsy (__len__)
+        (TRACE_STORE if store is None else store).add(s)
+        if _slow_span_s is not None and s.duration_s >= _slow_span_s:
+            _log.warning(
+                "slow span %s (trace %s): %.3fs >= %.3fs threshold",
+                s.name, s.trace_id, s.duration_s, _slow_span_s,
+            )
+
+
+def record_span(
+    name: str,
+    trace_id: "str | None",
+    *,
+    start: float,
+    duration_s: float,
+    status: str = "ok",
+    error: "str | None" = None,
+    store: "TraceStore | None" = None,
+    **attributes,
+) -> "Span | None":
+    """Record an already-measured interval as a completed span — for
+    seams that are not a ``with`` block around one call site (queue
+    wait between ``submit`` and dispatch, for instance).  A ``None``
+    trace id is a no-op: untraced requests must not mint one trace per
+    queue hop."""
+    if not _enabled or trace_id is None:
+        return None
+    s = Span(
+        name=name,
+        trace_id=trace_id,
+        start=start,
+        duration_s=duration_s,
+        attributes=dict(attributes),
+        status=status,
+        error=error,
+    )
+    (TRACE_STORE if store is None else store).add(s)
+    return s
+
+
+# ----------------------------------------------------------------------
+# rendering (the `repro trace` tree)
+# ----------------------------------------------------------------------
+
+def render_trace(spans: "Iterable[Span]") -> str:
+    """An indented tree of one trace's spans with per-span durations.
+
+    Spans from different processes stitch by trace id but not by
+    parent id (each process roots its own subtree), so the forest has
+    several roots — they sort by start time, as do siblings.
+    """
+    spans = list(spans)
+    if not spans:
+        return "(no spans)"
+    by_id = {s.span_id: s for s in spans}
+    children: dict = {}
+    roots: list[Span] = []
+    for s in spans:
+        if s.parent_id is not None and s.parent_id in by_id:
+            children.setdefault(s.parent_id, []).append(s)
+        else:
+            roots.append(s)
+    roots.sort(key=lambda s: (s.start, s.name))
+    lines = [f"trace {spans[0].trace_id} — {len(spans)} span(s)"]
+
+    def _walk(s: Span, depth: int) -> None:
+        attrs = ", ".join(
+            f"{k}={v}" for k, v in sorted(s.attributes.items())
+        )
+        flag = "" if s.status == "ok" else f"  !{s.status}: {s.error}"
+        lines.append(
+            f"{'  ' * depth}- {s.name}  {s.duration_s * 1e3:.1f}ms"
+            + (f"  [{attrs}]" if attrs else "") + flag
+        )
+        for child in sorted(
+            children.get(s.span_id, ()), key=lambda c: (c.start, c.name)
+        ):
+            _walk(child, depth + 1)
+
+    for root in roots:
+        _walk(root, 1)
+    return "\n".join(lines)

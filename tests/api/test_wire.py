@@ -141,6 +141,46 @@ class TestReplayRoundTrip:
         assert back.bid == 7.5
 
 
+class TestTraceIdRoundTrip:
+    def test_solve_trace_id_survives_the_wire(self):
+        request = SolveRequest(
+            spec=InstanceSpec(seed=2), seed=2, trace_id="feedface01020304"
+        )
+        back = request_from_wire(_json_round(request_to_wire(request)))
+        assert back.trace_id == "feedface01020304"
+
+    def test_replay_trace_id_survives_the_wire(self):
+        request = ReplayRequest(
+            trace="ramp", policy="static", seed=4,
+            trace_id="0123456789abcdef",
+        )
+        back = request_from_wire(_json_round(request_to_wire(request)))
+        assert back.trace_id == "0123456789abcdef"
+
+    def test_trace_id_excluded_from_equality(self):
+        """Two requests that compute the same thing are equal no matter
+        who is watching — the bit-identity and cache contracts."""
+        a = SolveRequest(spec=InstanceSpec(seed=3), seed=3,
+                         trace_id="aaaaaaaaaaaaaaaa")
+        b = SolveRequest(spec=InstanceSpec(seed=3), seed=3,
+                         trace_id="bbbbbbbbbbbbbbbb")
+        assert a == b
+
+    def test_cache_key_invariant_under_trace_id(self):
+        from repro.service.broker import request_cache_key
+
+        a = SolveRequest(spec=InstanceSpec(seed=5), seed=5,
+                         trace_id="aaaaaaaaaaaaaaaa")
+        b = SolveRequest(spec=InstanceSpec(seed=5), seed=5)
+        assert request_cache_key(a) == request_cache_key(b)
+
+    def test_untraced_result_dict_has_no_trace_id(self):
+        from repro.api import solve
+
+        request = SolveRequest(spec=InstanceSpec(seed=6), seed=6)
+        assert "trace_id" not in solve(request).to_dict()
+
+
 class TestSweepRoundTrip:
     def test_round_trips_exactly(self):
         from repro.experiments.config import small_high

@@ -1,0 +1,191 @@
+"""Spans, the bounded TraceStore, wire round-trips, and the renderer."""
+
+import pytest
+
+from repro.telemetry.trace import (
+    Span,
+    TraceStore,
+    current_span,
+    enabled,
+    new_trace_id,
+    record_span,
+    render_trace,
+    set_enabled,
+    span,
+    span_from_dict,
+    span_to_dict,
+)
+
+
+@pytest.fixture()
+def store():
+    return TraceStore(max_traces=4, max_spans=8)
+
+
+class TestSpanContextManager:
+    def test_records_into_store(self, store):
+        tid = new_trace_id()
+        with span("op", trace_id=tid, store=store, k="v") as s:
+            s.set("extra", 1)
+        spans = store.get(tid)
+        assert [s.name for s in spans] == ["op"]
+        assert spans[0].attributes == {"k": "v", "extra": 1}
+        assert spans[0].status == "ok"
+        assert spans[0].duration_s >= 0.0
+
+    def test_nesting_links_parent(self, store):
+        tid = new_trace_id()
+        with span("outer", trace_id=tid, store=store) as outer:
+            assert current_span() is outer
+            with span("inner", store=store) as inner:
+                # trace id inherited from the enclosing span
+                assert inner.trace_id == tid
+                assert inner.parent_id == outer.span_id
+        assert current_span() is None
+
+    def test_fresh_trace_id_when_root(self, store):
+        with span("root", store=store) as s:
+            assert len(s.trace_id) == 16
+
+    def test_explicit_trace_id_breaks_parent_link(self, store):
+        """A span with its own trace id starts a new tree even inside
+        another span — parent links never cross traces."""
+        other = new_trace_id()
+        with span("outer", trace_id=new_trace_id(), store=store):
+            with span("inner", trace_id=other, store=store) as inner:
+                assert inner.parent_id is None
+
+    def test_exception_marks_error_and_propagates(self, store):
+        tid = new_trace_id()
+        with pytest.raises(RuntimeError, match="boom"):
+            with span("bad", trace_id=tid, store=store):
+                raise RuntimeError("boom")
+        (s,) = store.get(tid)
+        assert s.status == "error"
+        assert s.error == "RuntimeError: boom"
+
+    def test_disabled_yields_null_span(self, store):
+        previous = set_enabled(False)
+        try:
+            assert not enabled()
+            with span("off", trace_id="abc", store=store) as s:
+                s.set("ignored", 1)  # same surface, no recording
+                assert s.trace_id == "abc"  # passthrough for frames
+            assert store.get("abc") == []
+        finally:
+            set_enabled(previous)
+
+
+class TestRecordSpan:
+    def test_records_measured_interval(self, store):
+        tid = new_trace_id()
+        s = record_span(
+            "queue", tid, start=123.0, duration_s=0.5, store=store,
+            tenant="acme",
+        )
+        assert s is not None and store.get(tid) == [s]
+        assert s.start == 123.0 and s.duration_s == 0.5
+
+    def test_none_trace_id_is_noop(self, store):
+        assert record_span("x", None, start=0.0, duration_s=0.0,
+                           store=store) is None
+        assert len(store) == 0
+
+
+class TestTraceStore:
+    def test_fifo_trace_eviction(self, store):
+        for i in range(6):
+            store.add(Span(name="s", trace_id=f"t{i}"))
+        assert store.trace_ids() == ["t2", "t3", "t4", "t5"]
+        assert store.n_dropped == 2
+
+    def test_span_cap_per_trace(self, store):
+        for _ in range(12):
+            store.add(Span(name="s", trace_id="t"))
+        assert len(store.get("t")) == 8
+        assert store.n_dropped == 4
+
+    def test_add_is_idempotent_by_span_id(self, store):
+        s = Span(name="s", trace_id="t")
+        store.add(s)
+        store.add(s)  # an in-process worker's shipped-back span
+        assert len(store.get("t")) == 1
+
+    def test_ingest_round_trip(self, store):
+        s = Span(name="op", trace_id="t", parent_id="p",
+                 start=1.0, duration_s=2.0,
+                 attributes={"k": "v"}, status="error", error="E: x")
+        assert store.ingest([span_to_dict(s)]) == 1
+        (got,) = store.get("t")
+        assert got == s
+
+    def test_ingest_tolerates_garbage(self, store):
+        n = store.ingest([{"name": "ok", "trace_id": "t"},
+                          {"start": "not-a-float"}])
+        assert n == 1
+        assert len(store.get("t")) == 1
+
+    def test_capture_collects_spans_in_block(self, store):
+        tid = new_trace_id()
+        with store.capture() as sink:
+            with span("inside", trace_id=tid, store=store):
+                pass
+        with span("outside", trace_id=tid, store=store):
+            pass
+        assert [s.name for s in sink] == ["inside"]
+        # captured spans still land in normal storage too
+        assert len(store.get(tid)) == 2
+
+    def test_clear(self, store):
+        store.add(Span(name="s", trace_id="t"))
+        store.clear()
+        assert len(store) == 0 and store.get("t") == []
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            TraceStore(max_traces=0)
+        with pytest.raises(ValueError):
+            TraceStore(max_spans=0)
+
+
+class TestWireForm:
+    def test_round_trip_defaults_omitted(self):
+        s = Span(name="lean", trace_id="t")
+        d = span_to_dict(s)
+        assert "parent_id" not in d and "status" not in d
+        assert "attributes" not in d and "error" not in d
+        assert span_from_dict(d) == s
+
+    def test_round_trip_full(self):
+        s = Span(name="full", trace_id="t", parent_id="p", start=9.5,
+                 duration_s=0.25, attributes={"a": 1},
+                 status="error", error="E")
+        assert span_from_dict(span_to_dict(s)) == s
+
+
+class TestRenderTrace:
+    def test_tree_indentation_and_durations(self):
+        root = Span(name="root", trace_id="t", span_id="r",
+                    start=1.0, duration_s=0.010)
+        child = Span(name="child", trace_id="t", span_id="c",
+                     parent_id="r", start=2.0, duration_s=0.002,
+                     attributes={"k": "v"})
+        text = render_trace([child, root])
+        lines = text.splitlines()
+        assert lines[0] == "trace t — 2 span(s)"
+        assert lines[1] == "  - root  10.0ms"
+        assert lines[2] == "    - child  2.0ms  [k=v]"
+
+    def test_multi_root_forest_sorted_by_start(self):
+        a = Span(name="later", trace_id="t", start=5.0)
+        b = Span(name="earlier", trace_id="t", start=1.0)
+        lines = render_trace([a, b]).splitlines()
+        assert "earlier" in lines[1] and "later" in lines[2]
+
+    def test_error_span_flagged(self):
+        s = Span(name="bad", trace_id="t", status="error",
+                 error="ValueError: nope")
+        assert "!error: ValueError: nope" in render_trace([s])
+
+    def test_empty(self):
+        assert render_trace([]) == "(no spans)"
