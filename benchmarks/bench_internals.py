@@ -16,6 +16,7 @@ import repro
 from repro.core.loads import LoadTracker
 from repro.platform.catalog import dell_catalog
 from repro.simulator.flows import (
+    VECTORIZE_MIN_FLOWS,
     CapacityConstraint,
     FlowNetwork,
     FlowSpec,
@@ -142,3 +143,48 @@ def test_progressive_fill_vectorized(benchmark):
     net = _fill_network(True)
     benchmark(net.recompute_all)
     assert dict(net.rates) == dict(_fill_network(False).rates)
+
+
+# -- per-fill kernel chooser: no regression around the old gate -------
+#
+# The default chooser estimates the python loop's work per fill instead
+# of applying the flat ``VECTORIZE_MIN_FLOWS`` size gate.  These two
+# rows pin its behaviour on either side of the old 48-flow threshold:
+# a 40-flow staircase (below the old gate) and a 64-flow staircase
+# (above it).  The chooser must not lose to the old gate's choice on
+# either — below the threshold both pick the python loop, above it the
+# staircase's round count drives the numpy kernel exactly as the size
+# gate used to.
+
+
+def _staircase_network(n_flows: int, *, heuristic: bool) -> FlowNetwork:
+    net = FlowNetwork(
+        vectorized=True,
+        vector_min_flows=None if heuristic else VECTORIZE_MIN_FLOWS,
+    )
+    caps = [1.0 + 0.01 * i for i in range(n_flows)]
+    net.add_constraint("nic", 0.6 * sum(caps))
+    net.add_flows(
+        [(("f", i), ("nic",), caps[i]) for i in range(n_flows)]
+    )
+    return net
+
+
+def test_kernel_chooser_below_old_threshold(benchmark):
+    """40-flow fill, default chooser — must match the old gate's
+    python-loop choice (no numpy set-up on small components)."""
+    net = _staircase_network(40, heuristic=True)
+    benchmark(net.recompute_all)
+    reference = _staircase_network(40, heuristic=False)
+    reference.recompute_all()
+    assert dict(net.rates) == dict(reference.rates)
+
+
+def test_kernel_chooser_above_old_threshold(benchmark):
+    """64-flow many-round fill, default chooser — must keep the numpy
+    kernel the old gate would have picked."""
+    net = _staircase_network(64, heuristic=True)
+    benchmark(net.recompute_all)
+    reference = _staircase_network(64, heuristic=False)
+    reference.recompute_all()
+    assert dict(net.rates) == dict(reference.rates)

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Scaling the allocation service out: a router over two shards.
+
+One ``AllocationService`` owns all of its tenants' queues, budgets,
+and metrics.  To scale past one enforcer, ``repro serve --shards N``
+puts a :class:`repro.service.ShardRouter` in front of N of them: every
+tenant is owned by exactly one shard (rendezvous hashing, or explicit
+``--shard-map`` pins), the router proxies the whole HTTP surface
+unchanged, aggregates ``/stats`` and ``/metrics`` across the fleet,
+and enforces the *global* admission rules — including bid-priced
+preemption that picks the cheapest victim across **all** shards.
+
+This example runs the full topology in real processes:
+
+1. start two plain ``repro serve`` shard subprocesses;
+2. start a router subprocess pointed at both (``--shard HOST:PORT``);
+3. submit work from four tenants through the **unchanged**
+   :class:`~repro.service.HttpServiceClient` — clients cannot tell a
+   router from a single service;
+4. print the merged ``/stats``: fleet totals, per-tenant rows, and the
+   per-shard breakdown.
+
+Run:  python examples/sharded_service.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import InstanceSpec, SolveRequest  # noqa: E402
+from repro.service import HttpServiceClient, ServiceError  # noqa: E402
+
+TENANTS = ("acme", "globex", "initech", "umbrella")
+
+
+def spawn_serve(extra: list[str]) -> tuple[subprocess.Popen, int]:
+    """Start ``repro serve`` on a free port; parse the port from the
+    banner."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src")
+        + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    banner = proc.stdout.readline()
+    port = int(re.search(r"http://[\w.\-]+:(\d+)", banner).group(1))
+    return proc, port
+
+
+def main() -> None:
+    procs: list[subprocess.Popen] = []
+    try:
+        # -- 1: two shard-local enforcers ------------------------------
+        shard_ports = []
+        for i in range(2):
+            proc, port = spawn_serve([])
+            procs.append(proc)
+            shard_ports.append(port)
+            print(f"shard-{i} listening on 127.0.0.1:{port}")
+
+        # -- 2: the global front tier ----------------------------------
+        router_args = [
+            arg for port in shard_ports
+            for arg in ("--shard", f"127.0.0.1:{port}")
+        ]
+        router_proc, router_port = spawn_serve(router_args)
+        procs.append(router_proc)
+        print(f"router  listening on 127.0.0.1:{router_port}\n")
+
+        # -- 3: the unchanged client, pointed at the router ------------
+        client = HttpServiceClient(
+            f"http://127.0.0.1:{router_port}", timeout=120.0
+        )
+        for _ in range(100):
+            try:
+                client.health()
+                break
+            except (ServiceError, OSError):
+                time.sleep(0.1)
+
+        for t_index, tenant in enumerate(TENANTS):
+            for i in range(2):
+                seed = 50 * (t_index + 1) + i
+                request = SolveRequest(
+                    spec=InstanceSpec(
+                        n_operators=8 + 3 * t_index + 2 * i,
+                        alpha=1.2 + 0.1 * t_index, seed=seed,
+                    ),
+                    seed=seed,
+                    label=f"{tenant}-{i}",
+                )
+                response = client.submit(request, tenant=tenant)
+                result = response["result"]
+                print(
+                    f"{tenant:>10} {request.label}:"
+                    f" ${result['cost']:,.0f}"
+                    f" with {result['heuristic']}"
+                )
+
+        # -- 4: the merged observability surface -----------------------
+        stats = client.stats()
+        service = stats["service"]
+        totals = stats["totals"]
+        print(
+            f"\nmerged /stats — backend={service['backend']}"
+            f" over {service['shards']} shards:"
+            f" {totals['completed']} completed,"
+            f" {totals['rejected']} rejected"
+        )
+        print("per-tenant (each owned by exactly one shard):")
+        for name in TENANTS:
+            row = stats["tenants"][name]
+            print(f"  {name:>10}: {row['completed']} completed")
+        print("per-shard breakdown:")
+        for name, entry in stats["shards"].items():
+            print(
+                f"  {name}: {entry['totals'].get('completed', 0)}"
+                f" completed, queue depth"
+                f" {entry['service'].get('queued', 0)}"
+            )
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+if __name__ == "__main__":
+    main()

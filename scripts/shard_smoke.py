@@ -1,0 +1,242 @@
+#!/usr/bin/env python
+"""CI smoke check for the sharded allocation service.
+
+Starts **two** real ``repro serve`` shard subprocesses plus one
+``repro serve --shard ... --shard ...`` router subprocess (all on free
+ports), submits a small solve portfolio from four fake tenants through
+the router with the unchanged :class:`HttpServiceClient`, and asserts:
+
+* every routed response is bit-identical — at wire granularity — to
+  calling :func:`repro.api.solve` directly (cost, winning heuristic,
+  effective seed, processor count, failure records; timing/backend
+  provenance excluded);
+* the merged ``/stats`` reports ``backend: router`` over 2 shards,
+  every request completed, each tenant's row present exactly once, and
+  the per-shard breakdown accounts for all the traffic;
+* an async ticket submitted through the router resolves through the
+  router;
+* the merged ``/metrics`` scrape parses like a scraper would and every
+  shard's samples appear under its ``shard="..."`` label.
+
+Exits non-zero on any mismatch.  Run from the repository root::
+
+    python scripts/shard_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import InstanceSpec, SolveRequest, solve  # noqa: E402
+from repro.service import HttpServiceClient, ServiceError  # noqa: E402
+
+TENANTS = ("acme", "globex", "initech", "umbrella")
+#: Wire-level fields that must match a direct solve exactly.
+COMPARED_FIELDS = (
+    "ok", "cost", "n_processors", "heuristic", "server_strategy",
+    "seed", "failures",
+)
+
+
+def _requests() -> list[tuple[str, SolveRequest]]:
+    out = []
+    for t_index, tenant in enumerate(TENANTS):
+        for i in range(2):
+            seed = 37 * (t_index + 1) + i
+            out.append(
+                (
+                    tenant,
+                    SolveRequest(
+                        spec=InstanceSpec(
+                            n_operators=8 + 2 * i, alpha=1.2, seed=seed
+                        ),
+                        portfolio=("subtree-bottom-up", "random"),
+                        seed=seed,
+                        label=f"{tenant}-{i}",
+                    ),
+                )
+            )
+    return out
+
+
+def _wire_view(result_dict: dict) -> dict:
+    return {k: result_dict[k] for k in COMPARED_FIELDS}
+
+
+def _spawn(argv: list[str], env: dict) -> tuple[subprocess.Popen, int]:
+    """Start one serve subprocess and parse its bound port from the
+    banner line."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"http://[\w.\-]+:(\d+)", line)
+    if not match:
+        proc.terminate()
+        raise RuntimeError(f"could not parse address from {line!r}")
+    return proc, int(match.group(1))
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src")
+        + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    )
+    procs: list[subprocess.Popen] = []
+    try:
+        shard_ports = []
+        for _ in range(2):
+            proc, port = _spawn(["serve", "--port", "0"], env)
+            procs.append(proc)
+            shard_ports.append(port)
+        router_proc, router_port = _spawn(
+            ["serve", "--port", "0"]
+            + [arg for port in shard_ports
+               for arg in ("--shard", f"127.0.0.1:{port}")],
+            env,
+        )
+        procs.append(router_proc)
+
+        client = HttpServiceClient(
+            f"http://127.0.0.1:{router_port}", timeout=120.0
+        )
+        for _ in range(100):  # wait until the whole fleet answers
+            try:
+                client.health()
+                break
+            except (ServiceError, OSError):
+                time.sleep(0.1)
+        else:
+            print("FAIL: router never became healthy")
+            return 1
+
+        batch = _requests()
+        mismatches = []
+        for tenant, request in batch:
+            response = client.submit(request, tenant=tenant)
+            got = _wire_view(response["result"])
+            want = _wire_view(solve(request).to_dict())
+            if got != want:
+                mismatches.append((request.label, got, want))
+        print(
+            f"submitted {len(batch)} requests from {len(TENANTS)}"
+            f" tenants through the router:"
+            f" {len(mismatches)} mismatches"
+        )
+        for label, got, want in mismatches:
+            print(f"  MISMATCH {label}: routed={got} direct={want}")
+        if mismatches:
+            print("FAIL: routed results diverged from direct solve()")
+            return 1
+
+        # async ticket through the router
+        request = SolveRequest(
+            spec=InstanceSpec(n_operators=8, alpha=1.2, seed=5),
+            seed=5, label="async-0",
+        )
+        ticket = client.submit_async(request, tenant="acme")["ticket"]
+        record = client.wait(ticket, timeout=120.0)
+        if record["status"] != "done":
+            print(f"FAIL: async ticket ended as {record['status']}")
+            return 1
+        got = _wire_view(record["result"])
+        want = _wire_view(solve(request).to_dict())
+        if got != want:
+            print(f"FAIL: async result diverged: {got} != {want}")
+            return 1
+
+        # merged /stats: router identity, totals, tenants, per-shard
+        stats = client.stats()
+        service = stats["service"]
+        if service.get("backend") != "router":
+            print(f"FAIL: /stats backend is {service.get('backend')!r}")
+            return 1
+        if service.get("shards") != 2:
+            print(f"FAIL: /stats shards is {service.get('shards')!r}")
+            return 1
+        expected = len(batch) + 1
+        if stats["totals"]["completed"] != expected:
+            print(
+                f"FAIL: {stats['totals']['completed']}/{expected}"
+                f" completed in merged /stats"
+            )
+            return 1
+        for tenant in TENANTS:
+            if tenant not in stats["tenants"]:
+                print(f"FAIL: tenant {tenant} missing from merged /stats")
+                return 1
+        shard_stats = stats.get("shards") or {}
+        if len(shard_stats) != 2:
+            print(f"FAIL: expected 2 shard entries, got {shard_stats}")
+            return 1
+        per_shard_total = sum(
+            entry["totals"].get("completed", 0)
+            for entry in shard_stats.values()
+        )
+        if per_shard_total != expected:
+            print(
+                f"FAIL: per-shard completed sum {per_shard_total}"
+                f" != {expected}"
+            )
+            return 1
+
+        # merged /metrics: parses like a scrape, shard labels present
+        metrics_text = client.metrics()
+        n_samples = 0
+        shard_labels = set()
+        for line in metrics_text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_part, _, value_part = line.rpartition(" ")
+            try:
+                float(value_part)
+            except ValueError:
+                print(f"FAIL: unparseable /metrics line {line!r}")
+                return 1
+            if not name_part:
+                print(f"FAIL: /metrics line without a name {line!r}")
+                return 1
+            n_samples += 1
+            shard_labels.update(re.findall(r'shard="([^"]+)"', line))
+        if n_samples == 0:
+            print("FAIL: merged /metrics served no samples")
+            return 1
+        if len(shard_labels) != 2:
+            print(
+                f"FAIL: expected samples from 2 shards in merged"
+                f" /metrics, saw labels {sorted(shard_labels)}"
+            )
+            return 1
+        print(
+            f"OK: merged /metrics parseable ({n_samples} samples from"
+            f" shards {sorted(shard_labels)})"
+        )
+
+        print("OK: shard smoke passed (router over 2 shard processes)")
+        return 0
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

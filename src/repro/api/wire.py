@@ -48,6 +48,7 @@ from .requests import InstanceSpec, ReplayRequest, SolveRequest, SweepRequest
 
 __all__ = [
     "FrameError",
+    "MAC_BYTES",
     "MAX_FRAME_BYTES",
     "WIRE_VERSION",
     "WireFormatError",
@@ -333,24 +334,64 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 _LENGTH = struct.Struct(">I")  # 4-byte big-endian unsigned length
 
 
+#: Size of the HMAC-SHA256 trailer appended to authenticated frames.
+MAC_BYTES = 32
+
+
 class FrameError(WireFormatError):
     """A TCP frame could not be read or decoded: mid-frame EOF, an
-    oversized or garbage length prefix, or a non-JSON body."""
+    oversized or garbage length prefix, a non-JSON body, or a missing
+    or wrong message authentication code."""
 
 
-def encode_frame(payload: Mapping[str, Any]) -> bytes:
-    """Serialise one message as ``<4-byte length><JSON utf-8 body>``."""
+def _frame_mac(secret: bytes, body: bytes) -> bytes:
+    import hashlib
+    import hmac
+
+    return hmac.new(secret, body, hashlib.sha256).digest()
+
+
+def encode_frame(
+    payload: Mapping[str, Any], *, secret: bytes | None = None
+) -> bytes:
+    """Serialise one message as ``<4-byte length><JSON utf-8 body>``.
+
+    With *secret*, a 32-byte raw HMAC-SHA256 of the body is appended
+    inside the length prefix — every frame is then individually
+    authenticated, not just the handshake.
+    """
     body = json.dumps(payload, sort_keys=True).encode("utf8")
     if len(body) > MAX_FRAME_BYTES:
         raise FrameError(
             f"frame of {len(body)} bytes exceeds the"
             f" {MAX_FRAME_BYTES}-byte limit"
         )
+    if secret is not None:
+        body += _frame_mac(secret, body)
     return _LENGTH.pack(len(body)) + body
 
 
-def decode_frame(body: bytes) -> dict:
-    """Decode one frame *body* (the length prefix already stripped)."""
+def decode_frame(body: bytes, *, secret: bytes | None = None) -> dict:
+    """Decode one frame *body* (the length prefix already stripped).
+
+    With *secret*, the trailing 32-byte MAC is verified in constant
+    time before the JSON is even parsed; a short, tampered, or
+    wrong-key frame raises :class:`FrameError`.
+    """
+    if secret is not None:
+        import hmac
+
+        if len(body) < MAC_BYTES:
+            raise FrameError(
+                f"authenticated frame of {len(body)} bytes is shorter"
+                f" than the {MAC_BYTES}-byte MAC trailer"
+            )
+        body, mac = body[:-MAC_BYTES], body[-MAC_BYTES:]
+        if not hmac.compare_digest(mac, _frame_mac(secret, body)):
+            raise FrameError(
+                "frame MAC verification failed (tampered frame or"
+                " mismatched --secret)"
+            )
     try:
         payload = json.loads(body.decode("utf8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as err:
@@ -363,9 +404,11 @@ def decode_frame(body: bytes) -> dict:
     return payload
 
 
-def send_frame(sock, payload: Mapping[str, Any]) -> None:
+def send_frame(
+    sock, payload: Mapping[str, Any], *, secret: bytes | None = None
+) -> None:
     """Write one frame to a blocking socket."""
-    sock.sendall(encode_frame(payload))
+    sock.sendall(encode_frame(payload, secret=secret))
 
 
 def _recv_exact(sock, n: int, *, at_boundary: bool) -> bytes | None:
@@ -385,12 +428,13 @@ def _recv_exact(sock, n: int, *, at_boundary: bool) -> bytes | None:
     return b"".join(chunks)
 
 
-def recv_frame(sock) -> dict | None:
+def recv_frame(sock, *, secret: bytes | None = None) -> dict | None:
     """Read one frame from a blocking socket.
 
     Returns ``None`` on a clean EOF at a frame boundary (the peer hung
     up between messages); raises :class:`FrameError` on mid-frame EOF,
-    an oversized length, or a non-JSON body.
+    an oversized length, a non-JSON body, or (with *secret*) a failed
+    MAC check.
     """
     header = _recv_exact(sock, _LENGTH.size, at_boundary=True)
     if header is None:
@@ -403,4 +447,4 @@ def recv_frame(sock) -> dict | None:
             f" frame protocol?)"
         )
     body = _recv_exact(sock, length, at_boundary=False) if length else b""
-    return decode_frame(body)
+    return decode_frame(body, secret=secret)

@@ -270,6 +270,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pv.add_argument("--no-auto-register", action="store_true",
                     help="reject tenants not named by --tenant")
+    pv.add_argument("--shards", type=int, default=None, metavar="N",
+                    help="run N in-process shards behind a router"
+                         " front tier (tenant->shard by rendezvous"
+                         " hashing)")
+    pv.add_argument("--shard", action="append", default=None,
+                    metavar="HOST:PORT",
+                    help="route to an already-running shard service"
+                         " (repeatable; builds the router front tier"
+                         " over remote shards)")
+    pv.add_argument("--shard-map", default=None, metavar="T=S,...",
+                    help="pin tenants to shards:"
+                         " tenant=shard-index-or-name, comma separated")
 
     pu = sub.add_parser(
         "submit", help="submit one solve request to a running service"
@@ -630,7 +642,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .service import (
         AllocationService,
+        HttpShard,
+        LocalShard,
+        RouterHTTPServer,
         ServiceHTTPServer,
+        ShardRouter,
+        parse_shard_map,
         parse_tenant_spec,
     )
 
@@ -641,28 +658,91 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as err:
         print(f"bad --tenant: {err}", file=sys.stderr)
         return 2
-    executor = _open_executor(args.jobs)
-    service = AllocationService(
-        tenants=tenants,
-        auto_register=not args.no_auto_register,
-        jobs=executor,
-        max_in_flight=args.max_in_flight,
-        max_queue_depth=args.queue_depth,
-    )
+    if args.shards is not None and args.shard:
+        print("use --shards N (in-process) or --shard HOST:PORT"
+              " (remote), not both", file=sys.stderr)
+        return 2
+    if args.shards is not None and args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}",
+              file=sys.stderr)
+        return 2
+    try:
+        shard_map = parse_shard_map(args.shard_map)
+    except ValueError as err:
+        print(f"bad --shard-map: {err}", file=sys.stderr)
+        return 2
+    if shard_map and args.shards is None and not args.shard:
+        print("--shard-map needs a sharded deployment"
+              " (--shards N or --shard HOST:PORT)", file=sys.stderr)
+        return 2
 
-    async def _serve() -> None:
+    sharded = args.shards is not None or bool(args.shard)
+    executors = []
+    if not sharded:
+        executor = _open_executor(args.jobs)
+        executors.append(executor)
+        service = AllocationService(
+            tenants=tenants,
+            auto_register=not args.no_auto_register,
+            jobs=executor,
+            max_in_flight=args.max_in_flight,
+            max_queue_depth=args.queue_depth,
+        )
         server = ServiceHTTPServer(
             service, host=args.host, port=args.port
         )
-        await server.start()
-        print(
+        banner = (
             f"repro allocation service listening on"
-            f" http://{args.host}:{server.port}"
+            f" http://{args.host}:{{port}}"
             f" (backend {service.executor.name}, jobs"
             f" {service.executor.jobs}, {len(tenants)} configured"
-            f" tenant(s))",
-            flush=True,
+            f" tenant(s))"
         )
+    else:
+        if args.shard:
+            try:
+                shards = [HttpShard(spec) for spec in args.shard]
+            except ValueError as err:
+                print(f"bad --shard: {err}", file=sys.stderr)
+                return 2
+        else:
+            shards = []
+            for index in range(args.shards):
+                executor = _open_executor(args.jobs)
+                executors.append(executor)
+                shards.append(LocalShard(
+                    name=f"shard-{index}",
+                    auto_register=not args.no_auto_register,
+                    jobs=executor,
+                    max_in_flight=args.max_in_flight,
+                    max_queue_depth=args.queue_depth,
+                ))
+        try:
+            router = ShardRouter(
+                shards,
+                shard_map=shard_map,
+                tenants=tenants,
+                # the cross-shard queued-request bound; per-shard
+                # bounds still apply underneath
+                global_queue_depth=args.queue_depth,
+            )
+        except ValueError as err:
+            print(f"bad shard configuration: {err}", file=sys.stderr)
+            return 2
+        server = RouterHTTPServer(
+            router, host=args.host, port=args.port
+        )
+        kind = "remote" if args.shard else "in-process"
+        banner = (
+            f"repro allocation router listening on"
+            f" http://{args.host}:{{port}}"
+            f" ({len(shards)} {kind} shard(s), {len(tenants)}"
+            f" configured tenant(s))"
+        )
+
+    async def _serve() -> None:
+        await server.start()
+        print(banner.format(port=server.port), flush=True)
         try:
             await server.serve_forever()
         finally:
@@ -673,7 +753,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("service stopped")
     finally:
-        _close_executor(executor)
+        for executor in executors:
+            _close_executor(executor)
     return 0
 
 

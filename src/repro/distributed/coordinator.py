@@ -268,7 +268,12 @@ class Coordinator:
         self.handshake_timeout_s = handshake_timeout_s
         #: Shared secret for the mutual HMAC handshake; ``None`` keeps
         #: the legacy open registration (private-network deployments).
+        #: When set, every frame in both directions also carries a
+        #: per-frame HMAC-SHA256 trailer — not just the handshake.
         self.secret = secret or None
+        self._frame_secret = (
+            self.secret.encode("utf8") if self.secret else None
+        )
         #: ``None`` → no stats listener; ``0`` → pick a free port
         #: (read :attr:`stats_port` back after :meth:`start`).
         self.stats_port = stats_port
@@ -372,7 +377,8 @@ class Coordinator:
         for conn in conns:
             try:
                 with conn.send_lock:
-                    send_frame(conn.sock, {"type": MSG_SHUTDOWN})
+                    send_frame(conn.sock, {"type": MSG_SHUTDOWN},
+                               secret=self._frame_secret)
             except OSError:
                 pass
             _close_sock(conn.sock)
@@ -526,7 +532,8 @@ class Coordinator:
                     frame["dispatch"] = task.dispatches
                 try:
                     with worker.send_lock:
-                        send_frame(worker.sock, frame)
+                        send_frame(worker.sock, frame,
+                                   secret=self._frame_secret)
                 except OSError:
                     self._evict(worker, "send-failed")
 
@@ -590,7 +597,7 @@ class Coordinator:
         welcome_mac: str | None = None
         try:
             sock.settimeout(self.handshake_timeout_s)
-            msg = recv_frame(sock)
+            msg = recv_frame(sock, secret=self._frame_secret)
             if (
                 msg is None
                 or msg.get("type") != MSG_REGISTER
@@ -608,9 +615,10 @@ class Coordinator:
                     return
                 my_nonce = os.urandom(16).hex()
                 send_frame(
-                    sock, {"type": MSG_CHALLENGE, "nonce": my_nonce}
+                    sock, {"type": MSG_CHALLENGE, "nonce": my_nonce},
+                    secret=self._frame_secret,
                 )
-                answer = recv_frame(sock)
+                answer = recv_frame(sock, secret=self._frame_secret)
                 if (
                     answer is None
                     or answer.get("type") != MSG_AUTH
@@ -666,7 +674,7 @@ class Coordinator:
             welcome["mac"] = welcome_mac
         try:
             with conn.send_lock:
-                send_frame(sock, welcome)
+                send_frame(sock, welcome, secret=self._frame_secret)
         except OSError:
             self._evict(conn, "send-failed")
             return
@@ -678,7 +686,7 @@ class Coordinator:
     def _reader_loop(self, conn: _WorkerConn) -> None:
         try:
             while True:
-                msg = recv_frame(conn.sock)
+                msg = recv_frame(conn.sock, secret=self._frame_secret)
                 if msg is None:
                     break
                 with self._cond:
@@ -767,7 +775,8 @@ class Coordinator:
             self._cond.notify_all()
         try:
             with conn.send_lock:
-                send_frame(conn.sock, {"type": MSG_DRAIN})
+                send_frame(conn.sock, {"type": MSG_DRAIN},
+                           secret=self._frame_secret)
         except OSError:
             self._evict(conn, "send-failed")
 

@@ -92,8 +92,12 @@ class Worker:
         #: worker both proves itself to the coordinator and *requires*
         #: the coordinator to prove itself back before executing any
         #: task — a worker with a secret never runs work from an
-        #: unauthenticated peer.
+        #: unauthenticated peer.  It also MACs every frame it sends
+        #: and verifies the MAC on every frame it receives.
         self.secret = secret or None
+        self._frame_secret = (
+            self.secret.encode("utf8") if self.secret else None
+        )
         self.n_done = 0
         self._sock: socket.socket | None = None
         # reentrant: request_drain may fire from a signal handler while
@@ -125,7 +129,7 @@ class Worker:
 
     def _send(self, payload: dict) -> None:
         with self._send_lock:
-            send_frame(self._sock, payload)
+            send_frame(self._sock, payload, secret=self._frame_secret)
 
     def request_drain(self) -> None:
         """Ask the coordinator to stop assigning work (thread- and
@@ -136,7 +140,8 @@ class Worker:
                 return
             self._drain_sent = True
             try:
-                send_frame(self._sock, {"type": MSG_DRAIN})
+                send_frame(self._sock, {"type": MSG_DRAIN},
+                           secret=self._frame_secret)
             except OSError:
                 pass  # the run loop will notice the dead socket
 
@@ -210,7 +215,7 @@ class Worker:
                 register["nonce"] = my_nonce
             self._send(register)
             sock.settimeout(self.connect_timeout_s)
-            welcome = recv_frame(sock)
+            welcome = recv_frame(sock, secret=self._frame_secret)
             if self.secret is not None:
                 # a coordinator that skips the challenge (no secret,
                 # or a different one) is refused — never take work
@@ -227,7 +232,8 @@ class Worker:
                     "mac": auth_mac(self.secret, "worker",
                                     my_nonce, their_nonce),
                 })
-                welcome = recv_frame(sock)
+                welcome = recv_frame(sock,
+                                     secret=self._frame_secret)
                 if welcome is not None and not macs_equal(
                     welcome.get("mac"),
                     auth_mac(self.secret, "coordinator",
@@ -258,7 +264,8 @@ class Worker:
             heartbeat_thread.start()
             while True:
                 try:
-                    msg = recv_frame(sock)
+                    msg = recv_frame(sock,
+                                     secret=self._frame_secret)
                 except (ValueError, OSError):
                     break
                 if msg is None:

@@ -20,6 +20,10 @@ Pieces (one module each):
   (admission, dispatch, execution, ``snapshot()``);
 * :mod:`~repro.service.http` — the JSON-over-HTTP front door
   (``repro serve``);
+* :mod:`~repro.service.shard` — the sharded deployment:
+  :class:`ShardRouter` over N :class:`AllocationService` shards
+  (tenant→shard map, global admission, merged stats/metrics;
+  ``repro serve --shards N | --shard HOST:PORT``);
 * :mod:`~repro.service.client` — the in-process :class:`ServiceClient`
   and the stdlib :class:`HttpServiceClient` (``repro submit``).
 
@@ -53,9 +57,19 @@ from .client import (
     ServiceClient,
     ServiceError,
 )
-from .http import ServiceHTTPServer
+from .http import BaseHTTPServer, ServiceHTTPServer
 from .metrics import LatencySeries, TenantMetrics, percentile
 from .queueing import FairQueue, QueuedTicket
+from .shard import (
+    HttpShard,
+    LocalShard,
+    RouterHTTPServer,
+    ShardBackend,
+    ShardRouter,
+    merge_metrics_texts,
+    parse_shard_map,
+    rendezvous_shard,
+)
 from .tenants import (
     TenantConfig,
     TenantRegistry,
@@ -66,20 +80,29 @@ from .tenants import (
 __all__ = [
     "AdmissionRejected",
     "AllocationService",
+    "BaseHTTPServer",
     "FairQueue",
     "HttpServiceClient",
+    "HttpShard",
     "LatencySeries",
+    "LocalShard",
     "PendingResult",
     "QueuedTicket",
+    "RouterHTTPServer",
     "ServiceClient",
     "ServiceError",
     "ServiceHTTPServer",
+    "ShardBackend",
+    "ShardRouter",
     "TenantConfig",
     "TenantMetrics",
     "TenantRegistry",
     "Ticket",
     "TokenBucket",
+    "merge_metrics_texts",
+    "parse_shard_map",
     "parse_tenant_spec",
     "percentile",
+    "rendezvous_shard",
     "request_cache_key",
 ]

@@ -352,19 +352,32 @@ class AllocationService:
         state = self.registry.get(tenant)
         return state.config.weight if state is not None else 1
 
-    def _try_preempt(self, state: TenantState, bid: float | None) -> bool:
-        """During overload, a positive ``bid`` from a higher SLA tier
-        may evict one queued request of a *strictly lower* tier: the
-        bidder pays the bid, the victim's account is credited it
-        (compensation), and the victim's future fails with a structured
-        ``"preempted"`` record.  Returns ``True`` when a slot was
-        freed."""
-        if bid is None or bid <= 0:
-            return False
-        my_rank = tier_rank(state.config.tier)
+    def preemption_quote(
+        self, tenant: str, bid: float
+    ) -> "dict | None":
+        """Bidder-side half of a preemption, step 1: the tenant's tier
+        rank plus whether it can afford ``bid`` (and the admission
+        price on top — preempting into an unaffordable admission would
+        waste the victim).  ``None`` for unknown tenants.  Shards
+        expose this so a router can price a *cross-shard* preemption
+        without owning the bidder's account."""
+        state = self.registry.get(tenant)
+        if state is None:
+            return None
         cost = bid + state.config.admission_price
-        if state.account is not None and not state.account.can_afford(cost):
-            return False  # can't pay the bid — no eviction
+        affordable = (
+            state.account is None or state.account.can_afford(cost)
+        )
+        return {
+            "rank": tier_rank(state.config.tier),
+            "affordable": affordable,
+        }
+
+    def cheapest_victim(self, below_rank: int) -> "Ticket | None":
+        """The queued ticket a bid of rank ``below_rank`` would evict:
+        lowest tier first, then lowest priority, then the most recently
+        enqueued (maximum stability for old work).  ``None`` when no
+        queued request sits strictly below the rank."""
         victim_ticket: "Ticket | None" = None
         victim_key = None
         for queued in self.queue.live_tickets():
@@ -372,43 +385,49 @@ class AllocationService:
             if other is None or queued.context is None:
                 continue
             rank = tier_rank(other.config.tier)
-            if rank >= my_rank:
+            if rank >= below_rank:
                 continue
-            # lowest tier first, then lowest priority, then the most
-            # recently enqueued (maximum stability for old work)
             key = (rank, queued.priority, -queued.id)
             if victim_key is None or key < victim_key:
                 victim_key = key
                 victim_ticket = queued.context
-        if victim_ticket is None:
-            return False
+        return victim_ticket
+
+    def preempt_ticket(
+        self, ticket_id: int, *, by: str, bid: float
+    ) -> "str | None":
+        """Victim-side half of a preemption: evict one queued ticket,
+        credit its account the bid (compensation), and fail its future
+        with a structured ``"preempted"`` record.  Returns the victim's
+        tenant name, or ``None`` when the ticket is gone (finished,
+        cancelled, or already dispatched — preemption never interrupts
+        running work).  The bidder's charge is the separate
+        :meth:`charge_preemption`, because in a sharded deployment the
+        two halves land on different shards."""
+        victim_ticket = self._tickets.get(ticket_id)
+        if victim_ticket is None or victim_ticket.done:
+            return None
         # capture state BEFORE cancel(): the queue nulls .context
         victim_state = self.registry.get(victim_ticket.tenant)
         if not self.queue.cancel(victim_ticket.queued):
-            return False
+            return None
         victim_state.n_queued -= 1
         victim_state.metrics.preempted += 1
         victim_state.ensure_account().credit(
             bid, "preemption-credit",
-            detail=f"evicted by {state.name} (ticket #{victim_ticket.id})",
+            detail=f"evicted by {by} (ticket #{victim_ticket.id})",
         )
         self._tickets.pop(victim_ticket.id, None)
         victim_ticket.future.set_exception(
             _rejection(
                 victim_ticket.tenant, "preempted",
                 f"request #{victim_ticket.id} was preempted by a"
-                f" higher-tier bid from {state.name!r}; the account of"
+                f" higher-tier bid from {by!r}; the account of"
                 f" {victim_ticket.tenant!r} was credited"
                 f" {bid:g} in compensation",
-                detail={"preempted_by": state.name,
+                detail={"preempted_by": by,
                         "compensation": bid},
             )
-        )
-        state.metrics.preemptions += 1
-        state.ensure_account().charge(
-            bid, "preemption-bid",
-            detail=f"evicted {victim_ticket.tenant}"
-                   f" (ticket #{victim_ticket.id})",
         )
         _M_PREEMPTIONS.inc()
         _M_REJECTED.labels(stage="preempted").inc()
@@ -417,7 +436,51 @@ class AllocationService:
         ).inc()
         _log.info(
             "preempted ticket #%d of %s for a bid of %g from %s",
-            victim_ticket.id, victim_ticket.tenant, bid, state.name,
+            victim_ticket.id, victim_ticket.tenant, bid, by,
+        )
+        return victim_ticket.tenant
+
+    def charge_preemption(
+        self, tenant: str, bid: float, *, victim: str, victim_ticket: int
+    ) -> None:
+        """Bidder-side half of a preemption, step 2: count the
+        preemption and charge the bid."""
+        state = self.registry.get(tenant)
+        if state is None:
+            return
+        state.metrics.preemptions += 1
+        state.ensure_account().charge(
+            bid, "preemption-bid",
+            detail=f"evicted {victim}"
+                   f" (ticket #{victim_ticket})",
+        )
+
+    def _try_preempt(self, state: TenantState, bid: float | None) -> bool:
+        """During overload, a positive ``bid`` from a higher SLA tier
+        may evict one queued request of a *strictly lower* tier: the
+        bidder pays the bid, the victim's account is credited it
+        (compensation), and the victim's future fails with a structured
+        ``"preempted"`` record.  Returns ``True`` when a slot was
+        freed.  Composed from the quote/victim/preempt/charge pieces a
+        :class:`~repro.service.shard.ShardRouter` drives individually
+        when bidder and victim live on different shards."""
+        if bid is None or bid <= 0:
+            return False
+        my_rank = tier_rank(state.config.tier)
+        cost = bid + state.config.admission_price
+        if state.account is not None and not state.account.can_afford(cost):
+            return False  # can't pay the bid — no eviction
+        victim_ticket = self.cheapest_victim(my_rank)
+        if victim_ticket is None:
+            return False
+        victim_tenant = self.preempt_ticket(
+            victim_ticket.id, by=state.name, bid=bid
+        )
+        if victim_tenant is None:
+            return False
+        self.charge_preemption(
+            state.name, bid,
+            victim=victim_tenant, victim_ticket=victim_ticket.id,
         )
         return True
 
@@ -765,6 +828,28 @@ class AllocationService:
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
+
+    @property
+    def queued(self) -> int:
+        """Requests currently waiting in the fair queue."""
+        return len(self.queue)
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently executing."""
+        return self._in_flight
+
+    def samples(self) -> dict:
+        """Raw retained queue-wait samples (and the lifetime count they
+        were drawn from), concatenated across tenants.  A router merges
+        these windows across shards and recomputes the percentiles —
+        shard-local p99s cannot be averaged into a fleet p99."""
+        waits: list[float] = []
+        total = 0
+        for state in self.registry:
+            waits.extend(state.metrics.queue_wait.values)
+            total += state.metrics.queue_wait.total_recorded
+        return {"queue_wait": waits, "queue_wait_total": total}
 
     def snapshot(self) -> dict:
         """JSON-able service + per-tenant state for ``/stats``."""

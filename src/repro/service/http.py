@@ -67,9 +67,9 @@ from ..api.wire import (
 from ..telemetry import get_registry, span_to_dict
 from ..telemetry.trace import TRACE_STORE
 from .broker import AdmissionRejected, AllocationService
-from .tenants import TenantConfig
+from .tenants import TenantConfig, tier_rank
 
-__all__ = ["ServiceHTTPServer"]
+__all__ = ["BaseHTTPServer", "ServiceHTTPServer"]
 
 #: Largest accepted request body (a full ProblemInstance is ~100 KB;
 #: this bound is about refusing absurdity, not capacity planning).
@@ -151,20 +151,26 @@ def _result_payload(request, result) -> dict:
     raise _HTTPError(500, {"error": f"unencodable result for {request!r}"})
 
 
-class ServiceHTTPServer:
-    """Bind an :class:`~repro.service.broker.AllocationService` to a
-    TCP port.  ``port=0`` picks a free port; read it back from
+class BaseHTTPServer:
+    """The transport half of the front door: a minimal HTTP/1.1 server
+    on ``asyncio.start_server`` that parses one request per connection
+    and hands ``(method, path, body)`` to :meth:`dispatch`.
+
+    Subclasses provide :meth:`dispatch` (the *app layer*, returning
+    ``(status, payload)`` and never raising) plus optional
+    :meth:`_on_start` / :meth:`_on_close` lifecycle hooks — the
+    single-shard :class:`ServiceHTTPServer` and the front-tier
+    :class:`~repro.service.shard.RouterHTTPServer` share everything
+    else.  ``port=0`` picks a free port; read it back from
     :attr:`port` after :meth:`start`."""
 
     def __init__(
         self,
-        service: AllocationService,
         *,
         host: str = "127.0.0.1",
         port: int = 8642,
         read_timeout: float = 30.0,
     ) -> None:
-        self.service = service
         self.host = host
         self.port = port
         #: Budget for *reading* one request (line + headers + body); a
@@ -173,12 +179,23 @@ class ServiceHTTPServer:
         #: holds the connection while the request queues and solves.
         self.read_timeout = read_timeout
         self._server: asyncio.AbstractServer | None = None
-        #: async-submit ticket states, insertion-ordered for eviction
-        self._async: "OrderedDict[int, dict]" = OrderedDict()
-        self._async_tasks: set[asyncio.Task] = set()
+
+    async def dispatch(
+        self, method: str, path: str, raw: bytes
+    ) -> tuple[int, object]:
+        """Route one parsed request; must return ``(status, payload)``
+        rather than raise — it is also the programmatic entry point an
+        in-process shard uses without any socket."""
+        raise NotImplementedError
+
+    async def _on_start(self) -> None:
+        """Hook: bring up the app layer before the socket binds."""
+
+    async def _on_close(self) -> None:
+        """Hook: tear down the app layer after the socket closed."""
 
     async def start(self) -> None:
-        await self.service.start()
+        await self._on_start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -195,11 +212,7 @@ class ServiceHTTPServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        await self.service.aclose()
-        if self._async_tasks:  # settle pending async tickets
-            await asyncio.gather(
-                *self._async_tasks, return_exceptions=True
-            )
+        await self._on_close()
 
     # ------------------------------------------------------------------
     # protocol plumbing
@@ -220,7 +233,7 @@ class ServiceHTTPServer:
                              " the request"
                 }
             else:
-                status, payload = await self._route(method, path, raw)
+                status, payload = await self.dispatch(method, path, raw)
         except _HTTPError as err:
             status, payload = err.status, err.payload
         except Exception as err:  # noqa: BLE001 — a 500, not a crash
@@ -291,9 +304,51 @@ class ServiceHTTPServer:
             raise _bad(f"{what} body must be a JSON object")
         return data
 
+
+class ServiceHTTPServer(BaseHTTPServer):
+    """One shard's front door: bind an
+    :class:`~repro.service.broker.AllocationService` to a TCP port —
+    or use it socketless through :meth:`dispatch`, which is how a
+    :class:`~repro.service.shard.LocalShard` addresses the same app
+    layer in-process."""
+
+    def __init__(
+        self,
+        service: AllocationService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        read_timeout: float = 30.0,
+    ) -> None:
+        super().__init__(host=host, port=port, read_timeout=read_timeout)
+        self.service = service
+        #: async-submit ticket states, insertion-ordered for eviction
+        self._async: "OrderedDict[int, dict]" = OrderedDict()
+        self._async_tasks: set[asyncio.Task] = set()
+
+    async def _on_start(self) -> None:
+        await self.service.start()
+
+    async def _on_close(self) -> None:
+        await self.service.aclose()
+        if self._async_tasks:  # settle pending async tickets
+            await asyncio.gather(
+                *self._async_tasks, return_exceptions=True
+            )
+
     # ------------------------------------------------------------------
     # routes
     # ------------------------------------------------------------------
+
+    async def dispatch(
+        self, method: str, path: str, raw: bytes
+    ) -> tuple[int, object]:
+        try:
+            return await self._route(method, path, raw)
+        except _HTTPError as err:
+            return err.status, err.payload
+        except Exception as err:  # noqa: BLE001 — a 500, not a crash
+            return 500, {"error": f"{type(err).__name__}: {err}"}
 
     async def _route(
         self, method: str, path: str, raw: bytes
@@ -343,6 +398,72 @@ class ServiceHTTPServer:
                 raise _bad(f"bad tenant config: {err}") from err
             self.service.registry.register(config)
             return 200, {"registered": config.name}
+        # shard-control plane (router → shard; additive, undocumented
+        # in the public route list): load and raw latency samples for
+        # global admission and stats aggregation, plus the split
+        # halves of a cross-shard preemption
+        if path == "/v1/shard/load" and method == "GET":
+            return 200, {
+                "queued": self.service.queued,
+                "in_flight": self.service.in_flight,
+                "max_queue_depth": self.service.max_queue_depth,
+                "max_in_flight": self.service.max_in_flight,
+            }
+        if path == "/v1/shard/samples" and method == "GET":
+            return 200, self.service.samples()
+        if path == "/v1/shard/quote" and method == "POST":
+            body = self._json_body(raw, "preemption quote")
+            _check_fields(body, ("tenant", "bid"), "preemption quote")
+            quote = self.service.preemption_quote(
+                str(body.get("tenant", "default")),
+                _coerce(body.get("bid", 0.0), float, "'bid'"),
+            )
+            return 200, (
+                quote if quote is not None
+                else {"rank": None, "affordable": False}
+            )
+        if path == "/v1/shard/victim" and method == "POST":
+            body = self._json_body(raw, "victim query")
+            _check_fields(body, ("below_rank",), "victim query")
+            victim = self.service.cheapest_victim(
+                _coerce(body.get("below_rank", 0), int, "'below_rank'")
+            )
+            if victim is None:
+                return 200, {}
+            state = self.service.registry.get(victim.tenant)
+            return 200, {
+                "ticket": victim.id,
+                "tenant": victim.tenant,
+                "priority": victim.priority,
+                "rank": tier_rank(state.config.tier),
+            }
+        if path == "/v1/shard/preempt" and method == "POST":
+            body = self._json_body(raw, "preempt")
+            _check_fields(body, ("ticket", "by", "bid"), "preempt")
+            victim_tenant = self.service.preempt_ticket(
+                _coerce(body.get("ticket", 0), int, "'ticket'"),
+                by=str(body.get("by", "")),
+                bid=_coerce(body.get("bid", 0.0), float, "'bid'"),
+            )
+            return 200, {
+                "ok": victim_tenant is not None,
+                "tenant": victim_tenant,
+            }
+        if path == "/v1/shard/charge" and method == "POST":
+            body = self._json_body(raw, "preemption charge")
+            _check_fields(
+                body, ("tenant", "bid", "victim", "victim_ticket"),
+                "preemption charge",
+            )
+            self.service.charge_preemption(
+                str(body.get("tenant", "")),
+                _coerce(body.get("bid", 0.0), float, "'bid'"),
+                victim=str(body.get("victim", "")),
+                victim_ticket=_coerce(
+                    body.get("victim_ticket", 0), int, "'victim_ticket'"
+                ),
+            )
+            return 200, {"ok": True}
         known = (
             "GET /healthz, GET /stats, GET /metrics,"
             " POST /v1/submit[?mode=async], GET /v1/result/<id>,"

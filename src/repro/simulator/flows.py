@@ -53,8 +53,11 @@ the identical sequence of IEEE-754 operations on the identical values
 there is no reassociated summation anywhere), so the two
 implementations agree **bit for bit** on any input; the randomized
 component tests assert exactly that.  :class:`FlowNetwork` picks the
-numpy path for components of :data:`VECTORIZE_MIN_FLOWS` flows or more
-(below that, array set-up costs more than the rounds save).
+kernel **per fill** from an estimate of the python loop's work (rounds
+× touched rows — see :meth:`FlowNetwork._use_vector_kernel`); passing
+an explicit ``vector_min_flows`` restores the flat component-size gate
+(numpy for components of that many flows or more,
+:data:`VECTORIZE_MIN_FLOWS` being the traditional value).
 
 Warm-started refills
 --------------------
@@ -103,10 +106,19 @@ _STALL_MSG = (
 )
 
 #: Component size (flows) at which :class:`FlowNetwork` switches from
-#: the pure-Python filling loop to the numpy formulation.  Below this
-#: the array set-up dominates the rounds it saves; both paths are
-#: bit-identical, so the threshold is a pure performance knob.
+#: the pure-Python filling loop to the numpy formulation when an
+#: explicit ``vector_min_flows`` gate is configured.  Below this the
+#: array set-up dominates the rounds it saves; both paths are
+#: bit-identical, so the threshold is a pure performance knob.  The
+#: *default* kernel choice is finer-grained: a per-fill round-count
+#: estimate (see :meth:`FlowNetwork._use_vector_kernel`).
 VECTORIZE_MIN_FLOWS = 48
+
+#: Estimated python-loop work (rounds × touched rows) above which the
+#: numpy formulation pays for its array set-up.  Only consulted by the
+#: default per-fill heuristic, never with an explicit
+#: ``vector_min_flows`` gate.
+_VECTOR_MIN_WORK = 2048
 
 #: Converged-structure memo bound (entries) for warm-started networks.
 _WARM_CACHE_MAX = 4096
@@ -362,11 +374,13 @@ class FlowNetwork:
     component is always filled by the same arithmetic on the same
     inputs.
 
-    ``vectorized=True`` fills components of ``vector_min_flows`` flows
-    or more through the numpy formulation (bit-identical, see module
-    docstring); ``warm=True`` additionally memoises converged fills by
-    component structure (``warm_hits`` / ``warm_fallbacks`` count the
-    outcomes).
+    ``vectorized=True`` fills through the numpy formulation whenever
+    the per-fill work estimate says the array set-up pays for itself
+    (bit-identical either way, see module docstring); an explicit
+    ``vector_min_flows`` replaces that estimate with the flat
+    component-size gate.  ``warm=True`` additionally memoises
+    converged fills by component structure (``warm_hits`` /
+    ``warm_fallbacks`` count the outcomes).
     """
 
     def __init__(
@@ -380,10 +394,10 @@ class FlowNetwork:
         self.epsilon = epsilon
         self.vectorized = vectorized
         self.warm = warm
-        self.vector_min_flows = (
-            VECTORIZE_MIN_FLOWS if vector_min_flows is None
-            else vector_min_flows
-        )
+        #: ``None`` (the default) selects the kernel per fill from a
+        #: round-count estimate; an explicit int restores the flat
+        #: component-size gate (``len(flows) >= vector_min_flows``).
+        self.vector_min_flows = vector_min_flows
         #: Warm-path outcome counters (only move when ``warm=True``):
         #: a *hit* served converged rates for a previously seen
         #: component structure; a *fallback* ran a cold fill.
@@ -575,11 +589,41 @@ class FlowNetwork:
             for fid in comp_f
         ]
         cap_left = {cid: self._capacity[cid] for cid in comp_c}
-        if self.vectorized and len(comp_f) >= self.vector_min_flows:
+        if self.vectorized and self._use_vector_kernel(
+            triples, len(comp_c)
+        ):
             return _progressive_fill_vectorized(
                 triples, cap_left, self.epsilon
             )
         return _progressive_fill(triples, cap_left, self.epsilon)
+
+    def _use_vector_kernel(
+        self,
+        triples: "Sequence[tuple[Hashable, tuple, float | None]]",
+        n_constraints: int,
+    ) -> bool:
+        """Pick the kernel for *this* fill.
+
+        With an explicit ``vector_min_flows`` the choice is the flat
+        size gate.  By default the gate is the *estimated python-loop
+        work* instead: progressive filling runs one round per freeze
+        event, and every round either freezes one distinct cap value
+        or saturates one constraint, so the round count is bounded by
+        ``distinct caps + constraints`` (and trivially by the number
+        of participants).  A 1000-flow component with one shared cap
+        converges in ~2 rounds — cheap in python, not worth the array
+        set-up — while a 60-flow staircase of distinct caps runs ~60
+        rounds and vectorizes well.  The flat size gate cannot see the
+        difference; the work estimate can.  Both kernels are
+        bit-identical, so this is purely a performance decision.
+        """
+        n_flows = len(triples)
+        if self.vector_min_flows is not None:
+            return n_flows >= self.vector_min_flows
+        caps = {cap for _, _, cap in triples if cap is not None}
+        est_rounds = min(len(caps) + n_constraints,
+                         n_flows + n_constraints)
+        return est_rounds * (n_flows + n_constraints) >= _VECTOR_MIN_WORK
 
     def _fill(
         self, comp_f: Sequence[Hashable], comp_c: Sequence[Hashable]

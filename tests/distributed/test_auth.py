@@ -115,6 +115,7 @@ class TestRefusals:
             )
             try:
                 sock.settimeout(5)
+                key = b"hunter2"  # frames must authenticate, too
                 send_frame(sock, {
                     "type": MSG_REGISTER,
                     "worker": "mallory",
@@ -122,12 +123,13 @@ class TestRefusals:
                     "window": 1,
                     "protocol": PROTOCOL_VERSION,
                     "nonce": "aa" * 16,
-                })
-                challenge = recv_frame(sock)
+                }, secret=key)
+                challenge = recv_frame(sock, secret=key)
                 assert challenge["type"] == MSG_CHALLENGE
-                send_frame(sock, {"type": MSG_AUTH, "mac": "ff" * 32})
+                send_frame(sock, {"type": MSG_AUTH, "mac": "ff" * 32},
+                           secret=key)
                 # connection is closed with no WELCOME
-                assert recv_frame(sock) is None
+                assert recv_frame(sock, secret=key) is None
             finally:
                 sock.close()
             assert coordinator.n_workers == 0
@@ -142,6 +144,7 @@ class TestRefusals:
             )
             try:
                 sock.settimeout(5)
+                key = secret.encode("utf8")
                 send_frame(sock, {
                     "type": MSG_REGISTER,
                     "worker": "mallory",
@@ -149,12 +152,13 @@ class TestRefusals:
                     "window": 1,
                     "protocol": PROTOCOL_VERSION,
                     "nonce": "aa" * 16,
-                })
-                challenge = recv_frame(sock)
+                }, secret=key)
+                challenge = recv_frame(sock, secret=key)
                 assert challenge["type"] == MSG_CHALLENGE
                 # the coordinator's nonce is fresh, so the replay fails
-                send_frame(sock, {"type": MSG_AUTH, "mac": sniffed})
-                assert recv_frame(sock) is None
+                send_frame(sock, {"type": MSG_AUTH, "mac": sniffed},
+                           secret=key)
+                assert recv_frame(sock, secret=key) is None
             finally:
                 sock.close()
             assert coordinator.n_workers == 0
@@ -166,13 +170,37 @@ class TestRefusals:
             )
             try:
                 sock.settimeout(5)
+                key = b"hunter2"
                 send_frame(sock, {
                     "type": MSG_REGISTER,
                     "worker": "w",
                     "pid": 1,
                     "window": 1,
                     "protocol": PROTOCOL_VERSION,
-                })
+                }, secret=key)
+                assert recv_frame(sock, secret=key) is None
+            finally:
+                sock.close()
+            assert coordinator.n_workers == 0
+
+    def test_unmacced_frames_dropped_before_handshake(self):
+        """A peer that knows the registration vocabulary but not the
+        frame key never reaches the nonce exchange — the very first
+        frame fails MAC verification and the socket is closed."""
+        with self._coordinator(secret="hunter2") as coordinator:
+            sock = socket.create_connection(
+                ("127.0.0.1", coordinator.port), timeout=5
+            )
+            try:
+                sock.settimeout(5)
+                send_frame(sock, {
+                    "type": MSG_REGISTER,
+                    "worker": "mallory",
+                    "pid": 1,
+                    "window": 1,
+                    "protocol": PROTOCOL_VERSION,
+                    "nonce": "aa" * 16,
+                })  # no frame MAC
                 assert recv_frame(sock) is None
             finally:
                 sock.close()
@@ -190,6 +218,7 @@ class TestWelcomeMac:
             )
             try:
                 sock.settimeout(5)
+                key = secret.encode("utf8")
                 my_nonce = "cd" * 16
                 send_frame(sock, {
                     "type": MSG_REGISTER,
@@ -198,15 +227,15 @@ class TestWelcomeMac:
                     "window": 1,
                     "protocol": PROTOCOL_VERSION,
                     "nonce": my_nonce,
-                })
-                challenge = recv_frame(sock)
+                }, secret=key)
+                challenge = recv_frame(sock, secret=key)
                 their_nonce = challenge["nonce"]
                 send_frame(sock, {
                     "type": MSG_AUTH,
                     "mac": auth_mac(secret, "worker",
                                     my_nonce, their_nonce),
-                })
-                welcome = recv_frame(sock)
+                }, secret=key)
+                welcome = recv_frame(sock, secret=key)
                 assert welcome["type"] == MSG_WELCOME
                 assert macs_equal(
                     welcome["mac"],

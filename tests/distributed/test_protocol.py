@@ -8,6 +8,7 @@ import pytest
 
 from repro.api import InstanceSpec, SolveRequest
 from repro.api.wire import (
+    MAC_BYTES,
     MAX_FRAME_BYTES,
     FrameError,
     WireFormatError,
@@ -120,6 +121,67 @@ class TestFrames:
         finally:
             for t in threads:
                 t.join()
+            a.close()
+            b.close()
+
+
+class TestFrameMacs:
+    """Per-frame HMAC trailers: every frame is individually
+    authenticated when a secret is configured, not just the
+    handshake."""
+
+    SECRET = b"fleet-secret"
+
+    def test_authenticated_roundtrip(self):
+        payload = {"type": "task", "task": 7}
+        raw = encode_frame(payload, secret=self.SECRET)
+        plain = encode_frame(payload)
+        assert len(raw) == len(plain) + MAC_BYTES  # trailer, in-prefix
+        assert decode_frame(raw[4:], secret=self.SECRET) == payload
+
+    def test_flipped_byte_anywhere_is_rejected(self):
+        raw = encode_frame({"type": "task", "task": 7},
+                           secret=self.SECRET)
+        for index in (4, len(raw) // 2, len(raw) - 1):
+            tampered = bytearray(raw)
+            tampered[index] ^= 0x01
+            with pytest.raises(FrameError, match="MAC"):
+                decode_frame(bytes(tampered[4:]), secret=self.SECRET)
+
+    def test_wrong_secret_is_rejected(self):
+        raw = encode_frame({"type": "task"}, secret=self.SECRET)
+        with pytest.raises(FrameError, match="MAC"):
+            decode_frame(raw[4:], secret=b"other-secret")
+
+    def test_unauthenticated_frame_rejected_by_verifier(self):
+        raw = encode_frame({"type": "task"})
+        with pytest.raises(FrameError):
+            decode_frame(raw[4:], secret=self.SECRET)
+
+    def test_short_frame_rejected_before_parsing(self):
+        with pytest.raises(FrameError, match="shorter"):
+            decode_frame(b"{}", secret=self.SECRET)
+
+    def test_send_recv_over_socketpair_with_macs(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, {"type": "one"}, secret=self.SECRET)
+            send_frame(a, {"type": "two", "n": 3}, secret=self.SECRET)
+            assert recv_frame(b, secret=self.SECRET) == {"type": "one"}
+            assert recv_frame(b, secret=self.SECRET) == {
+                "type": "two", "n": 3
+            }
+        finally:
+            a.close()
+            b.close()
+
+    def test_recv_with_secret_refuses_plain_sender(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, {"type": "one"})  # no MAC
+            with pytest.raises(FrameError):
+                recv_frame(b, secret=self.SECRET)
+        finally:
             a.close()
             b.close()
 

@@ -1,0 +1,596 @@
+"""The sharded service: router, tenant map, and cross-shard economy.
+
+The load-bearing contracts:
+
+* a **1-shard deployment is byte-identical** to today's single
+  ``AllocationService`` — request for request on ``/v1/submit`` (sync
+  and async), replay JSON, and ``/stats`` (wall-clock timing fields
+  excluded, as everywhere else in the suite);
+* cross-shard preemption: a gold bid landing on shard A evicts the
+  cheapest bronze queued on shard B, and the compensation is credited
+  on the *victim's* shard while the bidder is charged on its own;
+* ticket ids encode their owning shard, so an async ticket submitted
+  through one router resolves through a *freshly built* router (the
+  restart case — the tenant map is recomputed, the shards kept);
+* ``/stats`` aggregation recomputes fleet percentiles from merged raw
+  windows instead of averaging per-shard percentiles.
+"""
+
+import asyncio
+import json
+import threading
+import types
+
+import pytest
+
+from repro.api import InstanceSpec, ReplayRequest, SolveRequest
+from repro.api.wire import request_to_wire
+from repro.service import (
+    AllocationService,
+    LocalShard,
+    ServiceHTTPServer,
+    ShardRouter,
+    TenantConfig,
+    merge_metrics_texts,
+    parse_shard_map,
+    percentile,
+    rendezvous_shard,
+)
+
+TENANTS = ("acme", "globex", "initech", "umbrella")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def solve_req(seed: int, label: str = "") -> SolveRequest:
+    return SolveRequest(
+        spec=InstanceSpec(n_operators=6, seed=seed), seed=seed,
+        label=label,
+    )
+
+
+def submit_raw(request, tenant="default", **extra) -> bytes:
+    body = {"tenant": tenant, "request": request_to_wire(request)}
+    body.update(extra)
+    return json.dumps(body, sort_keys=True).encode("utf8")
+
+
+def scrub(obj):
+    """Drop wall-clock timing fields — the one part of a payload two
+    executions can never share."""
+    if isinstance(obj, dict):
+        return {
+            k: scrub(v) for k, v in obj.items()
+            if k not in ("elapsed_s", "wall_s")
+        }
+    if isinstance(obj, list):
+        return [scrub(v) for v in obj]
+    return obj
+
+
+def canon(response):
+    status, payload = response
+    return status, json.dumps(scrub(payload), sort_keys=True)
+
+
+class GatedExecutor:
+    """Stub executor whose ``block*``-labelled requests wait on a
+    gate; results quack like a SolveResult enough for the HTTP layer
+    (``to_dict``)."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.started = threading.Event()
+
+    def __call__(self, request):
+        if getattr(request, "label", "").startswith("block"):
+            self.started.set()
+            if not self.gate.wait(timeout=30):
+                raise TimeoutError("gate never opened")
+        label = getattr(request, "label", "")
+        return types.SimpleNamespace(
+            ok=True, to_dict=lambda label=label: {"label": label}
+        )
+
+
+@pytest.fixture()
+def gated(monkeypatch):
+    stub = GatedExecutor()
+    monkeypatch.setattr("repro.service.broker.execute_request", stub)
+    return stub
+
+
+async def _spin_until(predicate, timeout=10.0):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise TimeoutError("condition never became true")
+        await asyncio.sleep(0.01)
+
+
+# ----------------------------------------------------------------------
+# tenant → shard map
+# ----------------------------------------------------------------------
+
+class TestTenantMap:
+    def test_rendezvous_is_deterministic_and_in_range(self):
+        names = ["shard-0", "shard-1", "shard-2"]
+        for tenant in ("acme", "globex", "a", "", "ünïcode"):
+            index = rendezvous_shard(tenant, names)
+            assert 0 <= index < 3
+            assert index == rendezvous_shard(tenant, names)
+
+    def test_rendezvous_spreads_tenants(self):
+        names = ["shard-0", "shard-1", "shard-2", "shard-3"]
+        owners = {
+            rendezvous_shard(f"tenant-{i}", names) for i in range(64)
+        }
+        assert owners == {0, 1, 2, 3}  # every shard owns someone
+
+    def test_removing_a_shard_only_remaps_its_tenants(self):
+        names = ["shard-0", "shard-1", "shard-2"]
+        before = {
+            f"tenant-{i}": rendezvous_shard(f"tenant-{i}", names)
+            for i in range(50)
+        }
+        shrunk = names[:2]
+        for tenant, owner in before.items():
+            if owner != 2:  # tenants not on the removed shard stay put
+                assert rendezvous_shard(tenant, shrunk) == owner
+
+    def test_no_shards_raises(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            rendezvous_shard("acme", [])
+
+    def test_parse_shard_map(self):
+        assert parse_shard_map(None) == {}
+        assert parse_shard_map("") == {}
+        assert parse_shard_map("acme=0,globex=shard-1") == {
+            "acme": "0", "globex": "shard-1"
+        }
+        with pytest.raises(ValueError, match="expected tenant=shard"):
+            parse_shard_map("acme")
+
+    def test_pins_override_rendezvous(self):
+        shards = [LocalShard(name=f"shard-{i}") for i in range(2)]
+        router = ShardRouter(
+            shards, shard_map={"acme": "shard-1", "globex": "0"}
+        )
+        assert router.shard_of("acme") == 1
+        assert router.shard_of("globex") == 0
+
+    def test_unknown_pin_rejected(self):
+        shards = [LocalShard(name="shard-0")]
+        with pytest.raises(ValueError, match="unknown shard"):
+            ShardRouter(shards, shard_map={"acme": "nope"})
+        with pytest.raises(ValueError, match="out of range"):
+            ShardRouter(shards, shard_map={"acme": "3"})
+
+    def test_duplicate_shard_names_rejected(self):
+        shards = [LocalShard(name="s"), LocalShard(name="s")]
+        with pytest.raises(ValueError, match="unique"):
+            ShardRouter(shards)
+
+
+# ----------------------------------------------------------------------
+# 1-shard byte identity
+# ----------------------------------------------------------------------
+
+class TestSingleShardByteIdentity:
+    """Every response of a 1-shard router deployment must match
+    today's single-service deployment byte for byte, request for
+    request (timing scrubbed)."""
+
+    def _requests(self):
+        out = [
+            ("POST", "/v1/submit", submit_raw(solve_req(41 + i), "acme"))
+            for i in range(3)
+        ]
+        out.append((
+            "POST", "/v1/submit",
+            submit_raw(
+                ReplayRequest(trace="ramp", policy="static", seed=3,
+                              n_results=5),
+                "globex",
+            ),
+        ))
+        # a repeat (door-level cache hit) and a malformed body (400)
+        out.append(
+            ("POST", "/v1/submit", submit_raw(solve_req(41), "acme"))
+        )
+        out.append(("POST", "/v1/submit", b'{"tenant": 3}'))
+        return out
+
+    def test_request_for_request(self):
+        async def main():
+            plain = ServiceHTTPServer(
+                AllocationService(clock=lambda: 0.0)
+            )
+            await plain.service.start()
+            router = ShardRouter(
+                [LocalShard(name="shard-0", clock=lambda: 0.0)]
+            )
+            await router.start()
+            pairs = []
+            for method, path, raw in self._requests():
+                a = await plain.dispatch(method, path, raw)
+                b = await router.dispatch(method, path, raw)
+                pairs.append((canon(a), canon(b)))
+            # async ticket lifecycle: 202, then the poll
+            raw = submit_raw(solve_req(99), "acme")
+            a = await plain.dispatch("POST", "/v1/submit?mode=async", raw)
+            b = await router.dispatch("POST", "/v1/submit?mode=async", raw)
+            pairs.append((canon(a), canon(b)))
+            ticket_a, ticket_b = a[1]["ticket"], b[1]["ticket"]
+            assert ticket_a == ticket_b  # the identity ticket mapping
+            await _spin_until(
+                lambda: not plain._async_tasks
+                and not router.shards[0].app._async_tasks
+            )
+            a = await plain.dispatch("GET", f"/v1/result/{ticket_a}", b"")
+            b = await router.dispatch("GET", f"/v1/result/{ticket_b}", b"")
+            pairs.append((canon(a), canon(b)))
+            # /stats (the deterministic clock pins uptime/percentiles)
+            a = await plain.dispatch("GET", "/stats", b"")
+            b = await router.dispatch("GET", "/stats", b"")
+            pairs.append((canon(a), canon(b)))
+            a = await plain.dispatch("GET", "/healthz", b"")
+            b = await router.dispatch("GET", "/healthz", b"")
+            pairs.append((canon(a), canon(b)))
+            await plain.aclose()
+            await router.aclose()
+            return pairs
+
+        for direct, routed in run(main()):
+            assert direct == routed
+
+    def test_single_shard_stats_has_no_shards_key(self):
+        async def main():
+            router = ShardRouter([LocalShard(name="shard-0")])
+            await router.start()
+            status, stats = await router.dispatch("GET", "/stats", b"")
+            await router.aclose()
+            return status, stats
+
+        status, stats = run(main())
+        assert status == 200
+        assert "shards" not in stats
+        assert stats["service"]["backend"] != "router"
+
+
+# ----------------------------------------------------------------------
+# cross-shard preemption
+# ----------------------------------------------------------------------
+
+class TestCrossShardPreemption:
+    def _router(self):
+        shards = [
+            LocalShard(
+                name=f"shard-{i}",
+                service=AllocationService(
+                    tenants=(
+                        TenantConfig("gold", tier="gold", budget=100.0,
+                                     admission_price=1.0),
+                        TenantConfig("bronze", tier="bronze"),
+                    ),
+                    auto_register=False,
+                    max_in_flight=1, max_queue_depth=8,
+                ),
+            )
+            for i in range(2)
+        ]
+        router = ShardRouter(
+            shards,
+            # gold lives on shard 0, bronze on shard 1: the bid and its
+            # victim are guaranteed to land on *different* shards
+            shard_map={"gold": "shard-0", "bronze": "shard-1"},
+            global_queue_depth=2,
+        )
+        return router, shards
+
+    def test_gold_on_shard_a_evicts_bronze_on_shard_b(self, gated):
+        async def scenario():
+            router, shards = self._router()
+            await router.start()
+            status, blocker = await router.dispatch(
+                "POST", "/v1/submit?mode=async",
+                submit_raw(solve_req(1, "block"), "bronze"),
+            )
+            assert status == 202
+            await _spin_until(gated.started.is_set)
+            victims = []
+            for i in range(2):
+                status, payload = await router.dispatch(
+                    "POST", "/v1/submit?mode=async",
+                    submit_raw(solve_req(10 + i, f"victim-{i}"),
+                               "bronze"),
+                )
+                assert status == 202, payload
+                victims.append(payload["ticket"])
+            status, payload = await router.dispatch(
+                "POST", "/v1/submit?mode=async",
+                submit_raw(solve_req(20, "gold"), "gold", bid=25.0),
+            )
+            assert status == 202, payload
+            gold_ticket = payload["ticket"]
+            gated.gate.set()
+
+            async def record_of(ticket):
+                while True:
+                    status, record = await router.dispatch(
+                        "GET", f"/v1/result/{ticket}", b""
+                    )
+                    assert status == 200, record
+                    if record["status"] != "pending":
+                        return record
+                    await asyncio.sleep(0.01)
+
+            victim_records = [
+                await asyncio.wait_for(record_of(t), 10) for t in victims
+            ]
+            gold_record = await asyncio.wait_for(
+                record_of(gold_ticket), 10
+            )
+            status, stats = await router.dispatch("GET", "/stats", b"")
+            gold_state = shards[0].service.registry.get("gold")
+            bronze_state = shards[1].service.registry.get("bronze")
+            await router.aclose()
+            return (victim_records, gold_record, stats,
+                    gold_state, bronze_state, victims)
+
+        (victim_records, gold_record, stats,
+         gold_state, bronze_state, victims) = run(scenario())
+
+        preempted = [
+            r for r in victim_records if r["status"] == "failed"
+        ]
+        assert len(preempted) == 1
+        failure = preempted[0]["failure"]
+        assert failure["stage"] == "preempted"
+        assert failure["detail"] == {
+            "preempted_by": "gold", "compensation": 25.0
+        }
+        # the *youngest* victim was evicted (max stability)
+        assert preempted[0]["ticket"] == victims[-1]
+        assert gold_record["status"] == "done"
+        # money moved across shards, none destroyed: bid + admission
+        # out of gold (its shard), bid into bronze (the other shard)
+        assert gold_state.account.spent == pytest.approx(26.0)
+        assert bronze_state.account.earned == pytest.approx(25.0)
+        assert gold_state.metrics.preemptions == 1
+        assert bronze_state.metrics.preempted == 1
+        # and the merged /stats sees the whole economy
+        assert stats["totals"]["preempted"] == 1
+        assert stats["totals"]["spent"] == pytest.approx(26.0)
+        assert stats["tenants"]["gold"]["preemptions"] == 1
+        assert stats["tenants"]["bronze"]["preempted"] == 1
+
+    def test_without_bid_global_bound_rejects(self, gated):
+        async def main():
+            router, shards = self._router()
+            await router.start()
+            status, _ = await router.dispatch(
+                "POST", "/v1/submit?mode=async",
+                submit_raw(solve_req(1, "block"), "bronze"),
+            )
+            assert status == 202
+            await _spin_until(gated.started.is_set)
+            for i in range(2):
+                status, _ = await router.dispatch(
+                    "POST", "/v1/submit?mode=async",
+                    submit_raw(solve_req(10 + i, f"v-{i}"), "bronze"),
+                )
+                assert status == 202
+            status, payload = await router.dispatch(
+                "POST", "/v1/submit",
+                submit_raw(solve_req(20, "gold"), "gold"),  # no bid
+            )
+            gated.gate.set()
+            await router.aclose()
+            return status, payload
+
+        status, payload = run(main())
+        assert status == 429
+        assert payload["failure"]["stage"] == "service-queue-full"
+        assert payload["failure"]["detail"]["shards"] == 2
+
+
+# ----------------------------------------------------------------------
+# ticket routing across a router restart
+# ----------------------------------------------------------------------
+
+class TestRouterRestart:
+    def test_async_ticket_resolves_through_a_fresh_router(self, gated):
+        async def main():
+            shards = [
+                LocalShard(name=f"shard-{i}", max_in_flight=1)
+                for i in range(2)
+            ]
+            first = ShardRouter(shards)
+            await first.start()
+            status, payload = await first.dispatch(
+                "POST", "/v1/submit?mode=async",
+                submit_raw(solve_req(7, "block"), "acme"),
+            )
+            assert status == 202, payload
+            ticket = payload["ticket"]
+            await _spin_until(gated.started.is_set)
+            # the router "restarts": a new instance, fresh tenant map,
+            # same shards — the ticket id alone must still route
+            second = ShardRouter(shards)
+            await second.start()
+            gated.gate.set()
+            while True:
+                status, record = await second.dispatch(
+                    "GET", f"/v1/result/{ticket}", b""
+                )
+                assert status == 200, record
+                if record["status"] != "pending":
+                    break
+                await asyncio.sleep(0.01)
+            await second.aclose()
+            return ticket, record
+
+        ticket, record = run(main())
+        assert record["status"] == "done"
+        assert record["ticket"] == ticket
+
+    def test_cancel_routes_by_ticket_id(self, gated):
+        async def main():
+            shards = [
+                LocalShard(name=f"shard-{i}", max_in_flight=1)
+                for i in range(2)
+            ]
+            router = ShardRouter(shards)
+            await router.start()
+            status, _ = await router.dispatch(
+                "POST", "/v1/submit?mode=async",
+                submit_raw(solve_req(7, "block"), "acme"),
+            )
+            assert status == 202
+            await _spin_until(gated.started.is_set)
+            status, payload = await router.dispatch(
+                "POST", "/v1/submit?mode=async",
+                submit_raw(solve_req(8, "queued"), "acme"),
+            )
+            assert status == 202
+            status, outcome = await router.dispatch(
+                "POST", "/v1/cancel",
+                json.dumps({"ticket": payload["ticket"]}).encode(),
+            )
+            gated.gate.set()
+            await router.aclose()
+            return status, outcome
+
+        status, outcome = run(main())
+        assert status == 200
+        assert outcome == {"cancelled": True}
+
+
+# ----------------------------------------------------------------------
+# aggregation
+# ----------------------------------------------------------------------
+
+class TestAggregation:
+    def test_stats_percentiles_recomputed_from_merged_windows(
+        self, gated
+    ):
+        async def main():
+            gated.gate.set()
+            shards = [LocalShard(name=f"shard-{i}") for i in range(2)]
+            router = ShardRouter(shards)
+            await router.start()
+            for i, tenant in enumerate(TENANTS):
+                for j in range(3):
+                    status, payload = await router.dispatch(
+                        "POST", "/v1/submit",
+                        submit_raw(solve_req(100 + 10 * i + j), tenant),
+                    )
+                    assert status == 200, payload
+            status, stats = await router.dispatch("GET", "/stats", b"")
+            waits = []
+            total = 0
+            for shard in shards:
+                payload = shard.service.samples()
+                waits.extend(payload["queue_wait"])
+                total += payload["queue_wait_total"]
+            await router.aclose()
+            return stats, waits, total
+
+        stats, waits, total = run(main())
+        assert stats["totals"]["completed"] == 12
+        summary = stats["service"]["queue_wait_s"]
+        assert summary["count"] == total == 12
+        assert summary["window"] == len(waits) == 12
+        assert summary["p50"] == round(percentile(waits, 50.0), 6)
+        assert summary["p99"] == round(percentile(waits, 99.0), 6)
+        # per-shard breakdown and per-tenant rows from both shards
+        assert set(stats["shards"]) == {"shard-0", "shard-1"}
+        assert set(stats["tenants"]) == set(TENANTS)
+        queued_by_shard = sum(
+            entry["service"]["queued"]
+            for entry in stats["shards"].values()
+        )
+        assert stats["service"]["queued"] == queued_by_shard
+
+    def test_trace_stitches_the_router_hop(self, gated):
+        async def main():
+            gated.gate.set()
+            shards = [LocalShard(name=f"shard-{i}") for i in range(2)]
+            router = ShardRouter(shards)
+            await router.start()
+            request = SolveRequest(
+                spec=InstanceSpec(n_operators=6, seed=5), seed=5,
+                trace_id="cafe0123cafe0123",
+            )
+            status, payload = await router.dispatch(
+                "POST", "/v1/submit", submit_raw(request, "acme")
+            )
+            assert status == 200, payload
+            status, trace = await router.dispatch(
+                "GET", "/v1/trace/cafe0123cafe0123", b""
+            )
+            await router.aclose()
+            return status, trace
+
+        status, trace = run(main())
+        assert status == 200
+        names = {span["name"] for span in trace["spans"]}
+        assert "router.route" in names
+        assert "service.admission" in names
+        router_span = next(
+            s for s in trace["spans"] if s["name"] == "router.route"
+        )
+        assert router_span["attributes"]["shard"].startswith("shard-")
+
+
+class TestMetricsMerge:
+    SHARD_A = (
+        "# HELP repro_service_requests_total Requests.\n"
+        "# TYPE repro_service_requests_total counter\n"
+        'repro_service_requests_total{tenant="acme"} 3\n'
+        "# TYPE repro_service_queue_wait_seconds histogram\n"
+        'repro_service_queue_wait_seconds_bucket{le="0.1"} 2\n'
+        "repro_service_queue_wait_seconds_sum 0.05\n"
+        "repro_service_queue_wait_seconds_count 3\n"
+    )
+    SHARD_B = (
+        "# HELP repro_service_requests_total Requests.\n"
+        "# TYPE repro_service_requests_total counter\n"
+        'repro_service_requests_total{tenant="globex"} 5\n'
+    )
+
+    def test_merge_labels_and_dedupes_families(self):
+        merged = merge_metrics_texts(
+            [("s0", self.SHARD_A), ("s1", self.SHARD_B)]
+        )
+        assert merged.count("# TYPE repro_service_requests_total") == 1
+        assert (
+            'repro_service_requests_total{shard="s0",tenant="acme"} 3'
+            in merged
+        )
+        assert (
+            'repro_service_requests_total{shard="s1",tenant="globex"} 5'
+            in merged
+        )
+        # histogram suffix samples stay grouped and get the label too
+        assert (
+            'repro_service_queue_wait_seconds_sum{shard="s0"} 0.05'
+            in merged
+        )
+
+    def test_merged_samples_parse_like_a_scraper(self):
+        merged = merge_metrics_texts(
+            [("s0", self.SHARD_A), ("s1", self.SHARD_B)]
+        )
+        n = 0
+        for line in merged.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_part, _, value = line.rpartition(" ")
+            float(value)
+            assert name_part
+            n += 1
+        assert n == 5

@@ -135,11 +135,47 @@ class TestVectorizedNetworkBitIdentity:
             )
 
     def test_default_threshold_engages_above_floor(self):
-        """Sanity on the knob itself: the default only vectorizes big
-        components, and the flag alone changes nothing numerically."""
+        """Sanity on the knob itself: the default picks per fill from
+        the work estimate; an explicit gate restores the size rule."""
         assert VECTORIZE_MIN_FLOWS > 1
         net = FlowNetwork(vectorized=True)
-        assert net.vector_min_flows == VECTORIZE_MIN_FLOWS
+        assert net.vector_min_flows is None  # per-fill heuristic
+        gated = FlowNetwork(vectorized=True,
+                            vector_min_flows=VECTORIZE_MIN_FLOWS)
+        assert gated.vector_min_flows == VECTORIZE_MIN_FLOWS
+
+    def test_explicit_gate_is_a_flat_size_rule(self):
+        net = FlowNetwork(vectorized=True, vector_min_flows=4)
+        few = [(f"f{i}", ("L",), None) for i in range(3)]
+        many = few + [("f3", ("L",), None)]
+        assert not net._use_vector_kernel(few, 1)
+        assert net._use_vector_kernel(many, 1)
+
+    def test_heuristic_sees_round_count_not_just_size(self):
+        """A big component with one shared cap converges in ~2 rounds
+        (stay in python); the same size as a staircase of distinct
+        caps runs ~n rounds (vectorize).  A flat size gate cannot
+        tell them apart."""
+        net = FlowNetwork(vectorized=True)
+        n = 80
+        shared = [(f"f{i}", ("L",), 5.0) for i in range(n)]
+        stairs = [(f"f{i}", ("L",), 1.0 + i) for i in range(n)]
+        assert not net._use_vector_kernel(shared, 1)
+        assert net._use_vector_kernel(stairs, 1)
+        # tiny components never vectorize regardless of cap diversity
+        tiny = [(f"f{i}", ("L",), 1.0 + i) for i in range(4)]
+        assert not net._use_vector_kernel(tiny, 1)
+
+    def test_default_heuristic_tracks_python_network(self):
+        """The per-fill chooser changes nothing numerically — churn
+        with caps drawn from a tiny pool so both kernels genuinely
+        interleave across fills."""
+        for case in range(20):
+            _churn(
+                _SEED_BASE + 40_000 + case,
+                FlowNetwork(),
+                FlowNetwork(vectorized=True),
+            )
 
 
 class TestWarmNetworkBitIdentity:
